@@ -1,0 +1,80 @@
+// Ablation (DESIGN.md §4): the quantization design choices the paper's §2
+// discusses — calibration strategy (outlier-inflated min-max vs moving
+// average vs percentile), per-tensor vs per-channel weight scales, and
+// symmetric vs asymmetric activations — measured on MobileNetV2-mini.
+#include "bench/bench_util.h"
+#include "src/convert/converter.h"
+#include "src/models/trained_models.h"
+#include "src/quant/quantizer.h"
+
+namespace mlexray {
+namespace {
+
+double quant_accuracy(const Model& mobile,
+                      const std::vector<LabeledExample>& calib_inputs,
+                      const std::vector<LabeledExample>& test,
+                      CalibrationOptions copts, QuantizeOptions qopts) {
+  Calibrator calib(&mobile, copts);
+  for (const auto& ex : calib_inputs) calib.observe({ex.input});
+  Model quant = quantize_model(mobile, calib, qopts);
+  RefOpResolver ref;  // correct kernels: isolate the quantization choice
+  return evaluate_classifier(quant, ref, test);
+}
+
+int run() {
+  bench::print_header("Ablation — quantization design choices (§2)",
+                      "ML-EXray §2 discussion (our ablation)");
+  Model ckpt = trained_image_checkpoint("mobilenet_v2_mini");
+  Model mobile = convert_for_inference(ckpt);
+  ImagePipelineConfig correct{ckpt.input_spec, PreprocBug::kNone};
+  auto test = imagenet_examples(
+      SynthImageNet::make(StandardData::kImageTestPerClass,
+                          StandardData::kImageTestSeed),
+      correct);
+
+  // Representative set with an injected outlier frame (over-exposed sensor),
+  // the §2 "outlier inflates the scale" hazard.
+  auto calib_inputs = imagenet_examples(SynthImageNet::make(4, 777), correct);
+  {
+    Tensor outlier = Tensor::f32(calib_inputs[0].input.shape());
+    outlier.fill(8.0f);  // wildly out of the [-1,1] envelope
+    calib_inputs.push_back({std::move(outlier), 0});
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  auto add = [&](const std::string& name, CalibrationOptions c,
+                 QuantizeOptions q) {
+    rows.push_back(
+        {name, bench::pct(quant_accuracy(mobile, calib_inputs, test, c, q))});
+  };
+
+  CalibrationOptions minmax;
+  CalibrationOptions ema;
+  ema.method = CalibrationOptions::Method::kMovingAverage;
+  CalibrationOptions pct;
+  pct.method = CalibrationOptions::Method::kPercentile;
+  pct.percentile = 90.0;
+  QuantizeOptions per_channel;           // default
+  QuantizeOptions per_tensor;
+  per_tensor.per_channel_weights = false;
+  QuantizeOptions symmetric;
+  symmetric.symmetric_activations = true;
+
+  add("min-max calibration (outlier-inflated scales)", minmax, per_channel);
+  add("moving-average calibration", ema, per_channel);
+  add("percentile-90 calibration (outlier clipped)", pct, per_channel);
+  add("per-tensor weight scales (percentile)", pct, per_tensor);
+  add("symmetric activations (percentile)", pct, symmetric);
+
+  bench::print_table({"configuration", "int8 accuracy"}, rows);
+  std::printf(
+      "\nexpected shape: outlier-inflated min-max loses resolution; percentile\n"
+      "recovers it; per-tensor weights lose accuracy after BN folding;\n"
+      "symmetric activations waste range on skewed (post-relu) tensors (§2).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mlexray
+
+int main() { return mlexray::run(); }

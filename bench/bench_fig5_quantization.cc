@@ -1,0 +1,64 @@
+// Figure 5: Top-1 accuracy across deployment variants —
+//   Reference        (training checkpoint, reference kernels)
+//   Mobile           (converted 32-bit float, optimized kernels)
+//   Mobile Quant     (int8, as-shipped optimized resolver)
+//   Mobile Quant Ref (int8, as-shipped reference resolver)
+//
+// Paper shape: conversion costs ~1-2%; the as-shipped optimized resolver's
+// quantized DepthwiseConv2D defect collapses MobileNets to ~0%; the
+// reference resolver is fine except MobileNetV3, whose squeeze-excite
+// AveragePool2D hits the reference-kernel defect.
+#include "bench/bench_util.h"
+#include "src/convert/converter.h"
+#include "src/models/trained_models.h"
+#include "src/quant/quantizer.h"
+
+namespace mlexray {
+namespace {
+
+int run() {
+  bench::print_header("Fig 5 — accuracy vs optimization/quantization variant",
+                      "ML-EXray Fig. 5");
+  auto test = SynthImageNet::make(StandardData::kImageTestPerClass,
+                                  StandardData::kImageTestSeed);
+  auto calib_sensors = SynthImageNet::make(8, 777);
+
+  RefOpResolver ref_fixed;
+  BuiltinOpResolver opt_fixed;
+  BuiltinOpResolver opt_shipped(KernelBugConfig::as_shipped());
+  RefOpResolver ref_shipped(KernelBugConfig::as_shipped());
+
+  std::vector<std::vector<std::string>> rows;
+  for (const ZooEntry& entry : image_zoo()) {
+    Model ckpt = trained_image_checkpoint(entry.name);
+    Model mobile = convert_for_inference(ckpt);
+    ImagePipelineConfig correct{ckpt.input_spec, PreprocBug::kNone};
+    auto examples = imagenet_examples(test, correct);
+
+    Calibrator calib(&mobile);
+    for (const auto& s : calib_sensors) {
+      calib.observe({run_image_pipeline(s.image_u8, correct)});
+    }
+    Model quant = quantize_model(mobile, calib);
+
+    rows.push_back(
+        {entry.name,
+         bench::pct(evaluate_classifier(ckpt, ref_fixed, examples)),
+         bench::pct(evaluate_classifier(mobile, opt_fixed, examples)),
+         bench::pct(evaluate_classifier(quant, opt_shipped, examples)),
+         bench::pct(evaluate_classifier(quant, ref_shipped, examples))});
+  }
+  bench::print_table({"model", "Reference", "Mobile", "Mobile Quant(OpR)",
+                      "Mobile Quant Ref"},
+                     rows);
+  std::printf(
+      "\nexpected shape: Mobile ~= Reference; Mobile Quant(OpR) collapses on\n"
+      "depthwise models (dwconv kernel defect); Mobile Quant Ref fine except\n"
+      "MobileNetV3 (squeeze-excite AvgPool defect). Paper Fig. 5.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mlexray
+
+int main() { return mlexray::run(); }

@@ -1,0 +1,78 @@
+// Google-benchmark microbenchmarks of the kernel library: optimized vs
+// reference resolvers on the op types Table 4 profiles. These quantify the
+// per-op gap that the table aggregates per layer type.
+#include <benchmark/benchmark.h>
+
+#include "src/graph/builder.h"
+#include "src/interpreter/interpreter.h"
+
+namespace mlexray {
+namespace {
+
+enum class Variant { kOptFloat, kRefFloat };
+
+Model conv_model(int size, int ch, int out_ch, OpType type) {
+  Pcg32 rng(1);
+  GraphBuilder b("m", &rng);
+  int x = b.input(Shape{1, size, size, ch});
+  switch (type) {
+    case OpType::kConv2D:
+      b.conv2d(x, out_ch, 3, 3, 1, Padding::kSame, Activation::kRelu, "op");
+      break;
+    case OpType::kDepthwiseConv2D:
+      b.depthwise_conv2d(x, 3, 3, 1, Padding::kSame, Activation::kRelu, "op");
+      break;
+    case OpType::kFullyConnected:
+      b.fully_connected(x, out_ch, Activation::kNone, "op");
+      break;
+    case OpType::kPad:
+      b.pad(x, 1, 1, 1, 1, "op");
+      break;
+    default:
+      MLX_FAIL() << "unsupported micro-bench op";
+  }
+  return b.finish({1});
+}
+
+void run_variant(benchmark::State& state, OpType type, bool reference) {
+  const int size = static_cast<int>(state.range(0));
+  const int ch = static_cast<int>(state.range(1));
+  Model m = conv_model(size, ch, ch, type);
+  RefOpResolver ref;
+  BuiltinOpResolver opt;
+  const OpResolver& resolver = reference ? static_cast<const OpResolver&>(ref)
+                                         : static_cast<const OpResolver&>(opt);
+  Interpreter interp(&m, &resolver, reference ? 1 : 2);
+  Tensor input = Tensor::f32(Shape{1, size, size, ch});
+  Pcg32 rng(2);
+  float* p = input.data<float>();
+  for (std::int64_t i = 0; i < input.num_elements(); ++i) p[i] = rng.uniform(-1, 1);
+  interp.set_input(0, input);
+  for (auto _ : state) {
+    interp.invoke();
+    benchmark::DoNotOptimize(interp.output(0).raw_data());
+  }
+}
+
+void BM_Conv2D_Optimized(benchmark::State& s) { run_variant(s, OpType::kConv2D, false); }
+void BM_Conv2D_Reference(benchmark::State& s) { run_variant(s, OpType::kConv2D, true); }
+void BM_DwConv_Optimized(benchmark::State& s) { run_variant(s, OpType::kDepthwiseConv2D, false); }
+void BM_DwConv_Reference(benchmark::State& s) { run_variant(s, OpType::kDepthwiseConv2D, true); }
+void BM_Fc_Optimized(benchmark::State& s) { run_variant(s, OpType::kFullyConnected, false); }
+void BM_Fc_Reference(benchmark::State& s) { run_variant(s, OpType::kFullyConnected, true); }
+void BM_Pad_Optimized(benchmark::State& s) { run_variant(s, OpType::kPad, false); }
+void BM_Pad_Reference(benchmark::State& s) { run_variant(s, OpType::kPad, true); }
+
+BENCHMARK(BM_Conv2D_Optimized)->Args({16, 32})->Args({32, 16});
+BENCHMARK(BM_Conv2D_Reference)->Args({16, 32})->Args({32, 16});
+BENCHMARK(BM_DwConv_Optimized)->Args({16, 32});
+BENCHMARK(BM_DwConv_Reference)->Args({16, 32});
+BENCHMARK(BM_Fc_Optimized)->Args({16, 16});
+BENCHMARK(BM_Fc_Reference)->Args({16, 16});
+BENCHMARK(BM_Pad_Optimized)->Args({32, 16});
+BENCHMARK(BM_Pad_Reference)->Args({32, 16});
+
+}  // namespace
+}  // namespace mlexray
+
+BENCHMARK_MAIN();

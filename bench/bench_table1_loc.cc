@@ -1,0 +1,67 @@
+// Table 1: lines of instrumentation/assertion code per debugging target,
+// with vs without ML-EXray. Counts the marker-delimited regions in the
+// paired sources under examples/loc_study/ (see src/common/loc_counter.h)
+// and prints them next to the paper's reported numbers.
+#include <filesystem>
+
+#include "bench/bench_util.h"
+#include "src/common/error.h"
+#include "src/common/loc_counter.h"
+
+namespace mlexray {
+namespace {
+
+std::filesystem::path study_dir() {
+  // Works from the repo root and from build/bench/.
+  for (const char* candidate :
+       {"examples/loc_study", "../examples/loc_study",
+        "../../examples/loc_study"}) {
+    if (std::filesystem::exists(candidate)) return candidate;
+  }
+  MLX_FAIL() << "examples/loc_study not found (run from the repo root)";
+}
+
+int run() {
+  bench::print_header("Table 1 — LoC with vs without ML-EXray",
+                      "ML-EXray Table 1");
+  struct Target {
+    const char* label;
+    const char* stem;
+    int paper_with_total;
+    int paper_without_total;
+  };
+  const Target targets[] = {
+      {"Preprocessing", "preproc", 4, 25},
+      {"Quantization", "quant", 13, 265},
+      {"Lat. & Mem.", "latmem", 8, 22},
+      {"Per-layer Lat.", "perlayer", 8, 104},
+  };
+  std::filesystem::path dir = study_dir();
+  std::vector<std::vector<std::string>> rows;
+  for (const Target& t : targets) {
+    LocCount with = count_marked_loc_file(
+        dir / (std::string(t.stem) + "_with_mlexray.cc"));
+    LocCount without = count_marked_loc_file(
+        dir / (std::string(t.stem) + "_without_mlexray.cc"));
+    rows.push_back({t.label, std::to_string(with.instrumentation),
+                    std::to_string(with.assertion), std::to_string(with.total()),
+                    std::to_string(without.instrumentation),
+                    std::to_string(without.assertion),
+                    std::to_string(without.total()),
+                    std::to_string(t.paper_with_total) + " / " +
+                        std::to_string(t.paper_without_total)});
+  }
+  bench::print_table({"debugging target", "Inst(w/)", "Asrt(w/)", "Total(w/)",
+                      "Inst(w/o)", "Asrt(w/o)", "Total(w/o)",
+                      "paper w/ / w/o"},
+                     rows);
+  std::printf(
+      "\nexpected shape: instrumentation <5 LoC and assertions ~<10 LoC with\n"
+      "ML-EXray; an order of magnitude more without (paper Table 1).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mlexray
+
+int main() { return mlexray::run(); }

@@ -1,0 +1,65 @@
+// Table 3: offline per-layer validation overhead for int8 models —
+// latency, memory, and log storage of full per-layer logging across the
+// model zoo (ordered by layer count, as in the paper).
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "src/convert/converter.h"
+#include "src/core/pipelines.h"
+#include "src/models/trained_models.h"
+#include "src/quant/quantizer.h"
+#include "src/tensor/alloc_stats.h"
+
+namespace mlexray {
+namespace {
+
+constexpr int kFrames = 8;
+
+int run() {
+  bench::print_header(
+      "Table 3 — offline per-layer validation overhead (int8 models)",
+      "ML-EXray Table 3");
+  auto sensors = SynthImageNet::make(1, 9100);
+  sensors.resize(kFrames);
+  auto calib_sensors = SynthImageNet::make(4, 777);
+  RefOpResolver ref;
+
+  std::vector<std::vector<std::string>> rows;
+  for (const ZooEntry& entry : image_zoo()) {
+    Model ckpt = trained_image_checkpoint(entry.name);
+    Model mobile = convert_for_inference(ckpt);
+    ImagePipelineConfig correct{ckpt.input_spec, PreprocBug::kNone};
+    Calibrator calib(&mobile);
+    for (const auto& s : calib_sensors) {
+      calib.observe({run_image_pipeline(s.image_u8, correct)});
+    }
+    Model quant = quantize_model(mobile, calib);
+
+    MonitorOptions opts;
+    opts.per_layer_outputs = true;
+    ScopedPeakTracker tracker;
+    auto start = std::chrono::steady_clock::now();
+    Trace trace = run_classification_playback(quant, ref, sensors, correct,
+                                              opts, entry.name);
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    rows.push_back({entry.name, std::to_string(quant.layer_count()),
+                    std::to_string(ckpt.num_params()),
+                    format_float(seconds, 2),
+                    format_float(static_cast<double>(tracker.peak_delta_bytes()) / 1e6, 1),
+                    format_float(static_cast<double>(trace.serialized_bytes()) / 1e6, 1)});
+  }
+  bench::print_table(
+      {"model", "layer #", "param #", "lat (s)", "mem (MB)", "disk (MB)"},
+      rows);
+  std::printf(
+      "\nexpected shape: per-layer logging cost grows with layer count and\n"
+      "activation volume (paper Table 3; %d frames).\n", kFrames);
+  return 0;
+}
+
+}  // namespace
+}  // namespace mlexray
+
+int main() { return mlexray::run(); }

@@ -1,0 +1,116 @@
+// Table 4: per-layer-type latency of MobileNetV2-mini across execution
+// variants:
+//   Mobile           — converted float, optimized kernels (measured, host)
+//   Mobile Quant     — int8, optimized kernels (measured, host)
+//   Mobile Quant Ref — int8, reference kernels (measured, host)
+//   Emulator (x86)   — float, modeled with the x86-emulation profile
+//
+// Paper shape: reference kernels are orders of magnitude slower on conv /
+// depthwise / pad; the emulator is pathological on float convolutions.
+#include "bench/bench_util.h"
+#include "src/convert/converter.h"
+#include "src/interpreter/device_profile.h"
+#include "src/models/trained_models.h"
+#include "src/quant/quantizer.h"
+
+#include <map>
+
+namespace mlexray {
+namespace {
+
+constexpr int kInvokes = 5;
+
+std::map<std::string, double> measure_by_group(const Model& model,
+                                               const OpResolver& resolver,
+                                               const Tensor& input,
+                                               int num_threads) {
+  Interpreter interp(&model, &resolver, num_threads);
+  interp.set_input(0, input);
+  interp.invoke();  // warm-up
+  std::map<std::string, double> totals;
+  for (int i = 0; i < kInvokes; ++i) {
+    interp.invoke();
+    for (const Node& n : model.nodes) {
+      if (n.type == OpType::kInput) continue;
+      totals[op_latency_group(n.type)] +=
+          interp.last_stats().per_node_ms[static_cast<std::size_t>(n.id)] /
+          kInvokes;
+    }
+  }
+  return totals;
+}
+
+std::map<std::string, double> modeled_by_group(const Model& model,
+                                               const DeviceProfile& profile) {
+  std::map<std::string, double> totals;
+  for (const Node& n : model.nodes) {
+    if (n.type == OpType::kInput) continue;
+    totals[op_latency_group(n.type)] += modeled_node_latency_ms(model, n, profile);
+  }
+  return totals;
+}
+
+int run() {
+  bench::print_header("Table 4 — latency by layer type (MobileNetV2-mini)",
+                      "ML-EXray Table 4");
+  Model ckpt = trained_image_checkpoint("mobilenet_v2_mini");
+  Model mobile = convert_for_inference(ckpt);
+  ImagePipelineConfig correct{ckpt.input_spec, PreprocBug::kNone};
+  auto sensors = SynthImageNet::make(1, 9200);
+  Tensor input = run_image_pipeline(sensors[0].image_u8, correct);
+
+  Calibrator calib(&mobile);
+  for (const auto& s : SynthImageNet::make(4, 777)) {
+    calib.observe({run_image_pipeline(s.image_u8, correct)});
+  }
+  Model quant = quantize_model(mobile, calib);
+
+  BuiltinOpResolver opt;
+  RefOpResolver ref;
+  auto float_opt = measure_by_group(mobile, opt, input, 2);
+  auto quant_opt = measure_by_group(quant, opt, input, 2);
+  auto quant_ref = measure_by_group(quant, ref, input, 1);
+  auto emu = modeled_by_group(mobile, DeviceProfile::emulator_x86());
+
+  // Layer counts per group.
+  std::map<std::string, int> counts;
+  for (const Node& n : mobile.nodes) {
+    if (n.type != OpType::kInput) ++counts[op_latency_group(n.type)];
+  }
+
+  const char* order[] = {"D-Conv", "Conv", "FC",  "Mean",
+                         "Pad",    "Add",  "Softmax", "Quantize", "Other"};
+  std::vector<std::vector<std::string>> rows;
+  double t_fo = 0, t_qo = 0, t_qr = 0, t_em = 0;
+  for (const char* group : order) {
+    auto has = [&](std::map<std::string, double>& m) {
+      return m.count(group) ? m[group] : 0.0;
+    };
+    double fo = has(float_opt), qo = has(quant_opt), qr = has(quant_ref),
+           em = has(emu);
+    if (fo == 0 && qo == 0 && qr == 0 && em == 0) continue;
+    t_fo += fo;
+    t_qo += qo;
+    t_qr += qr;
+    t_em += em;
+    int count = counts.count(group) ? counts[group] : 0;
+    rows.push_back({std::string(group) + "(" + std::to_string(count) + ")",
+                    format_float(fo, 3), format_float(qo, 3),
+                    format_float(qr, 3), format_float(em, 3)});
+  }
+  rows.push_back({"Total", format_float(t_fo, 3), format_float(t_qo, 3),
+                  format_float(t_qr, 3), format_float(t_em, 3)});
+  bench::print_table({"layer type", "Mobile (ms)", "Mobile Quant (ms)",
+                      "Mobile Quant Ref (ms)", "Emulator x86 (ms, modeled)"},
+                     rows);
+  std::printf(
+      "\nexpected shape: reference kernels are orders of magnitude slower on\n"
+      "Conv/D-Conv/Pad; the x86 emulator is pathological on float convs\n"
+      "(paper Table 4; Mobile/Quant columns measured on host).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mlexray
+
+int main() { return mlexray::run(); }

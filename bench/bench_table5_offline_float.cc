@@ -1,0 +1,56 @@
+// Table 5 (appendix): offline per-layer validation overhead for the
+// original 32-bit float models — the float counterpart of Table 3.
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "src/convert/converter.h"
+#include "src/core/pipelines.h"
+#include "src/models/trained_models.h"
+#include "src/tensor/alloc_stats.h"
+
+namespace mlexray {
+namespace {
+
+constexpr int kFrames = 8;
+
+int run() {
+  bench::print_header(
+      "Table 5 — offline per-layer validation overhead (float models)",
+      "ML-EXray Table 5 (appendix)");
+  auto sensors = SynthImageNet::make(1, 9100);
+  sensors.resize(kFrames);
+  RefOpResolver ref;
+
+  std::vector<std::vector<std::string>> rows;
+  for (const ZooEntry& entry : image_zoo()) {
+    Model ckpt = trained_image_checkpoint(entry.name);
+    Model mobile = convert_for_inference(ckpt);
+    ImagePipelineConfig correct{ckpt.input_spec, PreprocBug::kNone};
+    MonitorOptions opts;
+    opts.per_layer_outputs = true;
+    ScopedPeakTracker tracker;
+    auto start = std::chrono::steady_clock::now();
+    Trace trace = run_classification_playback(mobile, ref, sensors, correct,
+                                              opts, entry.name);
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    rows.push_back({entry.name, std::to_string(mobile.layer_count()),
+                    std::to_string(ckpt.num_params()),
+                    format_float(seconds, 2),
+                    format_float(static_cast<double>(tracker.peak_delta_bytes()) / 1e6, 1),
+                    format_float(static_cast<double>(trace.serialized_bytes()) / 1e6, 1)});
+  }
+  bench::print_table(
+      {"model", "layer #", "param #", "lat (s)", "mem (MB)", "disk (MB)"},
+      rows);
+  std::printf(
+      "\nexpected shape: float per-layer logs are ~4x the int8 logs of\n"
+      "Table 3 (paper Tables 3 vs 5; %d frames).\n", kFrames);
+  return 0;
+}
+
+}  // namespace
+}  // namespace mlexray
+
+int main() { return mlexray::run(); }

@@ -1,0 +1,30 @@
+// Shared helpers for the table/figure reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/string_util.h"
+
+namespace mlexray::bench {
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n==========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==========================================================\n");
+  std::fflush(stdout);
+}
+
+inline void print_table(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows) {
+  std::printf("%s", render_table(header, rows).c_str());
+  std::fflush(stdout);
+}
+
+inline std::string pct(double fraction, int digits = 1) {
+  return format_float(fraction * 100.0, digits) + "%";
+}
+
+}  // namespace mlexray::bench

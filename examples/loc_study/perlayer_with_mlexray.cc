@@ -1,0 +1,21 @@
+// LoC study — debugging target: per-layer latency (WITH ML-EXray).
+#include "src/core/monitor.h"
+#include "src/core/validation.h"
+
+using namespace mlexray;
+
+void debug_per_layer_latency(const Trace& edge) {
+  // [mlx-inst-begin]
+  MonitorOptions opts{.per_layer_latency = true};
+  EdgeMLMonitor monitor(opts);
+  // [mlx-inst-end]
+
+  // [mlx-asrt-begin]
+  DeploymentValidator validator;
+  LatencyReport report = validator.per_layer_latency(edge);
+  for (const LayerLatency& l : report.layers)
+    if (l.straggler)
+      std::printf("straggler: %s %.3f ms (median %.3f)\n", l.layer.c_str(),
+                  l.mean_ms, report.median_ms);
+  // [mlx-asrt-end]
+}

@@ -1,0 +1,24 @@
+// LoC study — debugging target: preprocessing (WITH ML-EXray).
+// Instrumentation and assertion regions are delimited with markers counted
+// by bench_table1_loc (blank lines and comments excluded).
+#include "src/core/assertions.h"
+#include "src/core/pipelines.h"
+#include "src/models/trained_models.h"
+
+using namespace mlexray;
+
+void debug_preprocessing(const Model& model, EdgeMLMonitor& monitor,
+                         const Tensor& sensor, const Tensor& model_input,
+                         const Trace& edge, const Trace& reference) {
+  // [mlx-inst-begin]
+  monitor.log_tensor(trace_keys::kSensorRaw, sensor);
+  // [mlx-inst-end]
+
+  // [mlx-asrt-begin]
+  DeploymentValidator validator;
+  register_builtin_image_assertions(validator, model.input_spec);
+  for (const AssertionResult& r : validator.run_assertions(edge, reference))
+    if (r.triggered) std::printf("BUG: %s\n", r.message.c_str());
+  // [mlx-asrt-end]
+  (void)model_input;
+}

@@ -1,0 +1,52 @@
+// LoC study — debugging target: preprocessing (WITHOUT ML-EXray).
+// What an app team writes by hand: dump tensors to files, reload them,
+// and compare against a self-built reference, bug by bug.
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "src/preprocess/image.h"
+
+using namespace mlexray;
+
+void debug_preprocessing_manually(const Tensor& sensor, const Tensor& edge_out,
+                                  const Tensor& ref_out, const InputSpec& spec) {
+  // [mlx-inst-begin]
+  std::ofstream raw_log("raw_dump.bin", std::ios::binary);
+  raw_log.write(static_cast<const char*>(sensor.raw_data()),
+                static_cast<std::streamsize>(sensor.byte_size()));
+  std::ofstream pre_log("preproc_dump.bin", std::ios::binary);
+  pre_log.write(static_cast<const char*>(edge_out.raw_data()),
+                static_cast<std::streamsize>(edge_out.byte_size()));
+  std::ofstream shape_log("preproc_shape.txt");
+  shape_log << edge_out.shape().to_string() << "\n";
+  std::ofstream ref_log("ref_dump.bin", std::ios::binary);
+  ref_log.write(static_cast<const char*>(ref_out.raw_data()),
+                static_cast<std::streamsize>(ref_out.byte_size()));
+  std::ifstream back("preproc_dump.bin", std::ios::binary);
+  std::vector<float> edge_vals(static_cast<std::size_t>(edge_out.num_elements()));
+  back.read(reinterpret_cast<char*>(edge_vals.data()),
+            static_cast<std::streamsize>(edge_out.byte_size()));
+  std::ifstream ref_back("ref_dump.bin", std::ios::binary);
+  std::vector<float> ref_vals(static_cast<std::size_t>(ref_out.num_elements()));
+  ref_back.read(reinterpret_cast<char*>(ref_vals.data()),
+                static_cast<std::streamsize>(ref_out.byte_size()));
+  if (edge_vals.size() != ref_vals.size()) {
+    std::printf("size mismatch!\n");
+    return;
+  }
+  // [mlx-inst-end]
+
+  // [mlx-asrt-begin]
+  bool direct = true;
+  for (std::size_t i = 0; i < edge_vals.size(); ++i)
+    direct &= std::abs(edge_vals[i] - ref_vals[i]) < 1e-3f;
+  bool swapped = true;
+  for (std::size_t i = 0; i < edge_vals.size() / 3; ++i) {
+    swapped &= std::abs(edge_vals[i * 3] - ref_vals[i * 3 + 2]) < 1e-3f;
+    swapped &= std::abs(edge_vals[i * 3 + 2] - ref_vals[i * 3]) < 1e-3f;
+  }
+  if (!direct && swapped) std::printf("BUG: channels swapped\n");
+  (void)spec;
+  // [mlx-asrt-end]
+}

@@ -1,0 +1,136 @@
+// mlexray_cli — record EXray traces from a simulated edge app and validate
+// edge traces against reference traces offline (the paper's workstation-side
+// workflow: logs ship from the device, validation runs in the cloud).
+//
+//   mlexray_cli record <model> <bug> <frames> <out.mlxtrace>
+//       model: one of the image zoo (e.g. mobilenet_v2_mini)
+//       bug:   none|resize|channel|normalization|rotation
+//   mlexray_cli reference <model> <frames> <out.mlxtrace>
+//   mlexray_cli validate <edge.mlxtrace> <reference.mlxtrace> <model>
+//   mlexray_cli inspect <trace.mlxtrace>
+#include <cstdio>
+#include <cstring>
+
+#include "src/core/assertions.h"
+#include "src/core/pipelines.h"
+#include "src/models/trained_models.h"
+
+namespace mlexray {
+namespace {
+
+PreprocBug parse_bug(const std::string& name) {
+  if (name == "none") return PreprocBug::kNone;
+  if (name == "resize") return PreprocBug::kWrongResize;
+  if (name == "channel") return PreprocBug::kWrongChannelOrder;
+  if (name == "normalization") return PreprocBug::kWrongNormalization;
+  if (name == "rotation") return PreprocBug::kRotated90;
+  MLX_FAIL() << "unknown bug '" << name
+             << "' (none|resize|channel|normalization|rotation)";
+}
+
+std::vector<SensorExample> frames_for(int count) {
+  auto sensors = SynthImageNet::make((count + SynthImageNet::kClasses - 1) /
+                                         SynthImageNet::kClasses,
+                                     /*seed=*/5150);
+  sensors.resize(static_cast<std::size_t>(count));
+  return sensors;
+}
+
+int cmd_record(const std::string& model_name, const std::string& bug,
+               int frames, const std::string& out, bool reference) {
+  Model model = trained_image_checkpoint(model_name);
+  RefOpResolver resolver;
+  MonitorOptions opts;
+  opts.per_layer_outputs = true;
+  auto sensors = frames_for(frames);
+  Trace trace =
+      reference
+          ? run_reference_classification(model, sensors, opts)
+          : run_classification_playback(
+                model, resolver, sensors,
+                {model.input_spec, parse_bug(bug)}, opts, model_name + "-edge");
+  save_trace(trace, out);
+  std::printf("wrote %s (%zu frames, %.1f KB)\n", out.c_str(),
+              trace.frames.size(),
+              static_cast<double>(trace.serialized_bytes()) / 1e3);
+  return 0;
+}
+
+int cmd_validate(const std::string& edge_path, const std::string& ref_path,
+                 const std::string& model_name) {
+  Trace edge = load_trace(edge_path);
+  Trace reference = load_trace(ref_path);
+  Model model = trained_image_checkpoint(model_name);
+
+  auto sensors = frames_for(static_cast<int>(edge.frames.size()));
+  std::vector<int> labels;
+  for (const auto& s : sensors) labels.push_back(s.label);
+
+  DeploymentValidator validator;
+  register_builtin_image_assertions(validator, model.input_spec);
+  AccuracyReport acc = validator.validate_accuracy(edge, reference, labels);
+  PerLayerReport drift = validator.per_layer_drift(edge, reference);
+  auto assertions = validator.run_assertions(edge, reference);
+  std::printf("%s", validator.report(acc, drift, assertions).c_str());
+  return 0;
+}
+
+int cmd_inspect(const std::string& path) {
+  Trace trace = load_trace(path);
+  std::printf("pipeline: %s\nframes:   %zu\n", trace.pipeline_name.c_str(),
+              trace.frames.size());
+  if (trace.frames.empty()) return 0;
+  const FrameTrace& f = trace.frames[0];
+  std::printf("tensor keys (frame 0):\n");
+  for (const auto& [key, tensor] : f.tensors) {
+    std::printf("  %-20s %s %s\n", key.c_str(),
+                dtype_name(tensor.dtype()).c_str(),
+                tensor.shape().to_string().c_str());
+  }
+  std::printf("scalar keys (frame 0):\n");
+  for (const auto& [key, value] : f.scalars) {
+    std::printf("  %-28s %.4f\n", key.c_str(), value);
+  }
+  std::printf("per-layer entries: %zu\n", f.layer_names.size());
+  return 0;
+}
+
+int usage() {
+  std::printf(
+      "usage:\n"
+      "  mlexray_cli record <model> <bug> <frames> <out.mlxtrace>\n"
+      "  mlexray_cli reference <model> <frames> <out.mlxtrace>\n"
+      "  mlexray_cli validate <edge.mlxtrace> <ref.mlxtrace> <model>\n"
+      "  mlexray_cli inspect <trace.mlxtrace>\n");
+  return 1;
+}
+
+int dispatch(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "record" && argc == 6) {
+    return cmd_record(argv[2], argv[3], std::atoi(argv[4]), argv[5], false);
+  }
+  if (cmd == "reference" && argc == 5) {
+    return cmd_record(argv[2], "none", std::atoi(argv[3]), argv[4], true);
+  }
+  if (cmd == "validate" && argc == 5) {
+    return cmd_validate(argv[2], argv[3], argv[4]);
+  }
+  if (cmd == "inspect" && argc == 3) {
+    return cmd_inspect(argv[2]);
+  }
+  return usage();
+}
+
+}  // namespace
+}  // namespace mlexray
+
+int main(int argc, char** argv) {
+  try {
+    return mlexray::dispatch(argc, argv);
+  } catch (const mlexray::MlxError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,55 @@
+// Quantization debugging with per-layer validation (paper §4.4): deploy a
+// fully quantized MobileNetV2-mini with the as-shipped optimized resolver,
+// watch accuracy collapse, and use per-layer normalized rMSE to pinpoint the
+// defective DepthwiseConv2D kernel.
+#include <cstdio>
+
+#include "src/convert/converter.h"
+#include "src/core/assertions.h"
+#include "src/core/pipelines.h"
+#include "src/models/trained_models.h"
+#include "src/quant/quantizer.h"
+
+using namespace mlexray;
+
+int main() {
+  Model ckpt = trained_image_checkpoint("mobilenet_v2_mini");
+  Model mobile = convert_for_inference(ckpt);
+  ImagePipelineConfig correct{ckpt.input_spec, PreprocBug::kNone};
+
+  // Post-training full-integer quantization with a representative set.
+  Calibrator calibrator(&mobile);
+  for (const auto& s : SynthImageNet::make(8, 777)) {
+    calibrator.observe({run_image_pipeline(s.image_u8, correct)});
+  }
+  Model quant = quantize_model(mobile, calibrator);
+
+  // The production deployment uses the optimized resolver — as shipped,
+  // with the kernel defect the paper uncovered.
+  BuiltinOpResolver production(KernelBugConfig::as_shipped());
+  RefOpResolver reference_kernels;
+
+  auto sensors = SynthImageNet::make(2, 987);
+  MonitorOptions options;
+  options.per_layer_outputs = true;  // offline validation mode
+  Trace edge = run_classification_playback(quant, production, sensors,
+                                           correct, options, "quant-edge");
+  Trace baseline = run_classification_playback(
+      mobile, reference_kernels, sensors, correct, options, "float-baseline");
+
+  DeploymentValidator validator;
+  validator.add_assertion("quantization_drift",
+                          make_quantization_drift_assertion());
+  PerLayerReport drift = validator.per_layer_drift(edge, baseline);
+
+  std::printf("per-layer normalized rMSE (quant-edge vs float baseline):\n");
+  for (const LayerDrift& d : drift.drifts) {
+    std::printf("  %-28s %.4f %s\n", d.layer.c_str(), d.error,
+                d.suspect ? "<-- SUSPECT" : "");
+  }
+  for (const AssertionResult& r : validator.run_assertions(edge, baseline)) {
+    if (r.triggered) std::printf("\nassertion [%s]: %s\n", r.name.c_str(),
+                                 r.message.c_str());
+  }
+  return 0;
+}

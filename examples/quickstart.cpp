@@ -1,0 +1,47 @@
+// Quickstart: instrument an inference pipeline with ML-EXray in a handful
+// of lines, replay the same data through a reference pipeline, and run the
+// deployment validation flow (paper Fig. 1/2).
+//
+//   ./quickstart            # run from the repo root
+#include <cstdio>
+
+#include "src/core/assertions.h"
+#include "src/core/pipelines.h"
+#include "src/core/validation.h"
+#include "src/models/trained_models.h"
+
+using namespace mlexray;
+
+int main() {
+  // 1. A deployed model (trained checkpoint; cached under mlexray_cache/).
+  Model model = trained_image_checkpoint("mobilenet_v1_mini");
+  RefOpResolver resolver;
+
+  // 2. The "edge app": this deployment accidentally ships BGR input —
+  //    exactly the silent bug the paper's industry partners hit.
+  ImagePipelineConfig buggy_preprocess{model.input_spec,
+                                       PreprocBug::kWrongChannelOrder};
+
+  // 3. Instrument the app (the <5 LoC of Table 1) and run some frames.
+  auto sensors = SynthImageNet::make(2, 321);
+  MonitorOptions options;
+  Trace edge_log = run_classification_playback(
+      model, resolver, sensors, buggy_preprocess, options, "edge-app");
+
+  // 4. Replay the SAME frames through the reference pipeline.
+  Trace reference_log = run_reference_classification(model, sensors, options);
+
+  // 5. Validate: accuracy check + built-in root-cause assertions.
+  std::vector<int> labels;
+  for (const auto& s : sensors) labels.push_back(s.label);
+  DeploymentValidator validator;
+  register_builtin_image_assertions(validator, model.input_spec);
+  AccuracyReport accuracy =
+      validator.validate_accuracy(edge_log, reference_log, labels);
+  PerLayerReport drift = validator.per_layer_drift(edge_log, reference_log);
+  auto assertions = validator.run_assertions(edge_log, reference_log);
+
+  std::printf("%s\n",
+              validator.report(accuracy, drift, assertions).c_str());
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Speech-commands deployment debugging (paper Fig. 4c): the app computes a
+// linear-magnitude spectrogram while the model was trained on log-compressed
+// features. A custom user-defined assertion on the logged preprocessing
+// output catches it — the paper's §3.2 "insert domain knowledge" flow.
+#include <cmath>
+#include <cstdio>
+
+#include "src/core/pipelines.h"
+#include "src/core/validation.h"
+#include "src/models/trained_models.h"
+#include "src/tensor/tensor_stats.h"
+
+using namespace mlexray;
+
+int main() {
+  Model model = trained_kws_checkpoint("kws_tiny_conv");
+  RefOpResolver resolver;
+  auto waves = SynthSpeech::make(2, 246);
+  std::vector<int> labels;
+  for (const auto& w : waves) labels.push_back(w.label);
+
+  AudioPipelineConfig correct;                       // log-compressed (training)
+  AudioPipelineConfig shipped;
+  shipped.bug = AudioBug::kWrongScale;               // linear (the app's bug)
+
+  MonitorOptions options;
+  Trace edge = run_speech_playback(model, resolver, waves, shipped, options,
+                                   "kws-edge");
+  Trace reference = run_speech_playback(model, resolver, waves, correct,
+                                        options, "kws-reference");
+
+  DeploymentValidator validator;
+  // Custom assertion (the paper's user-defined hook): spectrogram dynamic
+  // range explodes when the log compression is missing.
+  validator.add_assertion(
+      "spectrogram_scale",
+      [](const Trace& e, const Trace& r) -> AssertionResult {
+        AssertionResult result;
+        if (e.frames.empty() || r.frames.empty()) return result;
+        TensorSummary es = summarize(e.frames[0].tensor(trace_keys::kPreprocessOut));
+        TensorSummary rs = summarize(r.frames[0].tensor(trace_keys::kPreprocessOut));
+        double ratio = (es.max - es.min) / std::max(1e-9f, rs.max - rs.min);
+        if (ratio > 3.0 || ratio < 1.0 / 3.0) {
+          result.triggered = true;
+          result.message =
+              "spectrogram dynamic range off by " + std::to_string(ratio) +
+              "x — log/linear scale mismatch";
+        }
+        return result;
+      });
+
+  AccuracyReport acc = validator.validate_accuracy(edge, reference, labels);
+  std::printf("edge accuracy %.1f%% vs reference %.1f%% -> %s\n",
+              acc.edge_accuracy * 100, acc.reference_accuracy * 100,
+              acc.degraded ? "DEGRADED" : "ok");
+  for (const AssertionResult& r : validator.run_assertions(edge, reference)) {
+    std::printf("assertion [%s]: %s\n", r.name.c_str(),
+                r.triggered ? r.message.c_str() : "pass");
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Error handling primitives for the mlexray codebase.
+//
+// Contract violations and unrecoverable runtime failures throw MlxError via
+// the MLX_CHECK family; recoverable outcomes (e.g. assertion results in the
+// validation framework) are modelled as data, never exceptions.
+//
+// Usage:  MLX_CHECK(n > 0) << "need a positive count, got " << n;
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace mlexray {
+
+// Exception type thrown on broken invariants and invalid arguments.
+class MlxError : public std::runtime_error {
+ public:
+  explicit MlxError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace internal {
+
+// Stream-style message builder: collects context then throws from its
+// destructor at the end of the failing statement.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << ": check failed: " << condition << " ";
+  }
+  CheckFailStream(const CheckFailStream&) = delete;
+  CheckFailStream& operator=(const CheckFailStream&) = delete;
+  [[noreturn]] ~CheckFailStream() noexcept(false) {
+    throw MlxError(stream_.str());
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace mlexray
+
+// glog-style: the else branch builds a throwing stream only on failure.
+// (Parenthesized constructor calls keep the expansion safe inside other
+// function-like macros such as gtest's EXPECT_NO_THROW.)
+#define MLX_CHECK(cond) \
+  if (cond) {           \
+  } else                \
+    (::mlexray::internal::CheckFailStream(__FILE__, __LINE__, #cond))
+
+// Arguments are evaluated exactly once (they may have side effects).
+#define MLX_CHECK_BINOP(a, b, op)                                          \
+  if (const auto mlx_check_pair_ = ::std::pair((a), (b));                  \
+      mlx_check_pair_.first op mlx_check_pair_.second) {                   \
+  } else                                                                   \
+    (::mlexray::internal::CheckFailStream(__FILE__, __LINE__,              \
+                                          #a " " #op " " #b))              \
+        << "(" << mlx_check_pair_.first << " vs " << mlx_check_pair_.second \
+        << ") "
+
+#define MLX_CHECK_EQ(a, b) MLX_CHECK_BINOP(a, b, ==)
+#define MLX_CHECK_NE(a, b) MLX_CHECK_BINOP(a, b, !=)
+#define MLX_CHECK_LT(a, b) MLX_CHECK_BINOP(a, b, <)
+#define MLX_CHECK_LE(a, b) MLX_CHECK_BINOP(a, b, <=)
+#define MLX_CHECK_GT(a, b) MLX_CHECK_BINOP(a, b, >)
+#define MLX_CHECK_GE(a, b) MLX_CHECK_BINOP(a, b, >=)
+
+// Unconditional failure with a streamed message.
+#define MLX_FAIL() \
+  (::mlexray::internal::CheckFailStream(__FILE__, __LINE__, "failure"))

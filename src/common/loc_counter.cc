@@ -1,0 +1,53 @@
+#include "src/common/loc_counter.h"
+
+#include "src/common/error.h"
+#include "src/common/file_io.h"
+#include "src/common/string_util.h"
+
+namespace mlexray {
+
+bool is_code_line(const std::string& line) {
+  std::string t = trim(line);
+  if (t.empty()) return false;
+  if (starts_with(t, "//") || starts_with(t, "#")) return false;
+  return true;
+}
+
+LocCount count_marked_loc(const std::string& source_text) {
+  LocCount count;
+  enum class Region { kNone, kInst, kAsrt } region = Region::kNone;
+  for (const std::string& line : split(source_text, '\n')) {
+    std::string t = trim(line);
+    if (t.find("[mlx-inst-begin]") != std::string::npos) {
+      MLX_CHECK(region == Region::kNone) << "nested marker region";
+      region = Region::kInst;
+      continue;
+    }
+    if (t.find("[mlx-asrt-begin]") != std::string::npos) {
+      MLX_CHECK(region == Region::kNone) << "nested marker region";
+      region = Region::kAsrt;
+      continue;
+    }
+    if (t.find("[mlx-inst-end]") != std::string::npos) {
+      MLX_CHECK(region == Region::kInst) << "unbalanced inst marker";
+      region = Region::kNone;
+      continue;
+    }
+    if (t.find("[mlx-asrt-end]") != std::string::npos) {
+      MLX_CHECK(region == Region::kAsrt) << "unbalanced asrt marker";
+      region = Region::kNone;
+      continue;
+    }
+    if (region == Region::kNone || !is_code_line(line)) continue;
+    if (region == Region::kInst) ++count.instrumentation;
+    if (region == Region::kAsrt) ++count.assertion;
+  }
+  MLX_CHECK(region == Region::kNone) << "unterminated marker region";
+  return count;
+}
+
+LocCount count_marked_loc_file(const std::filesystem::path& path) {
+  return count_marked_loc(read_text_file(path));
+}
+
+}  // namespace mlexray

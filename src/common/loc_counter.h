@@ -1,0 +1,31 @@
+// Line-of-code accounting for the Table-1 reproduction.
+//
+// The paper's Table 1 compares how many lines of instrumentation ("Inst") and
+// assertion ("Asrt") code a developer writes with vs without ML-EXray. The
+// examples/loc_study/ sources carry marker comments delimiting those regions:
+//
+//   // [mlx-inst-begin] ... // [mlx-inst-end]
+//   // [mlx-asrt-begin] ... // [mlx-asrt-end]
+//
+// count_marked_loc() counts non-blank, non-comment lines inside each region.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+namespace mlexray {
+
+struct LocCount {
+  int instrumentation = 0;
+  int assertion = 0;
+  int total() const { return instrumentation + assertion; }
+};
+
+// Counts marked regions in one source file. Throws if markers are unbalanced.
+LocCount count_marked_loc(const std::string& source_text);
+LocCount count_marked_loc_file(const std::filesystem::path& path);
+
+// True for lines that count as code (non-blank, not a pure comment line).
+bool is_code_line(const std::string& line);
+
+}  // namespace mlexray

@@ -1,0 +1,68 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace mlexray {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u) {
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Pcg32::next_u32() {
+  std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint32_t Pcg32::next_below(std::uint32_t bound) {
+  MLX_CHECK_GT(bound, 0u);
+  // Lemire-style rejection keeps the distribution exactly uniform.
+  std::uint32_t threshold = (0u - bound) % bound;
+  for (;;) {
+    std::uint32_t r = next_u32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Pcg32::next_double() {
+  return static_cast<double>(next_u32()) * (1.0 / 4294967296.0);
+}
+
+float Pcg32::uniform(float lo, float hi) {
+  return lo + static_cast<float>(next_double()) * (hi - lo);
+}
+
+float Pcg32::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller on two uniforms; guard the log against u1 == 0.
+  double u1 = 0.0;
+  while (u1 <= 1e-12) u1 = next_double();
+  double u2 = next_double();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double angle = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = static_cast<float>(radius * std::sin(angle));
+  has_cached_normal_ = true;
+  return static_cast<float>(radius * std::cos(angle));
+}
+
+float Pcg32::normal(float mean, float stddev) {
+  return mean + stddev * normal();
+}
+
+Pcg32 Pcg32::split() {
+  std::uint64_t child_seed =
+      (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  std::uint64_t child_stream =
+      (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  return Pcg32(child_seed, child_stream);
+}
+
+}  // namespace mlexray

@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generation (PCG32).
+//
+// Every stochastic component in the repo (dataset synthesis, weight init,
+// training shuffles) draws from a Pcg32 seeded explicitly, so all experiments
+// are bit-reproducible across runs and machines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/error.h"
+
+namespace mlexray {
+
+// PCG-XSH-RR 64/32 generator (O'Neill 2014). Small, fast, well distributed.
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed, std::uint64_t stream = 0x14057b7ef767814fULL);
+
+  // Uniform 32-bit value.
+  std::uint32_t next_u32();
+
+  // Uniform in [0, bound), bias-free via rejection.
+  std::uint32_t next_below(std::uint32_t bound);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Uniform float in [lo, hi).
+  float uniform(float lo, float hi);
+
+  // Standard normal via Box-Muller (cached second value).
+  float normal();
+  float normal(float mean, float stddev);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = next_below(static_cast<std::uint32_t>(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  // Derive an independent child generator (for per-worker determinism).
+  Pcg32 split();
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  bool has_cached_normal_ = false;
+  float cached_normal_ = 0.0f;
+};
+
+}  // namespace mlexray

@@ -1,0 +1,91 @@
+#include "src/common/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace mlexray {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      parts.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return std::string(text.substr(begin, end - begin));
+}
+
+std::string format_float(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return std::string(buf);
+}
+
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size(), 0);
+  auto grow = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  grow(header);
+  for (const auto& row : rows) grow(row);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      std::string cell = i < row.size() ? row[i] : "";
+      out << " " << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  emit(header);
+  out << "|";
+  for (std::size_t width : widths) out << std::string(width + 2, '-') << "|";
+  out << "\n";
+  for (const auto& row : rows) emit(row);
+  return out.str();
+}
+
+}  // namespace mlexray

@@ -1,0 +1,26 @@
+// Small string helpers used across the library (formatting of reports,
+// trace keys, table rendering in the benchmark harnesses).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlexray {
+
+std::vector<std::string> split(std::string_view text, char sep);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string to_lower(std::string_view text);
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+std::string trim(std::string_view text);
+
+// Fixed-precision float formatting ("3.142" for format_float(pi, 3)).
+std::string format_float(double value, int digits);
+
+// Renders an ASCII table with a header row; used by the bench harnesses to
+// print the paper's tables.
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace mlexray

@@ -1,0 +1,87 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace mlexray {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (shutting_down_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  const std::size_t chunks = std::min(total, workers_.size());
+  if (chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  std::atomic<std::size_t> remaining(chunks);
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  const std::size_t chunk_size = (total + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    if (lo >= hi) {
+      remaining.fetch_sub(1);
+      continue;
+    }
+    enqueue([&, lo, hi] {
+      fn(lo, hi);
+      // Decrement under the lock: otherwise the waiter can observe zero and
+      // destroy done_mutex/done_cv while this worker still touches them.
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (remaining.fetch_sub(1) == 1) done_cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace mlexray

@@ -1,0 +1,47 @@
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// Used by the optimized kernel resolver to mirror the multi-threaded TFLite
+// interpreter configuration the paper benchmarks (4 threads on a Pixel 4).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mlexray {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 means hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Runs fn(begin..end) split across workers; blocks until all chunks finish.
+  // fn receives a half-open index range [chunk_begin, chunk_end).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  // Process-wide pool sized for this host; lazily constructed.
+  static ThreadPool& shared();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace mlexray

@@ -1,0 +1,23 @@
+// Checkpoint -> deployment model conversion.
+//
+// Reproduces the paper's §2 "Model Optimization" step: BatchNorm folding
+// into the preceding conv/depthwise/fc weights, fusion of ReLU/ReLU6
+// activation nodes into their producers, and dead-node elimination. The
+// result is the "Mobile" (optimized 32-bit float) model variant of Fig 5.
+#pragma once
+
+#include "src/graph/graph.h"
+
+namespace mlexray {
+
+struct ConvertOptions {
+  bool fold_batch_norm = true;
+  bool fuse_activations = true;
+};
+
+// Returns the converted inference model; the input (training) model is
+// untouched. Weights are deep-copied.
+Model convert_for_inference(const Model& checkpoint,
+                            ConvertOptions options = {});
+
+}  // namespace mlexray

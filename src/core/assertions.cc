@@ -1,0 +1,263 @@
+#include "src/core/assertions.h"
+
+#include <cmath>
+
+#include "src/tensor/tensor_stats.h"
+
+namespace mlexray {
+
+namespace {
+
+constexpr double kMatchTolerance = 1e-3;
+
+bool frames_usable(const Trace& edge, const Trace& ref, const char* key) {
+  if (edge.frames.empty() || ref.frames.empty()) return false;
+  return edge.frames[0].has_tensor(key) && ref.frames[0].has_tensor(key);
+}
+
+AssertionResult skipped(const std::string& why) {
+  AssertionResult r;
+  r.triggered = false;
+  r.message = "skipped: " + why;
+  return r;
+}
+
+// Swap R/B on an NHWC float tensor.
+Tensor swap_rb_nhwc(const Tensor& t) {
+  Tensor out = t;
+  const Shape& s = out.shape();
+  const std::int64_t ch = s.dim(s.rank() - 1);
+  if (ch < 3) return out;
+  float* p = out.data<float>();
+  const std::int64_t pixels = out.num_elements() / ch;
+  for (std::int64_t i = 0; i < pixels; ++i) {
+    std::swap(p[i * ch + 0], p[i * ch + 2]);
+  }
+  return out;
+}
+
+}  // namespace
+
+AssertionFn make_channel_arrangement_assertion() {
+  return [](const Trace& edge, const Trace& ref) -> AssertionResult {
+    if (!frames_usable(edge, ref, trace_keys::kPreprocessOut)) {
+      return skipped("preprocess.out not logged in both traces");
+    }
+    AssertionResult r;
+    // Per-frame evidence: a frame where the swapped tensor matches but the
+    // direct one does not proves a channel-order mix-up. Grayscale frames
+    // (R == B) match both ways and are uninformative.
+    int swap_evidence = 0;
+    for (std::size_t f = 0; f < std::min(edge.frames.size(), ref.frames.size());
+         ++f) {
+      const Tensor& e = edge.frames[f].tensor(trace_keys::kPreprocessOut);
+      const Tensor& g = ref.frames[f].tensor(trace_keys::kPreprocessOut);
+      if (e.num_elements() != g.num_elements()) continue;
+      if (!all_close(e, g, kMatchTolerance) &&
+          all_close(swap_rb_nhwc(e), g, kMatchTolerance)) {
+        ++swap_evidence;
+      }
+    }
+    if (swap_evidence > 0) {
+      r.triggered = true;
+      r.message = "input channels are swapped (BGR delivered where RGB "
+                  "expected, or vice versa)";
+    }
+    return r;
+  };
+}
+
+AssertionFn make_preproc_bug_assertion(const InputSpec& spec, PreprocBug bug) {
+  return [spec, bug](const Trace& edge, const Trace& ref) -> AssertionResult {
+    if (edge.frames.empty() ||
+        !edge.frames[0].has_tensor(trace_keys::kSensorRaw) ||
+        !edge.frames[0].has_tensor(trace_keys::kPreprocessOut)) {
+      return skipped("sensor.raw/preprocess.out not logged");
+    }
+    (void)ref;  // recompute-and-match needs only the edge logs + the spec
+    AssertionResult r;
+    int bug_matches = 0;
+    int correct_matches = 0;
+    const std::size_t frames = std::min<std::size_t>(edge.frames.size(), 8);
+    for (std::size_t f = 0; f < frames; ++f) {
+      const Tensor& raw = edge.frames[f].tensor(trace_keys::kSensorRaw);
+      const Tensor& logged = edge.frames[f].tensor(trace_keys::kPreprocessOut);
+      Tensor correct =
+          run_image_pipeline(raw, ImagePipelineConfig{spec, PreprocBug::kNone});
+      Tensor buggy = run_image_pipeline(raw, ImagePipelineConfig{spec, bug});
+      if (logged.num_elements() == correct.num_elements() &&
+          all_close(logged, correct, kMatchTolerance)) {
+        ++correct_matches;
+      }
+      if (logged.num_elements() == buggy.num_elements() &&
+          all_close(logged, buggy, kMatchTolerance)) {
+        ++bug_matches;
+      }
+    }
+    if (bug_matches > 0 && correct_matches == 0) {
+      r.triggered = true;
+      r.message = "edge preprocessing matches the '" + preproc_bug_name(bug) +
+                  "' bug variant, not the model's documented spec";
+    }
+    return r;
+  };
+}
+
+AssertionFn make_normalization_range_assertion() {
+  return [](const Trace& edge, const Trace& ref) -> AssertionResult {
+    if (!frames_usable(edge, ref, trace_keys::kModelInput)) {
+      return skipped("model.input not logged in both traces");
+    }
+    AssertionResult r;
+    // Compare pooled input ranges: an affine mismatch shows up as a
+    // systematic difference in (min, max) that a single scale+shift explains.
+    double e_min = 1e30, e_max = -1e30, g_min = 1e30, g_max = -1e30;
+    const std::size_t frames = std::min(edge.frames.size(), ref.frames.size());
+    for (std::size_t f = 0; f < frames; ++f) {
+      TensorSummary e = summarize(edge.frames[f].tensor(trace_keys::kModelInput));
+      TensorSummary g = summarize(ref.frames[f].tensor(trace_keys::kModelInput));
+      e_min = std::min<double>(e_min, e.min);
+      e_max = std::max<double>(e_max, e.max);
+      g_min = std::min<double>(g_min, g.min);
+      g_max = std::max<double>(g_max, g.max);
+    }
+    const double e_range = e_max - e_min;
+    const double g_range = g_max - g_min;
+    if (e_range <= 0 || g_range <= 0) return r;
+    const double scale_ratio = e_range / g_range;
+    const double offset = e_min - g_min;
+    if (std::abs(scale_ratio - 1.0) > 0.2 || std::abs(offset) > 0.2 * g_range) {
+      r.triggered = true;
+      r.message = "input normalization mismatch: edge range [" +
+                  std::to_string(e_min) + "," + std::to_string(e_max) +
+                  "] vs reference [" + std::to_string(g_min) + "," +
+                  std::to_string(g_max) + "]";
+    }
+    return r;
+  };
+}
+
+AssertionFn make_quantization_drift_assertion(double threshold) {
+  return [threshold](const Trace& edge, const Trace& ref) -> AssertionResult {
+    if (edge.frames.empty() || ref.frames.empty() ||
+        edge.frames[0].layer_outputs.empty() ||
+        ref.frames[0].layer_outputs.empty()) {
+      return skipped("per-layer outputs not logged");
+    }
+    AssertionResult r;
+    DeploymentValidator validator;
+    PerLayerReport report = validator.per_layer_drift(
+        edge, ref, ErrorMetric::kNormalizedRmse, threshold);
+    // Input-side bugs are flagged by the preprocessing assertions; this one
+    // fires only if the inputs agree but an internal layer diverges.
+    bool inputs_agree = true;
+    if (frames_usable(edge, ref, trace_keys::kModelInput)) {
+      inputs_agree = normalized_rmse(
+                         edge.frames[0].tensor(trace_keys::kModelInput),
+                         ref.frames[0].tensor(trace_keys::kModelInput)) <
+                     threshold;
+    }
+    if (inputs_agree && report.first_suspect.has_value()) {
+      r.triggered = true;
+      r.message = "model-internal drift starting at layer '" +
+                  *report.first_suspect +
+                  "' (quantization or kernel issue; inspect that op)";
+    }
+    return r;
+  };
+}
+
+AssertionFn make_constant_output_assertion(double min_stddev) {
+  return [min_stddev](const Trace& edge, const Trace& ref) -> AssertionResult {
+    (void)ref;
+    if (edge.frames.size() < 2 ||
+        !edge.frames[0].has_tensor(trace_keys::kModelOutput)) {
+      return skipped("need >=2 frames with model.output");
+    }
+    AssertionResult r;
+    // Max element-wise stddev of the output across frames.
+    const Tensor& first = edge.frames[0].tensor(trace_keys::kModelOutput);
+    const std::int64_t n = first.num_elements();
+    std::vector<double> sum(static_cast<std::size_t>(n), 0.0);
+    std::vector<double> sum_sq(static_cast<std::size_t>(n), 0.0);
+    for (const FrameTrace& f : edge.frames) {
+      Tensor t = f.tensor(trace_keys::kModelOutput).to_f32();
+      const float* p = t.data<float>();
+      for (std::int64_t i = 0; i < n; ++i) {
+        sum[static_cast<std::size_t>(i)] += p[i];
+        sum_sq[static_cast<std::size_t>(i)] += static_cast<double>(p[i]) * p[i];
+      }
+    }
+    const double count = static_cast<double>(edge.frames.size());
+    double max_std = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      double mean = sum[static_cast<std::size_t>(i)] / count;
+      double var = sum_sq[static_cast<std::size_t>(i)] / count - mean * mean;
+      max_std = std::max(max_std, std::sqrt(std::max(0.0, var)));
+    }
+    if (max_std < min_stddev) {
+      r.triggered = true;
+      r.message = "model output is constant across frames (max stddev " +
+                  std::to_string(max_std) + ") — invalid execution";
+    }
+    return r;
+  };
+}
+
+AssertionFn make_latency_budget_assertion(double budget_ms) {
+  return [budget_ms](const Trace& edge, const Trace& ref) -> AssertionResult {
+    (void)ref;
+    if (edge.frames.empty()) return skipped("empty trace");
+    AssertionResult r;
+    double total = 0.0;
+    for (const FrameTrace& f : edge.frames) {
+      total += f.scalar(trace_keys::kInferenceLatencyMs);
+    }
+    double mean = total / static_cast<double>(edge.frames.size());
+    if (mean > budget_ms) {
+      r.triggered = true;
+      r.message = "mean inference latency " + std::to_string(mean) +
+                  " ms exceeds budget " + std::to_string(budget_ms) + " ms";
+    }
+    return r;
+  };
+}
+
+AssertionFn make_memory_budget_assertion(double budget_bytes) {
+  return [budget_bytes](const Trace& edge, const Trace& ref) -> AssertionResult {
+    (void)ref;
+    if (edge.frames.empty()) return skipped("empty trace");
+    AssertionResult r;
+    double peak = 0.0;
+    for (const FrameTrace& f : edge.frames) {
+      peak = std::max(peak, f.scalar(trace_keys::kPeakMemoryBytes));
+    }
+    if (peak > budget_bytes) {
+      r.triggered = true;
+      r.message = "peak tensor memory " + std::to_string(peak) +
+                  " bytes exceeds budget " + std::to_string(budget_bytes);
+    }
+    return r;
+  };
+}
+
+void register_builtin_image_assertions(DeploymentValidator& validator,
+                                       const InputSpec& spec) {
+  validator.add_assertion("channel_arrangement",
+                          make_channel_arrangement_assertion());
+  validator.add_assertion(
+      "resize_function",
+      make_preproc_bug_assertion(spec, PreprocBug::kWrongResize));
+  validator.add_assertion(
+      "normalization_scale",
+      make_preproc_bug_assertion(spec, PreprocBug::kWrongNormalization));
+  validator.add_assertion(
+      "orientation", make_preproc_bug_assertion(spec, PreprocBug::kRotated90));
+  validator.add_assertion("normalization_range",
+                          make_normalization_range_assertion());
+  validator.add_assertion("quantization_drift",
+                          make_quantization_drift_assertion());
+  validator.add_assertion("constant_output", make_constant_output_assertion());
+}
+
+}  // namespace mlexray

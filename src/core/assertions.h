@@ -1,0 +1,43 @@
+// Built-in assertion library (paper §3.4: "built-in assertions for each of
+// these bugs, so that a simple automated validation can easily catch these
+// bugs in user application code").
+//
+// Preprocessing assertions use the recompute-and-match strategy: from the
+// logged raw sensor frame, recompute the preprocessing output under the
+// correct spec and under a candidate bug; if the edge log matches the buggy
+// recompute (and not the correct one), the bug is identified — the same
+// logic as the paper's channel_assertion example, generalized.
+#pragma once
+
+#include "src/core/validation.h"
+#include "src/preprocess/image.h"
+
+namespace mlexray {
+
+// Direct RGB<->BGR check (the paper's §3.2 example assertion).
+AssertionFn make_channel_arrangement_assertion();
+
+// Recompute-and-match assertion for any single preprocessing bug.
+AssertionFn make_preproc_bug_assertion(const InputSpec& spec, PreprocBug bug);
+
+// Detects an affine range mismatch (e.g. [0,1] vs [-1,1]) between the edge
+// and reference model inputs even when no raw frame was logged.
+AssertionFn make_normalization_range_assertion();
+
+// Flags the first layer whose output drift exceeds `threshold` while the
+// model inputs agree — i.e. a model-internal (quantization/kernel) issue.
+AssertionFn make_quantization_drift_assertion(double threshold = 0.1);
+
+// Triggers when the model output barely varies across frames
+// (the "invalid or constant output" failure mode of §4.4).
+AssertionFn make_constant_output_assertion(double min_stddev = 1e-4);
+
+// System-metric budgets (Fig 3's latency/memory checks).
+AssertionFn make_latency_budget_assertion(double budget_ms);
+AssertionFn make_memory_budget_assertion(double budget_bytes);
+
+// Registers every built-in that applies to an image-classification app.
+void register_builtin_image_assertions(DeploymentValidator& validator,
+                                       const InputSpec& spec);
+
+}  // namespace mlexray

@@ -1,0 +1,73 @@
+#include "src/core/monitor.h"
+
+#include "src/tensor/alloc_stats.h"
+
+namespace mlexray {
+
+EdgeMLMonitor::EdgeMLMonitor(MonitorOptions options) : options_(options) {
+  current_.frame_id = next_frame_id_;
+}
+
+void EdgeMLMonitor::on_inf_start() { inf_start_ = Clock::now(); }
+
+void EdgeMLMonitor::on_inf_stop(const Interpreter& interpreter) {
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - inf_start_)
+          .count();
+  current_.scalars[trace_keys::kInferenceLatencyMs] = latency_ms;
+  current_.scalars[trace_keys::kPeakMemoryBytes] =
+      static_cast<double>(AllocStats::instance().current_bytes());
+
+  if (options_.log_model_io) {
+    current_.tensors[trace_keys::kModelOutput] = interpreter.output(0).to_f32();
+  }
+  const Model& model = interpreter.model();
+  if (options_.per_layer_outputs || options_.per_layer_latency) {
+    for (const Node& n : model.nodes) {
+      if (n.type == OpType::kInput) continue;
+      if (options_.per_layer_outputs) {
+        current_.layer_names.push_back(n.name);
+        current_.layer_outputs.push_back(interpreter.node_output(n.id).to_f32());
+        if (options_.per_layer_latency) {
+          current_.layer_latency_ms.push_back(
+              interpreter.last_stats().per_node_ms[static_cast<std::size_t>(n.id)]);
+        }
+      } else if (options_.per_layer_latency) {
+        current_.layer_names.push_back(n.name);
+        current_.layer_latency_ms.push_back(
+            interpreter.last_stats().per_node_ms[static_cast<std::size_t>(n.id)]);
+      }
+    }
+  }
+}
+
+void EdgeMLMonitor::on_sensor_start() { sensor_start_ = Clock::now(); }
+
+void EdgeMLMonitor::on_sensor_stop() {
+  current_.scalars[trace_keys::kSensorLatencyMs] =
+      std::chrono::duration<double, std::milli>(Clock::now() - sensor_start_)
+          .count();
+}
+
+void EdgeMLMonitor::log_tensor(const std::string& key, const Tensor& value) {
+  current_.tensors[key] = value;
+}
+
+void EdgeMLMonitor::log_scalar(const std::string& key, double value) {
+  current_.scalars[key] = value;
+}
+
+void EdgeMLMonitor::next_frame() {
+  trace_.frames.push_back(std::move(current_));
+  current_ = FrameTrace{};
+  current_.frame_id = ++next_frame_id_;
+}
+
+Trace EdgeMLMonitor::take_trace() {
+  Trace out = std::move(trace_);
+  trace_ = Trace{};
+  trace_.pipeline_name = out.pipeline_name;
+  return out;
+}
+
+}  // namespace mlexray

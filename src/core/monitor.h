@@ -1,0 +1,61 @@
+// EdgeMLMonitor: the instrumentation API (paper §3.2, Fig 7).
+//
+// Usage in an app's inference loop (the paper's <5-LoC instrumentation):
+//
+//   EdgeMLMonitor monitor(options);
+//   ...
+//   monitor.log_tensor(trace_keys::kSensorRaw, raw);   // custom logs
+//   monitor.on_inf_start();
+//   interpreter.invoke();
+//   monitor.on_inf_stop(interpreter);                  // default logs
+//   monitor.next_frame();
+//
+// on_inf_stop captures the default telemetry: model output, end-to-end
+// inference latency, per-layer outputs/latencies (if enabled) and the
+// runtime memory footprint. on_sensor_start/stop bracket sensor capture.
+#pragma once
+
+#include <chrono>
+
+#include "src/core/trace.h"
+#include "src/interpreter/interpreter.h"
+
+namespace mlexray {
+
+struct MonitorOptions {
+  bool per_layer_outputs = false;  // offline validation mode (Tables 3/5)
+  bool per_layer_latency = true;
+  bool log_model_io = true;
+};
+
+class EdgeMLMonitor {
+ public:
+  explicit EdgeMLMonitor(MonitorOptions options = {});
+
+  void on_inf_start();
+  void on_inf_stop(const Interpreter& interpreter);
+  void on_sensor_start();
+  void on_sensor_stop();
+
+  // Custom logs around user functions (preprocessing, postprocessing, ...).
+  void log_tensor(const std::string& key, const Tensor& value);
+  void log_scalar(const std::string& key, double value);
+
+  // Finalizes the current frame and starts the next one.
+  void next_frame();
+
+  const Trace& trace() const { return trace_; }
+  Trace take_trace();
+  void set_pipeline_name(std::string name) { trace_.pipeline_name = std::move(name); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  MonitorOptions options_;
+  Trace trace_;
+  FrameTrace current_;
+  Clock::time_point inf_start_{};
+  Clock::time_point sensor_start_{};
+  int next_frame_id_ = 0;
+};
+
+}  // namespace mlexray

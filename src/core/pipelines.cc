@@ -1,0 +1,128 @@
+#include "src/core/pipelines.h"
+
+#include "src/train/train_loop.h"
+
+namespace mlexray {
+
+ClassificationPipeline::ClassificationPipeline(
+    ClassificationPipelineOptions options)
+    : options_(options),
+      interpreter_(options.model, options.resolver, options.num_threads) {
+  MLX_CHECK(options_.model != nullptr);
+  MLX_CHECK(options_.resolver != nullptr);
+}
+
+int ClassificationPipeline::process_frame(const Tensor& sensor_u8) {
+  EdgeMLMonitor* mon = options_.monitor;
+  if (mon != nullptr) mon->log_tensor(trace_keys::kSensorRaw, sensor_u8);
+
+  Tensor input = run_image_pipeline(sensor_u8, options_.preprocess);
+  if (mon != nullptr) {
+    mon->log_tensor(trace_keys::kPreprocessOut, input);
+    mon->log_tensor(trace_keys::kModelInput, input);
+  }
+
+  interpreter_.set_input(0, input);
+  if (mon != nullptr) mon->on_inf_start();
+  interpreter_.invoke();
+  if (mon != nullptr) mon->on_inf_stop(interpreter_);
+
+  int predicted = argmax(interpreter_.output(0));
+  if (mon != nullptr) {
+    mon->log_scalar(trace_keys::kPredictedLabel, predicted);
+    mon->next_frame();
+  }
+  return predicted;
+}
+
+SpeechPipeline::SpeechPipeline(SpeechPipelineOptions options)
+    : options_(options),
+      interpreter_(options.model, options.resolver, options.num_threads) {
+  MLX_CHECK(options_.model != nullptr);
+  MLX_CHECK(options_.resolver != nullptr);
+}
+
+int SpeechPipeline::process_frame(const std::vector<float>& waveform) {
+  EdgeMLMonitor* mon = options_.monitor;
+  Tensor input = run_audio_pipeline(waveform, options_.preprocess);
+  if (mon != nullptr) {
+    mon->log_tensor(trace_keys::kPreprocessOut, input);
+    mon->log_tensor(trace_keys::kModelInput, input);
+  }
+  interpreter_.set_input(0, input);
+  if (mon != nullptr) mon->on_inf_start();
+  interpreter_.invoke();
+  if (mon != nullptr) mon->on_inf_stop(interpreter_);
+  int predicted = argmax(interpreter_.output(0));
+  if (mon != nullptr) {
+    mon->log_scalar(trace_keys::kPredictedLabel, predicted);
+    mon->next_frame();
+  }
+  return predicted;
+}
+
+Trace run_classification_playback(const Model& model,
+                                  const OpResolver& resolver,
+                                  const std::vector<SensorExample>& sensors,
+                                  const ImagePipelineConfig& preprocess,
+                                  const MonitorOptions& monitor_options,
+                                  const std::string& pipeline_name,
+                                  int num_threads) {
+  EdgeMLMonitor monitor(monitor_options);
+  monitor.set_pipeline_name(pipeline_name);
+  ClassificationPipelineOptions opts;
+  opts.model = &model;
+  opts.resolver = &resolver;
+  opts.preprocess = preprocess;
+  opts.num_threads = num_threads;
+  opts.monitor = &monitor;
+  ClassificationPipeline pipeline(opts);
+  for (const SensorExample& s : sensors) {
+    pipeline.process_frame(s.image_u8);
+  }
+  return monitor.take_trace();
+}
+
+Trace run_reference_classification(const Model& reference_model,
+                                   const std::vector<SensorExample>& sensors,
+                                   const MonitorOptions& monitor_options) {
+  static const RefOpResolver kRefResolver{};  // correct reference kernels
+  ImagePipelineConfig correct{reference_model.input_spec, PreprocBug::kNone};
+  return run_classification_playback(reference_model, kRefResolver, sensors,
+                                     correct, monitor_options,
+                                     reference_model.name + "(reference)");
+}
+
+Trace run_speech_playback(const Model& model, const OpResolver& resolver,
+                          const std::vector<SpeechExample>& waves,
+                          const AudioPipelineConfig& preprocess,
+                          const MonitorOptions& monitor_options,
+                          const std::string& pipeline_name) {
+  EdgeMLMonitor monitor(monitor_options);
+  monitor.set_pipeline_name(pipeline_name);
+  SpeechPipelineOptions opts;
+  opts.model = &model;
+  opts.resolver = &resolver;
+  opts.preprocess = preprocess;
+  opts.monitor = &monitor;
+  SpeechPipeline pipeline(opts);
+  for (const SpeechExample& w : waves) {
+    pipeline.process_frame(w.wave);
+  }
+  return monitor.take_trace();
+}
+
+double trace_accuracy(const Trace& trace, const std::vector<int>& labels) {
+  MLX_CHECK_EQ(trace.frames.size(), labels.size());
+  if (trace.frames.empty()) return 0.0;
+  int correct = 0;
+  for (std::size_t i = 0; i < trace.frames.size(); ++i) {
+    if (static_cast<int>(trace.frames[i].scalar(trace_keys::kPredictedLabel)) ==
+        labels[i]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace mlexray

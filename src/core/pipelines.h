@@ -1,0 +1,84 @@
+// Instrumented inference pipelines + data playback (paper §3.3).
+//
+// The same pipeline class plays both roles in the Fig-1 workflow:
+//  - the "edge app": deployed model variant + possibly buggy preprocessing;
+//  - the "reference pipeline": checkpoint model + the preprocessing the
+//    training pipeline actually used (from the model's InputSpec).
+// run_*_playback feeds identical sensor data through a pipeline and returns
+// the EXray trace for offline validation.
+#pragma once
+
+#include "src/core/monitor.h"
+#include "src/datasets/synth_image.h"
+#include "src/datasets/synth_speech.h"
+#include "src/preprocess/audio.h"
+#include "src/preprocess/image.h"
+
+namespace mlexray {
+
+struct ClassificationPipelineOptions {
+  const Model* model = nullptr;
+  const OpResolver* resolver = nullptr;
+  ImagePipelineConfig preprocess;
+  int num_threads = 1;
+  EdgeMLMonitor* monitor = nullptr;  // optional
+};
+
+class ClassificationPipeline {
+ public:
+  explicit ClassificationPipeline(ClassificationPipelineOptions options);
+
+  // Sensor frame (u8 HWC RGB) -> predicted label, with instrumentation.
+  int process_frame(const Tensor& sensor_u8);
+
+  const Interpreter& interpreter() const { return interpreter_; }
+
+ private:
+  ClassificationPipelineOptions options_;
+  Interpreter interpreter_;
+};
+
+struct SpeechPipelineOptions {
+  const Model* model = nullptr;
+  const OpResolver* resolver = nullptr;
+  AudioPipelineConfig preprocess;
+  int num_threads = 1;
+  EdgeMLMonitor* monitor = nullptr;
+};
+
+class SpeechPipeline {
+ public:
+  explicit SpeechPipeline(SpeechPipelineOptions options);
+  int process_frame(const std::vector<float>& waveform);
+  const Interpreter& interpreter() const { return interpreter_; }
+
+ private:
+  SpeechPipelineOptions options_;
+  Interpreter interpreter_;
+};
+
+// Plays a dataset through an instrumented pipeline; returns the trace.
+Trace run_classification_playback(const Model& model,
+                                  const OpResolver& resolver,
+                                  const std::vector<SensorExample>& sensors,
+                                  const ImagePipelineConfig& preprocess,
+                                  const MonitorOptions& monitor_options,
+                                  const std::string& pipeline_name,
+                                  int num_threads = 1);
+
+// Reference playback: correct preprocessing straight from the model's
+// InputSpec, reference kernels.
+Trace run_reference_classification(const Model& reference_model,
+                                   const std::vector<SensorExample>& sensors,
+                                   const MonitorOptions& monitor_options);
+
+Trace run_speech_playback(const Model& model, const OpResolver& resolver,
+                          const std::vector<SpeechExample>& waves,
+                          const AudioPipelineConfig& preprocess,
+                          const MonitorOptions& monitor_options,
+                          const std::string& pipeline_name);
+
+// Accuracy of a playback trace against dataset labels.
+double trace_accuracy(const Trace& trace, const std::vector<int>& labels);
+
+}  // namespace mlexray

@@ -1,0 +1,60 @@
+// EXray trace: the log data model (paper §3.2).
+//
+// Per frame, a trace holds key->tensor entries (model input/output, custom
+// function outputs, peripheral sensors), key->scalar metrics (latencies,
+// memory), and — when per-layer logging is enabled — every layer's named
+// output and latency. Traces serialize to .mlxtrace files so edge logs can
+// be shipped to a workstation for offline validation.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace mlexray {
+
+// Canonical keys used by the built-in pipelines and assertions.
+namespace trace_keys {
+inline constexpr const char* kSensorRaw = "sensor.raw";
+inline constexpr const char* kPreprocessOut = "preprocess.out";
+inline constexpr const char* kModelInput = "model.input";
+inline constexpr const char* kModelOutput = "model.output";
+inline constexpr const char* kInferenceLatencyMs = "latency.inference_ms";
+inline constexpr const char* kEndToEndLatencyMs = "latency.e2e_ms";
+inline constexpr const char* kSensorLatencyMs = "latency.sensor_ms";
+inline constexpr const char* kPeakMemoryBytes = "memory.peak_bytes";
+inline constexpr const char* kPredictedLabel = "output.predicted_label";
+}  // namespace trace_keys
+
+struct FrameTrace {
+  int frame_id = 0;
+  std::map<std::string, Tensor> tensors;
+  std::map<std::string, double> scalars;
+  // Per-layer details (execution order), present when per-layer logging is on.
+  std::vector<std::string> layer_names;
+  std::vector<Tensor> layer_outputs;
+  std::vector<double> layer_latency_ms;
+
+  bool has_tensor(const std::string& key) const {
+    return tensors.count(key) > 0;
+  }
+  const Tensor& tensor(const std::string& key) const;
+  double scalar(const std::string& key) const;
+};
+
+struct Trace {
+  std::string pipeline_name;
+  std::vector<FrameTrace> frames;
+
+  std::size_t serialized_bytes() const;
+};
+
+std::vector<std::uint8_t> serialize_trace(const Trace& trace);
+Trace deserialize_trace(const std::vector<std::uint8_t>& bytes);
+void save_trace(const Trace& trace, const std::filesystem::path& path);
+Trace load_trace(const std::filesystem::path& path);
+
+}  // namespace mlexray

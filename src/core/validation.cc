@@ -1,0 +1,147 @@
+#include "src/core/validation.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/common/string_util.h"
+#include "src/core/pipelines.h"
+#include "src/tensor/tensor_stats.h"
+
+namespace mlexray {
+
+AccuracyReport DeploymentValidator::validate_accuracy(
+    const Trace& edge, const Trace& reference, const std::vector<int>& labels,
+    double tolerance) const {
+  AccuracyReport r;
+  r.edge_accuracy = trace_accuracy(edge, labels);
+  r.reference_accuracy = trace_accuracy(reference, labels);
+  r.drop = r.reference_accuracy - r.edge_accuracy;
+  r.degraded = r.drop > tolerance;
+  return r;
+}
+
+PerLayerReport DeploymentValidator::per_layer_drift(const Trace& edge,
+                                                    const Trace& reference,
+                                                    ErrorMetric metric,
+                                                    double threshold) const {
+  MLX_CHECK_EQ(edge.frames.size(), reference.frames.size())
+      << "traces must replay the same frames";
+  PerLayerReport report;
+  report.threshold = threshold;
+  if (edge.frames.empty()) return report;
+  // Traces recorded without per-layer outputs (latency-only monitoring)
+  // yield an empty drift report rather than an error.
+  if (edge.frames[0].layer_outputs.empty() ||
+      reference.frames[0].layer_outputs.empty()) {
+    return report;
+  }
+
+  // Reference layer lookup by name (same for all frames).
+  std::map<std::string, std::size_t> ref_index;
+  const FrameTrace& ref0 = reference.frames[0];
+  for (std::size_t i = 0; i < ref0.layer_names.size(); ++i) {
+    ref_index[ref0.layer_names[i]] = i;
+  }
+
+  const FrameTrace& edge0 = edge.frames[0];
+  for (std::size_t li = 0; li < edge0.layer_names.size(); ++li) {
+    const std::string& name = edge0.layer_names[li];
+    auto it = ref_index.find(name);
+    if (it == ref_index.end()) continue;  // e.g. Quantize/Dequantize nodes
+    double sum = 0.0;
+    for (std::size_t f = 0; f < edge.frames.size(); ++f) {
+      const Tensor& e = edge.frames[f].layer_outputs.at(li);
+      const Tensor& r = reference.frames[f].layer_outputs.at(it->second);
+      double err = 0.0;
+      switch (metric) {
+        case ErrorMetric::kNormalizedRmse: err = normalized_rmse(e, r); break;
+        case ErrorMetric::kLinf: err = linf_error(e, r); break;
+        case ErrorMetric::kCosine: err = cosine_distance(e, r); break;
+      }
+      sum += err;
+    }
+    LayerDrift drift;
+    drift.layer = name;
+    drift.error = sum / static_cast<double>(edge.frames.size());
+    drift.suspect = drift.error > threshold;
+    if (drift.suspect && !report.first_suspect.has_value()) {
+      report.first_suspect = name;
+    }
+    report.drifts.push_back(std::move(drift));
+  }
+  return report;
+}
+
+LatencyReport DeploymentValidator::per_layer_latency(
+    const Trace& trace, double straggler_factor) const {
+  LatencyReport report;
+  if (trace.frames.empty()) return report;
+  const FrameTrace& f0 = trace.frames[0];
+  MLX_CHECK_EQ(f0.layer_names.size(), f0.layer_latency_ms.size())
+      << "trace lacks per-layer latency";
+  std::vector<double> means(f0.layer_names.size(), 0.0);
+  for (const FrameTrace& f : trace.frames) {
+    for (std::size_t i = 0; i < means.size(); ++i) {
+      means[i] += f.layer_latency_ms.at(i);
+    }
+  }
+  std::vector<double> sorted;
+  for (std::size_t i = 0; i < means.size(); ++i) {
+    means[i] /= static_cast<double>(trace.frames.size());
+    report.total_ms += means[i];
+    sorted.push_back(means[i]);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  report.median_ms = sorted[sorted.size() / 2];
+  for (std::size_t i = 0; i < means.size(); ++i) {
+    LayerLatency l;
+    l.layer = f0.layer_names[i];
+    l.mean_ms = means[i];
+    l.straggler = report.median_ms > 0.0 &&
+                  means[i] > straggler_factor * report.median_ms;
+    report.layers.push_back(std::move(l));
+  }
+  return report;
+}
+
+void DeploymentValidator::add_assertion(const std::string& name,
+                                        AssertionFn fn) {
+  assertions_.emplace_back(name, std::move(fn));
+}
+
+std::vector<AssertionResult> DeploymentValidator::run_assertions(
+    const Trace& edge, const Trace& reference) const {
+  std::vector<AssertionResult> results;
+  results.reserve(assertions_.size());
+  for (const auto& [name, fn] : assertions_) {
+    AssertionResult r = fn(edge, reference);
+    r.name = name;
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+std::string DeploymentValidator::report(
+    const AccuracyReport& accuracy, const PerLayerReport& layers,
+    const std::vector<AssertionResult>& assertions) const {
+  std::ostringstream out;
+  out << "=== ML-EXray deployment validation report ===\n";
+  out << "accuracy: edge " << format_float(accuracy.edge_accuracy * 100, 1)
+      << "% vs reference "
+      << format_float(accuracy.reference_accuracy * 100, 1) << "% ("
+      << (accuracy.degraded ? "DEGRADED" : "ok") << ")\n";
+  if (layers.first_suspect.has_value()) {
+    out << "per-layer drift: first suspect layer '" << *layers.first_suspect
+        << "' (threshold " << format_float(layers.threshold, 3) << ")\n";
+  } else if (!layers.drifts.empty()) {
+    out << "per-layer drift: no layer above threshold\n";
+  }
+  for (const AssertionResult& a : assertions) {
+    out << "assertion [" << a.name << "]: "
+        << (a.triggered ? "TRIGGERED - " + a.message : "pass") << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mlexray

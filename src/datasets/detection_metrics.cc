@@ -1,0 +1,121 @@
+#include "src/datasets/detection_metrics.h"
+
+#include <algorithm>
+
+namespace mlexray {
+
+namespace {
+
+float iou_impl(float acx, float acy, float aw, float ah, float bcx, float bcy,
+               float bw, float bh) {
+  const float ax0 = acx - aw / 2, ax1 = acx + aw / 2;
+  const float ay0 = acy - ah / 2, ay1 = acy + ah / 2;
+  const float bx0 = bcx - bw / 2, bx1 = bcx + bw / 2;
+  const float by0 = bcy - bh / 2, by1 = bcy + bh / 2;
+  const float ix = std::max(0.0f, std::min(ax1, bx1) - std::max(ax0, bx0));
+  const float iy = std::max(0.0f, std::min(ay1, by1) - std::max(ay0, by0));
+  const float inter = ix * iy;
+  const float uni = aw * ah + bw * bh - inter;
+  return uni > 0.0f ? inter / uni : 0.0f;
+}
+
+}  // namespace
+
+float box_iou(const DetObject& a, const DetObject& b) {
+  return iou_impl(a.cx, a.cy, a.w, a.h, b.cx, b.cy, b.w, b.h);
+}
+
+float box_iou(const DetPrediction& a, const DetObject& b) {
+  return iou_impl(a.cx, a.cy, a.w, a.h, b.cx, b.cy, b.w, b.h);
+}
+
+std::vector<DetPrediction> non_max_suppression(
+    std::vector<DetPrediction> predictions, float iou_threshold,
+    float score_threshold) {
+  std::sort(predictions.begin(), predictions.end(),
+            [](const DetPrediction& a, const DetPrediction& b) {
+              return a.score > b.score;
+            });
+  std::vector<DetPrediction> kept;
+  for (const DetPrediction& p : predictions) {
+    if (p.score < score_threshold) continue;
+    bool suppressed = false;
+    for (const DetPrediction& k : kept) {
+      if (k.cls != p.cls) continue;
+      DetObject as_obj{k.cx, k.cy, k.w, k.h, k.cls};
+      if (box_iou(p, as_obj) > iou_threshold) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(p);
+  }
+  return kept;
+}
+
+double mean_average_precision(
+    const std::vector<std::vector<DetPrediction>>& predictions,
+    const std::vector<DetExample>& ground_truth, int num_classes,
+    float iou_threshold) {
+  MLX_CHECK_EQ(predictions.size(), ground_truth.size());
+  double ap_sum = 0.0;
+  int classes_with_gt = 0;
+  for (int cls = 0; cls < num_classes; ++cls) {
+    // Collect all predictions of this class with their image index.
+    struct Entry {
+      float score;
+      std::size_t image;
+      DetPrediction pred;
+    };
+    std::vector<Entry> entries;
+    int gt_total = 0;
+    for (std::size_t img = 0; img < predictions.size(); ++img) {
+      for (const DetPrediction& p : predictions[img]) {
+        if (p.cls == cls) entries.push_back({p.score, img, p});
+      }
+      for (const DetObject& o : ground_truth[img].objects) {
+        if (o.cls == cls) ++gt_total;
+      }
+    }
+    if (gt_total == 0) continue;
+    ++classes_with_gt;
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.score > b.score; });
+    std::vector<std::vector<bool>> matched(predictions.size());
+    for (std::size_t img = 0; img < ground_truth.size(); ++img) {
+      matched[img].assign(ground_truth[img].objects.size(), false);
+    }
+    int tp = 0;
+    int fp = 0;
+    double ap = 0.0;
+    double last_recall = 0.0;
+    for (const Entry& e : entries) {
+      // Find the best unmatched GT of this class in the image.
+      float best_iou = 0.0f;
+      int best_gt = -1;
+      const auto& objs = ground_truth[e.image].objects;
+      for (std::size_t g = 0; g < objs.size(); ++g) {
+        if (objs[g].cls != cls || matched[e.image][g]) continue;
+        float iou = box_iou(e.pred, objs[g]);
+        if (iou > best_iou) {
+          best_iou = iou;
+          best_gt = static_cast<int>(g);
+        }
+      }
+      if (best_gt >= 0 && best_iou >= iou_threshold) {
+        matched[e.image][static_cast<std::size_t>(best_gt)] = true;
+        ++tp;
+      } else {
+        ++fp;
+      }
+      double recall = static_cast<double>(tp) / gt_total;
+      double precision = static_cast<double>(tp) / (tp + fp);
+      ap += precision * (recall - last_recall);
+      last_recall = recall;
+    }
+    ap_sum += ap;
+  }
+  return classes_with_gt > 0 ? ap_sum / classes_with_gt : 0.0;
+}
+
+}  // namespace mlexray

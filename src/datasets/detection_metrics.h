@@ -1,0 +1,33 @@
+// Detection evaluation: IoU and mean average precision at IoU 0.5
+// (the COCO-style metric reported in the paper's Fig 4b).
+#pragma once
+
+#include <vector>
+
+#include "src/datasets/synth_image.h"
+
+namespace mlexray {
+
+struct DetPrediction {
+  float cx = 0.0f, cy = 0.0f, w = 0.0f, h = 0.0f;
+  int cls = 0;
+  float score = 0.0f;
+};
+
+// Intersection-over-union of two center-format boxes.
+float box_iou(const DetObject& a, const DetObject& b);
+float box_iou(const DetPrediction& a, const DetObject& b);
+
+// Average precision for one class across a dataset (continuous
+// interpolation), then the mean over classes with ground truth present.
+double mean_average_precision(
+    const std::vector<std::vector<DetPrediction>>& predictions,
+    const std::vector<DetExample>& ground_truth, int num_classes,
+    float iou_threshold = 0.5f);
+
+// Greedy non-maximum suppression per class.
+std::vector<DetPrediction> non_max_suppression(
+    std::vector<DetPrediction> predictions, float iou_threshold = 0.5f,
+    float score_threshold = 0.3f);
+
+}  // namespace mlexray

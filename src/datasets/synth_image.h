@@ -1,0 +1,71 @@
+// Synthetic stand-ins for the paper's image datasets (DESIGN.md §2.3).
+//
+// SynthImageNet (classification): 12 classes constructed so each deployment
+// bug has a realistic failure mode:
+//   - color-defined blobs (red/blue swap pair, green invariant under the
+//     swap, yellow maps to an unseen cyan): RGB<->BGR confuses a *subset*
+//     of classes, giving the paper's moderate 7-19% band;
+//   - orientation-defined pairs (horizontal/vertical stripes, rising/falling
+//     diagonals, top/left gradients): a 90-degree rotation maps pairs onto
+//     each other — the most severe bug, as in Fig 4a;
+//   - texture-frequency pair (fine/coarse checker): bilinear resampling
+//     aliases the fine texture, the mildest bug;
+//   - all classes: normalization range mismatch washes out contrast.
+//
+// SynthCOCO (detection): scenes with 1-3 colored objects of 4 classes plus
+// ground-truth boxes.
+//
+// Sensor images are u8 RGB at 96x96; models consume 32x32 via the
+// preprocessing pipeline. The 3:1 ratio makes bilinear resampling alias the
+// fine-checker texture (at 2:1 bilinear degenerates to a box filter and the
+// resize bug would be invisible).
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace mlexray {
+
+struct SensorExample {
+  Tensor image_u8;  // [64, 64, 3] RGB
+  int label = 0;
+};
+
+class SynthImageNet {
+ public:
+  static constexpr int kClasses = 12;
+  static constexpr int kSensorSize = 96;
+
+  static const char* class_name(int label);
+
+  // Deterministic render of one example.
+  static Tensor render(int label, Pcg32& rng);
+
+  // Balanced dataset: per_class examples of each class.
+  static std::vector<SensorExample> make(int per_class, std::uint64_t seed);
+};
+
+struct DetObject {
+  // Box in normalized [0,1] image coordinates.
+  float cx = 0.0f, cy = 0.0f, w = 0.0f, h = 0.0f;
+  int cls = 0;  // 0..kClasses-1 (background excluded)
+};
+
+struct DetExample {
+  Tensor image_u8;  // [64, 64, 3]
+  std::vector<DetObject> objects;
+};
+
+class SynthCoco {
+ public:
+  static constexpr int kClasses = 4;
+  static constexpr int kSensorSize = 96;
+
+  static const char* class_name(int cls);
+  static DetExample render(Pcg32& rng);
+  static std::vector<DetExample> make(int count, std::uint64_t seed);
+};
+
+}  // namespace mlexray

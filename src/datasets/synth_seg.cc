@@ -1,0 +1,105 @@
+#include "src/datasets/synth_seg.h"
+
+#include <algorithm>
+
+namespace mlexray {
+
+namespace {
+constexpr int kN = SynthSeg::kSize;
+
+void put(Tensor& img, Tensor& mask, int y, int x, int r, int g, int b,
+         int cls) {
+  if (y < 0 || y >= kN || x < 0 || x >= kN) return;
+  std::uint8_t* p = img.data<std::uint8_t>() + (static_cast<std::int64_t>(y) * kN + x) * 3;
+  p[0] = static_cast<std::uint8_t>(std::clamp(r, 0, 255));
+  p[1] = static_cast<std::uint8_t>(std::clamp(g, 0, 255));
+  p[2] = static_cast<std::uint8_t>(std::clamp(b, 0, 255));
+  mask.data<std::int32_t>()[static_cast<std::int64_t>(y) * kN + x] = cls;
+}
+}  // namespace
+
+SegExample SynthSeg::render(Pcg32& rng) {
+  SegExample ex;
+  ex.image_u8 = Tensor::u8(Shape{kN, kN, 3});
+  ex.mask = Tensor::i32(Shape{kN, kN});
+  std::uint8_t* p = ex.image_u8.data<std::uint8_t>();
+  for (std::int64_t i = 0; i < ex.image_u8.num_elements(); ++i) {
+    p[i] = static_cast<std::uint8_t>(60 + rng.next_below(24));
+  }
+  // One disc.
+  {
+    int cy = 6 + static_cast<int>(rng.next_below(20));
+    int cx = 6 + static_cast<int>(rng.next_below(20));
+    int radius = 4 + static_cast<int>(rng.next_below(4));
+    for (int y = cy - radius; y <= cy + radius; ++y) {
+      for (int x = cx - radius; x <= cx + radius; ++x) {
+        int dy = y - cy, dx = x - cx;
+        if (dy * dy + dx * dx <= radius * radius) {
+          put(ex.image_u8, ex.mask, y, x, 200, 80, 80, 1);
+        }
+      }
+    }
+  }
+  // One square.
+  {
+    int cy = 6 + static_cast<int>(rng.next_below(20));
+    int cx = 6 + static_cast<int>(rng.next_below(20));
+    int half = 3 + static_cast<int>(rng.next_below(4));
+    for (int y = cy - half; y <= cy + half; ++y) {
+      for (int x = cx - half; x <= cx + half; ++x) {
+        put(ex.image_u8, ex.mask, y, x, 80, 90, 210, 2);
+      }
+    }
+  }
+  // A horizontal stripe band.
+  {
+    int y0 = static_cast<int>(rng.next_below(kN - 4));
+    for (int y = y0; y < y0 + 3; ++y) {
+      for (int x = 0; x < kN; ++x) {
+        put(ex.image_u8, ex.mask, y, x, 90, 200, 110, 3);
+      }
+    }
+  }
+  return ex;
+}
+
+std::vector<SegExample> SynthSeg::make(int count, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<SegExample> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(render(rng));
+  return out;
+}
+
+double SynthSeg::mean_iou(const std::vector<Tensor>& predictions,
+                          const std::vector<SegExample>& examples) {
+  MLX_CHECK_EQ(predictions.size(), examples.size());
+  std::vector<std::int64_t> intersection(kClasses, 0);
+  std::vector<std::int64_t> union_count(kClasses, 0);
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const std::int32_t* pred = predictions[i].data<std::int32_t>();
+    const std::int32_t* gt = examples[i].mask.data<std::int32_t>();
+    for (std::int64_t px = 0; px < examples[i].mask.num_elements(); ++px) {
+      int p = pred[px];
+      int g = gt[px];
+      if (p == g) {
+        ++intersection[static_cast<std::size_t>(p)];
+        ++union_count[static_cast<std::size_t>(p)];
+      } else {
+        ++union_count[static_cast<std::size_t>(p)];
+        ++union_count[static_cast<std::size_t>(g)];
+      }
+    }
+  }
+  double sum = 0.0;
+  int present = 0;
+  for (int c = 0; c < kClasses; ++c) {
+    if (union_count[static_cast<std::size_t>(c)] == 0) continue;
+    sum += static_cast<double>(intersection[static_cast<std::size_t>(c)]) /
+           static_cast<double>(union_count[static_cast<std::size_t>(c)]);
+    ++present;
+  }
+  return present > 0 ? sum / present : 0.0;
+}
+
+}  // namespace mlexray

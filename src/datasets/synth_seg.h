@@ -1,0 +1,31 @@
+// Synthetic segmentation dataset (stand-in for the paper's Deeplab
+// evaluation): scenes of discs / squares / stripe bands over noise with
+// dense per-pixel labels.
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace mlexray {
+
+struct SegExample {
+  Tensor image_u8;  // [kSize, kSize, 3]
+  Tensor mask;      // [kSize, kSize] i32 class ids
+};
+
+class SynthSeg {
+ public:
+  static constexpr int kClasses = 4;  // bg, disc, square, stripe
+  static constexpr int kSize = 32;
+
+  static SegExample render(Pcg32& rng);
+  static std::vector<SegExample> make(int count, std::uint64_t seed);
+
+  // Mean intersection-over-union between predicted [H,W] i32 labels and GT.
+  static double mean_iou(const std::vector<Tensor>& predictions,
+                         const std::vector<SegExample>& examples);
+};
+
+}  // namespace mlexray

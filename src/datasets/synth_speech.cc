@@ -1,0 +1,82 @@
+#include "src/datasets/synth_speech.h"
+
+#include <cmath>
+
+#include "src/common/error.h"
+
+namespace mlexray {
+
+namespace {
+constexpr float kPi = 3.14159265358979323846f;
+}
+
+const char* SynthSpeech::class_name(int label) {
+  static const char* kNames[kClasses] = {"tone_low",   "tone_high",
+                                         "chirp_up",   "chirp_down",
+                                         "two_tone_lh", "two_tone_hl",
+                                         "am_slow",    "am_fast"};
+  MLX_CHECK(label >= 0 && label < kClasses);
+  return kNames[label];
+}
+
+std::vector<float> SynthSpeech::render(int label, Pcg32& rng) {
+  std::vector<float> wave(kSamples);
+  const float jitter = rng.uniform(0.9f, 1.1f);
+  const float phase0 = rng.uniform(0.0f, 2.0f * kPi);
+  const float amp = rng.uniform(0.5f, 0.8f);
+  for (int i = 0; i < kSamples; ++i) {
+    const float t = static_cast<float>(i) / kSampleRate;
+    const float progress = static_cast<float>(i) / kSamples;
+    float v = 0.0f;
+    switch (label) {
+      case 0: v = std::sin(2 * kPi * 220.0f * jitter * t + phase0); break;
+      case 1: v = std::sin(2 * kPi * 880.0f * jitter * t + phase0); break;
+      case 2: {  // chirp up 150->1200 Hz
+        float f = (150.0f + 1050.0f * progress) * jitter;
+        v = std::sin(2 * kPi * f * t + phase0);
+        break;
+      }
+      case 3: {  // chirp down
+        float f = (1200.0f - 1050.0f * progress) * jitter;
+        v = std::sin(2 * kPi * f * t + phase0);
+        break;
+      }
+      case 4:  // low then high
+        v = progress < 0.5f ? std::sin(2 * kPi * 300.0f * jitter * t + phase0)
+                            : std::sin(2 * kPi * 1000.0f * jitter * t + phase0);
+        break;
+      case 5:  // high then low
+        v = progress < 0.5f ? std::sin(2 * kPi * 1000.0f * jitter * t + phase0)
+                            : std::sin(2 * kPi * 300.0f * jitter * t + phase0);
+        break;
+      case 6:  // slow amplitude modulation of a 600 Hz carrier
+        v = std::sin(2 * kPi * 600.0f * jitter * t + phase0) *
+            (0.5f + 0.5f * std::sin(2 * kPi * 3.0f * t));
+        break;
+      case 7:  // fast AM
+        v = std::sin(2 * kPi * 600.0f * jitter * t + phase0) *
+            (0.5f + 0.5f * std::sin(2 * kPi * 17.0f * t));
+        break;
+      default:
+        MLX_FAIL() << "bad label " << label;
+    }
+    float noise = rng.normal(0.0f, 0.05f);
+    wave[static_cast<std::size_t>(i)] = amp * v + noise;
+  }
+  return wave;
+}
+
+std::vector<SpeechExample> SynthSpeech::make(int per_class,
+                                             std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<SpeechExample> out;
+  out.reserve(static_cast<std::size_t>(per_class) * kClasses);
+  for (int c = 0; c < kClasses; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      out.push_back({render(c, rng), c});
+    }
+  }
+  return out;
+}
+
+}  // namespace mlexray

@@ -1,0 +1,31 @@
+// Synthetic keyword-spotting dataset (stand-in for Speech Commands).
+//
+// Eight "keywords", each a distinct time-frequency signature (tones, chirps,
+// two-tone sequences, AM bursts) over white noise. The spectrogram pipeline
+// in src/preprocess/audio.h turns waveforms into model input; the Fig-4c
+// experiment injects the log/linear scale mismatch there.
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace mlexray {
+
+struct SpeechExample {
+  std::vector<float> wave;  // kSamples mono samples in [-1, 1]
+  int label = 0;
+};
+
+class SynthSpeech {
+ public:
+  static constexpr int kClasses = 8;
+  static constexpr int kSamples = 2048;
+  static constexpr float kSampleRate = 4096.0f;
+
+  static const char* class_name(int label);
+  static std::vector<float> render(int label, Pcg32& rng);
+  static std::vector<SpeechExample> make(int per_class, std::uint64_t seed);
+};
+
+}  // namespace mlexray

@@ -1,0 +1,96 @@
+#include "src/datasets/synth_text.h"
+
+namespace mlexray {
+
+namespace {
+
+const std::vector<std::string>& positive_words() {
+  static const std::vector<std::string> kWords = {
+      "great", "wonderful", "excellent", "superb",  "delightful",
+      "loved", "brilliant", "charming",  "masterful", "gripping"};
+  return kWords;
+}
+
+const std::vector<std::string>& negative_words() {
+  static const std::vector<std::string> kWords = {
+      "awful",  "terrible", "boring", "dreadful", "clumsy",
+      "hated",  "tedious",  "bland",  "painful",  "forgettable"};
+  return kWords;
+}
+
+const std::vector<std::string>& neutral_words() {
+  static const std::vector<std::string> kWords = {
+      "the",   "movie", "film",  "plot",   "actor", "scene", "director",
+      "was",   "with",  "and",   "story",  "score", "camera", "a",
+      "ending", "cast",  "script", "dialog", "very",  "quite"};
+  return kWords;
+}
+
+std::string maybe_capitalize(const std::string& word, Pcg32& rng) {
+  if (word.empty()) return word;
+  std::string out = word;
+  std::uint32_t dice = rng.next_below(10);
+  if (dice < 3) {
+    out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
+  } else if (dice == 3) {
+    for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+TextExample SynthImdb::render(Pcg32& rng) {
+  TextExample ex;
+  ex.label = static_cast<int>(rng.next_below(2));
+  const auto& sentiment =
+      ex.label == 1 ? positive_words() : negative_words();
+  const auto& off_sentiment =
+      ex.label == 1 ? negative_words() : positive_words();
+  const auto& filler = neutral_words();
+  const int length = 8 + static_cast<int>(rng.next_below(12));
+  int sentiment_count = 2 + static_cast<int>(rng.next_below(3));
+  int off_count = static_cast<int>(rng.next_below(2));  // occasional contrast
+  std::vector<std::string> words;
+  for (int i = 0; i < length; ++i) {
+    const std::string* w;
+    if (sentiment_count > 0 && rng.next_below(3) == 0) {
+      w = &sentiment[rng.next_below(static_cast<std::uint32_t>(sentiment.size()))];
+      --sentiment_count;
+    } else if (off_count > 0 && rng.next_below(8) == 0) {
+      w = &off_sentiment[rng.next_below(static_cast<std::uint32_t>(off_sentiment.size()))];
+      --off_count;
+    } else {
+      w = &filler[rng.next_below(static_cast<std::uint32_t>(filler.size()))];
+    }
+    words.push_back(maybe_capitalize(*w, rng));
+  }
+  // Guarantee at least one sentiment word survives.
+  if (sentiment_count >= 2) {
+    words.push_back(
+        sentiment[rng.next_below(static_cast<std::uint32_t>(sentiment.size()))]);
+  }
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (i > 0) ex.text += " ";
+    ex.text += words[i];
+  }
+  return ex;
+}
+
+std::vector<TextExample> SynthImdb::make(int count, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<TextExample> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(render(rng));
+  return out;
+}
+
+std::vector<std::string> SynthImdb::corpus_words() {
+  std::vector<std::string> all;
+  for (const auto& w : positive_words()) all.push_back(w);
+  for (const auto& w : negative_words()) all.push_back(w);
+  for (const auto& w : neutral_words()) all.push_back(w);
+  return all;
+}
+
+}  // namespace mlexray

@@ -1,0 +1,32 @@
+// Synthetic sentiment dataset (stand-in for IMDB reviews).
+//
+// Sentences mix sentiment-bearing words with neutral filler; the label is
+// the majority sentiment. Random capitalisation is applied so the appendix
+// case-folding experiment (different embeddings, identical accuracy) has
+// real signal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace mlexray {
+
+struct TextExample {
+  std::string text;
+  int label = 0;  // 0 = negative, 1 = positive
+};
+
+class SynthImdb {
+ public:
+  static constexpr int kClasses = 2;
+
+  static TextExample render(Pcg32& rng);
+  static std::vector<TextExample> make(int count, std::uint64_t seed);
+
+  // All corpus words (for vocabulary building), lower-case.
+  static std::vector<std::string> corpus_words();
+};
+
+}  // namespace mlexray

@@ -1,0 +1,245 @@
+#include "src/graph/builder.h"
+
+#include <cmath>
+
+namespace mlexray {
+
+GraphBuilder::GraphBuilder(std::string model_name, Pcg32* rng) : rng_(rng) {
+  model_.name = std::move(model_name);
+}
+
+std::string GraphBuilder::auto_name(const std::string& given,
+                                    const char* prefix) {
+  if (!given.empty()) return given;
+  return std::string(prefix) + "_" + std::to_string(counter_++);
+}
+
+Tensor GraphBuilder::he_normal(Shape shape, std::int64_t fan_in) {
+  Tensor t = Tensor::f32(shape);
+  if (rng_ != nullptr) {
+    float stddev = std::sqrt(2.0f / static_cast<float>(std::max<std::int64_t>(1, fan_in)));
+    float* p = t.data<float>();
+    for (std::int64_t i = 0; i < t.num_elements(); ++i) {
+      p[i] = rng_->normal(0.0f, stddev);
+    }
+  }
+  return t;
+}
+
+Tensor GraphBuilder::zeros(Shape shape) { return Tensor::f32(shape); }
+
+int GraphBuilder::input(Shape shape, DType dtype, const std::string& name) {
+  Node n;
+  n.type = OpType::kInput;
+  n.name = auto_name(name, "input");
+  n.output_shape = shape;
+  n.output_dtype = dtype;
+  return model_.add_node(std::move(n));
+}
+
+int GraphBuilder::conv2d(int in, int out_channels, int kh, int kw, int stride,
+                         Padding padding, Activation activation,
+                         const std::string& name) {
+  const Shape& is = model_.node(in).output_shape;
+  std::int64_t in_ch = is.dim(3);
+  Node n;
+  n.type = OpType::kConv2D;
+  n.name = auto_name(name, "conv");
+  n.inputs = {in};
+  n.weights.push_back(he_normal(Shape{out_channels, kh, kw, in_ch},
+                                static_cast<std::int64_t>(kh) * kw * in_ch));
+  n.weights.push_back(zeros(Shape{out_channels}));
+  n.attrs.stride_h = stride;
+  n.attrs.stride_w = stride;
+  n.attrs.padding = padding;
+  n.attrs.activation = activation;
+  return model_.add_node(std::move(n));
+}
+
+int GraphBuilder::depthwise_conv2d(int in, int kh, int kw, int stride,
+                                   Padding padding, Activation activation,
+                                   const std::string& name) {
+  const Shape& is = model_.node(in).output_shape;
+  std::int64_t ch = is.dim(3);
+  Node n;
+  n.type = OpType::kDepthwiseConv2D;
+  n.name = auto_name(name, "dwconv");
+  n.inputs = {in};
+  n.weights.push_back(he_normal(Shape{1, kh, kw, ch},
+                                static_cast<std::int64_t>(kh) * kw));
+  n.weights.push_back(zeros(Shape{ch}));
+  n.attrs.stride_h = stride;
+  n.attrs.stride_w = stride;
+  n.attrs.padding = padding;
+  n.attrs.activation = activation;
+  return model_.add_node(std::move(n));
+}
+
+int GraphBuilder::fully_connected(int in, int out_features,
+                                  Activation activation,
+                                  const std::string& name) {
+  const Shape& is = model_.node(in).output_shape;
+  std::int64_t flat = 1;
+  for (int d = 1; d < is.rank(); ++d) flat *= is.dim(d);
+  Node n;
+  n.type = OpType::kFullyConnected;
+  n.name = auto_name(name, "fc");
+  n.inputs = {in};
+  n.weights.push_back(he_normal(Shape{out_features, flat}, flat));
+  n.weights.push_back(zeros(Shape{out_features}));
+  n.attrs.activation = activation;
+  return model_.add_node(std::move(n));
+}
+
+int GraphBuilder::avg_pool(int in, int window, int stride, Padding padding,
+                           const std::string& name) {
+  Node n;
+  n.type = OpType::kAvgPool2D;
+  n.name = auto_name(name, "avgpool");
+  n.inputs = {in};
+  n.attrs.filter_h = window;
+  n.attrs.filter_w = window;
+  n.attrs.stride_h = stride;
+  n.attrs.stride_w = stride;
+  n.attrs.padding = padding;
+  return model_.add_node(std::move(n));
+}
+
+int GraphBuilder::max_pool(int in, int window, int stride, Padding padding,
+                           const std::string& name) {
+  Node n;
+  n.type = OpType::kMaxPool2D;
+  n.name = auto_name(name, "maxpool");
+  n.inputs = {in};
+  n.attrs.filter_h = window;
+  n.attrs.filter_w = window;
+  n.attrs.stride_h = stride;
+  n.attrs.stride_w = stride;
+  n.attrs.padding = padding;
+  return model_.add_node(std::move(n));
+}
+
+int GraphBuilder::mean(int in, const std::string& name) {
+  Node n;
+  n.type = OpType::kMean;
+  n.name = auto_name(name, "mean");
+  n.inputs = {in};
+  return model_.add_node(std::move(n));
+}
+
+int GraphBuilder::pad(int in, int top, int bottom, int left, int right,
+                      const std::string& name) {
+  Node n;
+  n.type = OpType::kPad;
+  n.name = auto_name(name, "pad");
+  n.inputs = {in};
+  n.attrs.pad_top = top;
+  n.attrs.pad_bottom = bottom;
+  n.attrs.pad_left = left;
+  n.attrs.pad_right = right;
+  return model_.add_node(std::move(n));
+}
+
+int GraphBuilder::add(int a, int b, Activation activation,
+                      const std::string& name) {
+  Node n;
+  n.type = OpType::kAdd;
+  n.name = auto_name(name, "add");
+  n.inputs = {a, b};
+  n.attrs.activation = activation;
+  return model_.add_node(std::move(n));
+}
+
+int GraphBuilder::mul(int a, int b, const std::string& name) {
+  Node n;
+  n.type = OpType::kMul;
+  n.name = auto_name(name, "mul");
+  n.inputs = {a, b};
+  return model_.add_node(std::move(n));
+}
+
+int GraphBuilder::concat(const std::vector<int>& inputs,
+                         const std::string& name) {
+  Node n;
+  n.type = OpType::kConcat;
+  n.name = auto_name(name, "concat");
+  n.inputs = inputs;
+  return model_.add_node(std::move(n));
+}
+
+namespace {
+Node unary(OpType type, int in, std::string name) {
+  Node n;
+  n.type = type;
+  n.name = std::move(name);
+  n.inputs = {in};
+  return n;
+}
+}  // namespace
+
+int GraphBuilder::relu(int in, const std::string& name) {
+  return model_.add_node(unary(OpType::kRelu, in, auto_name(name, "relu")));
+}
+int GraphBuilder::relu6(int in, const std::string& name) {
+  return model_.add_node(unary(OpType::kRelu6, in, auto_name(name, "relu6")));
+}
+int GraphBuilder::hardswish(int in, const std::string& name) {
+  return model_.add_node(
+      unary(OpType::kHardSwish, in, auto_name(name, "hardswish")));
+}
+int GraphBuilder::sigmoid(int in, const std::string& name) {
+  return model_.add_node(
+      unary(OpType::kSigmoid, in, auto_name(name, "sigmoid")));
+}
+int GraphBuilder::softmax(int in, const std::string& name) {
+  return model_.add_node(
+      unary(OpType::kSoftmax, in, auto_name(name, "softmax")));
+}
+
+int GraphBuilder::reshape(int in, Shape target, const std::string& name) {
+  Node n = unary(OpType::kReshape, in, auto_name(name, "reshape"));
+  n.attrs.reshape_to = target;
+  return model_.add_node(std::move(n));
+}
+
+int GraphBuilder::batch_norm(int in, const std::string& name) {
+  const Shape& is = model_.node(in).output_shape;
+  std::int64_t ch = is.dim(is.rank() - 1);
+  Node n = unary(OpType::kBatchNorm, in, auto_name(name, "bn"));
+  Tensor gamma = Tensor::f32(Shape{ch});
+  gamma.fill(1.0f);
+  Tensor var = Tensor::f32(Shape{ch});
+  var.fill(1.0f);
+  n.weights.push_back(std::move(gamma));       // gamma
+  n.weights.push_back(zeros(Shape{ch}));       // beta
+  n.weights.push_back(zeros(Shape{ch}));       // moving mean
+  n.weights.push_back(std::move(var));         // moving variance
+  return model_.add_node(std::move(n));
+}
+
+int GraphBuilder::embedding(int in, int vocab_size, int embed_dim,
+                            const std::string& name) {
+  Node n = unary(OpType::kEmbedding, in, auto_name(name, "embedding"));
+  Tensor table = Tensor::f32(Shape{vocab_size, embed_dim});
+  if (rng_ != nullptr) {
+    float* p = table.data<float>();
+    for (std::int64_t i = 0; i < table.num_elements(); ++i) {
+      p[i] = rng_->normal(0.0f, 0.1f);
+    }
+  }
+  n.weights.push_back(std::move(table));
+  return model_.add_node(std::move(n));
+}
+
+int GraphBuilder::upsample_nearest_2x(int in, const std::string& name) {
+  return model_.add_node(
+      unary(OpType::kUpsampleNearest2x, in, auto_name(name, "upsample")));
+}
+
+Model GraphBuilder::finish(std::vector<int> outputs) {
+  model_.outputs = std::move(outputs);
+  model_.validate();
+  return std::move(model_);
+}
+
+}  // namespace mlexray

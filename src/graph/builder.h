@@ -1,0 +1,71 @@
+// Fluent graph construction with He-initialized weights.
+//
+// Used by the model zoo to define architectures; the training pipeline then
+// fits the weights and the converter/quantizer rewrite the graph for
+// deployment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/graph/graph.h"
+
+namespace mlexray {
+
+class GraphBuilder {
+ public:
+  // rng may be nullptr for graphs whose weights are assigned externally
+  // (weights then default to zero).
+  GraphBuilder(std::string model_name, Pcg32* rng);
+
+  int input(Shape shape, DType dtype = DType::kF32,
+            const std::string& name = "input");
+
+  int conv2d(int in, int out_channels, int kh, int kw, int stride,
+             Padding padding, Activation activation,
+             const std::string& name = "");
+  int depthwise_conv2d(int in, int kh, int kw, int stride, Padding padding,
+                       Activation activation, const std::string& name = "");
+  int fully_connected(int in, int out_features, Activation activation,
+                      const std::string& name = "");
+  int avg_pool(int in, int window, int stride, Padding padding,
+               const std::string& name = "");
+  int max_pool(int in, int window, int stride, Padding padding,
+               const std::string& name = "");
+  int mean(int in, const std::string& name = "");
+  int pad(int in, int top, int bottom, int left, int right,
+          const std::string& name = "");
+  int add(int a, int b, Activation activation = Activation::kNone,
+          const std::string& name = "");
+  int mul(int a, int b, const std::string& name = "");
+  int concat(const std::vector<int>& inputs, const std::string& name = "");
+  int relu(int in, const std::string& name = "");
+  int relu6(int in, const std::string& name = "");
+  int hardswish(int in, const std::string& name = "");
+  int sigmoid(int in, const std::string& name = "");
+  int softmax(int in, const std::string& name = "");
+  int reshape(int in, Shape target, const std::string& name = "");
+  int batch_norm(int in, const std::string& name = "");
+  int embedding(int in, int vocab_size, int embed_dim,
+                const std::string& name = "");
+  int upsample_nearest_2x(int in, const std::string& name = "");
+
+  // Access the model being built (e.g. to inspect intermediate shapes).
+  const Model& model() const { return model_; }
+  Shape shape_of(int id) const { return model_.node(id).output_shape; }
+
+  // Finalizes: sets outputs, validates, returns the model by value.
+  Model finish(std::vector<int> outputs);
+
+ private:
+  std::string auto_name(const std::string& given, const char* prefix);
+  Tensor he_normal(Shape shape, std::int64_t fan_in);
+  Tensor zeros(Shape shape);
+
+  Model model_;
+  Pcg32* rng_;
+  int counter_ = 0;
+};
+
+}  // namespace mlexray

@@ -1,0 +1,56 @@
+// Model graph IR: a topologically ordered op list with shape inference.
+//
+// One Model instance represents one of the paper's "model versions": the
+// training checkpoint (with BatchNorm), the converted float inference model,
+// or the fully quantized int8 model. The converter and quantizer transform
+// between these versions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/graph/input_spec.h"
+#include "src/graph/node.h"
+
+namespace mlexray {
+
+class Model {
+ public:
+  std::string name;
+  InputSpec input_spec;
+  std::vector<Node> nodes;   // topological order; node id == index
+  std::vector<int> outputs;  // ids of output nodes
+
+  // Appends a node, assigning its id; inputs must reference earlier nodes.
+  int add_node(Node node);
+
+  const Node& node(int id) const {
+    MLX_CHECK(id >= 0 && id < static_cast<int>(nodes.size()));
+    return nodes[static_cast<std::size_t>(id)];
+  }
+  Node& node(int id) {
+    MLX_CHECK(id >= 0 && id < static_cast<int>(nodes.size()));
+    return nodes[static_cast<std::size_t>(id)];
+  }
+
+  // Ids of kInput nodes, in insertion order.
+  std::vector<int> input_ids() const;
+
+  // Runs shape/type inference over all nodes. Throws on malformed graphs.
+  void infer_shapes();
+
+  // Number of trainable/constant parameters across all nodes.
+  std::int64_t num_params() const;
+
+  // Count of non-input nodes (the paper's "layer #").
+  int layer_count() const;
+
+  // Structural + invariant checks (topological inputs, weight arity).
+  void validate() const;
+};
+
+// Infers the output shape/dtype of one node given its input nodes' results.
+// Exposed for the converter and quantizer which rewrite graphs.
+void infer_node_output(const Model& model, Node& node);
+
+}  // namespace mlexray

@@ -1,0 +1,40 @@
+// Model input assumptions — the metadata that, per the paper, is routinely
+// lost in the hand-off from the training team to the app team.
+//
+// Reference pipelines honour this spec exactly; the simulated "edge app"
+// pipelines can be configured to violate it (PreprocBug), which is how the
+// Fig-4 experiments inject realistic deployment bugs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mlexray {
+
+enum class ChannelOrder : std::uint8_t { kRGB = 0, kBGR = 1 };
+enum class ResizeMethod : std::uint8_t { kAreaAverage = 0, kBilinear = 1 };
+
+struct InputSpec {
+  int height = 0;
+  int width = 0;
+  int channels = 0;
+  ChannelOrder channel_order = ChannelOrder::kRGB;
+  ResizeMethod resize = ResizeMethod::kAreaAverage;
+  // Numerical range the model expects after normalization of u8 [0,255].
+  float range_lo = -1.0f;
+  float range_hi = 1.0f;
+  // Audio models: whether the spectrogram is log-compressed.
+  bool spectrogram_log_scale = true;
+
+  bool operator==(const InputSpec&) const = default;
+};
+
+inline std::string channel_order_name(ChannelOrder order) {
+  return order == ChannelOrder::kRGB ? "RGB" : "BGR";
+}
+
+inline std::string resize_method_name(ResizeMethod method) {
+  return method == ResizeMethod::kAreaAverage ? "area-average" : "bilinear";
+}
+
+}  // namespace mlexray

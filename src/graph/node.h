@@ -1,0 +1,51 @@
+// A graph node: one operation, its constant weights and attributes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/graph/op_types.h"
+#include "src/tensor/tensor.h"
+
+namespace mlexray {
+
+struct OpAttrs {
+  // Convolutions / pools.
+  int stride_h = 1;
+  int stride_w = 1;
+  Padding padding = Padding::kSame;
+  int filter_h = 0;  // pooling window (pools only; convs read weight shape)
+  int filter_w = 0;
+  Activation activation = Activation::kNone;
+  // Pad op amounts.
+  int pad_top = 0, pad_bottom = 0, pad_left = 0, pad_right = 0;
+  // BatchNorm.
+  float epsilon = 1e-5f;
+  // Reshape target (dim -1 infers; dim 0 copies the input batch).
+  Shape reshape_to;
+
+  bool operator==(const OpAttrs&) const = default;
+};
+
+// Weight tensor layout conventions per op:
+//   Conv2D:          weights[0] filter OHWI [out, kh, kw, in], weights[1] bias [out]
+//   DepthwiseConv2D: weights[0] filter [1, kh, kw, ch],        weights[1] bias [ch]
+//   FullyConnected:  weights[0] [out, in],                     weights[1] bias [out]
+//   BatchNorm:       weights = {gamma, beta, moving_mean, moving_var}, each [ch]
+//   Embedding:       weights[0] [vocab, emb_dim]
+struct Node {
+  int id = -1;
+  OpType type = OpType::kInput;
+  std::string name;
+  std::vector<int> inputs;      // ids of producer nodes, in op input order
+  std::vector<Tensor> weights;  // constant tensors owned by the node
+  OpAttrs attrs;
+
+  // Filled by shape/type inference.
+  Shape output_shape;
+  DType output_dtype = DType::kF32;
+  // Output quantization (set by the quantizer for integer graphs).
+  QuantParams output_quant;
+};
+
+}  // namespace mlexray

@@ -1,0 +1,26 @@
+// Model serialization.
+//
+// One binary format serves both of the paper's on-disk artifacts:
+//   .ckpt — training checkpoint (graph with BatchNorm, float weights)
+//   .efb  — "edge flat binary", the converted/quantized deployment model
+// The format is identical; the extension documents which pipeline stage
+// produced the file (mirroring TF checkpoint vs TFLite FlatBuffer).
+#pragma once
+
+#include <filesystem>
+
+#include "src/common/file_io.h"
+#include "src/graph/graph.h"
+
+namespace mlexray {
+
+void serialize_tensor(BinaryWriter& writer, const Tensor& tensor);
+Tensor deserialize_tensor(BinaryReader& reader);
+
+std::vector<std::uint8_t> serialize_model(const Model& model);
+Model deserialize_model(BinaryReader& reader);
+
+void save_model(const Model& model, const std::filesystem::path& path);
+Model load_model(const std::filesystem::path& path);
+
+}  // namespace mlexray

@@ -1,0 +1,138 @@
+#include "src/interpreter/device_profile.h"
+
+#include <algorithm>
+
+namespace mlexray {
+
+NodeCost estimate_node_cost(const Model& model, const Node& node) {
+  NodeCost cost;
+  const std::int64_t out_elems = node.output_shape.num_elements();
+  for (int in : node.inputs) {
+    const Node& producer = model.node(in);
+    cost.bytes += static_cast<double>(producer.output_shape.num_elements()) *
+                  dtype_size(producer.output_dtype);
+  }
+  cost.bytes += static_cast<double>(out_elems) * dtype_size(node.output_dtype);
+  for (const Tensor& w : node.weights) cost.bytes += static_cast<double>(w.byte_size());
+
+  switch (node.type) {
+    case OpType::kConv2D: {
+      const Shape& fs = node.weights[0].shape();
+      cost.flops = 2.0 * static_cast<double>(out_elems) *
+                   static_cast<double>(fs.dim(1) * fs.dim(2) * fs.dim(3));
+      break;
+    }
+    case OpType::kDepthwiseConv2D: {
+      const Shape& fs = node.weights[0].shape();
+      cost.flops = 2.0 * static_cast<double>(out_elems) *
+                   static_cast<double>(fs.dim(1) * fs.dim(2));
+      break;
+    }
+    case OpType::kFullyConnected: {
+      const Shape& ws = node.weights[0].shape();
+      cost.flops = 2.0 * static_cast<double>(node.output_shape.dim(0)) *
+                   static_cast<double>(ws.dim(0) * ws.dim(1));
+      break;
+    }
+    case OpType::kAvgPool2D:
+    case OpType::kMaxPool2D:
+      cost.flops = static_cast<double>(out_elems) *
+                   static_cast<double>(node.attrs.filter_h * node.attrs.filter_w);
+      break;
+    case OpType::kMean: {
+      const Node& in = model.node(node.inputs[0]);
+      cost.flops = static_cast<double>(in.output_shape.num_elements());
+      break;
+    }
+    case OpType::kBatchNorm:
+    case OpType::kSoftmax:
+    case OpType::kHardSwish:
+    case OpType::kSigmoid:
+      cost.flops = 4.0 * static_cast<double>(out_elems);
+      break;
+    case OpType::kAdd:
+    case OpType::kMul:
+    case OpType::kRelu:
+    case OpType::kRelu6:
+    case OpType::kQuantize:
+    case OpType::kDequantize:
+      cost.flops = static_cast<double>(out_elems);
+      break;
+    default:
+      cost.flops = 0.0;  // pure data movement (pad, reshape, concat, ...)
+      break;
+  }
+  return cost;
+}
+
+namespace {
+
+// Throughputs in ops/s and bytes/s; rough magnitudes for the paper's devices.
+DeviceProfile make(std::string name, double f32, double i8, double bw,
+                   double overhead, double conv_penalty) {
+  DeviceProfile p;
+  p.name = std::move(name);
+  p.f32_flops_per_s = f32;
+  p.i8_ops_per_s = i8;
+  p.bytes_per_s = bw;
+  p.per_op_overhead_ms = overhead;
+  p.conv_f32_penalty = conv_penalty;
+  return p;
+}
+
+}  // namespace
+
+const DeviceProfile& DeviceProfile::pixel4_cpu() {
+  static const DeviceProfile p =
+      make("Pixel4-CPU", 4.5e9, 18e9, 12e9, 0.012, 1.0);
+  return p;
+}
+const DeviceProfile& DeviceProfile::pixel4_gpu() {
+  static const DeviceProfile p =
+      make("Pixel4-GPU(Adreno640)", 36e9, 36e9, 24e9, 0.0016, 1.0);
+  return p;
+}
+const DeviceProfile& DeviceProfile::pixel3_cpu() {
+  static const DeviceProfile p =
+      make("Pixel3-CPU", 3.6e9, 14e9, 10e9, 0.015, 1.0);
+  return p;
+}
+const DeviceProfile& DeviceProfile::pixel3_gpu() {
+  static const DeviceProfile p =
+      make("Pixel3-GPU(Adreno630)", 21e9, 21e9, 18e9, 0.0028, 1.0);
+  return p;
+}
+const DeviceProfile& DeviceProfile::emulator_x86() {
+  // ARM-tuned float conv kernels fall off a cliff under emulation (the
+  // paper measures 44x slower normal convs); integer paths are merely bad.
+  static const DeviceProfile p =
+      make("Emulator-x86", 4.0e9, 4.0e9, 10e9, 0.020, 30.0);
+  return p;
+}
+
+double modeled_node_latency_ms(const Model& model, const Node& node,
+                               const DeviceProfile& profile) {
+  if (node.type == OpType::kInput) return 0.0;
+  NodeCost cost = estimate_node_cost(model, node);
+  const bool integer_path = node.output_dtype == DType::kI8;
+  double throughput =
+      integer_path ? profile.i8_ops_per_s : profile.f32_flops_per_s;
+  double compute_s = cost.flops / throughput;
+  if (!integer_path && (node.type == OpType::kConv2D ||
+                        node.type == OpType::kDepthwiseConv2D)) {
+    compute_s *= profile.conv_f32_penalty;
+  }
+  double memory_s = cost.bytes / profile.bytes_per_s;
+  return std::max(compute_s, memory_s) * 1e3 + profile.per_op_overhead_ms;
+}
+
+double modeled_graph_latency_ms(const Model& model,
+                                const DeviceProfile& profile) {
+  double total = 0.0;
+  for (const Node& n : model.nodes) {
+    total += modeled_node_latency_ms(model, n, profile);
+  }
+  return total;
+}
+
+}  // namespace mlexray

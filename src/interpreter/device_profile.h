@@ -1,0 +1,52 @@
+// Device latency modeling — the documented substitution for the paper's
+// physical test devices (Pixel 4 / Pixel 3, Adreno mobile GPUs, and the x86
+// Android emulator). See DESIGN.md §2.
+//
+// Numerics in this repo always come from real kernel execution; this model
+// only answers "how long would this graph take on device X", with a
+// roofline-style estimate per node:
+//   t = max(flops / arithmetic_throughput, bytes / memory_bandwidth) + c0
+// Profiles are calibrated so the relative shapes of the paper's Tables 2/4
+// hold (GPU ~7-8x faster than CPU on float; the x86 emulator pathological on
+// ARM-tuned float convolutions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace mlexray {
+
+struct NodeCost {
+  double flops = 0.0;   // multiply-accumulate counted as 2 flops
+  double bytes = 0.0;   // activations in/out + weights touched
+};
+
+NodeCost estimate_node_cost(const Model& model, const Node& node);
+
+struct DeviceProfile {
+  std::string name;
+  double f32_flops_per_s;       // float arithmetic throughput
+  double i8_ops_per_s;          // integer MAC throughput
+  double bytes_per_s;           // effective memory bandwidth
+  double per_op_overhead_ms;    // kernel launch/dispatch cost
+  // Extra penalty multiplier applied to conv/dwconv float ops (models
+  // architecture-specific kernels that do not transfer, e.g. ARM NEON paths
+  // running under x86 emulation — the paper's Table 4 emulator column).
+  double conv_f32_penalty = 1.0;
+
+  static const DeviceProfile& pixel4_cpu();
+  static const DeviceProfile& pixel4_gpu();
+  static const DeviceProfile& pixel3_cpu();
+  static const DeviceProfile& pixel3_gpu();
+  static const DeviceProfile& emulator_x86();
+};
+
+// Modeled latency of one node / the whole graph on a device.
+double modeled_node_latency_ms(const Model& model, const Node& node,
+                               const DeviceProfile& profile);
+double modeled_graph_latency_ms(const Model& model,
+                                const DeviceProfile& profile);
+
+}  // namespace mlexray

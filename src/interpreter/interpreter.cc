@@ -1,0 +1,84 @@
+#include "src/interpreter/interpreter.h"
+
+#include <chrono>
+#include <cstring>
+
+namespace mlexray {
+
+Interpreter::Interpreter(const Model* model, const OpResolver* resolver,
+                         int num_threads)
+    : model_(model), resolver_(resolver) {
+  MLX_CHECK(model != nullptr);
+  MLX_CHECK(resolver != nullptr);
+  model_->validate();
+  pool_ = num_threads > 1 ? &ThreadPool::shared() : nullptr;
+  input_ids_ = model_->input_ids();
+  MLX_CHECK(!input_ids_.empty()) << "model has no inputs";
+
+  // Allocate one activation tensor per node (retained for per-layer logs).
+  activations_.reserve(model_->nodes.size());
+  for (const Node& n : model_->nodes) {
+    Tensor t(n.output_dtype, n.output_shape);
+    t.quant() = n.output_quant;
+    activations_.push_back(std::move(t));
+  }
+  stats_.per_node_ms.assign(model_->nodes.size(), 0.0);
+}
+
+void Interpreter::set_input(int input_index, const Tensor& value) {
+  MLX_CHECK_LT(static_cast<std::size_t>(input_index), input_ids_.size());
+  Tensor& slot = activations_[static_cast<std::size_t>(
+      input_ids_[static_cast<std::size_t>(input_index)])];
+  MLX_CHECK(value.shape() == slot.shape())
+      << "input shape " << value.shape().to_string() << " expected "
+      << slot.shape().to_string();
+  MLX_CHECK(value.dtype() == slot.dtype())
+      << "input dtype " << dtype_name(value.dtype()) << " expected "
+      << dtype_name(slot.dtype());
+  std::memcpy(slot.raw_data(), value.raw_data(), value.byte_size());
+}
+
+void Interpreter::invoke() {
+  using Clock = std::chrono::steady_clock;
+  auto start_total = Clock::now();
+  for (const Node& n : model_->nodes) {
+    if (n.type == OpType::kInput) continue;
+    KernelContext ctx;
+    ctx.node = &n;
+    ctx.output = &activations_[static_cast<std::size_t>(n.id)];
+    ctx.pool = pool_;
+    ctx.inputs.reserve(n.inputs.size());
+    for (int in : n.inputs) {
+      ctx.inputs.push_back(&activations_[static_cast<std::size_t>(in)]);
+    }
+    const KernelFn& kernel = resolver_->find(n);
+    auto start = Clock::now();
+    kernel(ctx);
+    stats_.per_node_ms[static_cast<std::size_t>(n.id)] =
+        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  }
+  stats_.total_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start_total)
+          .count();
+}
+
+const Tensor& Interpreter::output(int output_index) const {
+  MLX_CHECK_LT(static_cast<std::size_t>(output_index),
+               model_->outputs.size());
+  return activations_[static_cast<std::size_t>(
+      model_->outputs[static_cast<std::size_t>(output_index)])];
+}
+
+const Tensor& Interpreter::node_output(int node_id) const {
+  MLX_CHECK(node_id >= 0 &&
+            node_id < static_cast<int>(activations_.size()));
+  return activations_[static_cast<std::size_t>(node_id)];
+}
+
+std::size_t Interpreter::activation_bytes() const {
+  std::size_t total = 0;
+  for (const Tensor& t : activations_) total += t.byte_size();
+  return total;
+}
+
+}  // namespace mlexray

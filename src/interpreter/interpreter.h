@@ -1,0 +1,59 @@
+// Graph interpreter: executes a Model with a chosen OpResolver.
+//
+// Mirrors the TFLite interpreter surface the paper instruments:
+//   interpreter.set_input(...); interpreter.invoke();
+// Per-node outputs are retained (ML-EXray's per-layer logging reads them
+// after invoke) and per-node wall-clock latencies are recorded on every
+// invoke for the latency-validation path.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/graph/graph.h"
+#include "src/kernels/op_resolver.h"
+
+namespace mlexray {
+
+struct InvokeStats {
+  double total_ms = 0.0;
+  std::vector<double> per_node_ms;  // indexed by node id; 0 for kInput
+};
+
+class Interpreter {
+ public:
+  // model and resolver must outlive the interpreter. num_threads > 1 enables
+  // the shared thread pool for kernels that support it.
+  Interpreter(const Model* model, const OpResolver* resolver,
+              int num_threads = 1);
+
+  // Copies `value` into the i-th model input (shape and dtype checked).
+  void set_input(int input_index, const Tensor& value);
+
+  // Runs all nodes in topological order.
+  void invoke();
+
+  // The i-th model output of the last invoke.
+  const Tensor& output(int output_index = 0) const;
+
+  // Any node's retained output (per-layer inspection).
+  const Tensor& node_output(int node_id) const;
+
+  const Model& model() const { return *model_; }
+  const OpResolver& resolver() const { return *resolver_; }
+  const InvokeStats& last_stats() const { return stats_; }
+
+  // Bytes held by this interpreter's activation tensors.
+  std::size_t activation_bytes() const;
+
+ private:
+  const Model* model_;
+  const OpResolver* resolver_;
+  ThreadPool* pool_;  // nullptr => single-threaded
+  std::vector<Tensor> activations_;  // one per node id
+  std::vector<int> input_ids_;
+  InvokeStats stats_;
+};
+
+}  // namespace mlexray

@@ -1,0 +1,81 @@
+// Activation helpers: float application of fused activations and int8
+// lookup-table construction for standalone nonlinearities.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "src/graph/op_types.h"
+#include "src/tensor/quant_params.h"
+
+namespace mlexray {
+
+inline float apply_activation_f32(float x, Activation activation) {
+  switch (activation) {
+    case Activation::kNone: return x;
+    case Activation::kRelu: return x > 0.0f ? x : 0.0f;
+    case Activation::kRelu6: return std::clamp(x, 0.0f, 6.0f);
+    case Activation::kHardSwish: {
+      float inner = std::clamp(x + 3.0f, 0.0f, 6.0f);
+      return x * inner / 6.0f;
+    }
+  }
+  return x;
+}
+
+inline float hardswish_f32(float x) {
+  return apply_activation_f32(x, Activation::kHardSwish);
+}
+
+inline float sigmoid_f32(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+// Integer clamp bounds implementing a fused activation on a quantized
+// output: relu clamps at the zero point, relu6 at round(6/scale)+zp.
+struct QuantActivationRange {
+  std::int32_t min = -128;
+  std::int32_t max = 127;
+};
+
+inline QuantActivationRange quant_activation_range(Activation activation,
+                                                   float out_scale,
+                                                   std::int32_t out_zp) {
+  QuantActivationRange r;
+  switch (activation) {
+    case Activation::kNone:
+    case Activation::kHardSwish:  // not clamp-representable; kept separate
+      break;
+    case Activation::kRelu:
+      r.min = std::max<std::int32_t>(r.min, out_zp);
+      break;
+    case Activation::kRelu6: {
+      r.min = std::max<std::int32_t>(r.min, out_zp);
+      auto six = static_cast<std::int32_t>(std::lround(6.0f / out_scale)) + out_zp;
+      r.max = std::min<std::int32_t>(r.max, six);
+      break;
+    }
+  }
+  return r;
+}
+
+// Builds the 256-entry int8->int8 table for an arbitrary scalar function,
+// honoring the input/output quantization (the standard way edge runtimes
+// execute sigmoid/hardswish on integers).
+template <typename Fn>
+std::array<std::int8_t, 256> build_i8_lut(const QuantParams& in_q,
+                                          const QuantParams& out_q, Fn fn) {
+  std::array<std::int8_t, 256> table{};
+  for (int i = 0; i < 256; ++i) {
+    int q_in = i - 128;
+    float real = in_q.scale() * static_cast<float>(q_in - in_q.zero_point());
+    float result = fn(real);
+    auto q_out = static_cast<std::int32_t>(std::lround(result / out_q.scale())) +
+                 out_q.zero_point();
+    table[static_cast<std::size_t>(i)] =
+        static_cast<std::int8_t>(std::clamp<std::int32_t>(q_out, -128, 127));
+  }
+  return table;
+}
+
+}  // namespace mlexray

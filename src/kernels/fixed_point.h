@@ -1,0 +1,40 @@
+// Integer-only requantization arithmetic (gemmlowp-style).
+//
+// The optimized quantized kernels avoid floating point entirely: the real
+// rescale factor in_scale*w_scale/out_scale is pre-quantized into a Q31
+// multiplier plus a power-of-two shift, and applied with a
+// rounding-doubling high multiply. This matches how production edge
+// runtimes requantize and is the source of the small optimized-vs-reference
+// discrepancies the paper's per-layer validation is designed to surface.
+#pragma once
+
+#include <cstdint>
+
+namespace mlexray {
+
+// Decomposes real_multiplier (must be in (0, 1)) into a Q31 fixed-point
+// multiplier and a right shift: real ≈ multiplier * 2^-31 * 2^shift.
+void quantize_multiplier(double real_multiplier, std::int32_t* multiplier,
+                         int* shift);
+
+// Saturating rounding doubling high multiply of two Q31 values.
+std::int32_t saturating_rounding_doubling_high_mul(std::int32_t a,
+                                                   std::int32_t b);
+
+// Rounding arithmetic right shift (round-to-nearest, ties away from zero
+// matching gemmlowp's RoundingDivideByPOT).
+std::int32_t rounding_divide_by_pot(std::int32_t x, int exponent);
+
+// Applies the quantized multiplier: result ≈ x * multiplier * 2^-31 * 2^shift.
+std::int32_t multiply_by_quantized_multiplier(std::int32_t x,
+                                              std::int32_t multiplier,
+                                              int shift);
+
+// Clamps an int32 to the int8 representable range.
+inline std::int8_t clamp_to_i8(std::int32_t v) {
+  if (v < -128) return -128;
+  if (v > 127) return 127;
+  return static_cast<std::int8_t>(v);
+}
+
+}  // namespace mlexray

@@ -1,0 +1,30 @@
+// Kernel invocation interface.
+//
+// A kernel computes one node's output from its activation inputs. Constant
+// weights live on the node; quantization parameters travel on the tensors
+// (inputs carry theirs, the interpreter pre-sets the output tensor's params
+// from node.output_quant before dispatch).
+#pragma once
+
+#include <functional>
+
+#include "src/common/thread_pool.h"
+#include "src/graph/node.h"
+
+namespace mlexray {
+
+struct KernelContext {
+  const Node* node = nullptr;
+  std::vector<const Tensor*> inputs;  // activation inputs, in op order
+  Tensor* output = nullptr;           // allocated by the interpreter
+  ThreadPool* pool = nullptr;         // null => single-threaded execution
+
+  const Tensor& input(std::size_t i) const {
+    MLX_CHECK_LT(i, inputs.size());
+    return *inputs[i];
+  }
+};
+
+using KernelFn = std::function<void(const KernelContext&)>;
+
+}  // namespace mlexray

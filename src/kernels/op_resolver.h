@@ -1,0 +1,66 @@
+// Op resolvers: bind graph ops to kernel implementations.
+//
+// Mirrors the TFLite pair the paper leverages for debugging (§4.4):
+//   BuiltinOpResolver — "optimized kernel" production path (register.h)
+//   RefOpResolver     — "reference kernel" debugging path (register_ref.h)
+// Advanced users can subclass OpResolver and override individual kernels
+// (the paper's "custom op resolver" option).
+//
+// KernelBugConfig opts into faithful emulations of the two production kernel
+// defects the paper discovered. Defaults are correct kernels; the Fig-5/6
+// benchmark harnesses construct "as-shipped" resolvers explicitly.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/kernels/shared_kernels.h"
+
+namespace mlexray {
+
+struct KernelBugConfig {
+  // Optimized quantized DepthwiseConv2D accumulates in int16 and wraps.
+  bool optimized_dwconv_int16_overflow = false;
+  // Reference quantized AveragePool2D uses a wrong shift and drops the
+  // zero point (constant/invalid output).
+  bool reference_avgpool_bad_shift = false;
+
+  static KernelBugConfig none() { return {}; }
+  // The state of the production stack at the time of the paper's study.
+  static KernelBugConfig as_shipped() {
+    return {.optimized_dwconv_int16_overflow = true,
+            .reference_avgpool_bad_shift = true};
+  }
+};
+
+class OpResolver {
+ public:
+  virtual ~OpResolver() = default;
+  virtual std::string name() const = 0;
+
+  // Resolves the kernel for a node; throws MlxError if unsupported.
+  const KernelFn& find(const Node& node) const;
+
+  // True if the node executes in the integer path.
+  static bool is_quantized_node(const Node& node);
+
+ protected:
+  KernelMap map_;
+};
+
+// Production resolver: optimized kernels (+ shared structural ops). Falls
+// back to reference implementations for ops without an optimized variant.
+class BuiltinOpResolver : public OpResolver {
+ public:
+  explicit BuiltinOpResolver(KernelBugConfig bugs = KernelBugConfig::none());
+  std::string name() const override { return "OpResolver(optimized)"; }
+};
+
+// Debugging resolver: reference kernels only.
+class RefOpResolver : public OpResolver {
+ public:
+  explicit RefOpResolver(KernelBugConfig bugs = KernelBugConfig::none());
+  std::string name() const override { return "RefOpResolver(reference)"; }
+};
+
+}  // namespace mlexray

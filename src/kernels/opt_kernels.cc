@@ -1,0 +1,455 @@
+#include "src/kernels/opt_kernels.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "src/kernels/activation.h"
+#include "src/kernels/conv_utils.h"
+
+namespace mlexray {
+namespace {
+
+void run_chunked(const KernelContext& ctx, std::size_t count,
+                 const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (ctx.pool != nullptr && count >= 8) {
+    ctx.pool->parallel_for(0, count, fn);
+  } else {
+    fn(0, count);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Float optimized kernels.
+// ---------------------------------------------------------------------------
+
+// im2col: one row per output pixel, columns ordered (fy, fx, ic) to match the
+// OHWI filter layout, so the conv becomes contiguous dot products.
+void conv2d_f32_opt(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Node& node = *ctx.node;
+  const Tensor& filter = node.weights[0];
+  const float* bias = node.weights[1].data<float>();
+  const Shape& is = in.shape();
+  const Shape& fs = filter.shape();
+  const Shape& os = ctx.output->shape();
+  const int kh = static_cast<int>(fs.dim(1));
+  const int kw = static_cast<int>(fs.dim(2));
+  const std::int64_t in_ch = is.dim(3);
+  const std::int64_t out_ch = os.dim(3);
+  const std::int64_t patch = static_cast<std::int64_t>(kh) * kw * in_ch;
+  const std::int64_t pad_h = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(1), kh, node.attrs.stride_h, os.dim(1))
+                                 : 0;
+  const std::int64_t pad_w = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(2), kw, node.attrs.stride_w, os.dim(2))
+                                 : 0;
+  const float* x = in.data<float>();
+  const float* w = filter.data<float>();
+  float* y = ctx.output->data<float>();
+  const Activation act = node.attrs.activation;
+
+  const std::int64_t rows = os.dim(1) * os.dim(2);
+  std::vector<float> col(static_cast<std::size_t>(rows * patch));
+  for (std::int64_t n = 0; n < os.dim(0); ++n) {
+    // Pack patches (row-contiguous channel strips copied with memcpy).
+    for (std::int64_t oy = 0; oy < os.dim(1); ++oy) {
+      for (std::int64_t ox = 0; ox < os.dim(2); ++ox) {
+        float* row = col.data() + (oy * os.dim(2) + ox) * patch;
+        for (int fy = 0; fy < kh; ++fy) {
+          const std::int64_t iy = oy * node.attrs.stride_h - pad_h + fy;
+          for (int fx = 0; fx < kw; ++fx) {
+            const std::int64_t ix = ox * node.attrs.stride_w - pad_w + fx;
+            float* dst = row + (static_cast<std::int64_t>(fy) * kw + fx) * in_ch;
+            if (iy < 0 || iy >= is.dim(1) || ix < 0 || ix >= is.dim(2)) {
+              std::memset(dst, 0, static_cast<std::size_t>(in_ch) * sizeof(float));
+            } else {
+              const float* src = x + ((n * is.dim(1) + iy) * is.dim(2) + ix) * in_ch;
+              std::memcpy(dst, src, static_cast<std::size_t>(in_ch) * sizeof(float));
+            }
+          }
+        }
+      }
+    }
+    // GEMM: [rows x patch] * [patch x out_ch]^T, parallel over pixel rows.
+    run_chunked(ctx, static_cast<std::size_t>(rows), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t r = lo; r < hi; ++r) {
+        const float* xr = col.data() + static_cast<std::int64_t>(r) * patch;
+        float* yr = y + (n * rows + static_cast<std::int64_t>(r)) * out_ch;
+        for (std::int64_t oc = 0; oc < out_ch; ++oc) {
+          const float* wr = w + oc * patch;
+          float acc = bias[oc];
+          for (std::int64_t k = 0; k < patch; ++k) acc += xr[k] * wr[k];
+          yr[oc] = apply_activation_f32(acc, act);
+        }
+      }
+    });
+  }
+}
+
+// Depthwise conv with channel-contiguous inner loops and hoisted edge checks.
+void dwconv2d_f32_opt(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Node& node = *ctx.node;
+  const Tensor& filter = node.weights[0];
+  const float* bias = node.weights[1].data<float>();
+  const Shape& is = in.shape();
+  const Shape& fs = filter.shape();
+  const Shape& os = ctx.output->shape();
+  const int kh = static_cast<int>(fs.dim(1));
+  const int kw = static_cast<int>(fs.dim(2));
+  const std::int64_t ch = is.dim(3);
+  const std::int64_t pad_h = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(1), kh, node.attrs.stride_h, os.dim(1))
+                                 : 0;
+  const std::int64_t pad_w = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(2), kw, node.attrs.stride_w, os.dim(2))
+                                 : 0;
+  const float* x = in.data<float>();
+  const float* w = filter.data<float>();
+  float* y = ctx.output->data<float>();
+  const Activation act = node.attrs.activation;
+  const std::int64_t out_rows = os.dim(0) * os.dim(1);
+  run_chunked(ctx, static_cast<std::size_t>(out_rows), [&](std::size_t lo, std::size_t hi) {
+    std::vector<float> acc(static_cast<std::size_t>(ch));
+    for (std::size_t row = lo; row < hi; ++row) {
+      const std::int64_t n = static_cast<std::int64_t>(row) / os.dim(1);
+      const std::int64_t oy = static_cast<std::int64_t>(row) % os.dim(1);
+      for (std::int64_t ox = 0; ox < os.dim(2); ++ox) {
+        for (std::int64_t c = 0; c < ch; ++c) acc[static_cast<std::size_t>(c)] = bias[c];
+        for (int fy = 0; fy < kh; ++fy) {
+          const std::int64_t iy = oy * node.attrs.stride_h - pad_h + fy;
+          if (iy < 0 || iy >= is.dim(1)) continue;
+          for (int fx = 0; fx < kw; ++fx) {
+            const std::int64_t ix = ox * node.attrs.stride_w - pad_w + fx;
+            if (ix < 0 || ix >= is.dim(2)) continue;
+            const float* xp = x + ((n * is.dim(1) + iy) * is.dim(2) + ix) * ch;
+            const float* wp = w + (static_cast<std::int64_t>(fy) * kw + fx) * ch;
+            for (std::int64_t c = 0; c < ch; ++c) {
+              acc[static_cast<std::size_t>(c)] += xp[c] * wp[c];
+            }
+          }
+        }
+        float* yp = y + ((n * os.dim(1) + oy) * os.dim(2) + ox) * ch;
+        for (std::int64_t c = 0; c < ch; ++c) {
+          yp[c] = apply_activation_f32(acc[static_cast<std::size_t>(c)], act);
+        }
+      }
+    }
+  });
+}
+
+void fc_f32_opt(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Node& node = *ctx.node;
+  const Tensor& weight = node.weights[0];
+  const float* bias = node.weights[1].data<float>();
+  const std::int64_t batch = in.shape().dim(0);
+  const std::int64_t in_dim = weight.shape().dim(1);
+  const std::int64_t out_dim = weight.shape().dim(0);
+  const float* x = in.data<float>();
+  const float* w = weight.data<float>();
+  float* y = ctx.output->data<float>();
+  const Activation act = node.attrs.activation;
+  run_chunked(ctx, static_cast<std::size_t>(batch * out_dim),
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i) {
+                  const std::int64_t n = static_cast<std::int64_t>(i) / out_dim;
+                  const std::int64_t o = static_cast<std::int64_t>(i) % out_dim;
+                  const float* xr = x + n * in_dim;
+                  const float* wr = w + o * in_dim;
+                  float acc = bias[o];
+                  for (std::int64_t k = 0; k < in_dim; ++k) acc += xr[k] * wr[k];
+                  y[i] = apply_activation_f32(acc, act);
+                }
+              });
+}
+
+// Pad with whole-row memcpy (contrast with the reference element loop).
+template <typename T>
+void pad_fast(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Node& node = *ctx.node;
+  const Shape& is = in.shape();
+  const Shape& os = ctx.output->shape();
+  T pad_value = 0;
+  if constexpr (std::is_same_v<T, std::int8_t>) {
+    if (ctx.output->quant().quantized()) {
+      pad_value = static_cast<T>(ctx.output->quant().zero_point());
+    }
+  }
+  T* y = ctx.output->data<T>();
+  const T* x = in.data<T>();
+  const std::int64_t ch = is.dim(3);
+  const std::size_t in_row_bytes = static_cast<std::size_t>(is.dim(2) * ch) * sizeof(T);
+  std::fill(y, y + os.num_elements(), pad_value);
+  for (std::int64_t n = 0; n < is.dim(0); ++n) {
+    for (std::int64_t h = 0; h < is.dim(1); ++h) {
+      T* dst = y + (((n * os.dim(1) + h + node.attrs.pad_top) * os.dim(2)) +
+                    node.attrs.pad_left) * ch;
+      const T* src = x + (n * is.dim(1) + h) * is.dim(2) * ch;
+      std::memcpy(dst, src, in_row_bytes);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantized optimized kernels: integer-only fixed-point requantization.
+// ---------------------------------------------------------------------------
+
+void conv2d_i8_opt(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Node& node = *ctx.node;
+  const Tensor& filter = node.weights[0];
+  const Tensor& bias = node.weights[1];
+  Tensor& out = *ctx.output;
+  const Shape& is = in.shape();
+  const Shape& fs = filter.shape();
+  const Shape& os = out.shape();
+  const int kh = static_cast<int>(fs.dim(1));
+  const int kw = static_cast<int>(fs.dim(2));
+  const std::int64_t in_ch = is.dim(3);
+  const std::int64_t out_ch = os.dim(3);
+  const std::int64_t pad_h = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(1), kh, node.attrs.stride_h, os.dim(1))
+                                 : 0;
+  const std::int64_t pad_w = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(2), kw, node.attrs.stride_w, os.dim(2))
+                                 : 0;
+  const std::int32_t in_zp = in.quant().zero_point();
+  const std::int32_t out_zp = out.quant().zero_point();
+  RequantScales rq = prepare_requant(in.quant(), filter.quant(), out.quant(), out_ch);
+  QuantActivationRange range = quant_activation_range(
+      node.attrs.activation, out.quant().scale(), out_zp);
+  const std::int8_t* x = in.data<std::int8_t>();
+  const std::int8_t* w = filter.data<std::int8_t>();
+  const std::int32_t* b = bias.data<std::int32_t>();
+  std::int8_t* y = out.data<std::int8_t>();
+  const std::int64_t rows = os.dim(0) * os.dim(1) * os.dim(2);
+  run_chunked(ctx, static_cast<std::size_t>(rows), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      const std::int64_t idx = static_cast<std::int64_t>(r);
+      const std::int64_t n = idx / (os.dim(1) * os.dim(2));
+      const std::int64_t oy = (idx / os.dim(2)) % os.dim(1);
+      const std::int64_t ox = idx % os.dim(2);
+      std::int8_t* yp = y + idx * out_ch;
+      for (std::int64_t oc = 0; oc < out_ch; ++oc) {
+        std::int32_t acc = b[oc];
+        for (int fy = 0; fy < kh; ++fy) {
+          const std::int64_t iy = oy * node.attrs.stride_h - pad_h + fy;
+          if (iy < 0 || iy >= is.dim(1)) continue;
+          for (int fx = 0; fx < kw; ++fx) {
+            const std::int64_t ix = ox * node.attrs.stride_w - pad_w + fx;
+            if (ix < 0 || ix >= is.dim(2)) continue;
+            const std::int8_t* xp = x + ((n * is.dim(1) + iy) * is.dim(2) + ix) * in_ch;
+            const std::int8_t* wp = w + ((oc * kh + fy) * kw + fx) * in_ch;
+            for (std::int64_t ic = 0; ic < in_ch; ++ic) {
+              acc += (static_cast<std::int32_t>(xp[ic]) - in_zp) *
+                     static_cast<std::int32_t>(wp[ic]);
+            }
+          }
+        }
+        std::int32_t scaled = multiply_by_quantized_multiplier(
+            acc, rq.multipliers[static_cast<std::size_t>(oc)],
+            rq.shifts[static_cast<std::size_t>(oc)]);
+        std::int32_t q = std::clamp(scaled + out_zp, range.min, range.max);
+        yp[oc] = static_cast<std::int8_t>(q);
+      }
+    }
+  });
+}
+
+// emulate_bug == true re-creates the production defect the paper's Fig 6
+// localises, in the specialized 3x3 fast path only (as in the production
+// kernels the paper debugged): the accumulator is held in int16 and the
+// requantization shift is applied with the wrong sign, pinning outputs to
+// the clamp rails from the first 3x3 DepthwiseConv2D layer onward. 1x1
+// depthwise ops (e.g. folded scale/shift layers) take the generic path and
+// are unaffected.
+template <bool kEmulateBug>
+void dwconv2d_i8_opt(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Node& node = *ctx.node;
+  const Tensor& filter = node.weights[0];
+  const Tensor& bias = node.weights[1];
+  Tensor& out = *ctx.output;
+  const Shape& is = in.shape();
+  const Shape& fs = filter.shape();
+  const Shape& os = out.shape();
+  const int kh = static_cast<int>(fs.dim(1));
+  const int kw = static_cast<int>(fs.dim(2));
+  const std::int64_t ch = is.dim(3);
+  const std::int64_t pad_h = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(1), kh, node.attrs.stride_h, os.dim(1))
+                                 : 0;
+  const std::int64_t pad_w = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(2), kw, node.attrs.stride_w, os.dim(2))
+                                 : 0;
+  const std::int32_t in_zp = in.quant().zero_point();
+  const std::int32_t out_zp = out.quant().zero_point();
+  RequantScales rq = prepare_requant(in.quant(), filter.quant(), out.quant(), ch);
+  QuantActivationRange range = quant_activation_range(
+      node.attrs.activation, out.quant().scale(), out_zp);
+  const std::int8_t* x = in.data<std::int8_t>();
+  const std::int8_t* w = filter.data<std::int8_t>();
+  const std::int32_t* b = bias.data<std::int32_t>();
+  std::int8_t* y = out.data<std::int8_t>();
+  // The defect lives in the specialized 3x3 fast path only.
+  const bool fast_path_bug = kEmulateBug && kh == 3 && kw == 3;
+  const std::int64_t rows = os.dim(0) * os.dim(1);
+  run_chunked(ctx, static_cast<std::size_t>(rows), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t row = lo; row < hi; ++row) {
+      const std::int64_t n = static_cast<std::int64_t>(row) / os.dim(1);
+      const std::int64_t oy = static_cast<std::int64_t>(row) % os.dim(1);
+      for (std::int64_t ox = 0; ox < os.dim(2); ++ox) {
+        std::int8_t* yp = y + ((n * os.dim(1) + oy) * os.dim(2) + ox) * ch;
+        for (std::int64_t c = 0; c < ch; ++c) {
+          std::int32_t acc32 = 0;
+          std::int16_t acc16 = 0;
+          for (int fy = 0; fy < kh; ++fy) {
+            const std::int64_t iy = oy * node.attrs.stride_h - pad_h + fy;
+            if (iy < 0 || iy >= is.dim(1)) continue;
+            for (int fx = 0; fx < kw; ++fx) {
+              const std::int64_t ix = ox * node.attrs.stride_w - pad_w + fx;
+              if (ix < 0 || ix >= is.dim(2)) continue;
+              const std::int32_t x_q = x[((n * is.dim(1) + iy) * is.dim(2) + ix) * ch + c];
+              const std::int32_t w_q = w[(fy * kw + fx) * ch + c];
+              if (fast_path_bug) {
+                // BUG part 1: int16 accumulator wraps on real activations.
+                acc16 = static_cast<std::int16_t>(acc16 + (x_q - in_zp) * w_q);
+              } else {
+                acc32 += (x_q - in_zp) * w_q;
+              }
+            }
+          }
+          std::int32_t scaled;
+          if (fast_path_bug) {
+            // BUG part 2: the requantization applies the power-of-two shift
+            // with the wrong sign (an exponent-overflow defect), so every
+            // non-trivial accumulator saturates to a clamp rail — the
+            // "invalid or constant output" signature of §4.4.
+            acc16 = static_cast<std::int16_t>(acc16 + b[c]);
+            const int wrong_shift = -rq.shifts[static_cast<std::size_t>(c)];
+            std::int64_t wide =
+                static_cast<std::int64_t>(saturating_rounding_doubling_high_mul(
+                    acc16, rq.multipliers[static_cast<std::size_t>(c)]))
+                << std::min(wrong_shift, 30);
+            scaled = static_cast<std::int32_t>(std::clamp<std::int64_t>(
+                wide, std::numeric_limits<std::int32_t>::min(),
+                std::numeric_limits<std::int32_t>::max()));
+          } else {
+            scaled = multiply_by_quantized_multiplier(
+                acc32 + b[c], rq.multipliers[static_cast<std::size_t>(c)],
+                rq.shifts[static_cast<std::size_t>(c)]);
+          }
+          std::int32_t q = std::clamp(scaled + out_zp, range.min, range.max);
+          yp[c] = static_cast<std::int8_t>(q);
+        }
+      }
+    }
+  });
+}
+
+void fc_i8_opt(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Node& node = *ctx.node;
+  const Tensor& weight = node.weights[0];
+  const Tensor& bias = node.weights[1];
+  Tensor& out = *ctx.output;
+  const std::int64_t batch = in.shape().dim(0);
+  const std::int64_t in_dim = weight.shape().dim(1);
+  const std::int64_t out_dim = weight.shape().dim(0);
+  const std::int32_t in_zp = in.quant().zero_point();
+  const std::int32_t out_zp = out.quant().zero_point();
+  RequantScales rq = prepare_requant(in.quant(), weight.quant(), out.quant(), out_dim);
+  QuantActivationRange range = quant_activation_range(
+      node.attrs.activation, out.quant().scale(), out_zp);
+  const std::int8_t* x = in.data<std::int8_t>();
+  const std::int8_t* w = weight.data<std::int8_t>();
+  const std::int32_t* b = bias.data<std::int32_t>();
+  std::int8_t* y = out.data<std::int8_t>();
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t o = 0; o < out_dim; ++o) {
+      std::int32_t acc = b[o];
+      const std::int8_t* xr = x + n * in_dim;
+      const std::int8_t* wr = w + o * in_dim;
+      for (std::int64_t k = 0; k < in_dim; ++k) {
+        acc += (static_cast<std::int32_t>(xr[k]) - in_zp) *
+               static_cast<std::int32_t>(wr[k]);
+      }
+      std::int32_t scaled = multiply_by_quantized_multiplier(
+          acc, rq.multipliers[static_cast<std::size_t>(o)],
+          rq.shifts[static_cast<std::size_t>(o)]);
+      y[n * out_dim + o] = static_cast<std::int8_t>(
+          std::clamp(scaled + out_zp, range.min, range.max));
+    }
+  }
+}
+
+// Integer-only average pool (sum + rounded integer division); assumes the
+// quantizer keeps input and output scales identical for pools, which it does.
+void avgpool_i8_opt(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Node& node = *ctx.node;
+  Tensor& out = *ctx.output;
+  const Shape& is = in.shape();
+  const Shape& os = out.shape();
+  const int fh = node.attrs.filter_h;
+  const int fw = node.attrs.filter_w;
+  const std::int64_t ch = is.dim(3);
+  const std::int64_t pad_h = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(1), fh, node.attrs.stride_h, os.dim(1))
+                                 : 0;
+  const std::int64_t pad_w = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(2), fw, node.attrs.stride_w, os.dim(2))
+                                 : 0;
+  const std::int8_t* x = in.data<std::int8_t>();
+  std::int8_t* y = out.data<std::int8_t>();
+  for (std::int64_t n = 0; n < os.dim(0); ++n) {
+    for (std::int64_t oy = 0; oy < os.dim(1); ++oy) {
+      for (std::int64_t ox = 0; ox < os.dim(2); ++ox) {
+        for (std::int64_t c = 0; c < ch; ++c) {
+          std::int32_t sum = 0;
+          int count = 0;
+          for (int fy = 0; fy < fh; ++fy) {
+            const std::int64_t iy = oy * node.attrs.stride_h - pad_h + fy;
+            if (iy < 0 || iy >= is.dim(1)) continue;
+            for (int fx = 0; fx < fw; ++fx) {
+              const std::int64_t ix = ox * node.attrs.stride_w - pad_w + fx;
+              if (ix < 0 || ix >= is.dim(2)) continue;
+              sum += x[((n * is.dim(1) + iy) * is.dim(2) + ix) * ch + c];
+              ++count;
+            }
+          }
+          // Rounded division toward nearest.
+          std::int32_t q = count > 0
+                               ? (sum >= 0 ? (sum + count / 2) / count
+                                           : (sum - count / 2) / count)
+                               : 0;
+          y[((n * os.dim(1) + oy) * os.dim(2) + ox) * ch + c] = clamp_to_i8(q);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void register_opt_float_kernels(KernelMap& map) {
+  map[{OpType::kConv2D, false}] = conv2d_f32_opt;
+  map[{OpType::kDepthwiseConv2D, false}] = dwconv2d_f32_opt;
+  map[{OpType::kFullyConnected, false}] = fc_f32_opt;
+  map[{OpType::kPad, false}] = pad_fast<float>;
+}
+
+void register_opt_quant_kernels(KernelMap& map, bool emulate_dwconv_bug) {
+  map[{OpType::kConv2D, true}] = conv2d_i8_opt;
+  map[{OpType::kDepthwiseConv2D, true}] =
+      emulate_dwconv_bug ? KernelFn(dwconv2d_i8_opt<true>)
+                         : KernelFn(dwconv2d_i8_opt<false>);
+  map[{OpType::kFullyConnected, true}] = fc_i8_opt;
+  map[{OpType::kAvgPool2D, true}] = avgpool_i8_opt;
+  map[{OpType::kPad, true}] = pad_fast<std::int8_t>;
+}
+
+}  // namespace mlexray

@@ -1,0 +1,17 @@
+// Optimized kernels: im2col + contiguous dot products, integer-only
+// fixed-point requantization, optional multithreading — the "production"
+// resolver (mirrors TFLite's register.h kernels in the paper §4.4).
+//
+// The quantized DepthwiseConv2D kernel optionally emulates the production
+// bug the paper discovered (int16 accumulator overflow wrapping); see
+// KernelBugConfig in op_resolver.h.
+#pragma once
+
+#include "src/kernels/shared_kernels.h"
+
+namespace mlexray {
+
+void register_opt_float_kernels(KernelMap& map);
+void register_opt_quant_kernels(KernelMap& map, bool emulate_dwconv_bug);
+
+}  // namespace mlexray

@@ -1,0 +1,647 @@
+#include "src/kernels/ref_kernels.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/kernels/activation.h"
+#include "src/kernels/conv_utils.h"
+
+namespace mlexray {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Float reference kernels: naive loops, no blocking, no threading.
+// ---------------------------------------------------------------------------
+
+void conv2d_f32(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Node& node = *ctx.node;
+  const Tensor& filter = node.weights[0];  // OHWI
+  const float* bias = node.weights[1].data<float>();
+  const Shape& is = in.shape();
+  const Shape& fs = filter.shape();
+  const Shape& os = ctx.output->shape();
+  const int kh = static_cast<int>(fs.dim(1));
+  const int kw = static_cast<int>(fs.dim(2));
+  const std::int64_t in_ch = is.dim(3);
+  const std::int64_t pad_h = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(1), kh, node.attrs.stride_h, os.dim(1))
+                                 : 0;
+  const std::int64_t pad_w = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(2), kw, node.attrs.stride_w, os.dim(2))
+                                 : 0;
+  const float* x = in.data<float>();
+  const float* w = filter.data<float>();
+  float* y = ctx.output->data<float>();
+  for (std::int64_t n = 0; n < os.dim(0); ++n) {
+    for (std::int64_t oy = 0; oy < os.dim(1); ++oy) {
+      for (std::int64_t ox = 0; ox < os.dim(2); ++ox) {
+        for (std::int64_t oc = 0; oc < os.dim(3); ++oc) {
+          float acc = bias[oc];
+          for (int fy = 0; fy < kh; ++fy) {
+            const std::int64_t iy = oy * node.attrs.stride_h - pad_h + fy;
+            if (iy < 0 || iy >= is.dim(1)) continue;
+            for (int fx = 0; fx < kw; ++fx) {
+              const std::int64_t ix = ox * node.attrs.stride_w - pad_w + fx;
+              if (ix < 0 || ix >= is.dim(2)) continue;
+              const float* xp = x + ((n * is.dim(1) + iy) * is.dim(2) + ix) * in_ch;
+              const float* wp = w + ((oc * kh + fy) * kw + fx) * in_ch;
+              for (std::int64_t ic = 0; ic < in_ch; ++ic) acc += xp[ic] * wp[ic];
+            }
+          }
+          y[((n * os.dim(1) + oy) * os.dim(2) + ox) * os.dim(3) + oc] =
+              apply_activation_f32(acc, node.attrs.activation);
+        }
+      }
+    }
+  }
+}
+
+void dwconv2d_f32(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Node& node = *ctx.node;
+  const Tensor& filter = node.weights[0];  // [1, kh, kw, ch]
+  const float* bias = node.weights[1].data<float>();
+  const Shape& is = in.shape();
+  const Shape& fs = filter.shape();
+  const Shape& os = ctx.output->shape();
+  const int kh = static_cast<int>(fs.dim(1));
+  const int kw = static_cast<int>(fs.dim(2));
+  const std::int64_t ch = is.dim(3);
+  const std::int64_t pad_h = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(1), kh, node.attrs.stride_h, os.dim(1))
+                                 : 0;
+  const std::int64_t pad_w = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(2), kw, node.attrs.stride_w, os.dim(2))
+                                 : 0;
+  const float* x = in.data<float>();
+  const float* w = filter.data<float>();
+  float* y = ctx.output->data<float>();
+  for (std::int64_t n = 0; n < os.dim(0); ++n) {
+    for (std::int64_t oy = 0; oy < os.dim(1); ++oy) {
+      for (std::int64_t ox = 0; ox < os.dim(2); ++ox) {
+        for (std::int64_t c = 0; c < ch; ++c) {
+          float acc = bias[c];
+          for (int fy = 0; fy < kh; ++fy) {
+            const std::int64_t iy = oy * node.attrs.stride_h - pad_h + fy;
+            if (iy < 0 || iy >= is.dim(1)) continue;
+            for (int fx = 0; fx < kw; ++fx) {
+              const std::int64_t ix = ox * node.attrs.stride_w - pad_w + fx;
+              if (ix < 0 || ix >= is.dim(2)) continue;
+              acc += x[((n * is.dim(1) + iy) * is.dim(2) + ix) * ch + c] *
+                     w[(fy * kw + fx) * ch + c];
+            }
+          }
+          y[((n * os.dim(1) + oy) * os.dim(2) + ox) * ch + c] =
+              apply_activation_f32(acc, node.attrs.activation);
+        }
+      }
+    }
+  }
+}
+
+void fc_f32(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Node& node = *ctx.node;
+  const Tensor& weight = node.weights[0];  // [out, in]
+  const float* bias = node.weights[1].data<float>();
+  const std::int64_t batch = in.shape().dim(0);
+  const std::int64_t in_dim = weight.shape().dim(1);
+  const std::int64_t out_dim = weight.shape().dim(0);
+  const float* x = in.data<float>();
+  const float* w = weight.data<float>();
+  float* y = ctx.output->data<float>();
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t o = 0; o < out_dim; ++o) {
+      float acc = bias[o];
+      for (std::int64_t i = 0; i < in_dim; ++i) {
+        acc += x[n * in_dim + i] * w[o * in_dim + i];
+      }
+      y[n * out_dim + o] = apply_activation_f32(acc, node.attrs.activation);
+    }
+  }
+}
+
+template <bool kIsMax>
+void pool_f32(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Node& node = *ctx.node;
+  const Shape& is = in.shape();
+  const Shape& os = ctx.output->shape();
+  const int fh = node.attrs.filter_h;
+  const int fw = node.attrs.filter_w;
+  const std::int64_t ch = is.dim(3);
+  const std::int64_t pad_h = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(1), fh, node.attrs.stride_h, os.dim(1))
+                                 : 0;
+  const std::int64_t pad_w = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(2), fw, node.attrs.stride_w, os.dim(2))
+                                 : 0;
+  const float* x = in.data<float>();
+  float* y = ctx.output->data<float>();
+  for (std::int64_t n = 0; n < os.dim(0); ++n) {
+    for (std::int64_t oy = 0; oy < os.dim(1); ++oy) {
+      for (std::int64_t ox = 0; ox < os.dim(2); ++ox) {
+        for (std::int64_t c = 0; c < ch; ++c) {
+          float best = -3.4e38f;
+          float sum = 0.0f;
+          int count = 0;
+          for (int fy = 0; fy < fh; ++fy) {
+            const std::int64_t iy = oy * node.attrs.stride_h - pad_h + fy;
+            if (iy < 0 || iy >= is.dim(1)) continue;
+            for (int fx = 0; fx < fw; ++fx) {
+              const std::int64_t ix = ox * node.attrs.stride_w - pad_w + fx;
+              if (ix < 0 || ix >= is.dim(2)) continue;
+              float v = x[((n * is.dim(1) + iy) * is.dim(2) + ix) * ch + c];
+              best = std::max(best, v);
+              sum += v;
+              ++count;
+            }
+          }
+          y[((n * os.dim(1) + oy) * os.dim(2) + ox) * ch + c] =
+              kIsMax ? best : (count > 0 ? sum / static_cast<float>(count) : 0.0f);
+        }
+      }
+    }
+  }
+}
+
+void mean_f32(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Shape& is = in.shape();
+  const std::int64_t hw = is.dim(1) * is.dim(2);
+  const std::int64_t ch = is.dim(3);
+  const float* x = in.data<float>();
+  float* y = ctx.output->data<float>();
+  for (std::int64_t n = 0; n < is.dim(0); ++n) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      float sum = 0.0f;
+      for (std::int64_t p = 0; p < hw; ++p) sum += x[(n * hw + p) * ch + c];
+      y[n * ch + c] = sum / static_cast<float>(hw);
+    }
+  }
+}
+
+// Element-at-a-time pad (intentionally naive; the optimized resolver uses
+// row memcpy, reproducing the paper's Pad latency gap in Table 4).
+template <typename T>
+void pad_naive(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Node& node = *ctx.node;
+  const Shape& is = in.shape();
+  const Shape& os = ctx.output->shape();
+  T pad_value = 0;
+  if constexpr (std::is_same_v<T, std::int8_t>) {
+    if (ctx.output->quant().quantized()) {
+      pad_value = static_cast<T>(ctx.output->quant().zero_point());
+    }
+  }
+  T* y = ctx.output->data<T>();
+  for (std::int64_t i = 0; i < os.num_elements(); ++i) y[i] = pad_value;
+  const T* x = in.data<T>();
+  for (std::int64_t n = 0; n < is.dim(0); ++n) {
+    for (std::int64_t h = 0; h < is.dim(1); ++h) {
+      for (std::int64_t w = 0; w < is.dim(2); ++w) {
+        for (std::int64_t c = 0; c < is.dim(3); ++c) {
+          y[((n * os.dim(1) + h + node.attrs.pad_top) * os.dim(2) + w +
+             node.attrs.pad_left) * os.dim(3) + c] =
+              x[((n * is.dim(1) + h) * is.dim(2) + w) * is.dim(3) + c];
+        }
+      }
+    }
+  }
+}
+
+void add_f32(const KernelContext& ctx) {
+  const float* a = ctx.input(0).data<float>();
+  const float* b = ctx.input(1).data<float>();
+  float* y = ctx.output->data<float>();
+  const Activation act = ctx.node->attrs.activation;
+  for (std::int64_t i = 0; i < ctx.output->num_elements(); ++i) {
+    y[i] = apply_activation_f32(a[i] + b[i], act);
+  }
+}
+
+void mul_f32(const KernelContext& ctx) {
+  const Tensor& a = ctx.input(0);
+  const Tensor& b = ctx.input(1);
+  const Shape& as = a.shape();
+  const Shape& bs = b.shape();
+  const float* pa = a.data<float>();
+  const float* pb = b.data<float>();
+  float* y = ctx.output->data<float>();
+  if (as == bs) {
+    for (std::int64_t i = 0; i < a.num_elements(); ++i) y[i] = pa[i] * pb[i];
+    return;
+  }
+  // b broadcast [N,1,1,C] over a [N,H,W,C] (squeeze-excite gate).
+  const std::int64_t hw = as.dim(1) * as.dim(2);
+  const std::int64_t ch = as.dim(3);
+  for (std::int64_t n = 0; n < as.dim(0); ++n) {
+    for (std::int64_t p = 0; p < hw; ++p) {
+      for (std::int64_t c = 0; c < ch; ++c) {
+        y[(n * hw + p) * ch + c] = pa[(n * hw + p) * ch + c] * pb[n * ch + c];
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantized (int8) reference kernels: double-precision requantization.
+// ---------------------------------------------------------------------------
+
+void conv2d_i8_ref(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Node& node = *ctx.node;
+  const Tensor& filter = node.weights[0];
+  const Tensor& bias = node.weights[1];
+  Tensor& out = *ctx.output;
+  const Shape& is = in.shape();
+  const Shape& fs = filter.shape();
+  const Shape& os = out.shape();
+  const int kh = static_cast<int>(fs.dim(1));
+  const int kw = static_cast<int>(fs.dim(2));
+  const std::int64_t in_ch = is.dim(3);
+  const std::int64_t pad_h = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(1), kh, node.attrs.stride_h, os.dim(1))
+                                 : 0;
+  const std::int64_t pad_w = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(2), kw, node.attrs.stride_w, os.dim(2))
+                                 : 0;
+  const std::int32_t in_zp = in.quant().zero_point();
+  const std::int32_t out_zp = out.quant().zero_point();
+  RequantScales rq =
+      prepare_requant(in.quant(), filter.quant(), out.quant(), os.dim(3));
+  QuantActivationRange range = quant_activation_range(
+      node.attrs.activation, out.quant().scale(), out_zp);
+  const std::int8_t* x = in.data<std::int8_t>();
+  const std::int8_t* w = filter.data<std::int8_t>();
+  const std::int32_t* b = bias.data<std::int32_t>();
+  std::int8_t* y = out.data<std::int8_t>();
+  for (std::int64_t n = 0; n < os.dim(0); ++n) {
+    for (std::int64_t oy = 0; oy < os.dim(1); ++oy) {
+      for (std::int64_t ox = 0; ox < os.dim(2); ++ox) {
+        for (std::int64_t oc = 0; oc < os.dim(3); ++oc) {
+          std::int32_t acc = b[oc];
+          for (int fy = 0; fy < kh; ++fy) {
+            const std::int64_t iy = oy * node.attrs.stride_h - pad_h + fy;
+            if (iy < 0 || iy >= is.dim(1)) continue;
+            for (int fx = 0; fx < kw; ++fx) {
+              const std::int64_t ix = ox * node.attrs.stride_w - pad_w + fx;
+              if (ix < 0 || ix >= is.dim(2)) continue;
+              const std::int8_t* xp =
+                  x + ((n * is.dim(1) + iy) * is.dim(2) + ix) * in_ch;
+              const std::int8_t* wp = w + ((oc * kh + fy) * kw + fx) * in_ch;
+              for (std::int64_t ic = 0; ic < in_ch; ++ic) {
+                acc += (static_cast<std::int32_t>(xp[ic]) - in_zp) *
+                       static_cast<std::int32_t>(wp[ic]);
+              }
+            }
+          }
+          auto scaled = static_cast<std::int32_t>(std::lround(
+              static_cast<double>(acc) * rq.real[static_cast<std::size_t>(oc)]));
+          std::int32_t q = scaled + out_zp;
+          q = std::clamp(q, range.min, range.max);
+          y[((n * os.dim(1) + oy) * os.dim(2) + ox) * os.dim(3) + oc] =
+              static_cast<std::int8_t>(q);
+        }
+      }
+    }
+  }
+}
+
+void dwconv2d_i8_ref(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Node& node = *ctx.node;
+  const Tensor& filter = node.weights[0];
+  const Tensor& bias = node.weights[1];
+  Tensor& out = *ctx.output;
+  const Shape& is = in.shape();
+  const Shape& fs = filter.shape();
+  const Shape& os = out.shape();
+  const int kh = static_cast<int>(fs.dim(1));
+  const int kw = static_cast<int>(fs.dim(2));
+  const std::int64_t ch = is.dim(3);
+  const std::int64_t pad_h = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(1), kh, node.attrs.stride_h, os.dim(1))
+                                 : 0;
+  const std::int64_t pad_w = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(2), kw, node.attrs.stride_w, os.dim(2))
+                                 : 0;
+  const std::int32_t in_zp = in.quant().zero_point();
+  const std::int32_t out_zp = out.quant().zero_point();
+  RequantScales rq = prepare_requant(in.quant(), filter.quant(), out.quant(), ch);
+  QuantActivationRange range = quant_activation_range(
+      node.attrs.activation, out.quant().scale(), out_zp);
+  const std::int8_t* x = in.data<std::int8_t>();
+  const std::int8_t* w = filter.data<std::int8_t>();
+  const std::int32_t* b = bias.data<std::int32_t>();
+  std::int8_t* y = out.data<std::int8_t>();
+  for (std::int64_t n = 0; n < os.dim(0); ++n) {
+    for (std::int64_t oy = 0; oy < os.dim(1); ++oy) {
+      for (std::int64_t ox = 0; ox < os.dim(2); ++ox) {
+        for (std::int64_t c = 0; c < ch; ++c) {
+          std::int32_t acc = b[c];
+          for (int fy = 0; fy < kh; ++fy) {
+            const std::int64_t iy = oy * node.attrs.stride_h - pad_h + fy;
+            if (iy < 0 || iy >= is.dim(1)) continue;
+            for (int fx = 0; fx < kw; ++fx) {
+              const std::int64_t ix = ox * node.attrs.stride_w - pad_w + fx;
+              if (ix < 0 || ix >= is.dim(2)) continue;
+              acc += (static_cast<std::int32_t>(
+                          x[((n * is.dim(1) + iy) * is.dim(2) + ix) * ch + c]) -
+                      in_zp) *
+                     static_cast<std::int32_t>(w[(fy * kw + fx) * ch + c]);
+            }
+          }
+          auto scaled = static_cast<std::int32_t>(std::lround(
+              static_cast<double>(acc) * rq.real[static_cast<std::size_t>(c)]));
+          std::int32_t q = std::clamp(scaled + out_zp, range.min, range.max);
+          y[((n * os.dim(1) + oy) * os.dim(2) + ox) * ch + c] =
+              static_cast<std::int8_t>(q);
+        }
+      }
+    }
+  }
+}
+
+void fc_i8_ref(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Node& node = *ctx.node;
+  const Tensor& weight = node.weights[0];
+  const Tensor& bias = node.weights[1];
+  Tensor& out = *ctx.output;
+  const std::int64_t batch = in.shape().dim(0);
+  const std::int64_t in_dim = weight.shape().dim(1);
+  const std::int64_t out_dim = weight.shape().dim(0);
+  const std::int32_t in_zp = in.quant().zero_point();
+  const std::int32_t out_zp = out.quant().zero_point();
+  RequantScales rq =
+      prepare_requant(in.quant(), weight.quant(), out.quant(), out_dim);
+  QuantActivationRange range = quant_activation_range(
+      node.attrs.activation, out.quant().scale(), out_zp);
+  const std::int8_t* x = in.data<std::int8_t>();
+  const std::int8_t* w = weight.data<std::int8_t>();
+  const std::int32_t* b = bias.data<std::int32_t>();
+  std::int8_t* y = out.data<std::int8_t>();
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t o = 0; o < out_dim; ++o) {
+      std::int32_t acc = b[o];
+      for (std::int64_t i = 0; i < in_dim; ++i) {
+        acc += (static_cast<std::int32_t>(x[n * in_dim + i]) - in_zp) *
+               static_cast<std::int32_t>(w[o * in_dim + i]);
+      }
+      auto scaled = static_cast<std::int32_t>(std::lround(
+          static_cast<double>(acc) * rq.real[static_cast<std::size_t>(o)]));
+      std::int32_t q = std::clamp(scaled + out_zp, range.min, range.max);
+      y[n * out_dim + o] = static_cast<std::int8_t>(q);
+    }
+  }
+}
+
+// Correct int8 average pool: accumulate (q - zp_in), average with rounding,
+// rescale to the output quantization.
+void avgpool_i8_correct(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Node& node = *ctx.node;
+  Tensor& out = *ctx.output;
+  const Shape& is = in.shape();
+  const Shape& os = out.shape();
+  const int fh = node.attrs.filter_h;
+  const int fw = node.attrs.filter_w;
+  const std::int64_t ch = is.dim(3);
+  const std::int64_t pad_h = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(1), fh, node.attrs.stride_h, os.dim(1))
+                                 : 0;
+  const std::int64_t pad_w = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(2), fw, node.attrs.stride_w, os.dim(2))
+                                 : 0;
+  const float in_scale = in.quant().scale();
+  const std::int32_t in_zp = in.quant().zero_point();
+  const float out_scale = out.quant().scale();
+  const std::int32_t out_zp = out.quant().zero_point();
+  const double rescale = static_cast<double>(in_scale) / out_scale;
+  const std::int8_t* x = in.data<std::int8_t>();
+  std::int8_t* y = out.data<std::int8_t>();
+  for (std::int64_t n = 0; n < os.dim(0); ++n) {
+    for (std::int64_t oy = 0; oy < os.dim(1); ++oy) {
+      for (std::int64_t ox = 0; ox < os.dim(2); ++ox) {
+        for (std::int64_t c = 0; c < ch; ++c) {
+          std::int32_t sum = 0;
+          int count = 0;
+          for (int fy = 0; fy < fh; ++fy) {
+            const std::int64_t iy = oy * node.attrs.stride_h - pad_h + fy;
+            if (iy < 0 || iy >= is.dim(1)) continue;
+            for (int fx = 0; fx < fw; ++fx) {
+              const std::int64_t ix = ox * node.attrs.stride_w - pad_w + fx;
+              if (ix < 0 || ix >= is.dim(2)) continue;
+              sum += x[((n * is.dim(1) + iy) * is.dim(2) + ix) * ch + c] - in_zp;
+              ++count;
+            }
+          }
+          double mean = count > 0 ? static_cast<double>(sum) / count : 0.0;
+          auto q = static_cast<std::int32_t>(std::lround(mean * rescale)) + out_zp;
+          y[((n * os.dim(1) + oy) * os.dim(2) + ox) * ch + c] =
+              clamp_to_i8(q);
+        }
+      }
+    }
+  }
+}
+
+// Bug emulation (see DESIGN.md §2): the as-shipped reference AveragePool2D
+// applies a wrong fixed right-shift instead of dividing by the window size
+// and drops the zero point, collapsing outputs toward a constant — the
+// failure signature the paper observed on MobileNetV3's squeeze-excite
+// pools (0% accuracy, rMSE peaks at every SE pool layer).
+void avgpool_i8_buggy(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Node& node = *ctx.node;
+  Tensor& out = *ctx.output;
+  const Shape& is = in.shape();
+  const Shape& os = out.shape();
+  const int fh = node.attrs.filter_h;
+  const int fw = node.attrs.filter_w;
+  const std::int64_t ch = is.dim(3);
+  const std::int8_t* x = in.data<std::int8_t>();
+  std::int8_t* y = out.data<std::int8_t>();
+  for (std::int64_t n = 0; n < os.dim(0); ++n) {
+    for (std::int64_t oy = 0; oy < os.dim(1); ++oy) {
+      for (std::int64_t ox = 0; ox < os.dim(2); ++ox) {
+        for (std::int64_t c = 0; c < ch; ++c) {
+          std::int32_t sum = 0;
+          for (int fy = 0; fy < fh; ++fy) {
+            const std::int64_t iy = oy * node.attrs.stride_h + fy;
+            if (iy >= is.dim(1)) continue;
+            for (int fx = 0; fx < fw; ++fx) {
+              const std::int64_t ix = ox * node.attrs.stride_w + fx;
+              if (ix >= is.dim(2)) continue;
+              // BUG: raw quantized values, zero point not subtracted.
+              sum += x[((n * is.dim(1) + iy) * is.dim(2) + ix) * ch + c];
+            }
+          }
+          // BUG: fixed >>2 instead of dividing by the true window count.
+          // Small (2x2) windows happen to survive; the global squeeze-excite
+          // pools saturate to ±127 — the "invalid or constant output"
+          // signature the paper traced to MobileNetV3's SE pools (§4.4).
+          y[((n * os.dim(1) + oy) * os.dim(2) + ox) * ch + c] =
+              clamp_to_i8(sum >> 2);
+        }
+      }
+    }
+  }
+}
+
+void maxpool_i8(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Node& node = *ctx.node;
+  Tensor& out = *ctx.output;
+  const Shape& is = in.shape();
+  const Shape& os = out.shape();
+  const int fh = node.attrs.filter_h;
+  const int fw = node.attrs.filter_w;
+  const std::int64_t ch = is.dim(3);
+  const std::int64_t pad_h = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(1), fh, node.attrs.stride_h, os.dim(1))
+                                 : 0;
+  const std::int64_t pad_w = node.attrs.padding == Padding::kSame
+                                 ? same_pad_before(is.dim(2), fw, node.attrs.stride_w, os.dim(2))
+                                 : 0;
+  const std::int8_t* x = in.data<std::int8_t>();
+  std::int8_t* y = out.data<std::int8_t>();
+  for (std::int64_t n = 0; n < os.dim(0); ++n) {
+    for (std::int64_t oy = 0; oy < os.dim(1); ++oy) {
+      for (std::int64_t ox = 0; ox < os.dim(2); ++ox) {
+        for (std::int64_t c = 0; c < ch; ++c) {
+          std::int8_t best = -128;
+          for (int fy = 0; fy < fh; ++fy) {
+            const std::int64_t iy = oy * node.attrs.stride_h - pad_h + fy;
+            if (iy < 0 || iy >= is.dim(1)) continue;
+            for (int fx = 0; fx < fw; ++fx) {
+              const std::int64_t ix = ox * node.attrs.stride_w - pad_w + fx;
+              if (ix < 0 || ix >= is.dim(2)) continue;
+              best = std::max(best, x[((n * is.dim(1) + iy) * is.dim(2) + ix) * ch + c]);
+            }
+          }
+          y[((n * os.dim(1) + oy) * os.dim(2) + ox) * ch + c] = best;
+        }
+      }
+    }
+  }
+}
+
+void mean_i8(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  Tensor& out = *ctx.output;
+  const Shape& is = in.shape();
+  const std::int64_t hw = is.dim(1) * is.dim(2);
+  const std::int64_t ch = is.dim(3);
+  const float in_scale = in.quant().scale();
+  const std::int32_t in_zp = in.quant().zero_point();
+  const float out_scale = out.quant().scale();
+  const std::int32_t out_zp = out.quant().zero_point();
+  const double rescale = static_cast<double>(in_scale) / out_scale;
+  const std::int8_t* x = in.data<std::int8_t>();
+  std::int8_t* y = out.data<std::int8_t>();
+  for (std::int64_t n = 0; n < is.dim(0); ++n) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      std::int64_t sum = 0;
+      for (std::int64_t p = 0; p < hw; ++p) sum += x[(n * hw + p) * ch + c] - in_zp;
+      double mean = static_cast<double>(sum) / static_cast<double>(hw);
+      y[n * ch + c] = clamp_to_i8(
+          static_cast<std::int32_t>(std::lround(mean * rescale)) + out_zp);
+    }
+  }
+}
+
+void add_i8(const KernelContext& ctx) {
+  const Tensor& a = ctx.input(0);
+  const Tensor& b = ctx.input(1);
+  Tensor& out = *ctx.output;
+  const float sa = a.quant().scale();
+  const float sb = b.quant().scale();
+  const float so = out.quant().scale();
+  const std::int32_t za = a.quant().zero_point();
+  const std::int32_t zb = b.quant().zero_point();
+  const std::int32_t zo = out.quant().zero_point();
+  QuantActivationRange range =
+      quant_activation_range(ctx.node->attrs.activation, so, zo);
+  const std::int8_t* pa = a.data<std::int8_t>();
+  const std::int8_t* pb = b.data<std::int8_t>();
+  std::int8_t* y = out.data<std::int8_t>();
+  for (std::int64_t i = 0; i < out.num_elements(); ++i) {
+    double real = static_cast<double>(sa) * (pa[i] - za) +
+                  static_cast<double>(sb) * (pb[i] - zb);
+    auto q = static_cast<std::int32_t>(std::lround(real / so)) + zo;
+    y[i] = static_cast<std::int8_t>(std::clamp(q, range.min, range.max));
+  }
+}
+
+void mul_i8(const KernelContext& ctx) {
+  const Tensor& a = ctx.input(0);
+  const Tensor& b = ctx.input(1);
+  Tensor& out = *ctx.output;
+  const Shape& as = a.shape();
+  const Shape& bs = b.shape();
+  const float sa = a.quant().scale();
+  const float sb = b.quant().scale();
+  const float so = out.quant().scale();
+  const std::int32_t za = a.quant().zero_point();
+  const std::int32_t zb = b.quant().zero_point();
+  const std::int32_t zo = out.quant().zero_point();
+  const double rescale = static_cast<double>(sa) * sb / so;
+  const std::int8_t* pa = a.data<std::int8_t>();
+  const std::int8_t* pb = b.data<std::int8_t>();
+  std::int8_t* y = out.data<std::int8_t>();
+  auto emit = [&](std::int64_t out_idx, std::int64_t b_idx) {
+    std::int32_t prod = (static_cast<std::int32_t>(pa[out_idx]) - za) *
+                        (static_cast<std::int32_t>(pb[b_idx]) - zb);
+    auto q = static_cast<std::int32_t>(std::lround(prod * rescale)) + zo;
+    y[out_idx] = clamp_to_i8(q);
+  };
+  if (as == bs) {
+    for (std::int64_t i = 0; i < out.num_elements(); ++i) emit(i, i);
+    return;
+  }
+  const std::int64_t hw = as.dim(1) * as.dim(2);
+  const std::int64_t ch = as.dim(3);
+  for (std::int64_t n = 0; n < as.dim(0); ++n) {
+    for (std::int64_t p = 0; p < hw; ++p) {
+      for (std::int64_t c = 0; c < ch; ++c) {
+        emit((n * hw + p) * ch + c, n * ch + c);
+      }
+    }
+  }
+}
+
+void avgpool_f32(const KernelContext& ctx) { pool_f32<false>(ctx); }
+void maxpool_f32(const KernelContext& ctx) { pool_f32<true>(ctx); }
+
+}  // namespace
+
+void register_ref_float_kernels(KernelMap& map) {
+  map[{OpType::kConv2D, false}] = conv2d_f32;
+  map[{OpType::kDepthwiseConv2D, false}] = dwconv2d_f32;
+  map[{OpType::kFullyConnected, false}] = fc_f32;
+  map[{OpType::kAvgPool2D, false}] = avgpool_f32;
+  map[{OpType::kMaxPool2D, false}] = maxpool_f32;
+  map[{OpType::kMean, false}] = mean_f32;
+  map[{OpType::kPad, false}] = pad_naive<float>;
+  map[{OpType::kAdd, false}] = add_f32;
+  map[{OpType::kMul, false}] = mul_f32;
+}
+
+void register_ref_quant_kernels(KernelMap& map, bool emulate_avgpool_bug) {
+  map[{OpType::kConv2D, true}] = conv2d_i8_ref;
+  map[{OpType::kDepthwiseConv2D, true}] = dwconv2d_i8_ref;
+  map[{OpType::kFullyConnected, true}] = fc_i8_ref;
+  map[{OpType::kAvgPool2D, true}] =
+      emulate_avgpool_bug ? avgpool_i8_buggy : avgpool_i8_correct;
+  map[{OpType::kMaxPool2D, true}] = maxpool_i8;
+  map[{OpType::kMean, true}] = mean_i8;
+  map[{OpType::kPad, true}] = pad_naive<std::int8_t>;
+  map[{OpType::kAdd, true}] = add_i8;
+  map[{OpType::kMul, true}] = mul_i8;
+}
+
+}  // namespace mlexray

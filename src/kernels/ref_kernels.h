@@ -1,0 +1,17 @@
+// Reference kernels: straightforward nested-loop implementations, the
+// "easy-to-understand but inefficient" baseline a debugging resolver invokes
+// (mirrors TFLite's register_ref.h kernels discussed in the paper §4.4).
+//
+// The quantized AveragePool2D kernel optionally emulates the production bug
+// the paper discovered in MobileNetV3's squeeze-excite pools (constant/
+// invalid output); see KernelBugConfig in op_resolver.h.
+#pragma once
+
+#include "src/kernels/shared_kernels.h"
+
+namespace mlexray {
+
+void register_ref_float_kernels(KernelMap& map);
+void register_ref_quant_kernels(KernelMap& map, bool emulate_avgpool_bug);
+
+}  // namespace mlexray

@@ -1,0 +1,268 @@
+#include "src/kernels/shared_kernels.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/kernels/activation.h"
+
+namespace mlexray {
+namespace {
+
+void reshape_kernel(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  MLX_CHECK_EQ(in.byte_size(), ctx.output->byte_size());
+  std::memcpy(ctx.output->raw_data(), in.raw_data(), in.byte_size());
+}
+
+// Concat along the innermost (channel) axis; inputs may need requantization
+// to the common output scale in the int8 path.
+template <typename T>
+void concat_impl(const KernelContext& ctx, bool requant) {
+  Tensor& out = *ctx.output;
+  const Shape& os = out.shape();
+  std::int64_t outer = 1;
+  for (int d = 0; d < os.rank() - 1; ++d) outer *= os.dim(d);
+  std::int64_t out_ch = os.dim(os.rank() - 1);
+  T* dst = out.data<T>();
+
+  std::int64_t ch_offset = 0;
+  for (const Tensor* in : ctx.inputs) {
+    const Shape& is = in->shape();
+    std::int64_t in_ch = is.dim(is.rank() - 1);
+    const T* src = in->data<T>();
+    for (std::int64_t row = 0; row < outer; ++row) {
+      T* d = dst + row * out_ch + ch_offset;
+      const T* s = src + row * in_ch;
+      if (!requant) {
+        std::memcpy(d, s, static_cast<std::size_t>(in_ch) * sizeof(T));
+      } else {
+        const float in_scale = in->quant().scale();
+        const std::int32_t in_zp = in->quant().zero_point();
+        const float out_scale = out.quant().scale();
+        const std::int32_t out_zp = out.quant().zero_point();
+        for (std::int64_t c = 0; c < in_ch; ++c) {
+          float real = in_scale * static_cast<float>(s[c] - in_zp);
+          auto q = static_cast<std::int32_t>(std::lround(real / out_scale)) + out_zp;
+          d[c] = static_cast<T>(std::clamp<std::int32_t>(q, -128, 127));
+        }
+      }
+    }
+    ch_offset += in_ch;
+  }
+}
+
+void concat_f32(const KernelContext& ctx) { concat_impl<float>(ctx, false); }
+void concat_i8(const KernelContext& ctx) {
+  concat_impl<std::int8_t>(ctx, true);
+}
+
+void embedding_kernel(const KernelContext& ctx) {
+  const Tensor& ids = ctx.input(0);  // [N, L] i32
+  const Tensor& table = ctx.node->weights[0];
+  const std::int32_t* id_data = ids.data<std::int32_t>();
+  const float* tab = table.data<float>();
+  float* out = ctx.output->data<float>();
+  const std::int64_t vocab = table.shape().dim(0);
+  const std::int64_t dim = table.shape().dim(1);
+  const std::int64_t count = ids.num_elements();
+  for (std::int64_t i = 0; i < count; ++i) {
+    std::int64_t id = id_data[i];
+    MLX_CHECK(id >= 0 && id < vocab) << "token id out of range: " << id;
+    std::memcpy(out + i * dim, tab + id * dim,
+                static_cast<std::size_t>(dim) * sizeof(float));
+  }
+}
+
+template <typename T>
+void upsample2x_impl(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Shape& is = in.shape();
+  const std::int64_t n = is.dim(0), h = is.dim(1), w = is.dim(2), c = is.dim(3);
+  const T* src = in.data<T>();
+  T* dst = ctx.output->data<T>();
+  const std::int64_t ow = w * 2;
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        const T* s = src + ((b * h + y) * w + x) * c;
+        for (int dy = 0; dy < 2; ++dy) {
+          for (int dx = 0; dx < 2; ++dx) {
+            T* d = dst + ((b * h * 2 + y * 2 + dy) * ow + x * 2 + dx) * c;
+            std::memcpy(d, s, static_cast<std::size_t>(c) * sizeof(T));
+          }
+        }
+      }
+    }
+  }
+}
+
+void batch_norm_f32(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Node& node = *ctx.node;
+  const float* gamma = node.weights[0].data<float>();
+  const float* beta = node.weights[1].data<float>();
+  const float* mean = node.weights[2].data<float>();
+  const float* var = node.weights[3].data<float>();
+  const Shape& is = in.shape();
+  const std::int64_t ch = is.dim(is.rank() - 1);
+  const std::int64_t outer = is.num_elements() / ch;
+  const float* src = in.data<float>();
+  float* dst = ctx.output->data<float>();
+  for (std::int64_t row = 0; row < outer; ++row) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      float inv = 1.0f / std::sqrt(var[c] + node.attrs.epsilon);
+      dst[row * ch + c] = gamma[c] * (src[row * ch + c] - mean[c]) * inv + beta[c];
+    }
+  }
+}
+
+void quantize_kernel(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  Tensor& out = *ctx.output;
+  const float scale = out.quant().scale();
+  const std::int32_t zp = out.quant().zero_point();
+  const float* src = in.data<float>();
+  std::int8_t* dst = out.data<std::int8_t>();
+  for (std::int64_t i = 0; i < in.num_elements(); ++i) {
+    auto q = static_cast<std::int32_t>(std::lround(src[i] / scale)) + zp;
+    dst[i] = static_cast<std::int8_t>(std::clamp<std::int32_t>(q, -128, 127));
+  }
+}
+
+void dequantize_kernel(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const float scale = in.quant().scale();
+  const std::int32_t zp = in.quant().zero_point();
+  const std::int8_t* src = in.data<std::int8_t>();
+  float* dst = ctx.output->data<float>();
+  for (std::int64_t i = 0; i < in.num_elements(); ++i) {
+    dst[i] = scale * static_cast<float>(src[i] - zp);
+  }
+}
+
+void softmax_f32(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Shape& is = in.shape();
+  const std::int64_t ch = is.dim(is.rank() - 1);
+  const std::int64_t rows = is.num_elements() / ch;
+  const float* src = in.data<float>();
+  float* dst = ctx.output->data<float>();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* x = src + r * ch;
+    float* y = dst + r * ch;
+    float max_v = x[0];
+    for (std::int64_t c = 1; c < ch; ++c) max_v = std::max(max_v, x[c]);
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < ch; ++c) {
+      y[c] = std::exp(x[c] - max_v);
+      sum += y[c];
+    }
+    for (std::int64_t c = 0; c < ch; ++c) y[c] /= sum;
+  }
+}
+
+// int8 softmax: dequantize row, float softmax, requantize with output params.
+void softmax_i8(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  Tensor& out = *ctx.output;
+  const Shape& is = in.shape();
+  const std::int64_t ch = is.dim(is.rank() - 1);
+  const std::int64_t rows = is.num_elements() / ch;
+  const float in_scale = in.quant().scale();
+  const std::int32_t in_zp = in.quant().zero_point();
+  const float out_scale = out.quant().scale();
+  const std::int32_t out_zp = out.quant().zero_point();
+  const std::int8_t* src = in.data<std::int8_t>();
+  std::int8_t* dst = out.data<std::int8_t>();
+  std::vector<float> row(static_cast<std::size_t>(ch));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float max_v = -1e30f;
+    for (std::int64_t c = 0; c < ch; ++c) {
+      row[static_cast<std::size_t>(c)] =
+          in_scale * static_cast<float>(src[r * ch + c] - in_zp);
+      max_v = std::max(max_v, row[static_cast<std::size_t>(c)]);
+    }
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < ch; ++c) {
+      row[static_cast<std::size_t>(c)] = std::exp(row[static_cast<std::size_t>(c)] - max_v);
+      sum += row[static_cast<std::size_t>(c)];
+    }
+    for (std::int64_t c = 0; c < ch; ++c) {
+      float p = row[static_cast<std::size_t>(c)] / sum;
+      auto q = static_cast<std::int32_t>(std::lround(p / out_scale)) + out_zp;
+      dst[r * ch + c] = static_cast<std::int8_t>(std::clamp<std::int32_t>(q, -128, 127));
+    }
+  }
+}
+
+template <Activation kAct>
+void activation_f32(const KernelContext& ctx) {
+  const float* src = ctx.input(0).data<float>();
+  float* dst = ctx.output->data<float>();
+  for (std::int64_t i = 0; i < ctx.input(0).num_elements(); ++i) {
+    dst[i] = apply_activation_f32(src[i], kAct);
+  }
+}
+
+void sigmoid_f32_kernel(const KernelContext& ctx) {
+  const float* src = ctx.input(0).data<float>();
+  float* dst = ctx.output->data<float>();
+  for (std::int64_t i = 0; i < ctx.input(0).num_elements(); ++i) {
+    dst[i] = sigmoid_f32(src[i]);
+  }
+}
+
+// int8 relu/relu6: clamp against the (shared) scale's activation range.
+template <Activation kAct>
+void relu_i8(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  Tensor& out = *ctx.output;
+  QuantActivationRange range = quant_activation_range(
+      kAct, out.quant().scale(), out.quant().zero_point());
+  const std::int8_t* src = in.data<std::int8_t>();
+  std::int8_t* dst = out.data<std::int8_t>();
+  for (std::int64_t i = 0; i < in.num_elements(); ++i) {
+    dst[i] = static_cast<std::int8_t>(
+        std::clamp<std::int32_t>(src[i], range.min, range.max));
+  }
+}
+
+// int8 hardswish / sigmoid via 256-entry lookup table.
+template <float (*Fn)(float)>
+void lut_i8(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  Tensor& out = *ctx.output;
+  auto table = build_i8_lut(in.quant(), out.quant(), Fn);
+  const std::int8_t* src = in.data<std::int8_t>();
+  std::int8_t* dst = out.data<std::int8_t>();
+  for (std::int64_t i = 0; i < in.num_elements(); ++i) {
+    dst[i] = table[static_cast<std::size_t>(static_cast<int>(src[i]) + 128)];
+  }
+}
+
+}  // namespace
+
+void register_shared_kernels(KernelMap& map) {
+  map[{OpType::kReshape, false}] = reshape_kernel;
+  map[{OpType::kReshape, true}] = reshape_kernel;
+  map[{OpType::kConcat, false}] = concat_f32;
+  map[{OpType::kConcat, true}] = concat_i8;
+  map[{OpType::kEmbedding, false}] = embedding_kernel;
+  map[{OpType::kUpsampleNearest2x, false}] = upsample2x_impl<float>;
+  map[{OpType::kUpsampleNearest2x, true}] = upsample2x_impl<std::int8_t>;
+  map[{OpType::kBatchNorm, false}] = batch_norm_f32;
+  map[{OpType::kQuantize, true}] = quantize_kernel;
+  map[{OpType::kDequantize, true}] = dequantize_kernel;
+  map[{OpType::kSoftmax, false}] = softmax_f32;
+  map[{OpType::kSoftmax, true}] = softmax_i8;
+  map[{OpType::kRelu, false}] = activation_f32<Activation::kRelu>;
+  map[{OpType::kRelu6, false}] = activation_f32<Activation::kRelu6>;
+  map[{OpType::kHardSwish, false}] = activation_f32<Activation::kHardSwish>;
+  map[{OpType::kSigmoid, false}] = sigmoid_f32_kernel;
+  map[{OpType::kRelu, true}] = relu_i8<Activation::kRelu>;
+  map[{OpType::kRelu6, true}] = relu_i8<Activation::kRelu6>;
+  map[{OpType::kHardSwish, true}] = lut_i8<hardswish_f32>;
+  map[{OpType::kSigmoid, true}] = lut_i8<sigmoid_f32>;
+}
+
+}  // namespace mlexray

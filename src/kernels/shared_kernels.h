@@ -1,0 +1,25 @@
+// Kernels whose implementation is identical in the reference and optimized
+// resolvers (structural/elementwise ops where there is nothing to optimize
+// at this scale): reshape, concat, embedding, upsample, batch-norm,
+// quantize/dequantize, softmax and the standalone activations.
+#pragma once
+
+#include <map>
+
+#include "src/kernels/kernel.h"
+
+namespace mlexray {
+
+// Lookup key for kernel registration: op type + compute class.
+struct KernelKey {
+  OpType type;
+  bool quantized;
+  auto operator<=>(const KernelKey&) const = default;
+};
+
+using KernelMap = std::map<KernelKey, KernelFn>;
+
+// Registers the shared kernels into `map` (float and int8 variants).
+void register_shared_kernels(KernelMap& map);
+
+}  // namespace mlexray

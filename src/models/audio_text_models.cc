@@ -1,0 +1,103 @@
+#include "src/models/zoo.h"
+
+namespace mlexray {
+
+namespace {
+
+// Spectrogram input geometry must match SynthSpeech + SpectrogramConfig
+// defaults: 2048 samples, frame 128, hop 64 -> 31 frames x 64 bins.
+constexpr int kFrames = 31;
+constexpr int kBins = 64;
+constexpr int kKeywords = 8;
+
+InputSpec audio_spec() {
+  InputSpec spec;
+  spec.height = kFrames;
+  spec.width = kBins;
+  spec.channels = 1;
+  spec.spectrogram_log_scale = true;
+  spec.range_lo = 0.0f;
+  spec.range_hi = 1.0f;
+  return spec;
+}
+
+}  // namespace
+
+ZooModel build_kws_tiny_conv(std::uint64_t seed, int batch) {
+  Pcg32 rng(seed);
+  GraphBuilder b("kws_tiny_conv", &rng);
+  int x = b.input(Shape{batch, kFrames, kBins, 1});
+  x = b.conv2d(x, 8, 3, 3, 2, Padding::kSame, Activation::kNone, "conv1");
+  x = b.batch_norm(x, "bn1");
+  x = b.relu(x, "relu1");
+  x = b.conv2d(x, 16, 3, 3, 2, Padding::kSame, Activation::kNone, "conv2");
+  x = b.batch_norm(x, "bn2");
+  x = b.relu(x, "relu2");
+  x = b.mean(x, "global_pool");
+  int logits = b.fully_connected(x, kKeywords, Activation::kNone, "logits");
+  int prob = b.softmax(logits, "prob");
+  ZooModel zm{b.finish({prob}), logits};
+  zm.model.input_spec = audio_spec();
+  return zm;
+}
+
+ZooModel build_kws_low_latency_conv(std::uint64_t seed, int batch) {
+  Pcg32 rng(seed);
+  GraphBuilder b("kws_low_latency_conv", &rng);
+  int x = b.input(Shape{batch, kFrames, kBins, 1});
+  // One wide time-frequency conv, then FC layers (the TF speech-commands
+  // "low_latency_conv" topology, scaled down).
+  x = b.conv2d(x, 12, 5, 5, 2, Padding::kSame, Activation::kNone, "conv1");
+  x = b.batch_norm(x, "bn1");
+  x = b.relu(x, "relu1");
+  x = b.avg_pool(x, 2, 2, Padding::kValid, "pool");
+  x = b.fully_connected(x, 24, Activation::kNone, "fc1");
+  x = b.relu(x, "fc1_relu");
+  int logits = b.fully_connected(x, kKeywords, Activation::kNone, "logits");
+  int prob = b.softmax(logits, "prob");
+  ZooModel zm{b.finish({prob}), logits};
+  zm.model.input_spec = audio_spec();
+  return zm;
+}
+
+ZooModel build_nnlm_mini(std::uint64_t seed, int vocab_size, int max_len,
+                         int batch) {
+  Pcg32 rng(seed);
+  GraphBuilder b("nnlm_mini", &rng);
+  int ids = b.input(Shape{batch, max_len}, DType::kI32, "tokens");
+  int x = b.embedding(ids, vocab_size, 16, "embedding");
+  x = b.mean(x, "embedding_mean");
+  x = b.fully_connected(x, 16, Activation::kNone, "fc1");
+  x = b.relu(x, "fc1_relu");
+  int logits = b.fully_connected(x, 2, Activation::kNone, "logits");
+  int prob = b.softmax(logits, "prob");
+  return {b.finish({prob}), logits};
+}
+
+ZooModel build_mobilebert_mini(std::uint64_t seed, int vocab_size,
+                               int max_len, int batch) {
+  Pcg32 rng(seed);
+  GraphBuilder b("mobilebert_mini", &rng);
+  const int dim = 16;
+  int ids = b.input(Shape{batch, max_len}, DType::kI32, "tokens");
+  int x = b.embedding(ids, vocab_size, dim, "embedding");
+  // Two token-mixing blocks: depthwise conv along the sequence axis mixes
+  // tokens, 1x1 conv mixes features, with residuals (conv-mixer stand-in
+  // for self-attention; see DESIGN.md §2.5).
+  for (int blk = 0; blk < 2; ++blk) {
+    std::string p = "mixer" + std::to_string(blk);
+    int mixed = b.depthwise_conv2d(x, 3, 1, 1, Padding::kSame,
+                                   Activation::kNone, p + "_token_mix");
+    mixed = b.relu(mixed, p + "_relu1");
+    int ff = b.conv2d(mixed, dim, 1, 1, 1, Padding::kSame, Activation::kNone,
+                      p + "_feature_mix");
+    ff = b.relu(ff, p + "_relu2");
+    x = b.add(x, ff, Activation::kNone, p + "_residual");
+  }
+  x = b.mean(x, "pool");
+  int logits = b.fully_connected(x, 2, Activation::kNone, "logits");
+  int prob = b.softmax(logits, "prob");
+  return {b.finish({prob}), logits};
+}
+
+}  // namespace mlexray

@@ -1,0 +1,293 @@
+#include "src/models/zoo.h"
+
+namespace mlexray {
+
+namespace {
+
+constexpr int kClasses = 12;
+
+InputSpec image_spec() {
+  InputSpec spec;
+  spec.height = 32;
+  spec.width = 32;
+  spec.channels = 3;
+  spec.channel_order = ChannelOrder::kRGB;
+  spec.resize = ResizeMethod::kAreaAverage;
+  spec.range_lo = -1.0f;
+  spec.range_hi = 1.0f;
+  return spec;
+}
+
+int conv_bn_act(GraphBuilder& b, int in, int ch, int k, int stride,
+                Activation act, const std::string& prefix) {
+  int x = b.conv2d(in, ch, k, k, stride, Padding::kSame, Activation::kNone,
+                   prefix + "_conv");
+  x = b.batch_norm(x, prefix + "_bn");
+  switch (act) {
+    case Activation::kRelu: return b.relu(x, prefix + "_relu");
+    case Activation::kRelu6: return b.relu6(x, prefix + "_relu6");
+    case Activation::kHardSwish: return b.hardswish(x, prefix + "_hswish");
+    case Activation::kNone: return x;
+  }
+  return x;
+}
+
+int dwconv_bn_act(GraphBuilder& b, int in, int stride, Activation act,
+                  const std::string& prefix, bool explicit_pad = false) {
+  int x = in;
+  Padding pad = Padding::kSame;
+  if (explicit_pad && stride == 2) {
+    // TFLite-style explicit pad before stride-2 depthwise (gives the graph
+    // its Pad layers, as in the paper's Table 4 layer inventory).
+    x = b.pad(x, 0, 1, 0, 1, prefix + "_pad");
+    pad = Padding::kValid;
+  }
+  x = b.depthwise_conv2d(x, 3, 3, stride, pad, Activation::kNone,
+                         prefix + "_dwconv");
+  x = b.batch_norm(x, prefix + "_bn");
+  switch (act) {
+    case Activation::kRelu: return b.relu(x, prefix + "_relu");
+    case Activation::kRelu6: return b.relu6(x, prefix + "_relu6");
+    case Activation::kHardSwish: return b.hardswish(x, prefix + "_hswish");
+    case Activation::kNone: return x;
+  }
+  return x;
+}
+
+}  // namespace
+
+ZooModel build_mobilenet_v1_mini(std::uint64_t seed, int batch) {
+  Pcg32 rng(seed);
+  GraphBuilder b("mobilenet_v1_mini", &rng);
+  int x = b.input(Shape{batch, 32, 32, 3});
+  x = conv_bn_act(b, x, 16, 3, 2, Activation::kRelu6, "stem");
+  const int channels[5] = {24, 32, 32, 48, 64};
+  const int strides[5] = {1, 2, 1, 2, 1};
+  for (int i = 0; i < 5; ++i) {
+    std::string p = "block" + std::to_string(i);
+    x = dwconv_bn_act(b, x, strides[i], Activation::kRelu6, p + "_dw");
+    x = conv_bn_act(b, x, channels[i], 1, 1, Activation::kRelu6, p + "_pw");
+  }
+  x = b.mean(x, "global_pool");
+  int logits = b.fully_connected(x, kClasses, Activation::kNone, "logits");
+  int prob = b.softmax(logits, "prob");
+  ZooModel zm{b.finish({prob}), logits};
+  zm.model.input_spec = image_spec();
+  return zm;
+}
+
+namespace {
+
+// MobileNetV2 inverted residual. Returns the output node id.
+int inverted_residual(GraphBuilder& b, int in, int out_ch, int expand,
+                      int stride, Activation act, const std::string& prefix,
+                      bool squeeze_excite, Pcg32& /*rng*/) {
+  const std::int64_t in_ch = b.shape_of(in).dim(3);
+  int x = in;
+  if (expand > 1) {
+    x = conv_bn_act(b, x, static_cast<int>(in_ch) * expand, 1, 1, act,
+                    prefix + "_expand");
+  }
+  x = dwconv_bn_act(b, x, stride, act, prefix, /*explicit_pad=*/true);
+  if (squeeze_excite) {
+    // SE block: global AvgPool2D -> 1x1 conv reduce (relu) -> 1x1 conv
+    // expand (sigmoid) -> channel-wise Mul. The AvgPool2D here is the layer
+    // the paper's Fig 6 flags under the buggy reference kernel.
+    const Shape& fs = b.shape_of(x);
+    const std::int64_t se_ch = fs.dim(3);
+    int pooled = b.avg_pool(x, static_cast<int>(fs.dim(1)), 1, Padding::kValid,
+                            prefix + "_se_pool");
+    int squeeze = b.conv2d(pooled, static_cast<int>(se_ch) / 4, 1, 1, 1,
+                           Padding::kSame, Activation::kNone,
+                           prefix + "_se_reduce");
+    squeeze = b.relu(squeeze, prefix + "_se_relu");
+    int excite = b.conv2d(squeeze, static_cast<int>(se_ch), 1, 1, 1,
+                          Padding::kSame, Activation::kNone,
+                          prefix + "_se_expand");
+    excite = b.sigmoid(excite, prefix + "_se_gate");
+    x = b.mul(x, excite, prefix + "_se_scale");
+  }
+  x = b.conv2d(x, out_ch, 1, 1, 1, Padding::kSame, Activation::kNone,
+               prefix + "_project");
+  x = b.batch_norm(x, prefix + "_project_bn");
+  if (stride == 1 && in_ch == out_ch) {
+    x = b.add(in, x, Activation::kNone, prefix + "_residual");
+  }
+  return x;
+}
+
+ZooModel build_mobilenet_v2_like(const std::string& name, std::uint64_t seed,
+                                 bool v3, int batch) {
+  Pcg32 rng(seed);
+  GraphBuilder b(name, &rng);
+  const Activation act = v3 ? Activation::kHardSwish : Activation::kRelu6;
+  int x = b.input(Shape{batch, 32, 32, 3});
+  x = conv_bn_act(b, x, 16, 3, 2, act, "stem");
+  struct BlockCfg {
+    int out_ch, expand, stride;
+  };
+  const BlockCfg blocks[6] = {{16, 2, 1}, {24, 3, 2}, {24, 3, 1},
+                              {32, 3, 2}, {32, 3, 1}, {48, 3, 1}};
+  for (int i = 0; i < 6; ++i) {
+    x = inverted_residual(b, x, blocks[i].out_ch, blocks[i].expand,
+                          blocks[i].stride, act,
+                          "block" + std::to_string(i), /*squeeze_excite=*/v3,
+                          rng);
+  }
+  x = conv_bn_act(b, x, 64, 1, 1, act, "head");
+  if (v3) {
+    // Real MobileNetV3 pools with AvgPool2D (not Mean) — which is why the
+    // buggy reference AvgPool kernel also corrupts the V3 head (§4.4).
+    const Shape& fs = b.shape_of(x);
+    x = b.avg_pool(x, static_cast<int>(fs.dim(1)), 1, Padding::kValid,
+                   "global_pool");
+  } else {
+    x = b.mean(x, "global_pool");
+  }
+  int logits = b.fully_connected(x, kClasses, Activation::kNone, "logits");
+  int prob = b.softmax(logits, "prob");
+  ZooModel zm{b.finish({prob}), logits};
+  zm.model.input_spec = image_spec();
+  return zm;
+}
+
+}  // namespace
+
+ZooModel build_mobilenet_v2_mini(std::uint64_t seed, int batch) {
+  return build_mobilenet_v2_like("mobilenet_v2_mini", seed, /*v3=*/false, batch);
+}
+
+ZooModel build_mobilenet_v3_mini(std::uint64_t seed, int batch) {
+  return build_mobilenet_v2_like("mobilenet_v3_mini", seed, /*v3=*/true, batch);
+}
+
+ZooModel build_resnet50v2_mini(std::uint64_t seed, int batch) {
+  Pcg32 rng(seed);
+  GraphBuilder b("resnet50v2_mini", &rng);
+  int x = b.input(Shape{batch, 32, 32, 3});
+  x = b.conv2d(x, 24, 3, 3, 1, Padding::kSame, Activation::kNone, "stem_conv");
+  const int stage_ch[3] = {24, 40, 64};
+  const int stage_stride[3] = {1, 2, 2};
+  for (int s = 0; s < 3; ++s) {
+    for (int blk = 0; blk < 2; ++blk) {
+      std::string p = "s" + std::to_string(s) + "b" + std::to_string(blk);
+      const int stride = blk == 0 ? stage_stride[s] : 1;
+      const std::int64_t in_ch = b.shape_of(x).dim(3);
+      // Pre-activation bottleneck: BN-relu-conv x3.
+      int pre = b.batch_norm(x, p + "_pre_bn");
+      pre = b.relu(pre, p + "_pre_relu");
+      int f = b.conv2d(pre, stage_ch[s] / 2, 1, 1, stride, Padding::kSame,
+                       Activation::kNone, p + "_conv1");
+      f = b.batch_norm(f, p + "_bn1");
+      f = b.relu(f, p + "_relu1");
+      f = b.conv2d(f, stage_ch[s] / 2, 3, 3, 1, Padding::kSame,
+                   Activation::kNone, p + "_conv2");
+      f = b.batch_norm(f, p + "_bn2");
+      f = b.relu(f, p + "_relu2");
+      f = b.conv2d(f, stage_ch[s], 1, 1, 1, Padding::kSame,
+                   Activation::kNone, p + "_conv3");
+      int shortcut = x;
+      if (stride != 1 || in_ch != stage_ch[s]) {
+        shortcut = b.conv2d(pre, stage_ch[s], 1, 1, stride, Padding::kSame,
+                            Activation::kNone, p + "_shortcut");
+      }
+      x = b.add(shortcut, f, Activation::kNone, p + "_add");
+    }
+  }
+  x = b.batch_norm(x, "final_bn");
+  x = b.relu(x, "final_relu");
+  x = b.mean(x, "global_pool");
+  int logits = b.fully_connected(x, kClasses, Activation::kNone, "logits");
+  int prob = b.softmax(logits, "prob");
+  ZooModel zm{b.finish({prob}), logits};
+  zm.model.input_spec = image_spec();
+  return zm;
+}
+
+ZooModel build_inception_mini(std::uint64_t seed, int batch) {
+  Pcg32 rng(seed);
+  GraphBuilder b("inception_mini", &rng);
+  int x = b.input(Shape{batch, 32, 32, 3});
+  x = conv_bn_act(b, x, 20, 3, 2, Activation::kRelu, "stem");
+  for (int m = 0; m < 3; ++m) {
+    std::string p = "mixed" + std::to_string(m);
+    int b1 = conv_bn_act(b, x, 12, 1, 1, Activation::kRelu, p + "_b1");
+    int b3 = conv_bn_act(b, x, 12, 1, 1, Activation::kRelu, p + "_b3a");
+    b3 = conv_bn_act(b, b3, 16, 3, 1, Activation::kRelu, p + "_b3b");
+    int b5 = conv_bn_act(b, x, 8, 1, 1, Activation::kRelu, p + "_b5a");
+    b5 = conv_bn_act(b, b5, 12, 5, 1, Activation::kRelu, p + "_b5b");
+    int bp = b.max_pool(x, 3, 1, Padding::kSame, p + "_pool");
+    bp = conv_bn_act(b, bp, 12, 1, 1, Activation::kRelu, p + "_poolproj");
+    x = b.concat({b1, b3, b5, bp}, p + "_concat");
+    if (m < 2) {
+      x = b.max_pool(x, 3, 2, Padding::kSame, p + "_downsample");
+    }
+  }
+  x = b.mean(x, "global_pool");
+  int logits = b.fully_connected(x, kClasses, Activation::kNone, "logits");
+  int prob = b.softmax(logits, "prob");
+  ZooModel zm{b.finish({prob}), logits};
+  zm.model.input_spec = image_spec();
+  return zm;
+}
+
+ZooModel build_densenet121_mini(std::uint64_t seed, int batch) {
+  Pcg32 rng(seed);
+  GraphBuilder b("densenet121_mini", &rng);
+  const int growth = 10;
+  int x = b.input(Shape{batch, 32, 32, 3});
+  x = b.conv2d(x, 20, 3, 3, 2, Padding::kSame, Activation::kNone, "stem_conv");
+  for (int blk = 0; blk < 3; ++blk) {
+    std::string bp = "dense" + std::to_string(blk);
+    for (int layer = 0; layer < 4; ++layer) {
+      std::string p = bp + "_l" + std::to_string(layer);
+      int f = b.batch_norm(x, p + "_bn1");
+      f = b.relu(f, p + "_relu1");
+      f = b.conv2d(f, growth * 2, 1, 1, 1, Padding::kSame, Activation::kNone,
+                   p + "_conv1");
+      f = b.batch_norm(f, p + "_bn2");
+      f = b.relu(f, p + "_relu2");
+      f = b.conv2d(f, growth, 3, 3, 1, Padding::kSame, Activation::kNone,
+                   p + "_conv2");
+      x = b.concat({x, f}, p + "_concat");
+    }
+    if (blk < 2) {
+      std::string p = bp + "_transition";
+      const std::int64_t ch = b.shape_of(x).dim(3);
+      int t = b.batch_norm(x, p + "_bn");
+      t = b.relu(t, p + "_relu");
+      t = b.conv2d(t, static_cast<int>(ch / 2), 1, 1, 1, Padding::kSame,
+                   Activation::kNone, p + "_conv");
+      x = b.avg_pool(t, 2, 2, Padding::kValid, p + "_pool");
+    }
+  }
+  x = b.batch_norm(x, "final_bn");
+  x = b.relu(x, "final_relu");
+  x = b.mean(x, "global_pool");
+  int logits = b.fully_connected(x, kClasses, Activation::kNone, "logits");
+  int prob = b.softmax(logits, "prob");
+  ZooModel zm{b.finish({prob}), logits};
+  zm.model.input_spec = image_spec();
+  return zm;
+}
+
+const std::vector<ZooEntry>& image_zoo() {
+  static const std::vector<ZooEntry> kZoo = {
+      {"mobilenet_v1_mini", [](std::uint64_t s) { return build_mobilenet_v1_mini(s); }},
+      {"mobilenet_v2_mini", [](std::uint64_t s) { return build_mobilenet_v2_mini(s); }},
+      {"mobilenet_v3_mini", [](std::uint64_t s) { return build_mobilenet_v3_mini(s); }},
+      {"resnet50v2_mini", [](std::uint64_t s) { return build_resnet50v2_mini(s); }},
+      {"inception_mini", [](std::uint64_t s) { return build_inception_mini(s); }},
+      {"densenet121_mini", [](std::uint64_t s) { return build_densenet121_mini(s); }},
+  };
+  return kZoo;
+}
+
+int node_id_by_name(const Model& model, const std::string& name) {
+  for (const Node& n : model.nodes) {
+    if (n.name == name) return n.id;
+  }
+  MLX_FAIL() << "no node named '" << name << "' in " << model.name;
+}
+
+}  // namespace mlexray

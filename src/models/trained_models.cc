@@ -1,0 +1,225 @@
+#include "src/models/trained_models.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/graph/serialization.h"
+
+namespace mlexray {
+
+std::vector<LabeledExample> imagenet_examples(
+    const std::vector<SensorExample>& sensors,
+    const ImagePipelineConfig& pipeline) {
+  std::vector<LabeledExample> out;
+  out.reserve(sensors.size());
+  for (const SensorExample& s : sensors) {
+    out.push_back({run_image_pipeline(s.image_u8, pipeline), s.label});
+  }
+  return out;
+}
+
+std::vector<LabeledExample> speech_examples(
+    const std::vector<SpeechExample>& waves,
+    const AudioPipelineConfig& pipeline) {
+  std::vector<LabeledExample> out;
+  out.reserve(waves.size());
+  for (const SpeechExample& s : waves) {
+    out.push_back({run_audio_pipeline(s.wave, pipeline), s.label});
+  }
+  return out;
+}
+
+const Vocabulary& imdb_vocabulary() {
+  static const Vocabulary kVocab =
+      Vocabulary::build(SynthImdb::corpus_words(), 64);
+  return kVocab;
+}
+
+std::vector<LabeledExample> imdb_examples(
+    const std::vector<TextExample>& texts,
+    const TextPipelineConfig& pipeline) {
+  std::vector<LabeledExample> out;
+  out.reserve(texts.size());
+  for (const TextExample& t : texts) {
+    out.push_back({encode_text(t.text, imdb_vocabulary(), pipeline), t.label});
+  }
+  return out;
+}
+
+namespace {
+
+Model train_or_load(const std::string& cache_key,
+                    const std::function<Model()>& train_fn) {
+  const std::filesystem::path path = cache_dir() / (cache_key + ".ckpt");
+  if (std::filesystem::exists(path)) {
+    return load_model(path);
+  }
+  std::printf("[mlexray] training %s (cached afterwards at %s)\n",
+              cache_key.c_str(), path.string().c_str());
+  std::fflush(stdout);
+  Model model = train_fn();
+  save_model(model, path);
+  return model;
+}
+
+}  // namespace
+
+namespace {
+
+// Standard augmentation (brightness/contrast jitter) applied to training
+// images only — mirrors common training pipelines and keeps the
+// normalization-bug damage below the rotation-bug damage, as in Fig 4a.
+// (Rotation augmentation is deliberately absent: the orientation classes
+// are the rotation experiment's signal.)
+void augment_brightness_contrast(std::vector<LabeledExample>* examples,
+                                 std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<LabeledExample> extra;
+  extra.reserve(examples->size());
+  for (const LabeledExample& ex : *examples) {
+    LabeledExample jittered;
+    jittered.label = ex.label;
+    jittered.input = ex.input;
+    float scale = rng.uniform(0.75f, 1.25f);
+    float shift = rng.uniform(-0.25f, 0.25f);
+    float* p = jittered.input.data<float>();
+    for (std::int64_t i = 0; i < jittered.input.num_elements(); ++i) {
+      p[i] = p[i] * scale + shift;
+    }
+    extra.push_back(std::move(jittered));
+  }
+  for (LabeledExample& ex : extra) examples->push_back(std::move(ex));
+}
+
+// Builds a batch-N training twin of a zoo architecture, trains it, and
+// copies the fitted weights (incl. BN statistics) into the batch-1
+// deployment graph.
+Model train_twin_and_transfer(
+    const std::function<ZooModel(int batch)>& build,
+    const std::vector<LabeledExample>& train_set, FitConfig cfg) {
+  ZooModel train_twin = build(cfg.batch_size);
+  fit_classifier(&train_twin.model, train_twin.logits_id, train_set, cfg);
+  ZooModel deploy = build(/*batch=*/1);
+  copy_weights(train_twin.model, &deploy.model);
+  return deploy.model;
+}
+
+}  // namespace
+
+Model trained_image_checkpoint(const std::string& zoo_name) {
+  return train_or_load("v1_" + zoo_name, [&] {
+    auto sensors = SynthImageNet::make(StandardData::kImageTrainPerClass,
+                                       StandardData::kImageTrainSeed);
+    FitConfig cfg;
+    // Depthwise MobileNets need more epochs; the wider conv nets
+    // (ResNet/Inception/DenseNet) converge in roughly half as many.
+    cfg.epochs = zoo_name.find("mobilenet") != std::string::npos ? 30 : 14;
+    cfg.batch_size = 16;
+    cfg.train.learning_rate = 4e-3f;
+    cfg.train.num_threads = 2;
+
+    std::function<ZooModel(int)> build;
+    if (zoo_name == "mobilenet_v1_mini") {
+      build = [](int b) { return build_mobilenet_v1_mini(7, b); };
+    } else if (zoo_name == "mobilenet_v2_mini") {
+      build = [](int b) { return build_mobilenet_v2_mini(7, b); };
+    } else if (zoo_name == "mobilenet_v3_mini") {
+      build = [](int b) { return build_mobilenet_v3_mini(7, b); };
+    } else if (zoo_name == "resnet50v2_mini") {
+      build = [](int b) { return build_resnet50v2_mini(7, b); };
+    } else if (zoo_name == "inception_mini") {
+      build = [](int b) { return build_inception_mini(7, b); };
+    } else if (zoo_name == "densenet121_mini") {
+      build = [](int b) { return build_densenet121_mini(7, b); };
+    } else {
+      MLX_FAIL() << "unknown zoo model '" << zoo_name << "'";
+    }
+    ImagePipelineConfig correct{build(1).model.input_spec, PreprocBug::kNone};
+    auto train_set = imagenet_examples(sensors, correct);
+    augment_brightness_contrast(&train_set, /*seed=*/909);
+    return train_twin_and_transfer(build, train_set, cfg);
+  });
+}
+
+Model trained_kws_checkpoint(const std::string& name) {
+  return train_or_load("v1_" + name, [&] {
+    std::function<ZooModel(int)> build = [&](int b) {
+      return name == "kws_tiny_conv" ? build_kws_tiny_conv(11, b)
+                                     : build_kws_low_latency_conv(11, b);
+    };
+    auto waves = SynthSpeech::make(StandardData::kSpeechTrainPerClass, 3001);
+    AudioPipelineConfig correct;  // defaults = training assumptions (log)
+    auto train_set = speech_examples(waves, correct);
+    FitConfig cfg;
+    cfg.epochs = 35;
+    cfg.batch_size = 16;
+    cfg.train.learning_rate = 4e-3f;
+    cfg.train.num_threads = 2;
+    return train_twin_and_transfer(build, train_set, cfg);
+  });
+}
+
+Model trained_nnlm_checkpoint() {
+  return train_or_load("v1_nnlm_mini", [&] {
+    std::function<ZooModel(int)> build = [](int b) {
+      return build_nnlm_mini(13, static_cast<int>(imdb_vocabulary().size()),
+                             StandardData::kTextMaxLen, b);
+    };
+    auto texts = SynthImdb::make(StandardData::kTextTrain, 4001);
+    TextPipelineConfig pipeline;
+    pipeline.max_len = StandardData::kTextMaxLen;
+    auto train_set = imdb_examples(texts, pipeline);
+    FitConfig cfg;
+    cfg.epochs = 15;
+    cfg.batch_size = 16;
+    cfg.train.learning_rate = 5e-3f;
+    return train_twin_and_transfer(build, train_set, cfg);
+  });
+}
+
+SsdModel trained_ssd(const std::string& backbone) {
+  SsdModel deploy = build_ssd_mini(backbone, /*seed=*/21);
+  deploy.model = train_or_load("v1_ssd_" + backbone, [&] {
+    SsdModel twin = build_ssd_mini(backbone, /*seed=*/21, /*batch=*/8);
+    auto scenes = SynthCoco::make(StandardData::kDetTrain, 5001);
+    train_ssd(&twin, scenes, /*epochs=*/14, /*seed=*/5002);
+    SsdModel fresh = build_ssd_mini(backbone, /*seed=*/21);
+    copy_weights(twin.model, &fresh.model);
+    return fresh.model;
+  });
+  return deploy;
+}
+
+ZooModel trained_deeplab() {
+  ZooModel deploy = build_deeplab_mini(/*seed=*/31);
+  deploy.model = train_or_load("v1_deeplab_mini", [&] {
+    ZooModel twin = build_deeplab_mini(/*seed=*/31, /*batch=*/8);
+    auto scenes = SynthSeg::make(StandardData::kSegTrain, 6001);
+    train_deeplab(&twin, scenes, /*epochs=*/12, /*seed=*/6002);
+    ZooModel fresh = build_deeplab_mini(/*seed=*/31);
+    copy_weights(twin.model, &fresh.model);
+    return fresh.model;
+  });
+  return deploy;
+}
+
+Model trained_mobilebert_checkpoint() {
+  return train_or_load("v1_mobilebert_mini", [&] {
+    std::function<ZooModel(int)> build = [](int b) {
+      return build_mobilebert_mini(17,
+                                   static_cast<int>(imdb_vocabulary().size()),
+                                   StandardData::kTextMaxLen, b);
+    };
+    auto texts = SynthImdb::make(StandardData::kTextTrain, 4001);
+    TextPipelineConfig pipeline;
+    pipeline.max_len = StandardData::kTextMaxLen;
+    auto train_set = imdb_examples(texts, pipeline);
+    FitConfig cfg;
+    cfg.epochs = 15;
+    cfg.batch_size = 16;
+    cfg.train.learning_rate = 5e-3f;
+    return train_twin_and_transfer(build, train_set, cfg);
+  });
+}
+
+}  // namespace mlexray

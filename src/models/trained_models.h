@@ -1,0 +1,72 @@
+// Train-once model cache.
+//
+// Benchmarks and examples need *trained* checkpoints (the paper's reference
+// models). Training is deterministic, so each checkpoint is trained on first
+// use and cached under cache_dir() (override with MLEXRAY_CACHE_DIR).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/datasets/synth_image.h"
+#include "src/datasets/synth_speech.h"
+#include "src/datasets/synth_text.h"
+#include "src/models/detection.h"
+#include "src/models/segmentation.h"
+#include "src/models/zoo.h"
+#include "src/preprocess/audio.h"
+#include "src/preprocess/image.h"
+#include "src/preprocess/text.h"
+#include "src/train/train_loop.h"
+
+namespace mlexray {
+
+// --- dataset -> model-input adapters (correct or buggy pipelines) ---
+
+std::vector<LabeledExample> imagenet_examples(
+    const std::vector<SensorExample>& sensors,
+    const ImagePipelineConfig& pipeline);
+
+std::vector<LabeledExample> speech_examples(
+    const std::vector<SpeechExample>& waves,
+    const AudioPipelineConfig& pipeline);
+
+// Deterministic vocabulary over the SynthIMDB corpus.
+const Vocabulary& imdb_vocabulary();
+
+std::vector<LabeledExample> imdb_examples(
+    const std::vector<TextExample>& texts, const TextPipelineConfig& pipeline);
+
+// --- trained checkpoints (cached) ---
+
+// zoo_name must be one of image_zoo() entries.
+Model trained_image_checkpoint(const std::string& zoo_name);
+
+// name: "kws_tiny_conv" or "kws_low_latency_conv".
+Model trained_kws_checkpoint(const std::string& name);
+
+Model trained_nnlm_checkpoint();
+Model trained_mobilebert_checkpoint();
+
+// Detection / segmentation (cached like the classifiers).
+SsdModel trained_ssd(const std::string& backbone);  // "mobilenet" | "resnet"
+ZooModel trained_deeplab();
+
+// Standard dataset sizes shared by benches/tests so caches line up.
+struct StandardData {
+  static constexpr int kImageTrainPerClass = 32;
+  static constexpr int kImageTestPerClass = 16;
+  static constexpr std::uint64_t kImageTrainSeed = 1001;
+  static constexpr std::uint64_t kImageTestSeed = 2002;
+  static constexpr int kSpeechTrainPerClass = 32;
+  static constexpr int kSpeechTestPerClass = 16;
+  static constexpr int kTextTrain = 256;
+  static constexpr int kTextTest = 128;
+  static constexpr int kTextMaxLen = 24;
+  static constexpr int kDetTrain = 192;
+  static constexpr int kDetTest = 64;
+  static constexpr int kSegTrain = 160;
+  static constexpr int kSegTest = 48;
+};
+
+}  // namespace mlexray

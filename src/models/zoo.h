@@ -1,0 +1,57 @@
+// Model zoo: miniature versions of the architectures the paper evaluates.
+//
+// All builders return *training* graphs (BatchNorm nodes, standalone
+// activations) with the logits FC node named "logits" and a final softmax
+// named "prob". The converter/quantizer produce the deployment variants.
+// Input spec (32x32x3 RGB, area-average resize, [-1,1]) is attached as model
+// metadata — the "assumptions that get lost in the hand-off" (§2).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/graph/builder.h"
+
+namespace mlexray {
+
+struct ZooModel {
+  Model model;
+  int logits_id = -1;  // pre-softmax node (training target)
+};
+
+// All builders take a batch size: deployment graphs use batch == 1; the
+// training pipeline builds a batch-N twin (proper mini-batch BatchNorm
+// statistics) and copies the fitted weights across (see trained_models.cc).
+
+// --- image classification (SynthImageNet, 12 classes, 32x32x3) ---
+ZooModel build_mobilenet_v1_mini(std::uint64_t seed, int batch = 1);
+ZooModel build_mobilenet_v2_mini(std::uint64_t seed, int batch = 1);
+ZooModel build_mobilenet_v3_mini(std::uint64_t seed, int batch = 1);  // squeeze-excite pools
+ZooModel build_resnet50v2_mini(std::uint64_t seed, int batch = 1);
+ZooModel build_inception_mini(std::uint64_t seed, int batch = 1);
+ZooModel build_densenet121_mini(std::uint64_t seed, int batch = 1);
+
+// --- keyword spotting (SynthSpeech spectrograms) ---
+ZooModel build_kws_tiny_conv(std::uint64_t seed, int batch = 1);
+ZooModel build_kws_low_latency_conv(std::uint64_t seed, int batch = 1);
+
+// --- text (SynthIMDB sentiment) ---
+ZooModel build_nnlm_mini(std::uint64_t seed, int vocab_size, int max_len,
+                         int batch = 1);
+// Token-mixing conv stand-in for MobileBert (see DESIGN.md §2.5).
+ZooModel build_mobilebert_mini(std::uint64_t seed, int vocab_size, int max_len,
+                               int batch = 1);
+
+// Registry of the image-classification zoo in the layer-count order the
+// paper's Tables 3/5 use.
+struct ZooEntry {
+  std::string name;
+  std::function<ZooModel(std::uint64_t)> build;
+};
+const std::vector<ZooEntry>& image_zoo();
+
+// Finds a node id by name (e.g. "logits"); throws if absent.
+int node_id_by_name(const Model& model, const std::string& name);
+
+}  // namespace mlexray

@@ -1,0 +1,88 @@
+#include "src/preprocess/audio.h"
+
+#include <cmath>
+
+namespace mlexray {
+
+void fft_inplace(std::vector<std::complex<float>>& data) {
+  const std::size_t n = data.size();
+  MLX_CHECK(n > 0 && (n & (n - 1)) == 0) << "FFT size must be a power of two";
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * 3.14159265358979323846 / static_cast<double>(len);
+    const std::complex<float> wlen(static_cast<float>(std::cos(angle)),
+                                   static_cast<float>(std::sin(angle)));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<float> w(1.0f, 0.0f);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        std::complex<float> u = data[i + k];
+        std::complex<float> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<float> magnitude_spectrum(const std::vector<float>& frame) {
+  std::vector<std::complex<float>> buf(frame.size());
+  for (std::size_t i = 0; i < frame.size(); ++i) buf[i] = {frame[i], 0.0f};
+  fft_inplace(buf);
+  std::vector<float> mags(frame.size() / 2);
+  for (std::size_t i = 0; i < mags.size(); ++i) mags[i] = std::abs(buf[i]);
+  return mags;
+}
+
+Tensor spectrogram(const std::vector<float>& waveform,
+                   const SpectrogramConfig& config) {
+  MLX_CHECK_GT(config.frame_size, 0);
+  MLX_CHECK_GT(config.hop, 0);
+  const int bins = config.frame_size / 2;
+  const int frames =
+      waveform.size() >= static_cast<std::size_t>(config.frame_size)
+          ? 1 + static_cast<int>((waveform.size() - config.frame_size) /
+                                 static_cast<std::size_t>(config.hop))
+          : 0;
+  MLX_CHECK_GT(frames, 0) << "waveform shorter than one frame";
+  Tensor out = Tensor::f32(Shape{1, frames, bins, 1});
+  float* dst = out.data<float>();
+  std::vector<float> frame(static_cast<std::size_t>(config.frame_size));
+  for (int f = 0; f < frames; ++f) {
+    const std::size_t start = static_cast<std::size_t>(f) * config.hop;
+    for (int i = 0; i < config.frame_size; ++i) {
+      // Hann window.
+      float w = 0.5f - 0.5f * std::cos(2.0f * 3.14159265f * i /
+                                       static_cast<float>(config.frame_size - 1));
+      frame[static_cast<std::size_t>(i)] = waveform[start + i] * w;
+    }
+    std::vector<float> mags = magnitude_spectrum(frame);
+    for (int b = 0; b < bins; ++b) {
+      float v = mags[static_cast<std::size_t>(b)];
+      if (config.scale == SpectrogramScale::kLog) {
+        v = std::log1p(v);
+      }
+      dst[(static_cast<std::int64_t>(f) * bins + b)] = v;
+    }
+  }
+  return out;
+}
+
+Tensor run_audio_pipeline(const std::vector<float>& waveform,
+                          const AudioPipelineConfig& config) {
+  SpectrogramConfig spec = config.spec;
+  if (config.bug == AudioBug::kWrongScale) {
+    spec.scale = spec.scale == SpectrogramScale::kLog
+                     ? SpectrogramScale::kLinear
+                     : SpectrogramScale::kLog;
+  }
+  return spectrogram(waveform, spec);
+}
+
+}  // namespace mlexray

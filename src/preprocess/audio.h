@@ -1,0 +1,48 @@
+// Audio preprocessing: FFT + spectrogram feature generation.
+//
+// The paper notes audio models move most feature work (FFT, log compression)
+// into preprocessing outside the model graph, where the app team cannot see
+// the training-time choices. The Fig-4c bug is a mismatching spectrogram
+// normalization: the model was trained on log-compressed spectrograms but
+// the app ships linear magnitudes (or vice versa).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace mlexray {
+
+// In-place radix-2 Cooley-Tukey FFT; size must be a power of two.
+void fft_inplace(std::vector<std::complex<float>>& data);
+
+// Magnitude spectrum of a real frame (first n/2 bins).
+std::vector<float> magnitude_spectrum(const std::vector<float>& frame);
+
+enum class SpectrogramScale { kLog = 0, kLinear = 1 };
+
+struct SpectrogramConfig {
+  int frame_size = 128;  // power of two
+  int hop = 64;
+  SpectrogramScale scale = SpectrogramScale::kLog;
+};
+
+// Hann-windowed STFT magnitude spectrogram: [1, frames, bins, 1].
+Tensor spectrogram(const std::vector<float>& waveform,
+                   const SpectrogramConfig& config);
+
+enum class AudioBug {
+  kNone = 0,
+  kWrongScale,  // linear magnitudes where the model expects log (or vice versa)
+};
+
+struct AudioPipelineConfig {
+  SpectrogramConfig spec;  // training-time assumptions
+  AudioBug bug = AudioBug::kNone;
+};
+
+Tensor run_audio_pipeline(const std::vector<float>& waveform,
+                          const AudioPipelineConfig& config);
+
+}  // namespace mlexray

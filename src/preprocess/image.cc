@@ -1,0 +1,188 @@
+#include "src/preprocess/image.h"
+
+#include <cmath>
+
+namespace mlexray {
+
+Tensor image_u8_to_f32(const Tensor& image) {
+  MLX_CHECK(image.dtype() == DType::kU8);
+  return image.to_f32();
+}
+
+Tensor resize_bilinear(const Tensor& f32_hwc, int out_h, int out_w) {
+  const Shape& is = f32_hwc.shape();
+  MLX_CHECK_EQ(is.rank(), 3);
+  const std::int64_t ih = is.dim(0), iw = is.dim(1), ch = is.dim(2);
+  Tensor out = Tensor::f32(Shape{out_h, out_w, ch});
+  const float* src = f32_hwc.data<float>();
+  float* dst = out.data<float>();
+  // Half-pixel centers (matches modern TF/OpenCV behaviour).
+  const float sy = static_cast<float>(ih) / static_cast<float>(out_h);
+  const float sx = static_cast<float>(iw) / static_cast<float>(out_w);
+  for (int oy = 0; oy < out_h; ++oy) {
+    float fy = (static_cast<float>(oy) + 0.5f) * sy - 0.5f;
+    std::int64_t y0 = static_cast<std::int64_t>(std::floor(fy));
+    float wy = fy - static_cast<float>(y0);
+    std::int64_t y1 = std::min(y0 + 1, ih - 1);
+    y0 = std::max<std::int64_t>(y0, 0);
+    for (int ox = 0; ox < out_w; ++ox) {
+      float fx = (static_cast<float>(ox) + 0.5f) * sx - 0.5f;
+      std::int64_t x0 = static_cast<std::int64_t>(std::floor(fx));
+      float wx = fx - static_cast<float>(x0);
+      std::int64_t x1 = std::min(x0 + 1, iw - 1);
+      x0 = std::max<std::int64_t>(x0, 0);
+      for (std::int64_t c = 0; c < ch; ++c) {
+        float v00 = src[(y0 * iw + x0) * ch + c];
+        float v01 = src[(y0 * iw + x1) * ch + c];
+        float v10 = src[(y1 * iw + x0) * ch + c];
+        float v11 = src[(y1 * iw + x1) * ch + c];
+        float top = v00 + (v01 - v00) * wx;
+        float bot = v10 + (v11 - v10) * wx;
+        dst[(static_cast<std::int64_t>(oy) * out_w + ox) * ch + c] =
+            top + (bot - top) * wy;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor resize_area_average(const Tensor& f32_hwc, int out_h, int out_w) {
+  const Shape& is = f32_hwc.shape();
+  MLX_CHECK_EQ(is.rank(), 3);
+  const std::int64_t ih = is.dim(0), iw = is.dim(1), ch = is.dim(2);
+  Tensor out = Tensor::f32(Shape{out_h, out_w, ch});
+  const float* src = f32_hwc.data<float>();
+  float* dst = out.data<float>();
+  const double sy = static_cast<double>(ih) / out_h;
+  const double sx = static_cast<double>(iw) / out_w;
+  for (int oy = 0; oy < out_h; ++oy) {
+    const double y_lo = oy * sy;
+    const double y_hi = (oy + 1) * sy;
+    for (int ox = 0; ox < out_w; ++ox) {
+      const double x_lo = ox * sx;
+      const double x_hi = (ox + 1) * sx;
+      for (std::int64_t c = 0; c < ch; ++c) {
+        double sum = 0.0;
+        double area = 0.0;
+        for (std::int64_t y = static_cast<std::int64_t>(std::floor(y_lo));
+             y < static_cast<std::int64_t>(std::ceil(y_hi)) && y < ih; ++y) {
+          double hy = std::min<double>(y + 1, y_hi) - std::max<double>(y, y_lo);
+          if (hy <= 0) continue;
+          for (std::int64_t x = static_cast<std::int64_t>(std::floor(x_lo));
+               x < static_cast<std::int64_t>(std::ceil(x_hi)) && x < iw; ++x) {
+            double wx = std::min<double>(x + 1, x_hi) - std::max<double>(x, x_lo);
+            if (wx <= 0) continue;
+            sum += src[(y * iw + x) * ch + c] * hy * wx;
+            area += hy * wx;
+          }
+        }
+        dst[(static_cast<std::int64_t>(oy) * out_w + ox) * ch + c] =
+            area > 0 ? static_cast<float>(sum / area) : 0.0f;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor swap_red_blue(const Tensor& f32_hwc) {
+  const Shape& is = f32_hwc.shape();
+  MLX_CHECK_EQ(is.rank(), 3);
+  MLX_CHECK_GE(is.dim(2), 3);
+  Tensor out = f32_hwc;
+  float* p = out.data<float>();
+  const std::int64_t pixels = is.dim(0) * is.dim(1);
+  const std::int64_t ch = is.dim(2);
+  for (std::int64_t i = 0; i < pixels; ++i) {
+    std::swap(p[i * ch + 0], p[i * ch + 2]);
+  }
+  return out;
+}
+
+Tensor rotate90_clockwise(const Tensor& f32_hwc) {
+  const Shape& is = f32_hwc.shape();
+  MLX_CHECK_EQ(is.rank(), 3);
+  const std::int64_t h = is.dim(0), w = is.dim(1), ch = is.dim(2);
+  Tensor out = Tensor::f32(Shape{w, h, ch});
+  const float* src = f32_hwc.data<float>();
+  float* dst = out.data<float>();
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      // (y, x) -> (x, h-1-y)
+      for (std::int64_t c = 0; c < ch; ++c) {
+        dst[(x * h + (h - 1 - y)) * ch + c] = src[(y * w + x) * ch + c];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor normalize_image(const Tensor& f32_hwc, float lo, float hi) {
+  Tensor out = f32_hwc;
+  float* p = out.data<float>();
+  const float scale = (hi - lo) / 255.0f;
+  for (std::int64_t i = 0; i < out.num_elements(); ++i) {
+    p[i] = p[i] * scale + lo;
+  }
+  return out;
+}
+
+Tensor add_batch_dim(const Tensor& f32_hwc) {
+  const Shape& is = f32_hwc.shape();
+  MLX_CHECK_EQ(is.rank(), 3);
+  Tensor out = Tensor::f32(Shape{1, is.dim(0), is.dim(1), is.dim(2)});
+  std::memcpy(out.raw_data(), f32_hwc.raw_data(), f32_hwc.byte_size());
+  return out;
+}
+
+std::string preproc_bug_name(PreprocBug bug) {
+  switch (bug) {
+    case PreprocBug::kNone: return "none";
+    case PreprocBug::kWrongResize: return "resize";
+    case PreprocBug::kWrongChannelOrder: return "channel";
+    case PreprocBug::kWrongNormalization: return "normalization";
+    case PreprocBug::kRotated90: return "rotation";
+  }
+  MLX_FAIL() << "unknown bug";
+}
+
+Tensor run_image_pipeline(const Tensor& sensor_u8_hwc,
+                          const ImagePipelineConfig& config) {
+  const InputSpec& spec = config.spec;
+  Tensor img = image_u8_to_f32(sensor_u8_hwc);
+
+  if (config.bug == PreprocBug::kRotated90) {
+    img = rotate90_clockwise(img);
+  }
+
+  ResizeMethod method = spec.resize;
+  if (config.bug == PreprocBug::kWrongResize) {
+    method = method == ResizeMethod::kAreaAverage ? ResizeMethod::kBilinear
+                                                  : ResizeMethod::kAreaAverage;
+  }
+  img = method == ResizeMethod::kAreaAverage
+            ? resize_area_average(img, spec.height, spec.width)
+            : resize_bilinear(img, spec.height, spec.width);
+
+  // Sensor data is RGB; convert when the model expects BGR. The channel bug
+  // is delivering the *other* order.
+  bool want_bgr = spec.channel_order == ChannelOrder::kBGR;
+  if (config.bug == PreprocBug::kWrongChannelOrder) want_bgr = !want_bgr;
+  if (want_bgr) img = swap_red_blue(img);
+
+  float lo = spec.range_lo;
+  float hi = spec.range_hi;
+  if (config.bug == PreprocBug::kWrongNormalization) {
+    // The classic mix-up: [0,1] delivered where [-1,1] is expected (and
+    // vice versa) — recognition "somewhat works" on a washed-out image.
+    if (lo < 0.0f) {
+      lo = 0.0f;  // expected [-1,1], deliver [0,1]
+    } else {
+      lo = -1.0f;
+      hi = 1.0f;  // expected [0,1], deliver [-1,1]
+    }
+  }
+  img = normalize_image(img, lo, hi);
+  return add_batch_dim(img);
+}
+
+}  // namespace mlexray

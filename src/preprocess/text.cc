@@ -1,0 +1,64 @@
+#include "src/preprocess/text.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/common/string_util.h"
+
+namespace mlexray {
+
+Vocabulary Vocabulary::build(const std::vector<std::string>& tokens,
+                             std::size_t max_size) {
+  MLX_CHECK_GT(max_size, 2u);
+  std::map<std::string, std::size_t> counts;
+  for (const std::string& t : tokens) ++counts[t];
+  std::vector<std::pair<std::string, std::size_t>> ranked(counts.begin(),
+                                                          counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  Vocabulary vocab;
+  std::int32_t next_id = 2;  // 0 = PAD, 1 = UNK
+  for (const auto& [token, count] : ranked) {
+    if (vocab.index_.size() + 2 >= max_size) break;
+    vocab.index_[token] = next_id++;
+  }
+  return vocab;
+}
+
+std::int32_t Vocabulary::lookup(const std::string& token) const {
+  auto it = index_.find(token);
+  return it == index_.end() ? kUnknown : it->second;
+}
+
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(c);
+    } else if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+Tensor encode_text(const std::string& text, const Vocabulary& vocab,
+                   const TextPipelineConfig& config) {
+  std::string processed = config.case_fold ? to_lower(text) : text;
+  std::vector<std::string> tokens = tokenize(processed);
+  Tensor out = Tensor::i32(Shape{1, config.max_len});
+  std::int32_t* p = out.data<std::int32_t>();
+  for (int i = 0; i < config.max_len; ++i) {
+    p[i] = i < static_cast<int>(tokens.size())
+               ? vocab.lookup(tokens[static_cast<std::size_t>(i)])
+               : Vocabulary::kPad;
+  }
+  return out;
+}
+
+}  // namespace mlexray

@@ -1,0 +1,46 @@
+// Text preprocessing: tokenization, vocabulary lookup, case folding.
+//
+// The paper's appendix shows NNLM producing drastically different embeddings
+// for raw vs lower-cased text while task accuracy stays identical — the
+// textbook example of per-layer drift that is NOT a deployment bug. The
+// case_fold knob reproduces that experiment.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace mlexray {
+
+class Vocabulary {
+ public:
+  static constexpr std::int32_t kPad = 0;
+  static constexpr std::int32_t kUnknown = 1;
+
+  // Builds a vocabulary from corpus tokens (most-frequent first), capped at
+  // max_size entries including PAD/UNK.
+  static Vocabulary build(const std::vector<std::string>& tokens,
+                          std::size_t max_size);
+
+  std::int32_t lookup(const std::string& token) const;
+  std::size_t size() const { return index_.size() + 2; }
+
+ private:
+  std::map<std::string, std::int32_t> index_;
+};
+
+// Splits on any non-alphanumeric character.
+std::vector<std::string> tokenize(const std::string& text);
+
+struct TextPipelineConfig {
+  int max_len = 32;
+  bool case_fold = true;  // training-time assumption
+};
+
+// Text -> [1, max_len] i32 token ids (padded/truncated).
+Tensor encode_text(const std::string& text, const Vocabulary& vocab,
+                   const TextPipelineConfig& config);
+
+}  // namespace mlexray

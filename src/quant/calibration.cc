@@ -1,0 +1,83 @@
+#include "src/quant/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tensor/tensor_stats.h"
+
+namespace mlexray {
+
+Calibrator::Calibrator(const Model* model, CalibrationOptions options)
+    : model_(model), options_(options), interp_(model, &resolver_) {
+  const std::size_t n = model_->nodes.size();
+  sample_mins_.resize(n);
+  sample_maxs_.resize(n);
+  ema_min_.assign(n, 0.0f);
+  ema_max_.assign(n, 0.0f);
+  global_min_.assign(n, 3.4e38f);
+  global_max_.assign(n, -3.4e38f);
+}
+
+void Calibrator::observe(const std::vector<Tensor>& inputs) {
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    interp_.set_input(static_cast<int>(i), inputs[i]);
+  }
+  interp_.invoke();
+  for (const Node& n : model_->nodes) {
+    const Tensor& out = n.type == OpType::kInput
+                            ? inputs[0]  // input node holds the raw input
+                            : interp_.node_output(n.id);
+    if (out.dtype() != DType::kF32 && n.type != OpType::kInput) continue;
+    TensorSummary s = summarize(out);
+    const auto id = static_cast<std::size_t>(n.id);
+    sample_mins_[id].push_back(s.min);
+    sample_maxs_[id].push_back(s.max);
+    global_min_[id] = std::min(global_min_[id], s.min);
+    global_max_[id] = std::max(global_max_[id], s.max);
+    if (samples_ == 0) {
+      ema_min_[id] = s.min;
+      ema_max_[id] = s.max;
+    } else {
+      const auto m = static_cast<float>(options_.ema_momentum);
+      ema_min_[id] = m * ema_min_[id] + (1.0f - m) * s.min;
+      ema_max_[id] = m * ema_max_[id] + (1.0f - m) * s.max;
+    }
+  }
+  ++samples_;
+}
+
+Calibrator::Range Calibrator::range(int node_id) const {
+  MLX_CHECK_GT(samples_, 0) << "no calibration samples observed";
+  const auto id = static_cast<std::size_t>(node_id);
+  Range r;
+  switch (options_.method) {
+    case CalibrationOptions::Method::kMinMax:
+      r.min = global_min_[id];
+      r.max = global_max_[id];
+      break;
+    case CalibrationOptions::Method::kMovingAverage:
+      r.min = ema_min_[id];
+      r.max = ema_max_[id];
+      break;
+    case CalibrationOptions::Method::kPercentile: {
+      std::vector<float> mins = sample_mins_[id];
+      std::vector<float> maxs = sample_maxs_[id];
+      std::sort(mins.begin(), mins.end());
+      std::sort(maxs.begin(), maxs.end());
+      const double q = std::clamp(options_.percentile / 100.0, 0.0, 1.0);
+      auto idx = static_cast<std::size_t>(
+          std::floor(q * static_cast<double>(maxs.size() - 1)));
+      r.max = maxs[idx];
+      r.min = mins[maxs.size() - 1 - idx];
+      break;
+    }
+  }
+  // Quantization needs a range spanning zero (TFLite requirement) and a
+  // non-degenerate width.
+  r.min = std::min(r.min, 0.0f);
+  r.max = std::max(r.max, 0.0f);
+  if (r.max - r.min < 1e-6f) r.max = r.min + 1e-6f;
+  return r;
+}
+
+}  // namespace mlexray

@@ -1,0 +1,36 @@
+// Post-training full-integer quantization (the paper's §2 deployment step).
+//
+// Converts a float inference model into an int8 graph:
+//   input (f32) -> Quantize -> int8 body -> Dequantize -> output (f32)
+// Weights become symmetric int8 (per-channel by default), biases int32 with
+// scale in_scale * w_scale[c], activations asymmetric int8 calibrated from a
+// representative dataset. Structural ops (pool/pad/reshape/relu/mean/...)
+// inherit their producer's quantization, matching production converters.
+#pragma once
+
+#include "src/quant/calibration.h"
+
+namespace mlexray {
+
+struct QuantizeOptions {
+  bool per_channel_weights = true;
+  // Symmetric activation quantization (zero_point forced to 0) — §2 notes
+  // production stacks often prefer it; costs range when data is skewed.
+  bool symmetric_activations = false;
+};
+
+// Computes int8 affine params for a calibrated range.
+QuantParams activation_quant_params(float range_min, float range_max,
+                                    bool symmetric);
+
+// Quantizes a float weight tensor symmetrically (per-channel along
+// `channel_axis` when per_channel is true).
+Tensor quantize_weights(const Tensor& weights, int channel_axis,
+                        bool per_channel);
+
+// Full-model quantization. `float_model` must be a converted inference
+// model (no BatchNorm); `calibrator` must have observed samples on it.
+Model quantize_model(const Model& float_model, const Calibrator& calibrator,
+                     QuantizeOptions options = {});
+
+}  // namespace mlexray

@@ -1,0 +1,31 @@
+#include "src/tensor/alloc_stats.h"
+
+namespace mlexray {
+
+AllocStats& AllocStats::instance() {
+  static AllocStats stats;
+  return stats;
+}
+
+void AllocStats::add(std::size_t bytes) {
+  std::size_t now = current_.fetch_add(bytes) + bytes;
+  std::size_t prev_peak = peak_.load();
+  while (now > prev_peak && !peak_.compare_exchange_weak(prev_peak, now)) {
+  }
+}
+
+void AllocStats::remove(std::size_t bytes) { current_.fetch_sub(bytes); }
+
+void AllocStats::reset_peak() { peak_.store(current_.load()); }
+
+ScopedPeakTracker::ScopedPeakTracker()
+    : start_current_(AllocStats::instance().current_bytes()) {
+  AllocStats::instance().reset_peak();
+}
+
+std::size_t ScopedPeakTracker::peak_delta_bytes() const {
+  std::size_t peak = AllocStats::instance().peak_bytes();
+  return peak > start_current_ ? peak - start_current_ : 0;
+}
+
+}  // namespace mlexray

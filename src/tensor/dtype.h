@@ -1,0 +1,47 @@
+// Element types supported by the runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/common/error.h"
+
+namespace mlexray {
+
+enum class DType : std::uint8_t {
+  kF32 = 0,  // 32-bit IEEE float — training and "Mobile" float inference
+  kI8 = 1,   // quantized activations/weights (full-integer deployment)
+  kU8 = 2,   // raw sensor bytes (camera images) and legacy uint8 quantization
+  kI32 = 3,  // quantized biases and integer bookkeeping
+};
+
+inline std::size_t dtype_size(DType dtype) {
+  switch (dtype) {
+    case DType::kF32: return 4;
+    case DType::kI8: return 1;
+    case DType::kU8: return 1;
+    case DType::kI32: return 4;
+  }
+  MLX_FAIL() << "unknown dtype";
+}
+
+inline std::string dtype_name(DType dtype) {
+  switch (dtype) {
+    case DType::kF32: return "f32";
+    case DType::kI8: return "i8";
+    case DType::kU8: return "u8";
+    case DType::kI32: return "i32";
+  }
+  MLX_FAIL() << "unknown dtype";
+}
+
+// Maps a C++ type to its DType tag at compile time.
+template <typename T>
+struct DTypeOf;
+template <> struct DTypeOf<float> { static constexpr DType value = DType::kF32; };
+template <> struct DTypeOf<std::int8_t> { static constexpr DType value = DType::kI8; };
+template <> struct DTypeOf<std::uint8_t> { static constexpr DType value = DType::kU8; };
+template <> struct DTypeOf<std::int32_t> { static constexpr DType value = DType::kI32; };
+
+}  // namespace mlexray

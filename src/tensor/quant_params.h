@@ -1,0 +1,54 @@
+// Affine quantization parameters, per-tensor or per-channel.
+//
+//   real = scale * (quantized - zero_point)            (per-tensor)
+//   real[c] = scale[c] * (quantized[c] - zero_point[c]) (per-channel, axis 0)
+//
+// Matches the schemes discussed in the paper's §2: asymmetric per-tensor
+// (Eqn 1/2), symmetric (zero_point == 0), and per-channel weight scales.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/error.h"
+
+namespace mlexray {
+
+struct QuantParams {
+  // Empty scales <=> tensor is not quantized.
+  std::vector<float> scales;
+  std::vector<std::int32_t> zero_points;
+  int channel_axis = 0;  // only meaningful when per_channel()
+
+  bool quantized() const { return !scales.empty(); }
+  bool per_channel() const { return scales.size() > 1; }
+
+  static QuantParams per_tensor(float scale, std::int32_t zero_point) {
+    QuantParams q;
+    q.scales = {scale};
+    q.zero_points = {zero_point};
+    return q;
+  }
+
+  static QuantParams per_channel_params(std::vector<float> scales,
+                                        std::vector<std::int32_t> zero_points,
+                                        int axis) {
+    MLX_CHECK_EQ(scales.size(), zero_points.size());
+    QuantParams q;
+    q.scales = std::move(scales);
+    q.zero_points = std::move(zero_points);
+    q.channel_axis = axis;
+    return q;
+  }
+
+  float scale(std::size_t channel = 0) const {
+    MLX_CHECK(quantized());
+    return per_channel() ? scales.at(channel) : scales[0];
+  }
+  std::int32_t zero_point(std::size_t channel = 0) const {
+    MLX_CHECK(quantized());
+    return per_channel() ? zero_points.at(channel) : zero_points[0];
+  }
+};
+
+}  // namespace mlexray

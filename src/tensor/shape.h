@@ -1,0 +1,73 @@
+// Tensor shape: a small fixed-capacity dimension vector.
+//
+// Convention throughout the runtime: activations are NHWC
+// (batch, height, width, channels); convolution weights are OHWI
+// (out_channels, kh, kw, in_channels); depthwise weights are 1HWC-multiplied.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "src/common/error.h"
+
+namespace mlexray {
+
+class Shape {
+ public:
+  static constexpr int kMaxRank = 5;
+
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) {
+    MLX_CHECK_LE(dims.size(), static_cast<std::size_t>(kMaxRank));
+    for (std::int64_t d : dims) dims_[rank_++] = d;
+  }
+
+  int rank() const { return rank_; }
+  std::int64_t dim(int i) const {
+    MLX_CHECK(i >= 0 && i < rank_) << "dim index " << i << " rank " << rank_;
+    return dims_[i];
+  }
+  std::int64_t operator[](int i) const { return dim(i); }
+  void set_dim(int i, std::int64_t v) {
+    MLX_CHECK(i >= 0 && i < rank_);
+    dims_[i] = v;
+  }
+
+  std::int64_t num_elements() const {
+    std::int64_t n = 1;
+    for (int i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  bool operator==(const Shape& other) const {
+    if (rank_ != other.rank_) return false;
+    for (int i = 0; i < rank_; ++i) {
+      if (dims_[i] != other.dims_[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string to_string() const {
+    std::string s = "[";
+    for (int i = 0; i < rank_; ++i) {
+      if (i > 0) s += "x";
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+  // NHWC accessors (valid for rank-4 shapes).
+  std::int64_t batch() const { return dim(0); }
+  std::int64_t height() const { return dim(1); }
+  std::int64_t width() const { return dim(2); }
+  std::int64_t channels() const { return dim(rank_ - 1); }
+
+ private:
+  std::array<std::int64_t, kMaxRank> dims_{};
+  int rank_ = 0;
+};
+
+}  // namespace mlexray

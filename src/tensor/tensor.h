@@ -1,0 +1,101 @@
+// Dense tensor: dtype + shape + owned buffer + optional quantization params.
+//
+// This is the single tensor type shared by the training pipeline, the
+// interpreter and the ML-EXray logs. Layout is always row-major over the
+// shape (NHWC for rank-4 activations).
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/tensor/dtype.h"
+#include "src/tensor/quant_params.h"
+#include "src/tensor/shape.h"
+
+namespace mlexray {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(DType dtype, Shape shape);
+  Tensor(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(const Tensor& other);
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor();
+
+  // Convenience constructors.
+  static Tensor f32(Shape shape) { return Tensor(DType::kF32, shape); }
+  static Tensor f32(Shape shape, std::vector<float> values);
+  static Tensor i8(Shape shape) { return Tensor(DType::kI8, shape); }
+  static Tensor u8(Shape shape) { return Tensor(DType::kU8, shape); }
+  static Tensor i32(Shape shape) { return Tensor(DType::kI32, shape); }
+  static Tensor scalar_f32(float value);
+
+  DType dtype() const { return dtype_; }
+  const Shape& shape() const { return shape_; }
+  std::int64_t num_elements() const { return shape_.num_elements(); }
+  std::size_t byte_size() const { return buffer_.size(); }
+  bool defined() const { return !buffer_.empty() || shape_.rank() > 0; }
+
+  QuantParams& quant() { return quant_; }
+  const QuantParams& quant() const { return quant_; }
+
+  template <typename T>
+  T* data() {
+    MLX_CHECK(DTypeOf<T>::value == dtype_)
+        << "dtype mismatch: tensor is " << dtype_name(dtype_);
+    return reinterpret_cast<T*>(buffer_.data());
+  }
+  template <typename T>
+  const T* data() const {
+    MLX_CHECK(DTypeOf<T>::value == dtype_)
+        << "dtype mismatch: tensor is " << dtype_name(dtype_);
+    return reinterpret_cast<const T*>(buffer_.data());
+  }
+
+  const void* raw_data() const { return buffer_.data(); }
+  void* raw_data() { return buffer_.data(); }
+
+  // Row-major flat offset for a rank-4 (NHWC) index.
+  std::int64_t offset4(std::int64_t n, std::int64_t h, std::int64_t w,
+                       std::int64_t c) const {
+    return ((n * shape_.dim(1) + h) * shape_.dim(2) + w) * shape_.dim(3) + c;
+  }
+
+  template <typename T>
+  T& at4(std::int64_t n, std::int64_t h, std::int64_t w, std::int64_t c) {
+    return data<T>()[offset4(n, h, w, c)];
+  }
+  template <typename T>
+  const T& at4(std::int64_t n, std::int64_t h, std::int64_t w,
+               std::int64_t c) const {
+    return data<T>()[offset4(n, h, w, c)];
+  }
+
+  void fill_zero() { std::memset(buffer_.data(), 0, buffer_.size()); }
+  template <typename T>
+  void fill(T value) {
+    T* p = data<T>();
+    for (std::int64_t i = 0; i < num_elements(); ++i) p[i] = value;
+  }
+
+  // Element-wise conversion to a float tensor; quantized tensors are
+  // dequantized with their QuantParams.
+  Tensor to_f32() const;
+
+  // Copies float values into a vector (requires kF32).
+  std::vector<float> as_f32_vector() const;
+
+ private:
+  void allocate();
+  void release();
+
+  DType dtype_ = DType::kF32;
+  Shape shape_;
+  std::vector<std::uint8_t> buffer_;
+  QuantParams quant_;
+};
+
+}  // namespace mlexray

@@ -1,0 +1,110 @@
+#include "src/train/losses.h"
+
+#include <cmath>
+
+namespace mlexray {
+
+LossGrad softmax_cross_entropy(const Tensor& logits, int label) {
+  std::vector<int> labels(1, label);
+  // Treat the whole tensor as one row of C classes.
+  const std::int64_t classes = logits.num_elements();
+  Tensor row = Tensor::f32(Shape{1, classes});
+  std::memcpy(row.raw_data(), logits.raw_data(), logits.byte_size());
+  LossGrad lg = softmax_cross_entropy_rows(row, labels);
+  Tensor grad(DType::kF32, logits.shape());
+  std::memcpy(grad.raw_data(), lg.grad.raw_data(), grad.byte_size());
+  lg.grad = std::move(grad);
+  return lg;
+}
+
+LossGrad softmax_cross_entropy_rows(const Tensor& logits,
+                                    const std::vector<int>& labels,
+                                    double weight) {
+  const Shape& s = logits.shape();
+  const std::int64_t classes = s.dim(s.rank() - 1);
+  const std::int64_t rows = logits.num_elements() / classes;
+  MLX_CHECK_EQ(static_cast<std::size_t>(rows), labels.size());
+  const float* x = logits.data<float>();
+  LossGrad out;
+  out.grad = Tensor(DType::kF32, s);
+  float* g = out.grad.data<float>();
+  std::vector<double> p(static_cast<std::size_t>(classes));
+  int active_rows = 0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    if (labels[static_cast<std::size_t>(r)] >= 0) ++active_rows;
+  }
+  if (active_rows == 0) return out;
+  const double row_w = weight / active_rows;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    int label = labels[static_cast<std::size_t>(r)];
+    if (label < 0) continue;
+    MLX_CHECK_LT(label, classes);
+    const float* xr = x + r * classes;
+    double max_v = xr[0];
+    for (std::int64_t c = 1; c < classes; ++c) max_v = std::max<double>(max_v, xr[c]);
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      p[static_cast<std::size_t>(c)] = std::exp(xr[c] - max_v);
+      sum += p[static_cast<std::size_t>(c)];
+    }
+    for (std::int64_t c = 0; c < classes; ++c) p[static_cast<std::size_t>(c)] /= sum;
+    out.loss += -std::log(std::max(p[static_cast<std::size_t>(label)], 1e-12)) * row_w;
+    float* gr = g + r * classes;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      double grad = p[static_cast<std::size_t>(c)] - (c == label ? 1.0 : 0.0);
+      gr[c] = static_cast<float>(grad * row_w);
+    }
+  }
+  return out;
+}
+
+LossGrad mse_loss(const Tensor& pred, const Tensor& target) {
+  MLX_CHECK_EQ(pred.num_elements(), target.num_elements());
+  const float* p = pred.data<float>();
+  const float* t = target.data<float>();
+  LossGrad out;
+  out.grad = Tensor(DType::kF32, pred.shape());
+  float* g = out.grad.data<float>();
+  const std::int64_t n = pred.num_elements();
+  for (std::int64_t i = 0; i < n; ++i) {
+    double d = static_cast<double>(p[i]) - t[i];
+    out.loss += d * d / static_cast<double>(n);
+    g[i] = static_cast<float>(2.0 * d / static_cast<double>(n));
+  }
+  return out;
+}
+
+LossGrad smooth_l1_rows(const Tensor& pred, const Tensor& target,
+                        const std::vector<bool>& mask, double weight) {
+  const Shape& s = pred.shape();
+  const std::int64_t cols = s.dim(s.rank() - 1);
+  const std::int64_t rows = pred.num_elements() / cols;
+  MLX_CHECK_EQ(static_cast<std::size_t>(rows), mask.size());
+  const float* p = pred.data<float>();
+  const float* t = target.data<float>();
+  LossGrad out;
+  out.grad = Tensor(DType::kF32, s);
+  float* g = out.grad.data<float>();
+  int active = 0;
+  for (bool m : mask) {
+    if (m) ++active;
+  }
+  if (active == 0) return out;
+  const double row_w = weight / active;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    if (!mask[static_cast<std::size_t>(r)]) continue;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      double d = static_cast<double>(p[r * cols + c]) - t[r * cols + c];
+      if (std::abs(d) < 1.0) {
+        out.loss += 0.5 * d * d * row_w;
+        g[r * cols + c] = static_cast<float>(d * row_w);
+      } else {
+        out.loss += (std::abs(d) - 0.5) * row_w;
+        g[r * cols + c] = static_cast<float>((d > 0 ? 1.0 : -1.0) * row_w);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mlexray

@@ -1,0 +1,36 @@
+// Loss functions for the training pipeline.
+//
+// Each returns the scalar loss and the gradient w.r.t. its input tensor; the
+// Trainer seeds backprop with these gradients. Classification trains against
+// pre-softmax logits (numerically stable combined softmax-xent).
+#pragma once
+
+#include "src/tensor/tensor.h"
+
+namespace mlexray {
+
+struct LossGrad {
+  double loss = 0.0;
+  Tensor grad;  // dL/d(input), same shape as the input
+};
+
+// Softmax cross-entropy on logits (any shape with classes innermost; label
+// indexes the innermost axis of the given row). For [1, C] logits, row = 0.
+LossGrad softmax_cross_entropy(const Tensor& logits, int label);
+
+// Row-wise softmax cross-entropy with per-row labels (label < 0 => row
+// ignored); used by detection (anchor rows) and segmentation (pixel rows).
+// `weight` scales every row's contribution.
+LossGrad softmax_cross_entropy_rows(const Tensor& logits,
+                                    const std::vector<int>& labels,
+                                    double weight = 1.0);
+
+// Mean squared error against a target tensor.
+LossGrad mse_loss(const Tensor& pred, const Tensor& target);
+
+// Smooth-L1 (Huber, delta=1) over selected rows of a [rows, 4] tensor;
+// rows with mask=false contribute nothing (detection box regression).
+LossGrad smooth_l1_rows(const Tensor& pred, const Tensor& target,
+                        const std::vector<bool>& mask, double weight = 1.0);
+
+}  // namespace mlexray

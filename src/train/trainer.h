@@ -1,0 +1,91 @@
+// Reverse-mode training on the graph IR.
+//
+// The "training pipeline" substrate the paper's reference baselines come
+// from. Forward reuses the optimized float kernels (BatchNorm runs in
+// training mode with batch statistics inside the trainer); backward
+// implements per-op gradients; Adam updates weights in place.
+//
+// Training graphs use standalone activation nodes (no fused activations) —
+// fusion happens later in the converter, mirroring the paper's deployment
+// flow (checkpoint -> converted -> quantized).
+#pragma once
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/interpreter/interpreter.h"
+#include "src/train/losses.h"
+
+namespace mlexray {
+
+struct TrainConfig {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float adam_eps = 1e-8f;
+  float weight_decay = 0.0f;
+  float bn_momentum = 0.9f;  // moving-average retention for BN stats
+  int num_threads = 1;
+};
+
+class Trainer {
+ public:
+  // model must outlive the trainer; weights are updated in place.
+  Trainer(Model* model, TrainConfig config);
+
+  // Clears accumulated gradients (call at the start of each mini-batch).
+  void zero_grad();
+
+  // Forward pass on one sample (inputs in model-input order).
+  void forward(const std::vector<Tensor>& inputs);
+
+  // Seeds dL/d(activation) at the given nodes and backpropagates,
+  // accumulating weight gradients. Call after forward().
+  void backward(const std::vector<std::pair<int, Tensor>>& output_grads);
+
+  // Convenience: forward + softmax-xent on `logits_node` + backward.
+  // Returns the sample loss.
+  double train_sample(const std::vector<Tensor>& inputs, int logits_node,
+                      int label);
+
+  // Adam step with gradients averaged over the accumulated samples.
+  void step();
+
+  const Tensor& activation(int node_id) const;
+
+  // Accumulated gradient of a node's weight (diagnostics / gradient checks).
+  const Tensor& weight_grad(int node_id, std::size_t weight_index) const;
+
+  Model& model() { return *model_; }
+  long steps_taken() const { return step_count_; }
+
+ private:
+  void forward_batch_norm(const Node& node);
+  void backward_node(const Node& node);
+
+  Model* model_;
+  TrainConfig cfg_;
+  BuiltinOpResolver resolver_;
+  ThreadPool* pool_;
+
+  std::vector<Tensor> acts_;                 // forward activations per node
+  std::vector<Tensor> grads_;                // dL/d(activation) per node
+  std::vector<std::vector<Tensor>> wgrads_;  // accumulated weight grads
+  std::vector<std::vector<Tensor>> adam_m_;
+  std::vector<std::vector<Tensor>> adam_v_;
+
+  struct BnCache {
+    std::vector<float> mean;
+    std::vector<float> inv_std;
+  };
+  std::vector<BnCache> bn_cache_;
+
+  int accum_count_ = 0;
+  long step_count_ = 0;
+};
+
+// Copies weights (and BN stats) from one model to a structurally identical
+// one (used to move trained weights between graph variants).
+void copy_weights(const Model& src, Model* dst);
+
+}  // namespace mlexray

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "src/common/error.h"
+#include "src/common/file_io.h"
+#include "src/common/loc_counter.h"
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+#include "src/common/thread_pool.h"
+
+namespace mlexray {
+namespace {
+
+TEST(Error, CheckThrowsWithContext) {
+  try {
+    MLX_CHECK_EQ(1, 2) << "custom context";
+    FAIL() << "expected throw";
+  } catch (const MlxError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(MLX_CHECK(true) << "never evaluated");
+  EXPECT_NO_THROW(MLX_CHECK_LT(1, 2));
+}
+
+TEST(Rng, Deterministic) {
+  Pcg32 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u32() == b.next_u32());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NormalMoments) {
+  Pcg32 rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    float v = rng.normal();
+    sum += v;
+    sum_sq += static_cast<double>(v) * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Pcg32 rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto original = v;
+  rng.shuffle(v);
+  EXPECT_EQ(std::set<int>(v.begin(), v.end()),
+            std::set<int>(original.begin(), original.end()));
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(0, 100, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(BinaryIo, RoundTripAllTypes) {
+  BinaryWriter w;
+  w.write_u8(7);
+  w.write_u32(123456);
+  w.write_i32(-42);
+  w.write_u64(1ULL << 40);
+  w.write_f32(3.25f);
+  w.write_f64(-2.5);
+  w.write_string("hello");
+  w.write_f32_array({1.0f, 2.0f});
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.read_u8(), 7);
+  EXPECT_EQ(r.read_u32(), 123456u);
+  EXPECT_EQ(r.read_i32(), -42);
+  EXPECT_EQ(r.read_u64(), 1ULL << 40);
+  EXPECT_FLOAT_EQ(r.read_f32(), 3.25f);
+  EXPECT_DOUBLE_EQ(r.read_f64(), -2.5);
+  EXPECT_EQ(r.read_string(), "hello");
+  auto arr = r.read_f32_array();
+  ASSERT_EQ(arr.size(), 2u);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BinaryIo, OutOfBoundsThrows) {
+  BinaryWriter w;
+  w.write_u8(1);
+  BinaryReader r(w.bytes());
+  r.read_u8();
+  EXPECT_THROW(r.read_u32(), MlxError);
+}
+
+TEST(FileIo, RoundTrip) {
+  auto path = std::filesystem::temp_directory_path() / "mlx_test_file.bin";
+  std::vector<std::uint8_t> payload{1, 2, 3, 250};
+  write_file(path, payload);
+  EXPECT_EQ(read_file(path), payload);
+  std::filesystem::remove(path);
+}
+
+TEST(FileIo, MissingFileThrows) {
+  EXPECT_THROW(read_file("/nonexistent/mlx/nothing.bin"), MlxError);
+}
+
+TEST(StringUtil, SplitJoin) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join({"x", "y"}, "-"), "x-y");
+}
+
+TEST(StringUtil, TrimAndCase) {
+  EXPECT_EQ(trim("  hi \t"), "hi");
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_TRUE(ends_with("hello", "lo"));
+}
+
+TEST(StringUtil, FormatFloat) {
+  EXPECT_EQ(format_float(3.14159, 2), "3.14");
+}
+
+TEST(StringUtil, RenderTableAligns) {
+  std::string t = render_table({"a", "bb"}, {{"xxx", "y"}});
+  EXPECT_NE(t.find("| xxx | y  |"), std::string::npos);
+}
+
+TEST(LocCounter, CountsMarkedRegions) {
+  std::string src = R"(
+int main() {
+  // [mlx-inst-begin]
+  monitor.on_inf_start();
+  monitor.on_inf_stop(interp);
+
+  // a comment inside does not count
+  // [mlx-inst-end]
+  // [mlx-asrt-begin]
+  check(a == b);
+  // [mlx-asrt-end]
+}
+)";
+  LocCount c = count_marked_loc(src);
+  EXPECT_EQ(c.instrumentation, 2);
+  EXPECT_EQ(c.assertion, 1);
+  EXPECT_EQ(c.total(), 3);
+}
+
+TEST(LocCounter, UnbalancedMarkersThrow) {
+  EXPECT_THROW(count_marked_loc("// [mlx-inst-begin]\nint x;\n"), MlxError);
+}
+
+}  // namespace
+}  // namespace mlexray

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/convert/converter.h"
+#include "src/core/assertions.h"
+#include "src/core/pipelines.h"
+#include "src/core/validation.h"
+#include "src/models/zoo.h"
+#include "src/quant/quantizer.h"
+
+namespace mlexray {
+namespace {
+
+// A small untrained classifier suffices: assertions and drift localisation
+// work on logged tensors, not on task accuracy.
+ZooModel tiny_image_model() { return build_mobilenet_v1_mini(99); }
+
+std::vector<SensorExample> sensors(int per_class = 1) {
+  return SynthImageNet::make(per_class, 1234);
+}
+
+TEST(Trace, SerializationRoundTrip) {
+  Trace t;
+  t.pipeline_name = "edge";
+  FrameTrace f;
+  f.frame_id = 3;
+  f.tensors["model.input"] = Tensor::f32(Shape{1, 2}, {1.0f, -2.0f});
+  f.scalars["latency.inference_ms"] = 12.5;
+  f.layer_names = {"conv", "fc"};
+  f.layer_outputs.push_back(Tensor::f32(Shape{2}, {0.0f, 1.0f}));
+  f.layer_outputs.push_back(Tensor::f32(Shape{1}, {0.5f}));
+  f.layer_latency_ms = {0.2, 0.1};
+  t.frames.push_back(std::move(f));
+
+  Trace back = deserialize_trace(serialize_trace(t));
+  ASSERT_EQ(back.frames.size(), 1u);
+  EXPECT_EQ(back.pipeline_name, "edge");
+  EXPECT_EQ(back.frames[0].frame_id, 3);
+  EXPECT_DOUBLE_EQ(back.frames[0].scalar("latency.inference_ms"), 12.5);
+  EXPECT_EQ(back.frames[0].layer_names[1], "fc");
+  EXPECT_FLOAT_EQ(back.frames[0].tensor("model.input").data<float>()[1], -2.0f);
+}
+
+TEST(Trace, MissingKeyThrows) {
+  FrameTrace f;
+  EXPECT_THROW(f.tensor("nope"), MlxError);
+  EXPECT_THROW(f.scalar("nope"), MlxError);
+}
+
+TEST(Trace, FileRoundTrip) {
+  Trace t;
+  t.pipeline_name = "p";
+  t.frames.emplace_back();
+  auto path = std::filesystem::temp_directory_path() / "mlx_trace.mlxtrace";
+  save_trace(t, path);
+  Trace back = load_trace(path);
+  EXPECT_EQ(back.frames.size(), 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(Monitor, CollectsDefaultTelemetry) {
+  ZooModel zm = tiny_image_model();
+  RefOpResolver ref;
+  MonitorOptions opts;
+  opts.per_layer_outputs = true;
+  Trace trace = run_classification_playback(
+      zm.model, ref, sensors(), {zm.model.input_spec, PreprocBug::kNone},
+      opts, "test-pipeline");
+  ASSERT_EQ(trace.frames.size(), 12u);
+  const FrameTrace& f = trace.frames[0];
+  EXPECT_TRUE(f.has_tensor(trace_keys::kSensorRaw));
+  EXPECT_TRUE(f.has_tensor(trace_keys::kPreprocessOut));
+  EXPECT_TRUE(f.has_tensor(trace_keys::kModelOutput));
+  EXPECT_GT(f.scalar(trace_keys::kInferenceLatencyMs), 0.0);
+  EXPECT_GT(f.scalar(trace_keys::kPeakMemoryBytes), 0.0);
+  EXPECT_EQ(static_cast<int>(f.layer_names.size()), zm.model.layer_count());
+  EXPECT_EQ(f.layer_names.size(), f.layer_outputs.size());
+  EXPECT_EQ(f.layer_names.size(), f.layer_latency_ms.size());
+}
+
+TEST(Monitor, LightModeSkipsLayerOutputs) {
+  ZooModel zm = tiny_image_model();
+  RefOpResolver ref;
+  MonitorOptions opts;  // defaults: no per-layer outputs, latency only
+  Trace trace = run_classification_playback(
+      zm.model, ref, sensors(), {zm.model.input_spec, PreprocBug::kNone},
+      opts, "light");
+  EXPECT_TRUE(trace.frames[0].layer_outputs.empty());
+  EXPECT_FALSE(trace.frames[0].layer_latency_ms.empty());
+  // The default logs are small — well under a few KB per frame once the
+  // custom sensor logs are excluded (paper Table 2 reports 0.41 KB/frame).
+}
+
+TEST(Validator, AccuracyComparison) {
+  ZooModel zm = tiny_image_model();
+  RefOpResolver ref;
+  auto data = sensors(2);
+  std::vector<int> labels;
+  for (const auto& s : data) labels.push_back(s.label);
+  MonitorOptions opts;
+  Trace a = run_classification_playback(
+      zm.model, ref, data, {zm.model.input_spec, PreprocBug::kNone}, opts, "a");
+  Trace b = run_reference_classification(zm.model, data, opts);
+  DeploymentValidator validator;
+  AccuracyReport report = validator.validate_accuracy(a, b, labels);
+  // Same model, same pipeline: identical accuracy, not degraded.
+  EXPECT_DOUBLE_EQ(report.edge_accuracy, report.reference_accuracy);
+  EXPECT_FALSE(report.degraded);
+}
+
+TEST(Validator, PerLayerDriftLocalisesQuantBug) {
+  ZooModel zm = tiny_image_model();
+  Model mobile = convert_for_inference(zm.model);
+  auto data = sensors(1);
+  ImagePipelineConfig correct{zm.model.input_spec, PreprocBug::kNone};
+  Calibrator calib(&mobile);
+  for (const auto& s : data) calib.observe({run_image_pipeline(s.image_u8, correct)});
+  Model quant = quantize_model(mobile, calib);
+
+  MonitorOptions opts;
+  opts.per_layer_outputs = true;
+  BuiltinOpResolver buggy(KernelBugConfig::as_shipped());
+  RefOpResolver good;
+  Trace edge = run_classification_playback(quant, buggy, data, correct, opts,
+                                           "edge-quant");
+  Trace reference =
+      run_classification_playback(mobile, good, data, correct, opts, "ref");
+
+  DeploymentValidator validator;
+  PerLayerReport report = validator.per_layer_drift(edge, reference);
+  ASSERT_TRUE(report.first_suspect.has_value());
+  // The first suspect layer must be the first DepthwiseConv2D ("block0_dw").
+  EXPECT_NE(report.first_suspect->find("dwconv"), std::string::npos)
+      << "suspect was " << *report.first_suspect;
+}
+
+TEST(Validator, DriftOnLatencyOnlyTraceIsEmptyNotFatal) {
+  // Traces recorded without per-layer outputs (the default light monitoring
+  // mode) must yield an empty drift report, not an error.
+  ZooModel zm = tiny_image_model();
+  RefOpResolver ref;
+  auto data = sensors(1);
+  MonitorOptions opts;  // per_layer_outputs = false
+  Trace edge = run_classification_playback(
+      zm.model, ref, data, {zm.model.input_spec, PreprocBug::kNone}, opts, "a");
+  Trace reference = run_reference_classification(zm.model, data, opts);
+  DeploymentValidator validator;
+  PerLayerReport report = validator.per_layer_drift(edge, reference);
+  EXPECT_TRUE(report.drifts.empty());
+  EXPECT_FALSE(report.first_suspect.has_value());
+}
+
+TEST(Validator, LatencyReportFindsStragglers) {
+  Trace t;
+  FrameTrace f;
+  f.layer_names = {"a", "b", "c", "slow"};
+  f.layer_latency_ms = {0.1, 0.1, 0.1, 5.0};
+  t.frames.push_back(f);
+  DeploymentValidator validator;
+  LatencyReport report = validator.per_layer_latency(t);
+  EXPECT_NEAR(report.total_ms, 5.3, 1e-9);
+  EXPECT_TRUE(report.layers[3].straggler);
+  EXPECT_FALSE(report.layers[0].straggler);
+}
+
+TEST(Assertions, ChannelSwapDetected) {
+  ZooModel zm = tiny_image_model();
+  RefOpResolver ref;
+  auto data = sensors(1);
+  MonitorOptions opts;
+  Trace edge = run_classification_playback(
+      zm.model, ref, data, {zm.model.input_spec, PreprocBug::kWrongChannelOrder},
+      opts, "edge");
+  Trace reference = run_reference_classification(zm.model, data, opts);
+  AssertionResult r = make_channel_arrangement_assertion()(edge, reference);
+  EXPECT_TRUE(r.triggered) << r.message;
+}
+
+TEST(Assertions, ChannelAssertionSilentWhenCorrect) {
+  ZooModel zm = tiny_image_model();
+  RefOpResolver ref;
+  auto data = sensors(1);
+  MonitorOptions opts;
+  Trace edge = run_classification_playback(
+      zm.model, ref, data, {zm.model.input_spec, PreprocBug::kNone}, opts, "e");
+  Trace reference = run_reference_classification(zm.model, data, opts);
+  EXPECT_FALSE(make_channel_arrangement_assertion()(edge, reference).triggered);
+}
+
+class PreprocBugAssertions : public ::testing::TestWithParam<PreprocBug> {};
+
+TEST_P(PreprocBugAssertions, RecomputeAndMatchIdentifiesInjectedBug) {
+  PreprocBug bug = GetParam();
+  ZooModel zm = tiny_image_model();
+  RefOpResolver ref;
+  auto data = sensors(1);
+  MonitorOptions opts;
+  Trace edge = run_classification_playback(
+      zm.model, ref, data, {zm.model.input_spec, bug}, opts, "edge");
+  Trace reference = run_reference_classification(zm.model, data, opts);
+  // The matching assertion triggers...
+  AssertionFn matching = make_preproc_bug_assertion(zm.model.input_spec, bug);
+  EXPECT_TRUE(matching(edge, reference).triggered);
+  // ...and the assertion for a DIFFERENT bug stays silent.
+  PreprocBug other = bug == PreprocBug::kRotated90 ? PreprocBug::kWrongResize
+                                                   : PreprocBug::kRotated90;
+  AssertionFn mismatched = make_preproc_bug_assertion(zm.model.input_spec, other);
+  EXPECT_FALSE(mismatched(edge, reference).triggered);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBugs, PreprocBugAssertions,
+    ::testing::Values(PreprocBug::kWrongResize, PreprocBug::kWrongChannelOrder,
+                      PreprocBug::kWrongNormalization, PreprocBug::kRotated90));
+
+TEST(Assertions, NormalizationRangeDetected) {
+  ZooModel zm = tiny_image_model();
+  RefOpResolver ref;
+  auto data = sensors(1);
+  MonitorOptions opts;
+  Trace edge = run_classification_playback(
+      zm.model, ref, data,
+      {zm.model.input_spec, PreprocBug::kWrongNormalization}, opts, "edge");
+  Trace reference = run_reference_classification(zm.model, data, opts);
+  EXPECT_TRUE(make_normalization_range_assertion()(edge, reference).triggered);
+}
+
+TEST(Assertions, ConstantOutputDetected) {
+  Trace edge;
+  for (int i = 0; i < 4; ++i) {
+    FrameTrace f;
+    f.tensors[trace_keys::kModelOutput] = Tensor::f32(Shape{1, 3}, {0.1f, 0.2f, 0.7f});
+    edge.frames.push_back(std::move(f));
+  }
+  Trace ref;  // unused
+  EXPECT_TRUE(make_constant_output_assertion()(edge, ref).triggered);
+}
+
+TEST(Assertions, VaryingOutputNotFlagged) {
+  Trace edge;
+  for (int i = 0; i < 4; ++i) {
+    FrameTrace f;
+    float v = 0.1f * static_cast<float>(i);
+    f.tensors[trace_keys::kModelOutput] = Tensor::f32(Shape{1, 2}, {v, 1.0f - v});
+    edge.frames.push_back(std::move(f));
+  }
+  Trace ref;
+  EXPECT_FALSE(make_constant_output_assertion()(edge, ref).triggered);
+}
+
+TEST(Assertions, BudgetsTrigger) {
+  Trace edge;
+  FrameTrace f;
+  f.scalars[trace_keys::kInferenceLatencyMs] = 100.0;
+  f.scalars[trace_keys::kPeakMemoryBytes] = 1e9;
+  edge.frames.push_back(std::move(f));
+  Trace ref;
+  EXPECT_TRUE(make_latency_budget_assertion(10.0)(edge, ref).triggered);
+  EXPECT_FALSE(make_latency_budget_assertion(200.0)(edge, ref).triggered);
+  EXPECT_TRUE(make_memory_budget_assertion(1e6)(edge, ref).triggered);
+}
+
+TEST(Assertions, MissingLogsSkipGracefully) {
+  Trace empty_edge, empty_ref;
+  AssertionResult r = make_channel_arrangement_assertion()(empty_edge, empty_ref);
+  EXPECT_FALSE(r.triggered);
+  EXPECT_NE(r.message.find("skipped"), std::string::npos);
+}
+
+// The Fig-2 flowchart end-to-end: degraded accuracy -> drift -> root cause.
+TEST(Integration, FullValidationFlowCatchesChannelBug) {
+  ZooModel zm = tiny_image_model();
+  RefOpResolver ref;
+  auto data = sensors(2);
+  std::vector<int> labels;
+  for (const auto& s : data) labels.push_back(s.label);
+  MonitorOptions opts;
+  opts.per_layer_outputs = true;
+  Trace edge = run_classification_playback(
+      zm.model, ref, data, {zm.model.input_spec, PreprocBug::kWrongChannelOrder},
+      opts, "edge-app");
+  Trace reference = run_reference_classification(zm.model, data, opts);
+
+  DeploymentValidator validator;
+  register_builtin_image_assertions(validator, zm.model.input_spec);
+  auto results = validator.run_assertions(edge, reference);
+  int triggered = 0;
+  bool channel_hit = false;
+  for (const auto& r : results) {
+    triggered += r.triggered ? 1 : 0;
+    if (r.name == "channel_arrangement" && r.triggered) channel_hit = true;
+    // Assertions for bugs that are NOT present must stay silent.
+    if (r.name == "orientation" || r.name == "resize_function") {
+      EXPECT_FALSE(r.triggered) << r.name << ": " << r.message;
+    }
+  }
+  EXPECT_TRUE(channel_hit);
+  EXPECT_GE(triggered, 1);
+
+  AccuracyReport acc = validator.validate_accuracy(edge, reference, labels);
+  PerLayerReport drift = validator.per_layer_drift(edge, reference);
+  std::string report = validator.report(acc, drift, results);
+  EXPECT_NE(report.find("channel_arrangement"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlexray

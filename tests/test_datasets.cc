@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/datasets/detection_metrics.h"
+#include "src/datasets/synth_image.h"
+#include "src/datasets/synth_seg.h"
+#include "src/datasets/synth_speech.h"
+#include "src/datasets/synth_text.h"
+#include "src/tensor/tensor_stats.h"
+
+namespace mlexray {
+namespace {
+
+TEST(SynthImageNet, DeterministicAndBalanced) {
+  auto a = SynthImageNet::make(3, 42);
+  auto b = SynthImageNet::make(3, 42);
+  ASSERT_EQ(a.size(), 36u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(0, std::memcmp(a[i].image_u8.raw_data(), b[i].image_u8.raw_data(),
+                             a[i].image_u8.byte_size()));
+  }
+  int counts[SynthImageNet::kClasses] = {0};
+  for (const auto& ex : a) ++counts[ex.label];
+  for (int c : counts) EXPECT_EQ(c, 3);
+}
+
+TEST(SynthImageNet, ColorClassesAreColorDominant) {
+  Pcg32 rng(7);
+  Tensor red = SynthImageNet::render(0, rng);
+  Tensor blue = SynthImageNet::render(1, rng);
+  auto channel_sum = [](const Tensor& img, int ch) {
+    const std::uint8_t* p = img.data<std::uint8_t>();
+    long sum = 0;
+    for (std::int64_t i = 0; i < img.num_elements() / 3; ++i) sum += p[i * 3 + ch];
+    return sum;
+  };
+  EXPECT_GT(channel_sum(red, 0), channel_sum(red, 2));   // red blob: R > B
+  EXPECT_GT(channel_sum(blue, 2), channel_sum(blue, 0)); // blue blob: B > R
+}
+
+TEST(SynthImageNet, OrientationPairRelatedByRotation) {
+  // Horizontal stripes rotated 90 degrees look like vertical stripes:
+  // row-variance vs column-variance must flip.
+  Pcg32 rng(8);
+  Tensor h = SynthImageNet::render(4, rng);
+  auto row_col_var = [](const Tensor& img) {
+    const std::uint8_t* p = img.data<std::uint8_t>();
+    const int n = SynthImageNet::kSensorSize;
+    double row_var = 0.0, col_var = 0.0;
+    std::vector<double> row_means(n, 0.0), col_means(n, 0.0);
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        double v = p[(y * n + x) * 3];
+        row_means[y] += v / n;
+        col_means[x] += v / n;
+      }
+    }
+    double rm = 0, cm = 0;
+    for (int i = 0; i < n; ++i) { rm += row_means[i] / n; cm += col_means[i] / n; }
+    for (int i = 0; i < n; ++i) {
+      row_var += (row_means[i] - rm) * (row_means[i] - rm);
+      col_var += (col_means[i] - cm) * (col_means[i] - cm);
+    }
+    return std::pair(row_var, col_var);
+  };
+  auto [h_row, h_col] = row_col_var(h);
+  EXPECT_GT(h_row, 10 * h_col);  // horizontal stripes: strong row structure
+}
+
+TEST(SynthCoco, ObjectsWithinBounds) {
+  auto scenes = SynthCoco::make(20, 11);
+  for (const auto& scene : scenes) {
+    EXPECT_GE(scene.objects.size(), 1u);
+    for (const DetObject& o : scene.objects) {
+      EXPECT_GE(o.cx - o.w / 2, -1e-3f);
+      EXPECT_LE(o.cx + o.w / 2, 1.0f + 1e-3f);
+      EXPECT_GE(o.cls, 0);
+      EXPECT_LT(o.cls, SynthCoco::kClasses);
+    }
+  }
+}
+
+TEST(SynthSpeech, ClassesHaveDistinctSpectra) {
+  Pcg32 rng(5);
+  auto low = SynthSpeech::render(0, rng);
+  auto high = SynthSpeech::render(1, rng);
+  // Compare energy above/below a frequency split via zero crossings.
+  auto zero_crossings = [](const std::vector<float>& w) {
+    int n = 0;
+    for (std::size_t i = 1; i < w.size(); ++i) {
+      if ((w[i] > 0) != (w[i - 1] > 0)) ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(zero_crossings(high), 2 * zero_crossings(low));
+}
+
+TEST(SynthImdb, LabelsAreBalancedEnough) {
+  auto data = SynthImdb::make(400, 13);
+  int pos = 0;
+  for (const auto& ex : data) pos += ex.label;
+  EXPECT_GT(pos, 120);
+  EXPECT_LT(pos, 280);
+}
+
+TEST(SynthImdb, SentimentWordsPresent) {
+  auto data = SynthImdb::make(50, 17);
+  const auto corpus = SynthImdb::corpus_words();
+  for (const auto& ex : data) {
+    EXPECT_FALSE(ex.text.empty());
+  }
+}
+
+TEST(SynthSeg, MaskMatchesImageShapes) {
+  auto data = SynthSeg::make(5, 3);
+  for (const auto& ex : data) {
+    EXPECT_EQ(ex.image_u8.shape(), (Shape{SynthSeg::kSize, SynthSeg::kSize, 3}));
+    EXPECT_EQ(ex.mask.shape(), (Shape{SynthSeg::kSize, SynthSeg::kSize}));
+    const std::int32_t* m = ex.mask.data<std::int32_t>();
+    bool has_fg = false;
+    for (std::int64_t i = 0; i < ex.mask.num_elements(); ++i) {
+      EXPECT_GE(m[i], 0);
+      EXPECT_LT(m[i], SynthSeg::kClasses);
+      has_fg |= m[i] != 0;
+    }
+    EXPECT_TRUE(has_fg);
+  }
+}
+
+TEST(SynthSeg, PerfectPredictionScoresFullIou) {
+  auto data = SynthSeg::make(3, 4);
+  std::vector<Tensor> perfect;
+  for (const auto& ex : data) perfect.push_back(ex.mask);
+  EXPECT_DOUBLE_EQ(SynthSeg::mean_iou(perfect, data), 1.0);
+}
+
+// --- detection metrics ---
+
+TEST(DetectionMetrics, IouExactCases) {
+  DetObject a{0.5f, 0.5f, 0.2f, 0.2f, 0};
+  DetObject b = a;
+  EXPECT_NEAR(box_iou(a, b), 1.0f, 1e-6);
+  DetObject c{0.9f, 0.9f, 0.1f, 0.1f, 0};
+  EXPECT_NEAR(box_iou(a, c), 0.0f, 1e-6);
+  // Half-overlapping boxes.
+  DetObject d{0.6f, 0.5f, 0.2f, 0.2f, 0};
+  EXPECT_NEAR(box_iou(a, d), (0.1f * 0.2f) / (2 * 0.04f - 0.1f * 0.2f), 1e-5);
+}
+
+TEST(DetectionMetrics, PerfectPredictionsScoreFullMap) {
+  auto scenes = SynthCoco::make(10, 21);
+  std::vector<std::vector<DetPrediction>> preds(scenes.size());
+  for (std::size_t i = 0; i < scenes.size(); ++i) {
+    for (const DetObject& o : scenes[i].objects) {
+      preds[i].push_back({o.cx, o.cy, o.w, o.h, o.cls, 0.99f});
+    }
+  }
+  EXPECT_NEAR(mean_average_precision(preds, scenes, SynthCoco::kClasses), 1.0,
+              1e-9);
+}
+
+TEST(DetectionMetrics, EmptyPredictionsScoreZero) {
+  auto scenes = SynthCoco::make(5, 22);
+  std::vector<std::vector<DetPrediction>> preds(scenes.size());
+  EXPECT_DOUBLE_EQ(
+      mean_average_precision(preds, scenes, SynthCoco::kClasses), 0.0);
+}
+
+TEST(DetectionMetrics, WrongClassPredictionsScoreZero) {
+  auto scenes = SynthCoco::make(5, 23);
+  std::vector<std::vector<DetPrediction>> preds(scenes.size());
+  for (std::size_t i = 0; i < scenes.size(); ++i) {
+    for (const DetObject& o : scenes[i].objects) {
+      preds[i].push_back(
+          {o.cx, o.cy, o.w, o.h, (o.cls + 1) % SynthCoco::kClasses, 0.9f});
+    }
+  }
+  EXPECT_LT(mean_average_precision(preds, scenes, SynthCoco::kClasses), 0.2);
+}
+
+TEST(DetectionMetrics, NmsSuppressesDuplicates) {
+  std::vector<DetPrediction> preds = {
+      {0.5f, 0.5f, 0.2f, 0.2f, 0, 0.9f},
+      {0.51f, 0.5f, 0.2f, 0.2f, 0, 0.8f},  // overlaps the first
+      {0.2f, 0.2f, 0.1f, 0.1f, 0, 0.7f},   // separate
+      {0.5f, 0.5f, 0.2f, 0.2f, 1, 0.6f},   // other class survives
+      {0.9f, 0.9f, 0.1f, 0.1f, 0, 0.1f},   // below score threshold
+  };
+  auto kept = non_max_suppression(preds, 0.5f, 0.3f);
+  EXPECT_EQ(kept.size(), 3u);
+  EXPECT_FLOAT_EQ(kept[0].score, 0.9f);
+}
+
+}  // namespace
+}  // namespace mlexray

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/graph/builder.h"
+#include "src/interpreter/device_profile.h"
+#include "src/interpreter/interpreter.h"
+#include "src/models/zoo.h"
+#include "src/tensor/tensor_stats.h"
+
+namespace mlexray {
+namespace {
+
+TEST(Interpreter, InvokeProducesFiniteOutputs) {
+  Pcg32 rng(1);
+  GraphBuilder b("m", &rng);
+  int x = b.input(Shape{1, 8, 8, 3});
+  int c = b.conv2d(x, 4, 3, 3, 2, Padding::kSame, Activation::kRelu, "c1");
+  int g = b.mean(c, "gap");
+  int logits = b.fully_connected(g, 3, Activation::kNone, "logits");
+  int prob = b.softmax(logits, "prob");
+  Model m = b.finish({prob});
+  RefOpResolver ref;
+  Interpreter interp(&m, &ref);
+  Tensor input = Tensor::f32(Shape{1, 8, 8, 3});
+  input.fill(0.5f);
+  interp.set_input(0, input);
+  interp.invoke();
+  const float* p = interp.output(0).data<float>();
+  float sum = 0;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::isfinite(p[i]));
+    sum += p[i];
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5);
+}
+
+TEST(Interpreter, ShapeMismatchThrows) {
+  Pcg32 rng(2);
+  GraphBuilder b("m", &rng);
+  int x = b.input(Shape{1, 4, 4, 1});
+  Model m = b.finish({x});
+  RefOpResolver ref;
+  Interpreter interp(&m, &ref);
+  EXPECT_THROW(interp.set_input(0, Tensor::f32(Shape{1, 5, 5, 1})), MlxError);
+}
+
+TEST(Interpreter, PerNodeLatenciesRecorded) {
+  Pcg32 rng(3);
+  GraphBuilder b("m", &rng);
+  int x = b.input(Shape{1, 16, 16, 8});
+  int c = b.conv2d(x, 8, 3, 3, 1, Padding::kSame, Activation::kNone, "c1");
+  Model m = b.finish({c});
+  RefOpResolver ref;
+  Interpreter interp(&m, &ref);
+  Tensor input = Tensor::f32(Shape{1, 16, 16, 8});
+  interp.set_input(0, input);
+  interp.invoke();
+  const InvokeStats& stats = interp.last_stats();
+  EXPECT_GT(stats.total_ms, 0.0);
+  EXPECT_GT(stats.per_node_ms[1], 0.0);
+  EXPECT_EQ(stats.per_node_ms[0], 0.0);  // input node costs nothing
+}
+
+TEST(Interpreter, NodeOutputsRetained) {
+  Pcg32 rng(4);
+  GraphBuilder b("m", &rng);
+  int x = b.input(Shape{1, 4, 4, 2});
+  int r = b.relu(x, "r");
+  int s = b.softmax(r, "s");
+  Model m = b.finish({s});
+  RefOpResolver ref;
+  Interpreter interp(&m, &ref);
+  Tensor input = Tensor::f32(Shape{1, 4, 4, 2});
+  input.fill(-1.0f);
+  interp.set_input(0, input);
+  interp.invoke();
+  // relu output of -1 inputs is all zeros; retained per-layer.
+  TensorSummary sum = summarize(interp.node_output(r));
+  EXPECT_EQ(sum.max, 0.0f);
+}
+
+TEST(Interpreter, RefAndOptimizedAgreeOnZooModel) {
+  ZooModel zm = build_mobilenet_v2_mini(5);
+  RefOpResolver ref;
+  BuiltinOpResolver opt;
+  Interpreter ri(&zm.model, &ref);
+  Interpreter oi(&zm.model, &opt, 2);
+  Pcg32 rng(6);
+  Tensor input = Tensor::f32(Shape{1, 32, 32, 3});
+  float* p = input.data<float>();
+  for (std::int64_t i = 0; i < input.num_elements(); ++i) p[i] = rng.uniform(-1, 1);
+  ri.set_input(0, input);
+  oi.set_input(0, input);
+  ri.invoke();
+  oi.invoke();
+  EXPECT_LT(linf_error(ri.output(0), oi.output(0)), 1e-4);
+}
+
+TEST(DeviceProfile, CostScalesWithModelSize) {
+  ZooModel small = build_mobilenet_v1_mini(7);
+  ZooModel large = build_resnet50v2_mini(7);
+  const DeviceProfile& dev = DeviceProfile::pixel4_cpu();
+  EXPECT_GT(modeled_graph_latency_ms(large.model, dev),
+            modeled_graph_latency_ms(small.model, dev));
+}
+
+TEST(DeviceProfile, GpuFasterThanCpuOnFloat) {
+  ZooModel zm = build_mobilenet_v2_mini(8);
+  double cpu = modeled_graph_latency_ms(zm.model, DeviceProfile::pixel4_cpu());
+  double gpu = modeled_graph_latency_ms(zm.model, DeviceProfile::pixel4_gpu());
+  EXPECT_GT(cpu, gpu);
+}
+
+TEST(DeviceProfile, Pixel4FasterThanPixel3) {
+  ZooModel zm = build_mobilenet_v2_mini(9);
+  EXPECT_LT(modeled_graph_latency_ms(zm.model, DeviceProfile::pixel4_cpu()),
+            modeled_graph_latency_ms(zm.model, DeviceProfile::pixel3_cpu()));
+}
+
+TEST(DeviceProfile, EmulatorPenalizesFloatConvs) {
+  ZooModel zm = build_mobilenet_v2_mini(10);
+  double device = modeled_graph_latency_ms(zm.model, DeviceProfile::pixel4_cpu());
+  double emu = modeled_graph_latency_ms(zm.model, DeviceProfile::emulator_x86());
+  EXPECT_GT(emu, 5.0 * device);  // the paper's Table-4 emulator column shape
+}
+
+TEST(DeviceProfile, ConvCostFormula) {
+  Pcg32 rng(11);
+  GraphBuilder b("c", &rng);
+  int x = b.input(Shape{1, 8, 8, 2});
+  int c = b.conv2d(x, 4, 3, 3, 1, Padding::kSame, Activation::kNone, "c1");
+  Model m = b.finish({c});
+  NodeCost cost = estimate_node_cost(m, m.node(c));
+  // flops = 2 * out_elems * kh*kw*in_ch = 2 * (8*8*4) * 18
+  EXPECT_DOUBLE_EQ(cost.flops, 2.0 * 8 * 8 * 4 * 3 * 3 * 2);
+  EXPECT_GT(cost.bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace mlexray

@@ -1,0 +1,395 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/graph/builder.h"
+#include "src/interpreter/interpreter.h"
+#include "src/kernels/fixed_point.h"
+#include "src/quant/quantizer.h"
+#include "src/tensor/tensor_stats.h"
+
+namespace mlexray {
+namespace {
+
+TEST(FixedPoint, QuantizeMultiplierRoundTrips) {
+  for (double real : {0.5, 0.25, 0.1, 0.0123, 0.9999, 3e-5}) {
+    std::int32_t m = 0;
+    int shift = 0;
+    quantize_multiplier(real, &m, &shift);
+    double reconstructed = static_cast<double>(m) / (1LL << 31) *
+                           std::pow(2.0, shift);
+    EXPECT_NEAR(reconstructed / real, 1.0, 1e-6) << real;
+  }
+}
+
+TEST(FixedPoint, MultiplyMatchesDouble) {
+  std::int32_t m = 0;
+  int shift = 0;
+  quantize_multiplier(0.00372, &m, &shift);
+  for (std::int32_t x : {-100000, -1234, -1, 0, 1, 999, 123456}) {
+    std::int32_t got = multiply_by_quantized_multiplier(x, m, shift);
+    auto want = static_cast<std::int32_t>(std::lround(x * 0.00372));
+    EXPECT_NEAR(got, want, 1) << x;
+  }
+}
+
+TEST(FixedPoint, RoundingDivideByPot) {
+  EXPECT_EQ(rounding_divide_by_pot(8, 2), 2);
+  EXPECT_EQ(rounding_divide_by_pot(10, 2), 3);   // 2.5 rounds away
+  EXPECT_EQ(rounding_divide_by_pot(-10, 2), -3);
+  EXPECT_EQ(rounding_divide_by_pot(9, 2), 2);
+}
+
+TEST(FixedPoint, ClampToI8) {
+  EXPECT_EQ(clamp_to_i8(300), 127);
+  EXPECT_EQ(clamp_to_i8(-300), -128);
+  EXPECT_EQ(clamp_to_i8(5), 5);
+}
+
+// --- float reference vs optimized parity, parameterized over geometry ---
+
+struct ConvCase {
+  int in_size, in_ch, out_ch, kernel, stride;
+  Padding padding;
+};
+
+class ConvParity : public ::testing::TestWithParam<ConvCase> {};
+
+Tensor random_input(Shape shape, Pcg32& rng) {
+  Tensor t = Tensor::f32(shape);
+  float* p = t.data<float>();
+  for (std::int64_t i = 0; i < t.num_elements(); ++i) p[i] = rng.uniform(-2, 2);
+  return t;
+}
+
+TEST_P(ConvParity, RefMatchesOptimized) {
+  const ConvCase& c = GetParam();
+  Pcg32 rng(99);
+  GraphBuilder b("conv", &rng);
+  int x = b.input(Shape{1, c.in_size, c.in_size, c.in_ch});
+  b.conv2d(x, c.out_ch, c.kernel, c.kernel, c.stride, c.padding,
+           Activation::kRelu6, "conv");
+  Model m = b.finish({1});
+
+  RefOpResolver ref;
+  BuiltinOpResolver opt;
+  Interpreter ri(&m, &ref);
+  Interpreter oi(&m, &opt, /*num_threads=*/2);
+  Tensor input = random_input(Shape{1, c.in_size, c.in_size, c.in_ch}, rng);
+  ri.set_input(0, input);
+  oi.set_input(0, input);
+  ri.invoke();
+  oi.invoke();
+  EXPECT_LT(linf_error(ri.output(0), oi.output(0)), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvParity,
+    ::testing::Values(ConvCase{8, 3, 4, 3, 1, Padding::kSame},
+                      ConvCase{8, 3, 4, 3, 2, Padding::kSame},
+                      ConvCase{9, 2, 5, 3, 2, Padding::kSame},
+                      ConvCase{8, 4, 4, 1, 1, Padding::kSame},
+                      ConvCase{8, 3, 4, 3, 1, Padding::kValid},
+                      ConvCase{7, 1, 2, 5, 2, Padding::kSame},
+                      ConvCase{16, 8, 8, 3, 2, Padding::kSame}));
+
+struct DwCase {
+  int in_size, ch, kernel, stride;
+  Padding padding;
+};
+
+class DwConvParity : public ::testing::TestWithParam<DwCase> {};
+
+TEST_P(DwConvParity, RefMatchesOptimized) {
+  const DwCase& c = GetParam();
+  Pcg32 rng(123);
+  GraphBuilder b("dw", &rng);
+  int x = b.input(Shape{1, c.in_size, c.in_size, c.ch});
+  b.depthwise_conv2d(x, c.kernel, c.kernel, c.stride, c.padding,
+                     Activation::kRelu, "dw");
+  Model m = b.finish({1});
+  RefOpResolver ref;
+  BuiltinOpResolver opt;
+  Interpreter ri(&m, &ref);
+  Interpreter oi(&m, &opt, 2);
+  Tensor input = random_input(Shape{1, c.in_size, c.in_size, c.ch}, rng);
+  ri.set_input(0, input);
+  oi.set_input(0, input);
+  ri.invoke();
+  oi.invoke();
+  EXPECT_LT(linf_error(ri.output(0), oi.output(0)), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, DwConvParity,
+    ::testing::Values(DwCase{8, 3, 3, 1, Padding::kSame},
+                      DwCase{8, 4, 3, 2, Padding::kSame},
+                      DwCase{9, 5, 3, 2, Padding::kSame},
+                      DwCase{6, 2, 5, 1, Padding::kSame},
+                      DwCase{8, 3, 3, 1, Padding::kValid}));
+
+TEST(KernelParity, PadRefMatchesOptimized) {
+  Pcg32 rng(5);
+  GraphBuilder b("pad", &rng);
+  int x = b.input(Shape{1, 5, 6, 3});
+  b.pad(x, 1, 2, 0, 1, "p");
+  Model m = b.finish({1});
+  RefOpResolver ref;
+  BuiltinOpResolver opt;
+  Interpreter ri(&m, &ref);
+  Interpreter oi(&m, &opt);
+  Tensor input = random_input(Shape{1, 5, 6, 3}, rng);
+  ri.set_input(0, input);
+  oi.set_input(0, input);
+  ri.invoke();
+  oi.invoke();
+  EXPECT_EQ(linf_error(ri.output(0), oi.output(0)), 0.0);
+}
+
+TEST(KernelParity, FullyConnectedRefMatchesOptimized) {
+  Pcg32 rng(6);
+  GraphBuilder b("fc", &rng);
+  int x = b.input(Shape{1, 4, 4, 3});
+  b.fully_connected(x, 10, Activation::kNone, "fc");
+  Model m = b.finish({1});
+  RefOpResolver ref;
+  BuiltinOpResolver opt;
+  Interpreter ri(&m, &ref);
+  Interpreter oi(&m, &opt, 2);
+  Tensor input = random_input(Shape{1, 4, 4, 3}, rng);
+  ri.set_input(0, input);
+  oi.set_input(0, input);
+  ri.invoke();
+  oi.invoke();
+  EXPECT_LT(linf_error(ri.output(0), oi.output(0)), 1e-4);
+}
+
+// --- individual op semantics ---
+
+TEST(Kernels, SoftmaxRowsSumToOne) {
+  Pcg32 rng(7);
+  GraphBuilder b("sm", &rng);
+  int x = b.input(Shape{1, 6});
+  b.softmax(x, "sm");
+  Model m = b.finish({1});
+  RefOpResolver ref;
+  Interpreter interp(&m, &ref);
+  interp.set_input(0, Tensor::f32(Shape{1, 6}, {1, 2, 3, -1, 0, 5}));
+  interp.invoke();
+  const float* p = interp.output(0).data<float>();
+  float sum = 0;
+  for (int i = 0; i < 6; ++i) sum += p[i];
+  EXPECT_NEAR(sum, 1.0f, 1e-5);
+  EXPECT_GT(p[5], p[0]);
+}
+
+TEST(Kernels, MeanComputesSpatialAverage) {
+  Pcg32 rng(8);
+  GraphBuilder b("mean", &rng);
+  int x = b.input(Shape{1, 2, 2, 1});
+  b.mean(x, "m");
+  Model m = b.finish({1});
+  RefOpResolver ref;
+  Interpreter interp(&m, &ref);
+  interp.set_input(0, Tensor::f32(Shape{1, 2, 2, 1}, {1, 2, 3, 6}));
+  interp.invoke();
+  EXPECT_FLOAT_EQ(interp.output(0).data<float>()[0], 3.0f);
+}
+
+TEST(Kernels, MulBroadcastsSqueezeExciteGate) {
+  Pcg32 rng(9);
+  GraphBuilder b("mul", &rng);
+  int x = b.input(Shape{1, 2, 2, 2});
+  int g = b.mean(x, "gate");  // [1,1,1,2]
+  b.mul(x, g, "scaled");
+  Model m = b.finish({2});
+  RefOpResolver ref;
+  Interpreter interp(&m, &ref);
+  interp.set_input(0, Tensor::f32(Shape{1, 2, 2, 2},
+                                  {1, 2, 1, 2, 1, 2, 1, 2}));
+  interp.invoke();
+  // gate = (1,2); out = x * gate per channel.
+  const float* p = interp.output(0).data<float>();
+  EXPECT_FLOAT_EQ(p[0], 1.0f);
+  EXPECT_FLOAT_EQ(p[1], 4.0f);
+}
+
+TEST(Kernels, HardSwishMatchesFormula) {
+  Pcg32 rng(10);
+  GraphBuilder b("hs", &rng);
+  int x = b.input(Shape{1, 5});
+  b.hardswish(x, "h");
+  Model m = b.finish({1});
+  RefOpResolver ref;
+  Interpreter interp(&m, &ref);
+  interp.set_input(0, Tensor::f32(Shape{1, 5}, {-4, -1, 0, 1, 4}));
+  interp.invoke();
+  const float* p = interp.output(0).data<float>();
+  EXPECT_FLOAT_EQ(p[0], 0.0f);
+  EXPECT_FLOAT_EQ(p[1], -1.0f * 2.0f / 6.0f);
+  EXPECT_FLOAT_EQ(p[2], 0.0f);
+  EXPECT_FLOAT_EQ(p[4], 4.0f);
+}
+
+TEST(Kernels, BatchNormInferenceUsesMovingStats) {
+  Pcg32 rng(11);
+  GraphBuilder b("bn", &rng);
+  int x = b.input(Shape{1, 1, 1, 2});
+  int bn = b.batch_norm(x, "bn");
+  Model m = b.finish({bn});
+  // gamma=2, beta=1, mean=3, var=4 for channel 0.
+  Node& node = m.node(bn);
+  node.weights[0].data<float>()[0] = 2.0f;
+  node.weights[1].data<float>()[0] = 1.0f;
+  node.weights[2].data<float>()[0] = 3.0f;
+  node.weights[3].data<float>()[0] = 4.0f;
+  RefOpResolver ref;
+  Interpreter interp(&m, &ref);
+  interp.set_input(0, Tensor::f32(Shape{1, 1, 1, 2}, {5.0f, 0.0f}));
+  interp.invoke();
+  float expected = 2.0f * (5.0f - 3.0f) / std::sqrt(4.0f + 1e-5f) + 1.0f;
+  EXPECT_NEAR(interp.output(0).data<float>()[0], expected, 1e-4);
+}
+
+// --- quantized kernels ---
+
+// A small conv net quantized end-to-end should track the float model.
+TEST(QuantKernels, QuantizedConvTracksFloat) {
+  Pcg32 rng(21);
+  GraphBuilder b("qconv", &rng);
+  int x = b.input(Shape{1, 8, 8, 3});
+  int c = b.conv2d(x, 6, 3, 3, 1, Padding::kSame, Activation::kRelu, "c1");
+  c = b.conv2d(c, 4, 3, 3, 2, Padding::kSame, Activation::kNone, "c2");
+  Model m = b.finish({c});
+
+  Calibrator calib(&m);
+  Pcg32 drng(22);
+  for (int i = 0; i < 8; ++i) {
+    calib.observe({random_input(Shape{1, 8, 8, 3}, drng)});
+  }
+  Model qm = quantize_model(m, calib);
+
+  RefOpResolver ref;
+  Interpreter fi(&m, &ref);
+  Interpreter qi_ref(&qm, &ref);
+  BuiltinOpResolver opt;
+  Interpreter qi_opt(&qm, &opt);
+
+  Pcg32 erng(23);
+  Tensor input = random_input(Shape{1, 8, 8, 3}, erng);
+  fi.set_input(0, input);
+  qi_ref.set_input(0, input);
+  qi_opt.set_input(0, input);
+  fi.invoke();
+  qi_ref.invoke();
+  qi_opt.invoke();
+
+  // Quantized output stays within a few quantization steps of float.
+  EXPECT_LT(normalized_rmse(qi_ref.output(0), fi.output(0)), 0.05);
+  EXPECT_LT(normalized_rmse(qi_opt.output(0), fi.output(0)), 0.05);
+  // Reference and optimized integer paths agree within 1 quantum.
+  EXPECT_LT(normalized_rmse(qi_opt.output(0), qi_ref.output(0)), 0.02);
+}
+
+TEST(QuantKernels, DwConvBugEmulationWrecksOutput) {
+  Pcg32 rng(31);
+  GraphBuilder b("qdw", &rng);
+  int x = b.input(Shape{1, 8, 8, 8});
+  int d = b.depthwise_conv2d(x, 3, 3, 1, Padding::kSame, Activation::kNone,
+                             "dw");
+  Model m = b.finish({d});
+  // Large-ish activations to force accumulator magnitudes past int16.
+  Calibrator calib(&m);
+  Pcg32 drng(32);
+  for (int i = 0; i < 4; ++i) {
+    Tensor t = Tensor::f32(Shape{1, 8, 8, 8});
+    float* p = t.data<float>();
+    for (std::int64_t j = 0; j < t.num_elements(); ++j) p[j] = drng.uniform(-8, 8);
+    calib.observe({t});
+  }
+  Model qm = quantize_model(m, calib);
+
+  BuiltinOpResolver good(KernelBugConfig::none());
+  BuiltinOpResolver bad(KernelBugConfig::as_shipped());
+  Interpreter gi(&qm, &good);
+  Interpreter bi(&qm, &bad);
+  Tensor input = Tensor::f32(Shape{1, 8, 8, 8});
+  Pcg32 erng(33);
+  float* p = input.data<float>();
+  for (std::int64_t j = 0; j < input.num_elements(); ++j) p[j] = erng.uniform(-8, 8);
+  gi.set_input(0, input);
+  bi.set_input(0, input);
+  gi.invoke();
+  bi.invoke();
+  // The wrapped accumulator must visibly diverge (benign quantization noise
+  // between the two resolvers is ~0.005 on this net).
+  EXPECT_GT(normalized_rmse(bi.output(0), gi.output(0)), 0.05);
+}
+
+TEST(QuantKernels, AvgPoolBugEmulationCollapsesOutput) {
+  Pcg32 rng(41);
+  GraphBuilder b("qap", &rng);
+  int x = b.input(Shape{1, 8, 8, 4});
+  int p = b.avg_pool(x, 8, 1, Padding::kValid, "se_pool");
+  Model m = b.finish({p});
+  Calibrator calib(&m);
+  Pcg32 drng(42);
+  for (int i = 0; i < 4; ++i) {
+    calib.observe({random_input(Shape{1, 8, 8, 4}, drng)});
+  }
+  Model qm = quantize_model(m, calib);
+
+  RefOpResolver good(KernelBugConfig::none());
+  RefOpResolver bad(KernelBugConfig::as_shipped());
+  Interpreter gi(&qm, &good);
+  Interpreter bi(&qm, &bad);
+  Pcg32 erng(43);
+  Tensor input = random_input(Shape{1, 8, 8, 4}, erng);
+  gi.set_input(0, input);
+  bi.set_input(0, input);
+  gi.invoke();
+  bi.invoke();
+  // The buggy pool (wrong shift, no zero point) produces invalid output:
+  // far outside one quantum of the correct mean.
+  EXPECT_GT(normalized_rmse(bi.output(0), gi.output(0)), 0.5);
+  // The correct kernels agree with the float mean within quantization noise.
+  EXPECT_LT(normalized_rmse(gi.output(0), gi.output(0)), 1e-9);
+}
+
+TEST(QuantKernels, QuantizeDequantizeRoundTrip) {
+  Pcg32 rng(51);
+  GraphBuilder b("qdq", &rng);
+  int x = b.input(Shape{1, 4, 4, 2});
+  Model m = b.finish({x});
+  // Build a quantized identity: input -> quantize -> dequantize. The eval
+  // sample is part of calibration so no clipping occurs (clipping behaviour
+  // is exercised separately by the calibration ablation).
+  Pcg32 erng(53);
+  Tensor input = random_input(Shape{1, 4, 4, 2}, erng);
+  Calibrator calib(&m);
+  Pcg32 drng(52);
+  for (int i = 0; i < 4; ++i) calib.observe({random_input(Shape{1, 4, 4, 2}, drng)});
+  calib.observe({input});
+  Model qm = quantize_model(m, calib);
+  RefOpResolver ref;
+  Interpreter interp(&qm, &ref);
+  interp.set_input(0, input);
+  interp.invoke();
+  // round-trip error bounded by one quantization step (range 4 / 255).
+  EXPECT_LT(linf_error(interp.output(0), input), 4.2 / 255.0);
+}
+
+TEST(Resolver, MissingKernelThrows) {
+  Pcg32 rng(61);
+  GraphBuilder b("emb", &rng);
+  int ids = b.input(Shape{1, 4}, DType::kI32, "tokens");
+  int e = b.embedding(ids, 10, 4, "emb");
+  Model m = b.finish({e});
+  Node fake = m.node(e);
+  fake.output_dtype = DType::kI8;  // no int8 embedding kernel exists
+  RefOpResolver ref;
+  EXPECT_THROW(ref.find(fake), MlxError);
+}
+
+}  // namespace
+}  // namespace mlexray
