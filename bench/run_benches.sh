@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs the kernel microbenchmarks and records machine-readable results.
+#
+# The perf trajectory of the kernel library lives in BENCH_*.json files at
+# the repo root: run this after a kernel/interpreter change and commit the
+# refreshed JSON alongside it, so regressions are visible in review instead
+# of discovered later.
+#
+# Usage: bench/run_benches.sh [build_dir] [output_dir]
+#   build_dir   defaults to ./build
+#   output_dir  defaults to the repo root
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out_dir="${2:-${repo_root}}"
+
+if [[ ! -x "${build_dir}/bench_kernels_micro" ]]; then
+  echo "bench_kernels_micro not found in ${build_dir}; build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+echo "== kernel microbenchmarks (Table 4 shapes) =="
+"${build_dir}/bench_kernels_micro" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.2 \
+  > "${out_dir}/BENCH_kernels_micro.json"
+echo "wrote ${out_dir}/BENCH_kernels_micro.json"
+
+# Human-readable digest for the console.
+python3 - "$out_dir/BENCH_kernels_micro.json" <<'EOF' || true
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+print(f"{'benchmark':40s} {'wall':>12s}")
+for b in data.get("benchmarks", []):
+    print(f"{b['name']:40s} {b['real_time']:10.0f} {b['time_unit']}")
+EOF

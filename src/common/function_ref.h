@@ -1,0 +1,43 @@
+// Non-owning callable reference.
+//
+// The kernel hot path hands loop bodies to ThreadPool::parallel_for on every
+// node of every invoke; std::function would heap-allocate for any capture
+// larger than its small-buffer (GCC: 16 bytes), which kernel lambdas always
+// exceed. FunctionRef stores a type-erased pointer to the caller's callable
+// instead — zero allocation, trivially copyable. The referenced callable must
+// outlive the call, which parallel_for guarantees (it blocks until all chunks
+// finish).
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace mlexray {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT: implicit by design, mirrors std::function_ref
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace mlexray

@@ -1,17 +1,19 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 
 namespace mlexray {
 
+namespace {
+// True on threads owned by a pool; nested parallel_for calls from a worker
+// run inline instead of deadlocking on the (busy) pool.
+thread_local bool t_is_pool_worker = false;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -24,63 +26,106 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::enqueue(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.push(std::move(task));
+void ThreadPool::run_chunks(const WorkerFn& fn, std::size_t end,
+                            std::size_t chunk, std::size_t worker_index) {
+  for (;;) {
+    const std::size_t lo = next_.fetch_add(chunk, std::memory_order_relaxed);
+    if (lo >= end) return;
+    fn(lo, std::min(end, lo + chunk), worker_index);
   }
-  cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  t_is_pool_worker = true;
+  std::uint64_t seen_generation = 0;
   for (;;) {
-    std::function<void()> task;
+    const WorkerFn* fn = nullptr;
+    std::size_t end = 0;
+    std::size_t chunk = 1;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
-      if (shutting_down_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      cv_.wait(lock,
+               [&] { return shutting_down_ || generation_ != seen_generation; });
+      if (shutting_down_) return;
+      seen_generation = generation_;
+      // A job this worker slept through may already be complete (the
+      // submitter finished it alone); latching it now would race the next
+      // submission's reset of next_. job_live_ is cleared under this same
+      // mutex before the submitter returns, so the check is exact.
+      if (!job_live_) continue;
+      // Capture the job and commit to it (in_flight_) while still holding
+      // the lock: the submitter cannot observe in_flight_ == 0 and move on
+      // to a new job once this worker has latched the current one, so the
+      // captured fn/end/chunk can never be a stale/fresh mix.
+      fn = job_fn_;
+      end = job_end_;
+      chunk = job_chunk_;
+      in_flight_.fetch_add(1, std::memory_order_relaxed);
     }
-    task();
+    run_chunks(*fn, end, chunk, worker_index + 1);
+    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Possibly the last worker out: wake the submitter. Acquiring the lock
+      // before notifying pairs with the submitter's predicate re-check.
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
   }
 }
 
-void ThreadPool::parallel_for(
+void ThreadPool::parallel_for_workers(
     std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& fn) {
+    FunctionRef<void(std::size_t, std::size_t, std::size_t)> fn,
+    std::size_t min_chunk) {
   if (begin >= end) return;
+  min_chunk = std::max<std::size_t>(1, min_chunk);
   const std::size_t total = end - begin;
-  const std::size_t chunks = std::min(total, workers_.size());
-  if (chunks <= 1) {
-    fn(begin, end);
+  const std::size_t max_chunks = (total + min_chunk - 1) / min_chunk;
+  if (t_is_pool_worker || max_chunks <= 1 || workers_.empty()) {
+    fn(begin, end, 0);
     return;
   }
-  std::atomic<std::size_t> remaining(chunks);
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  const std::size_t chunk_size = (total + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * chunk_size;
-    const std::size_t hi = std::min(end, lo + chunk_size);
-    if (lo >= hi) {
-      remaining.fetch_sub(1);
-      continue;
-    }
-    enqueue([&, lo, hi] {
-      fn(lo, hi);
-      // Decrement under the lock: otherwise the waiter can observe zero and
-      // destroy done_mutex/done_cv while this worker still touches them.
-      std::lock_guard<std::mutex> lock(done_mutex);
-      if (remaining.fetch_sub(1) == 1) done_cv.notify_all();
-    });
+  const std::size_t participants = std::min(parallelism(), max_chunks);
+  // ~4 chunks per participant: dynamic claiming then balances uneven rows
+  // without the scheduling overhead of element-granular chunks.
+  const std::size_t chunk =
+      std::max(min_chunk, total / (participants * 4) + 1);
+
+  // One job at a time; a second submitting thread waits its turn here.
+  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_fn_ = &fn;
+    job_chunk_ = chunk;
+    job_end_ = end;
+    job_live_ = true;
+    next_.store(begin, std::memory_order_relaxed);
+    ++generation_;
   }
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  cv_.notify_all();
+  run_chunks(fn, end, chunk, /*worker_index=*/0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+  // Retire the job in the same lock hold that satisfied the wait: a worker
+  // waking later sees job_live_ == false and goes back to sleep instead of
+  // latching a dead job. fn may now safely die with this frame.
+  job_live_ = false;
+  job_fn_ = nullptr;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              FunctionRef<void(std::size_t, std::size_t)> fn,
+                              std::size_t min_chunk) {
+  parallel_for_workers(
+      begin, end,
+      [&fn](std::size_t lo, std::size_t hi, std::size_t) { fn(lo, hi); },
+      min_chunk);
 }
 
 ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool;
+  static ThreadPool pool(
+      std::max<std::size_t>(1, std::thread::hardware_concurrency()) - 1);
   return pool;
 }
 

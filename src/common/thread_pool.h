@@ -1,46 +1,96 @@
-// A small fixed-size thread pool with a parallel_for helper.
+// A small fixed-size thread pool with an allocation-free parallel_for.
 //
 // Used by the optimized kernel resolver to mirror the multi-threaded TFLite
 // interpreter configuration the paper benchmarks (4 threads on a Pixel 4).
+//
+// parallel_for is designed for the interpreter's steady-state invoke path:
+// the loop body is passed as a non-owning FunctionRef (no std::function
+// heap allocation) and chunks are handed out through an atomic counter (no
+// per-chunk task objects). The calling thread participates as worker 0, so a
+// pool of N threads gives N+1-way parallelism.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <cstdint>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
+
+#include "src/common/function_ref.h"
 
 namespace mlexray {
 
 class ThreadPool {
  public:
-  // num_threads == 0 means hardware concurrency (at least 1).
-  explicit ThreadPool(std::size_t num_threads = 0);
+  // Spawns exactly num_threads worker threads. The calling thread of a
+  // parallel_for always participates as well, so num_threads == 0 is valid:
+  // every parallel_for then runs inline with zero scheduling overhead.
+  explicit ThreadPool(std::size_t num_threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const { return workers_.size(); }
+  // Number of threads a parallel_for can use (workers + the caller).
+  std::size_t parallelism() const { return workers_.size() + 1; }
 
-  // Runs fn(begin..end) split across workers; blocks until all chunks finish.
-  // fn receives a half-open index range [chunk_begin, chunk_end).
+  // Runs fn over [begin, end) split into chunks of at least min_chunk
+  // elements; blocks until all chunks finish. fn receives a half-open index
+  // range [chunk_begin, chunk_end). Chunks are claimed dynamically, so uneven
+  // per-element cost balances across threads. Allocation-free. Nested calls
+  // from inside a worker run the whole range inline on that worker.
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t, std::size_t)>& fn);
+                    FunctionRef<void(std::size_t, std::size_t)> fn,
+                    std::size_t min_chunk = 1);
 
-  // Process-wide pool sized for this host; lazily constructed.
+  // As parallel_for, but fn also receives the executing worker's index in
+  // [0, parallelism()); index 0 is the calling thread. Kernels use the index
+  // to address pre-planned per-worker scratch slices.
+  void parallel_for_workers(
+      std::size_t begin, std::size_t end,
+      FunctionRef<void(std::size_t, std::size_t, std::size_t)> fn,
+      std::size_t min_chunk = 1);
+
+  // Process-wide pool sized for this host (hardware_concurrency - 1 workers,
+  // since the submitting thread works too); lazily constructed. On a
+  // single-core host it has no workers and parallel_for degrades gracefully
+  // to inline execution instead of ping-ponging one CPU between threads.
   static ThreadPool& shared();
 
  private:
-  void enqueue(std::function<void()> task);
-  void worker_loop();
+  using WorkerFn = FunctionRef<void(std::size_t, std::size_t, std::size_t)>;
+
+  void worker_loop(std::size_t worker_index);
+  // Claims chunks via next_ and runs fn on each until the range is
+  // exhausted. fn/end/chunk are the caller's consistent snapshot of the job
+  // (workers capture theirs under mutex_; the submitter uses its own
+  // arguments).
+  void run_chunks(const WorkerFn& fn, std::size_t end, std::size_t chunk,
+                  std::size_t worker_index);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+
+  // Serializes concurrent parallel_for calls from different caller threads
+  // (the pool runs one job at a time).
+  std::mutex submit_mutex_;
+
+  // Job description; written and read only under mutex_ (the submitter also
+  // reads its own writes lock-free). next_ is the only cross-thread shared
+  // state touched outside the lock while a job runs.
+  const WorkerFn* job_fn_ = nullptr;
+  std::size_t job_end_ = 0;
+  std::size_t job_chunk_ = 1;
+  bool job_live_ = false;
+  std::uint64_t generation_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<int> in_flight_{0};
+
   std::mutex mutex_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;       // wakes workers for a new job/shutdown
+  std::condition_variable done_cv_;  // signals the submitter on completion
   bool shutting_down_ = false;
 };
 

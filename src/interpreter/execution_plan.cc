@@ -1,0 +1,31 @@
+#include "src/interpreter/execution_plan.h"
+
+namespace mlexray {
+
+ExecutionPlan::ExecutionPlan(const Model& model, const OpResolver& resolver,
+                             std::vector<Tensor>& activations,
+                             ThreadPool* pool, ScratchArena* arena) {
+  MLX_CHECK_EQ(activations.size(), model.nodes.size());
+  std::size_t executable = 0;
+  for (const Node& n : model.nodes) {
+    if (n.type != OpType::kInput) ++executable;
+  }
+  steps_.reserve(executable);
+  for (const Node& n : model.nodes) {
+    if (n.type == OpType::kInput) continue;
+    PlanStep step;
+    step.node = &n;
+    step.kernel = &resolver.find(n);  // throws MlxError if unsupported
+    step.ctx.node = &n;
+    step.ctx.output = &activations[static_cast<std::size_t>(n.id)];
+    step.ctx.pool = pool;
+    step.ctx.arena = arena;
+    step.ctx.inputs.reserve(n.inputs.size());
+    for (int in : n.inputs) {
+      step.ctx.inputs.push_back(&activations[static_cast<std::size_t>(in)]);
+    }
+    steps_.push_back(std::move(step));
+  }
+}
+
+}  // namespace mlexray

@@ -5,9 +5,19 @@
 
 namespace mlexray {
 
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+}  // namespace
+
 Interpreter::Interpreter(const Model* model, const OpResolver* resolver,
                          int num_threads)
     : model_(model), resolver_(resolver) {
+  auto prepare_start = Clock::now();
   MLX_CHECK(model != nullptr);
   MLX_CHECK(resolver != nullptr);
   model_->validate();
@@ -16,13 +26,19 @@ Interpreter::Interpreter(const Model* model, const OpResolver* resolver,
   MLX_CHECK(!input_ids_.empty()) << "model has no inputs";
 
   // Allocate one activation tensor per node (retained for per-layer logs).
+  // The vector is sized once and never grows: the plan wires raw pointers
+  // into it.
   activations_.reserve(model_->nodes.size());
   for (const Node& n : model_->nodes) {
     Tensor t(n.output_dtype, n.output_shape);
     t.quant() = n.output_quant;
     activations_.push_back(std::move(t));
   }
+  plan_ = std::make_unique<ExecutionPlan>(*model_, *resolver_, activations_,
+                                          pool_, &arena_);
   stats_.per_node_ms.assign(model_->nodes.size(), 0.0);
+  stats_.per_node_total_ms.assign(model_->nodes.size(), 0.0);
+  stats_.prepare_ms = ms_since(prepare_start);
 }
 
 void Interpreter::set_input(int input_index, const Tensor& value) {
@@ -39,27 +55,21 @@ void Interpreter::set_input(int input_index, const Tensor& value) {
 }
 
 void Interpreter::invoke() {
-  using Clock = std::chrono::steady_clock;
   auto start_total = Clock::now();
-  for (const Node& n : model_->nodes) {
-    if (n.type == OpType::kInput) continue;
-    KernelContext ctx;
-    ctx.node = &n;
-    ctx.output = &activations_[static_cast<std::size_t>(n.id)];
-    ctx.pool = pool_;
-    ctx.inputs.reserve(n.inputs.size());
-    for (int in : n.inputs) {
-      ctx.inputs.push_back(&activations_[static_cast<std::size_t>(in)]);
-    }
-    const KernelFn& kernel = resolver_->find(n);
+  // Reset the per-invoke view; totals keep accumulating.
+  std::fill(stats_.per_node_ms.begin(), stats_.per_node_ms.end(), 0.0);
+  for (const PlanStep& step : plan_->steps()) {
+    arena_.reset();
     auto start = Clock::now();
-    kernel(ctx);
-    stats_.per_node_ms[static_cast<std::size_t>(n.id)] =
-        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    (*step.kernel)(step.ctx);
+    const double node_ms = ms_since(start);
+    const auto id = static_cast<std::size_t>(step.node->id);
+    stats_.per_node_ms[id] = node_ms;
+    stats_.per_node_total_ms[id] += node_ms;
   }
-  stats_.total_ms =
-      std::chrono::duration<double, std::milli>(Clock::now() - start_total)
-          .count();
+  stats_.total_ms = ms_since(start_total);
+  stats_.cumulative_ms += stats_.total_ms;
+  ++stats_.invoke_count;
 }
 
 const Tensor& Interpreter::output(int output_index) const {

@@ -5,21 +5,42 @@
 // Per-node outputs are retained (ML-EXray's per-layer logging reads them
 // after invoke) and per-node wall-clock latencies are recorded on every
 // invoke for the latency-validation path.
+//
+// Execution is split into Prepare and Invoke phases. Construction runs
+// Prepare: activation tensors are allocated, an ExecutionPlan resolves every
+// kernel and wires its context once, and a scratch arena is attached for
+// kernel temporaries. invoke() then just walks the prepared steps — after the
+// first call (which grows the arena to the model's high-water mark) it
+// performs no heap allocation at all, which the alloc_stats-based regression
+// tests enforce.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "src/common/thread_pool.h"
-#include "src/graph/graph.h"
-#include "src/kernels/op_resolver.h"
+#include "src/interpreter/execution_plan.h"
+#include "src/tensor/scratch_arena.h"
 
 namespace mlexray {
 
-struct InvokeStats {
+struct InterpreterStats {
+  // One-time Prepare cost (plan construction, activation allocation).
+  double prepare_ms = 0.0;
+  // Wall clock of the most recent invoke.
   double total_ms = 0.0;
-  std::vector<double> per_node_ms;  // indexed by node id; 0 for kInput
+  // Sum of total_ms across all invokes, and how many there were.
+  double cumulative_ms = 0.0;
+  std::int64_t invoke_count = 0;
+  // Per-node wall clock, indexed by node id; reset at the start of every
+  // invoke (kInput nodes stay 0).
+  std::vector<double> per_node_ms;
+  // Per-node wall clock accumulated across all invokes.
+  std::vector<double> per_node_total_ms;
 };
+
+// Historical name, kept for call sites that predate the Prepare/Invoke split.
+using InvokeStats = InterpreterStats;
 
 class Interpreter {
  public:
@@ -31,7 +52,7 @@ class Interpreter {
   // Copies `value` into the i-th model input (shape and dtype checked).
   void set_input(int input_index, const Tensor& value);
 
-  // Runs all nodes in topological order.
+  // Runs all nodes in topological order over the prepared plan.
   void invoke();
 
   // The i-th model output of the last invoke.
@@ -42,7 +63,9 @@ class Interpreter {
 
   const Model& model() const { return *model_; }
   const OpResolver& resolver() const { return *resolver_; }
-  const InvokeStats& last_stats() const { return stats_; }
+  const InterpreterStats& last_stats() const { return stats_; }
+  const ExecutionPlan& plan() const { return *plan_; }
+  const ScratchArena& scratch_arena() const { return arena_; }
 
   // Bytes held by this interpreter's activation tensors.
   std::size_t activation_bytes() const;
@@ -51,9 +74,11 @@ class Interpreter {
   const Model* model_;
   const OpResolver* resolver_;
   ThreadPool* pool_;  // nullptr => single-threaded
+  ScratchArena arena_;
   std::vector<Tensor> activations_;  // one per node id
+  std::unique_ptr<ExecutionPlan> plan_;
   std::vector<int> input_ids_;
-  InvokeStats stats_;
+  InterpreterStats stats_;
 };
 
 }  // namespace mlexray

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/kernels/fixed_point.h"
+#include "src/kernels/kernel.h"
 #include "src/tensor/tensor.h"
 
 namespace mlexray {
@@ -41,6 +42,31 @@ inline RequantScales prepare_requant(const QuantParams& in_q,
     quantize_multiplier(scale, &r.multipliers[ch], &r.shifts[ch]);
   }
   return r;
+}
+
+// Arena-backed view of the Q31 requantization factors, for the optimized
+// kernels' steady-state path: the tables live in the interpreter's scratch
+// arena instead of per-call std::vectors, so repeated invokes do not touch
+// the heap. Valid until the node finishes executing.
+struct RequantView {
+  const std::int32_t* multipliers = nullptr;
+  const int* shifts = nullptr;
+};
+
+inline RequantView prepare_requant_scratch(const KernelContext& ctx,
+                                           const QuantParams& in_q,
+                                           const QuantParams& w_q,
+                                           const QuantParams& out_q,
+                                           std::int64_t out_channels) {
+  auto* multipliers = ctx.scratch<std::int32_t>(out_channels);
+  auto* shifts = ctx.scratch<int>(out_channels);
+  for (std::int64_t c = 0; c < out_channels; ++c) {
+    auto ch = static_cast<std::size_t>(c);
+    double scale = static_cast<double>(in_q.scale()) *
+                   w_q.scale(w_q.per_channel() ? ch : 0) / out_q.scale();
+    quantize_multiplier(scale, &multipliers[ch], &shifts[ch]);
+  }
+  return {multipliers, shifts};
 }
 
 }  // namespace mlexray

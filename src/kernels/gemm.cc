@@ -1,0 +1,352 @@
+#include "src/kernels/gemm.h"
+
+#include <algorithm>
+
+#include "src/kernels/activation.h"
+#include "src/kernels/fixed_point.h"
+
+namespace mlexray {
+namespace {
+
+// Register tile extents. The float tile is MR x 8: with B packed
+// 8-interleaved the inner j loop vectorizes to one 8-wide FMA per row on
+// AVX2 (or two 4-wide mul/adds on plain SSE), and the MR * 8 accumulators
+// stay in vector registers. MR is a template parameter so short matrices
+// (fully-connected with batch 1) still get fully unrolled code. The int8
+// tile keeps NR = 4: its accumulators are 32-bit so 4 columns fill an xmm
+// lane after widening.
+constexpr std::int64_t kMr = 4;
+constexpr std::int64_t kNrF = 8;
+constexpr std::int64_t kNrI = 4;
+
+// Below this many multiply-accumulates the parallel_for rendezvous costs more
+// than the arithmetic; run on the calling thread.
+constexpr std::int64_t kMinFlopsForPool = 64 * 1024;
+
+// MR x kNrF tile over a packed B panel: bp holds k groups of kNrF column
+// values, contiguous per k step. SIMD runs across the kNrF output columns, so
+// each output's per-element accumulation order (bias first, k ascending) is
+// exactly the reference kernels' — results agree with the reference path to
+// within FMA-contraction rounding. Accumulators are named vector variables,
+// not arrays: GCC reliably keeps them in ymm registers, where an indexed
+// array spills to the stack and throughput drops ~6x.
+#if defined(__GNUC__) || defined(__clang__)
+#define MLX_GEMM_VECTOR_TILE 1
+using v8f = float __attribute__((vector_size(32)));
+// Unaligned-load flavour for B panels and bias columns.
+using v8f_u = float __attribute__((vector_size(32), aligned(4)));
+
+template <int MR>
+inline void tile_f32_packed(std::int64_t k, const float* a, std::int64_t lda,
+                            const float* bp, const float* bias, Activation act,
+                            float* c, std::int64_t ldc) {
+  const v8f bias_v = *reinterpret_cast<const v8f_u*>(bias);
+  v8f acc0 = bias_v, acc1 = bias_v, acc2 = bias_v, acc3 = bias_v;
+  const float* a0 = a;
+  const float* a1 = a + (MR > 1 ? lda : 0);
+  const float* a2 = a + (MR > 2 ? 2 * lda : 0);
+  const float* a3 = a + (MR > 3 ? 3 * lda : 0);
+  (void)a1; (void)a2; (void)a3;
+  (void)acc1; (void)acc2; (void)acc3;
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const v8f bv = *reinterpret_cast<const v8f_u*>(bp + kk * kNrF);
+    acc0 += a0[kk] * bv;
+    if constexpr (MR > 1) acc1 += a1[kk] * bv;
+    if constexpr (MR > 2) acc2 += a2[kk] * bv;
+    if constexpr (MR > 3) acc3 += a3[kk] * bv;
+  }
+  float out[MR][kNrF];
+  __builtin_memcpy(out[0], &acc0, sizeof(v8f));
+  if constexpr (MR > 1) __builtin_memcpy(out[1], &acc1, sizeof(v8f));
+  if constexpr (MR > 2) __builtin_memcpy(out[2], &acc2, sizeof(v8f));
+  if constexpr (MR > 3) __builtin_memcpy(out[3], &acc3, sizeof(v8f));
+  for (int i = 0; i < MR; ++i) {
+    for (std::int64_t j = 0; j < kNrF; ++j) {
+      c[i * ldc + j] = apply_activation_f32(out[i][j], act);
+    }
+  }
+}
+#else
+template <int MR>
+inline void tile_f32_packed(std::int64_t k, const float* a, std::int64_t lda,
+                            const float* bp, const float* bias, Activation act,
+                            float* c, std::int64_t ldc) {
+  float acc[MR][kNrF];
+  const float* ar[MR];
+  for (int i = 0; i < MR; ++i) {
+    ar[i] = a + i * lda;
+    for (std::int64_t j = 0; j < kNrF; ++j) acc[i][j] = bias[j];
+  }
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* bv = bp + kk * kNrF;
+    for (int i = 0; i < MR; ++i) {
+      const float av = ar[i][kk];
+      for (std::int64_t j = 0; j < kNrF; ++j) acc[i][j] += av * bv[j];
+    }
+  }
+  for (int i = 0; i < MR; ++i) {
+    for (std::int64_t j = 0; j < kNrF; ++j) {
+      c[i * ldc + j] = apply_activation_f32(acc[i][j], act);
+    }
+  }
+}
+#endif
+
+// Generic tile over unpacked B (any mr <= kMr, nr <= kNrF). Used for the
+// matrix-vector shapes that skip packing and for the n edge.
+inline void tile_f32_edge(std::int64_t mr, std::int64_t nr, std::int64_t k,
+                          const float* a, std::int64_t lda, const float* b,
+                          std::int64_t ldb, const float* bias, Activation act,
+                          float* c, std::int64_t ldc) {
+  float acc[kMr][kNrF];
+  for (std::int64_t i = 0; i < mr; ++i) {
+    for (std::int64_t j = 0; j < nr; ++j) acc[i][j] = bias[j];
+  }
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    for (std::int64_t i = 0; i < mr; ++i) {
+      const float av = a[i * lda + kk];
+      for (std::int64_t j = 0; j < nr; ++j) acc[i][j] += av * b[j * ldb + kk];
+    }
+  }
+  for (std::int64_t i = 0; i < mr; ++i) {
+    for (std::int64_t j = 0; j < nr; ++j) {
+      c[i * ldc + j] = apply_activation_f32(acc[i][j], act);
+    }
+  }
+}
+
+// Unpacked full-width tile for m too small to amortize packing (e.g.
+// fully-connected with batch 1): B rows are walked directly, with the four
+// accumulator chains per row giving ILP that a naive dot product lacks.
+template <int MR>
+inline void tile_f32_rows(std::int64_t k, const float* a, std::int64_t lda,
+                          const float* b, std::int64_t ldb, const float* bias,
+                          Activation act, float* c, std::int64_t ldc) {
+  float acc[MR][kNrI];
+  const float* ar[MR];
+  for (int i = 0; i < MR; ++i) {
+    ar[i] = a + i * lda;
+    for (std::int64_t j = 0; j < kNrI; ++j) acc[i][j] = bias[j];
+  }
+  const float* b0 = b;
+  const float* b1 = b + ldb;
+  const float* b2 = b + 2 * ldb;
+  const float* b3 = b + 3 * ldb;
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float bv0 = b0[kk], bv1 = b1[kk], bv2 = b2[kk], bv3 = b3[kk];
+    for (int i = 0; i < MR; ++i) {
+      const float av = ar[i][kk];
+      acc[i][0] += av * bv0;
+      acc[i][1] += av * bv1;
+      acc[i][2] += av * bv2;
+      acc[i][3] += av * bv3;
+    }
+  }
+  for (int i = 0; i < MR; ++i) {
+    for (std::int64_t j = 0; j < kNrI; ++j) {
+      c[i * ldc + j] = apply_activation_f32(acc[i][j], act);
+    }
+  }
+}
+
+// Matrix-vector fast path (m == 1, the batch-1 fully-connected shape): eight
+// independent accumulator chains hide the FMA latency a single dot-product
+// chain serializes on. Order per output is still bias-first, k-ascending.
+// The auto-vectorizer must stay away: it fuses the chains into vector lanes
+// fed by insert-loads from eight strided streams, which measures >2x slower
+// than the plain scalar chains. fp-contract is restated because the optimize
+// attribute resets it, and FMA contraction must match the reference kernels'
+// for bitwise parity.
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((
+    optimize("no-tree-vectorize,no-tree-slp-vectorize,fp-contract=fast")))
+#endif
+inline void tile_f32_1x8(std::int64_t k, const float* a, const float* b,
+                         std::int64_t ldb, const float* bias, Activation act,
+                         float* c) {
+  float acc0 = bias[0], acc1 = bias[1], acc2 = bias[2], acc3 = bias[3];
+  float acc4 = bias[4], acc5 = bias[5], acc6 = bias[6], acc7 = bias[7];
+  const float* b0 = b;
+  const float* b1 = b + ldb;
+  const float* b2 = b + 2 * ldb;
+  const float* b3 = b + 3 * ldb;
+  const float* b4 = b + 4 * ldb;
+  const float* b5 = b + 5 * ldb;
+  const float* b6 = b + 6 * ldb;
+  const float* b7 = b + 7 * ldb;
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float av = a[kk];
+    acc0 += av * b0[kk];
+    acc1 += av * b1[kk];
+    acc2 += av * b2[kk];
+    acc3 += av * b3[kk];
+    acc4 += av * b4[kk];
+    acc5 += av * b5[kk];
+    acc6 += av * b6[kk];
+    acc7 += av * b7[kk];
+  }
+  c[0] = apply_activation_f32(acc0, act);
+  c[1] = apply_activation_f32(acc1, act);
+  c[2] = apply_activation_f32(acc2, act);
+  c[3] = apply_activation_f32(acc3, act);
+  c[4] = apply_activation_f32(acc4, act);
+  c[5] = apply_activation_f32(acc5, act);
+  c[6] = apply_activation_f32(acc6, act);
+  c[7] = apply_activation_f32(acc7, act);
+}
+
+template <int MR>
+inline void tile_i8(std::int64_t k, const std::int8_t* a, std::int64_t lda,
+                    const std::int8_t* b, std::int64_t ldb, std::int32_t a_zp,
+                    std::int32_t acc[kMr][kNrI]) {
+  const std::int8_t* ar[MR];
+  for (int i = 0; i < MR; ++i) ar[i] = a + i * lda;
+  const std::int8_t* b0 = b;
+  const std::int8_t* b1 = b + ldb;
+  const std::int8_t* b2 = b + 2 * ldb;
+  const std::int8_t* b3 = b + 3 * ldb;
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const std::int32_t bv0 = b0[kk], bv1 = b1[kk];
+    const std::int32_t bv2 = b2[kk], bv3 = b3[kk];
+    for (int i = 0; i < MR; ++i) {
+      const std::int32_t av = ar[i][kk] - a_zp;
+      acc[i][0] += av * bv0;
+      acc[i][1] += av * bv1;
+      acc[i][2] += av * bv2;
+      acc[i][3] += av * bv3;
+    }
+  }
+}
+
+inline void tile_i8_edge(std::int64_t mr, std::int64_t nr, std::int64_t k,
+                         const std::int8_t* a, std::int64_t lda,
+                         const std::int8_t* b, std::int64_t ldb,
+                         std::int32_t a_zp, std::int32_t acc[kMr][kNrI]) {
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    for (std::int64_t i = 0; i < mr; ++i) {
+      const std::int32_t av = a[i * lda + kk] - a_zp;
+      for (std::int64_t j = 0; j < nr; ++j) {
+        acc[i][j] += av * static_cast<std::int32_t>(b[j * ldb + kk]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_f32_nt(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const float* a, std::int64_t lda, const float* b,
+                 std::int64_t ldb, const float* bias, Activation act, float* c,
+                 std::int64_t ldc, ThreadPool* pool, ScratchArena* arena) {
+  if (m <= 0 || n <= 0) return;
+  // Repack B once per call when enough rows reuse it (the n * k copy is
+  // wasted on matrix-vector shapes like batch-1 fully-connected).
+  const float* packed = nullptr;
+  const std::int64_t panels = n / kNrF;
+  if (arena != nullptr && panels > 0 && m >= 8) {
+    float* p = arena->allocate_array<float>(panels * k * kNrF);
+    for (std::int64_t panel = 0; panel < panels; ++panel) {
+      const float* bsrc = b + panel * kNrF * ldb;
+      float* pdst = p + panel * k * kNrF;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        for (std::int64_t j = 0; j < kNrF; ++j) {
+          pdst[kk * kNrF + j] = bsrc[j * ldb + kk];
+        }
+      }
+    }
+    packed = p;
+  }
+  const std::int64_t m_tiles = (m + kMr - 1) / kMr;
+  auto row_block = [&](std::size_t tile_lo, std::size_t tile_hi) {
+    for (std::size_t t = tile_lo; t < tile_hi; ++t) {
+      const std::int64_t i0 = static_cast<std::int64_t>(t) * kMr;
+      const std::int64_t mr = std::min(kMr, m - i0);
+      const float* at = a + i0 * lda;
+      float* ct = c + i0 * ldc;
+      std::int64_t j0 = 0;
+      if (packed != nullptr) {
+        for (; j0 + kNrF <= n; j0 += kNrF) {
+          const float* bp = packed + (j0 / kNrF) * k * kNrF;
+          switch (mr) {
+            case 4: tile_f32_packed<4>(k, at, lda, bp, bias + j0, act, ct + j0, ldc); break;
+            case 3: tile_f32_packed<3>(k, at, lda, bp, bias + j0, act, ct + j0, ldc); break;
+            case 2: tile_f32_packed<2>(k, at, lda, bp, bias + j0, act, ct + j0, ldc); break;
+            default: tile_f32_packed<1>(k, at, lda, bp, bias + j0, act, ct + j0, ldc); break;
+          }
+        }
+      } else if (mr == 1) {
+        for (; j0 + kNrF <= n; j0 += kNrF) {
+          tile_f32_1x8(k, at, b + j0 * ldb, ldb, bias + j0, act, ct + j0);
+        }
+      } else {
+        for (; j0 + kNrI <= n; j0 += kNrI) {
+          const float* bt = b + j0 * ldb;
+          switch (mr) {
+            case 4: tile_f32_rows<4>(k, at, lda, bt, ldb, bias + j0, act, ct + j0, ldc); break;
+            case 3: tile_f32_rows<3>(k, at, lda, bt, ldb, bias + j0, act, ct + j0, ldc); break;
+            case 2: tile_f32_rows<2>(k, at, lda, bt, ldb, bias + j0, act, ct + j0, ldc); break;
+            default: tile_f32_rows<1>(k, at, lda, bt, ldb, bias + j0, act, ct + j0, ldc); break;
+          }
+        }
+      }
+      for (; j0 < n; j0 += kNrF) {
+        tile_f32_edge(mr, std::min(kNrF, n - j0), k, at, lda, b + j0 * ldb,
+                      ldb, bias + j0, act, ct + j0, ldc);
+      }
+    }
+  };
+  if (pool != nullptr && m_tiles > 1 && m * n * k >= kMinFlopsForPool) {
+    pool->parallel_for(0, static_cast<std::size_t>(m_tiles), row_block);
+  } else {
+    row_block(0, static_cast<std::size_t>(m_tiles));
+  }
+}
+
+void gemm_i8_nt(std::int64_t m, std::int64_t n, std::int64_t k,
+                const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
+                std::int64_t ldb, const GemmQuant& q, std::int8_t* c,
+                std::int64_t ldc, ThreadPool* pool) {
+  if (m <= 0 || n <= 0) return;
+  const std::int64_t m_tiles = (m + kMr - 1) / kMr;
+  auto row_block = [&](std::size_t tile_lo, std::size_t tile_hi) {
+    for (std::size_t t = tile_lo; t < tile_hi; ++t) {
+      const std::int64_t i0 = static_cast<std::int64_t>(t) * kMr;
+      const std::int64_t mr = std::min(kMr, m - i0);
+      const std::int8_t* at = a + i0 * lda;
+      std::int8_t* ct = c + i0 * ldc;
+      for (std::int64_t j0 = 0; j0 < n; j0 += kNrI) {
+        const std::int64_t nr = std::min(kNrI, n - j0);
+        std::int32_t acc[kMr][kNrI] = {};
+        if (nr == kNrI) {
+          const std::int8_t* bt = b + j0 * ldb;
+          switch (mr) {
+            case 4: tile_i8<4>(k, at, lda, bt, ldb, q.a_zero_point, acc); break;
+            case 3: tile_i8<3>(k, at, lda, bt, ldb, q.a_zero_point, acc); break;
+            case 2: tile_i8<2>(k, at, lda, bt, ldb, q.a_zero_point, acc); break;
+            default: tile_i8<1>(k, at, lda, bt, ldb, q.a_zero_point, acc); break;
+          }
+        } else {
+          tile_i8_edge(mr, nr, k, at, lda, b + j0 * ldb, ldb, q.a_zero_point,
+                       acc);
+        }
+        for (std::int64_t i = 0; i < mr; ++i) {
+          for (std::int64_t j = 0; j < nr; ++j) {
+            const std::size_t col = static_cast<std::size_t>(j0 + j);
+            std::int32_t scaled = multiply_by_quantized_multiplier(
+                acc[i][j] + q.bias[col], q.multipliers[col], q.shifts[col]);
+            std::int32_t v = scaled + q.out_zero_point;
+            v = std::clamp(v, q.act_min, q.act_max);
+            ct[i * ldc + j0 + j] = static_cast<std::int8_t>(v);
+          }
+        }
+      }
+    }
+  };
+  if (pool != nullptr && m_tiles > 1 && m * n * k >= kMinFlopsForPool) {
+    pool->parallel_for(0, static_cast<std::size_t>(m_tiles), row_block);
+  } else {
+    row_block(0, static_cast<std::size_t>(m_tiles));
+  }
+}
+
+}  // namespace mlexray

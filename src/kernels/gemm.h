@@ -1,0 +1,61 @@
+// Register-blocked, multi-threaded GEMM core shared by the optimized
+// convolution (via im2col) and fully-connected kernels.
+//
+// Both consumers present the same "NT" problem: A holds M rows of K
+// contiguous values (im2col patches or flattened input rows), B holds N rows
+// of K contiguous values (OHWI filters or [out, in] weights), and
+// C[i, j] = act(dot(A_i, B_j) + bias[j]).
+//
+// The inner loops compute an MR x NR register tile: each loaded A/B value
+// feeds NR/MR multiply-accumulates, cutting memory traffic by the tile
+// factor, and the 16 independent accumulators break the loop-carried
+// dependence that serializes a naive dot product on the FPU's add latency.
+//
+// Float accumulation is bias-first then k-ascending per output — exactly the
+// reference kernels' order — so optimized and reference float paths agree to
+// within FMA-contraction rounding (0-1 ULP; identical ordering, only the
+// compiler's mul+add fusion choices differ), which the parity tests assert.
+// Integer accumulation is exact and order-free. Rows of C are partitioned
+// across the ThreadPool in tile-sized chunks with no per-call heap
+// allocation.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/thread_pool.h"
+#include "src/graph/op_types.h"
+#include "src/tensor/scratch_arena.h"
+
+namespace mlexray {
+
+// C[m x n] (row stride ldc) = act(A[m x k] (lda) * B[n x k]^T (ldb) + bias).
+// bias has n entries and must be non-null.
+//
+// When `arena` is non-null and m is large enough to amortize it, B is
+// repacked into NR-interleaved panels (scratch memory, no heap) so the inner
+// loop vectorizes across the NR output columns — SIMD across outputs keeps
+// each individual output's bias-first k-ascending accumulation order intact.
+void gemm_f32_nt(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const float* a, std::int64_t lda, const float* b,
+                 std::int64_t ldb, const float* bias, Activation act, float* c,
+                 std::int64_t ldc, ThreadPool* pool, ScratchArena* arena);
+
+// Fused requantization parameters for the int8 path (per-output-channel
+// multiplier/shift tables, gemmlowp-style).
+struct GemmQuant {
+  std::int32_t a_zero_point = 0;
+  const std::int32_t* bias = nullptr;         // [n]
+  const std::int32_t* multipliers = nullptr;  // [n]
+  const int* shifts = nullptr;                // [n]
+  std::int32_t out_zero_point = 0;
+  std::int32_t act_min = -128;
+  std::int32_t act_max = 127;
+};
+
+// C[m x n] int8 = requant(sum_k (A[i,k] - a_zp) * B[j,k] + bias[j]).
+void gemm_i8_nt(std::int64_t m, std::int64_t n, std::int64_t k,
+                const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
+                std::int64_t ldb, const GemmQuant& q, std::int8_t* c,
+                std::int64_t ldc, ThreadPool* pool);
+
+}  // namespace mlexray

@@ -4,12 +4,18 @@
 // weights live on the node; quantization parameters travel on the tensors
 // (inputs carry theirs, the interpreter pre-sets the output tensor's params
 // from node.output_quant before dispatch).
+//
+// Contexts are prepared once per node by the ExecutionPlan (inputs/output
+// pre-wired, arena attached) and reused verbatim on every invoke. Kernel
+// temporaries come from ctx.scratch<T>(): arena-backed, valid until the node
+// finishes, heap-free in steady state.
 #pragma once
 
 #include <functional>
 
 #include "src/common/thread_pool.h"
 #include "src/graph/node.h"
+#include "src/tensor/scratch_arena.h"
 
 namespace mlexray {
 
@@ -18,10 +24,24 @@ struct KernelContext {
   std::vector<const Tensor*> inputs;  // activation inputs, in op order
   Tensor* output = nullptr;           // allocated by the interpreter
   ThreadPool* pool = nullptr;         // null => single-threaded execution
+  ScratchArena* arena = nullptr;      // per-interpreter scratch storage
 
   const Tensor& input(std::size_t i) const {
     MLX_CHECK_LT(i, inputs.size());
     return *inputs[i];
+  }
+
+  // Arena-backed scratch, reset between nodes. Call only from the kernel's
+  // entry thread, before fanning out to the pool.
+  template <typename T>
+  T* scratch(std::int64_t count) const {
+    MLX_CHECK(arena != nullptr) << "kernel context has no scratch arena";
+    return arena->allocate_array<T>(static_cast<std::size_t>(count));
+  }
+
+  // Worker slots a parallel_for_workers body may observe (>= 1).
+  std::size_t worker_count() const {
+    return pool != nullptr ? pool->parallelism() : 1;
   }
 };
 

@@ -6,16 +6,77 @@
 
 #include "src/kernels/activation.h"
 #include "src/kernels/conv_utils.h"
+#include "src/kernels/gemm.h"
 
 namespace mlexray {
 namespace {
 
-void run_chunked(const KernelContext& ctx, std::size_t count,
-                 const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (ctx.pool != nullptr && count >= 8) {
-    ctx.pool->parallel_for(0, count, fn);
+// Shared geometry for the conv-family kernels.
+struct ConvShape {
+  int kh, kw;
+  std::int64_t in_ch, out_ch, patch;
+  std::int64_t pad_h, pad_w;
+};
+
+ConvShape conv_shape(const Node& node, const Shape& is, const Shape& fs,
+                     const Shape& os) {
+  ConvShape s;
+  s.kh = static_cast<int>(fs.dim(1));
+  s.kw = static_cast<int>(fs.dim(2));
+  s.in_ch = is.dim(3);
+  s.out_ch = os.dim(3);
+  s.patch = static_cast<std::int64_t>(s.kh) * s.kw * s.in_ch;
+  s.pad_h = node.attrs.padding == Padding::kSame
+                ? same_pad_before(is.dim(1), s.kh, node.attrs.stride_h, os.dim(1))
+                : 0;
+  s.pad_w = node.attrs.padding == Padding::kSame
+                ? same_pad_before(is.dim(2), s.kw, node.attrs.stride_w, os.dim(2))
+                : 0;
+  return s;
+}
+
+// im2col: one row per output pixel, columns ordered (fy, fx, ic) to match the
+// OHWI filter layout, so the conv becomes a row-major NT GEMM. Out-of-bounds
+// taps are filled with `pad_value` (0.0f for float, the input zero point for
+// int8, both of which contribute exactly zero to the accumulator). The col
+// buffer comes from the interpreter's scratch arena — no heap traffic after
+// the first invoke.
+template <typename T>
+void im2col(const KernelContext& ctx, const ConvShape& s, const Shape& is,
+            const Shape& os, const T* x, std::int64_t batch_index, T* col,
+            T pad_value) {
+  const Node& node = *ctx.node;
+  const std::int64_t out_w = os.dim(2);
+  auto pack_rows = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      const std::int64_t oy = static_cast<std::int64_t>(r) / out_w;
+      const std::int64_t ox = static_cast<std::int64_t>(r) % out_w;
+      T* row = col + static_cast<std::int64_t>(r) * s.patch;
+      for (int fy = 0; fy < s.kh; ++fy) {
+        const std::int64_t iy = oy * node.attrs.stride_h - s.pad_h + fy;
+        for (int fx = 0; fx < s.kw; ++fx) {
+          const std::int64_t ix = ox * node.attrs.stride_w - s.pad_w + fx;
+          T* dst = row + (static_cast<std::int64_t>(fy) * s.kw + fx) * s.in_ch;
+          if (iy < 0 || iy >= is.dim(1) || ix < 0 || ix >= is.dim(2)) {
+            if (pad_value == T{0}) {
+              std::memset(dst, 0, static_cast<std::size_t>(s.in_ch) * sizeof(T));
+            } else {
+              std::fill(dst, dst + s.in_ch, pad_value);
+            }
+          } else {
+            const T* src =
+                x + ((batch_index * is.dim(1) + iy) * is.dim(2) + ix) * s.in_ch;
+            std::memcpy(dst, src, static_cast<std::size_t>(s.in_ch) * sizeof(T));
+          }
+        }
+      }
+    }
+  };
+  const auto rows = static_cast<std::size_t>(os.dim(1) * os.dim(2));
+  if (ctx.pool != nullptr && rows >= 64) {
+    ctx.pool->parallel_for(0, rows, pack_rows, /*min_chunk=*/8);
   } else {
-    fn(0, count);
+    pack_rows(0, rows);
   }
 }
 
@@ -23,120 +84,76 @@ void run_chunked(const KernelContext& ctx, std::size_t count,
 // Float optimized kernels.
 // ---------------------------------------------------------------------------
 
-// im2col: one row per output pixel, columns ordered (fy, fx, ic) to match the
-// OHWI filter layout, so the conv becomes contiguous dot products.
 void conv2d_f32_opt(const KernelContext& ctx) {
   const Tensor& in = ctx.input(0);
   const Node& node = *ctx.node;
   const Tensor& filter = node.weights[0];
   const float* bias = node.weights[1].data<float>();
   const Shape& is = in.shape();
-  const Shape& fs = filter.shape();
   const Shape& os = ctx.output->shape();
-  const int kh = static_cast<int>(fs.dim(1));
-  const int kw = static_cast<int>(fs.dim(2));
-  const std::int64_t in_ch = is.dim(3);
-  const std::int64_t out_ch = os.dim(3);
-  const std::int64_t patch = static_cast<std::int64_t>(kh) * kw * in_ch;
-  const std::int64_t pad_h = node.attrs.padding == Padding::kSame
-                                 ? same_pad_before(is.dim(1), kh, node.attrs.stride_h, os.dim(1))
-                                 : 0;
-  const std::int64_t pad_w = node.attrs.padding == Padding::kSame
-                                 ? same_pad_before(is.dim(2), kw, node.attrs.stride_w, os.dim(2))
-                                 : 0;
+  const ConvShape s = conv_shape(node, is, filter.shape(), os);
   const float* x = in.data<float>();
   const float* w = filter.data<float>();
   float* y = ctx.output->data<float>();
-  const Activation act = node.attrs.activation;
-
   const std::int64_t rows = os.dim(1) * os.dim(2);
-  std::vector<float> col(static_cast<std::size_t>(rows * patch));
-  for (std::int64_t n = 0; n < os.dim(0); ++n) {
-    // Pack patches (row-contiguous channel strips copied with memcpy).
-    for (std::int64_t oy = 0; oy < os.dim(1); ++oy) {
-      for (std::int64_t ox = 0; ox < os.dim(2); ++ox) {
-        float* row = col.data() + (oy * os.dim(2) + ox) * patch;
-        for (int fy = 0; fy < kh; ++fy) {
-          const std::int64_t iy = oy * node.attrs.stride_h - pad_h + fy;
-          for (int fx = 0; fx < kw; ++fx) {
-            const std::int64_t ix = ox * node.attrs.stride_w - pad_w + fx;
-            float* dst = row + (static_cast<std::int64_t>(fy) * kw + fx) * in_ch;
-            if (iy < 0 || iy >= is.dim(1) || ix < 0 || ix >= is.dim(2)) {
-              std::memset(dst, 0, static_cast<std::size_t>(in_ch) * sizeof(float));
-            } else {
-              const float* src = x + ((n * is.dim(1) + iy) * is.dim(2) + ix) * in_ch;
-              std::memcpy(dst, src, static_cast<std::size_t>(in_ch) * sizeof(float));
-            }
-          }
-        }
-      }
-    }
-    // GEMM: [rows x patch] * [patch x out_ch]^T, parallel over pixel rows.
-    run_chunked(ctx, static_cast<std::size_t>(rows), [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t r = lo; r < hi; ++r) {
-        const float* xr = col.data() + static_cast<std::int64_t>(r) * patch;
-        float* yr = y + (n * rows + static_cast<std::int64_t>(r)) * out_ch;
-        for (std::int64_t oc = 0; oc < out_ch; ++oc) {
-          const float* wr = w + oc * patch;
-          float acc = bias[oc];
-          for (std::int64_t k = 0; k < patch; ++k) acc += xr[k] * wr[k];
-          yr[oc] = apply_activation_f32(acc, act);
-        }
-      }
-    });
+  const std::int64_t batch = os.dim(0);
+  // All batch images go into one col matrix so the whole conv is a single
+  // GEMM (B gets packed once, row partitioning sees batch * rows rows).
+  float* col = ctx.scratch<float>(batch * rows * s.patch);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    im2col(ctx, s, is, os, x, n, col + n * rows * s.patch, 0.0f);
   }
+  gemm_f32_nt(batch * rows, s.out_ch, s.patch, col, s.patch, w, s.patch, bias,
+              node.attrs.activation, y, s.out_ch, ctx.pool, ctx.arena);
 }
 
-// Depthwise conv with channel-contiguous inner loops and hoisted edge checks.
+// Depthwise conv: the output row doubles as the accumulator (bias written
+// first, taps added in reference order, activation applied last), so no
+// scratch is needed and float results match the reference kernel bitwise.
 void dwconv2d_f32_opt(const KernelContext& ctx) {
   const Tensor& in = ctx.input(0);
   const Node& node = *ctx.node;
   const Tensor& filter = node.weights[0];
   const float* bias = node.weights[1].data<float>();
   const Shape& is = in.shape();
-  const Shape& fs = filter.shape();
   const Shape& os = ctx.output->shape();
-  const int kh = static_cast<int>(fs.dim(1));
-  const int kw = static_cast<int>(fs.dim(2));
-  const std::int64_t ch = is.dim(3);
-  const std::int64_t pad_h = node.attrs.padding == Padding::kSame
-                                 ? same_pad_before(is.dim(1), kh, node.attrs.stride_h, os.dim(1))
-                                 : 0;
-  const std::int64_t pad_w = node.attrs.padding == Padding::kSame
-                                 ? same_pad_before(is.dim(2), kw, node.attrs.stride_w, os.dim(2))
-                                 : 0;
+  const ConvShape s = conv_shape(node, is, filter.shape(), os);
+  const std::int64_t ch = s.in_ch;
   const float* x = in.data<float>();
   const float* w = filter.data<float>();
   float* y = ctx.output->data<float>();
   const Activation act = node.attrs.activation;
   const std::int64_t out_rows = os.dim(0) * os.dim(1);
-  run_chunked(ctx, static_cast<std::size_t>(out_rows), [&](std::size_t lo, std::size_t hi) {
-    std::vector<float> acc(static_cast<std::size_t>(ch));
+  auto body = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t row = lo; row < hi; ++row) {
       const std::int64_t n = static_cast<std::int64_t>(row) / os.dim(1);
       const std::int64_t oy = static_cast<std::int64_t>(row) % os.dim(1);
       for (std::int64_t ox = 0; ox < os.dim(2); ++ox) {
-        for (std::int64_t c = 0; c < ch; ++c) acc[static_cast<std::size_t>(c)] = bias[c];
-        for (int fy = 0; fy < kh; ++fy) {
-          const std::int64_t iy = oy * node.attrs.stride_h - pad_h + fy;
+        float* yp = y + ((n * os.dim(1) + oy) * os.dim(2) + ox) * ch;
+        for (std::int64_t c = 0; c < ch; ++c) yp[c] = bias[c];
+        for (int fy = 0; fy < s.kh; ++fy) {
+          const std::int64_t iy = oy * node.attrs.stride_h - s.pad_h + fy;
           if (iy < 0 || iy >= is.dim(1)) continue;
-          for (int fx = 0; fx < kw; ++fx) {
-            const std::int64_t ix = ox * node.attrs.stride_w - pad_w + fx;
+          for (int fx = 0; fx < s.kw; ++fx) {
+            const std::int64_t ix = ox * node.attrs.stride_w - s.pad_w + fx;
             if (ix < 0 || ix >= is.dim(2)) continue;
             const float* xp = x + ((n * is.dim(1) + iy) * is.dim(2) + ix) * ch;
-            const float* wp = w + (static_cast<std::int64_t>(fy) * kw + fx) * ch;
-            for (std::int64_t c = 0; c < ch; ++c) {
-              acc[static_cast<std::size_t>(c)] += xp[c] * wp[c];
-            }
+            const float* wp = w + (static_cast<std::int64_t>(fy) * s.kw + fx) * ch;
+            for (std::int64_t c = 0; c < ch; ++c) yp[c] += xp[c] * wp[c];
           }
         }
-        float* yp = y + ((n * os.dim(1) + oy) * os.dim(2) + ox) * ch;
         for (std::int64_t c = 0; c < ch; ++c) {
-          yp[c] = apply_activation_f32(acc[static_cast<std::size_t>(c)], act);
+          yp[c] = apply_activation_f32(yp[c], act);
         }
       }
     }
-  });
+  };
+  if (ctx.pool != nullptr && out_rows >= 8) {
+    ctx.pool->parallel_for(0, static_cast<std::size_t>(out_rows), body,
+                           /*min_chunk=*/2);
+  } else {
+    body(0, static_cast<std::size_t>(out_rows));
+  }
 }
 
 void fc_f32_opt(const KernelContext& ctx) {
@@ -147,22 +164,9 @@ void fc_f32_opt(const KernelContext& ctx) {
   const std::int64_t batch = in.shape().dim(0);
   const std::int64_t in_dim = weight.shape().dim(1);
   const std::int64_t out_dim = weight.shape().dim(0);
-  const float* x = in.data<float>();
-  const float* w = weight.data<float>();
-  float* y = ctx.output->data<float>();
-  const Activation act = node.attrs.activation;
-  run_chunked(ctx, static_cast<std::size_t>(batch * out_dim),
-              [&](std::size_t lo, std::size_t hi) {
-                for (std::size_t i = lo; i < hi; ++i) {
-                  const std::int64_t n = static_cast<std::int64_t>(i) / out_dim;
-                  const std::int64_t o = static_cast<std::int64_t>(i) % out_dim;
-                  const float* xr = x + n * in_dim;
-                  const float* wr = w + o * in_dim;
-                  float acc = bias[o];
-                  for (std::int64_t k = 0; k < in_dim; ++k) acc += xr[k] * wr[k];
-                  y[i] = apply_activation_f32(acc, act);
-                }
-              });
+  gemm_f32_nt(batch, out_dim, in_dim, in.data<float>(), in_dim,
+              weight.data<float>(), in_dim, bias, node.attrs.activation,
+              ctx.output->data<float>(), out_dim, ctx.pool, ctx.arena);
 }
 
 // Pad with whole-row memcpy (contrast with the reference element loop).
@@ -204,59 +208,35 @@ void conv2d_i8_opt(const KernelContext& ctx) {
   const Tensor& bias = node.weights[1];
   Tensor& out = *ctx.output;
   const Shape& is = in.shape();
-  const Shape& fs = filter.shape();
   const Shape& os = out.shape();
-  const int kh = static_cast<int>(fs.dim(1));
-  const int kw = static_cast<int>(fs.dim(2));
-  const std::int64_t in_ch = is.dim(3);
-  const std::int64_t out_ch = os.dim(3);
-  const std::int64_t pad_h = node.attrs.padding == Padding::kSame
-                                 ? same_pad_before(is.dim(1), kh, node.attrs.stride_h, os.dim(1))
-                                 : 0;
-  const std::int64_t pad_w = node.attrs.padding == Padding::kSame
-                                 ? same_pad_before(is.dim(2), kw, node.attrs.stride_w, os.dim(2))
-                                 : 0;
-  const std::int32_t in_zp = in.quant().zero_point();
+  const ConvShape s = conv_shape(node, is, filter.shape(), os);
+  const auto in_zp = static_cast<std::int8_t>(in.quant().zero_point());
   const std::int32_t out_zp = out.quant().zero_point();
-  RequantScales rq = prepare_requant(in.quant(), filter.quant(), out.quant(), out_ch);
+  RequantView rq = prepare_requant_scratch(ctx, in.quant(), filter.quant(),
+                                           out.quant(), s.out_ch);
   QuantActivationRange range = quant_activation_range(
       node.attrs.activation, out.quant().scale(), out_zp);
+  GemmQuant q;
+  q.a_zero_point = in.quant().zero_point();
+  q.bias = bias.data<std::int32_t>();
+  q.multipliers = rq.multipliers;
+  q.shifts = rq.shifts;
+  q.out_zero_point = out_zp;
+  q.act_min = range.min;
+  q.act_max = range.max;
   const std::int8_t* x = in.data<std::int8_t>();
   const std::int8_t* w = filter.data<std::int8_t>();
-  const std::int32_t* b = bias.data<std::int32_t>();
   std::int8_t* y = out.data<std::int8_t>();
-  const std::int64_t rows = os.dim(0) * os.dim(1) * os.dim(2);
-  run_chunked(ctx, static_cast<std::size_t>(rows), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t r = lo; r < hi; ++r) {
-      const std::int64_t idx = static_cast<std::int64_t>(r);
-      const std::int64_t n = idx / (os.dim(1) * os.dim(2));
-      const std::int64_t oy = (idx / os.dim(2)) % os.dim(1);
-      const std::int64_t ox = idx % os.dim(2);
-      std::int8_t* yp = y + idx * out_ch;
-      for (std::int64_t oc = 0; oc < out_ch; ++oc) {
-        std::int32_t acc = b[oc];
-        for (int fy = 0; fy < kh; ++fy) {
-          const std::int64_t iy = oy * node.attrs.stride_h - pad_h + fy;
-          if (iy < 0 || iy >= is.dim(1)) continue;
-          for (int fx = 0; fx < kw; ++fx) {
-            const std::int64_t ix = ox * node.attrs.stride_w - pad_w + fx;
-            if (ix < 0 || ix >= is.dim(2)) continue;
-            const std::int8_t* xp = x + ((n * is.dim(1) + iy) * is.dim(2) + ix) * in_ch;
-            const std::int8_t* wp = w + ((oc * kh + fy) * kw + fx) * in_ch;
-            for (std::int64_t ic = 0; ic < in_ch; ++ic) {
-              acc += (static_cast<std::int32_t>(xp[ic]) - in_zp) *
-                     static_cast<std::int32_t>(wp[ic]);
-            }
-          }
-        }
-        std::int32_t scaled = multiply_by_quantized_multiplier(
-            acc, rq.multipliers[static_cast<std::size_t>(oc)],
-            rq.shifts[static_cast<std::size_t>(oc)]);
-        std::int32_t q = std::clamp(scaled + out_zp, range.min, range.max);
-        yp[oc] = static_cast<std::int8_t>(q);
-      }
-    }
-  });
+  const std::int64_t rows = os.dim(1) * os.dim(2);
+  const std::int64_t batch = os.dim(0);
+  // Padded taps hold the input zero point, so (tap - zp) * w contributes 0 —
+  // identical to the reference kernel's skipped out-of-bounds taps.
+  auto* col = ctx.scratch<std::int8_t>(batch * rows * s.patch);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    im2col(ctx, s, is, os, x, n, col + n * rows * s.patch, in_zp);
+  }
+  gemm_i8_nt(batch * rows, s.out_ch, s.patch, col, s.patch, w, s.patch, q, y,
+             s.out_ch, ctx.pool);
 }
 
 // emulate_bug == true re-creates the production defect the paper's Fig 6
@@ -274,20 +254,13 @@ void dwconv2d_i8_opt(const KernelContext& ctx) {
   const Tensor& bias = node.weights[1];
   Tensor& out = *ctx.output;
   const Shape& is = in.shape();
-  const Shape& fs = filter.shape();
   const Shape& os = out.shape();
-  const int kh = static_cast<int>(fs.dim(1));
-  const int kw = static_cast<int>(fs.dim(2));
-  const std::int64_t ch = is.dim(3);
-  const std::int64_t pad_h = node.attrs.padding == Padding::kSame
-                                 ? same_pad_before(is.dim(1), kh, node.attrs.stride_h, os.dim(1))
-                                 : 0;
-  const std::int64_t pad_w = node.attrs.padding == Padding::kSame
-                                 ? same_pad_before(is.dim(2), kw, node.attrs.stride_w, os.dim(2))
-                                 : 0;
+  const ConvShape s = conv_shape(node, is, filter.shape(), os);
+  const std::int64_t ch = s.in_ch;
   const std::int32_t in_zp = in.quant().zero_point();
   const std::int32_t out_zp = out.quant().zero_point();
-  RequantScales rq = prepare_requant(in.quant(), filter.quant(), out.quant(), ch);
+  RequantView rq = prepare_requant_scratch(ctx, in.quant(), filter.quant(),
+                                           out.quant(), ch);
   QuantActivationRange range = quant_activation_range(
       node.attrs.activation, out.quant().scale(), out_zp);
   const std::int8_t* x = in.data<std::int8_t>();
@@ -295,9 +268,9 @@ void dwconv2d_i8_opt(const KernelContext& ctx) {
   const std::int32_t* b = bias.data<std::int32_t>();
   std::int8_t* y = out.data<std::int8_t>();
   // The defect lives in the specialized 3x3 fast path only.
-  const bool fast_path_bug = kEmulateBug && kh == 3 && kw == 3;
+  const bool fast_path_bug = kEmulateBug && s.kh == 3 && s.kw == 3;
   const std::int64_t rows = os.dim(0) * os.dim(1);
-  run_chunked(ctx, static_cast<std::size_t>(rows), [&](std::size_t lo, std::size_t hi) {
+  auto body = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t row = lo; row < hi; ++row) {
       const std::int64_t n = static_cast<std::int64_t>(row) / os.dim(1);
       const std::int64_t oy = static_cast<std::int64_t>(row) % os.dim(1);
@@ -306,14 +279,14 @@ void dwconv2d_i8_opt(const KernelContext& ctx) {
         for (std::int64_t c = 0; c < ch; ++c) {
           std::int32_t acc32 = 0;
           std::int16_t acc16 = 0;
-          for (int fy = 0; fy < kh; ++fy) {
-            const std::int64_t iy = oy * node.attrs.stride_h - pad_h + fy;
+          for (int fy = 0; fy < s.kh; ++fy) {
+            const std::int64_t iy = oy * node.attrs.stride_h - s.pad_h + fy;
             if (iy < 0 || iy >= is.dim(1)) continue;
-            for (int fx = 0; fx < kw; ++fx) {
-              const std::int64_t ix = ox * node.attrs.stride_w - pad_w + fx;
+            for (int fx = 0; fx < s.kw; ++fx) {
+              const std::int64_t ix = ox * node.attrs.stride_w - s.pad_w + fx;
               if (ix < 0 || ix >= is.dim(2)) continue;
               const std::int32_t x_q = x[((n * is.dim(1) + iy) * is.dim(2) + ix) * ch + c];
-              const std::int32_t w_q = w[(fy * kw + fx) * ch + c];
+              const std::int32_t w_q = w[(fy * s.kw + fx) * ch + c];
               if (fast_path_bug) {
                 // BUG part 1: int16 accumulator wraps on real activations.
                 acc16 = static_cast<std::int16_t>(acc16 + (x_q - in_zp) * w_q);
@@ -347,7 +320,13 @@ void dwconv2d_i8_opt(const KernelContext& ctx) {
         }
       }
     }
-  });
+  };
+  if (ctx.pool != nullptr && rows >= 8) {
+    ctx.pool->parallel_for(0, static_cast<std::size_t>(rows), body,
+                           /*min_chunk=*/2);
+  } else {
+    body(0, static_cast<std::size_t>(rows));
+  }
 }
 
 void fc_i8_opt(const KernelContext& ctx) {
@@ -359,31 +338,21 @@ void fc_i8_opt(const KernelContext& ctx) {
   const std::int64_t batch = in.shape().dim(0);
   const std::int64_t in_dim = weight.shape().dim(1);
   const std::int64_t out_dim = weight.shape().dim(0);
-  const std::int32_t in_zp = in.quant().zero_point();
-  const std::int32_t out_zp = out.quant().zero_point();
-  RequantScales rq = prepare_requant(in.quant(), weight.quant(), out.quant(), out_dim);
+  RequantView rq = prepare_requant_scratch(ctx, in.quant(), weight.quant(),
+                                           out.quant(), out_dim);
   QuantActivationRange range = quant_activation_range(
-      node.attrs.activation, out.quant().scale(), out_zp);
-  const std::int8_t* x = in.data<std::int8_t>();
-  const std::int8_t* w = weight.data<std::int8_t>();
-  const std::int32_t* b = bias.data<std::int32_t>();
-  std::int8_t* y = out.data<std::int8_t>();
-  for (std::int64_t n = 0; n < batch; ++n) {
-    for (std::int64_t o = 0; o < out_dim; ++o) {
-      std::int32_t acc = b[o];
-      const std::int8_t* xr = x + n * in_dim;
-      const std::int8_t* wr = w + o * in_dim;
-      for (std::int64_t k = 0; k < in_dim; ++k) {
-        acc += (static_cast<std::int32_t>(xr[k]) - in_zp) *
-               static_cast<std::int32_t>(wr[k]);
-      }
-      std::int32_t scaled = multiply_by_quantized_multiplier(
-          acc, rq.multipliers[static_cast<std::size_t>(o)],
-          rq.shifts[static_cast<std::size_t>(o)]);
-      y[n * out_dim + o] = static_cast<std::int8_t>(
-          std::clamp(scaled + out_zp, range.min, range.max));
-    }
-  }
+      node.attrs.activation, out.quant().scale(), out.quant().zero_point());
+  GemmQuant q;
+  q.a_zero_point = in.quant().zero_point();
+  q.bias = bias.data<std::int32_t>();
+  q.multipliers = rq.multipliers;
+  q.shifts = rq.shifts;
+  q.out_zero_point = out.quant().zero_point();
+  q.act_min = range.min;
+  q.act_max = range.max;
+  gemm_i8_nt(batch, out_dim, in_dim, in.data<std::int8_t>(), in_dim,
+             weight.data<std::int8_t>(), in_dim, q, out.data<std::int8_t>(),
+             out_dim, ctx.pool);
 }
 
 // Integer-only average pool (sum + rounded integer division); assumes the

@@ -100,6 +100,16 @@ void dwconv2d_f32(const KernelContext& ctx) {
   }
 }
 
+// The reference kernels exist to be the predictable baseline the optimized
+// path is validated against. GCC's fold-left reduction vectorization would
+// split this dot product's multiply from its add (no FMA contraction) while
+// the scalar/contracted forms fuse them, making ref-vs-opt parity depend on
+// the vectorizer's mood. Pin the loop to plain scalar code with the same
+// contraction setting as the command line.
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((
+    optimize("no-tree-vectorize,no-tree-slp-vectorize,fp-contract=fast")))
+#endif
 void fc_f32(const KernelContext& ctx) {
   const Tensor& in = ctx.input(0);
   const Node& node = *ctx.node;

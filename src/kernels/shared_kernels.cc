@@ -174,7 +174,7 @@ void softmax_i8(const KernelContext& ctx) {
   const std::int32_t out_zp = out.quant().zero_point();
   const std::int8_t* src = in.data<std::int8_t>();
   std::int8_t* dst = out.data<std::int8_t>();
-  std::vector<float> row(static_cast<std::size_t>(ch));
+  float* row = ctx.scratch<float>(ch);
   for (std::int64_t r = 0; r < rows; ++r) {
     float max_v = -1e30f;
     for (std::int64_t c = 0; c < ch; ++c) {

@@ -8,6 +8,7 @@ AllocStats& AllocStats::instance() {
 }
 
 void AllocStats::add(std::size_t bytes) {
+  if (bytes > 0) events_.fetch_add(1);
   std::size_t now = current_.fetch_add(bytes) + bytes;
   std::size_t prev_peak = peak_.load();
   while (now > prev_peak && !peak_.compare_exchange_weak(prev_peak, now)) {

@@ -23,12 +23,19 @@ class AllocStats {
   std::size_t current_bytes() const { return current_.load(); }
   std::size_t peak_bytes() const { return peak_.load(); }
 
+  // Monotonic count of tracked buffer allocations (Tensor buffers and
+  // ScratchArena blocks). Steady-state Interpreter::invoke() must not move
+  // this counter — the zero-allocation regression tests diff it around an
+  // invoke.
+  std::uint64_t alloc_events() const { return events_.load(); }
+
   // Resets the peak to the current level (scoped measurements).
   void reset_peak();
 
  private:
   std::atomic<std::size_t> current_{0};
   std::atomic<std::size_t> peak_{0};
+  std::atomic<std::uint64_t> events_{0};
 };
 
 // RAII helper: captures the peak allocation delta within a scope.

@@ -1,0 +1,77 @@
+#include "src/tensor/scratch_arena.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/common/error.h"
+#include "src/tensor/alloc_stats.h"
+
+namespace mlexray {
+
+namespace {
+constexpr std::size_t kMinBlockBytes = 64 * 1024;
+
+inline std::size_t align_up(std::size_t value, std::size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+// Offset into the block at which an allocation of the given alignment can
+// start. Alignment is of the absolute address: operator new[] only guarantees
+// __STDCPP_DEFAULT_NEW_ALIGNMENT__ (typically 16) for the block base, so
+// aligning the offset alone would under-align the returned pointer.
+inline std::size_t aligned_offset(const std::uint8_t* base, std::size_t used,
+                                  std::size_t align) {
+  const auto addr = reinterpret_cast<std::uintptr_t>(base) + used;
+  return align_up(addr, align) - reinterpret_cast<std::uintptr_t>(base);
+}
+}  // namespace
+
+ScratchArena::~ScratchArena() {
+  for (const Block& b : blocks_) AllocStats::instance().remove(b.size);
+}
+
+void ScratchArena::grow(std::size_t min_bytes) {
+  // Double the arena each growth so a model's first invoke settles in
+  // O(log n) allocations; never smaller than the request.
+  std::size_t size = std::max({min_bytes, capacity_, kMinBlockBytes});
+  Block b;
+  b.data = std::make_unique<std::uint8_t[]>(size);
+  b.size = size;
+  capacity_ += size;
+  AllocStats::instance().add(size);
+  blocks_.push_back(std::move(b));
+  active_ = blocks_.size() - 1;
+}
+
+void* ScratchArena::allocate(std::size_t bytes, std::size_t align) {
+  MLX_CHECK((align & (align - 1)) == 0) << "alignment must be a power of two";
+  if (bytes == 0) bytes = 1;
+  // Find a block with room, starting at the active one (earlier blocks were
+  // exhausted this cycle; later ones may have been added by a grow).
+  for (std::size_t i = active_; i < blocks_.size(); ++i) {
+    Block& b = blocks_[i];
+    std::size_t offset = aligned_offset(b.data.get(), b.used, align);
+    if (offset + bytes <= b.size) {
+      b.used = offset + bytes;
+      active_ = i;
+      in_use_ += bytes;
+      high_water_ = std::max(high_water_, in_use_);
+      return b.data.get() + offset;
+    }
+  }
+  grow(align_up(bytes, align) + align);
+  Block& b = blocks_[active_];
+  std::size_t offset = aligned_offset(b.data.get(), b.used, align);
+  b.used = offset + bytes;
+  in_use_ += bytes;
+  high_water_ = std::max(high_water_, in_use_);
+  return b.data.get() + offset;
+}
+
+void ScratchArena::reset() {
+  for (Block& b : blocks_) b.used = 0;
+  active_ = 0;
+  in_use_ = 0;
+}
+
+}  // namespace mlexray

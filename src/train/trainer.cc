@@ -110,6 +110,8 @@ void Trainer::forward(const std::vector<Tensor>& inputs) {
     ctx.node = &n;
     ctx.output = &acts_[static_cast<std::size_t>(n.id)];
     ctx.pool = pool_;
+    arena_.reset();
+    ctx.arena = &arena_;
     for (int in : n.inputs) ctx.inputs.push_back(&acts_[static_cast<std::size_t>(in)]);
     resolver_.find(n)(ctx);
   }

@@ -67,6 +67,7 @@ class Trainer {
   TrainConfig cfg_;
   BuiltinOpResolver resolver_;
   ThreadPool* pool_;
+  ScratchArena arena_;  // scratch for the optimized forward kernels
 
   std::vector<Tensor> acts_;                 // forward activations per node
   std::vector<Tensor> grads_;                // dL/d(activation) per node

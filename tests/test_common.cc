@@ -83,6 +83,64 @@ TEST(ThreadPool, EmptyRangeIsNoop) {
   EXPECT_FALSE(called);
 }
 
+TEST(ThreadPool, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.parallelism(), 1u);
+  std::vector<int> hits(50, 0);
+  pool.parallel_for(0, 50, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i]++;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, MinChunkRespectsGranularity) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for(
+      0, 100,
+      [&](std::size_t lo, std::size_t hi) {
+        std::lock_guard<std::mutex> lock(mu);
+        chunks.emplace_back(lo, hi);
+      },
+      /*min_chunk=*/16);
+  std::size_t covered = 0;
+  for (auto [lo, hi] : chunks) {
+    covered += hi - lo;
+    // Every chunk except possibly the final remainder honours min_chunk.
+    if (hi != 100) EXPECT_GE(hi - lo, 16u);
+  }
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(ThreadPool, WorkerIndexVariantCoversRangeWithValidIds) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  std::atomic<bool> bad_worker{false};
+  pool.parallel_for_workers(
+      0, 64,
+      [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+        if (worker >= pool.parallelism()) bad_worker = true;
+        for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+      },
+      /*min_chunk=*/4);
+  EXPECT_FALSE(bad_worker.load());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, BackToBackJobsReuseWorkers) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 40,
+                      [&](std::size_t lo, std::size_t hi) {
+                        count.fetch_add(static_cast<int>(hi - lo));
+                      });
+    ASSERT_EQ(count.load(), 40);
+  }
+}
+
 TEST(BinaryIo, RoundTripAllTypes) {
   BinaryWriter w;
   w.write_u8(7);

@@ -62,6 +62,67 @@ TEST(Interpreter, PerNodeLatenciesRecorded) {
   EXPECT_EQ(stats.per_node_ms[0], 0.0);  // input node costs nothing
 }
 
+TEST(Interpreter, PrepareAndInvokeStatsSeparated) {
+  Pcg32 rng(21);
+  GraphBuilder b("m", &rng);
+  int x = b.input(Shape{1, 16, 16, 8});
+  int c = b.conv2d(x, 8, 3, 3, 1, Padding::kSame, Activation::kRelu, "c1");
+  Model m = b.finish({c});
+  BuiltinOpResolver opt;
+  Interpreter interp(&m, &opt);
+  // Prepare happened at construction, before any invoke.
+  EXPECT_GT(interp.last_stats().prepare_ms, 0.0);
+  EXPECT_EQ(interp.last_stats().invoke_count, 0);
+  EXPECT_EQ(interp.plan().steps().size(), 1u);
+
+  Tensor input = Tensor::f32(Shape{1, 16, 16, 8});
+  input.fill(0.25f);
+  interp.set_input(0, input);
+  interp.invoke();
+  interp.invoke();
+  const InterpreterStats& stats = interp.last_stats();
+  EXPECT_EQ(stats.invoke_count, 2);
+  // per_node_ms holds the last invoke only; totals accumulate across both.
+  EXPECT_GT(stats.per_node_total_ms[1], stats.per_node_ms[1]);
+  EXPECT_GE(stats.cumulative_ms, stats.total_ms);
+  // prepare_ms is a one-time cost: invoking again must not change it.
+  const double prepare_before = stats.prepare_ms;
+  interp.invoke();
+  EXPECT_EQ(interp.last_stats().prepare_ms, prepare_before);
+}
+
+TEST(Interpreter, PerNodeStatsResetEachInvoke) {
+  Pcg32 rng(22);
+  GraphBuilder b("m", &rng);
+  int x = b.input(Shape{1, 8, 8, 4});
+  int r = b.relu(x, "r");
+  Model m = b.finish({r});
+  RefOpResolver ref;
+  Interpreter interp(&m, &ref);
+  Tensor input = Tensor::f32(Shape{1, 8, 8, 4});
+  interp.set_input(0, input);
+  interp.invoke();
+  double first = interp.last_stats().per_node_ms[1];
+  interp.invoke();
+  // per_node_ms is a fresh per-invoke reading; if invoke accumulated into it
+  // the identity total == first + last would not hold.
+  EXPECT_DOUBLE_EQ(interp.last_stats().per_node_total_ms[1],
+                   first + interp.last_stats().per_node_ms[1]);
+}
+
+TEST(Interpreter, UnsupportedOpFailsAtPrepareTime) {
+  Pcg32 rng(23);
+  GraphBuilder b("emb", &rng);
+  int ids = b.input(Shape{1, 4}, DType::kI32, "tokens");
+  int e = b.embedding(ids, 10, 4, "emb");
+  Model m = b.finish({e});
+  m.node(e).output_dtype = DType::kI8;  // no int8 embedding kernel exists
+  RefOpResolver ref;
+  // The plan resolves kernels at construction: failure surfaces in Prepare,
+  // not on the first invoke.
+  EXPECT_THROW(Interpreter(&m, &ref), MlxError);
+}
+
 TEST(Interpreter, NodeOutputsRetained) {
   Pcg32 rng(4);
   GraphBuilder b("m", &rng);

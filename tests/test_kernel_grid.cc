@@ -1,0 +1,306 @@
+// Opt-vs-ref kernel equivalence over a parameterized geometry/activation
+// grid, plus steady-state allocation checks for the Prepare/Invoke split.
+//
+// Float parity is asserted to <= 4 ULP per element: the GEMM core
+// accumulates each output bias-first in ascending k order — exactly the
+// reference kernels' order — so the only tolerated difference is FMA
+// contraction asymmetry between the two compiled loops (the compiler fuses
+// mul+add in one and not the other; observed distance on GCC12/-march=native
+// is 0-1 ULP). A geometry or ordering bug shows up as thousands of ULPs.
+// Int8 parity is asserted to one quantum: the reference path requantizes
+// through a double multiply while the optimized path uses the Q31
+// fixed-point multiplier, an intentional (paper §4.4) one-step discrepancy.
+//
+// The allocation checks pin down the Prepare/Invoke contract from two
+// angles: AllocStats events (tracked Tensor/arena buffers) and a global
+// operator-new counter (any heap traffic at all, including std::function or
+// std::vector churn inside kernels).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <new>
+
+#include "src/graph/builder.h"
+#include "src/interpreter/interpreter.h"
+#include "src/quant/quantizer.h"
+#include "src/tensor/alloc_stats.h"
+#include "src/tensor/tensor_stats.h"
+
+// --- global operator new/delete instrumentation -----------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace mlexray {
+namespace {
+
+Tensor random_input(Shape shape, Pcg32& rng, float lo = -2.0f,
+                    float hi = 2.0f) {
+  Tensor t = Tensor::f32(shape);
+  float* p = t.data<float>();
+  for (std::int64_t i = 0; i < t.num_elements(); ++i) p[i] = rng.uniform(lo, hi);
+  return t;
+}
+
+// Lexicographically ordered bit pattern of a float: adjacent representable
+// floats differ by 1, so |a - b| counts ULPs across the value range.
+std::int64_t float_lex_bits(float f) {
+  std::int32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits >= 0 ? bits
+                   : static_cast<std::int64_t>(
+                         std::numeric_limits<std::int32_t>::min()) -
+                         bits;
+}
+
+std::int64_t max_ulp_diff(const Tensor& a, const Tensor& b) {
+  EXPECT_EQ(a.num_elements(), b.num_elements());
+  const float* pa = a.data<float>();
+  const float* pb = b.data<float>();
+  std::int64_t worst = 0;
+  for (std::int64_t i = 0; i < a.num_elements(); ++i) {
+    worst = std::max(worst,
+                     std::abs(float_lex_bits(pa[i]) - float_lex_bits(pb[i])));
+  }
+  return worst;
+}
+
+// One quantization step of a quantized model's (dequantized f32) output: the
+// scale of the tensor feeding the trailing Dequantize node.
+float output_quantum(const Model& qm) {
+  const Node& out = qm.node(qm.outputs[0]);
+  if (out.type == OpType::kDequantize) {
+    return qm.node(out.inputs[0]).output_quant.scale();
+  }
+  return out.output_quant.scale();
+}
+
+struct GridCase {
+  OpType op;
+  Padding padding;
+  int stride;
+  Activation act;
+  bool quantized;
+
+  friend std::ostream& operator<<(std::ostream& os, const GridCase& c) {
+    return os << op_type_name(c.op)
+              << (c.padding == Padding::kSame ? "/Same" : "/Valid") << "/s"
+              << c.stride << "/act" << static_cast<int>(c.act)
+              << (c.quantized ? "/i8" : "/f32");
+  }
+};
+
+std::vector<GridCase> make_grid() {
+  std::vector<GridCase> grid;
+  for (OpType op : {OpType::kConv2D, OpType::kDepthwiseConv2D}) {
+    for (Padding padding : {Padding::kSame, Padding::kValid}) {
+      for (int stride : {1, 2}) {
+        for (Activation act :
+             {Activation::kNone, Activation::kRelu, Activation::kRelu6}) {
+          for (bool quantized : {false, true}) {
+            grid.push_back({op, padding, stride, act, quantized});
+          }
+        }
+      }
+    }
+  }
+  // FullyConnected has no geometry axes; cover activation x dtype.
+  for (Activation act :
+       {Activation::kNone, Activation::kRelu, Activation::kRelu6}) {
+    for (bool quantized : {false, true}) {
+      grid.push_back({OpType::kFullyConnected, Padding::kSame, 1, act,
+                      quantized});
+    }
+  }
+  return grid;
+}
+
+class KernelGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(KernelGrid, OptMatchesRef) {
+  const GridCase& c = GetParam();
+  Pcg32 rng(1234);
+  GraphBuilder b("grid", &rng);
+  int x = b.input(Shape{1, 9, 9, 6});
+  switch (c.op) {
+    case OpType::kConv2D:
+      b.conv2d(x, 8, 3, 3, c.stride, c.padding, c.act, "op");
+      break;
+    case OpType::kDepthwiseConv2D:
+      b.depthwise_conv2d(x, 3, 3, c.stride, c.padding, c.act, "op");
+      break;
+    case OpType::kFullyConnected:
+      b.fully_connected(x, 10, c.act, "op");
+      break;
+    default:
+      MLX_FAIL() << "unexpected grid op";
+  }
+  Model m = b.finish({1});
+
+  Pcg32 drng(77);
+  Tensor input = random_input(Shape{1, 9, 9, 6}, drng);
+
+  RefOpResolver ref;
+  BuiltinOpResolver opt;
+  if (!c.quantized) {
+    Interpreter ri(&m, &ref);
+    Interpreter oi(&m, &opt, /*num_threads=*/2);
+    ri.set_input(0, input);
+    oi.set_input(0, input);
+    ri.invoke();
+    oi.invoke();
+    // Identical accumulation order: only FMA-contraction rounding may
+    // differ — at most a few ULPs, where a real geometry bug is thousands.
+    EXPECT_LE(max_ulp_diff(ri.output(0), oi.output(0)), 4) << c;
+  } else {
+    Calibrator calib(&m);
+    Pcg32 crng(88);
+    for (int i = 0; i < 6; ++i) {
+      calib.observe({random_input(Shape{1, 9, 9, 6}, crng)});
+    }
+    calib.observe({input});
+    Model qm = quantize_model(m, calib);
+    Interpreter ri(&qm, &ref);
+    Interpreter oi(&qm, &opt, /*num_threads=*/2);
+    ri.set_input(0, input);
+    oi.set_input(0, input);
+    ri.invoke();
+    oi.invoke();
+    // Double-rescale (ref) vs Q31 fixed point (opt): at most one quantum.
+    EXPECT_LE(linf_error(ri.output(0), oi.output(0)),
+              1.001f * output_quantum(qm))
+        << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaddingStrideActDtype, KernelGrid,
+                         ::testing::ValuesIn(make_grid()));
+
+// --- steady-state allocation behaviour --------------------------------------
+
+Model conv_stack_model(Pcg32* rng) {
+  GraphBuilder b("stack", rng);
+  int x = b.input(Shape{1, 16, 16, 8});
+  int p = b.pad(x, 1, 1, 1, 1, "pad");
+  int c1 = b.conv2d(p, 16, 3, 3, 1, Padding::kValid, Activation::kRelu, "c1");
+  int d = b.depthwise_conv2d(c1, 3, 3, 2, Padding::kSame, Activation::kRelu6,
+                             "dw");
+  int c2 = b.conv2d(d, 16, 1, 1, 1, Padding::kSame, Activation::kNone, "c2");
+  int fc = b.fully_connected(c2, 10, Activation::kNone, "fc");
+  return b.finish({fc});
+}
+
+TEST(SteadyStateAlloc, InvokeIsHeapFreeAfterWarmup) {
+  Pcg32 rng(31);
+  Model m = conv_stack_model(&rng);
+  BuiltinOpResolver opt;
+  Interpreter interp(&m, &opt, /*num_threads=*/2);
+  Pcg32 drng(32);
+  Tensor input = random_input(Shape{1, 16, 16, 8}, drng);
+  interp.set_input(0, input);
+  // First invoke may grow the scratch arena.
+  interp.invoke();
+  EXPECT_GT(interp.scratch_arena().capacity_bytes(), 0u);
+
+  const std::uint64_t events_before = AllocStats::instance().alloc_events();
+  const std::size_t bytes_before = AllocStats::instance().current_bytes();
+  const std::uint64_t heap_before = g_heap_allocs.load();
+  for (int i = 0; i < 5; ++i) interp.invoke();
+  EXPECT_EQ(AllocStats::instance().alloc_events(), events_before)
+      << "steady-state invoke() registered new tensor/arena allocations";
+  EXPECT_EQ(AllocStats::instance().current_bytes(), bytes_before);
+  EXPECT_EQ(g_heap_allocs.load(), heap_before)
+      << "steady-state invoke() touched the heap (operator new)";
+}
+
+TEST(SteadyStateAlloc, QuantizedInvokeIsHeapFreeAfterWarmup) {
+  Pcg32 rng(41);
+  Model m = conv_stack_model(&rng);
+  Calibrator calib(&m);
+  Pcg32 crng(42);
+  for (int i = 0; i < 4; ++i) {
+    calib.observe({random_input(Shape{1, 16, 16, 8}, crng)});
+  }
+  Model qm = quantize_model(m, calib);
+  BuiltinOpResolver opt;
+  Interpreter interp(&qm, &opt, /*num_threads=*/2);
+  Pcg32 drng(43);
+  Tensor input = random_input(Shape{1, 16, 16, 8}, drng);
+  interp.set_input(0, input);
+  interp.invoke();
+
+  const std::uint64_t events_before = AllocStats::instance().alloc_events();
+  const std::uint64_t heap_before = g_heap_allocs.load();
+  for (int i = 0; i < 5; ++i) interp.invoke();
+  EXPECT_EQ(AllocStats::instance().alloc_events(), events_before);
+  EXPECT_EQ(g_heap_allocs.load(), heap_before);
+}
+
+TEST(ScratchArenaTest, AllocationsAreAbsoluteAligned) {
+  ScratchArena arena;
+  for (int round = 0; round < 3; ++round) {
+    // Odd sizes force unaligned bump positions between requests.
+    (void)arena.allocate(13, 1);
+    for (std::size_t align : {8u, 16u, 64u, 128u}) {
+      void* p = arena.allocate(65, align);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u) << align;
+    }
+    // Force growth past the first block and re-check alignment there.
+    void* big = arena.allocate(256 * 1024, 64);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(big) % 64, 0u);
+    arena.reset();
+  }
+}
+
+TEST(SteadyStateAlloc, ArenaIsReusedNotRegrown) {
+  Pcg32 rng(51);
+  Model m = conv_stack_model(&rng);
+  BuiltinOpResolver opt;
+  Interpreter interp(&m, &opt);
+  Pcg32 drng(52);
+  interp.set_input(0, random_input(Shape{1, 16, 16, 8}, drng));
+  interp.invoke();
+  const std::size_t capacity = interp.scratch_arena().capacity_bytes();
+  const std::size_t high_water = interp.scratch_arena().high_water_bytes();
+  EXPECT_GT(high_water, 0u);
+  for (int i = 0; i < 3; ++i) interp.invoke();
+  EXPECT_EQ(interp.scratch_arena().capacity_bytes(), capacity);
+  EXPECT_EQ(interp.scratch_arena().high_water_bytes(), high_water);
+}
+
+}  // namespace
+}  // namespace mlexray
