@@ -1,15 +1,24 @@
 // Google-benchmark microbenchmarks of the kernel library: optimized vs
-// reference resolvers on the op types Table 4 profiles. These quantify the
-// per-op gap that the table aggregates per layer type.
+// reference resolvers on the op types Table 4 profiles, float and int8.
+// These quantify the per-op gap that the table aggregates per layer type.
+//
+// The BM_Gemm* group benches the GEMM core directly at the Table-4
+// equivalent shapes: prepacked panels vs per-call repack (f32) and the
+// widening SIMD dot-product microkernel vs the scalar register-blocked path
+// (int8) — the two plan-time-packing wins, isolated from interpreter
+// overhead.
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "src/graph/builder.h"
 #include "src/interpreter/interpreter.h"
+#include "src/kernels/fixed_point.h"
+#include "src/kernels/gemm.h"
+#include "src/quant/quantizer.h"
 
 namespace mlexray {
 namespace {
-
-enum class Variant { kOptFloat, kRefFloat };
 
 Model conv_model(int size, int ch, int out_ch, OpType type) {
   Pcg32 rng(1);
@@ -34,20 +43,34 @@ Model conv_model(int size, int ch, int out_ch, OpType type) {
   return b.finish({1});
 }
 
-void run_variant(benchmark::State& state, OpType type, bool reference) {
+Tensor random_input(int size, int ch, std::uint64_t seed) {
+  Tensor input = Tensor::f32(Shape{1, size, size, ch});
+  Pcg32 rng(seed);
+  float* p = input.data<float>();
+  for (std::int64_t i = 0; i < input.num_elements(); ++i) {
+    p[i] = rng.uniform(-1, 1);
+  }
+  return input;
+}
+
+void run_variant(benchmark::State& state, OpType type, bool reference,
+                 bool quantized = false) {
   const int size = static_cast<int>(state.range(0));
   const int ch = static_cast<int>(state.range(1));
   Model m = conv_model(size, ch, ch, type);
+  Model qm;
+  if (quantized) {
+    Calibrator calib(&m);
+    for (int i = 0; i < 4; ++i) calib.observe({random_input(size, ch, 10 + i)});
+    qm = quantize_model(m, calib);
+  }
+  const Model& bench_model = quantized ? qm : m;
   RefOpResolver ref;
   BuiltinOpResolver opt;
   const OpResolver& resolver = reference ? static_cast<const OpResolver&>(ref)
                                          : static_cast<const OpResolver&>(opt);
-  Interpreter interp(&m, &resolver, reference ? 1 : 2);
-  Tensor input = Tensor::f32(Shape{1, size, size, ch});
-  Pcg32 rng(2);
-  float* p = input.data<float>();
-  for (std::int64_t i = 0; i < input.num_elements(); ++i) p[i] = rng.uniform(-1, 1);
-  interp.set_input(0, input);
+  Interpreter interp(&bench_model, &resolver, reference ? 1 : 2);
+  interp.set_input(0, random_input(size, ch, 2));
   for (auto _ : state) {
     interp.invoke();
     benchmark::DoNotOptimize(interp.output(0).raw_data());
@@ -62,6 +85,12 @@ void BM_Fc_Optimized(benchmark::State& s) { run_variant(s, OpType::kFullyConnect
 void BM_Fc_Reference(benchmark::State& s) { run_variant(s, OpType::kFullyConnected, true); }
 void BM_Pad_Optimized(benchmark::State& s) { run_variant(s, OpType::kPad, false); }
 void BM_Pad_Reference(benchmark::State& s) { run_variant(s, OpType::kPad, true); }
+void BM_Conv2D_OptimizedInt8(benchmark::State& s) { run_variant(s, OpType::kConv2D, false, true); }
+void BM_Conv2D_ReferenceInt8(benchmark::State& s) { run_variant(s, OpType::kConv2D, true, true); }
+void BM_DwConv_OptimizedInt8(benchmark::State& s) { run_variant(s, OpType::kDepthwiseConv2D, false, true); }
+void BM_DwConv_ReferenceInt8(benchmark::State& s) { run_variant(s, OpType::kDepthwiseConv2D, true, true); }
+void BM_Fc_OptimizedInt8(benchmark::State& s) { run_variant(s, OpType::kFullyConnected, false, true); }
+void BM_Fc_ReferenceInt8(benchmark::State& s) { run_variant(s, OpType::kFullyConnected, true, true); }
 
 BENCHMARK(BM_Conv2D_Optimized)->Args({16, 32})->Args({32, 16});
 BENCHMARK(BM_Conv2D_Reference)->Args({16, 32})->Args({32, 16});
@@ -71,6 +100,110 @@ BENCHMARK(BM_Fc_Optimized)->Args({16, 16});
 BENCHMARK(BM_Fc_Reference)->Args({16, 16});
 BENCHMARK(BM_Pad_Optimized)->Args({32, 16});
 BENCHMARK(BM_Pad_Reference)->Args({32, 16});
+BENCHMARK(BM_Conv2D_OptimizedInt8)->Args({16, 32})->Args({32, 16});
+BENCHMARK(BM_Conv2D_ReferenceInt8)->Args({16, 32})->Args({32, 16});
+BENCHMARK(BM_DwConv_OptimizedInt8)->Args({16, 32});
+BENCHMARK(BM_DwConv_ReferenceInt8)->Args({16, 32});
+BENCHMARK(BM_Fc_OptimizedInt8)->Args({16, 16});
+BENCHMARK(BM_Fc_ReferenceInt8)->Args({16, 16});
+
+// --- GEMM core: prepacked vs per-call paths at Table-4 shapes --------------
+// Args are the GEMM problem (m, n, k): Conv2D 16x16x32 3x3 -> (256, 32,
+// 288), Conv2D 32x32x16 3x3 -> (1024, 16, 144), batch-1 FC 4096->16 ->
+// (1, 16, 4096). Single-threaded so the kernel difference is undiluted.
+
+struct GemmProblem {
+  std::int64_t m, n, k;
+  std::vector<float> a_f32, b_f32, bias_f32, c_f32;
+  std::vector<std::int8_t> a_i8, b_i8, c_i8;
+  std::vector<std::int32_t> bias_i32, multipliers;
+  std::vector<int> shifts;
+  GemmQuant quant;
+
+  GemmProblem(std::int64_t m_in, std::int64_t n_in, std::int64_t k_in)
+      : m(m_in), n(n_in), k(k_in) {
+    Pcg32 rng(7);
+    a_f32.resize(static_cast<std::size_t>(m * k));
+    b_f32.resize(static_cast<std::size_t>(n * k));
+    bias_f32.resize(static_cast<std::size_t>(n));
+    c_f32.resize(static_cast<std::size_t>(m * n));
+    for (float& v : a_f32) v = rng.uniform(-1, 1);
+    for (float& v : b_f32) v = rng.uniform(-1, 1);
+    for (float& v : bias_f32) v = rng.uniform(-1, 1);
+    a_i8.resize(a_f32.size());
+    b_i8.resize(b_f32.size());
+    c_i8.resize(c_f32.size());
+    for (auto& v : a_i8) v = static_cast<std::int8_t>(static_cast<int>(rng.next_below(255)) - 127);
+    for (auto& v : b_i8) v = static_cast<std::int8_t>(static_cast<int>(rng.next_below(255)) - 127);
+    bias_i32.resize(static_cast<std::size_t>(n));
+    multipliers.resize(static_cast<std::size_t>(n));
+    shifts.resize(static_cast<std::size_t>(n));
+    for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j) {
+      bias_i32[j] = static_cast<std::int32_t>(rng.next_below(512)) - 256;
+      quantize_multiplier(0.0037, &multipliers[j], &shifts[j]);
+    }
+    quant.a_zero_point = 3;
+    quant.bias = bias_i32.data();
+    quant.multipliers = multipliers.data();
+    quant.shifts = shifts.data();
+    quant.out_zero_point = -5;
+  }
+};
+
+void BM_GemmF32_Prepacked(benchmark::State& state) {
+  GemmProblem p(state.range(0), state.range(1), state.range(2));
+  std::vector<float> panels(
+      static_cast<std::size_t>(packed_b_f32_floats(p.n, p.k)));
+  pack_b_f32(p.n, p.k, p.b_f32.data(), p.k, panels.data());
+  PackedBF32 packed{panels.data(), p.n / kGemmNrF32};
+  for (auto _ : state) {
+    gemm_f32_nt(p.m, p.n, p.k, p.a_f32.data(), p.k, p.b_f32.data(), p.k,
+                p.bias_f32.data(), Activation::kNone, p.c_f32.data(), p.n,
+                nullptr, nullptr, &packed);
+    benchmark::DoNotOptimize(p.c_f32.data());
+  }
+}
+
+void BM_GemmF32_RepackEachCall(benchmark::State& state) {
+  GemmProblem p(state.range(0), state.range(1), state.range(2));
+  ScratchArena arena;
+  for (auto _ : state) {
+    arena.reset();
+    gemm_f32_nt(p.m, p.n, p.k, p.a_f32.data(), p.k, p.b_f32.data(), p.k,
+                p.bias_f32.data(), Activation::kNone, p.c_f32.data(), p.n,
+                nullptr, &arena);
+    benchmark::DoNotOptimize(p.c_f32.data());
+  }
+}
+
+void BM_GemmI8_PackedVec(benchmark::State& state) {
+  GemmProblem p(state.range(0), state.range(1), state.range(2));
+  std::vector<std::int8_t> panels(
+      static_cast<std::size_t>(packed_b_i8_bytes(p.n, p.k)));
+  std::vector<std::int32_t> col_sums(static_cast<std::size_t>(p.n));
+  pack_b_i8(p.n, p.k, p.b_i8.data(), p.k, panels.data(), col_sums.data());
+  PackedBI8 packed{panels.data(), col_sums.data(), p.n / kGemmNrI8};
+  for (auto _ : state) {
+    gemm_i8_nt(p.m, p.n, p.k, p.a_i8.data(), p.k, p.b_i8.data(), p.k, p.quant,
+               p.c_i8.data(), p.n, nullptr, &packed);
+    benchmark::DoNotOptimize(p.c_i8.data());
+  }
+}
+
+// The PR-1 int8 path: scalar register-blocked tiles over raw B rows.
+void BM_GemmI8_Scalar(benchmark::State& state) {
+  GemmProblem p(state.range(0), state.range(1), state.range(2));
+  for (auto _ : state) {
+    gemm_i8_nt(p.m, p.n, p.k, p.a_i8.data(), p.k, p.b_i8.data(), p.k, p.quant,
+               p.c_i8.data(), p.n, nullptr);
+    benchmark::DoNotOptimize(p.c_i8.data());
+  }
+}
+
+BENCHMARK(BM_GemmF32_Prepacked)->Args({256, 32, 288})->Args({1024, 16, 144})->Args({1, 16, 4096});
+BENCHMARK(BM_GemmF32_RepackEachCall)->Args({256, 32, 288})->Args({1024, 16, 144})->Args({1, 16, 4096});
+BENCHMARK(BM_GemmI8_PackedVec)->Args({256, 32, 288})->Args({1024, 16, 144})->Args({1, 16, 4096});
+BENCHMARK(BM_GemmI8_Scalar)->Args({256, 32, 288})->Args({1024, 16, 144})->Args({1, 16, 4096});
 
 }  // namespace
 }  // namespace mlexray

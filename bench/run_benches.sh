@@ -1,10 +1,20 @@
 #!/usr/bin/env bash
-# Runs the kernel microbenchmarks and records machine-readable results.
+# Runs the kernel microbenchmarks + end-to-end model benchmarks and records
+# machine-readable results.
 #
 # The perf trajectory of the kernel library lives in BENCH_*.json files at
 # the repo root: run this after a kernel/interpreter change and commit the
 # refreshed JSON alongside it, so regressions are visible in review instead
 # of discovered later.
+#
+# Benchmark numbers are only meaningful from a Release build. Configure with:
+#   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+# (Release is the default build type and carries "-O3 -DNDEBUG".) This script
+# refuses to record numbers from any other build type. Note: the
+# "library_build_type" field google-benchmark writes into the JSON context
+# describes the *distro's libbenchmark* build (Debian ships it without
+# NDEBUG, so it reports "debug"); the authoritative flag for our code is the
+# "mlexray_build_type" field this script injects after checking CMakeCache.
 #
 # Usage: bench/run_benches.sh [build_dir] [output_dir]
 #   build_dir   defaults to ./build
@@ -15,11 +25,54 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 out_dir="${2:-${repo_root}}"
 
-if [[ ! -x "${build_dir}/bench_kernels_micro" ]]; then
-  echo "bench_kernels_micro not found in ${build_dir}; build first:" >&2
-  echo "  cmake -B build -S . && cmake --build build -j" >&2
+# python3 stamps the verified build type into the JSONs below; check before
+# running anything so a missing interpreter can't abort mid-way and leave a
+# freshly overwritten but unstamped BENCH_*.json behind.
+if ! command -v python3 > /dev/null; then
+  echo "error: python3 is required to stamp and digest the benchmark JSON" >&2
   exit 1
 fi
+
+# --- refuse non-Release builds ---------------------------------------------
+cache="${build_dir}/CMakeCache.txt"
+if [[ ! -f "${cache}" ]]; then
+  echo "error: ${cache} not found; configure first:" >&2
+  echo "  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release" >&2
+  exit 1
+fi
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[A-Z]*=//p' "${cache}")"
+if [[ "${build_type}" != "Release" ]]; then
+  echo "error: build dir '${build_dir}' has CMAKE_BUILD_TYPE='${build_type}'," >&2
+  echo "refusing to record benchmark numbers from a non-Release build." >&2
+  echo "Reconfigure with: cmake -B build -S . -DCMAKE_BUILD_TYPE=Release" >&2
+  exit 1
+fi
+
+for bin in bench_kernels_micro bench_models_e2e; do
+  if [[ ! -x "${build_dir}/${bin}" ]]; then
+    echo "${bin} not found in ${build_dir}; build first:" >&2
+    echo "  cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+  fi
+done
+
+# Stamps the verified build type into the benchmark JSON context and prints
+# a human-readable digest.
+digest() {
+  python3 - "$1" "${build_type}" <<'EOF'
+import json, sys
+path, build_type = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    data = json.load(f)
+data.setdefault("context", {})["mlexray_build_type"] = build_type
+with open(path, "w") as f:
+    json.dump(data, f, indent=1)
+    f.write("\n")
+print(f"{'benchmark':44s} {'wall':>12s}")
+for b in data.get("benchmarks", []):
+    print(f"{b['name']:44s} {b['real_time']:10.0f} {b['time_unit']}")
+EOF
+}
 
 echo "== kernel microbenchmarks (Table 4 shapes) =="
 "${build_dir}/bench_kernels_micro" \
@@ -27,13 +80,13 @@ echo "== kernel microbenchmarks (Table 4 shapes) =="
   --benchmark_min_time=0.2 \
   > "${out_dir}/BENCH_kernels_micro.json"
 echo "wrote ${out_dir}/BENCH_kernels_micro.json"
+digest "${out_dir}/BENCH_kernels_micro.json"
 
-# Human-readable digest for the console.
-python3 - "$out_dir/BENCH_kernels_micro.json" <<'EOF' || true
-import json, sys
-with open(sys.argv[1]) as f:
-    data = json.load(f)
-print(f"{'benchmark':40s} {'wall':>12s}")
-for b in data.get("benchmarks", []):
-    print(f"{b['name']:40s} {b['real_time']:10.0f} {b['time_unit']}")
-EOF
+echo
+echo "== end-to-end model benchmarks (batch 1/4/16, f32 + int8) =="
+"${build_dir}/bench_models_e2e" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.1 \
+  > "${out_dir}/BENCH_models_e2e.json"
+echo "wrote ${out_dir}/BENCH_models_e2e.json"
+digest "${out_dir}/BENCH_models_e2e.json"

@@ -26,6 +26,21 @@ ExecutionPlan::ExecutionPlan(const Model& model, const OpResolver& resolver,
     }
     steps_.push_back(std::move(step));
   }
+  // Second pass, after every context is wired: run the one-time prepare
+  // hooks. Shapes, weights, and quant params are final here; activation data
+  // is not, and hooks must not read it.
+  for (PlanStep& step : steps_) {
+    if (!step.kernel->prepare) continue;
+    prepared_.push_back(std::make_unique<PreparedStorage>());
+    step.ctx.prepared = prepared_.back().get();
+    step.kernel->prepare(step.ctx);
+  }
+}
+
+std::size_t ExecutionPlan::prepared_bytes() const {
+  std::size_t total = 0;
+  for (const auto& storage : prepared_) total += storage->bytes();
+  return total;
 }
 
 }  // namespace mlexray

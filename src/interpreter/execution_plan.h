@@ -10,6 +10,7 @@
 // ML-EXray measures (<0.4% end-to-end, Table 2).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "src/graph/graph.h"
@@ -22,23 +23,33 @@ namespace mlexray {
 // activation storage, which is allocated before the plan and never moves.
 struct PlanStep {
   const Node* node = nullptr;
-  const KernelFn* kernel = nullptr;  // owned by the resolver's kernel map
+  const KernelEntry* kernel = nullptr;  // owned by the resolver's kernel map
   KernelContext ctx;
 };
 
 class ExecutionPlan {
  public:
-  // Resolves every non-input node of `model` against `resolver` and wires
-  // each step's context to `activations` (one tensor per node id), `pool`,
-  // and `arena`. All referenced objects must outlive the plan.
+  // Resolves every non-input node of `model` against `resolver`, wires each
+  // step's context to `activations` (one tensor per node id), `pool`, and
+  // `arena`, then runs each kernel's prepare hook exactly once. Prepared
+  // results (packed weight panels, requantization tables) live in plan-owned
+  // PreparedStorage for the plan's lifetime. All referenced objects must
+  // outlive the plan.
   ExecutionPlan(const Model& model, const OpResolver& resolver,
                 std::vector<Tensor>& activations, ThreadPool* pool,
                 ScratchArena* arena);
 
   const std::vector<PlanStep>& steps() const { return steps_; }
 
+  // Bytes held across all steps' prepared storage (packed weights etc.) —
+  // the memory cost of plan-time packing, surfaced in InterpreterStats.
+  std::size_t prepared_bytes() const;
+
  private:
   std::vector<PlanStep> steps_;
+  // One slot per step with a prepare hook; pointers handed to step contexts
+  // stay stable because the storage objects are individually heap-owned.
+  std::vector<std::unique_ptr<PreparedStorage>> prepared_;
 };
 
 }  // namespace mlexray

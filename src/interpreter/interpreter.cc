@@ -38,6 +38,7 @@ Interpreter::Interpreter(const Model* model, const OpResolver* resolver,
                                           pool_, &arena_);
   stats_.per_node_ms.assign(model_->nodes.size(), 0.0);
   stats_.per_node_total_ms.assign(model_->nodes.size(), 0.0);
+  stats_.prepared_bytes = plan_->prepared_bytes();
   stats_.prepare_ms = ms_since(prepare_start);
 }
 
@@ -61,7 +62,7 @@ void Interpreter::invoke() {
   for (const PlanStep& step : plan_->steps()) {
     arena_.reset();
     auto start = Clock::now();
-    (*step.kernel)(step.ctx);
+    step.kernel->invoke(step.ctx);
     const double node_ms = ms_since(start);
     const auto id = static_cast<std::size_t>(step.node->id);
     stats_.per_node_ms[id] = node_ms;
@@ -69,6 +70,7 @@ void Interpreter::invoke() {
   }
   stats_.total_ms = ms_since(start_total);
   stats_.cumulative_ms += stats_.total_ms;
+  stats_.arena_high_water_bytes = arena_.high_water_bytes();
   ++stats_.invoke_count;
 }
 

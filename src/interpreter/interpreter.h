@@ -37,6 +37,12 @@ struct InterpreterStats {
   std::vector<double> per_node_ms;
   // Per-node wall clock accumulated across all invokes.
   std::vector<double> per_node_total_ms;
+  // Memory visibility: plan-owned prepared storage (packed weight panels,
+  // requantization tables; fixed at Prepare) and the scratch arena's
+  // high-water mark (refreshed after every invoke). Latency wins from
+  // plan-time packing must not hide their memory cost.
+  std::size_t prepared_bytes = 0;
+  std::size_t arena_high_water_bytes = 0;
 };
 
 // Historical name, kept for call sites that predate the Prepare/Invoke split.

@@ -53,6 +53,20 @@ struct RequantView {
   const int* shifts = nullptr;
 };
 
+// Writes the Q31 tables into caller-provided arrays (scratch or plan-owned
+// prepared storage).
+inline void fill_requant_tables(const QuantParams& in_q, const QuantParams& w_q,
+                                const QuantParams& out_q,
+                                std::int64_t out_channels,
+                                std::int32_t* multipliers, int* shifts) {
+  for (std::int64_t c = 0; c < out_channels; ++c) {
+    auto ch = static_cast<std::size_t>(c);
+    double scale = static_cast<double>(in_q.scale()) *
+                   w_q.scale(w_q.per_channel() ? ch : 0) / out_q.scale();
+    quantize_multiplier(scale, &multipliers[ch], &shifts[ch]);
+  }
+}
+
 inline RequantView prepare_requant_scratch(const KernelContext& ctx,
                                            const QuantParams& in_q,
                                            const QuantParams& w_q,
@@ -60,12 +74,7 @@ inline RequantView prepare_requant_scratch(const KernelContext& ctx,
                                            std::int64_t out_channels) {
   auto* multipliers = ctx.scratch<std::int32_t>(out_channels);
   auto* shifts = ctx.scratch<int>(out_channels);
-  for (std::int64_t c = 0; c < out_channels; ++c) {
-    auto ch = static_cast<std::size_t>(c);
-    double scale = static_cast<double>(in_q.scale()) *
-                   w_q.scale(w_q.per_channel() ? ch : 0) / out_q.scale();
-    quantize_multiplier(scale, &multipliers[ch], &shifts[ch]);
-  }
+  fill_requant_tables(in_q, w_q, out_q, out_channels, multipliers, shifts);
   return {multipliers, shifts};
 }
 

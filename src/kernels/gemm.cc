@@ -1,6 +1,12 @@
 #include "src/kernels/gemm.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
 
 #include "src/kernels/activation.h"
 #include "src/kernels/fixed_point.h"
@@ -16,8 +22,10 @@ namespace {
 // tile keeps NR = 4: its accumulators are 32-bit so 4 columns fill an xmm
 // lane after widening.
 constexpr std::int64_t kMr = 4;
-constexpr std::int64_t kNrF = 8;
-constexpr std::int64_t kNrI = 4;
+constexpr std::int64_t kNrF = kGemmNrF32;
+constexpr std::int64_t kNrI = kGemmNrI8;
+
+std::atomic<std::uint64_t> g_b_pack_events{0};
 
 // Below this many multiply-accumulates the parallel_for rendezvous costs more
 // than the arithmetic; run on the calling thread.
@@ -232,29 +240,292 @@ inline void tile_i8_edge(std::int64_t mr, std::int64_t nr, std::int64_t k,
   }
 }
 
+// Widening dot-product microkernels over a prepacked int8 panel: MR rows of
+// A against the panel's kNrI contiguous column runs. Integer accumulation is
+// exact and order-free, so unlike the float tiles SIMD runs *along k*: each
+// vector lane holds a partial sum that is folded at the end. Products stay
+// raw (no zero-point subtraction) — the caller corrects with the prepacked
+// column sums in the epilogue.
+//
+// Tiered by ISA: the x86 variants widen int8 to int16 and use the fused
+// multiply-pairs-and-add (vpmaddwd) — one instruction retires 32 (zmm) or 16
+// (ymm) multiply-accumulates, which the compiler will not synthesize from
+// scalar source (it auto-vectorizes the int32 form through the slower
+// vpmulld). The generic GNU-vector variant covers other ISAs; plain scalar
+// covers other compilers. Overflow: an int8*int8 product is at most 2^14 and
+// a vpmaddwd pair at most 2^15, so int32 lane partials are safe until
+// k > 2^16 pairs — far beyond any shape this runtime sees.
+#if defined(__AVX512BW__) && defined(__AVX512F__) && defined(__AVX512VL__)
+
+template <int MR>
+inline void tile_i8_packed(std::int64_t k, const std::int8_t* a,
+                           std::int64_t lda, const std::int8_t* bp,
+                           std::int32_t acc[][kNrI]) {
+  __m512i vacc[MR][kNrI];
+  for (int i = 0; i < MR; ++i) {
+    for (int j = 0; j < kNrI; ++j) vacc[i][j] = _mm512_setzero_si512();
+  }
+  std::int64_t kk = 0;
+  for (; kk + 32 <= k; kk += 32) {
+    __m512i bv[kNrI];
+    for (int j = 0; j < kNrI; ++j) {
+      bv[j] = _mm512_cvtepi8_epi16(_mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(bp + j * k + kk)));
+    }
+    for (int i = 0; i < MR; ++i) {
+      const __m512i av = _mm512_cvtepi8_epi16(_mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(a + i * lda + kk)));
+      for (int j = 0; j < kNrI; ++j) {
+        vacc[i][j] =
+            _mm512_add_epi32(vacc[i][j], _mm512_madd_epi16(av, bv[j]));
+      }
+    }
+  }
+  if (kk < k) {
+    // Masked final block: lanes past k load as 0 and contribute 0 to the
+    // dot product, so no scalar tail remains (k % 32 would otherwise cost
+    // more than the vector body on shapes like k = 144).
+    const __mmask32 mask =
+        static_cast<__mmask32>((1ULL << (k - kk)) - 1ULL);
+    __m512i bv[kNrI];
+    for (int j = 0; j < kNrI; ++j) {
+      bv[j] = _mm512_cvtepi8_epi16(
+          _mm256_maskz_loadu_epi8(mask, bp + j * k + kk));
+    }
+    for (int i = 0; i < MR; ++i) {
+      const __m512i av =
+          _mm512_cvtepi8_epi16(_mm256_maskz_loadu_epi8(mask, a + i * lda + kk));
+      for (int j = 0; j < kNrI; ++j) {
+        vacc[i][j] =
+            _mm512_add_epi32(vacc[i][j], _mm512_madd_epi16(av, bv[j]));
+      }
+    }
+  }
+  for (int i = 0; i < MR; ++i) {
+    for (int j = 0; j < kNrI; ++j) {
+      acc[i][j] += _mm512_reduce_add_epi32(vacc[i][j]);
+    }
+  }
+}
+
+// MR up to kMr in one call: 16 zmm accumulators + 5 live sources fit the 32
+// AVX-512 registers.
+inline void panel_i8_packed(std::int64_t mr, std::int64_t k,
+                            const std::int8_t* a, std::int64_t lda,
+                            const std::int8_t* bp,
+                            std::int32_t acc[kMr][kNrI]) {
+  switch (mr) {
+    case 4: tile_i8_packed<4>(k, a, lda, bp, acc); break;
+    case 3: tile_i8_packed<3>(k, a, lda, bp, acc); break;
+    case 2: tile_i8_packed<2>(k, a, lda, bp, acc); break;
+    default: tile_i8_packed<1>(k, a, lda, bp, acc); break;
+  }
+}
+
+#elif defined(__AVX2__)
+
+template <int MR>  // 1 or 2: 8 ymm accumulators + 6 sources fit 16 registers
+inline void tile_i8_packed(std::int64_t k, const std::int8_t* a,
+                           std::int64_t lda, const std::int8_t* bp,
+                           std::int32_t acc[][kNrI]) {
+  __m256i vacc[MR][kNrI];
+  for (int i = 0; i < MR; ++i) {
+    for (int j = 0; j < kNrI; ++j) vacc[i][j] = _mm256_setzero_si256();
+  }
+  std::int64_t kk = 0;
+  for (; kk + 16 <= k; kk += 16) {
+    __m256i bv[kNrI];
+    for (int j = 0; j < kNrI; ++j) {
+      bv[j] = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(bp + j * k + kk)));
+    }
+    for (int i = 0; i < MR; ++i) {
+      const __m256i av = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(a + i * lda + kk)));
+      for (int j = 0; j < kNrI; ++j) {
+        vacc[i][j] =
+            _mm256_add_epi32(vacc[i][j], _mm256_madd_epi16(av, bv[j]));
+      }
+    }
+  }
+  for (int i = 0; i < MR; ++i) {
+    for (int j = 0; j < kNrI; ++j) {
+      const __m128i lo = _mm256_castsi256_si128(vacc[i][j]);
+      const __m128i hi = _mm256_extracti128_si256(vacc[i][j], 1);
+      __m128i sum = _mm_add_epi32(lo, hi);
+      sum = _mm_hadd_epi32(sum, sum);
+      sum = _mm_hadd_epi32(sum, sum);
+      acc[i][j] += _mm_cvtsi128_si32(sum);
+    }
+  }
+  for (; kk < k; ++kk) {
+    for (int i = 0; i < MR; ++i) {
+      const std::int32_t av = a[i * lda + kk];
+      for (int j = 0; j < kNrI; ++j) {
+        acc[i][j] += av * static_cast<std::int32_t>(bp[j * k + kk]);
+      }
+    }
+  }
+}
+
+inline void panel_i8_packed(std::int64_t mr, std::int64_t k,
+                            const std::int8_t* a, std::int64_t lda,
+                            const std::int8_t* bp,
+                            std::int32_t acc[kMr][kNrI]) {
+  std::int64_t i = 0;
+  for (; i + 2 <= mr; i += 2) {
+    tile_i8_packed<2>(k, a + i * lda, lda, bp, &acc[i]);
+  }
+  if (i < mr) tile_i8_packed<1>(k, a + i * lda, lda, bp, &acc[i]);
+}
+
+#elif defined(__GNUC__) || defined(__clang__)
+
+// Generic SIMD via GCC vector extensions (NEON etc.): int16 multiplies over
+// 16-lane blocks, widened into 8-lane int32 accumulators.
+using v16s8 = std::int8_t __attribute__((vector_size(16), aligned(1)));
+using v16s16 = std::int16_t __attribute__((vector_size(32)));
+using v8s16 = std::int16_t __attribute__((vector_size(16)));
+using v8s32 = std::int32_t __attribute__((vector_size(32)));
+
+inline v16s16 widen_i8x16(const std::int8_t* p) {
+  v16s8 v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return __builtin_convertvector(v, v16s16);
+}
+
+inline v8s32 madd_i16(v16s16 x, v16s16 y) {
+  const v16s16 prod = x * y;  // exact: |int8*int8| <= 2^14
+  const v8s16 lo = __builtin_shufflevector(prod, prod, 0, 1, 2, 3, 4, 5, 6, 7);
+  const v8s16 hi =
+      __builtin_shufflevector(prod, prod, 8, 9, 10, 11, 12, 13, 14, 15);
+  return __builtin_convertvector(lo, v8s32) + __builtin_convertvector(hi, v8s32);
+}
+
+inline std::int32_t fold_v8s32(v8s32 v) {
+  std::int32_t lanes[8];
+  __builtin_memcpy(lanes, &v, sizeof(v));
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] + lanes[4] + lanes[5] +
+         lanes[6] + lanes[7];
+}
+
+template <int MR>  // 1 or 2
+inline void tile_i8_packed(std::int64_t k, const std::int8_t* a,
+                           std::int64_t lda, const std::int8_t* bp,
+                           std::int32_t acc[][kNrI]) {
+  v8s32 vacc[2][kNrI] = {};
+  std::int64_t kk = 0;
+  for (; kk + 16 <= k; kk += 16) {
+    v16s16 bv[kNrI];
+    for (int j = 0; j < kNrI; ++j) bv[j] = widen_i8x16(bp + j * k + kk);
+    for (int i = 0; i < MR; ++i) {
+      const v16s16 av = widen_i8x16(a + i * lda + kk);
+      for (int j = 0; j < kNrI; ++j) vacc[i][j] += madd_i16(av, bv[j]);
+    }
+  }
+  for (int i = 0; i < MR; ++i) {
+    for (int j = 0; j < kNrI; ++j) acc[i][j] += fold_v8s32(vacc[i][j]);
+  }
+  for (; kk < k; ++kk) {
+    for (int i = 0; i < MR; ++i) {
+      const std::int32_t av = a[i * lda + kk];
+      for (int j = 0; j < kNrI; ++j) {
+        acc[i][j] += av * static_cast<std::int32_t>(bp[j * k + kk]);
+      }
+    }
+  }
+}
+
+inline void panel_i8_packed(std::int64_t mr, std::int64_t k,
+                            const std::int8_t* a, std::int64_t lda,
+                            const std::int8_t* bp,
+                            std::int32_t acc[kMr][kNrI]) {
+  std::int64_t i = 0;
+  for (; i + 2 <= mr; i += 2) {
+    tile_i8_packed<2>(k, a + i * lda, lda, bp, &acc[i]);
+  }
+  if (i < mr) tile_i8_packed<1>(k, a + i * lda, lda, bp, &acc[i]);
+}
+
+#else
+
+// Scalar fallback: the register-blocked tile over the packed column runs
+// (zero a_zp — correction happens in the epilogue).
+inline void panel_i8_packed(std::int64_t mr, std::int64_t k,
+                            const std::int8_t* a, std::int64_t lda,
+                            const std::int8_t* bp,
+                            std::int32_t acc[kMr][kNrI]) {
+  switch (mr) {
+    case 4: tile_i8<4>(k, a, lda, bp, k, 0, acc); break;
+    case 3: tile_i8<3>(k, a, lda, bp, k, 0, acc); break;
+    case 2: tile_i8<2>(k, a, lda, bp, k, 0, acc); break;
+    default: tile_i8<1>(k, a, lda, bp, k, 0, acc); break;
+  }
+}
+
+#endif
+
 }  // namespace
+
+std::int64_t packed_b_f32_floats(std::int64_t n, std::int64_t k) {
+  return (n / kNrF) * k * kNrF;
+}
+
+void pack_b_f32(std::int64_t n, std::int64_t k, const float* b,
+                std::int64_t ldb, float* panels) {
+  const std::int64_t panel_count = n / kNrF;
+  for (std::int64_t panel = 0; panel < panel_count; ++panel) {
+    const float* bsrc = b + panel * kNrF * ldb;
+    float* pdst = panels + panel * k * kNrF;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      for (std::int64_t j = 0; j < kNrF; ++j) {
+        pdst[kk * kNrF + j] = bsrc[j * ldb + kk];
+      }
+    }
+  }
+}
+
+std::int64_t packed_b_i8_bytes(std::int64_t n, std::int64_t k) {
+  return (n / kNrI) * kNrI * k;
+}
+
+void pack_b_i8(std::int64_t n, std::int64_t k, const std::int8_t* b,
+               std::int64_t ldb, std::int8_t* panels,
+               std::int32_t* col_sums) {
+  const std::int64_t packed_cols = (n / kNrI) * kNrI;
+  for (std::int64_t j = 0; j < packed_cols; ++j) {
+    std::memcpy(panels + j * k, b + j * ldb, static_cast<std::size_t>(k));
+  }
+  for (std::int64_t j = 0; j < n; ++j) {
+    std::int32_t sum = 0;
+    const std::int8_t* row = b + j * ldb;
+    for (std::int64_t kk = 0; kk < k; ++kk) sum += row[kk];
+    col_sums[j] = sum;
+  }
+}
+
+std::uint64_t gemm_b_pack_events() {
+  return g_b_pack_events.load(std::memory_order_relaxed);
+}
 
 void gemm_f32_nt(std::int64_t m, std::int64_t n, std::int64_t k,
                  const float* a, std::int64_t lda, const float* b,
                  std::int64_t ldb, const float* bias, Activation act, float* c,
-                 std::int64_t ldc, ThreadPool* pool, ScratchArena* arena) {
+                 std::int64_t ldc, ThreadPool* pool, ScratchArena* arena,
+                 const PackedBF32* packed) {
   if (m <= 0 || n <= 0) return;
-  // Repack B once per call when enough rows reuse it (the n * k copy is
-  // wasted on matrix-vector shapes like batch-1 fully-connected).
-  const float* packed = nullptr;
-  const std::int64_t panels = n / kNrF;
-  if (arena != nullptr && panels > 0 && m >= 8) {
-    float* p = arena->allocate_array<float>(panels * k * kNrF);
-    for (std::int64_t panel = 0; panel < panels; ++panel) {
-      const float* bsrc = b + panel * kNrF * ldb;
-      float* pdst = p + panel * k * kNrF;
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        for (std::int64_t j = 0; j < kNrF; ++j) {
-          pdst[kk * kNrF + j] = bsrc[j * ldb + kk];
-        }
-      }
-    }
-    packed = p;
+  // Prepacked panels (plan-time weight packing) skip the per-call repack
+  // entirely. Otherwise repack B once per call when enough rows reuse it
+  // (the n * k copy is wasted on matrix-vector shapes like batch-1
+  // fully-connected).
+  const float* panels = nullptr;
+  if (packed != nullptr && packed->panel_count > 0) {
+    panels = packed->panels;
+  } else if (arena != nullptr && n >= kNrF && m >= 8) {
+    float* p = arena->allocate_array<float>(packed_b_f32_floats(n, k));
+    pack_b_f32(n, k, b, ldb, p);
+    panels = p;
+    g_b_pack_events.fetch_add(1, std::memory_order_relaxed);
   }
   const std::int64_t m_tiles = (m + kMr - 1) / kMr;
   auto row_block = [&](std::size_t tile_lo, std::size_t tile_hi) {
@@ -264,9 +535,9 @@ void gemm_f32_nt(std::int64_t m, std::int64_t n, std::int64_t k,
       const float* at = a + i0 * lda;
       float* ct = c + i0 * ldc;
       std::int64_t j0 = 0;
-      if (packed != nullptr) {
+      if (panels != nullptr) {
         for (; j0 + kNrF <= n; j0 += kNrF) {
-          const float* bp = packed + (j0 / kNrF) * k * kNrF;
+          const float* bp = panels + (j0 / kNrF) * k * kNrF;
           switch (mr) {
             case 4: tile_f32_packed<4>(k, at, lda, bp, bias + j0, act, ct + j0, ldc); break;
             case 3: tile_f32_packed<3>(k, at, lda, bp, bias + j0, act, ct + j0, ldc); break;
@@ -305,8 +576,9 @@ void gemm_f32_nt(std::int64_t m, std::int64_t n, std::int64_t k,
 void gemm_i8_nt(std::int64_t m, std::int64_t n, std::int64_t k,
                 const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
                 std::int64_t ldb, const GemmQuant& q, std::int8_t* c,
-                std::int64_t ldc, ThreadPool* pool) {
+                std::int64_t ldc, ThreadPool* pool, const PackedBI8* packed) {
   if (m <= 0 || n <= 0) return;
+  const bool use_packed = packed != nullptr && packed->col_sums != nullptr;
   const std::int64_t m_tiles = (m + kMr - 1) / kMr;
   auto row_block = [&](std::size_t tile_lo, std::size_t tile_hi) {
     for (std::size_t t = tile_lo; t < tile_hi; ++t) {
@@ -317,7 +589,21 @@ void gemm_i8_nt(std::int64_t m, std::int64_t n, std::int64_t k,
       for (std::int64_t j0 = 0; j0 < n; j0 += kNrI) {
         const std::int64_t nr = std::min(kNrI, n - j0);
         std::int32_t acc[kMr][kNrI] = {};
-        if (nr == kNrI) {
+        // The packed path accumulates *raw* products (SIMD along k, zero
+        // point folded in below via the prepacked column sums); the unpacked
+        // path subtracts the zero point per element as before. Integer math
+        // is exact, so both orders produce identical accumulators.
+        bool raw = false;
+        if (use_packed && nr == kNrI && j0 / kNrI < packed->panel_count) {
+          panel_i8_packed(mr, k, at, lda, packed->panels + j0 * k, acc);
+          raw = true;
+        } else if (use_packed) {
+          // Edge columns: unpacked rows, but still raw accumulation so the
+          // epilogue below is uniform across the row.
+          tile_i8_edge(mr, nr, k, at, lda, b + j0 * ldb, ldb, /*a_zp=*/0,
+                       acc);
+          raw = true;
+        } else if (nr == kNrI) {
           const std::int8_t* bt = b + j0 * ldb;
           switch (mr) {
             case 4: tile_i8<4>(k, at, lda, bt, ldb, q.a_zero_point, acc); break;
@@ -332,8 +618,10 @@ void gemm_i8_nt(std::int64_t m, std::int64_t n, std::int64_t k,
         for (std::int64_t i = 0; i < mr; ++i) {
           for (std::int64_t j = 0; j < nr; ++j) {
             const std::size_t col = static_cast<std::size_t>(j0 + j);
+            std::int32_t sum = acc[i][j];
+            if (raw) sum -= q.a_zero_point * packed->col_sums[col];
             std::int32_t scaled = multiply_by_quantized_multiplier(
-                acc[i][j] + q.bias[col], q.multipliers[col], q.shifts[col]);
+                sum + q.bias[col], q.multipliers[col], q.shifts[col]);
             std::int32_t v = scaled + q.out_zero_point;
             v = std::clamp(v, q.act_min, q.act_max);
             ct[i * ldc + j0 + j] = static_cast<std::int8_t>(v);

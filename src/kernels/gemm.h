@@ -28,17 +28,70 @@
 
 namespace mlexray {
 
+// ---------------------------------------------------------------------------
+// Plan-time B prepacking.
+//
+// B is constant for both GEMM consumers (conv filters, FC weights), so the
+// panel layout the inner loops want can be built once at Prepare time and
+// reused by every invoke. The packed views below are plain pointers into
+// plan-owned storage; pass them to the gemm entry points to skip the
+// per-call repack entirely.
+// ---------------------------------------------------------------------------
+
+// Panel widths (NR) of the register tiles. Exposed so prepare hooks can size
+// packed buffers; must match the kernels' internal tiling.
+inline constexpr std::int64_t kGemmNrF32 = 8;
+inline constexpr std::int64_t kGemmNrI8 = 4;
+
+// f32: full panels of kGemmNrF32 columns, k-interleaved — panel p holds k
+// groups of the 8 column values for columns [8p, 8p+8). The n % 8 edge
+// columns stay unpacked (the edge tile walks raw B rows).
+struct PackedBF32 {
+  const float* panels = nullptr;
+  std::int64_t panel_count = 0;  // n / kGemmNrF32
+};
+
+// int8: full panels of kGemmNrI8 columns as contiguous k-runs (column j of
+// panel p starts at panels + (p * kGemmNrI8 + j) * k), plus per-column sums
+// over k for all n columns. The sums fold the activation zero point into the
+// epilogue — sum_k (a - zp) * b == sum_k a * b - zp * col_sum — so the inner
+// loop is a raw widening dot product with no per-element correction.
+struct PackedBI8 {
+  const std::int8_t* panels = nullptr;
+  const std::int32_t* col_sums = nullptr;  // [n], edge columns included
+  std::int64_t panel_count = 0;            // n / kGemmNrI8
+};
+
+// Element counts the pack destinations need (edge columns excluded for the
+// panel buffers; col_sums needs n int32s).
+std::int64_t packed_b_f32_floats(std::int64_t n, std::int64_t k);
+std::int64_t packed_b_i8_bytes(std::int64_t n, std::int64_t k);
+
+// Pack B[n x k] (row stride ldb) into the layouts above. col_sums gets all n
+// column sums, including the unpacked edge columns.
+void pack_b_f32(std::int64_t n, std::int64_t k, const float* b,
+                std::int64_t ldb, float* panels);
+void pack_b_i8(std::int64_t n, std::int64_t k, const std::int8_t* b,
+               std::int64_t ldb, std::int8_t* panels, std::int32_t* col_sums);
+
+// Monotonic count of per-call f32 B repacks into the arena. Prepacked
+// weights make this stand still; the steady-state tests assert it.
+std::uint64_t gemm_b_pack_events();
+
 // C[m x n] (row stride ldc) = act(A[m x k] (lda) * B[n x k]^T (ldb) + bias).
 // bias has n entries and must be non-null.
 //
-// When `arena` is non-null and m is large enough to amortize it, B is
-// repacked into NR-interleaved panels (scratch memory, no heap) so the inner
-// loop vectorizes across the NR output columns — SIMD across outputs keeps
-// each individual output's bias-first k-ascending accumulation order intact.
+// When `packed` is non-null its panels are used directly (no per-call
+// repack). Otherwise, when `arena` is non-null and m is large enough to
+// amortize it, B is repacked into NR-interleaved panels (scratch memory, no
+// heap) so the inner loop vectorizes across the NR output columns — SIMD
+// across outputs keeps each individual output's bias-first k-ascending
+// accumulation order intact.
 void gemm_f32_nt(std::int64_t m, std::int64_t n, std::int64_t k,
                  const float* a, std::int64_t lda, const float* b,
                  std::int64_t ldb, const float* bias, Activation act, float* c,
-                 std::int64_t ldc, ThreadPool* pool, ScratchArena* arena);
+                 std::int64_t ldc, ThreadPool* pool, ScratchArena* arena,
+                 const PackedBF32* packed = nullptr);
 
 // Fused requantization parameters for the int8 path (per-output-channel
 // multiplier/shift tables, gemmlowp-style).
@@ -53,9 +106,16 @@ struct GemmQuant {
 };
 
 // C[m x n] int8 = requant(sum_k (A[i,k] - a_zp) * B[j,k] + bias[j]).
+//
+// With `packed` non-null the inner loop is the widening SIMD dot-product
+// microkernel over prepacked column runs (zero-point correction folded into
+// the epilogue via col_sums); otherwise the scalar register-blocked path
+// walks raw B rows. Integer accumulation is exact, so both paths produce
+// bit-identical output.
 void gemm_i8_nt(std::int64_t m, std::int64_t n, std::int64_t k,
                 const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
                 std::int64_t ldb, const GemmQuant& q, std::int8_t* c,
-                std::int64_t ldc, ThreadPool* pool);
+                std::int64_t ldc, ThreadPool* pool,
+                const PackedBI8* packed = nullptr);
 
 }  // namespace mlexray

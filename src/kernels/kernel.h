@@ -8,13 +8,16 @@
 // Contexts are prepared once per node by the ExecutionPlan (inputs/output
 // pre-wired, arena attached) and reused verbatim on every invoke. Kernel
 // temporaries come from ctx.scratch<T>(): arena-backed, valid until the node
-// finishes, heap-free in steady state.
+// finishes, heap-free in steady state. One-time results (packed weight
+// panels, requantization tables) go into ctx.prepared, the plan-owned
+// storage a kernel's optional prepare hook fills at plan construction.
 #pragma once
 
 #include <functional>
 
 #include "src/common/thread_pool.h"
 #include "src/graph/node.h"
+#include "src/kernels/prepared_storage.h"
 #include "src/tensor/scratch_arena.h"
 
 namespace mlexray {
@@ -25,6 +28,10 @@ struct KernelContext {
   Tensor* output = nullptr;           // allocated by the interpreter
   ThreadPool* pool = nullptr;         // null => single-threaded execution
   ScratchArena* arena = nullptr;      // per-interpreter scratch storage
+  // Plan-owned storage filled once by the kernel's prepare hook; null when
+  // the kernel runs outside a plan (e.g. the trainer's forward pass), in
+  // which case invoke falls back to per-call scratch work.
+  PreparedStorage* prepared = nullptr;
 
   const Tensor& input(std::size_t i) const {
     MLX_CHECK_LT(i, inputs.size());
@@ -46,5 +53,25 @@ struct KernelContext {
 };
 
 using KernelFn = std::function<void(const KernelContext&)>;
+
+// A registered kernel: the per-invoke entry point plus an optional prepare
+// hook the ExecutionPlan runs exactly once at construction. Prepare hooks
+// see the same wired context as invoke (shapes, weights, quant params are
+// final by then; activation *data* is not) and stash their results in
+// ctx.prepared.
+struct KernelEntry {
+  KernelFn invoke;
+  KernelFn prepare;  // empty for kernels with no one-time work
+
+  KernelEntry() = default;
+  KernelEntry(KernelFn invoke_fn)  // NOLINT: implicit for plain kernels
+      : invoke(std::move(invoke_fn)) {}
+  // Raw-pointer overload so `map[key] = some_kernel;` keeps working (a free
+  // function would otherwise need two user-defined conversions).
+  KernelEntry(void (*invoke_fn)(const KernelContext&))  // NOLINT: implicit
+      : invoke(invoke_fn) {}
+  KernelEntry(KernelFn invoke_fn, KernelFn prepare_fn)
+      : invoke(std::move(invoke_fn)), prepare(std::move(prepare_fn)) {}
+};
 
 }  // namespace mlexray

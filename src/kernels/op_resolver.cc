@@ -12,7 +12,7 @@ bool OpResolver::is_quantized_node(const Node& node) {
   return node.output_dtype == DType::kI8;
 }
 
-const KernelFn& OpResolver::find(const Node& node) const {
+const KernelEntry& OpResolver::find(const Node& node) const {
   KernelKey key{node.type, is_quantized_node(node)};
   auto it = map_.find(key);
   MLX_CHECK(it != map_.end())

@@ -38,8 +38,9 @@ class OpResolver {
   virtual ~OpResolver() = default;
   virtual std::string name() const = 0;
 
-  // Resolves the kernel for a node; throws MlxError if unsupported.
-  const KernelFn& find(const Node& node) const;
+  // Resolves the kernel entry (invoke + optional prepare hook) for a node;
+  // throws MlxError if unsupported.
+  const KernelEntry& find(const Node& node) const;
 
   // True if the node executes in the integer path.
   static bool is_quantized_node(const Node& node);

@@ -81,6 +81,143 @@ void im2col(const KernelContext& ctx, const ConvShape& s, const Shape& is,
 }
 
 // ---------------------------------------------------------------------------
+// Prepare hooks: plan-time weight prepacking + requantization tables.
+//
+// Conv/FC weights are constants, so the GEMM B-panel layouts (and, for int8,
+// the Q31 requantization tables and clamp range) are built exactly once at
+// plan construction into plan-owned PreparedStorage. Steady-state invoke
+// then performs no packing and no table rebuilding at all. When a kernel
+// runs without a plan (ctx.prepared == nullptr, e.g. the trainer's forward
+// pass) the invoke hooks below fall back to the per-call paths.
+// ---------------------------------------------------------------------------
+
+// Prepared-storage roots (POD).
+struct PreparedGemmF32 {
+  PackedBF32 packed;
+};
+
+struct PreparedRequant {
+  const std::int32_t* multipliers = nullptr;
+  const int* shifts = nullptr;
+  std::int32_t act_min = -128;
+  std::int32_t act_max = 127;
+};
+
+struct PreparedGemmI8 {
+  PackedBI8 packed;
+  PreparedRequant rq;
+};
+
+// Packs a weight matrix [n x k] (k-contiguous rows, the layout both conv
+// OHWI filters and FC [out, in] weights already have) into f32 panels.
+PackedBF32 pack_weights_f32(PreparedStorage& storage, std::int64_t n,
+                            std::int64_t k, const float* w) {
+  PackedBF32 packed;
+  packed.panel_count = n / kGemmNrF32;
+  if (packed.panel_count > 0) {
+    float* panels = storage.allocate_array<float>(
+        static_cast<std::size_t>(packed_b_f32_floats(n, k)));
+    pack_b_f32(n, k, w, k, panels);
+    packed.panels = panels;
+  }
+  return packed;
+}
+
+PackedBI8 pack_weights_i8(PreparedStorage& storage, std::int64_t n,
+                          std::int64_t k, const std::int8_t* w) {
+  PackedBI8 packed;
+  packed.panel_count = n / kGemmNrI8;
+  std::int8_t* panels =
+      packed.panel_count > 0
+          ? storage.allocate_array<std::int8_t>(
+                static_cast<std::size_t>(packed_b_i8_bytes(n, k)))
+          : nullptr;
+  auto* col_sums =
+      storage.allocate_array<std::int32_t>(static_cast<std::size_t>(n));
+  pack_b_i8(n, k, w, k, panels, col_sums);
+  packed.panels = panels;
+  packed.col_sums = col_sums;
+  return packed;
+}
+
+// Per-output-channel Q31 multiplier/shift tables plus the fused activation
+// clamp range — everything the int8 GEMM epilogue needs, fixed at Prepare.
+PreparedRequant prepare_requant_tables(PreparedStorage& storage,
+                                       const Node& node,
+                                       const QuantParams& in_q,
+                                       const QuantParams& w_q,
+                                       const QuantParams& out_q,
+                                       std::int64_t out_channels) {
+  auto* multipliers = storage.allocate_array<std::int32_t>(
+      static_cast<std::size_t>(out_channels));
+  auto* shifts =
+      storage.allocate_array<int>(static_cast<std::size_t>(out_channels));
+  fill_requant_tables(in_q, w_q, out_q, out_channels, multipliers, shifts);
+  QuantActivationRange range = quant_activation_range(
+      node.attrs.activation, out_q.scale(), out_q.zero_point());
+  return {multipliers, shifts, range.min, range.max};
+}
+
+void conv2d_f32_prepare(const KernelContext& ctx) {
+  const Tensor& filter = ctx.node->weights[0];
+  const Shape& fs = filter.shape();
+  const std::int64_t patch = fs.dim(1) * fs.dim(2) * fs.dim(3);
+  auto* root = ctx.prepared->allocate_array<PreparedGemmF32>(1);
+  root->packed =
+      pack_weights_f32(*ctx.prepared, fs.dim(0), patch, filter.data<float>());
+  ctx.prepared->set_root(root);
+}
+
+void fc_f32_prepare(const KernelContext& ctx) {
+  const Tensor& weight = ctx.node->weights[0];
+  auto* root = ctx.prepared->allocate_array<PreparedGemmF32>(1);
+  root->packed = pack_weights_f32(*ctx.prepared, weight.shape().dim(0),
+                                  weight.shape().dim(1),
+                                  weight.data<float>());
+  ctx.prepared->set_root(root);
+}
+
+void conv2d_i8_prepare(const KernelContext& ctx) {
+  const Node& node = *ctx.node;
+  const Tensor& filter = node.weights[0];
+  const Shape& fs = filter.shape();
+  const std::int64_t out_ch = fs.dim(0);
+  const std::int64_t patch = fs.dim(1) * fs.dim(2) * fs.dim(3);
+  auto* root = ctx.prepared->allocate_array<PreparedGemmI8>(1);
+  root->packed = pack_weights_i8(*ctx.prepared, out_ch, patch,
+                                 filter.data<std::int8_t>());
+  root->rq = prepare_requant_tables(*ctx.prepared, node,
+                                    ctx.input(0).quant(), filter.quant(),
+                                    ctx.output->quant(), out_ch);
+  ctx.prepared->set_root(root);
+}
+
+void fc_i8_prepare(const KernelContext& ctx) {
+  const Node& node = *ctx.node;
+  const Tensor& weight = node.weights[0];
+  const std::int64_t out_dim = weight.shape().dim(0);
+  auto* root = ctx.prepared->allocate_array<PreparedGemmI8>(1);
+  root->packed = pack_weights_i8(*ctx.prepared, out_dim,
+                                 weight.shape().dim(1),
+                                 weight.data<std::int8_t>());
+  root->rq = prepare_requant_tables(*ctx.prepared, node,
+                                    ctx.input(0).quant(), weight.quant(),
+                                    ctx.output->quant(), out_dim);
+  ctx.prepared->set_root(root);
+}
+
+// Depthwise conv has no GEMM, but its requant tables are constant too.
+void dwconv2d_i8_prepare(const KernelContext& ctx) {
+  const Node& node = *ctx.node;
+  const Tensor& filter = node.weights[0];
+  auto* root = ctx.prepared->allocate_array<PreparedRequant>(1);
+  *root = prepare_requant_tables(*ctx.prepared, node, ctx.input(0).quant(),
+                                 filter.quant(), ctx.output->quant(),
+                                 filter.shape().dim(3));
+  ctx.prepared->set_root(root);
+}
+
+// ---------------------------------------------------------------------------
 // Float optimized kernels.
 // ---------------------------------------------------------------------------
 
@@ -103,8 +240,11 @@ void conv2d_f32_opt(const KernelContext& ctx) {
   for (std::int64_t n = 0; n < batch; ++n) {
     im2col(ctx, s, is, os, x, n, col + n * rows * s.patch, 0.0f);
   }
+  const PreparedGemmF32* prep =
+      ctx.prepared != nullptr ? ctx.prepared->root<PreparedGemmF32>() : nullptr;
   gemm_f32_nt(batch * rows, s.out_ch, s.patch, col, s.patch, w, s.patch, bias,
-              node.attrs.activation, y, s.out_ch, ctx.pool, ctx.arena);
+              node.attrs.activation, y, s.out_ch, ctx.pool, ctx.arena,
+              prep != nullptr ? &prep->packed : nullptr);
 }
 
 // Depthwise conv: the output row doubles as the accumulator (bias written
@@ -164,9 +304,12 @@ void fc_f32_opt(const KernelContext& ctx) {
   const std::int64_t batch = in.shape().dim(0);
   const std::int64_t in_dim = weight.shape().dim(1);
   const std::int64_t out_dim = weight.shape().dim(0);
+  const PreparedGemmF32* prep =
+      ctx.prepared != nullptr ? ctx.prepared->root<PreparedGemmF32>() : nullptr;
   gemm_f32_nt(batch, out_dim, in_dim, in.data<float>(), in_dim,
               weight.data<float>(), in_dim, bias, node.attrs.activation,
-              ctx.output->data<float>(), out_dim, ctx.pool, ctx.arena);
+              ctx.output->data<float>(), out_dim, ctx.pool, ctx.arena,
+              prep != nullptr ? &prep->packed : nullptr);
 }
 
 // Pad with whole-row memcpy (contrast with the reference element loop).
@@ -212,18 +355,27 @@ void conv2d_i8_opt(const KernelContext& ctx) {
   const ConvShape s = conv_shape(node, is, filter.shape(), os);
   const auto in_zp = static_cast<std::int8_t>(in.quant().zero_point());
   const std::int32_t out_zp = out.quant().zero_point();
-  RequantView rq = prepare_requant_scratch(ctx, in.quant(), filter.quant(),
-                                           out.quant(), s.out_ch);
-  QuantActivationRange range = quant_activation_range(
-      node.attrs.activation, out.quant().scale(), out_zp);
+  const PreparedGemmI8* prep =
+      ctx.prepared != nullptr ? ctx.prepared->root<PreparedGemmI8>() : nullptr;
   GemmQuant q;
   q.a_zero_point = in.quant().zero_point();
   q.bias = bias.data<std::int32_t>();
-  q.multipliers = rq.multipliers;
-  q.shifts = rq.shifts;
   q.out_zero_point = out_zp;
-  q.act_min = range.min;
-  q.act_max = range.max;
+  if (prep != nullptr) {
+    q.multipliers = prep->rq.multipliers;
+    q.shifts = prep->rq.shifts;
+    q.act_min = prep->rq.act_min;
+    q.act_max = prep->rq.act_max;
+  } else {
+    RequantView rq = prepare_requant_scratch(ctx, in.quant(), filter.quant(),
+                                             out.quant(), s.out_ch);
+    QuantActivationRange range = quant_activation_range(
+        node.attrs.activation, out.quant().scale(), out_zp);
+    q.multipliers = rq.multipliers;
+    q.shifts = rq.shifts;
+    q.act_min = range.min;
+    q.act_max = range.max;
+  }
   const std::int8_t* x = in.data<std::int8_t>();
   const std::int8_t* w = filter.data<std::int8_t>();
   std::int8_t* y = out.data<std::int8_t>();
@@ -236,7 +388,7 @@ void conv2d_i8_opt(const KernelContext& ctx) {
     im2col(ctx, s, is, os, x, n, col + n * rows * s.patch, in_zp);
   }
   gemm_i8_nt(batch * rows, s.out_ch, s.patch, col, s.patch, w, s.patch, q, y,
-             s.out_ch, ctx.pool);
+             s.out_ch, ctx.pool, prep != nullptr ? &prep->packed : nullptr);
 }
 
 // emulate_bug == true re-creates the production defect the paper's Fig 6
@@ -259,10 +411,20 @@ void dwconv2d_i8_opt(const KernelContext& ctx) {
   const std::int64_t ch = s.in_ch;
   const std::int32_t in_zp = in.quant().zero_point();
   const std::int32_t out_zp = out.quant().zero_point();
-  RequantView rq = prepare_requant_scratch(ctx, in.quant(), filter.quant(),
-                                           out.quant(), ch);
-  QuantActivationRange range = quant_activation_range(
-      node.attrs.activation, out.quant().scale(), out_zp);
+  PreparedRequant rq;
+  if (const PreparedRequant* prep =
+          ctx.prepared != nullptr ? ctx.prepared->root<PreparedRequant>()
+                                  : nullptr) {
+    rq = *prep;
+  } else {
+    RequantView view = prepare_requant_scratch(ctx, in.quant(),
+                                               filter.quant(), out.quant(),
+                                               ch);
+    QuantActivationRange range = quant_activation_range(
+        node.attrs.activation, out.quant().scale(), out_zp);
+    rq = {view.multipliers, view.shifts, range.min, range.max};
+  }
+  QuantActivationRange range{rq.act_min, rq.act_max};
   const std::int8_t* x = in.data<std::int8_t>();
   const std::int8_t* w = filter.data<std::int8_t>();
   const std::int32_t* b = bias.data<std::int32_t>();
@@ -338,21 +500,30 @@ void fc_i8_opt(const KernelContext& ctx) {
   const std::int64_t batch = in.shape().dim(0);
   const std::int64_t in_dim = weight.shape().dim(1);
   const std::int64_t out_dim = weight.shape().dim(0);
-  RequantView rq = prepare_requant_scratch(ctx, in.quant(), weight.quant(),
-                                           out.quant(), out_dim);
-  QuantActivationRange range = quant_activation_range(
-      node.attrs.activation, out.quant().scale(), out.quant().zero_point());
+  const PreparedGemmI8* prep =
+      ctx.prepared != nullptr ? ctx.prepared->root<PreparedGemmI8>() : nullptr;
   GemmQuant q;
   q.a_zero_point = in.quant().zero_point();
   q.bias = bias.data<std::int32_t>();
-  q.multipliers = rq.multipliers;
-  q.shifts = rq.shifts;
   q.out_zero_point = out.quant().zero_point();
-  q.act_min = range.min;
-  q.act_max = range.max;
+  if (prep != nullptr) {
+    q.multipliers = prep->rq.multipliers;
+    q.shifts = prep->rq.shifts;
+    q.act_min = prep->rq.act_min;
+    q.act_max = prep->rq.act_max;
+  } else {
+    RequantView rq = prepare_requant_scratch(ctx, in.quant(), weight.quant(),
+                                             out.quant(), out_dim);
+    QuantActivationRange range = quant_activation_range(
+        node.attrs.activation, out.quant().scale(), out.quant().zero_point());
+    q.multipliers = rq.multipliers;
+    q.shifts = rq.shifts;
+    q.act_min = range.min;
+    q.act_max = range.max;
+  }
   gemm_i8_nt(batch, out_dim, in_dim, in.data<std::int8_t>(), in_dim,
              weight.data<std::int8_t>(), in_dim, q, out.data<std::int8_t>(),
-             out_dim, ctx.pool);
+             out_dim, ctx.pool, prep != nullptr ? &prep->packed : nullptr);
 }
 
 // Integer-only average pool (sum + rounded integer division); assumes the
@@ -405,18 +576,19 @@ void avgpool_i8_opt(const KernelContext& ctx) {
 }  // namespace
 
 void register_opt_float_kernels(KernelMap& map) {
-  map[{OpType::kConv2D, false}] = conv2d_f32_opt;
+  map[{OpType::kConv2D, false}] = {conv2d_f32_opt, conv2d_f32_prepare};
   map[{OpType::kDepthwiseConv2D, false}] = dwconv2d_f32_opt;
-  map[{OpType::kFullyConnected, false}] = fc_f32_opt;
+  map[{OpType::kFullyConnected, false}] = {fc_f32_opt, fc_f32_prepare};
   map[{OpType::kPad, false}] = pad_fast<float>;
 }
 
 void register_opt_quant_kernels(KernelMap& map, bool emulate_dwconv_bug) {
-  map[{OpType::kConv2D, true}] = conv2d_i8_opt;
-  map[{OpType::kDepthwiseConv2D, true}] =
+  map[{OpType::kConv2D, true}] = {conv2d_i8_opt, conv2d_i8_prepare};
+  map[{OpType::kDepthwiseConv2D, true}] = {
       emulate_dwconv_bug ? KernelFn(dwconv2d_i8_opt<true>)
-                         : KernelFn(dwconv2d_i8_opt<false>);
-  map[{OpType::kFullyConnected, true}] = fc_i8_opt;
+                         : KernelFn(dwconv2d_i8_opt<false>),
+      dwconv2d_i8_prepare};
+  map[{OpType::kFullyConnected, true}] = {fc_i8_opt, fc_i8_prepare};
   map[{OpType::kAvgPool2D, true}] = avgpool_i8_opt;
   map[{OpType::kPad, true}] = pad_fast<std::int8_t>;
 }

@@ -17,7 +17,7 @@ struct KernelKey {
   auto operator<=>(const KernelKey&) const = default;
 };
 
-using KernelMap = std::map<KernelKey, KernelFn>;
+using KernelMap = std::map<KernelKey, KernelEntry>;
 
 // Registers the shared kernels into `map` (float and int8 variants).
 void register_shared_kernels(KernelMap& map);

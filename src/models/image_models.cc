@@ -273,12 +273,12 @@ ZooModel build_densenet121_mini(std::uint64_t seed, int batch) {
 
 const std::vector<ZooEntry>& image_zoo() {
   static const std::vector<ZooEntry> kZoo = {
-      {"mobilenet_v1_mini", [](std::uint64_t s) { return build_mobilenet_v1_mini(s); }},
-      {"mobilenet_v2_mini", [](std::uint64_t s) { return build_mobilenet_v2_mini(s); }},
-      {"mobilenet_v3_mini", [](std::uint64_t s) { return build_mobilenet_v3_mini(s); }},
-      {"resnet50v2_mini", [](std::uint64_t s) { return build_resnet50v2_mini(s); }},
-      {"inception_mini", [](std::uint64_t s) { return build_inception_mini(s); }},
-      {"densenet121_mini", [](std::uint64_t s) { return build_densenet121_mini(s); }},
+      {"mobilenet_v1_mini", [](std::uint64_t s, int b) { return build_mobilenet_v1_mini(s, b); }},
+      {"mobilenet_v2_mini", [](std::uint64_t s, int b) { return build_mobilenet_v2_mini(s, b); }},
+      {"mobilenet_v3_mini", [](std::uint64_t s, int b) { return build_mobilenet_v3_mini(s, b); }},
+      {"resnet50v2_mini", [](std::uint64_t s, int b) { return build_resnet50v2_mini(s, b); }},
+      {"inception_mini", [](std::uint64_t s, int b) { return build_inception_mini(s, b); }},
+      {"densenet121_mini", [](std::uint64_t s, int b) { return build_densenet121_mini(s, b); }},
   };
   return kZoo;
 }

@@ -44,10 +44,12 @@ ZooModel build_mobilebert_mini(std::uint64_t seed, int vocab_size, int max_len,
                                int batch = 1);
 
 // Registry of the image-classification zoo in the layer-count order the
-// paper's Tables 3/5 use.
+// paper's Tables 3/5 use. Builders take (seed, batch): batch == 1 is the
+// deployment graph, batch > 1 the batched-inference variant the end-to-end
+// benchmarks exercise (conv runs all batch images through one GEMM).
 struct ZooEntry {
   std::string name;
-  std::function<ZooModel(std::uint64_t)> build;
+  std::function<ZooModel(std::uint64_t seed, int batch)> build;
 };
 const std::vector<ZooEntry>& image_zoo();
 

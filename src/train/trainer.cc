@@ -113,7 +113,9 @@ void Trainer::forward(const std::vector<Tensor>& inputs) {
     arena_.reset();
     ctx.arena = &arena_;
     for (int in : n.inputs) ctx.inputs.push_back(&acts_[static_cast<std::size_t>(in)]);
-    resolver_.find(n)(ctx);
+    // No plan here, so ctx.prepared stays null: kernels take their per-call
+    // fallback paths (arena repacking, scratch requant tables).
+    resolver_.find(n).invoke(ctx);
   }
 }
 

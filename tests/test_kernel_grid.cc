@@ -25,6 +25,8 @@
 
 #include "src/graph/builder.h"
 #include "src/interpreter/interpreter.h"
+#include "src/kernels/fixed_point.h"
+#include "src/kernels/gemm.h"
 #include "src/quant/quantizer.h"
 #include "src/tensor/alloc_stats.h"
 #include "src/tensor/tensor_stats.h"
@@ -210,11 +212,137 @@ TEST_P(KernelGrid, OptMatchesRef) {
 INSTANTIATE_TEST_SUITE_P(PaddingStrideActDtype, KernelGrid,
                          ::testing::ValuesIn(make_grid()));
 
+// --- prepacked GEMM vs per-call paths ----------------------------------------
+
+// Shapes exercise full panels plus a column edge: n = 20 is two f32 panels
+// (8) + 4 edge columns, five int8 panels + 0; k = 37 exercises the SIMD
+// k-tail of the int8 microkernel.
+struct GemmData {
+  std::int64_t m, n, k;
+  std::vector<float> a, b, bias;
+  std::vector<std::int8_t> a8, b8;
+  std::vector<std::int32_t> bias32, multipliers;
+  std::vector<int> shifts;
+  GemmQuant quant;
+
+  GemmData(std::int64_t m_in, std::int64_t n_in, std::int64_t k_in,
+           std::uint64_t seed)
+      : m(m_in), n(n_in), k(k_in) {
+    Pcg32 rng(seed);
+    a.resize(static_cast<std::size_t>(m * k));
+    b.resize(static_cast<std::size_t>(n * k));
+    bias.resize(static_cast<std::size_t>(n));
+    for (float& v : a) v = rng.uniform(-1, 1);
+    for (float& v : b) v = rng.uniform(-1, 1);
+    for (float& v : bias) v = rng.uniform(-1, 1);
+    a8.resize(a.size());
+    b8.resize(b.size());
+    for (auto& v : a8) {
+      v = static_cast<std::int8_t>(static_cast<int>(rng.next_below(255)) - 127);
+    }
+    for (auto& v : b8) {
+      v = static_cast<std::int8_t>(static_cast<int>(rng.next_below(255)) - 127);
+    }
+    bias32.resize(static_cast<std::size_t>(n));
+    multipliers.resize(static_cast<std::size_t>(n));
+    shifts.resize(static_cast<std::size_t>(n));
+    for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j) {
+      bias32[j] = static_cast<std::int32_t>(rng.next_below(200)) - 100;
+      quantize_multiplier(0.004 + 0.0001 * static_cast<double>(j),
+                          &multipliers[j], &shifts[j]);
+    }
+    quant.a_zero_point = 5;
+    quant.bias = bias32.data();
+    quant.multipliers = multipliers.data();
+    quant.shifts = shifts.data();
+    quant.out_zero_point = -3;
+  }
+
+  std::vector<float> run_f32(bool prepacked) const {
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+    if (prepacked) {
+      std::vector<float> panels(
+          static_cast<std::size_t>(packed_b_f32_floats(n, k)));
+      pack_b_f32(n, k, b.data(), k, panels.data());
+      PackedBF32 packed{panels.data(), n / kGemmNrF32};
+      gemm_f32_nt(m, n, k, a.data(), k, b.data(), k, bias.data(),
+                  Activation::kNone, c.data(), n, nullptr, nullptr, &packed);
+    } else {
+      ScratchArena arena;
+      gemm_f32_nt(m, n, k, a.data(), k, b.data(), k, bias.data(),
+                  Activation::kNone, c.data(), n, nullptr, &arena);
+    }
+    return c;
+  }
+
+  std::vector<std::int8_t> run_i8(bool prepacked) const {
+    std::vector<std::int8_t> c(static_cast<std::size_t>(m * n));
+    if (prepacked) {
+      std::vector<std::int8_t> panels(
+          static_cast<std::size_t>(packed_b_i8_bytes(n, k)));
+      std::vector<std::int32_t> col_sums(static_cast<std::size_t>(n));
+      pack_b_i8(n, k, b8.data(), k, panels.data(), col_sums.data());
+      PackedBI8 packed{panels.data(), col_sums.data(), n / kGemmNrI8};
+      gemm_i8_nt(m, n, k, a8.data(), k, b8.data(), k, quant, c.data(), n,
+                 nullptr, &packed);
+    } else {
+      gemm_i8_nt(m, n, k, a8.data(), k, b8.data(), k, quant, c.data(), n,
+                 nullptr);
+    }
+    return c;
+  }
+};
+
+std::int64_t max_ulp_diff_span(const std::vector<float>& x,
+                               const std::vector<float>& y) {
+  EXPECT_EQ(x.size(), y.size());
+  std::int64_t worst = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    worst = std::max(worst,
+                     std::abs(float_lex_bits(x[i]) - float_lex_bits(y[i])));
+  }
+  return worst;
+}
+
+// f32: the prepacked view and the per-call arena repack feed the same panel
+// layout through the same tiles, so results are bit-identical.
+TEST(PrepackedGemm, F32PrepackedMatchesRepackBitExact) {
+  GemmData d(16, 20, 37, 901);
+  const std::vector<float> repacked = d.run_f32(/*prepacked=*/false);
+  const std::vector<float> prepacked = d.run_f32(/*prepacked=*/true);
+  ASSERT_EQ(repacked.size(), prepacked.size());
+  EXPECT_EQ(std::memcmp(repacked.data(), prepacked.data(),
+                        repacked.size() * sizeof(float)),
+            0);
+}
+
+// int8: the SIMD dot-product microkernel with epilogue zero-point correction
+// must reproduce the scalar per-element-corrected path exactly (integer
+// accumulation is order-free and exact).
+TEST(PrepackedGemm, I8PrepackedMatchesScalarExact) {
+  for (auto [m, n, k] : {std::array<std::int64_t, 3>{16, 20, 37},
+                         std::array<std::int64_t, 3>{7, 9, 64},
+                         std::array<std::int64_t, 3>{5, 4, 3}}) {
+    GemmData d(m, n, k, 700 + static_cast<std::uint64_t>(m));
+    EXPECT_EQ(d.run_i8(false), d.run_i8(true)) << m << "x" << n << "x" << k;
+  }
+}
+
+// m == 1 (batch-1 fully-connected matvec): the prepacked path now routes
+// through the packed tiles where the per-call path uses the scalar-chain
+// matvec kernel — same bias-first k-ascending order per output, so only
+// FMA-contraction rounding may differ. int8 stays exact.
+TEST(PrepackedGemm, MatvecM1EdgeCase) {
+  GemmData d(1, 24, 129, 903);
+  EXPECT_LE(max_ulp_diff_span(d.run_f32(false), d.run_f32(true)), 4);
+  EXPECT_EQ(d.run_i8(false), d.run_i8(true));
+}
+
 // --- steady-state allocation behaviour --------------------------------------
 
-Model conv_stack_model(Pcg32* rng) {
+Model conv_stack_model(Pcg32* rng, int batch = 1) {
   GraphBuilder b("stack", rng);
-  int x = b.input(Shape{1, 16, 16, 8});
+  int x = b.input(Shape{batch, 16, 16, 8});
   int p = b.pad(x, 1, 1, 1, 1, "pad");
   int c1 = b.conv2d(p, 16, 3, 3, 1, Padding::kValid, Activation::kRelu, "c1");
   int d = b.depthwise_conv2d(c1, 3, 3, 2, Padding::kSame, Activation::kRelu6,
@@ -229,22 +357,37 @@ TEST(SteadyStateAlloc, InvokeIsHeapFreeAfterWarmup) {
   Model m = conv_stack_model(&rng);
   BuiltinOpResolver opt;
   Interpreter interp(&m, &opt, /*num_threads=*/2);
+  // Prepare packed the conv/fc weights into plan-owned storage, so even the
+  // first invoke performs no per-call f32 B repacking.
+  EXPECT_GT(interp.plan().prepared_bytes(), 0u);
+  EXPECT_EQ(interp.last_stats().prepared_bytes,
+            interp.plan().prepared_bytes());
+  const std::uint64_t packs_at_start = gemm_b_pack_events();
   Pcg32 drng(32);
   Tensor input = random_input(Shape{1, 16, 16, 8}, drng);
   interp.set_input(0, input);
   // First invoke may grow the scratch arena.
   interp.invoke();
   EXPECT_GT(interp.scratch_arena().capacity_bytes(), 0u);
+  EXPECT_EQ(gemm_b_pack_events(), packs_at_start)
+      << "prepacked conv/fc still repacked B on the first invoke";
 
   const std::uint64_t events_before = AllocStats::instance().alloc_events();
   const std::size_t bytes_before = AllocStats::instance().current_bytes();
   const std::uint64_t heap_before = g_heap_allocs.load();
+  const std::size_t high_water_before =
+      interp.scratch_arena().high_water_bytes();
   for (int i = 0; i < 5; ++i) interp.invoke();
   EXPECT_EQ(AllocStats::instance().alloc_events(), events_before)
       << "steady-state invoke() registered new tensor/arena allocations";
   EXPECT_EQ(AllocStats::instance().current_bytes(), bytes_before);
   EXPECT_EQ(g_heap_allocs.load(), heap_before)
       << "steady-state invoke() touched the heap (operator new)";
+  EXPECT_EQ(gemm_b_pack_events(), packs_at_start)
+      << "steady-state invoke() performed per-call B packing";
+  EXPECT_EQ(interp.scratch_arena().high_water_bytes(), high_water_before)
+      << "steady-state invoke() grew the scratch high-water mark";
+  EXPECT_EQ(interp.last_stats().arena_high_water_bytes, high_water_before);
 }
 
 TEST(SteadyStateAlloc, QuantizedInvokeIsHeapFreeAfterWarmup) {
@@ -258,6 +401,8 @@ TEST(SteadyStateAlloc, QuantizedInvokeIsHeapFreeAfterWarmup) {
   Model qm = quantize_model(m, calib);
   BuiltinOpResolver opt;
   Interpreter interp(&qm, &opt, /*num_threads=*/2);
+  // int8 prepare packs weight panels + column sums + requant tables.
+  EXPECT_GT(interp.last_stats().prepared_bytes, 0u);
   Pcg32 drng(43);
   Tensor input = random_input(Shape{1, 16, 16, 8}, drng);
   interp.set_input(0, input);
@@ -265,9 +410,100 @@ TEST(SteadyStateAlloc, QuantizedInvokeIsHeapFreeAfterWarmup) {
 
   const std::uint64_t events_before = AllocStats::instance().alloc_events();
   const std::uint64_t heap_before = g_heap_allocs.load();
+  const std::size_t high_water_before =
+      interp.scratch_arena().high_water_bytes();
   for (int i = 0; i < 5; ++i) interp.invoke();
   EXPECT_EQ(AllocStats::instance().alloc_events(), events_before);
   EXPECT_EQ(g_heap_allocs.load(), heap_before);
+  EXPECT_EQ(interp.scratch_arena().high_water_bytes(), high_water_before);
+}
+
+// --- batched inference -------------------------------------------------------
+
+// The batch dimension rides through conv's single-GEMM-over-batch path and
+// the FC row partitioning; single-op parity with the reference kernels must
+// hold at batch > 1 exactly as the grid asserts at batch 1. (Multi-layer
+// stacks compound FMA-contraction rounding and are covered by the
+// batch-vs-single-item test below instead.)
+TEST(BatchedInference, OptMatchesRefAtBatch4) {
+  for (OpType op : {OpType::kConv2D, OpType::kFullyConnected}) {
+    Pcg32 rng(61);
+    GraphBuilder b("batched", &rng);
+    int x = b.input(Shape{4, 9, 9, 6});
+    int y = op == OpType::kConv2D
+                ? b.conv2d(x, 8, 3, 3, 1, Padding::kSame, Activation::kRelu,
+                           "op")
+                : b.fully_connected(x, 10, Activation::kNone, "op");
+    Model m = b.finish({y});
+    RefOpResolver ref;
+    BuiltinOpResolver opt;
+    Interpreter ri(&m, &ref);
+    Interpreter oi(&m, &opt, /*num_threads=*/2);
+    Pcg32 drng(62);
+    Tensor input = random_input(Shape{4, 9, 9, 6}, drng);
+    ri.set_input(0, input);
+    oi.set_input(0, input);
+    ri.invoke();
+    oi.invoke();
+    EXPECT_LE(max_ulp_diff(ri.output(0), oi.output(0)), 4)
+        << op_type_name(op);
+  }
+}
+
+// A batch-4 invoke must reproduce four batch-1 invokes of the same weights
+// bit-exactly: per-output accumulation order does not depend on m, only the
+// row partitioning does.
+TEST(BatchedInference, BatchMatchesSingleItemInvokes) {
+  Pcg32 rng4(81), rng1(81);  // same seed -> identical weights
+  Model m4 = conv_stack_model(&rng4, /*batch=*/4);
+  Model m1 = conv_stack_model(&rng1, /*batch=*/1);
+  BuiltinOpResolver opt;
+  Interpreter batched(&m4, &opt, /*num_threads=*/2);
+  Interpreter single(&m1, &opt, /*num_threads=*/2);
+  Pcg32 drng(82);
+  Tensor input = random_input(Shape{4, 16, 16, 8}, drng);
+  batched.set_input(0, input);
+  batched.invoke();
+  const Tensor& out4 = batched.output(0);
+  const std::int64_t per_item_in = input.num_elements() / 4;
+  const std::int64_t per_item_out = out4.num_elements() / 4;
+  for (int item = 0; item < 4; ++item) {
+    Tensor one = Tensor::f32(Shape{1, 16, 16, 8});
+    std::memcpy(one.data<float>(),
+                input.data<float>() + item * per_item_in,
+                static_cast<std::size_t>(per_item_in) * sizeof(float));
+    single.set_input(0, one);
+    single.invoke();
+    EXPECT_EQ(std::memcmp(single.output(0).data<float>(),
+                          out4.data<float>() + item * per_item_out,
+                          static_cast<std::size_t>(per_item_out) *
+                              sizeof(float)),
+              0)
+        << "batch item " << item << " differs from its single-item invoke";
+  }
+}
+
+TEST(BatchedInference, QuantizedOptMatchesRefAtBatch4) {
+  Pcg32 rng(71);
+  Model m = conv_stack_model(&rng, /*batch=*/4);
+  Calibrator calib(&m);
+  Pcg32 crng(72);
+  for (int i = 0; i < 4; ++i) {
+    calib.observe({random_input(Shape{4, 16, 16, 8}, crng)});
+  }
+  Model qm = quantize_model(m, calib);
+  RefOpResolver ref;
+  BuiltinOpResolver opt;
+  Interpreter ri(&qm, &ref);
+  Interpreter oi(&qm, &opt, /*num_threads=*/2);
+  Pcg32 drng(73);
+  Tensor input = random_input(Shape{4, 16, 16, 8}, drng);
+  ri.set_input(0, input);
+  oi.set_input(0, input);
+  ri.invoke();
+  oi.invoke();
+  EXPECT_LE(linf_error(ri.output(0), oi.output(0)),
+            1.001f * output_quantum(qm));
 }
 
 TEST(ScratchArenaTest, AllocationsAreAbsoluteAligned) {

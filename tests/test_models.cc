@@ -21,7 +21,7 @@ TEST_P(ZooStructure, BuildConvertQuantizeRun) {
     if (e.name == GetParam()) entry = &e;
   }
   ASSERT_NE(entry, nullptr);
-  ZooModel zm = entry->build(3);
+  ZooModel zm = entry->build(3, 1);
   zm.model.validate();
   EXPECT_GT(zm.model.layer_count(), 10);
   EXPECT_GT(zm.model.num_params(), 1000);
@@ -70,7 +70,7 @@ TEST(Zoo, LayerCountsIncreaseAcrossTableOrder) {
   // relative ordering (v1 < v2 < v3-with-SE; densenet deepest).
   std::vector<int> layers;
   for (const ZooEntry& e : image_zoo()) {
-    layers.push_back(e.build(3).model.layer_count());
+    layers.push_back(e.build(3, 1).model.layer_count());
   }
   EXPECT_LT(layers[0], layers[1]);  // v1 < v2
   EXPECT_LT(layers[1], layers[2]);  // v2 < v3

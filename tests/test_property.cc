@@ -122,7 +122,7 @@ class ZooSerialization : public ::testing::TestWithParam<int> {};
 
 TEST_P(ZooSerialization, OutputsIdenticalAfterRoundTrip) {
   const ZooEntry& entry = image_zoo()[static_cast<std::size_t>(GetParam())];
-  ZooModel zm = entry.build(5);
+  ZooModel zm = entry.build(5, 1);
   auto bytes = serialize_model(zm.model);
   BinaryReader reader(bytes);
   Model back = deserialize_model(reader);
@@ -146,7 +146,7 @@ class ZooConverter : public ::testing::TestWithParam<int> {};
 
 TEST_P(ZooConverter, ConvertedMatchesCheckpoint) {
   const ZooEntry& entry = image_zoo()[static_cast<std::size_t>(GetParam())];
-  ZooModel zm = entry.build(8);
+  ZooModel zm = entry.build(8, 1);
   // Randomize BN statistics so folding is non-trivial.
   Pcg32 wrng(44);
   for (Node& n : zm.model.nodes) {
@@ -181,7 +181,7 @@ class ZooQuantization : public ::testing::TestWithParam<int> {};
 
 TEST_P(ZooQuantization, QuantizedTracksFloatOnCorrectKernels) {
   const ZooEntry& entry = image_zoo()[static_cast<std::size_t>(GetParam())];
-  ZooModel zm = entry.build(9);
+  ZooModel zm = entry.build(9, 1);
   Model mobile = convert_for_inference(zm.model);
   Calibrator calib(&mobile);
   Pcg32 rng(8);
