@@ -8,8 +8,16 @@
 //   mlexray_cli reference <model> <frames> <out.mlxtrace>
 //   mlexray_cli validate <edge.mlxtrace> <reference.mlxtrace> <model>
 //   mlexray_cli inspect <trace.mlxtrace>
+//   mlexray_cli trace-info <trace.mlxtrace>
+//
+// record streams frames straight to the output file via the monitor's
+// background spooler (the on-device path); trace-info is the workstation
+// side, reading raw-dtype captures back through Tensor::to_f32.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 
 #include "src/core/assertions.h"
 #include "src/core/pipelines.h"
@@ -43,16 +51,21 @@ int cmd_record(const std::string& model_name, const std::string& bug,
   MonitorOptions opts;
   opts.per_layer_outputs = true;
   auto sensors = frames_for(frames);
-  Trace trace =
-      reference
-          ? run_reference_classification(model, sensors, opts)
-          : run_classification_playback(
-                model, resolver, sensors,
-                {model.input_spec, parse_bug(bug)}, opts, model_name + "-edge");
-  save_trace(trace, out);
-  std::printf("wrote %s (%zu frames, %.1f KB)\n", out.c_str(),
-              trace.frames.size(),
-              static_cast<double>(trace.serialized_bytes()) / 1e3);
+  if (reference) {
+    Trace trace = run_reference_classification(model, sensors, opts);
+    save_trace(trace, out);
+    std::printf("wrote %s (%zu frames, %.1f KB)\n", out.c_str(),
+                trace.frames.size(),
+                static_cast<double>(trace.serialized_bytes()) / 1e3);
+    return 0;
+  }
+  // Edge recording spools frames to disk from a background thread as they
+  // are captured — the device never holds the whole trace in memory.
+  run_classification_playback(model, resolver, sensors,
+                              {model.input_spec, parse_bug(bug)}, opts,
+                              model_name + "-edge", /*num_threads=*/1, out);
+  std::printf("spooled %s (%d frames, %.1f KB)\n", out.c_str(), frames,
+              static_cast<double>(std::filesystem::file_size(out)) / 1e3);
   return 0;
 }
 
@@ -95,13 +108,92 @@ int cmd_inspect(const std::string& path) {
   return 0;
 }
 
+// Workstation-side trace digest: frame count, keys, per-layer stats (raw
+// dtype captures dequantized through the offline to_f32 path), and the
+// overhead scalars aggregated across frames.
+int cmd_trace_info(const std::string& path) {
+  Trace trace = load_trace(path);
+  std::printf("pipeline: %s\nframes:   %zu\n", trace.pipeline_name.c_str(),
+              trace.frames.size());
+  if (trace.frames.empty()) return 0;
+
+  // Aggregate over the union of scalar keys: a key may first appear after
+  // frame 0 (e.g. a conditional custom log).
+  struct ScalarAgg {
+    double sum = 0.0;
+    double max_v = -1e300;
+    std::size_t count = 0;
+  };
+  std::map<std::string, ScalarAgg> scalar_aggs;
+  for (const FrameTrace& f : trace.frames) {
+    for (const auto& [key, value] : f.scalars) {
+      ScalarAgg& agg = scalar_aggs[key];
+      agg.sum += value;
+      agg.max_v = std::max(agg.max_v, value);
+      ++agg.count;
+    }
+  }
+  std::printf("\nscalars (aggregated over frames):\n");
+  for (const auto& [key, agg] : scalar_aggs) {
+    std::printf("  %-28s mean %12.4f  max %12.4f  (%zu frames)\n", key.c_str(),
+                agg.sum / static_cast<double>(agg.count), agg.max_v,
+                agg.count);
+  }
+
+  const FrameTrace& f0 = trace.frames[0];
+  std::printf("\ntensor keys (frame 0):\n");
+  for (const auto& [key, tensor] : f0.tensors) {
+    std::printf("  %-20s %s %s\n", key.c_str(),
+                dtype_name(tensor.dtype()).c_str(),
+                tensor.shape().to_string().c_str());
+  }
+
+  if (!f0.layer_names.empty()) {
+    std::printf("\nper-layer (%zu layers, frame 0):\n", f0.layer_names.size());
+    std::printf("  %-24s %-6s %-14s %10s %10s %10s\n", "layer", "dtype",
+                "shape", "mean", "|max|", "lat ms");
+    for (std::size_t i = 0; i < f0.layer_names.size(); ++i) {
+      std::string dtype = "-", shape = "-", mean = "-", absmax = "-";
+      if (i < f0.layer_outputs.size()) {
+        const Tensor& raw = f0.layer_outputs[i];
+        dtype = dtype_name(raw.dtype());
+        shape = raw.shape().to_string();
+        Tensor f32 = raw.to_f32();  // offline dequantization
+        const float* p = f32.data<float>();
+        double sum = 0.0, amax = 0.0;
+        for (std::int64_t k = 0; k < f32.num_elements(); ++k) {
+          sum += p[k];
+          amax = std::max(amax, std::abs(static_cast<double>(p[k])));
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.4f",
+                      sum / static_cast<double>(f32.num_elements()));
+        mean = buf;
+        std::snprintf(buf, sizeof(buf), "%.4f", amax);
+        absmax = buf;
+      }
+      std::string lat = "-";
+      if (i < f0.layer_latency_ms.size()) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.4f", f0.layer_latency_ms[i]);
+        lat = buf;
+      }
+      std::printf("  %-24s %-6s %-14s %10s %10s %10s\n",
+                  f0.layer_names[i].c_str(), dtype.c_str(), shape.c_str(),
+                  mean.c_str(), absmax.c_str(), lat.c_str());
+    }
+  }
+  return 0;
+}
+
 int usage() {
   std::printf(
       "usage:\n"
       "  mlexray_cli record <model> <bug> <frames> <out.mlxtrace>\n"
       "  mlexray_cli reference <model> <frames> <out.mlxtrace>\n"
       "  mlexray_cli validate <edge.mlxtrace> <ref.mlxtrace> <model>\n"
-      "  mlexray_cli inspect <trace.mlxtrace>\n");
+      "  mlexray_cli inspect <trace.mlxtrace>\n"
+      "  mlexray_cli trace-info <trace.mlxtrace>\n");
   return 1;
 }
 
@@ -119,6 +211,9 @@ int dispatch(int argc, char** argv) {
   }
   if (cmd == "inspect" && argc == 3) {
     return cmd_inspect(argv[2]);
+  }
+  if (cmd == "trace-info" && argc == 3) {
+    return cmd_trace_info(argv[2]);
   }
   return usage();
 }

@@ -4,70 +4,88 @@
 
 namespace mlexray {
 
-EdgeMLMonitor::EdgeMLMonitor(MonitorOptions options) : options_(options) {
-  current_.frame_id = next_frame_id_;
+EdgeMLMonitor::EdgeMLMonitor(MonitorOptions options) : buffer_(options) {
+  key_latency_ = buffer_.intern_key(trace_keys::kInferenceLatencyMs);
+  key_peak_memory_ = buffer_.intern_key(trace_keys::kPeakMemoryBytes);
+  key_sensor_latency_ = buffer_.intern_key(trace_keys::kSensorLatencyMs);
+}
+
+// Detach from the currently observed interpreter — but only if it is still
+// *our* buffer attached there: another monitor may have observed the same
+// interpreter since, and clearing its observer would silently stop that
+// monitor's push capture.
+void EdgeMLMonitor::detach() {
+  if (observed_ == nullptr) return;
+  if (observed_->observer() == &buffer_) observed_->set_observer(nullptr);
+  observed_ = nullptr;
+}
+
+EdgeMLMonitor::~EdgeMLMonitor() { detach(); }
+
+void EdgeMLMonitor::observe(Interpreter& interpreter) {
+  if (observed_ == &interpreter) return;
+  detach();
+  buffer_.bind(interpreter);
+  interpreter.set_observer(&buffer_);
+  observed_ = &interpreter;
+}
+
+void EdgeMLMonitor::unobserve(Interpreter& interpreter) {
+  if (observed_ != &interpreter) return;
+  detach();
 }
 
 void EdgeMLMonitor::on_inf_start() { inf_start_ = Clock::now(); }
 
 void EdgeMLMonitor::on_inf_stop(const Interpreter& interpreter) {
-  const double latency_ms =
+  // Legacy pull path for call sites that bracket invoke without observe():
+  // replay the retained node outputs through the push capture storage.
+  if (!buffer_.bound_to(interpreter) || !buffer_.captured_invoke()) {
+    // capture_pull rebinds the buffer's layer layout to `interpreter`; if it
+    // is still attached as another interpreter's observer, that interpreter's
+    // next invoke would trip the layout checks mid-flight. Detach first —
+    // the monitor now follows the interpreter it was handed, as the pull-era
+    // API always did.
+    if (observed_ != nullptr && observed_ != &interpreter) detach();
+    buffer_.capture_pull(interpreter);
+  }
+  // The façade's bracket includes observer capture cost, matching what the
+  // instrumented app experiences; it overwrites the invoke-only total the
+  // buffer recorded.
+  buffer_.set_scalar(
+      key_latency_,
       std::chrono::duration<double, std::milli>(Clock::now() - inf_start_)
-          .count();
-  current_.scalars[trace_keys::kInferenceLatencyMs] = latency_ms;
-  current_.scalars[trace_keys::kPeakMemoryBytes] =
-      static_cast<double>(AllocStats::instance().current_bytes());
-
-  if (options_.log_model_io) {
-    current_.tensors[trace_keys::kModelOutput] = interpreter.output(0).to_f32();
-  }
-  const Model& model = interpreter.model();
-  if (options_.per_layer_outputs || options_.per_layer_latency) {
-    for (const Node& n : model.nodes) {
-      if (n.type == OpType::kInput) continue;
-      if (options_.per_layer_outputs) {
-        current_.layer_names.push_back(n.name);
-        current_.layer_outputs.push_back(interpreter.node_output(n.id).to_f32());
-        if (options_.per_layer_latency) {
-          current_.layer_latency_ms.push_back(
-              interpreter.last_stats().per_node_ms[static_cast<std::size_t>(n.id)]);
-        }
-      } else if (options_.per_layer_latency) {
-        current_.layer_names.push_back(n.name);
-        current_.layer_latency_ms.push_back(
-            interpreter.last_stats().per_node_ms[static_cast<std::size_t>(n.id)]);
-      }
-    }
-  }
+          .count());
+  // High-water mark of all tracked allocations (tensors, arena blocks,
+  // prepared weight panels) — a real peak, not the instantaneous level.
+  buffer_.set_scalar(
+      key_peak_memory_,
+      static_cast<double>(AllocStats::instance().peak_bytes()));
 }
 
 void EdgeMLMonitor::on_sensor_start() { sensor_start_ = Clock::now(); }
 
 void EdgeMLMonitor::on_sensor_stop() {
-  current_.scalars[trace_keys::kSensorLatencyMs] =
+  buffer_.set_scalar(
+      key_sensor_latency_,
       std::chrono::duration<double, std::milli>(Clock::now() - sensor_start_)
-          .count();
+          .count());
 }
 
 void EdgeMLMonitor::log_tensor(const std::string& key, const Tensor& value) {
-  current_.tensors[key] = value;
+  buffer_.log_tensor(buffer_.intern_key(key), value);
 }
 
 void EdgeMLMonitor::log_scalar(const std::string& key, double value) {
-  current_.scalars[key] = value;
+  buffer_.set_scalar(buffer_.intern_key(key), value);
 }
 
-void EdgeMLMonitor::next_frame() {
-  trace_.frames.push_back(std::move(current_));
-  current_ = FrameTrace{};
-  current_.frame_id = ++next_frame_id_;
+void EdgeMLMonitor::next_frame() { buffer_.next_frame(); }
+
+void EdgeMLMonitor::spool_to(const std::filesystem::path& path) {
+  buffer_.open_spool(path);
 }
 
-Trace EdgeMLMonitor::take_trace() {
-  Trace out = std::move(trace_);
-  trace_ = Trace{};
-  trace_.pipeline_name = out.pipeline_name;
-  return out;
-}
+std::size_t EdgeMLMonitor::finish_spool() { return buffer_.close_spool(); }
 
 }  // namespace mlexray

@@ -3,6 +3,7 @@
 // Usage in an app's inference loop (the paper's <5-LoC instrumentation):
 //
 //   EdgeMLMonitor monitor(options);
+//   monitor.observe(interpreter);                      // push-based capture
 //   ...
 //   monitor.log_tensor(trace_keys::kSensorRaw, raw);   // custom logs
 //   monitor.on_inf_start();
@@ -10,27 +11,47 @@
 //   monitor.on_inf_stop(interpreter);                  // default logs
 //   monitor.next_frame();
 //
-// on_inf_stop captures the default telemetry: model output, end-to-end
-// inference latency, per-layer outputs/latencies (if enabled) and the
-// runtime memory footprint. on_sensor_start/stop bracket sensor capture.
+// The monitor is a thin façade over TraceBuffer (src/core/trace_buffer.h):
+// observe() attaches the buffer to the interpreter as an InvokeObserver, so
+// per-layer latencies/outputs and the model output are captured *during*
+// invoke into pre-sized storage — no post-hoc model walk, no steady-state
+// heap allocation. Call sites that skip observe() still work: on_inf_stop
+// detects that no push capture happened and pulls the retained node outputs
+// through the same storage.
+//
+// Lifetime: an observed interpreter and its monitor are linked. Destroy the
+// monitor first (it detaches itself), or detach explicitly with unobserve()
+// if the interpreter dies first — the pipelines in src/core/pipelines.cc do
+// the latter in their destructors.
+//
+// spool_to() streams finalized frames to a .mlxtrace file from a background
+// thread (set_pipeline_name first — the name is written into the file
+// header at open). In spool mode take_trace()/trace() stay empty.
 #pragma once
 
 #include <chrono>
+#include <filesystem>
 
-#include "src/core/trace.h"
+#include "src/core/trace_buffer.h"
 #include "src/interpreter/interpreter.h"
 
 namespace mlexray {
 
-struct MonitorOptions {
-  bool per_layer_outputs = false;  // offline validation mode (Tables 3/5)
-  bool per_layer_latency = true;
-  bool log_model_io = true;
-};
-
 class EdgeMLMonitor {
  public:
   explicit EdgeMLMonitor(MonitorOptions options = {});
+  ~EdgeMLMonitor();
+
+  EdgeMLMonitor(const EdgeMLMonitor&) = delete;
+  EdgeMLMonitor& operator=(const EdgeMLMonitor&) = delete;
+
+  // Attaches this monitor's TraceBuffer to the interpreter as its
+  // InvokeObserver (push-based capture) and pre-sizes capture storage for
+  // its model. Re-attaching to a different interpreter detaches the first.
+  void observe(Interpreter& interpreter);
+  // Detaches if `interpreter` is the one being observed; call before the
+  // interpreter is destroyed if it dies before the monitor.
+  void unobserve(Interpreter& interpreter);
 
   void on_inf_start();
   void on_inf_stop(const Interpreter& interpreter);
@@ -44,18 +65,30 @@ class EdgeMLMonitor {
   // Finalizes the current frame and starts the next one.
   void next_frame();
 
-  const Trace& trace() const { return trace_; }
-  Trace take_trace();
-  void set_pipeline_name(std::string name) { trace_.pipeline_name = std::move(name); }
+  // Background .mlxtrace spooling (see TraceBuffer).
+  void spool_to(const std::filesystem::path& path);
+  std::size_t finish_spool();
+
+  const Trace& trace() const { return buffer_.trace(); }
+  Trace take_trace() { return buffer_.take_trace(); }
+  void set_pipeline_name(std::string name) {
+    buffer_.set_pipeline_name(std::move(name));
+  }
+
+  const TraceBuffer& buffer() const { return buffer_; }
+  TraceBuffer& buffer() { return buffer_; }
 
  private:
   using Clock = std::chrono::steady_clock;
-  MonitorOptions options_;
-  Trace trace_;
-  FrameTrace current_;
+  void detach();
+
+  TraceBuffer buffer_;
+  Interpreter* observed_ = nullptr;
+  std::uint16_t key_latency_ = 0;
+  std::uint16_t key_peak_memory_ = 0;
+  std::uint16_t key_sensor_latency_ = 0;
   Clock::time_point inf_start_{};
   Clock::time_point sensor_start_{};
-  int next_frame_id_ = 0;
 };
 
 }  // namespace mlexray

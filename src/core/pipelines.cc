@@ -10,6 +10,18 @@ ClassificationPipeline::ClassificationPipeline(
       interpreter_(options.model, options.resolver, options.num_threads) {
   MLX_CHECK(options_.model != nullptr);
   MLX_CHECK(options_.resolver != nullptr);
+  // Push-based capture: per-layer telemetry is recorded during invoke by
+  // the monitor's TraceBuffer instead of a post-hoc model walk.
+  if (options_.monitor != nullptr) options_.monitor->observe(interpreter_);
+}
+
+ClassificationPipeline::~ClassificationPipeline() {
+  // If the monitor died first its destructor already detached and cleared
+  // the interpreter's observer — only call back into it while its buffer is
+  // still attached, so either destruction order is safe.
+  if (options_.monitor != nullptr && interpreter_.observer() != nullptr) {
+    options_.monitor->unobserve(interpreter_);
+  }
 }
 
 int ClassificationPipeline::process_frame(const Tensor& sensor_u8) {
@@ -40,6 +52,13 @@ SpeechPipeline::SpeechPipeline(SpeechPipelineOptions options)
       interpreter_(options.model, options.resolver, options.num_threads) {
   MLX_CHECK(options_.model != nullptr);
   MLX_CHECK(options_.resolver != nullptr);
+  if (options_.monitor != nullptr) options_.monitor->observe(interpreter_);
+}
+
+SpeechPipeline::~SpeechPipeline() {
+  if (options_.monitor != nullptr && interpreter_.observer() != nullptr) {
+    options_.monitor->unobserve(interpreter_);
+  }
 }
 
 int SpeechPipeline::process_frame(const std::vector<float>& waveform) {
@@ -67,9 +86,11 @@ Trace run_classification_playback(const Model& model,
                                   const ImagePipelineConfig& preprocess,
                                   const MonitorOptions& monitor_options,
                                   const std::string& pipeline_name,
-                                  int num_threads) {
+                                  int num_threads,
+                                  const std::filesystem::path& spool_path) {
   EdgeMLMonitor monitor(monitor_options);
   monitor.set_pipeline_name(pipeline_name);
+  if (!spool_path.empty()) monitor.spool_to(spool_path);
   ClassificationPipelineOptions opts;
   opts.model = &model;
   opts.resolver = &resolver;
@@ -80,6 +101,7 @@ Trace run_classification_playback(const Model& model,
   for (const SensorExample& s : sensors) {
     pipeline.process_frame(s.image_u8);
   }
+  if (!spool_path.empty()) monitor.finish_spool();
   return monitor.take_trace();
 }
 

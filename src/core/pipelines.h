@@ -26,7 +26,10 @@ struct ClassificationPipelineOptions {
 
 class ClassificationPipeline {
  public:
+  // Attaches the monitor (if any) to the interpreter as an InvokeObserver;
+  // the destructor detaches it, so the monitor may outlive the pipeline.
   explicit ClassificationPipeline(ClassificationPipelineOptions options);
+  ~ClassificationPipeline();
 
   // Sensor frame (u8 HWC RGB) -> predicted label, with instrumentation.
   int process_frame(const Tensor& sensor_u8);
@@ -49,6 +52,7 @@ struct SpeechPipelineOptions {
 class SpeechPipeline {
  public:
   explicit SpeechPipeline(SpeechPipelineOptions options);
+  ~SpeechPipeline();
   int process_frame(const std::vector<float>& waveform);
   const Interpreter& interpreter() const { return interpreter_; }
 
@@ -58,13 +62,17 @@ class SpeechPipeline {
 };
 
 // Plays a dataset through an instrumented pipeline; returns the trace.
+// When spool_path is non-empty, frames are streamed to that .mlxtrace file
+// by the monitor's background spooler instead of being retained — the
+// returned Trace then carries the pipeline name but no frames.
 Trace run_classification_playback(const Model& model,
                                   const OpResolver& resolver,
                                   const std::vector<SensorExample>& sensors,
                                   const ImagePipelineConfig& preprocess,
                                   const MonitorOptions& monitor_options,
                                   const std::string& pipeline_name,
-                                  int num_threads = 1);
+                                  int num_threads = 1,
+                                  const std::filesystem::path& spool_path = {});
 
 // Reference playback: correct preprocessing straight from the model's
 // InputSpec, reference kernels.

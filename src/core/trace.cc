@@ -21,30 +21,67 @@ namespace {
 constexpr std::uint32_t kTraceMagic = 0x4d4c5854;  // "TXLM"
 }
 
+void serialize_frame(BinaryWriter& w, const FrameTrace& f) {
+  w.write_i32(f.frame_id);
+  w.write_u32(static_cast<std::uint32_t>(f.tensors.size()));
+  for (const auto& [key, tensor] : f.tensors) {
+    w.write_string(key);
+    serialize_tensor(w, tensor);
+  }
+  w.write_u32(static_cast<std::uint32_t>(f.scalars.size()));
+  for (const auto& [key, value] : f.scalars) {
+    w.write_string(key);
+    w.write_f64(value);
+  }
+  w.write_u32(static_cast<std::uint32_t>(f.layer_names.size()));
+  for (const std::string& name : f.layer_names) w.write_string(name);
+  w.write_u32(static_cast<std::uint32_t>(f.layer_outputs.size()));
+  for (const Tensor& t : f.layer_outputs) serialize_tensor(w, t);
+  w.write_u32(static_cast<std::uint32_t>(f.layer_latency_ms.size()));
+  for (double v : f.layer_latency_ms) w.write_f64(v);
+}
+
+FrameTrace deserialize_frame(BinaryReader& r) {
+  FrameTrace f;
+  f.frame_id = r.read_i32();
+  std::uint32_t tensors = r.read_u32();
+  for (std::uint32_t k = 0; k < tensors; ++k) {
+    std::string key = r.read_string();
+    f.tensors.emplace(std::move(key), deserialize_tensor(r));
+  }
+  std::uint32_t scalars = r.read_u32();
+  for (std::uint32_t k = 0; k < scalars; ++k) {
+    std::string key = r.read_string();
+    f.scalars.emplace(std::move(key), r.read_f64());
+  }
+  std::uint32_t names = r.read_u32();
+  for (std::uint32_t k = 0; k < names; ++k) {
+    f.layer_names.push_back(r.read_string());
+  }
+  std::uint32_t outputs = r.read_u32();
+  for (std::uint32_t k = 0; k < outputs; ++k) {
+    f.layer_outputs.push_back(deserialize_tensor(r));
+  }
+  std::uint32_t latencies = r.read_u32();
+  for (std::uint32_t k = 0; k < latencies; ++k) {
+    f.layer_latency_ms.push_back(r.read_f64());
+  }
+  return f;
+}
+
+std::size_t trace_frame_count_offset(const std::string& pipeline_name) {
+  BinaryWriter w;
+  w.write_u32(kTraceMagic);
+  w.write_string(pipeline_name);
+  return w.size();
+}
+
 std::vector<std::uint8_t> serialize_trace(const Trace& trace) {
   BinaryWriter w;
   w.write_u32(kTraceMagic);
   w.write_string(trace.pipeline_name);
   w.write_u32(static_cast<std::uint32_t>(trace.frames.size()));
-  for (const FrameTrace& f : trace.frames) {
-    w.write_i32(f.frame_id);
-    w.write_u32(static_cast<std::uint32_t>(f.tensors.size()));
-    for (const auto& [key, tensor] : f.tensors) {
-      w.write_string(key);
-      serialize_tensor(w, tensor);
-    }
-    w.write_u32(static_cast<std::uint32_t>(f.scalars.size()));
-    for (const auto& [key, value] : f.scalars) {
-      w.write_string(key);
-      w.write_f64(value);
-    }
-    w.write_u32(static_cast<std::uint32_t>(f.layer_names.size()));
-    for (const std::string& name : f.layer_names) w.write_string(name);
-    w.write_u32(static_cast<std::uint32_t>(f.layer_outputs.size()));
-    for (const Tensor& t : f.layer_outputs) serialize_tensor(w, t);
-    w.write_u32(static_cast<std::uint32_t>(f.layer_latency_ms.size()));
-    for (double v : f.layer_latency_ms) w.write_f64(v);
-  }
+  for (const FrameTrace& f : trace.frames) serialize_frame(w, f);
   return w.bytes();
 }
 
@@ -56,31 +93,7 @@ Trace deserialize_trace(const std::vector<std::uint8_t>& bytes) {
   std::uint32_t frames = r.read_u32();
   trace.frames.reserve(frames);
   for (std::uint32_t i = 0; i < frames; ++i) {
-    FrameTrace f;
-    f.frame_id = r.read_i32();
-    std::uint32_t tensors = r.read_u32();
-    for (std::uint32_t k = 0; k < tensors; ++k) {
-      std::string key = r.read_string();
-      f.tensors.emplace(std::move(key), deserialize_tensor(r));
-    }
-    std::uint32_t scalars = r.read_u32();
-    for (std::uint32_t k = 0; k < scalars; ++k) {
-      std::string key = r.read_string();
-      f.scalars.emplace(std::move(key), r.read_f64());
-    }
-    std::uint32_t names = r.read_u32();
-    for (std::uint32_t k = 0; k < names; ++k) {
-      f.layer_names.push_back(r.read_string());
-    }
-    std::uint32_t outputs = r.read_u32();
-    for (std::uint32_t k = 0; k < outputs; ++k) {
-      f.layer_outputs.push_back(deserialize_tensor(r));
-    }
-    std::uint32_t latencies = r.read_u32();
-    for (std::uint32_t k = 0; k < latencies; ++k) {
-      f.layer_latency_ms.push_back(r.read_f64());
-    }
-    trace.frames.push_back(std::move(f));
+    trace.frames.push_back(deserialize_frame(r));
   }
   return trace;
 }

@@ -57,4 +57,16 @@ Trace deserialize_trace(const std::vector<std::uint8_t>& bytes);
 void save_trace(const Trace& trace, const std::filesystem::path& path);
 Trace load_trace(const std::filesystem::path& path);
 
+// Frame-level framing, shared by the whole-trace (de)serializers above and
+// the TraceBuffer spooler, which streams frames into a .mlxtrace file as
+// they are captured (same on-disk format, frame count patched at close).
+class BinaryWriter;
+class BinaryReader;
+void serialize_frame(BinaryWriter& w, const FrameTrace& frame);
+FrameTrace deserialize_frame(BinaryReader& r);
+
+// Byte offset of the u32 frame-count field inside a serialized trace with
+// this pipeline name (magic + length-prefixed name precede it).
+std::size_t trace_frame_count_offset(const std::string& pipeline_name);
+
 }  // namespace mlexray

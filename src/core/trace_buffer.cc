@@ -1,0 +1,348 @@
+#include "src/core/trace_buffer.h"
+
+#include <cstring>
+
+#include "src/common/file_io.h"
+#include "src/graph/serialization.h"
+#include "src/interpreter/interpreter.h"
+
+namespace mlexray {
+
+namespace {
+// Reserved capacity for scalar entries per frame; grows (once, with
+// persistent capacity) only if a pipeline logs more custom scalars.
+constexpr std::size_t kScalarReserve = 16;
+}  // namespace
+
+TraceBuffer::TraceBuffer(MonitorOptions options) : options_(options) {
+  // Canonical keys get the low ids so hot-path capture never interns.
+  key_latency_ = intern_key(trace_keys::kInferenceLatencyMs);
+  key_model_output_ = intern_key(trace_keys::kModelOutput);
+  intern_key(trace_keys::kPeakMemoryBytes);
+  intern_key(trace_keys::kSensorLatencyMs);
+  for (CaptureFrame& f : frames_) f.scalars.reserve(kScalarReserve);
+  frames_[0].frame_id = 0;
+  frames_[1].frame_id = 0;
+}
+
+TraceBuffer::~TraceBuffer() {
+  if (spooling()) {
+    try {
+      close_spool();
+    } catch (const MlxError&) {
+      // Destructor must not throw; close_spool() reports IO errors when
+      // called explicitly.
+    }
+  }
+}
+
+void TraceBuffer::bind(const Interpreter& interpreter) {
+  if (bound_ == &interpreter) return;
+  // bind() resizes both capture frames and rebuilds the layer layout, which
+  // the spooler thread reads while serializing: once any frame has been
+  // finalized into the spool, binding would race with it. Bind (observe)
+  // before recording frames when spooling.
+  MLX_CHECK(!spooling() || spool_enqueued_ == 0)
+      << "cannot (re)bind a TraceBuffer after frames were spooled";
+  bound_ = &interpreter;
+  layers_.clear();
+  const auto& steps = interpreter.plan().steps();
+  layers_.reserve(steps.size());
+  for (const PlanStep& step : steps) {
+    LayerInfo info;
+    info.node_id = step.node->id;
+    info.name = step.node->name;
+    const Tensor& out = interpreter.node_output(step.node->id);
+    info.dtype = out.dtype();
+    info.shape = out.shape();
+    info.quant = out.quant();
+    info.byte_size = out.byte_size();
+    layers_.push_back(std::move(info));
+  }
+  for (CaptureFrame& f : frames_) {
+    f.layer_latency_ms.assign(layers_.size(), 0.0);
+    if (options_.per_layer_outputs) {
+      f.layer_bytes.resize(layers_.size());
+      for (std::size_t i = 0; i < layers_.size(); ++i) {
+        f.layer_bytes[i].resize(layers_[i].byte_size);
+      }
+    }
+    f.has_invoke = false;
+  }
+  step_cursor_ = 0;
+}
+
+std::uint16_t TraceBuffer::intern_key(const std::string& key) {
+  std::lock_guard<std::mutex> lock(key_mu_);
+  auto it = key_ids_.find(key);
+  if (it != key_ids_.end()) return it->second;
+  MLX_CHECK_LT(key_names_.size(), 65536u) << "trace key table overflow";
+  auto id = static_cast<std::uint16_t>(key_names_.size());
+  key_names_.push_back(key);
+  key_ids_.emplace(key, id);
+  return id;
+}
+
+std::string TraceBuffer::key_name(std::uint16_t id) const {
+  std::lock_guard<std::mutex> lock(key_mu_);
+  MLX_CHECK_LT(static_cast<std::size_t>(id), key_names_.size());
+  return key_names_[id];
+}
+
+void TraceBuffer::set_scalar(std::uint16_t key_id, double value) {
+  CaptureFrame& f = frames_[active_];
+  for (auto& [id, v] : f.scalars) {
+    if (id == key_id) {
+      v = value;
+      return;
+    }
+  }
+  f.scalars.emplace_back(key_id, value);
+}
+
+void TraceBuffer::log_tensor(std::uint16_t key_id, const Tensor& value) {
+  CaptureFrame& f = frames_[active_];
+  TensorSlot* slot = nullptr;
+  for (TensorSlot& s : f.tensors) {
+    if (s.key == key_id) {
+      slot = &s;
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    f.tensors.emplace_back();
+    slot = &f.tensors.back();
+    slot->key = key_id;
+  }
+  slot->used = true;
+  slot->dtype = value.dtype();
+  slot->shape = value.shape();
+  // vector copy-assignment reuses capacity when it suffices — steady-state
+  // logging of a same-shaped tensor under the same key allocates nothing.
+  slot->quant = value.quant();
+  slot->bytes.resize(value.byte_size());
+  std::memcpy(slot->bytes.data(), value.raw_data(), value.byte_size());
+}
+
+void TraceBuffer::on_invoke_begin(std::size_t step_count) {
+  MLX_CHECK_EQ(step_count, layers_.size())
+      << "TraceBuffer observing an interpreter it was not bound to";
+  step_cursor_ = 0;
+}
+
+void TraceBuffer::on_step(const Node& node, const Tensor& output,
+                          double latency_ms) {
+  CaptureFrame& f = frames_[active_];
+  MLX_CHECK_LT(step_cursor_, layers_.size());
+  MLX_CHECK_EQ(layers_[step_cursor_].node_id, node.id);
+  if (options_.per_layer_latency) {
+    f.layer_latency_ms[step_cursor_] = latency_ms;
+  }
+  if (options_.per_layer_outputs) {
+    std::vector<std::uint8_t>& dst = f.layer_bytes[step_cursor_];
+    MLX_CHECK_EQ(dst.size(), output.byte_size());
+    std::memcpy(dst.data(), output.raw_data(), output.byte_size());
+  }
+  ++step_cursor_;
+}
+
+void TraceBuffer::on_invoke_end(const InterpreterStats& stats) {
+  CaptureFrame& f = frames_[active_];
+  f.has_invoke = true;
+  set_scalar(key_latency_, stats.total_ms);
+  if (options_.log_model_io && bound_ != nullptr) {
+    log_tensor(key_model_output_, bound_->output(0));
+  }
+}
+
+void TraceBuffer::capture_pull(const Interpreter& interpreter) {
+  bind(interpreter);
+  const InterpreterStats& stats = interpreter.last_stats();
+  on_invoke_begin(layers_.size());
+  for (const PlanStep& step : interpreter.plan().steps()) {
+    const auto id = static_cast<std::size_t>(step.node->id);
+    on_step(*step.node, interpreter.node_output(step.node->id),
+            stats.per_node_ms[id]);
+  }
+  on_invoke_end(stats);
+}
+
+void TraceBuffer::reset_frame(CaptureFrame& frame, int frame_id) {
+  frame.frame_id = frame_id;
+  frame.has_invoke = false;
+  frame.scalars.clear();  // capacity persists
+  for (TensorSlot& s : frame.tensors) s.used = false;
+  // layer_latency_ms / layer_bytes are overwritten wholesale by the next
+  // capture; no clearing needed.
+}
+
+FrameTrace TraceBuffer::to_frame_trace(const CaptureFrame& frame) const {
+  FrameTrace out;
+  out.frame_id = frame.frame_id;
+  for (const auto& [id, value] : frame.scalars) {
+    out.scalars[key_name(id)] = value;
+  }
+  for (const TensorSlot& s : frame.tensors) {
+    if (!s.used) continue;
+    Tensor t(s.dtype, s.shape);
+    MLX_CHECK_EQ(t.byte_size(), s.bytes.size());
+    std::memcpy(t.raw_data(), s.bytes.data(), s.bytes.size());
+    t.quant() = s.quant;
+    out.tensors.emplace(key_name(s.key), std::move(t));
+  }
+  if (frame.has_invoke &&
+      (options_.per_layer_latency || options_.per_layer_outputs)) {
+    out.layer_names.reserve(layers_.size());
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      out.layer_names.push_back(layers_[i].name);
+      if (options_.per_layer_outputs) {
+        Tensor t(layers_[i].dtype, layers_[i].shape);
+        MLX_CHECK_EQ(t.byte_size(), frame.layer_bytes[i].size());
+        std::memcpy(t.raw_data(), frame.layer_bytes[i].data(),
+                    frame.layer_bytes[i].size());
+        t.quant() = layers_[i].quant;
+        out.layer_outputs.push_back(std::move(t));
+      }
+      if (options_.per_layer_latency) {
+        out.layer_latency_ms.push_back(frame.layer_latency_ms[i]);
+      }
+    }
+  }
+  return out;
+}
+
+void TraceBuffer::next_frame() {
+  CaptureFrame& finished = frames_[active_];
+  ++frames_captured_;
+  if (spooling()) {
+    ++spool_enqueued_;
+    spool_enqueue(&finished);
+    active_ ^= 1;
+    spool_wait_free(&frames_[active_]);
+  } else {
+    if (options_.retain_frames) {
+      trace_.frames.push_back(to_frame_trace(finished));
+    }
+    active_ ^= 1;
+  }
+  reset_frame(frames_[active_], ++next_frame_id_);
+}
+
+std::size_t TraceBuffer::frame_capture_bytes() const {
+  std::size_t total = 0;
+  if (options_.per_layer_outputs) {
+    for (const LayerInfo& l : layers_) total += l.byte_size;
+  }
+  // Warm slot capacity — what a full frame captures — so the number is
+  // meaningful right after next_frame() reset the active frame.
+  for (const TensorSlot& s : frames_[active_].tensors) total += s.bytes.size();
+  return total;
+}
+
+Trace TraceBuffer::take_trace() {
+  Trace out = std::move(trace_);
+  trace_ = Trace{};
+  trace_.pipeline_name = out.pipeline_name;
+  return out;
+}
+
+void TraceBuffer::set_pipeline_name(std::string name) {
+  trace_.pipeline_name = std::move(name);
+}
+
+// --- spooling ---------------------------------------------------------------
+
+void TraceBuffer::open_spool(const std::filesystem::path& path) {
+  MLX_CHECK(!spooling()) << "spool already open";
+  spool_out_.open(path, std::ios::binary | std::ios::trunc);
+  MLX_CHECK(spool_out_.good()) << "cannot open spool file " << path.string();
+  // Same header save_trace writes; the frame count starts at 0 and is
+  // patched at close_spool().
+  BinaryWriter header;
+  {
+    Trace empty;
+    empty.pipeline_name = trace_.pipeline_name;
+    const std::vector<std::uint8_t> bytes = serialize_trace(empty);
+    header.write_bytes(bytes.data(), bytes.size());
+  }
+  spool_count_offset_ = trace_frame_count_offset(trace_.pipeline_name);
+  spool_out_.write(reinterpret_cast<const char*>(header.bytes().data()),
+                   static_cast<std::streamsize>(header.size()));
+  spool_frames_ = 0;
+  spool_enqueued_ = 0;
+  spool_stop_ = false;
+  spool_error_.clear();
+  spool_thread_ = std::thread([this] { spool_worker(); });
+}
+
+void TraceBuffer::spool_enqueue(const CaptureFrame* frame) {
+  std::unique_lock<std::mutex> lock(spool_mu_);
+  spool_cv_.wait(lock, [this] { return spool_pending_ == nullptr; });
+  spool_pending_ = frame;
+  spool_cv_.notify_all();
+}
+
+void TraceBuffer::spool_wait_free(const CaptureFrame* frame) {
+  std::unique_lock<std::mutex> lock(spool_mu_);
+  spool_cv_.wait(lock, [this, frame] {
+    return spool_pending_ != frame && spool_writing_ != frame;
+  });
+}
+
+void TraceBuffer::spool_worker() {
+  for (;;) {
+    const CaptureFrame* frame = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(spool_mu_);
+      spool_cv_.wait(lock,
+                     [this] { return spool_pending_ != nullptr || spool_stop_; });
+      if (spool_pending_ == nullptr) return;  // stop requested, queue drained
+      frame = spool_pending_;
+      spool_writing_ = frame;
+      spool_pending_ = nullptr;
+      spool_cv_.notify_all();
+    }
+    try {
+      BinaryWriter w;
+      serialize_frame(w, to_frame_trace(*frame));
+      spool_out_.write(reinterpret_cast<const char*>(w.bytes().data()),
+                       static_cast<std::streamsize>(w.size()));
+      MLX_CHECK(spool_out_.good()) << "spool write failed";
+      ++spool_frames_;
+    } catch (const std::exception& e) {
+      // Any escape (MlxError, bad_alloc, ...) would std::terminate the
+      // process from a thread entry; record it for close_spool() instead.
+      std::lock_guard<std::mutex> lock(spool_mu_);
+      if (spool_error_.empty()) spool_error_ = e.what();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(spool_mu_);
+      if (spool_error_.empty()) spool_error_ = "unknown spooler exception";
+    }
+    {
+      std::lock_guard<std::mutex> lock(spool_mu_);
+      spool_writing_ = nullptr;
+      spool_cv_.notify_all();
+    }
+  }
+}
+
+std::size_t TraceBuffer::close_spool() {
+  MLX_CHECK(spooling()) << "no spool open";
+  {
+    std::lock_guard<std::mutex> lock(spool_mu_);
+    spool_stop_ = true;
+    spool_cv_.notify_all();
+  }
+  spool_thread_.join();
+  // Patch the frame count into the header.
+  BinaryWriter count;
+  count.write_u32(static_cast<std::uint32_t>(spool_frames_));
+  spool_out_.seekp(static_cast<std::streamoff>(spool_count_offset_));
+  spool_out_.write(reinterpret_cast<const char*>(count.bytes().data()),
+                   static_cast<std::streamsize>(count.size()));
+  spool_out_.close();
+  MLX_CHECK(spool_error_.empty()) << "spooler failed: " << spool_error_;
+  return spool_frames_;
+}
+
+}  // namespace mlexray

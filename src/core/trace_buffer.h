@@ -1,0 +1,202 @@
+// TraceBuffer: arena-style, push-based capture sink for instrumented invokes
+// (paper §3.2 telemetry at Table-2 overhead).
+//
+// Attached to an Interpreter as its InvokeObserver, it captures per-layer
+// latencies and raw-dtype layer outputs as each prepared step finishes, plus
+// the model output and user scalars/tensors, into pre-sized reusable frame
+// storage:
+//
+//  - trace keys are interned once into small integer ids — no std::string
+//    map keys on the hot path;
+//  - per-layer outputs are captured in their raw dtype (int8 activations
+//    stay int8; dequantization via Tensor::to_f32 happens at offline trace
+//    reading — validation, trace-info);
+//  - frames are double-buffered: the hot thread fills one CaptureFrame while
+//    the previous one drains (retained into the in-memory Trace, or
+//    serialized to a .mlxtrace spool file by a background thread);
+//  - after both buffers have warmed (two frames), steady-state capture
+//    performs zero heap allocations — tests/test_observer.cc enforces this
+//    with the same operator-new counter test_kernel_grid.cc uses for bare
+//    invoke.
+//
+// EdgeMLMonitor (src/core/monitor.h) is a thin façade over this class; use
+// TraceBuffer directly only when the monitor's bracketing API is in the way
+// (e.g. the overhead benchmarks).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/core/trace.h"
+#include "src/interpreter/invoke_observer.h"
+
+namespace mlexray {
+
+class Interpreter;
+
+// Capture configuration (the paper's instrumentation modes). Lives here so
+// the buffer is self-contained; EdgeMLMonitor re-exports it.
+struct MonitorOptions {
+  bool per_layer_outputs = false;  // offline validation mode (Tables 3/5)
+  bool per_layer_latency = true;
+  bool log_model_io = true;
+  // When false, next_frame() discards frames after counting them (they still
+  // reach the spool file when spooling is active). Overhead benchmarks and
+  // fire-and-forget deployments use this to keep memory flat.
+  bool retain_frames = true;
+};
+
+class TraceBuffer : public InvokeObserver {
+ public:
+  explicit TraceBuffer(MonitorOptions options = {});
+  ~TraceBuffer() override;
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  // --- binding --------------------------------------------------------------
+  // One-time prepare for an interpreter: records the per-layer layout (names,
+  // dtypes, shapes, quant params — shared across frames, not stored per
+  // frame) and pre-sizes both capture frames to the model's byte sizes.
+  // Rebinding to a different interpreter rebuilds the layout.
+  void bind(const Interpreter& interpreter);
+  bool bound_to(const Interpreter& interpreter) const {
+    return bound_ == &interpreter;
+  }
+
+  // --- keys -----------------------------------------------------------------
+  // Returns the stable id for a key, interning it on first sight (the only
+  // allocating key operation; canonical trace_keys are interned at
+  // construction). Hot-path capture APIs take ids only.
+  std::uint16_t intern_key(const std::string& key);
+  // By value: the spool worker resolves names concurrently with interning,
+  // so references into the table cannot be handed out.
+  std::string key_name(std::uint16_t id) const;
+
+  // --- hot-path capture -----------------------------------------------------
+  void set_scalar(std::uint16_t key_id, double value);
+  // Deep-copies the tensor (raw dtype) into the frame's slot for key_id,
+  // reusing the slot's byte storage across frames.
+  void log_tensor(std::uint16_t key_id, const Tensor& value);
+
+  // InvokeObserver hooks (fired by the attached interpreter).
+  void on_invoke_begin(std::size_t step_count) override;
+  void on_step(const Node& node, const Tensor& output,
+               double latency_ms) override;
+  void on_invoke_end(const InterpreterStats& stats) override;
+
+  // Pull-style capture for call sites that bracket invoke manually without
+  // attaching the buffer as observer: replays the retained node outputs and
+  // last_stats latencies through the same on_step path (binds on demand).
+  void capture_pull(const Interpreter& interpreter);
+
+  // True if the current frame captured an invoke since the last next_frame().
+  bool captured_invoke() const { return frames_[active_].has_invoke; }
+
+  // Finalizes the current frame — retained, spooled, or discarded per
+  // options — and flips to the other capture buffer. The conversion to
+  // FrameTrace (which allocates) happens here or on the spooler thread,
+  // never inside the invoke window.
+  void next_frame();
+
+  // --- spooling -------------------------------------------------------------
+  // Streams finalized frames to `path` (.mlxtrace, same format as
+  // save_trace) from a background thread; the hot thread only blocks when it
+  // laps the spooler (double-buffer backpressure).
+  void open_spool(const std::filesystem::path& path);
+  // Flushes, joins the spooler, patches the frame count into the file
+  // header, and rethrows any spooler IO error. Returns frames written.
+  std::size_t close_spool();
+  bool spooling() const { return spool_thread_.joinable(); }
+
+  // --- retained trace -------------------------------------------------------
+  const Trace& trace() const { return trace_; }
+  Trace take_trace();
+  void set_pipeline_name(std::string name);
+
+  int frames_captured() const { return frames_captured_; }
+  // Index (0/1) of the buffer currently capturing — alternates on
+  // next_frame(); tests assert the double-buffer rotation through it.
+  int active_buffer() const { return active_; }
+  // Bytes a fully captured frame holds (layer bytes + model output), i.e.
+  // the per-frame capture cost of the current mode.
+  std::size_t frame_capture_bytes() const;
+  const MonitorOptions& options() const { return options_; }
+
+ private:
+  struct TensorSlot {
+    std::uint16_t key = 0;
+    bool used = false;
+    DType dtype = DType::kF32;
+    Shape shape;
+    QuantParams quant;
+    std::vector<std::uint8_t> bytes;  // capacity persists across frames
+  };
+  struct CaptureFrame {
+    int frame_id = 0;
+    bool has_invoke = false;
+    std::vector<std::pair<std::uint16_t, double>> scalars;
+    std::vector<TensorSlot> tensors;
+    std::vector<double> layer_latency_ms;               // step-indexed
+    std::vector<std::vector<std::uint8_t>> layer_bytes;  // step-indexed
+  };
+  // Per-layer metadata shared by every frame (set at bind).
+  struct LayerInfo {
+    int node_id = -1;
+    std::string name;
+    DType dtype = DType::kF32;
+    Shape shape;
+    QuantParams quant;
+    std::size_t byte_size = 0;
+  };
+
+  void reset_frame(CaptureFrame& frame, int frame_id);
+  FrameTrace to_frame_trace(const CaptureFrame& frame) const;
+  void spool_worker();
+  void spool_enqueue(const CaptureFrame* frame);
+  void spool_wait_free(const CaptureFrame* frame);
+
+  MonitorOptions options_;
+  const Interpreter* bound_ = nullptr;
+  std::vector<LayerInfo> layers_;
+
+  // The key table is the one structure both the hot thread (interning a
+  // first-seen key) and the spool worker (resolving names during frame
+  // serialization) touch; key_mu_ covers it. Ids are stable once handed out.
+  mutable std::mutex key_mu_;
+  std::vector<std::string> key_names_;
+  std::map<std::string, std::uint16_t> key_ids_;
+  std::uint16_t key_latency_ = 0;
+  std::uint16_t key_model_output_ = 0;
+
+  CaptureFrame frames_[2];
+  int active_ = 0;
+  std::size_t step_cursor_ = 0;
+  int next_frame_id_ = 0;
+  int frames_captured_ = 0;
+
+  Trace trace_;
+
+  // Spool state: single-slot queue between the hot thread and the writer.
+  std::thread spool_thread_;
+  mutable std::mutex spool_mu_;
+  std::condition_variable spool_cv_;
+  const CaptureFrame* spool_pending_ = nullptr;
+  const CaptureFrame* spool_writing_ = nullptr;
+  bool spool_stop_ = false;
+  std::string spool_error_;
+  std::ofstream spool_out_;
+  std::size_t spool_count_offset_ = 0;
+  std::size_t spool_frames_ = 0;    // written by the worker
+  std::size_t spool_enqueued_ = 0;  // hot-thread count; guards bind()
+};
+
+}  // namespace mlexray

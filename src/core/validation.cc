@@ -51,6 +51,9 @@ PerLayerReport DeploymentValidator::per_layer_drift(const Trace& edge,
     if (it == ref_index.end()) continue;  // e.g. Quantize/Dequantize nodes
     double sum = 0.0;
     for (std::size_t f = 0; f < edge.frames.size(); ++f) {
+      // Traces capture layer outputs in their raw dtype (quantized layers
+      // stay int8 on the device); every error metric dequantizes via
+      // Tensor::to_f32 internally — this is the offline read path.
       const Tensor& e = edge.frames[f].layer_outputs.at(li);
       const Tensor& r = reference.frames[f].layer_outputs.at(it->second);
       double err = 0.0;

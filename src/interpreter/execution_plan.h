@@ -41,6 +41,10 @@ class ExecutionPlan {
 
   const std::vector<PlanStep>& steps() const { return steps_; }
 
+  // Executable (non-input) node count — the number of on_step callbacks an
+  // InvokeObserver sees per invoke; observers pre-size capture storage by it.
+  std::size_t step_count() const { return steps_.size(); }
+
   // Bytes held across all steps' prepared storage (packed weights etc.) —
   // the memory cost of plan-time packing, surfaced in InterpreterStats.
   std::size_t prepared_bytes() const;

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "src/interpreter/invoke_observer.h"
+
 namespace mlexray {
 
 namespace {
@@ -59,6 +61,7 @@ void Interpreter::invoke() {
   auto start_total = Clock::now();
   // Reset the per-invoke view; totals keep accumulating.
   std::fill(stats_.per_node_ms.begin(), stats_.per_node_ms.end(), 0.0);
+  if (observer_ != nullptr) observer_->on_invoke_begin(plan_->step_count());
   for (const PlanStep& step : plan_->steps()) {
     arena_.reset();
     auto start = Clock::now();
@@ -67,11 +70,15 @@ void Interpreter::invoke() {
     const auto id = static_cast<std::size_t>(step.node->id);
     stats_.per_node_ms[id] = node_ms;
     stats_.per_node_total_ms[id] += node_ms;
+    if (observer_ != nullptr) {
+      observer_->on_step(*step.node, activations_[id], node_ms);
+    }
   }
   stats_.total_ms = ms_since(start_total);
   stats_.cumulative_ms += stats_.total_ms;
   stats_.arena_high_water_bytes = arena_.high_water_bytes();
   ++stats_.invoke_count;
+  if (observer_ != nullptr) observer_->on_invoke_end(stats_);
 }
 
 const Tensor& Interpreter::output(int output_index) const {

@@ -24,6 +24,8 @@
 
 namespace mlexray {
 
+class InvokeObserver;
+
 struct InterpreterStats {
   // One-time Prepare cost (plan construction, activation allocation).
   double prepare_ms = 0.0;
@@ -61,6 +63,13 @@ class Interpreter {
   // Runs all nodes in topological order over the prepared plan.
   void invoke();
 
+  // Attaches a push-based observability sink (src/interpreter/
+  // invoke_observer.h): invoke() fires on_invoke_begin / on_step /
+  // on_invoke_end as it walks the plan. Non-owning; the observer must
+  // outlive the attachment (pass nullptr to detach before destroying it).
+  void set_observer(InvokeObserver* observer) { observer_ = observer; }
+  InvokeObserver* observer() const { return observer_; }
+
   // The i-th model output of the last invoke.
   const Tensor& output(int output_index = 0) const;
 
@@ -85,6 +94,7 @@ class Interpreter {
   std::unique_ptr<ExecutionPlan> plan_;
   std::vector<int> input_ids_;
   InterpreterStats stats_;
+  InvokeObserver* observer_ = nullptr;
 };
 
 }  // namespace mlexray

@@ -1,0 +1,50 @@
+// Push-based observability hooks for the interpreter's Invoke phase.
+//
+// ML-EXray's per-layer instrumentation used to *pull* data after invoke: walk
+// the model, deep-copy every retained activation, O(model size) heap churn
+// per frame. An InvokeObserver instead rides along the prepared-step walk:
+// the interpreter fires on_step as each node finishes, handing the observer a
+// view of the retained output tensor and the step's wall clock. The observer
+// decides what (if anything) to copy — TraceBuffer (src/core/trace_buffer.h)
+// captures into pre-sized storage so a steady-state instrumented invoke stays
+// heap-free, preserving the paper's <0.4% overhead budget (Table 2).
+//
+// Contract: hooks run on the invoke thread, between kernel executions. They
+// must not call back into the interpreter's mutating API, must not retain the
+// tensor reference past the callback (the buffer is overwritten by later
+// invokes), and should not allocate in steady state. The observer must stay
+// alive while attached; detach with Interpreter::set_observer(nullptr) before
+// destroying it.
+#pragma once
+
+#include <cstddef>
+
+namespace mlexray {
+
+struct Node;
+class Tensor;
+struct InterpreterStats;
+
+class InvokeObserver {
+ public:
+  virtual ~InvokeObserver() = default;
+
+  // Start of invoke(), before the first step. step_count is the number of
+  // on_step calls that will follow (the plan's executable node count).
+  virtual void on_invoke_begin(std::size_t step_count) { (void)step_count; }
+
+  // One prepared step finished: the node, its retained output (raw dtype —
+  // int8 activations arrive as int8), and the step's wall clock.
+  virtual void on_step(const Node& node, const Tensor& output,
+                       double latency_ms) {
+    (void)node;
+    (void)output;
+    (void)latency_ms;
+  }
+
+  // End of invoke(), after the last step; stats carry total_ms and the
+  // refreshed arena high-water mark.
+  virtual void on_invoke_end(const InterpreterStats& stats) { (void)stats; }
+};
+
+}  // namespace mlexray

@@ -1,5 +1,6 @@
 #include "src/kernels/opt_kernels.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -573,6 +574,105 @@ void avgpool_i8_opt(const KernelContext& ctx) {
   }
 }
 
+// --- Quantize / Dequantize (the e2e int8 path's endpoints) ------------------
+//
+// The shared scalar kernels (shared_kernels.cc) stay as the reference; these
+// vectorized variants override them in the optimized resolver. Rounding
+// matches the reference's std::lround (half away from zero) bit-for-bit:
+// q = trunc(y) nudged by 1 when |y - trunc(y)| >= 0.5 — both trunc and the
+// fractional part are exact in f32 (Sterbenz), so the only semantic
+// difference is saturation for |real/scale| >= 2^31, where the reference's
+// long->int32 narrowing wraps and these kernels clamp (the sane behavior;
+// tests/test_kernels.cc asserts exact opt-vs-ref parity at odd lengths on
+// the representable range).
+
+// Exact std::lround(y) for |y| < 2^31, branch-free enough to vectorize.
+inline std::int32_t lround_away_f32(float y) {
+  auto t = static_cast<std::int32_t>(y);  // trunc toward zero
+  const float frac = y - static_cast<float>(t);
+  if (frac >= 0.5f) return t + 1;
+  if (frac <= -0.5f) return t - 1;
+  return t;
+}
+
+void quantize_i8_opt(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  Tensor& out = *ctx.output;
+  const float scale = out.quant().scale();
+  const std::int32_t zp = out.quant().zero_point();
+  const float* src = in.data<float>();
+  std::int8_t* dst = out.data<std::int8_t>();
+  const std::int64_t n = in.num_elements();
+  std::int64_t i = 0;
+#if defined(__GNUC__) || defined(__clang__)
+  using v8f = float __attribute__((vector_size(32), aligned(4)));
+  using v8i = std::int32_t __attribute__((vector_size(32), aligned(4)));
+  using v8b = std::int8_t __attribute__((vector_size(8), aligned(1)));
+  const v8f vscale = (v8f){} + scale;
+  // |q| is clamped to [-128, 127] after the zero-point shift, so clamping
+  // the real-valued quotient to +-512 first changes nothing and keeps the
+  // trunc convert in int32 range.
+  const v8f vlo = (v8f){} - 512.0f;
+  const v8f vhi = (v8f){} + 512.0f;
+  const v8f vhalf = (v8f){} + 0.5f;
+  const v8f vneg_half = (v8f){} - 0.5f;
+  const v8i vzp = (v8i){} + zp;
+  const v8i vqmin = (v8i){} - 128;
+  const v8i vqmax = (v8i){} + 127;
+  for (; i + 8 <= n; i += 8) {
+    v8f y;
+    __builtin_memcpy(&y, src + i, sizeof(y));
+    y /= vscale;
+    y = y > vhi ? vhi : y;
+    y = y < vlo ? vlo : y;
+    v8i t = __builtin_convertvector(y, v8i);
+    const v8f frac = y - __builtin_convertvector(t, v8f);
+    // Vector comparisons yield -1/0 lanes: subtracting (frac >= 0.5) adds 1
+    // where true, adding (frac <= -0.5) subtracts 1 — lround's half-away.
+    v8i q = t - (v8i)(frac >= vhalf) + (v8i)(frac <= vneg_half) + vzp;
+    q = q > vqmax ? vqmax : q;
+    q = q < vqmin ? vqmin : q;
+    const v8b packed = __builtin_convertvector(q, v8b);
+    __builtin_memcpy(dst + i, &packed, sizeof(packed));
+  }
+#endif
+  for (; i < n; ++i) {
+    float y = src[i] / scale;
+    y = std::clamp(y, -512.0f, 512.0f);
+    const std::int32_t q = lround_away_f32(y) + zp;
+    dst[i] = static_cast<std::int8_t>(std::clamp<std::int32_t>(q, -128, 127));
+  }
+}
+
+void dequantize_i8_opt(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const float scale = in.quant().scale();
+  const std::int32_t zp = in.quant().zero_point();
+  const std::int8_t* src = in.data<std::int8_t>();
+  float* dst = ctx.output->data<float>();
+  const std::int64_t n = in.num_elements();
+  std::int64_t i = 0;
+#if defined(__GNUC__) || defined(__clang__)
+  using v8f = float __attribute__((vector_size(32), aligned(4)));
+  using v8i = std::int32_t __attribute__((vector_size(32), aligned(4)));
+  using v8b = std::int8_t __attribute__((vector_size(8), aligned(1)));
+  const v8i vzp = (v8i){} + zp;
+  const v8f vscale = (v8f){} + scale;
+  for (; i + 8 <= n; i += 8) {
+    v8b b;
+    __builtin_memcpy(&b, src + i, sizeof(b));
+    const v8i q = __builtin_convertvector(b, v8i) - vzp;
+    // Same per-element arithmetic as the reference (int subtract, convert,
+    // one multiply) — bit-exact.
+    const v8f f = __builtin_convertvector(q, v8f) * vscale;
+    __builtin_memcpy(dst + i, &f, sizeof(f));
+  }
+#endif
+  for (; i < n; ++i) {
+    dst[i] = scale * static_cast<float>(src[i] - zp);
+  }
+}
+
 }  // namespace
 
 void register_opt_float_kernels(KernelMap& map) {
@@ -591,6 +691,8 @@ void register_opt_quant_kernels(KernelMap& map, bool emulate_dwconv_bug) {
   map[{OpType::kFullyConnected, true}] = {fc_i8_opt, fc_i8_prepare};
   map[{OpType::kAvgPool2D, true}] = avgpool_i8_opt;
   map[{OpType::kPad, true}] = pad_fast<std::int8_t>;
+  map[{OpType::kQuantize, true}] = quantize_i8_opt;
+  map[{OpType::kDequantize, true}] = dequantize_i8_opt;
 }
 
 }  // namespace mlexray

@@ -8,6 +8,7 @@
 #include "src/core/validation.h"
 #include "src/models/zoo.h"
 #include "src/quant/quantizer.h"
+#include "src/tensor/alloc_stats.h"
 
 namespace mlexray {
 namespace {
@@ -77,6 +78,27 @@ TEST(Monitor, CollectsDefaultTelemetry) {
   EXPECT_EQ(static_cast<int>(f.layer_names.size()), zm.model.layer_count());
   EXPECT_EQ(f.layer_names.size(), f.layer_outputs.size());
   EXPECT_EQ(f.layer_names.size(), f.layer_latency_ms.size());
+}
+
+TEST(Monitor, PeakMemoryReportsHighWaterNotCurrentLevel) {
+  // A large transient tensor allocated and released *before* the frame must
+  // still show up in the reported peak: the seed monitor snapshotted
+  // AllocStats::current_bytes(), which misses every transient.
+  constexpr std::int64_t kTransientBytes = 32 * 1024 * 1024;
+  { Tensor transient = Tensor::u8(Shape{kTransientBytes}); }
+  ZooModel zm = tiny_image_model();
+  RefOpResolver ref;
+  MonitorOptions opts;
+  Trace trace = run_classification_playback(
+      zm.model, ref, sensors(), {zm.model.input_spec, PreprocBug::kNone},
+      opts, "peak");
+  const double reported =
+      trace.frames[0].scalar(trace_keys::kPeakMemoryBytes);
+  EXPECT_GE(reported, static_cast<double>(kTransientBytes))
+      << "reported peak misses a released transient allocation";
+  // A peak is by definition at or above the instantaneous level.
+  EXPECT_GE(reported,
+            static_cast<double>(AllocStats::instance().current_bytes()));
 }
 
 TEST(Monitor, LightModeSkipsLayerOutputs) {

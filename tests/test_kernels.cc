@@ -379,6 +379,98 @@ TEST(QuantKernels, QuantizeDequantizeRoundTrip) {
   EXPECT_LT(linf_error(interp.output(0), input), 4.2 / 255.0);
 }
 
+// --- vectorized Quantize/Dequantize vs scalar reference ---------------------
+//
+// The optimized resolver overrides the e2e int8 path's endpoint kernels with
+// SIMD variants; both must be bit-exact with the shared scalar reference.
+// Odd lengths exercise every vector-tail split; scale 0.25 (a power of two)
+// makes x = (k + 0.5) * scale divide back to an exact .5 tie, pinning the
+// half-away-from-zero rounding the reference's std::lround uses.
+
+TEST(QuantizeKernels, OptQuantizeMatchesRefAtOddLengths) {
+  RefOpResolver ref;
+  BuiltinOpResolver opt;
+  Pcg32 rng(314);
+  for (std::int64_t n : {1LL, 3LL, 5LL, 7LL, 9LL, 15LL, 17LL, 31LL, 33LL,
+                         63LL, 67LL, 255LL, 257LL, 1001LL}) {
+    Node node;
+    node.id = 0;
+    node.type = OpType::kQuantize;
+    node.name = "quantize";
+    node.output_shape = Shape{n};
+    node.output_dtype = DType::kI8;
+    node.output_quant = QuantParams::per_tensor(0.25f, 3);
+
+    Tensor in = Tensor::f32(Shape{n});
+    float* p = in.data<float>();
+    for (std::int64_t i = 0; i < n; ++i) {
+      switch (i % 4) {
+        case 0:  // exact .5 tie after division by scale
+          p[i] = (static_cast<float>(i % 97) - 48.0f + 0.5f) * 0.25f;
+          break;
+        case 1:  // saturating magnitudes
+          p[i] = rng.uniform(-1000.0f, 1000.0f);
+          break;
+        default:
+          p[i] = rng.uniform(-40.0f, 40.0f);
+      }
+    }
+    Tensor out_ref(DType::kI8, Shape{n});
+    out_ref.quant() = node.output_quant;
+    Tensor out_opt(DType::kI8, Shape{n});
+    out_opt.quant() = node.output_quant;
+
+    KernelContext ctx;
+    ctx.node = &node;
+    ctx.inputs = {&in};
+    ctx.output = &out_ref;
+    ref.find(node).invoke(ctx);
+    ctx.output = &out_opt;
+    opt.find(node).invoke(ctx);
+    EXPECT_EQ(std::memcmp(out_ref.raw_data(), out_opt.raw_data(),
+                          static_cast<std::size_t>(n)),
+              0)
+        << "n=" << n;
+  }
+}
+
+TEST(QuantizeKernels, OptDequantizeMatchesRefAtOddLengths) {
+  RefOpResolver ref;
+  BuiltinOpResolver opt;
+  Pcg32 rng(159);
+  for (std::int64_t n : {1LL, 3LL, 7LL, 9LL, 17LL, 33LL, 67LL, 255LL, 257LL,
+                         1001LL}) {
+    Node node;
+    node.id = 0;
+    node.type = OpType::kDequantize;
+    node.name = "dequantize";
+    node.output_shape = Shape{n};
+    node.output_dtype = DType::kF32;
+
+    Tensor in(DType::kI8, Shape{n});
+    in.quant() = QuantParams::per_tensor(0.0371f, -5);
+    std::int8_t* p = in.data<std::int8_t>();
+    for (std::int64_t i = 0; i < n; ++i) {
+      p[i] = static_cast<std::int8_t>(static_cast<int>(rng.next_below(255)) -
+                                      127);
+    }
+    Tensor out_ref = Tensor::f32(Shape{n});
+    Tensor out_opt = Tensor::f32(Shape{n});
+
+    KernelContext ctx;
+    ctx.node = &node;
+    ctx.inputs = {&in};
+    ctx.output = &out_ref;
+    ref.find(node).invoke(ctx);
+    ctx.output = &out_opt;
+    opt.find(node).invoke(ctx);
+    EXPECT_EQ(std::memcmp(out_ref.raw_data(), out_opt.raw_data(),
+                          static_cast<std::size_t>(n) * sizeof(float)),
+              0)
+        << "n=" << n;
+  }
+}
+
 TEST(Resolver, MissingKernelThrows) {
   Pcg32 rng(61);
   GraphBuilder b("emb", &rng);

@@ -1,0 +1,458 @@
+// Push-based observability: the InvokeObserver -> TraceBuffer pipeline.
+//
+// Locks in the contracts the plan-integrated instrumentation claims:
+//  - observer capture is bit-exact with the interpreter's retained node
+//    outputs, in the raw dtype (int8 activations stay int8 in the trace);
+//  - a steady-state instrumented invoke performs zero heap allocations,
+//    enforced with the same operator-new counter + AllocStats events
+//    test_kernel_grid.cc uses for bare invoke;
+//  - the double-buffered capture frames alternate and are reused across
+//    >= 3 frames without new allocations;
+//  - spooled .mlxtrace files round-trip through load_trace identically to
+//    retained traces;
+//  - legacy pull-style call sites (on_inf_stop without observe()) capture
+//    through the same storage.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <new>
+
+#include "src/core/monitor.h"
+#include "src/graph/builder.h"
+#include "src/quant/quantizer.h"
+#include "src/tensor/alloc_stats.h"
+
+// --- global operator new/delete instrumentation -----------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace mlexray {
+namespace {
+
+Tensor random_input(Shape shape, Pcg32& rng) {
+  Tensor t = Tensor::f32(shape);
+  float* p = t.data<float>();
+  for (std::int64_t i = 0; i < t.num_elements(); ++i) {
+    p[i] = rng.uniform(-2.0f, 2.0f);
+  }
+  return t;
+}
+
+Model conv_stack_model(Pcg32* rng) {
+  GraphBuilder b("stack", rng);
+  int x = b.input(Shape{1, 16, 16, 8});
+  int c1 = b.conv2d(x, 16, 3, 3, 1, Padding::kSame, Activation::kRelu, "c1");
+  int d = b.depthwise_conv2d(c1, 3, 3, 2, Padding::kSame, Activation::kRelu6,
+                             "dw");
+  int c2 = b.conv2d(d, 16, 1, 1, 1, Padding::kSame, Activation::kNone, "c2");
+  int fc = b.fully_connected(c2, 10, Activation::kNone, "fc");
+  return b.finish({fc});
+}
+
+Model quantized_conv_stack(Pcg32* rng, std::uint64_t calib_seed) {
+  Model m = conv_stack_model(rng);
+  Calibrator calib(&m);
+  Pcg32 crng(calib_seed);
+  for (int i = 0; i < 4; ++i) {
+    calib.observe({random_input(Shape{1, 16, 16, 8}, crng)});
+  }
+  return quantize_model(m, calib);
+}
+
+// A monitored frame: the paper's instrumentation bracket.
+void run_frame(EdgeMLMonitor& monitor, Interpreter& interp,
+               const Tensor& input) {
+  interp.set_input(0, input);
+  monitor.on_inf_start();
+  interp.invoke();
+  monitor.on_inf_stop(interp);
+  monitor.next_frame();
+}
+
+TEST(ObserverCapture, PushMatchesNodeOutputsBitExact) {
+  Pcg32 rng(11);
+  Model m = conv_stack_model(&rng);
+  BuiltinOpResolver opt;
+  Interpreter interp(&m, &opt, /*num_threads=*/2);
+  MonitorOptions opts;
+  opts.per_layer_outputs = true;
+  EdgeMLMonitor monitor(opts);
+  monitor.observe(interp);
+  Pcg32 drng(12);
+  run_frame(monitor, interp, random_input(Shape{1, 16, 16, 8}, drng));
+
+  const Trace& trace = monitor.trace();
+  ASSERT_EQ(trace.frames.size(), 1u);
+  const FrameTrace& f = trace.frames[0];
+  ASSERT_EQ(f.layer_names.size(), interp.plan().step_count());
+  ASSERT_EQ(f.layer_outputs.size(), f.layer_names.size());
+  ASSERT_EQ(f.layer_latency_ms.size(), f.layer_names.size());
+  std::size_t i = 0;
+  for (const PlanStep& step : interp.plan().steps()) {
+    EXPECT_EQ(f.layer_names[i], step.node->name);
+    const Tensor& retained = interp.node_output(step.node->id);
+    const Tensor& captured = f.layer_outputs[i];
+    EXPECT_EQ(captured.dtype(), retained.dtype());
+    ASSERT_EQ(captured.byte_size(), retained.byte_size());
+    EXPECT_EQ(std::memcmp(captured.raw_data(), retained.raw_data(),
+                          retained.byte_size()),
+              0)
+        << "layer " << step.node->name;
+    EXPECT_GE(f.layer_latency_ms[i], 0.0);
+    ++i;
+  }
+  EXPECT_GT(f.scalar(trace_keys::kInferenceLatencyMs), 0.0);
+  monitor.unobserve(interp);
+}
+
+TEST(ObserverCapture, QuantizedLayersStayInt8InTrace) {
+  Pcg32 rng(21);
+  Model qm = quantized_conv_stack(&rng, 22);
+  BuiltinOpResolver opt;
+  Interpreter interp(&qm, &opt, /*num_threads=*/2);
+  MonitorOptions opts;
+  opts.per_layer_outputs = true;
+  EdgeMLMonitor monitor(opts);
+  monitor.observe(interp);
+  Pcg32 drng(23);
+  run_frame(monitor, interp, random_input(Shape{1, 16, 16, 8}, drng));
+
+  const FrameTrace& f = monitor.trace().frames.at(0);
+  int int8_layers = 0;
+  std::size_t i = 0;
+  for (const PlanStep& step : interp.plan().steps()) {
+    const Tensor& retained = interp.node_output(step.node->id);
+    const Tensor& captured = f.layer_outputs.at(i);
+    // Raw-dtype capture: quantized activations are logged as int8 with
+    // their quant params, not eagerly dequantized.
+    EXPECT_EQ(captured.dtype(), retained.dtype());
+    if (captured.dtype() == DType::kI8) {
+      ++int8_layers;
+      ASSERT_TRUE(captured.quant().quantized());
+      EXPECT_EQ(captured.quant().scale(), retained.quant().scale());
+      // Offline reading dequantizes losslessly from the raw capture.
+      Tensor offline = captured.to_f32();
+      Tensor direct = retained.to_f32();
+      EXPECT_EQ(std::memcmp(offline.raw_data(), direct.raw_data(),
+                            direct.byte_size()),
+                0);
+    }
+    ++i;
+  }
+  EXPECT_GT(int8_layers, 0) << "quantized model produced no int8 layers";
+  monitor.unobserve(interp);
+}
+
+// The acceptance gate: steady-state instrumented invoke (per-layer-latency
+// mode, the always-on default) touches neither the heap nor the tracked
+// allocators. retain_frames=false keeps next_frame() on the zero-alloc path
+// too, so the whole monitored frame loop is heap-free.
+TEST(ObserverSteadyState, InstrumentedFrameLoopIsHeapFree) {
+  Pcg32 rng(31);
+  Model m = conv_stack_model(&rng);
+  BuiltinOpResolver opt;
+  Interpreter interp(&m, &opt, /*num_threads=*/2);
+  MonitorOptions opts;  // per_layer_latency on, outputs off
+  opts.retain_frames = false;
+  EdgeMLMonitor monitor(opts);
+  monitor.observe(interp);
+  Pcg32 drng(32);
+  Tensor input = random_input(Shape{1, 16, 16, 8}, drng);
+  // Warm-up: arena growth + both capture buffers (frames 1 and 2).
+  for (int i = 0; i < 3; ++i) run_frame(monitor, interp, input);
+
+  const std::uint64_t events_before = AllocStats::instance().alloc_events();
+  const std::uint64_t heap_before = g_heap_allocs.load();
+  for (int i = 0; i < 5; ++i) run_frame(monitor, interp, input);
+  EXPECT_EQ(AllocStats::instance().alloc_events(), events_before)
+      << "instrumented frame loop registered tensor/arena allocations";
+  EXPECT_EQ(g_heap_allocs.load(), heap_before)
+      << "instrumented frame loop touched the heap (operator new)";
+  EXPECT_EQ(monitor.buffer().frames_captured(), 8);
+  monitor.unobserve(interp);
+}
+
+// Full per-layer output capture is also heap-free: raw-byte memcpy into
+// pre-sized buffers.
+TEST(ObserverSteadyState, PerLayerOutputCaptureIsHeapFree) {
+  Pcg32 rng(41);
+  Model qm = quantized_conv_stack(&rng, 42);
+  BuiltinOpResolver opt;
+  Interpreter interp(&qm, &opt, /*num_threads=*/2);
+  MonitorOptions opts;
+  opts.per_layer_outputs = true;
+  opts.retain_frames = false;
+  EdgeMLMonitor monitor(opts);
+  monitor.observe(interp);
+  Pcg32 drng(43);
+  Tensor input = random_input(Shape{1, 16, 16, 8}, drng);
+  for (int i = 0; i < 3; ++i) run_frame(monitor, interp, input);
+
+  const std::uint64_t heap_before = g_heap_allocs.load();
+  for (int i = 0; i < 5; ++i) run_frame(monitor, interp, input);
+  EXPECT_EQ(g_heap_allocs.load(), heap_before);
+  EXPECT_GT(monitor.buffer().frame_capture_bytes(), 0u);
+  monitor.unobserve(interp);
+}
+
+// In retain mode the frame conversion allocates (it builds FrameTrace maps),
+// but the invoke window itself must stay heap-free.
+TEST(ObserverSteadyState, RetainModeInvokeWindowIsHeapFree) {
+  Pcg32 rng(51);
+  Model m = conv_stack_model(&rng);
+  BuiltinOpResolver opt;
+  Interpreter interp(&m, &opt, /*num_threads=*/2);
+  MonitorOptions opts;
+  opts.per_layer_outputs = true;
+  EdgeMLMonitor monitor(opts);
+  monitor.observe(interp);
+  Pcg32 drng(52);
+  Tensor input = random_input(Shape{1, 16, 16, 8}, drng);
+  for (int i = 0; i < 3; ++i) run_frame(monitor, interp, input);
+
+  for (int i = 0; i < 3; ++i) {
+    interp.set_input(0, input);
+    const std::uint64_t heap_before = g_heap_allocs.load();
+    monitor.on_inf_start();
+    interp.invoke();  // push capture happens in here
+    EXPECT_EQ(g_heap_allocs.load(), heap_before)
+        << "instrumented invoke allocated on frame " << i;
+    monitor.on_inf_stop(interp);
+    monitor.next_frame();
+  }
+  monitor.unobserve(interp);
+}
+
+TEST(ObserverDoubleBuffer, BuffersAlternateAndAreReused) {
+  Pcg32 rng(61);
+  Model m = conv_stack_model(&rng);
+  BuiltinOpResolver opt;
+  Interpreter interp(&m, &opt);
+  MonitorOptions opts;
+  opts.per_layer_outputs = true;
+  opts.retain_frames = false;
+  EdgeMLMonitor monitor(opts);
+  monitor.observe(interp);
+  Pcg32 drng(62);
+  Tensor input = random_input(Shape{1, 16, 16, 8}, drng);
+
+  int last = monitor.buffer().active_buffer();
+  // Frames 1-2 warm both buffers; frames 3+ must reuse them allocation-free
+  // while still alternating.
+  for (int frame = 0; frame < 2; ++frame) {
+    run_frame(monitor, interp, input);
+    EXPECT_NE(monitor.buffer().active_buffer(), last);
+    last = monitor.buffer().active_buffer();
+  }
+  const std::uint64_t heap_before = g_heap_allocs.load();
+  for (int frame = 0; frame < 4; ++frame) {
+    run_frame(monitor, interp, input);
+    EXPECT_NE(monitor.buffer().active_buffer(), last)
+        << "double buffer did not flip on frame " << frame;
+    last = monitor.buffer().active_buffer();
+  }
+  EXPECT_EQ(g_heap_allocs.load(), heap_before)
+      << "buffer reuse across >= 3 frames allocated";
+  monitor.unobserve(interp);
+}
+
+TEST(ObserverSpool, SpooledTraceMatchesRetainedTrace) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "mlx_observer_spool.mlxtrace";
+  Pcg32 rng_a(71), rng_b(71);  // identical weights
+  Model ma = conv_stack_model(&rng_a);
+  Model mb = conv_stack_model(&rng_b);
+  BuiltinOpResolver opt;
+  MonitorOptions opts;
+  opts.per_layer_outputs = true;
+  Pcg32 drng(72);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 3; ++i) {
+    inputs.push_back(random_input(Shape{1, 16, 16, 8}, drng));
+  }
+
+  // Spooled run.
+  {
+    Interpreter interp(&ma, &opt);
+    EdgeMLMonitor monitor(opts);
+    monitor.set_pipeline_name("spooled");
+    monitor.spool_to(path);
+    monitor.observe(interp);
+    for (const Tensor& in : inputs) run_frame(monitor, interp, in);
+    EXPECT_EQ(monitor.finish_spool(), 3u);
+    // Spool mode retains nothing in memory.
+    EXPECT_TRUE(monitor.trace().frames.empty());
+    monitor.unobserve(interp);
+  }
+  // Retained run over the same model/inputs.
+  Interpreter interp(&mb, &opt);
+  EdgeMLMonitor monitor(opts);
+  monitor.set_pipeline_name("retained");
+  monitor.observe(interp);
+  for (const Tensor& in : inputs) run_frame(monitor, interp, in);
+  Trace retained = monitor.take_trace();
+  monitor.unobserve(interp);
+
+  Trace spooled = load_trace(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(spooled.pipeline_name, "spooled");
+  ASSERT_EQ(spooled.frames.size(), retained.frames.size());
+  for (std::size_t f = 0; f < spooled.frames.size(); ++f) {
+    const FrameTrace& s = spooled.frames[f];
+    const FrameTrace& r = retained.frames[f];
+    EXPECT_EQ(s.frame_id, r.frame_id);
+    EXPECT_EQ(s.layer_names, r.layer_names);
+    ASSERT_EQ(s.layer_outputs.size(), r.layer_outputs.size());
+    for (std::size_t i = 0; i < s.layer_outputs.size(); ++i) {
+      ASSERT_EQ(s.layer_outputs[i].byte_size(), r.layer_outputs[i].byte_size());
+      EXPECT_EQ(std::memcmp(s.layer_outputs[i].raw_data(),
+                            r.layer_outputs[i].raw_data(),
+                            r.layer_outputs[i].byte_size()),
+                0)
+          << "frame " << f << " layer " << s.layer_names[i];
+    }
+    ASSERT_TRUE(s.has_tensor(trace_keys::kModelOutput));
+    EXPECT_EQ(std::memcmp(s.tensor(trace_keys::kModelOutput).raw_data(),
+                          r.tensor(trace_keys::kModelOutput).raw_data(),
+                          r.tensor(trace_keys::kModelOutput).byte_size()),
+              0);
+  }
+}
+
+// on_inf_stop without observe(): the legacy pull path replays the retained
+// node outputs through the same capture storage.
+TEST(ObserverCompat, PullFallbackMatchesPushCapture) {
+  Pcg32 rng_a(81), rng_b(81);
+  Model ma = conv_stack_model(&rng_a);
+  Model mb = conv_stack_model(&rng_b);
+  BuiltinOpResolver opt;
+  MonitorOptions opts;
+  opts.per_layer_outputs = true;
+  Pcg32 drng(82);
+  Tensor input = random_input(Shape{1, 16, 16, 8}, drng);
+
+  Interpreter push_interp(&ma, &opt);
+  EdgeMLMonitor push_monitor(opts);
+  push_monitor.observe(push_interp);
+  run_frame(push_monitor, push_interp, input);
+  push_monitor.unobserve(push_interp);
+
+  Interpreter pull_interp(&mb, &opt);
+  EdgeMLMonitor pull_monitor(opts);  // never observed: pull fallback
+  run_frame(pull_monitor, pull_interp, input);
+
+  const FrameTrace& push_f = push_monitor.trace().frames.at(0);
+  const FrameTrace& pull_f = pull_monitor.trace().frames.at(0);
+  ASSERT_EQ(push_f.layer_names, pull_f.layer_names);
+  for (std::size_t i = 0; i < push_f.layer_outputs.size(); ++i) {
+    EXPECT_EQ(std::memcmp(push_f.layer_outputs[i].raw_data(),
+                          pull_f.layer_outputs[i].raw_data(),
+                          push_f.layer_outputs[i].byte_size()),
+              0);
+  }
+}
+
+TEST(ObserverLifetime, MonitorDetachesOnDestruction) {
+  Pcg32 rng(91);
+  Model m = conv_stack_model(&rng);
+  BuiltinOpResolver opt;
+  Interpreter interp(&m, &opt);
+  {
+    EdgeMLMonitor monitor;
+    monitor.observe(interp);
+    EXPECT_NE(interp.observer(), nullptr);
+  }
+  EXPECT_EQ(interp.observer(), nullptr);
+  Pcg32 drng(92);
+  interp.set_input(0, random_input(Shape{1, 16, 16, 8}, drng));
+  EXPECT_NO_THROW(interp.invoke());
+}
+
+TEST(ObserverLifetime, DyingMonitorDoesNotDetachItsSuccessor) {
+  Pcg32 rng(95);
+  Model m = conv_stack_model(&rng);
+  BuiltinOpResolver opt;
+  Interpreter interp(&m, &opt);
+  EdgeMLMonitor second;
+  {
+    EdgeMLMonitor first;
+    first.observe(interp);
+    second.observe(interp);  // takes over the observer slot
+    // first's destructor must leave second's buffer attached.
+  }
+  EXPECT_EQ(interp.observer(), &second.buffer());
+  second.unobserve(interp);
+}
+
+TEST(ObserverCompat, PullOnAnotherInterpreterDetachesBeforeRebinding) {
+  Pcg32 rng_a(96), rng_b(97);
+  Model ma = conv_stack_model(&rng_a);
+  GraphBuilder b("other", &rng_b);
+  int x = b.input(Shape{1, 8, 8, 4});
+  int fc = b.fully_connected(x, 6, Activation::kNone, "fc");
+  Model mb = b.finish({fc});  // different step count than ma
+  BuiltinOpResolver opt;
+  Interpreter interp_a(&ma, &opt);
+  Interpreter interp_b(&mb, &opt);
+  EdgeMLMonitor monitor;
+  monitor.observe(interp_a);
+  Pcg32 drng(98);
+  // Pull-capture a frame from a *different* interpreter: the buffer must
+  // detach from interp_a before rebinding its layout, or interp_a's next
+  // invoke trips the layout checks mid-flight.
+  interp_b.set_input(0, random_input(Shape{1, 8, 8, 4}, drng));
+  interp_b.invoke();
+  monitor.on_inf_stop(interp_b);
+  monitor.next_frame();
+  EXPECT_EQ(interp_a.observer(), nullptr);
+  interp_a.set_input(0, random_input(Shape{1, 16, 16, 8}, drng));
+  EXPECT_NO_THROW(interp_a.invoke());
+}
+
+TEST(TraceBufferKeys, InterningIsStable) {
+  TraceBuffer buffer;
+  const std::uint16_t a = buffer.intern_key("custom.key");
+  const std::uint16_t b = buffer.intern_key("custom.key");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(buffer.key_name(a), "custom.key");
+  const std::uint16_t latency = buffer.intern_key(trace_keys::kInferenceLatencyMs);
+  EXPECT_NE(a, latency);
+}
+
+}  // namespace
+}  // namespace mlexray
