@@ -10,13 +10,13 @@
 namespace mlexray {
 namespace {
 
-double quant_accuracy(const Model& mobile,
+double quant_accuracy(const Graph& mobile,
                       const std::vector<LabeledExample>& calib_inputs,
                       const std::vector<LabeledExample>& test,
                       CalibrationOptions copts, QuantizeOptions qopts) {
   Calibrator calib(&mobile, copts);
   for (const auto& ex : calib_inputs) calib.observe({ex.input});
-  Model quant = quantize_model(mobile, calib, qopts);
+  Graph quant = quantize_model(mobile, calib, qopts);
   RefOpResolver ref;  // correct kernels: isolate the quantization choice
   return evaluate_classifier(quant, ref, test);
 }
@@ -24,8 +24,8 @@ double quant_accuracy(const Model& mobile,
 int run() {
   bench::print_header("Ablation — quantization design choices (§2)",
                       "ML-EXray §2 discussion (our ablation)");
-  Model ckpt = trained_image_checkpoint("mobilenet_v2_mini");
-  Model mobile = convert_for_inference(ckpt);
+  Graph ckpt = trained_image_checkpoint("mobilenet_v2_mini");
+  Graph mobile = convert_for_inference(ckpt);
   ImagePipelineConfig correct{ckpt.input_spec, PreprocBug::kNone};
   auto test = imagenet_examples(
       SynthImageNet::make(StandardData::kImageTestPerClass,

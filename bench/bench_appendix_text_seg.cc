@@ -19,7 +19,7 @@ int run() {
   bench::print_header("Appendix A — text case-folding & segmentation bugs",
                       "ML-EXray Appendix A");
   // --- NNLM case sensitivity ---
-  Model nnlm = trained_nnlm_checkpoint();
+  Graph nnlm = trained_nnlm_checkpoint();
   auto texts = SynthImdb::make(StandardData::kTextTest, 9301);
   TextPipelineConfig folded;
   folded.max_len = StandardData::kTextMaxLen;
@@ -55,14 +55,14 @@ int run() {
       "(paper Appendix A: NNLM on IMDB).\n");
 
   // --- MobileBert stand-in sanity ---
-  Model bert = trained_mobilebert_checkpoint();
+  Graph bert = trained_mobilebert_checkpoint();
   auto bert_examples = imdb_examples(texts, folded);
   std::printf("\nmobilebert_mini (token-mixer stand-in) accuracy: %s\n",
               bench::pct(evaluate_classifier(bert, ref, bert_examples)).c_str());
 
   // --- segmentation under preprocessing bugs ---
   ZooModel deeplab = trained_deeplab();
-  Model deployed = convert_for_inference(deeplab.model);
+  Graph deployed = convert_for_inference(deeplab.model);
   auto scenes = SynthSeg::make(StandardData::kSegTest, 9401);
   BuiltinOpResolver opt;
   std::vector<std::vector<std::string>> rows;

@@ -22,12 +22,12 @@ bool system_metrics_ok(const Trace& trace) {
 }
 
 // Checks that the model survives the full-integer quantization path.
-bool quantization_ok(const Model& checkpoint, const Tensor& sample) {
+bool quantization_ok(const Graph& checkpoint, const Tensor& sample) {
   try {
-    Model mobile = convert_for_inference(checkpoint);
+    Graph mobile = convert_for_inference(checkpoint);
     Calibrator calib(&mobile);
     calib.observe({sample});
-    Model quant = quantize_model(mobile, calib);
+    Graph quant = quantize_model(mobile, calib);
     RefOpResolver ref;
     Interpreter interp(&quant, &ref);
     interp.set_input(0, sample);

@@ -22,8 +22,8 @@ int run() {
   std::vector<std::vector<std::string>> rows;
   BuiltinOpResolver opt;
   for (const ZooEntry& entry : image_zoo()) {
-    Model ckpt = trained_image_checkpoint(entry.name);
-    Model mobile = convert_for_inference(ckpt);
+    Graph ckpt = trained_image_checkpoint(entry.name);
+    Graph mobile = convert_for_inference(ckpt);
     std::vector<std::string> row{entry.name};
     for (PreprocBug bug : bugs) {
       ImagePipelineConfig cfg{ckpt.input_spec, bug};

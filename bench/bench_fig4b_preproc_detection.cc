@@ -21,7 +21,7 @@ int run() {
   std::vector<std::vector<std::string>> rows;
   for (const char* backbone : {"mobilenet", "resnet"}) {
     SsdModel ssd = trained_ssd(backbone);
-    Model deployed = convert_for_inference(ssd.model);
+    Graph deployed = convert_for_inference(ssd.model);
     std::vector<std::string> row{"ssd_" + std::string(backbone)};
     for (PreprocBug bug : bugs) {
       ImagePipelineConfig cfg{ssd.model.input_spec, bug};

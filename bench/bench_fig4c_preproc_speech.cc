@@ -14,8 +14,8 @@ int run() {
   BuiltinOpResolver opt;
   std::vector<std::vector<std::string>> rows;
   for (const char* name : {"kws_tiny_conv", "kws_low_latency_conv"}) {
-    Model ckpt = trained_kws_checkpoint(name);
-    Model mobile = convert_for_inference(ckpt);
+    Graph ckpt = trained_kws_checkpoint(name);
+    Graph mobile = convert_for_inference(ckpt);
     AudioPipelineConfig correct;
     AudioPipelineConfig buggy;
     buggy.bug = AudioBug::kWrongScale;

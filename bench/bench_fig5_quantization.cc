@@ -30,8 +30,8 @@ int run() {
 
   std::vector<std::vector<std::string>> rows;
   for (const ZooEntry& entry : image_zoo()) {
-    Model ckpt = trained_image_checkpoint(entry.name);
-    Model mobile = convert_for_inference(ckpt);
+    Graph ckpt = trained_image_checkpoint(entry.name);
+    Graph mobile = convert_for_inference(ckpt);
     ImagePipelineConfig correct{ckpt.input_spec, PreprocBug::kNone};
     auto examples = imagenet_examples(test, correct);
 
@@ -39,7 +39,7 @@ int run() {
     for (const auto& s : calib_sensors) {
       calib.observe({run_image_pipeline(s.image_u8, correct)});
     }
-    Model quant = quantize_model(mobile, calib);
+    Graph quant = quantize_model(mobile, calib);
 
     rows.push_back(
         {entry.name,

@@ -15,8 +15,8 @@ namespace mlexray {
 namespace {
 
 void run_model(const std::string& name) {
-  Model ckpt = trained_image_checkpoint(name);
-  Model mobile = convert_for_inference(ckpt);
+  Graph ckpt = trained_image_checkpoint(name);
+  Graph mobile = convert_for_inference(ckpt);
   ImagePipelineConfig correct{ckpt.input_spec, PreprocBug::kNone};
   auto sensors = SynthImageNet::make(2, 4242);
 
@@ -24,7 +24,7 @@ void run_model(const std::string& name) {
   for (const auto& s : SynthImageNet::make(8, 777)) {
     calib.observe({run_image_pipeline(s.image_u8, correct)});
   }
-  Model quant = quantize_model(mobile, calib);
+  Graph quant = quantize_model(mobile, calib);
 
   MonitorOptions opts;
   opts.per_layer_outputs = true;

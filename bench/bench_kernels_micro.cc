@@ -20,7 +20,7 @@
 namespace mlexray {
 namespace {
 
-Model conv_model(int size, int ch, int out_ch, OpType type) {
+Graph conv_model(int size, int ch, int out_ch, OpType type) {
   Pcg32 rng(1);
   GraphBuilder b("m", &rng);
   int x = b.input(Shape{1, size, size, ch});
@@ -57,14 +57,14 @@ void run_variant(benchmark::State& state, OpType type, bool reference,
                  bool quantized = false) {
   const int size = static_cast<int>(state.range(0));
   const int ch = static_cast<int>(state.range(1));
-  Model m = conv_model(size, ch, ch, type);
-  Model qm;
+  Graph m = conv_model(size, ch, ch, type);
+  Graph qm;
   if (quantized) {
     Calibrator calib(&m);
     for (int i = 0; i < 4; ++i) calib.observe({random_input(size, ch, 10 + i)});
     qm = quantize_model(m, calib);
   }
-  const Model& bench_model = quantized ? qm : m;
+  const Graph& bench_model = quantized ? qm : m;
   RefOpResolver ref;
   BuiltinOpResolver opt;
   const OpResolver& resolver = reference ? static_cast<const OpResolver&>(ref)

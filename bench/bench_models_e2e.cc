@@ -28,7 +28,7 @@ namespace {
 
 constexpr std::uint64_t kSeed = 17;
 
-Tensor random_model_input(const Model& model, std::uint64_t seed) {
+Tensor random_model_input(const Graph& model, std::uint64_t seed) {
   const Shape& shape = model.node(model.input_ids()[0]).output_shape;
   Tensor input = Tensor::f32(shape);
   Pcg32 rng(seed);
@@ -40,7 +40,7 @@ Tensor random_model_input(const Model& model, std::uint64_t seed) {
 }
 
 // Builds the float deployment graph at the given batch size.
-using FloatModelBuilder = std::function<Model(int batch)>;
+using FloatModelBuilder = std::function<Graph(int batch)>;
 
 struct E2ECase {
   std::string name;
@@ -50,13 +50,13 @@ struct E2ECase {
 };
 
 void run_e2e(benchmark::State& state, const E2ECase& c) {
-  Model model = c.build(c.batch);
-  Model quantized;
+  Graph model = c.build(c.batch);
+  Graph quantized;
   if (c.quantized) {
     // Calibrate on the batch-1 twin: node ids are batch-independent (batch
     // only changes the input shape) and quantize_model reads ranges by node
     // id, so this avoids paying reference-kernel invokes at batch 16.
-    Model calib_model = c.batch == 1 ? model : c.build(1);
+    Graph calib_model = c.batch == 1 ? model : c.build(1);
     MLX_CHECK_EQ(calib_model.nodes.size(), model.nodes.size());
     Calibrator calib(&calib_model);
     for (int i = 0; i < 2; ++i) {
@@ -64,7 +64,7 @@ void run_e2e(benchmark::State& state, const E2ECase& c) {
     }
     quantized = quantize_model(model, calib);
   }
-  const Model& bench_model = c.quantized ? quantized : model;
+  const Graph& bench_model = c.quantized ? quantized : model;
   BuiltinOpResolver opt;
   Interpreter interp(&bench_model, &opt, /*num_threads=*/2);
   interp.set_input(0, random_model_input(bench_model, kSeed + 7));

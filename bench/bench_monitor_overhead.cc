@@ -32,7 +32,7 @@ namespace {
 
 constexpr std::uint64_t kSeed = 23;
 
-Tensor random_model_input(const Model& model, std::uint64_t seed) {
+Tensor random_model_input(const Graph& model, std::uint64_t seed) {
   const Shape& shape = model.node(model.input_ids()[0]).output_shape;
   Tensor input = Tensor::f32(shape);
   Pcg32 rng(seed);
@@ -43,7 +43,7 @@ Tensor random_model_input(const Model& model, std::uint64_t seed) {
   return input;
 }
 
-using FloatModelBuilder = std::function<Model()>;
+using FloatModelBuilder = std::function<Graph()>;
 
 enum class Mode { kBare, kModelIo, kPerLayerLatency, kPerLayerOutputs };
 
@@ -82,8 +82,8 @@ struct OverheadCase {
 };
 
 void run_overhead(benchmark::State& state, const OverheadCase& c) {
-  Model model = c.build();
-  Model quantized;
+  Graph model = c.build();
+  Graph quantized;
   if (c.quantized) {
     Calibrator calib(&model);
     for (int i = 0; i < 2; ++i) {
@@ -91,7 +91,7 @@ void run_overhead(benchmark::State& state, const OverheadCase& c) {
     }
     quantized = quantize_model(model, calib);
   }
-  const Model& bench_model = c.quantized ? quantized : model;
+  const Graph& bench_model = c.quantized ? quantized : model;
   BuiltinOpResolver opt;
   // Interpreter before monitor: the monitor detaches itself at destruction.
   Interpreter interp(&bench_model, &opt, /*num_threads=*/2);

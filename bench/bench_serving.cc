@@ -1,0 +1,224 @@
+// Concurrent serving benchmark: one shared prepared Model, T threads each
+// holding a pooled Engine session — the prepare-once/serve-many contract of
+// the Model/Session split.
+//
+// For every model/dtype it sweeps thread counts and records steady-state
+// invoke throughput plus the memory split the API is designed around:
+// prepared bytes are paid ONCE per model (constant in session count —
+// asserted here via gemm_b_pack_events), while each session pays only its
+// private scratch-arena high-water mark. Near-linear invokes/s scaling with
+// threads is the signal that sessions really share the plan without
+// synchronizing.
+//
+// Emits google-benchmark-shaped JSON on stdout (context + benchmarks[])
+// so bench/run_benches.sh can digest and stamp BENCH_serving.json with the
+// same tooling as the gbench harnesses. Pass --quick for a CI smoke run.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/convert/converter.h"
+#include "src/interpreter/engine.h"
+#include "src/kernels/gemm.h"
+#include "src/models/zoo.h"
+#include "src/quant/quantizer.h"
+
+namespace mlexray {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kSeed = 17;
+
+Tensor random_model_input(const Graph& graph, std::uint64_t seed) {
+  const Shape& shape = graph.node(graph.input_ids()[0]).output_shape;
+  Tensor input = Tensor::f32(shape);
+  Pcg32 rng(seed);
+  float* p = input.data<float>();
+  for (std::int64_t i = 0; i < input.num_elements(); ++i) {
+    p[i] = rng.uniform(-1, 1);
+  }
+  return input;
+}
+
+struct Row {
+  std::string name;
+  double us_per_invoke = 0.0;
+  double invokes_per_sec = 0.0;
+  int threads = 0;
+  std::int64_t invokes = 0;
+  double prepared_kb = 0.0;
+  double arena_hw_kb = 0.0;      // max across sessions
+  double activation_kb = 0.0;    // per session
+  std::size_t sessions = 0;
+  std::uint64_t pack_events_during_serve = 0;  // must stay 0
+};
+
+// Runs `threads` workers, each invoking its own pooled session
+// `invokes_per_thread` times against the already-loaded model.
+Row serve(Engine& engine, const std::string& model_name, int threads,
+          std::int64_t invokes_per_thread, const Tensor& input) {
+  std::vector<SessionLease> leases;
+  leases.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    leases.push_back(engine.acquire(model_name));
+    // Warmup grows each session's arena to its high-water mark so the timed
+    // region is the zero-alloc steady state.
+    leases.back()->set_input(0, input);
+    leases.back()->invoke();
+  }
+
+  const std::uint64_t packs_before = gemm_b_pack_events();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  const auto start = Clock::now();
+  for (int t = 0; t < threads; ++t) {
+    Session* session = leases[static_cast<std::size_t>(t)].get();
+    workers.emplace_back([session, invokes_per_thread, &input] {
+      for (std::int64_t i = 0; i < invokes_per_thread; ++i) {
+        session->set_input(0, input);
+        session->invoke();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double secs = std::chrono::duration<double>(Clock::now() - start).count();
+
+  Row row;
+  row.threads = threads;
+  row.invokes = invokes_per_thread * threads;
+  row.us_per_invoke = secs * 1e6 / static_cast<double>(row.invokes);
+  row.invokes_per_sec = static_cast<double>(row.invokes) / secs;
+  row.pack_events_during_serve = gemm_b_pack_events() - packs_before;
+  const EnginePoolStats stats = engine.pool_stats(model_name);
+  row.prepared_kb = static_cast<double>(stats.prepared_bytes) / 1024.0;
+  row.sessions = stats.sessions_created;
+  for (const SessionLease& lease : leases) {
+    row.arena_hw_kb =
+        std::max(row.arena_hw_kb,
+                 static_cast<double>(
+                     lease->last_stats().arena_high_water_bytes) /
+                     1024.0);
+    row.activation_kb =
+        static_cast<double>(lease->activation_bytes()) / 1024.0;
+  }
+  return row;
+}
+
+int run(bool quick) {
+  // Serving sweep: a classification model in both dtypes. Sessions run
+  // single-threaded kernels (num_threads=1) so thread scaling comes from
+  // concurrent sessions, not the kernel pool.
+  struct Case {
+    std::string model;
+    bool quantized;
+  };
+  const std::vector<Case> cases = {
+      {"mobilenet_v1_mini", false},
+      {"mobilenet_v1_mini", true},
+      {"resnet50v2_mini", false},
+  };
+  // Always sweep to 4 threads even on smaller hosts: the concurrency
+  // behaviour (shared plan, private arenas, no re-packing) is what the
+  // bench locks in; the scaling *factor* is read against the recorded
+  // hardware_concurrency.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<int> thread_counts = {1, 2, 4};
+  if (hw >= 8) thread_counts.push_back(8);
+
+  std::vector<Row> rows;
+  for (const Case& c : cases) {
+    const ZooEntry* entry = nullptr;
+    for (const ZooEntry& e : image_zoo()) {
+      if (e.name == c.model) entry = &e;
+    }
+    MLX_CHECK(entry != nullptr) << "unknown zoo model " << c.model;
+    Graph graph = convert_for_inference(entry->build(kSeed, 1).model);
+    if (c.quantized) {
+      Calibrator calib(&graph);
+      for (int i = 0; i < 2; ++i) {
+        calib.observe({random_model_input(graph, kSeed + 100 + i)});
+      }
+      graph = quantize_model(graph, calib);
+    }
+    Tensor input = random_model_input(graph, kSeed + 7);
+    const std::string dtype = c.quantized ? "int8" : "f32";
+    const std::string loaded = c.model + "/" + dtype;
+
+    BuiltinOpResolver resolver;
+    Engine engine(&resolver);
+    engine.load(loaded, std::move(graph));
+
+    // Calibrate the per-thread invoke count off a single-session probe so
+    // every thread count runs roughly the same wall clock.
+    const auto probe_start = Clock::now();
+    {
+      SessionLease probe = engine.acquire(loaded);
+      probe->set_input(0, input);
+      for (int i = 0; i < 5; ++i) probe->invoke();
+    }
+    const double probe_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - probe_start)
+            .count() /
+        5.0;
+    const double target_ms = quick ? 30.0 : 400.0;
+    const auto invokes_per_thread = static_cast<std::int64_t>(
+        std::max(2.0, target_ms / std::max(probe_ms, 1e-3)));
+
+    for (int threads : thread_counts) {
+      Row row = serve(engine, loaded, threads, invokes_per_thread, input);
+      row.name = "serving/" + c.model + "/" + dtype + "/t" +
+                 std::to_string(threads);
+      rows.push_back(row);
+      std::fprintf(stderr, "%-44s %10.1f us/invoke %12.1f inv/s\n",
+                   row.name.c_str(), row.us_per_invoke, row.invokes_per_sec);
+    }
+  }
+
+  // google-benchmark-shaped JSON so run_benches.sh digests it unchanged.
+  std::printf("{\n");
+  std::printf("  \"context\": {\n");
+  std::printf("    \"executable\": \"bench_serving\",\n");
+  std::printf("    \"hardware_concurrency\": %u,\n", hw);
+  std::printf("    \"quick\": %s\n", quick ? "true" : "false");
+  std::printf("  },\n");
+  std::printf("  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::printf("    {\n");
+    std::printf("      \"name\": \"%s\",\n", r.name.c_str());
+    std::printf("      \"run_type\": \"iteration\",\n");
+    std::printf("      \"iterations\": %lld,\n",
+                static_cast<long long>(r.invokes));
+    std::printf("      \"real_time\": %.4f,\n", r.us_per_invoke);
+    std::printf("      \"cpu_time\": %.4f,\n", r.us_per_invoke);
+    std::printf("      \"time_unit\": \"us\",\n");
+    std::printf("      \"threads\": %d,\n", r.threads);
+    std::printf("      \"invokes_per_second\": %.2f,\n", r.invokes_per_sec);
+    std::printf("      \"sessions\": %zu,\n", r.sessions);
+    std::printf("      \"prepared_kb\": %.2f,\n", r.prepared_kb);
+    std::printf("      \"arena_high_water_kb\": %.2f,\n", r.arena_hw_kb);
+    std::printf("      \"activation_kb_per_session\": %.2f,\n",
+                r.activation_kb);
+    std::printf("      \"gemm_b_pack_events_during_serve\": %llu\n",
+                static_cast<unsigned long long>(r.pack_events_during_serve));
+    std::printf("    }%s\n", i + 1 == rows.size() ? "" : ",");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mlexray
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  return mlexray::run(quick);
+}

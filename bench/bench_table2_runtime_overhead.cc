@@ -27,7 +27,7 @@ struct Measured {
   double log_kb_per_frame = 0.0;
 };
 
-Measured run_frames(const Model& model, const OpResolver& resolver,
+Measured run_frames(const Graph& model, const OpResolver& resolver,
                     const std::vector<SensorExample>& sensors,
                     bool instrumented) {
   using Clock = std::chrono::steady_clock;
@@ -35,7 +35,7 @@ Measured run_frames(const Model& model, const OpResolver& resolver,
   ScopedPeakTracker tracker;
   EdgeMLMonitor monitor;  // default (light) options
   ClassificationPipelineOptions opts;
-  opts.model = &model;
+  opts.graph = &model;
   opts.resolver = &resolver;
   opts.preprocess = {model.input_spec, PreprocBug::kNone};
   opts.num_threads = 2;
@@ -59,8 +59,8 @@ Measured run_frames(const Model& model, const OpResolver& resolver,
 int run() {
   bench::print_header("Table 2 — run-time instrumentation overhead",
                       "ML-EXray Table 2");
-  Model ckpt = trained_image_checkpoint("mobilenet_v2_mini");
-  Model mobile = convert_for_inference(ckpt);
+  Graph ckpt = trained_image_checkpoint("mobilenet_v2_mini");
+  Graph mobile = convert_for_inference(ckpt);
   auto sensors = SynthImageNet::make(2, 9001);
   BuiltinOpResolver opt;
 

@@ -26,14 +26,14 @@ int run() {
 
   std::vector<std::vector<std::string>> rows;
   for (const ZooEntry& entry : image_zoo()) {
-    Model ckpt = trained_image_checkpoint(entry.name);
-    Model mobile = convert_for_inference(ckpt);
+    Graph ckpt = trained_image_checkpoint(entry.name);
+    Graph mobile = convert_for_inference(ckpt);
     ImagePipelineConfig correct{ckpt.input_spec, PreprocBug::kNone};
     Calibrator calib(&mobile);
     for (const auto& s : calib_sensors) {
       calib.observe({run_image_pipeline(s.image_u8, correct)});
     }
-    Model quant = quantize_model(mobile, calib);
+    Graph quant = quantize_model(mobile, calib);
 
     MonitorOptions opts;
     opts.per_layer_outputs = true;

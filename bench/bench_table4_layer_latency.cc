@@ -20,7 +20,7 @@ namespace {
 
 constexpr int kInvokes = 5;
 
-std::map<std::string, double> measure_by_group(const Model& model,
+std::map<std::string, double> measure_by_group(const Graph& model,
                                                const OpResolver& resolver,
                                                const Tensor& input,
                                                int num_threads) {
@@ -40,7 +40,7 @@ std::map<std::string, double> measure_by_group(const Model& model,
   return totals;
 }
 
-std::map<std::string, double> modeled_by_group(const Model& model,
+std::map<std::string, double> modeled_by_group(const Graph& model,
                                                const DeviceProfile& profile) {
   std::map<std::string, double> totals;
   for (const Node& n : model.nodes) {
@@ -53,8 +53,8 @@ std::map<std::string, double> modeled_by_group(const Model& model,
 int run() {
   bench::print_header("Table 4 — latency by layer type (MobileNetV2-mini)",
                       "ML-EXray Table 4");
-  Model ckpt = trained_image_checkpoint("mobilenet_v2_mini");
-  Model mobile = convert_for_inference(ckpt);
+  Graph ckpt = trained_image_checkpoint("mobilenet_v2_mini");
+  Graph mobile = convert_for_inference(ckpt);
   ImagePipelineConfig correct{ckpt.input_spec, PreprocBug::kNone};
   auto sensors = SynthImageNet::make(1, 9200);
   Tensor input = run_image_pipeline(sensors[0].image_u8, correct);
@@ -63,7 +63,7 @@ int run() {
   for (const auto& s : SynthImageNet::make(4, 777)) {
     calib.observe({run_image_pipeline(s.image_u8, correct)});
   }
-  Model quant = quantize_model(mobile, calib);
+  Graph quant = quantize_model(mobile, calib);
 
   BuiltinOpResolver opt;
   RefOpResolver ref;

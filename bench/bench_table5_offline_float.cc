@@ -23,8 +23,8 @@ int run() {
 
   std::vector<std::vector<std::string>> rows;
   for (const ZooEntry& entry : image_zoo()) {
-    Model ckpt = trained_image_checkpoint(entry.name);
-    Model mobile = convert_for_inference(ckpt);
+    Graph ckpt = trained_image_checkpoint(entry.name);
+    Graph mobile = convert_for_inference(ckpt);
     ImagePipelineConfig correct{ckpt.input_spec, PreprocBug::kNone};
     MonitorOptions opts;
     opts.per_layer_outputs = true;

@@ -48,7 +48,8 @@ if [[ "${build_type}" != "Release" ]]; then
   exit 1
 fi
 
-for bin in bench_kernels_micro bench_models_e2e bench_monitor_overhead; do
+for bin in bench_kernels_micro bench_models_e2e bench_monitor_overhead \
+           bench_serving; do
   if [[ ! -x "${build_dir}/${bin}" ]]; then
     echo "${bin} not found in ${build_dir}; build first:" >&2
     echo "  cmake -B build -S . && cmake --build build -j" >&2
@@ -133,3 +134,46 @@ echo "== monitor overhead (bare vs io vs per-layer latency vs outputs) =="
 echo "wrote ${out_dir}/BENCH_monitor_overhead.json"
 digest "${out_dir}/BENCH_monitor_overhead.json"
 digest_overhead "${out_dir}/BENCH_monitor_overhead.json"
+
+# Summarizes invoke-throughput scaling per model/dtype relative to its
+# one-thread row and stamps the ratios into the JSON context. Prepared bytes
+# must be constant in session count and no GEMM B panel may be re-packed
+# while serving (the prepare-once/serve-many contract); fail loudly if the
+# bench recorded otherwise.
+digest_serving() {
+  python3 - "$1" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    data = json.load(f)
+rows = {}
+for b in data.get("benchmarks", []):
+    _, model, dtype, t = b["name"].split("/")
+    rows.setdefault(f"{model}/{dtype}", {})[int(t.lstrip("t"))] = b
+scaling = {}
+print(f"{'model/dtype':32s} {'t1 inv/s':>10s}  scaling(t2,t4,...)  prepared_kb")
+for key, by_t in sorted(rows.items()):
+    base = by_t[min(by_t)]
+    for b in by_t.values():
+        assert b["gemm_b_pack_events_during_serve"] == 0, \
+            f"{b['name']}: GEMM B panels re-packed while serving"
+        assert b["prepared_kb"] == base["prepared_kb"], \
+            f"{b['name']}: prepared bytes changed with session count"
+    rel = {t: by_t[t]["invokes_per_second"] / base["invokes_per_second"]
+           for t in sorted(by_t)}
+    scaling[key] = rel
+    cells = ", ".join(f"t{t}:{r:.2f}x" for t, r in rel.items() if t != min(by_t))
+    print(f"{key:32s} {base['invokes_per_second']:10.0f}  {cells:18s}  {base['prepared_kb']:.1f}")
+data.setdefault("context", {})["mlexray_serving_scaling"] = scaling
+with open(path, "w") as f:
+    json.dump(data, f, indent=1)
+    f.write("\n")
+EOF
+}
+
+echo
+echo "== concurrent serving (one Model, T threads x pooled sessions) =="
+"${build_dir}/bench_serving" > "${out_dir}/BENCH_serving.json"
+echo "wrote ${out_dir}/BENCH_serving.json"
+digest "${out_dir}/BENCH_serving.json"
+digest_serving "${out_dir}/BENCH_serving.json"

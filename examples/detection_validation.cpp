@@ -10,7 +10,7 @@ using namespace mlexray;
 
 int main() {
   SsdModel ssd = trained_ssd("mobilenet");
-  Model deployed = convert_for_inference(ssd.model);
+  Graph deployed = convert_for_inference(ssd.model);
   BuiltinOpResolver opt;
   auto scenes = SynthCoco::make(32, 135);
 

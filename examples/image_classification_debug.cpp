@@ -11,8 +11,8 @@
 using namespace mlexray;
 
 int main() {
-  Model ckpt = trained_image_checkpoint("mobilenet_v2_mini");
-  Model mobile = convert_for_inference(ckpt);
+  Graph ckpt = trained_image_checkpoint("mobilenet_v2_mini");
+  Graph mobile = convert_for_inference(ckpt);
   BuiltinOpResolver opt;
   auto sensors = SynthImageNet::make(4, 654);
   std::vector<int> labels;

@@ -9,7 +9,7 @@
 
 using namespace mlexray;
 
-void debug_per_layer_latency_manually(const Model& model, Interpreter& interp,
+void debug_per_layer_latency_manually(const Graph& model, Interpreter& interp,
                                       const Tensor& input) {
   // [mlx-inst-begin]
   std::vector<std::vector<double>> per_layer(model.nodes.size());

@@ -7,7 +7,7 @@
 
 using namespace mlexray;
 
-void debug_preprocessing(const Model& model, EdgeMLMonitor& monitor,
+void debug_preprocessing(const Graph& model, EdgeMLMonitor& monitor,
                          const Tensor& sensor, const Tensor& model_input,
                          const Trace& edge, const Trace& reference) {
   // [mlx-inst-begin]

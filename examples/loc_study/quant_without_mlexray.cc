@@ -11,8 +11,8 @@
 
 using namespace mlexray;
 
-void debug_quantization_manually(const Model& model, const Interpreter& interp,
-                                 const Model& ref_model,
+void debug_quantization_manually(const Graph& model, const Interpreter& interp,
+                                 const Graph& ref_model,
                                  const Interpreter& ref_interp) {
   // [mlx-inst-begin]
   std::ofstream meta("layers_meta.txt");

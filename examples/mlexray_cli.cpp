@@ -9,18 +9,25 @@
 //   mlexray_cli validate <edge.mlxtrace> <reference.mlxtrace> <model>
 //   mlexray_cli inspect <trace.mlxtrace>
 //   mlexray_cli trace-info <trace.mlxtrace>
+//   mlexray_cli serve <model> <threads> <frames-per-thread>
 //
 // record streams frames straight to the output file via the monitor's
 // background spooler (the on-device path); trace-info is the workstation
-// side, reading raw-dtype captures back through Tensor::to_f32.
+// side, reading raw-dtype captures back through Tensor::to_f32; serve
+// demonstrates the Model/Session split — one shared prepared Model driven
+// by pooled Engine sessions from several threads.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <thread>
 
 #include "src/core/assertions.h"
 #include "src/core/pipelines.h"
+#include "src/interpreter/engine.h"
 #include "src/models/trained_models.h"
 
 namespace mlexray {
@@ -46,7 +53,7 @@ std::vector<SensorExample> frames_for(int count) {
 
 int cmd_record(const std::string& model_name, const std::string& bug,
                int frames, const std::string& out, bool reference) {
-  Model model = trained_image_checkpoint(model_name);
+  Graph model = trained_image_checkpoint(model_name);
   RefOpResolver resolver;
   MonitorOptions opts;
   opts.per_layer_outputs = true;
@@ -73,7 +80,7 @@ int cmd_validate(const std::string& edge_path, const std::string& ref_path,
                  const std::string& model_name) {
   Trace edge = load_trace(edge_path);
   Trace reference = load_trace(ref_path);
-  Model model = trained_image_checkpoint(model_name);
+  Graph model = trained_image_checkpoint(model_name);
 
   auto sensors = frames_for(static_cast<int>(edge.frames.size()));
   std::vector<int> labels;
@@ -108,9 +115,30 @@ int cmd_inspect(const std::string& path) {
   return 0;
 }
 
-// Workstation-side trace digest: frame count, keys, per-layer stats (raw
-// dtype captures dequantized through the offline to_f32 path), and the
-// overhead scalars aggregated across frames.
+struct TensorDigest {
+  double mean = 0.0;
+  double absmax = 0.0;
+};
+
+// Offline dequantization: raw-dtype captures go through to_f32 here, never
+// on the device.
+TensorDigest digest_tensor(const Tensor& raw) {
+  Tensor f32 = raw.to_f32();
+  const float* p = f32.data<float>();
+  TensorDigest d;
+  double sum = 0.0;
+  for (std::int64_t k = 0; k < f32.num_elements(); ++k) {
+    sum += p[k];
+    d.absmax = std::max(d.absmax, std::abs(static_cast<double>(p[k])));
+  }
+  d.mean = sum / static_cast<double>(std::max<std::int64_t>(
+                     f32.num_elements(), 1));
+  return d;
+}
+
+// Workstation-side trace digest: frame count, keys, per-model-output and
+// per-layer stats (raw dtype captures dequantized through the offline
+// to_f32 path), and the overhead scalars aggregated across frames.
 int cmd_trace_info(const std::string& path) {
   Trace trace = load_trace(path);
   std::printf("pipeline: %s\nframes:   %zu\n", trace.pipeline_name.c_str(),
@@ -148,6 +176,20 @@ int cmd_trace_info(const std::string& path) {
                 tensor.shape().to_string().c_str());
   }
 
+  // Multi-output capture: one digest per model output head (SSD traces
+  // carry box + class heads under model.output / model.output:1 / ...).
+  std::printf("\nmodel outputs (frame 0, digests):\n");
+  for (int i = 0;; ++i) {
+    const std::string key = trace_keys::model_output_key(i);
+    auto it = f0.tensors.find(key);
+    if (it == f0.tensors.end()) break;
+    const Tensor& raw = it->second;
+    TensorDigest d = digest_tensor(raw);
+    std::printf("  %-20s %-6s %-14s mean %10.4f  |max| %10.4f\n", key.c_str(),
+                dtype_name(raw.dtype()).c_str(),
+                raw.shape().to_string().c_str(), d.mean, d.absmax);
+  }
+
   if (!f0.layer_names.empty()) {
     std::printf("\nper-layer (%zu layers, frame 0):\n", f0.layer_names.size());
     std::printf("  %-24s %-6s %-14s %10s %10s %10s\n", "layer", "dtype",
@@ -158,18 +200,11 @@ int cmd_trace_info(const std::string& path) {
         const Tensor& raw = f0.layer_outputs[i];
         dtype = dtype_name(raw.dtype());
         shape = raw.shape().to_string();
-        Tensor f32 = raw.to_f32();  // offline dequantization
-        const float* p = f32.data<float>();
-        double sum = 0.0, amax = 0.0;
-        for (std::int64_t k = 0; k < f32.num_elements(); ++k) {
-          sum += p[k];
-          amax = std::max(amax, std::abs(static_cast<double>(p[k])));
-        }
+        TensorDigest d = digest_tensor(raw);
         char buf[32];
-        std::snprintf(buf, sizeof(buf), "%.4f",
-                      sum / static_cast<double>(f32.num_elements()));
+        std::snprintf(buf, sizeof(buf), "%.4f", d.mean);
         mean = buf;
-        std::snprintf(buf, sizeof(buf), "%.4f", amax);
+        std::snprintf(buf, sizeof(buf), "%.4f", d.absmax);
         absmax = buf;
       }
       std::string lat = "-";
@@ -186,6 +221,63 @@ int cmd_trace_info(const std::string& path) {
   return 0;
 }
 
+// Concurrent serving demo: load the graph into an Engine once, then drive
+// the shared Model from `threads` workers, each acquiring a pooled session
+// per frame — the prepare-once/serve-many path a deployment daemon uses.
+int cmd_serve(const std::string& model_name, int threads, int frames) {
+  using Clock = std::chrono::steady_clock;
+  MLX_CHECK(threads > 0 && frames > 0)
+      << "serve needs positive <threads> and <frames-per-thread>, got "
+      << threads << " and " << frames;
+  Graph graph = trained_image_checkpoint(model_name);
+  // Production path: the optimized resolver's prepare hooks pack weights at
+  // load, so prepared bytes below show what the sessions share.
+  BuiltinOpResolver resolver;
+  Engine engine(&resolver);
+
+  const auto load_start = Clock::now();
+  const Model& model = engine.load(model_name, std::move(graph));
+  const double load_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - load_start)
+          .count();
+
+  // One preprocessed input reused by every worker (serving benchmark shape).
+  auto sensors = frames_for(1);
+  ImagePipelineConfig correct{model.graph().input_spec, PreprocBug::kNone};
+  Tensor input = run_image_pipeline(sensors[0].image_u8, correct);
+
+  std::atomic<std::int64_t> total_invokes{0};
+  const auto serve_start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (int f = 0; f < frames; ++f) {
+        SessionLease lease = engine.acquire(model_name);
+        lease->set_input(0, input);
+        lease->invoke();
+        total_invokes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double serve_s =
+      std::chrono::duration<double>(Clock::now() - serve_start).count();
+
+  const EnginePoolStats stats = engine.pool_stats(model_name);
+  std::printf("model:            %s (prepared once in %.1f ms)\n",
+              model_name.c_str(), load_ms);
+  std::printf("prepared bytes:   %.1f KB (shared across all sessions)\n",
+              static_cast<double>(stats.prepared_bytes) / 1e3);
+  std::printf("sessions created: %zu for %llu leases (%d threads)\n",
+              stats.sessions_created,
+              static_cast<unsigned long long>(stats.leases_issued), threads);
+  std::printf("throughput:       %.1f invokes/s (%lld invokes in %.2f s)\n",
+              static_cast<double>(total_invokes.load()) / serve_s,
+              static_cast<long long>(total_invokes.load()), serve_s);
+  return 0;
+}
+
 int usage() {
   std::printf(
       "usage:\n"
@@ -193,7 +285,8 @@ int usage() {
       "  mlexray_cli reference <model> <frames> <out.mlxtrace>\n"
       "  mlexray_cli validate <edge.mlxtrace> <ref.mlxtrace> <model>\n"
       "  mlexray_cli inspect <trace.mlxtrace>\n"
-      "  mlexray_cli trace-info <trace.mlxtrace>\n");
+      "  mlexray_cli trace-info <trace.mlxtrace>\n"
+      "  mlexray_cli serve <model> <threads> <frames-per-thread>\n");
   return 1;
 }
 
@@ -214,6 +307,9 @@ int dispatch(int argc, char** argv) {
   }
   if (cmd == "trace-info" && argc == 3) {
     return cmd_trace_info(argv[2]);
+  }
+  if (cmd == "serve" && argc == 5) {
+    return cmd_serve(argv[2], std::atoi(argv[3]), std::atoi(argv[4]));
   }
   return usage();
 }

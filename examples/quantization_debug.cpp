@@ -13,8 +13,8 @@
 using namespace mlexray;
 
 int main() {
-  Model ckpt = trained_image_checkpoint("mobilenet_v2_mini");
-  Model mobile = convert_for_inference(ckpt);
+  Graph ckpt = trained_image_checkpoint("mobilenet_v2_mini");
+  Graph mobile = convert_for_inference(ckpt);
   ImagePipelineConfig correct{ckpt.input_spec, PreprocBug::kNone};
 
   // Post-training full-integer quantization with a representative set.
@@ -22,7 +22,7 @@ int main() {
   for (const auto& s : SynthImageNet::make(8, 777)) {
     calibrator.observe({run_image_pipeline(s.image_u8, correct)});
   }
-  Model quant = quantize_model(mobile, calibrator);
+  Graph quant = quantize_model(mobile, calibrator);
 
   // The production deployment uses the optimized resolver — as shipped,
   // with the kernel defect the paper uncovered.

@@ -1,6 +1,7 @@
-// Quickstart: instrument an inference pipeline with ML-EXray in a handful
-// of lines, replay the same data through a reference pipeline, and run the
-// deployment validation flow (paper Fig. 1/2).
+// Quickstart: the serving API in a handful of lines (Model → Session),
+// then the full ML-EXray deployment validation flow (paper Fig. 1/2):
+// instrument an inference pipeline, replay the same data through a
+// reference pipeline, and validate.
 //
 //   ./quickstart            # run from the repo root
 #include <cstdio>
@@ -8,34 +9,54 @@
 #include "src/core/assertions.h"
 #include "src/core/pipelines.h"
 #include "src/core/validation.h"
+#include "src/interpreter/model.h"
 #include "src/models/trained_models.h"
+#include "src/train/train_loop.h"
 
 using namespace mlexray;
 
 int main() {
-  // 1. A deployed model (trained checkpoint; cached under mlexray_cache/).
-  Model model = trained_image_checkpoint("mobilenet_v1_mini");
-  RefOpResolver resolver;
+  // 1. Load the deployment artifact (trained checkpoint; cached under
+  //    mlexray_cache/) and prepare it ONCE: a Model is the immutable,
+  //    shareable half — graph + execution plan + packed weights.
+  Graph graph = trained_image_checkpoint("mobilenet_v1_mini");
+  BuiltinOpResolver production;  // optimized kernels pack weights at Prepare
+  Model model(&graph, &production);
 
-  // 2. The "edge app": this deployment accidentally ships BGR input —
+  // 2. Serve it through a Session — the lightweight per-caller half
+  //    (activations + scratch arena + stats). Any number of sessions can
+  //    share one Model; see Engine (src/interpreter/engine.h) for the
+  //    pooled version.
+  auto sensors = SynthImageNet::make(2, 321);
+  {
+    Session session(&model);
+    ImagePipelineConfig correct{graph.input_spec, PreprocBug::kNone};
+    session.set_input(0, run_image_pipeline(sensors[0].image_u8, correct));
+    session.invoke();
+    std::printf("Model prepared once (%.1f KB packed), session predicts %d\n\n",
+                static_cast<double>(model.prepared_bytes()) / 1e3,
+                argmax(session.output(0)));
+  }
+
+  // 3. The "edge app": this deployment accidentally ships BGR input —
   //    exactly the silent bug the paper's industry partners hit.
-  ImagePipelineConfig buggy_preprocess{model.input_spec,
+  ImagePipelineConfig buggy_preprocess{graph.input_spec,
                                        PreprocBug::kWrongChannelOrder};
 
-  // 3. Instrument the app (the <5 LoC of Table 1) and run some frames.
-  auto sensors = SynthImageNet::make(2, 321);
+  // 4. Instrument the app (the <5 LoC of Table 1) and run some frames.
+  RefOpResolver resolver;  // debugging path: reference kernels
   MonitorOptions options;
   Trace edge_log = run_classification_playback(
-      model, resolver, sensors, buggy_preprocess, options, "edge-app");
+      graph, resolver, sensors, buggy_preprocess, options, "edge-app");
 
-  // 4. Replay the SAME frames through the reference pipeline.
-  Trace reference_log = run_reference_classification(model, sensors, options);
+  // 5. Replay the SAME frames through the reference pipeline.
+  Trace reference_log = run_reference_classification(graph, sensors, options);
 
-  // 5. Validate: accuracy check + built-in root-cause assertions.
+  // 6. Validate: accuracy check + built-in root-cause assertions.
   std::vector<int> labels;
   for (const auto& s : sensors) labels.push_back(s.label);
   DeploymentValidator validator;
-  register_builtin_image_assertions(validator, model.input_spec);
+  register_builtin_image_assertions(validator, graph.input_spec);
   AccuracyReport accuracy =
       validator.validate_accuracy(edge_log, reference_log, labels);
   PerLayerReport drift = validator.per_layer_drift(edge_log, reference_log);

@@ -13,7 +13,7 @@
 using namespace mlexray;
 
 int main() {
-  Model model = trained_kws_checkpoint("kws_tiny_conv");
+  Graph model = trained_kws_checkpoint("kws_tiny_conv");
   RefOpResolver resolver;
   auto waves = SynthSpeech::make(2, 246);
   std::vector<int> labels;

@@ -61,8 +61,8 @@ Activation activation_of(OpType type) {
 
 }  // namespace
 
-Model convert_for_inference(const Model& checkpoint, ConvertOptions options) {
-  Model work = checkpoint;  // deep copy (tensors copy their buffers)
+Graph convert_for_inference(const Graph& checkpoint, ConvertOptions options) {
+  Graph work = checkpoint;  // deep copy (tensors copy their buffers)
 
   // Consumer counts (graph outputs count as consumers).
   std::vector<int> consumers(work.nodes.size(), 0);
@@ -148,7 +148,7 @@ Model convert_for_inference(const Model& checkpoint, ConvertOptions options) {
   }
 
   // Rebuild with compacted ids.
-  Model result;
+  Graph result;
   result.name = checkpoint.name;
   result.input_spec = checkpoint.input_spec;
   std::map<int, int> id_map;

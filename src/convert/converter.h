@@ -17,7 +17,7 @@ struct ConvertOptions {
 
 // Returns the converted inference model; the input (training) model is
 // untouched. Weights are deep-copied.
-Model convert_for_inference(const Model& checkpoint,
+Graph convert_for_inference(const Graph& checkpoint,
                             ConvertOptions options = {});
 
 }  // namespace mlexray

@@ -10,9 +10,9 @@ EdgeMLMonitor::EdgeMLMonitor(MonitorOptions options) : buffer_(options) {
   key_sensor_latency_ = buffer_.intern_key(trace_keys::kSensorLatencyMs);
 }
 
-// Detach from the currently observed interpreter — but only if it is still
+// Detach from the currently observed session — but only if it is still
 // *our* buffer attached there: another monitor may have observed the same
-// interpreter since, and clearing its observer would silently stop that
+// session since, and clearing its observer would silently stop that
 // monitor's push capture.
 void EdgeMLMonitor::detach() {
   if (observed_ == nullptr) return;
@@ -22,32 +22,35 @@ void EdgeMLMonitor::detach() {
 
 EdgeMLMonitor::~EdgeMLMonitor() { detach(); }
 
-void EdgeMLMonitor::observe(Interpreter& interpreter) {
-  if (observed_ == &interpreter) return;
+void EdgeMLMonitor::observe(Session& session) {
+  // Not just a pointer check: a pooled session handed back by the Engine
+  // has its observer cleared on release, so re-observing the same session
+  // after a release/acquire round trip must re-attach, not early-return.
+  if (observed_ == &session && session.observer() == &buffer_) return;
   detach();
-  buffer_.bind(interpreter);
-  interpreter.set_observer(&buffer_);
-  observed_ = &interpreter;
+  buffer_.bind(session);
+  session.set_observer(&buffer_);
+  observed_ = &session;
 }
 
-void EdgeMLMonitor::unobserve(Interpreter& interpreter) {
-  if (observed_ != &interpreter) return;
+void EdgeMLMonitor::unobserve(Session& session) {
+  if (observed_ != &session) return;
   detach();
 }
 
 void EdgeMLMonitor::on_inf_start() { inf_start_ = Clock::now(); }
 
-void EdgeMLMonitor::on_inf_stop(const Interpreter& interpreter) {
+void EdgeMLMonitor::on_inf_stop(const Session& session) {
   // Legacy pull path for call sites that bracket invoke without observe():
   // replay the retained node outputs through the push capture storage.
-  if (!buffer_.bound_to(interpreter) || !buffer_.captured_invoke()) {
-    // capture_pull rebinds the buffer's layer layout to `interpreter`; if it
-    // is still attached as another interpreter's observer, that interpreter's
+  if (!buffer_.bound_to(session) || !buffer_.captured_invoke()) {
+    // capture_pull rebinds the buffer's layer layout to `session`; if it
+    // is still attached as another session's observer, that session's
     // next invoke would trip the layout checks mid-flight. Detach first —
-    // the monitor now follows the interpreter it was handed, as the pull-era
+    // the monitor now follows the session it was handed, as the pull-era
     // API always did.
-    if (observed_ != nullptr && observed_ != &interpreter) detach();
-    buffer_.capture_pull(interpreter);
+    if (observed_ != nullptr && observed_ != &session) detach();
+    buffer_.capture_pull(session);
   }
   // The façade's bracket includes observer capture cost, matching what the
   // instrumented app experiences; it overwrites the invoke-only total the

@@ -3,26 +3,33 @@
 // Usage in an app's inference loop (the paper's <5-LoC instrumentation):
 //
 //   EdgeMLMonitor monitor(options);
-//   monitor.observe(interpreter);                      // push-based capture
+//   monitor.observe(session);                          // push-based capture
 //   ...
 //   monitor.log_tensor(trace_keys::kSensorRaw, raw);   // custom logs
 //   monitor.on_inf_start();
-//   interpreter.invoke();
-//   monitor.on_inf_stop(interpreter);                  // default logs
+//   session.invoke();
+//   monitor.on_inf_stop(session);                      // default logs
 //   monitor.next_frame();
 //
 // The monitor is a thin façade over TraceBuffer (src/core/trace_buffer.h):
-// observe() attaches the buffer to the interpreter as an InvokeObserver, so
-// per-layer latencies/outputs and the model output are captured *during*
+// observe() attaches the buffer to the session as an InvokeObserver, so
+// per-layer latencies/outputs and the model outputs are captured *during*
 // invoke into pre-sized storage — no post-hoc model walk, no steady-state
-// heap allocation. Call sites that skip observe() still work: on_inf_stop
-// detects that no push capture happened and pulls the retained node outputs
-// through the same storage.
+// heap allocation. Monitors are per-session: many sessions serving one
+// shared Model attach one monitor each, while the weights and prepared
+// packing stay shared. Interpreter overloads keep the pre-Model/Session
+// call sites compiling; they delegate to the interpreter's session. Call
+// sites that skip observe() still work: on_inf_stop detects that no push
+// capture happened and pulls the retained node outputs through the same
+// storage.
 //
-// Lifetime: an observed interpreter and its monitor are linked. Destroy the
+// Lifetime: an observed session and its monitor are linked. Destroy the
 // monitor first (it detaches itself), or detach explicitly with unobserve()
-// if the interpreter dies first — the pipelines in src/core/pipelines.cc do
-// the latter in their destructors.
+// if the session dies first — the pipelines in src/core/pipelines.cc do
+// the latter in their destructors. For Engine-pooled sessions, unobserve()
+// before releasing the lease (or keep monitor and lease on one thread):
+// once released, the session may be re-leased by another thread, and a
+// monitor still pointing at it would race that thread's observer writes.
 //
 // spool_to() streams finalized frames to a .mlxtrace file from a background
 // thread (set_pipeline_name first — the name is written into the file
@@ -45,16 +52,23 @@ class EdgeMLMonitor {
   EdgeMLMonitor(const EdgeMLMonitor&) = delete;
   EdgeMLMonitor& operator=(const EdgeMLMonitor&) = delete;
 
-  // Attaches this monitor's TraceBuffer to the interpreter as its
+  // Attaches this monitor's TraceBuffer to the session as its
   // InvokeObserver (push-based capture) and pre-sizes capture storage for
-  // its model. Re-attaching to a different interpreter detaches the first.
-  void observe(Interpreter& interpreter);
-  // Detaches if `interpreter` is the one being observed; call before the
-  // interpreter is destroyed if it dies before the monitor.
-  void unobserve(Interpreter& interpreter);
+  // its model. Re-attaching to a different session detaches the first.
+  void observe(Session& session);
+  void observe(Interpreter& interpreter) { observe(interpreter.session()); }
+  // Detaches if `session` is the one being observed; call before the
+  // session is destroyed if it dies before the monitor.
+  void unobserve(Session& session);
+  void unobserve(Interpreter& interpreter) {
+    unobserve(interpreter.session());
+  }
 
   void on_inf_start();
-  void on_inf_stop(const Interpreter& interpreter);
+  void on_inf_stop(const Session& session);
+  void on_inf_stop(const Interpreter& interpreter) {
+    on_inf_stop(interpreter.session());
+  }
   void on_sensor_start();
   void on_sensor_stop();
 
@@ -83,7 +97,7 @@ class EdgeMLMonitor {
   void detach();
 
   TraceBuffer buffer_;
-  Interpreter* observed_ = nullptr;
+  Session* observed_ = nullptr;
   std::uint16_t key_latency_ = 0;
   std::uint16_t key_peak_memory_ = 0;
   std::uint16_t key_sensor_latency_ = 0;

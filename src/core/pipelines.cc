@@ -4,23 +4,35 @@
 
 namespace mlexray {
 
+namespace {
+// Pipelines execute a caller-shared prepared Model when one is given;
+// otherwise they prepare their own from the graph + resolver.
+std::unique_ptr<Model> maybe_build_model(const Graph* graph,
+                                         const OpResolver* resolver,
+                                         const Model* shared,
+                                         int num_threads) {
+  if (shared != nullptr) return nullptr;
+  return std::make_unique<Model>(graph, resolver, num_threads);
+}
+}  // namespace
+
 ClassificationPipeline::ClassificationPipeline(
     ClassificationPipelineOptions options)
     : options_(options),
-      interpreter_(options.model, options.resolver, options.num_threads) {
-  MLX_CHECK(options_.model != nullptr);
-  MLX_CHECK(options_.resolver != nullptr);
+      owned_model_(maybe_build_model(options.graph, options.resolver,
+                                     options.model, options.num_threads)),
+      session_(options.model != nullptr ? options.model : owned_model_.get()) {
   // Push-based capture: per-layer telemetry is recorded during invoke by
   // the monitor's TraceBuffer instead of a post-hoc model walk.
-  if (options_.monitor != nullptr) options_.monitor->observe(interpreter_);
+  if (options_.monitor != nullptr) options_.monitor->observe(session_);
 }
 
 ClassificationPipeline::~ClassificationPipeline() {
   // If the monitor died first its destructor already detached and cleared
-  // the interpreter's observer — only call back into it while its buffer is
+  // the session's observer — only call back into it while its buffer is
   // still attached, so either destruction order is safe.
-  if (options_.monitor != nullptr && interpreter_.observer() != nullptr) {
-    options_.monitor->unobserve(interpreter_);
+  if (options_.monitor != nullptr && session_.observer() != nullptr) {
+    options_.monitor->unobserve(session_);
   }
 }
 
@@ -34,12 +46,12 @@ int ClassificationPipeline::process_frame(const Tensor& sensor_u8) {
     mon->log_tensor(trace_keys::kModelInput, input);
   }
 
-  interpreter_.set_input(0, input);
+  session_.set_input(0, input);
   if (mon != nullptr) mon->on_inf_start();
-  interpreter_.invoke();
-  if (mon != nullptr) mon->on_inf_stop(interpreter_);
+  session_.invoke();
+  if (mon != nullptr) mon->on_inf_stop(session_);
 
-  int predicted = argmax(interpreter_.output(0));
+  int predicted = argmax(session_.output(0));
   if (mon != nullptr) {
     mon->log_scalar(trace_keys::kPredictedLabel, predicted);
     mon->next_frame();
@@ -49,15 +61,15 @@ int ClassificationPipeline::process_frame(const Tensor& sensor_u8) {
 
 SpeechPipeline::SpeechPipeline(SpeechPipelineOptions options)
     : options_(options),
-      interpreter_(options.model, options.resolver, options.num_threads) {
-  MLX_CHECK(options_.model != nullptr);
-  MLX_CHECK(options_.resolver != nullptr);
-  if (options_.monitor != nullptr) options_.monitor->observe(interpreter_);
+      owned_model_(maybe_build_model(options.graph, options.resolver,
+                                     options.model, options.num_threads)),
+      session_(options.model != nullptr ? options.model : owned_model_.get()) {
+  if (options_.monitor != nullptr) options_.monitor->observe(session_);
 }
 
 SpeechPipeline::~SpeechPipeline() {
-  if (options_.monitor != nullptr && interpreter_.observer() != nullptr) {
-    options_.monitor->unobserve(interpreter_);
+  if (options_.monitor != nullptr && session_.observer() != nullptr) {
+    options_.monitor->unobserve(session_);
   }
 }
 
@@ -68,11 +80,11 @@ int SpeechPipeline::process_frame(const std::vector<float>& waveform) {
     mon->log_tensor(trace_keys::kPreprocessOut, input);
     mon->log_tensor(trace_keys::kModelInput, input);
   }
-  interpreter_.set_input(0, input);
+  session_.set_input(0, input);
   if (mon != nullptr) mon->on_inf_start();
-  interpreter_.invoke();
-  if (mon != nullptr) mon->on_inf_stop(interpreter_);
-  int predicted = argmax(interpreter_.output(0));
+  session_.invoke();
+  if (mon != nullptr) mon->on_inf_stop(session_);
+  int predicted = argmax(session_.output(0));
   if (mon != nullptr) {
     mon->log_scalar(trace_keys::kPredictedLabel, predicted);
     mon->next_frame();
@@ -80,7 +92,7 @@ int SpeechPipeline::process_frame(const std::vector<float>& waveform) {
   return predicted;
 }
 
-Trace run_classification_playback(const Model& model,
+Trace run_classification_playback(const Graph& graph,
                                   const OpResolver& resolver,
                                   const std::vector<SensorExample>& sensors,
                                   const ImagePipelineConfig& preprocess,
@@ -92,7 +104,7 @@ Trace run_classification_playback(const Model& model,
   monitor.set_pipeline_name(pipeline_name);
   if (!spool_path.empty()) monitor.spool_to(spool_path);
   ClassificationPipelineOptions opts;
-  opts.model = &model;
+  opts.graph = &graph;
   opts.resolver = &resolver;
   opts.preprocess = preprocess;
   opts.num_threads = num_threads;
@@ -105,17 +117,17 @@ Trace run_classification_playback(const Model& model,
   return monitor.take_trace();
 }
 
-Trace run_reference_classification(const Model& reference_model,
+Trace run_reference_classification(const Graph& reference_graph,
                                    const std::vector<SensorExample>& sensors,
                                    const MonitorOptions& monitor_options) {
   static const RefOpResolver kRefResolver{};  // correct reference kernels
-  ImagePipelineConfig correct{reference_model.input_spec, PreprocBug::kNone};
-  return run_classification_playback(reference_model, kRefResolver, sensors,
+  ImagePipelineConfig correct{reference_graph.input_spec, PreprocBug::kNone};
+  return run_classification_playback(reference_graph, kRefResolver, sensors,
                                      correct, monitor_options,
-                                     reference_model.name + "(reference)");
+                                     reference_graph.name + "(reference)");
 }
 
-Trace run_speech_playback(const Model& model, const OpResolver& resolver,
+Trace run_speech_playback(const Graph& graph, const OpResolver& resolver,
                           const std::vector<SpeechExample>& waves,
                           const AudioPipelineConfig& preprocess,
                           const MonitorOptions& monitor_options,
@@ -123,7 +135,7 @@ Trace run_speech_playback(const Model& model, const OpResolver& resolver,
   EdgeMLMonitor monitor(monitor_options);
   monitor.set_pipeline_name(pipeline_name);
   SpeechPipelineOptions opts;
-  opts.model = &model;
+  opts.graph = &graph;
   opts.resolver = &resolver;
   opts.preprocess = preprocess;
   opts.monitor = &monitor;

@@ -6,6 +6,10 @@
 //    training pipeline actually used (from the model's InputSpec).
 // run_*_playback feeds identical sensor data through a pipeline and returns
 // the EXray trace for offline validation.
+//
+// Pipelines are built on the Model/Session serving API: each pipeline
+// prepares a private Model (or executes a caller-shared one) and runs a
+// Session over it, with the monitor's TraceBuffer attached per-session.
 #pragma once
 
 #include "src/core/monitor.h"
@@ -17,8 +21,11 @@
 namespace mlexray {
 
 struct ClassificationPipelineOptions {
-  const Model* model = nullptr;
+  // Either `graph`+`resolver` (the pipeline prepares its own Model) or
+  // `model` (a caller-shared prepared Model; resolver/num_threads unused).
+  const Graph* graph = nullptr;
   const OpResolver* resolver = nullptr;
+  const Model* model = nullptr;
   ImagePipelineConfig preprocess;
   int num_threads = 1;
   EdgeMLMonitor* monitor = nullptr;  // optional
@@ -26,7 +33,7 @@ struct ClassificationPipelineOptions {
 
 class ClassificationPipeline {
  public:
-  // Attaches the monitor (if any) to the interpreter as an InvokeObserver;
+  // Attaches the monitor (if any) to the session as an InvokeObserver;
   // the destructor detaches it, so the monitor may outlive the pipeline.
   explicit ClassificationPipeline(ClassificationPipelineOptions options);
   ~ClassificationPipeline();
@@ -34,16 +41,18 @@ class ClassificationPipeline {
   // Sensor frame (u8 HWC RGB) -> predicted label, with instrumentation.
   int process_frame(const Tensor& sensor_u8);
 
-  const Interpreter& interpreter() const { return interpreter_; }
+  const Session& session() const { return session_; }
 
  private:
   ClassificationPipelineOptions options_;
-  Interpreter interpreter_;
+  std::unique_ptr<Model> owned_model_;  // null when options.model was given
+  Session session_;
 };
 
 struct SpeechPipelineOptions {
-  const Model* model = nullptr;
+  const Graph* graph = nullptr;
   const OpResolver* resolver = nullptr;
+  const Model* model = nullptr;  // caller-shared alternative to graph
   AudioPipelineConfig preprocess;
   int num_threads = 1;
   EdgeMLMonitor* monitor = nullptr;
@@ -54,18 +63,19 @@ class SpeechPipeline {
   explicit SpeechPipeline(SpeechPipelineOptions options);
   ~SpeechPipeline();
   int process_frame(const std::vector<float>& waveform);
-  const Interpreter& interpreter() const { return interpreter_; }
+  const Session& session() const { return session_; }
 
  private:
   SpeechPipelineOptions options_;
-  Interpreter interpreter_;
+  std::unique_ptr<Model> owned_model_;
+  Session session_;
 };
 
 // Plays a dataset through an instrumented pipeline; returns the trace.
 // When spool_path is non-empty, frames are streamed to that .mlxtrace file
 // by the monitor's background spooler instead of being retained — the
 // returned Trace then carries the pipeline name but no frames.
-Trace run_classification_playback(const Model& model,
+Trace run_classification_playback(const Graph& graph,
                                   const OpResolver& resolver,
                                   const std::vector<SensorExample>& sensors,
                                   const ImagePipelineConfig& preprocess,
@@ -76,11 +86,11 @@ Trace run_classification_playback(const Model& model,
 
 // Reference playback: correct preprocessing straight from the model's
 // InputSpec, reference kernels.
-Trace run_reference_classification(const Model& reference_model,
+Trace run_reference_classification(const Graph& reference_graph,
                                    const std::vector<SensorExample>& sensors,
                                    const MonitorOptions& monitor_options);
 
-Trace run_speech_playback(const Model& model, const OpResolver& resolver,
+Trace run_speech_playback(const Graph& graph, const OpResolver& resolver,
                           const std::vector<SpeechExample>& waves,
                           const AudioPipelineConfig& preprocess,
                           const MonitorOptions& monitor_options,

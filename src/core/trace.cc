@@ -5,6 +5,13 @@
 
 namespace mlexray {
 
+namespace trace_keys {
+std::string model_output_key(int output_index) {
+  if (output_index == 0) return kModelOutput;
+  return std::string(kModelOutput) + ":" + std::to_string(output_index);
+}
+}  // namespace trace_keys
+
 const Tensor& FrameTrace::tensor(const std::string& key) const {
   auto it = tensors.find(key);
   MLX_CHECK(it != tensors.end()) << "trace has no tensor '" << key << "'";

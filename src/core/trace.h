@@ -27,6 +27,11 @@ inline constexpr const char* kEndToEndLatencyMs = "latency.e2e_ms";
 inline constexpr const char* kSensorLatencyMs = "latency.sensor_ms";
 inline constexpr const char* kPeakMemoryBytes = "memory.peak_bytes";
 inline constexpr const char* kPredictedLabel = "output.predicted_label";
+
+// Key for the i-th model output in model-io capture: kModelOutput for
+// output 0 (the historical single-output key), "model.output:i" beyond —
+// multi-head models (SSD box + class heads) log one tensor per head.
+std::string model_output_key(int output_index);
 }  // namespace trace_keys
 
 struct FrameTrace {

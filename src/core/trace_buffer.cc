@@ -17,12 +17,11 @@ constexpr std::size_t kScalarReserve = 16;
 TraceBuffer::TraceBuffer(MonitorOptions options) : options_(options) {
   // Canonical keys get the low ids so hot-path capture never interns.
   key_latency_ = intern_key(trace_keys::kInferenceLatencyMs);
-  key_model_output_ = intern_key(trace_keys::kModelOutput);
+  key_model_outputs_.push_back(intern_key(trace_keys::kModelOutput));
   intern_key(trace_keys::kPeakMemoryBytes);
   intern_key(trace_keys::kSensorLatencyMs);
+  frames_.resize(2);
   for (CaptureFrame& f : frames_) f.scalars.reserve(kScalarReserve);
-  frames_[0].frame_id = 0;
-  frames_[1].frame_id = 0;
 }
 
 TraceBuffer::~TraceBuffer() {
@@ -36,40 +35,61 @@ TraceBuffer::~TraceBuffer() {
   }
 }
 
-void TraceBuffer::bind(const Interpreter& interpreter) {
-  if (bound_ == &interpreter) return;
-  // bind() resizes both capture frames and rebuilds the layer layout, which
+void TraceBuffer::size_frame(CaptureFrame& f) const {
+  if (f.scalars.capacity() < kScalarReserve) f.scalars.reserve(kScalarReserve);
+  f.layer_latency_ms.assign(layers_.size(), 0.0);
+  if (options_.per_layer_outputs) {
+    f.layer_bytes.resize(layers_.size());
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      f.layer_bytes[i].resize(layers_[i].byte_size);
+    }
+  }
+  f.has_invoke = false;
+}
+
+void TraceBuffer::bind(const Session& session) {
+  if (bound_ == &session) return;
+  // bind() resizes every capture frame and rebuilds the layer layout, which
   // the spooler thread reads while serializing: once any frame has been
   // finalized into the spool, binding would race with it. Bind (observe)
   // before recording frames when spooling.
   MLX_CHECK(!spooling() || spool_enqueued_ == 0)
       << "cannot (re)bind a TraceBuffer after frames were spooled";
-  bound_ = &interpreter;
+  bound_ = &session;
   layers_.clear();
-  const auto& steps = interpreter.plan().steps();
+  const auto& steps = session.plan().steps();
   layers_.reserve(steps.size());
   for (const PlanStep& step : steps) {
     LayerInfo info;
     info.node_id = step.node->id;
     info.name = step.node->name;
-    const Tensor& out = interpreter.node_output(step.node->id);
+    const Tensor& out = session.node_output(step.node->id);
     info.dtype = out.dtype();
     info.shape = out.shape();
     info.quant = out.quant();
     info.byte_size = out.byte_size();
     layers_.push_back(std::move(info));
   }
-  for (CaptureFrame& f : frames_) {
-    f.layer_latency_ms.assign(layers_.size(), 0.0);
-    if (options_.per_layer_outputs) {
-      f.layer_bytes.resize(layers_.size());
-      for (std::size_t i = 0; i < layers_.size(); ++i) {
-        f.layer_bytes[i].resize(layers_[i].byte_size);
-      }
-    }
-    f.has_invoke = false;
+  // Model-io mode captures every model output; intern the extra keys here so
+  // multi-output capture stays allocation-free on the hot path.
+  const auto output_count = session.graph().outputs.size();
+  while (key_model_outputs_.size() < output_count) {
+    key_model_outputs_.push_back(intern_key(trace_keys::model_output_key(
+        static_cast<int>(key_model_outputs_.size()))));
   }
+  if (key_model_outputs_.size() > output_count) {
+    key_model_outputs_.resize(output_count);
+  }
+  for (CaptureFrame& f : frames_) size_frame(f);
   step_cursor_ = 0;
+}
+
+void TraceBuffer::bind(const Interpreter& interpreter) {
+  bind(interpreter.session());
+}
+
+bool TraceBuffer::bound_to(const Interpreter& interpreter) const {
+  return bound_ == &interpreter.session();
 }
 
 std::uint16_t TraceBuffer::intern_key(const std::string& key) {
@@ -126,7 +146,7 @@ void TraceBuffer::log_tensor(std::uint16_t key_id, const Tensor& value) {
 
 void TraceBuffer::on_invoke_begin(std::size_t step_count) {
   MLX_CHECK_EQ(step_count, layers_.size())
-      << "TraceBuffer observing an interpreter it was not bound to";
+      << "TraceBuffer observing a session it was not bound to";
   step_cursor_ = 0;
 }
 
@@ -146,25 +166,33 @@ void TraceBuffer::on_step(const Node& node, const Tensor& output,
   ++step_cursor_;
 }
 
-void TraceBuffer::on_invoke_end(const InterpreterStats& stats) {
+void TraceBuffer::on_invoke_end(const SessionStats& stats) {
   CaptureFrame& f = frames_[active_];
   f.has_invoke = true;
   set_scalar(key_latency_, stats.total_ms);
   if (options_.log_model_io && bound_ != nullptr) {
-    log_tensor(key_model_output_, bound_->output(0));
+    // Every model output, not just output(0): multi-head models (SSD box +
+    // class heads) log one tensor per head.
+    for (std::size_t i = 0; i < key_model_outputs_.size(); ++i) {
+      log_tensor(key_model_outputs_[i], bound_->output(static_cast<int>(i)));
+    }
   }
 }
 
-void TraceBuffer::capture_pull(const Interpreter& interpreter) {
-  bind(interpreter);
-  const InterpreterStats& stats = interpreter.last_stats();
+void TraceBuffer::capture_pull(const Session& session) {
+  bind(session);
+  const SessionStats& stats = session.last_stats();
   on_invoke_begin(layers_.size());
-  for (const PlanStep& step : interpreter.plan().steps()) {
+  for (const PlanStep& step : session.plan().steps()) {
     const auto id = static_cast<std::size_t>(step.node->id);
-    on_step(*step.node, interpreter.node_output(step.node->id),
+    on_step(*step.node, session.node_output(step.node->id),
             stats.per_node_ms[id]);
   }
   on_invoke_end(stats);
+}
+
+void TraceBuffer::capture_pull(const Interpreter& interpreter) {
+  capture_pull(interpreter.session());
 }
 
 void TraceBuffer::reset_frame(CaptureFrame& frame, int frame_id) {
@@ -217,13 +245,13 @@ void TraceBuffer::next_frame() {
   if (spooling()) {
     ++spool_enqueued_;
     spool_enqueue(&finished);
-    active_ ^= 1;
+    active_ = (active_ + 1) % static_cast<int>(frames_.size());
     spool_wait_free(&frames_[active_]);
   } else {
     if (options_.retain_frames) {
       trace_.frames.push_back(to_frame_trace(finished));
     }
-    active_ ^= 1;
+    active_ = (active_ + 1) % static_cast<int>(frames_.size());
   }
   reset_frame(frames_[active_], ++next_frame_id_);
 }
@@ -237,6 +265,11 @@ std::size_t TraceBuffer::frame_capture_bytes() const {
   // meaningful right after next_frame() reset the active frame.
   for (const TensorSlot& s : frames_[active_].tensors) total += s.bytes.size();
   return total;
+}
+
+std::size_t TraceBuffer::max_spool_batch() const {
+  std::lock_guard<std::mutex> lock(spool_mu_);
+  return max_spool_batch_;
 }
 
 Trace TraceBuffer::take_trace() {
@@ -256,6 +289,17 @@ void TraceBuffer::open_spool(const std::filesystem::path& path) {
   MLX_CHECK(!spooling()) << "spool already open";
   spool_out_.open(path, std::ios::binary | std::ios::trunc);
   MLX_CHECK(spool_out_.good()) << "cannot open spool file " << path.string();
+  // Widen the capture ring so several completed frames can queue behind the
+  // writer (the batching that amortizes one write over many frames). Done
+  // before any frame is enqueued, so growing the vector is safe.
+  const auto ring = static_cast<std::size_t>(
+      options_.spool_queue_frames < 2 ? 2 : options_.spool_queue_frames);
+  while (frames_.size() < ring) {
+    frames_.emplace_back();
+    size_frame(frames_.back());
+  }
+  spool_queue_.reserve(frames_.size());
+  spool_batch_.reserve(frames_.size());
   // Same header save_trace writes; the frame count starts at 0 and is
   // patched at close_spool().
   BinaryWriter header;
@@ -271,44 +315,57 @@ void TraceBuffer::open_spool(const std::filesystem::path& path) {
   spool_frames_ = 0;
   spool_enqueued_ = 0;
   spool_stop_ = false;
+  max_spool_batch_ = 0;
   spool_error_.clear();
   spool_thread_ = std::thread([this] { spool_worker(); });
 }
 
+bool TraceBuffer::spool_holds(const CaptureFrame* frame) const {
+  for (const CaptureFrame* f : spool_queue_) {
+    if (f == frame) return true;
+  }
+  for (const CaptureFrame* f : spool_batch_) {
+    if (f == frame) return true;
+  }
+  return false;
+}
+
 void TraceBuffer::spool_enqueue(const CaptureFrame* frame) {
-  std::unique_lock<std::mutex> lock(spool_mu_);
-  spool_cv_.wait(lock, [this] { return spool_pending_ == nullptr; });
-  spool_pending_ = frame;
+  std::lock_guard<std::mutex> lock(spool_mu_);
+  // Every ring frame appears at most once across queue + batch and capacity
+  // was reserved for the whole ring, so this push never allocates.
+  spool_queue_.push_back(frame);
   spool_cv_.notify_all();
 }
 
 void TraceBuffer::spool_wait_free(const CaptureFrame* frame) {
   std::unique_lock<std::mutex> lock(spool_mu_);
-  spool_cv_.wait(lock, [this, frame] {
-    return spool_pending_ != frame && spool_writing_ != frame;
-  });
+  spool_cv_.wait(lock, [this, frame] { return !spool_holds(frame); });
 }
 
 void TraceBuffer::spool_worker() {
   for (;;) {
-    const CaptureFrame* frame = nullptr;
     {
       std::unique_lock<std::mutex> lock(spool_mu_);
       spool_cv_.wait(lock,
-                     [this] { return spool_pending_ != nullptr || spool_stop_; });
-      if (spool_pending_ == nullptr) return;  // stop requested, queue drained
-      frame = spool_pending_;
-      spool_writing_ = frame;
-      spool_pending_ = nullptr;
-      spool_cv_.notify_all();
+                     [this] { return !spool_queue_.empty() || spool_stop_; });
+      if (spool_queue_.empty()) return;  // stop requested, queue drained
+      // Take every queued frame at once — the batch that turns N frames
+      // into one write() below. swap keeps both vectors' capacity.
+      spool_queue_.swap(spool_batch_);
+      if (spool_batch_.size() > max_spool_batch_) {
+        max_spool_batch_ = spool_batch_.size();
+      }
     }
     try {
       BinaryWriter w;
-      serialize_frame(w, to_frame_trace(*frame));
+      for (const CaptureFrame* frame : spool_batch_) {
+        serialize_frame(w, to_frame_trace(*frame));
+      }
       spool_out_.write(reinterpret_cast<const char*>(w.bytes().data()),
                        static_cast<std::streamsize>(w.size()));
       MLX_CHECK(spool_out_.good()) << "spool write failed";
-      ++spool_frames_;
+      spool_frames_ += spool_batch_.size();
     } catch (const std::exception& e) {
       // Any escape (MlxError, bad_alloc, ...) would std::terminate the
       // process from a thread entry; record it for close_spool() instead.
@@ -319,8 +376,11 @@ void TraceBuffer::spool_worker() {
       if (spool_error_.empty()) spool_error_ = "unknown spooler exception";
     }
     {
+      // Even on a write error the batch frames are released, so the hot
+      // thread never deadlocks waiting for a free buffer; the error is
+      // surfaced at close_spool().
       std::lock_guard<std::mutex> lock(spool_mu_);
-      spool_writing_ = nullptr;
+      spool_batch_.clear();
       spool_cv_.notify_all();
     }
   }

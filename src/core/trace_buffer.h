@@ -1,9 +1,9 @@
 // TraceBuffer: arena-style, push-based capture sink for instrumented invokes
 // (paper §3.2 telemetry at Table-2 overhead).
 //
-// Attached to an Interpreter as its InvokeObserver, it captures per-layer
+// Attached to a Session as its InvokeObserver, it captures per-layer
 // latencies and raw-dtype layer outputs as each prepared step finishes, plus
-// the model output and user scalars/tensors, into pre-sized reusable frame
+// every model output and user scalars/tensors, into pre-sized reusable frame
 // storage:
 //
 //  - trace keys are interned once into small integer ids — no std::string
@@ -11,17 +11,22 @@
 //  - per-layer outputs are captured in their raw dtype (int8 activations
 //    stay int8; dequantization via Tensor::to_f32 happens at offline trace
 //    reading — validation, trace-info);
-//  - frames are double-buffered: the hot thread fills one CaptureFrame while
-//    the previous one drains (retained into the in-memory Trace, or
-//    serialized to a .mlxtrace spool file by a background thread);
-//  - after both buffers have warmed (two frames), steady-state capture
-//    performs zero heap allocations — tests/test_observer.cc enforces this
-//    with the same operator-new counter test_kernel_grid.cc uses for bare
-//    invoke.
+//  - model-io mode records *all* model outputs (e.g. the SSD box + class
+//    heads), output 0 under trace_keys::kModelOutput and output i under
+//    trace_keys::model_output_key(i);
+//  - capture frames form a small ring (two buffers unless spooling widens
+//    it): the hot thread fills one CaptureFrame while completed ones drain
+//    (retained into the in-memory Trace, or serialized to a .mlxtrace spool
+//    file by a background thread);
+//  - after the ring has warmed, steady-state capture performs zero heap
+//    allocations — tests/test_observer.cc enforces this with the same
+//    operator-new counter test_kernel_grid.cc uses for bare invoke.
 //
-// EdgeMLMonitor (src/core/monitor.h) is a thin façade over this class; use
-// TraceBuffer directly only when the monitor's bracketing API is in the way
-// (e.g. the overhead benchmarks).
+// Sessions sharing one Model attach one TraceBuffer each; the buffer holds
+// no model state beyond the bound session's layer layout. EdgeMLMonitor
+// (src/core/monitor.h) is a thin façade over this class; use TraceBuffer
+// directly only when the monitor's bracketing API is in the way (e.g. the
+// overhead benchmarks).
 #pragma once
 
 #include <condition_variable>
@@ -41,6 +46,7 @@
 namespace mlexray {
 
 class Interpreter;
+class Session;
 
 // Capture configuration (the paper's instrumentation modes). Lives here so
 // the buffer is self-contained; EdgeMLMonitor re-exports it.
@@ -52,6 +58,11 @@ struct MonitorOptions {
   // reach the spool file when spooling is active). Overhead benchmarks and
   // fire-and-forget deployments use this to keep memory flat.
   bool retain_frames = true;
+  // Capture-frame ring size while spooling (clamped to >= 2). A deeper ring
+  // lets the spool worker batch several completed frames into one write per
+  // wakeup, cutting syscall count for high-FPS pipelines; the hot thread
+  // only blocks when all spare frames are queued behind the writer.
+  int spool_queue_frames = 4;
 };
 
 class TraceBuffer : public InvokeObserver {
@@ -63,14 +74,15 @@ class TraceBuffer : public InvokeObserver {
   TraceBuffer& operator=(const TraceBuffer&) = delete;
 
   // --- binding --------------------------------------------------------------
-  // One-time prepare for an interpreter: records the per-layer layout (names,
+  // One-time prepare for a session: records the per-layer layout (names,
   // dtypes, shapes, quant params — shared across frames, not stored per
-  // frame) and pre-sizes both capture frames to the model's byte sizes.
-  // Rebinding to a different interpreter rebuilds the layout.
+  // frame), interns a key per model output, and pre-sizes every capture
+  // frame to the model's byte sizes. Rebinding to a different session
+  // rebuilds the layout. The Interpreter overload binds its session.
+  void bind(const Session& session);
   void bind(const Interpreter& interpreter);
-  bool bound_to(const Interpreter& interpreter) const {
-    return bound_ == &interpreter;
-  }
+  bool bound_to(const Session& session) const { return bound_ == &session; }
+  bool bound_to(const Interpreter& interpreter) const;
 
   // --- keys -----------------------------------------------------------------
   // Returns the stable id for a key, interning it on first sight (the only
@@ -87,30 +99,34 @@ class TraceBuffer : public InvokeObserver {
   // reusing the slot's byte storage across frames.
   void log_tensor(std::uint16_t key_id, const Tensor& value);
 
-  // InvokeObserver hooks (fired by the attached interpreter).
+  // InvokeObserver hooks (fired by the attached session).
   void on_invoke_begin(std::size_t step_count) override;
   void on_step(const Node& node, const Tensor& output,
                double latency_ms) override;
-  void on_invoke_end(const InterpreterStats& stats) override;
+  void on_invoke_end(const SessionStats& stats) override;
 
   // Pull-style capture for call sites that bracket invoke manually without
   // attaching the buffer as observer: replays the retained node outputs and
   // last_stats latencies through the same on_step path (binds on demand).
+  void capture_pull(const Session& session);
   void capture_pull(const Interpreter& interpreter);
 
   // True if the current frame captured an invoke since the last next_frame().
   bool captured_invoke() const { return frames_[active_].has_invoke; }
 
   // Finalizes the current frame — retained, spooled, or discarded per
-  // options — and flips to the other capture buffer. The conversion to
+  // options — and advances to the next capture buffer. The conversion to
   // FrameTrace (which allocates) happens here or on the spooler thread,
   // never inside the invoke window.
   void next_frame();
 
   // --- spooling -------------------------------------------------------------
   // Streams finalized frames to `path` (.mlxtrace, same format as
-  // save_trace) from a background thread; the hot thread only blocks when it
-  // laps the spooler (double-buffer backpressure).
+  // save_trace) from a background thread. Completed frames enter a bounded
+  // FIFO (the capture ring above); the worker drains every queued frame per
+  // wakeup and writes the whole batch with one stream write, so high-FPS
+  // pipelines pay one syscall for several frames. The hot thread only
+  // blocks when it laps the writer with the whole ring in flight.
   void open_spool(const std::filesystem::path& path);
   // Flushes, joins the spooler, patches the frame count into the file
   // header, and rethrows any spooler IO error. Returns frames written.
@@ -123,12 +139,17 @@ class TraceBuffer : public InvokeObserver {
   void set_pipeline_name(std::string name);
 
   int frames_captured() const { return frames_captured_; }
-  // Index (0/1) of the buffer currently capturing — alternates on
-  // next_frame(); tests assert the double-buffer rotation through it.
+  // Index of the buffer currently capturing — cycles through the ring on
+  // next_frame(); tests assert the buffer rotation through it.
   int active_buffer() const { return active_; }
-  // Bytes a fully captured frame holds (layer bytes + model output), i.e.
+  // Number of capture buffers in the ring (2 unless spooling widened it).
+  int buffer_count() const { return static_cast<int>(frames_.size()); }
+  // Bytes a fully captured frame holds (layer bytes + model outputs), i.e.
   // the per-frame capture cost of the current mode.
   std::size_t frame_capture_bytes() const;
+  // Largest number of frames the spool worker wrote with a single stream
+  // write so far — observability for the batching behaviour.
+  std::size_t max_spool_batch() const;
   const MonitorOptions& options() const { return options_; }
 
  private:
@@ -145,7 +166,7 @@ class TraceBuffer : public InvokeObserver {
     bool has_invoke = false;
     std::vector<std::pair<std::uint16_t, double>> scalars;
     std::vector<TensorSlot> tensors;
-    std::vector<double> layer_latency_ms;               // step-indexed
+    std::vector<double> layer_latency_ms;                // step-indexed
     std::vector<std::vector<std::uint8_t>> layer_bytes;  // step-indexed
   };
   // Per-layer metadata shared by every frame (set at bind).
@@ -159,13 +180,16 @@ class TraceBuffer : public InvokeObserver {
   };
 
   void reset_frame(CaptureFrame& frame, int frame_id);
+  // Pre-sizes one frame's per-layer storage to the bound layout.
+  void size_frame(CaptureFrame& frame) const;
   FrameTrace to_frame_trace(const CaptureFrame& frame) const;
   void spool_worker();
   void spool_enqueue(const CaptureFrame* frame);
   void spool_wait_free(const CaptureFrame* frame);
+  bool spool_holds(const CaptureFrame* frame) const;  // caller holds spool_mu_
 
   MonitorOptions options_;
-  const Interpreter* bound_ = nullptr;
+  const Session* bound_ = nullptr;
   std::vector<LayerInfo> layers_;
 
   // The key table is the one structure both the hot thread (interning a
@@ -175,9 +199,10 @@ class TraceBuffer : public InvokeObserver {
   std::vector<std::string> key_names_;
   std::map<std::string, std::uint16_t> key_ids_;
   std::uint16_t key_latency_ = 0;
-  std::uint16_t key_model_output_ = 0;
+  // One key per model output of the bound session; [0] is kModelOutput.
+  std::vector<std::uint16_t> key_model_outputs_;
 
-  CaptureFrame frames_[2];
+  std::vector<CaptureFrame> frames_;  // capture ring; size 2 unless spooling
   int active_ = 0;
   std::size_t step_cursor_ = 0;
   int next_frame_id_ = 0;
@@ -185,18 +210,23 @@ class TraceBuffer : public InvokeObserver {
 
   Trace trace_;
 
-  // Spool state: single-slot queue between the hot thread and the writer.
+  // Spool state: bounded FIFO of completed frames between the hot thread and
+  // the writer. spool_queue_ holds frames waiting for the worker;
+  // spool_batch_ holds the frames the worker is currently serializing (it
+  // swaps the queue out whole, so both vectors keep their reserved capacity
+  // and the steady state never allocates).
   std::thread spool_thread_;
   mutable std::mutex spool_mu_;
   std::condition_variable spool_cv_;
-  const CaptureFrame* spool_pending_ = nullptr;
-  const CaptureFrame* spool_writing_ = nullptr;
+  std::vector<const CaptureFrame*> spool_queue_;
+  std::vector<const CaptureFrame*> spool_batch_;
   bool spool_stop_ = false;
   std::string spool_error_;
   std::ofstream spool_out_;
   std::size_t spool_count_offset_ = 0;
-  std::size_t spool_frames_ = 0;    // written by the worker
-  std::size_t spool_enqueued_ = 0;  // hot-thread count; guards bind()
+  std::size_t spool_frames_ = 0;     // written by the worker
+  std::size_t spool_enqueued_ = 0;   // hot-thread count; guards bind()
+  std::size_t max_spool_batch_ = 0;  // written by the worker
 };
 
 }  // namespace mlexray

@@ -236,7 +236,7 @@ int GraphBuilder::upsample_nearest_2x(int in, const std::string& name) {
       unary(OpType::kUpsampleNearest2x, in, auto_name(name, "upsample")));
 }
 
-Model GraphBuilder::finish(std::vector<int> outputs) {
+Graph GraphBuilder::finish(std::vector<int> outputs) {
   model_.outputs = std::move(outputs);
   model_.validate();
   return std::move(model_);

@@ -52,18 +52,18 @@ class GraphBuilder {
   int upsample_nearest_2x(int in, const std::string& name = "");
 
   // Access the model being built (e.g. to inspect intermediate shapes).
-  const Model& model() const { return model_; }
+  const Graph& model() const { return model_; }
   Shape shape_of(int id) const { return model_.node(id).output_shape; }
 
   // Finalizes: sets outputs, validates, returns the model by value.
-  Model finish(std::vector<int> outputs);
+  Graph finish(std::vector<int> outputs);
 
  private:
   std::string auto_name(const std::string& given, const char* prefix);
   Tensor he_normal(Shape shape, std::int64_t fan_in);
   Tensor zeros(Shape shape);
 
-  Model model_;
+  Graph model_;
   Pcg32* rng_;
   int counter_ = 0;
 };

@@ -15,7 +15,7 @@ std::int64_t conv_out_dim(std::int64_t in, int filter, int stride,
   return (in - filter + stride) / stride;
 }
 
-const Node& input_node(const Model& model, const Node& node, int i) {
+const Node& input_node(const Graph& model, const Node& node, int i) {
   MLX_CHECK_LT(static_cast<std::size_t>(i), node.inputs.size())
       << op_type_name(node.type) << " '" << node.name << "' missing input " << i;
   return model.node(node.inputs[static_cast<std::size_t>(i)]);
@@ -33,7 +33,7 @@ void expect_weights(const Node& node, std::size_t n) {
 
 }  // namespace
 
-void infer_node_output(const Model& model, Node& node) {
+void infer_node_output(const Graph& model, Node& node) {
   switch (node.type) {
     case OpType::kInput: {
       MLX_CHECK(node.output_shape.rank() > 0)
@@ -256,7 +256,7 @@ void infer_node_output(const Model& model, Node& node) {
   }
 }
 
-int Model::add_node(Node node) {
+int Graph::add_node(Node node) {
   node.id = static_cast<int>(nodes.size());
   for (int input : node.inputs) {
     MLX_CHECK(input >= 0 && input < node.id)
@@ -268,7 +268,7 @@ int Model::add_node(Node node) {
   return nodes.back().id;
 }
 
-std::vector<int> Model::input_ids() const {
+std::vector<int> Graph::input_ids() const {
   std::vector<int> ids;
   for (const Node& n : nodes) {
     if (n.type == OpType::kInput) ids.push_back(n.id);
@@ -276,11 +276,11 @@ std::vector<int> Model::input_ids() const {
   return ids;
 }
 
-void Model::infer_shapes() {
+void Graph::infer_shapes() {
   for (Node& n : nodes) infer_node_output(*this, n);
 }
 
-std::int64_t Model::num_params() const {
+std::int64_t Graph::num_params() const {
   std::int64_t count = 0;
   for (const Node& n : nodes) {
     for (const Tensor& w : n.weights) count += w.num_elements();
@@ -288,7 +288,7 @@ std::int64_t Model::num_params() const {
   return count;
 }
 
-int Model::layer_count() const {
+int Graph::layer_count() const {
   int count = 0;
   for (const Node& n : nodes) {
     if (n.type != OpType::kInput) ++count;
@@ -296,7 +296,7 @@ int Model::layer_count() const {
   return count;
 }
 
-void Model::validate() const {
+void Graph::validate() const {
   MLX_CHECK(!nodes.empty()) << "empty model";
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     const Node& n = nodes[i];

@@ -1,6 +1,6 @@
-// Model graph IR: a topologically ordered op list with shape inference.
+// Graph IR: a topologically ordered op list with shape inference.
 //
-// One Model instance represents one of the paper's "model versions": the
+// One Graph instance represents one of the paper's "model versions": the
 // training checkpoint (with BatchNorm), the converted float inference model,
 // or the fully quantized int8 model. The converter and quantizer transform
 // between these versions.
@@ -14,7 +14,7 @@
 
 namespace mlexray {
 
-class Model {
+class Graph {
  public:
   std::string name;
   InputSpec input_spec;
@@ -51,6 +51,6 @@ class Model {
 
 // Infers the output shape/dtype of one node given its input nodes' results.
 // Exposed for the converter and quantizer which rewrite graphs.
-void infer_node_output(const Model& model, Node& node);
+void infer_node_output(const Graph& model, Node& node);
 
 }  // namespace mlexray

@@ -1,4 +1,4 @@
-// Model input assumptions — the metadata that, per the paper, is routinely
+// Graph input assumptions — the metadata that, per the paper, is routinely
 // lost in the hand-off from the training team to the app team.
 //
 // Reference pipelines honour this spec exactly; the simulated "edge app"

@@ -65,7 +65,7 @@ Tensor deserialize_tensor(BinaryReader& r) {
   return t;
 }
 
-std::vector<std::uint8_t> serialize_model(const Model& model) {
+std::vector<std::uint8_t> serialize_model(const Graph& model) {
   BinaryWriter w;
   w.write_u32(kMagic);
   w.write_u32(kVersion);
@@ -114,10 +114,10 @@ std::vector<std::uint8_t> serialize_model(const Model& model) {
   return w.bytes();
 }
 
-Model deserialize_model(BinaryReader& r) {
+Graph deserialize_model(BinaryReader& r) {
   MLX_CHECK_EQ(r.read_u32(), kMagic) << "not an mlexray model file";
   MLX_CHECK_EQ(r.read_u32(), kVersion) << "unsupported model version";
-  Model model;
+  Graph model;
   model.name = r.read_string();
 
   InputSpec& spec = model.input_spec;
@@ -172,11 +172,11 @@ Model deserialize_model(BinaryReader& r) {
   return model;
 }
 
-void save_model(const Model& model, const std::filesystem::path& path) {
+void save_model(const Graph& model, const std::filesystem::path& path) {
   write_file(path, serialize_model(model));
 }
 
-Model load_model(const std::filesystem::path& path) {
+Graph load_model(const std::filesystem::path& path) {
   BinaryReader reader(read_file(path));
   return deserialize_model(reader);
 }

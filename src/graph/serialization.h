@@ -1,4 +1,4 @@
-// Model serialization.
+// Graph serialization.
 //
 // One binary format serves both of the paper's on-disk artifacts:
 //   .ckpt — training checkpoint (graph with BatchNorm, float weights)
@@ -17,10 +17,10 @@ namespace mlexray {
 void serialize_tensor(BinaryWriter& writer, const Tensor& tensor);
 Tensor deserialize_tensor(BinaryReader& reader);
 
-std::vector<std::uint8_t> serialize_model(const Model& model);
-Model deserialize_model(BinaryReader& reader);
+std::vector<std::uint8_t> serialize_model(const Graph& model);
+Graph deserialize_model(BinaryReader& reader);
 
-void save_model(const Model& model, const std::filesystem::path& path);
-Model load_model(const std::filesystem::path& path);
+void save_model(const Graph& model, const std::filesystem::path& path);
+Graph load_model(const std::filesystem::path& path);
 
 }  // namespace mlexray

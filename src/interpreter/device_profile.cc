@@ -4,7 +4,7 @@
 
 namespace mlexray {
 
-NodeCost estimate_node_cost(const Model& model, const Node& node) {
+NodeCost estimate_node_cost(const Graph& model, const Node& node) {
   NodeCost cost;
   const std::int64_t out_elems = node.output_shape.num_elements();
   for (int in : node.inputs) {
@@ -110,7 +110,7 @@ const DeviceProfile& DeviceProfile::emulator_x86() {
   return p;
 }
 
-double modeled_node_latency_ms(const Model& model, const Node& node,
+double modeled_node_latency_ms(const Graph& model, const Node& node,
                                const DeviceProfile& profile) {
   if (node.type == OpType::kInput) return 0.0;
   NodeCost cost = estimate_node_cost(model, node);
@@ -126,7 +126,7 @@ double modeled_node_latency_ms(const Model& model, const Node& node,
   return std::max(compute_s, memory_s) * 1e3 + profile.per_op_overhead_ms;
 }
 
-double modeled_graph_latency_ms(const Model& model,
+double modeled_graph_latency_ms(const Graph& model,
                                 const DeviceProfile& profile) {
   double total = 0.0;
   for (const Node& n : model.nodes) {

@@ -23,7 +23,7 @@ struct NodeCost {
   double bytes = 0.0;   // activations in/out + weights touched
 };
 
-NodeCost estimate_node_cost(const Model& model, const Node& node);
+NodeCost estimate_node_cost(const Graph& model, const Node& node);
 
 struct DeviceProfile {
   std::string name;
@@ -44,9 +44,9 @@ struct DeviceProfile {
 };
 
 // Modeled latency of one node / the whole graph on a device.
-double modeled_node_latency_ms(const Model& model, const Node& node,
+double modeled_node_latency_ms(const Graph& model, const Node& node,
                                const DeviceProfile& profile);
-double modeled_graph_latency_ms(const Model& model,
+double modeled_graph_latency_ms(const Graph& model,
                                 const DeviceProfile& profile);
 
 }  // namespace mlexray

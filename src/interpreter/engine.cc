@@ -1,0 +1,112 @@
+#include "src/interpreter/engine.h"
+
+namespace mlexray {
+
+namespace {
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+}  // namespace
+
+SessionLease& SessionLease::operator=(SessionLease&& other) noexcept {
+  if (this != &other) {
+    release();
+    engine_ = other.engine_;
+    entry_index_ = other.entry_index_;
+    session_ = other.session_;
+    other.engine_ = nullptr;
+    other.session_ = nullptr;
+  }
+  return *this;
+}
+
+void SessionLease::release() {
+  if (engine_ != nullptr && session_ != nullptr) {
+    engine_->release(entry_index_, session_);
+  }
+  engine_ = nullptr;
+  session_ = nullptr;
+}
+
+Engine::Engine(const OpResolver* resolver, int num_threads)
+    : resolver_(resolver), num_threads_(num_threads) {
+  MLX_CHECK(resolver != nullptr);
+}
+
+std::size_t Engine::find_locked(const std::string& name) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i]->name == name) return i;
+  }
+  return kNpos;
+}
+
+const Model& Engine::load(const std::string& name, Graph graph) {
+  // Build the model outside the lock: Prepare (weight packing) is the
+  // expensive step and must not serialize against concurrent acquires of
+  // already-loaded models.
+  auto model = std::make_unique<Model>(std::move(graph), resolver_,
+                                       num_threads_);
+  std::lock_guard<std::mutex> lock(mu_);
+  MLX_CHECK(find_locked(name) == kNpos)
+      << "model '" << name << "' already loaded";
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->model = std::move(model);
+  entries_.push_back(std::move(entry));
+  return *entries_.back()->model;
+}
+
+const Model* Engine::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t i = find_locked(name);
+  return i == kNpos ? nullptr : entries_[i]->model.get();
+}
+
+SessionLease Engine::acquire(const std::string& name) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::size_t i = find_locked(name);
+  MLX_CHECK(i != kNpos) << "model '" << name << "' not loaded";
+  Entry& entry = *entries_[i];
+  ++entry.leases_issued;
+  if (!entry.free_list.empty()) {
+    Session* session = entry.free_list.back();
+    entry.free_list.pop_back();
+    return SessionLease(this, i, session);
+  }
+  // Pool miss: build a new session. Session construction only reads the
+  // immutable Model, but stays under the lock so the sessions/free_list
+  // bookkeeping is simple; misses only happen while the pool warms up.
+  entry.sessions.push_back(std::make_unique<Session>(entry.model.get()));
+  // Reserve free-list capacity for every session ever created, so release()
+  // can push_back without allocating — part of the zero-alloc steady-state
+  // acquire/invoke/release contract.
+  entry.free_list.reserve(entry.sessions.size());
+  return SessionLease(this, i, entry.sessions.back().get());
+}
+
+void Engine::release(std::size_t entry_index, Session* session) {
+  // A stale observer must not fire into a TraceBuffer the previous
+  // leaseholder may have destroyed.
+  session->set_observer(nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  MLX_CHECK_LT(entry_index, entries_.size());
+  entries_[entry_index]->free_list.push_back(session);
+}
+
+EnginePoolStats Engine::pool_stats(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t i = find_locked(name);
+  MLX_CHECK(i != kNpos) << "model '" << name << "' not loaded";
+  const Entry& entry = *entries_[i];
+  EnginePoolStats stats;
+  stats.sessions_created = entry.sessions.size();
+  stats.sessions_free = entry.free_list.size();
+  stats.leases_issued = entry.leases_issued;
+  stats.prepared_bytes = entry.model->prepared_bytes();
+  return stats;
+}
+
+std::size_t Engine::model_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace mlexray

@@ -1,0 +1,130 @@
+// Engine: a named-model registry with a pooled session free-list — the
+// serving façade over Model/Session.
+//
+//   Engine engine(&resolver);
+//   engine.load("mobilenet", std::move(graph));    // prepare once
+//   {
+//     SessionLease lease = engine.acquire("mobilenet");
+//     lease->set_input(0, input);
+//     lease->invoke();
+//     use(lease->output(0));
+//   }                                              // session returns to pool
+//
+// load() builds the Model (the expensive Prepare: kernel resolution, weight
+// packing) exactly once per name. acquire() hands out a Session from a
+// per-model free list, creating one only when the list is empty — so a
+// steady-state acquire/invoke/release cycle touches no heap at all: acquire
+// pops a pointer, invoke runs the zero-alloc prepared walk, release pushes
+// the pointer back. T concurrent threads each holding a lease execute the
+// same shared plan against private arenas.
+//
+// Leases are RAII: destroying (or move-assigning over) a SessionLease
+// returns the session. The engine clears the session's observer on release
+// so a stale TraceBuffer attachment never fires for the next leaseholder;
+// a monitor observing a leased session should unobserve() before the lease
+// is released (the released session may be re-leased by another thread).
+// The Engine must outlive every lease it issued.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/interpreter/session.h"
+
+namespace mlexray {
+
+class Engine;
+
+// RAII handle to a pooled Session. Move-only; the destructor returns the
+// session to the engine's free list.
+class SessionLease {
+ public:
+  SessionLease() = default;
+  SessionLease(SessionLease&& other) noexcept { *this = std::move(other); }
+  SessionLease& operator=(SessionLease&& other) noexcept;
+  ~SessionLease() { release(); }
+
+  SessionLease(const SessionLease&) = delete;
+  SessionLease& operator=(const SessionLease&) = delete;
+
+  Session* operator->() const { return session_; }
+  Session& operator*() const { return *session_; }
+  Session* get() const { return session_; }
+  explicit operator bool() const { return session_ != nullptr; }
+
+  // Returns the session to the pool early; the lease becomes empty.
+  void release();
+
+ private:
+  friend class Engine;
+  SessionLease(Engine* engine, std::size_t entry_index, Session* session)
+      : engine_(engine), entry_index_(entry_index), session_(session) {}
+
+  Engine* engine_ = nullptr;
+  std::size_t entry_index_ = 0;
+  Session* session_ = nullptr;
+};
+
+// Pool visibility for one loaded model (tests and the serving benchmark
+// assert prepare-once/serve-many through these).
+struct EnginePoolStats {
+  std::size_t sessions_created = 0;  // total sessions ever built
+  std::size_t sessions_free = 0;     // currently in the free list
+  std::uint64_t leases_issued = 0;   // acquire() calls
+  std::size_t prepared_bytes = 0;    // shared Model prepared storage
+};
+
+class Engine {
+ public:
+  // resolver must outlive the engine. num_threads is forwarded to every
+  // Model built by load() (see Model's note: serving across threads usually
+  // wants the default 1).
+  explicit Engine(const OpResolver* resolver, int num_threads = 1);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Builds and registers a Model under `name` (which must be new), moving
+  // the graph in so the engine owns the artifact end to end. Returns the
+  // shared Model. Thread-safe.
+  const Model& load(const std::string& name, Graph graph);
+
+  // The loaded model, or nullptr. Thread-safe.
+  const Model* find(const std::string& name) const;
+
+  // A session over the named model, from the free list when possible.
+  // Throws MlxError for unknown names. Thread-safe; the returned lease is
+  // for this thread.
+  SessionLease acquire(const std::string& name);
+
+  EnginePoolStats pool_stats(const std::string& name) const;
+  std::size_t model_count() const;
+
+ private:
+  friend class SessionLease;
+
+  struct Entry {
+    std::string name;
+    std::unique_ptr<Model> model;
+    // Owns every session ever created for this model; sessions are never
+    // destroyed while the engine lives, so lease pointers stay stable.
+    std::vector<std::unique_ptr<Session>> sessions;
+    std::vector<Session*> free_list;
+    std::uint64_t leases_issued = 0;
+  };
+
+  // Index into entries_ or npos; caller must hold mu_.
+  std::size_t find_locked(const std::string& name) const;
+  void release(std::size_t entry_index, Session* session);
+
+  const OpResolver* resolver_;
+  int num_threads_;
+  mutable std::mutex mu_;
+  // unique_ptr so Entry addresses survive vector growth (leases index by
+  // position, but stats readers take Entry pointers under the lock).
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace mlexray

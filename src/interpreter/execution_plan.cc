@@ -2,38 +2,51 @@
 
 namespace mlexray {
 
-ExecutionPlan::ExecutionPlan(const Model& model, const OpResolver& resolver,
-                             std::vector<Tensor>& activations,
-                             ThreadPool* pool, ScratchArena* arena) {
-  MLX_CHECK_EQ(activations.size(), model.nodes.size());
+ExecutionPlan::ExecutionPlan(const Graph& graph, const OpResolver& resolver,
+                             ThreadPool* pool) {
   std::size_t executable = 0;
-  for (const Node& n : model.nodes) {
+  for (const Node& n : graph.nodes) {
     if (n.type != OpType::kInput) ++executable;
   }
   steps_.reserve(executable);
-  for (const Node& n : model.nodes) {
+  for (const Node& n : graph.nodes) {
     if (n.type == OpType::kInput) continue;
     PlanStep step;
     step.node = &n;
     step.kernel = &resolver.find(n);  // throws MlxError if unsupported
-    step.ctx.node = &n;
-    step.ctx.output = &activations[static_cast<std::size_t>(n.id)];
-    step.ctx.pool = pool;
-    step.ctx.arena = arena;
-    step.ctx.inputs.reserve(n.inputs.size());
-    for (int in : n.inputs) {
-      step.ctx.inputs.push_back(&activations[static_cast<std::size_t>(in)]);
-    }
-    steps_.push_back(std::move(step));
+    steps_.push_back(step);
   }
-  // Second pass, after every context is wired: run the one-time prepare
-  // hooks. Shapes, weights, and quant params are final here; activation data
-  // is not, and hooks must not read it.
+
+  // Run the one-time prepare hooks. Each hook sees a context wired to
+  // transient tensors for just its own node — shapes, weights, and quant
+  // params are final here; activation *data* is scratch and hooks must not
+  // read it. Scoping the tensors per step keeps the plan-build memory peak
+  // at one node's I/O, not the whole model's activation footprint.
   for (PlanStep& step : steps_) {
     if (!step.kernel->prepare) continue;
     prepared_.push_back(std::make_unique<PreparedStorage>());
-    step.ctx.prepared = prepared_.back().get();
-    step.kernel->prepare(step.ctx);
+    step.prepared = prepared_.back().get();
+
+    const Node& n = *step.node;
+    Tensor output(n.output_dtype, n.output_shape);
+    output.quant() = n.output_quant;
+    std::vector<Tensor> inputs;
+    inputs.reserve(n.inputs.size());
+    for (int in : n.inputs) {
+      const Node& producer = graph.node(in);
+      Tensor t(producer.output_dtype, producer.output_shape);
+      t.quant() = producer.output_quant;
+      inputs.push_back(std::move(t));
+    }
+
+    KernelContext ctx;
+    ctx.node = &n;
+    ctx.output = &output;
+    ctx.pool = pool;
+    ctx.prepared = step.prepared;
+    ctx.inputs.reserve(inputs.size());
+    for (const Tensor& t : inputs) ctx.inputs.push_back(&t);
+    step.kernel->prepare(ctx);
   }
 }
 

@@ -1,13 +1,15 @@
-// ExecutionPlan: the one-time Prepare phase of the interpreter's
-// Prepare/Invoke split.
+// ExecutionPlan: the shared, session-independent half of the Prepare/Invoke
+// split.
 //
 // Mirrors the plan-then-invoke structure of production edge runtimes (TFLite
-// on the paper's Pixel 4 setup): everything that can be resolved once —
-// kernel lookups, input/output tensor wiring, scratch attachment — is done at
-// interpreter construction, leaving Invoke a flat walk over prepared steps
-// with zero per-node setup and zero heap allocation. That keeps the
-// interpreter's own overhead far below the per-layer instrumentation signal
-// ML-EXray measures (<0.4% end-to-end, Table 2).
+// on the paper's Pixel 4 setup): everything that can be resolved once per
+// *model* — kernel lookups, one-time prepare hooks, packed weight panels,
+// requantization tables — is done at plan construction. The plan holds no
+// per-caller state: activation tensors and the scratch arena belong to a
+// Session (src/interpreter/session.h), which wires its own kernel contexts
+// against these steps. That split is what lets N concurrent sessions share
+// one plan (prepare once, serve many) while Invoke stays a flat walk with
+// zero per-node setup and zero heap allocation.
 #pragma once
 
 #include <memory>
@@ -18,26 +20,26 @@
 
 namespace mlexray {
 
-// One prepared node execution: the resolved kernel plus a fully wired
-// context. The context's tensor pointers reference the interpreter's
-// activation storage, which is allocated before the plan and never moves.
+// One prepared node execution: the resolved kernel plus the plan-owned
+// storage its prepare hook filled (null for kernels with no one-time work).
+// Per-session tensor wiring lives in the Session's contexts, not here.
 struct PlanStep {
   const Node* node = nullptr;
   const KernelEntry* kernel = nullptr;  // owned by the resolver's kernel map
-  KernelContext ctx;
+  PreparedStorage* prepared = nullptr;  // plan-owned; read-only after build
 };
 
 class ExecutionPlan {
  public:
-  // Resolves every non-input node of `model` against `resolver`, wires each
-  // step's context to `activations` (one tensor per node id), `pool`, and
-  // `arena`, then runs each kernel's prepare hook exactly once. Prepared
-  // results (packed weight panels, requantization tables) live in plan-owned
-  // PreparedStorage for the plan's lifetime. All referenced objects must
-  // outlive the plan.
-  ExecutionPlan(const Model& model, const OpResolver& resolver,
-                std::vector<Tensor>& activations, ThreadPool* pool,
-                ScratchArena* arena);
+  // Resolves every non-input node of `graph` against `resolver` and runs each
+  // kernel's prepare hook exactly once. Prepare hooks see a context wired to
+  // transient metadata tensors (shapes, dtypes, quant params are final;
+  // activation *data* must not be read — the same contract as before).
+  // `pool` is only used to parallelize prepare work itself. Prepared results
+  // live in plan-owned PreparedStorage for the plan's lifetime. graph and
+  // resolver must outlive the plan.
+  ExecutionPlan(const Graph& graph, const OpResolver& resolver,
+                ThreadPool* pool);
 
   const std::vector<PlanStep>& steps() const { return steps_; }
 
@@ -46,13 +48,14 @@ class ExecutionPlan {
   std::size_t step_count() const { return steps_.size(); }
 
   // Bytes held across all steps' prepared storage (packed weights etc.) —
-  // the memory cost of plan-time packing, surfaced in InterpreterStats.
+  // the memory cost of plan-time packing, surfaced in SessionStats. Shared
+  // across every session executing this plan.
   std::size_t prepared_bytes() const;
 
  private:
   std::vector<PlanStep> steps_;
-  // One slot per step with a prepare hook; pointers handed to step contexts
-  // stay stable because the storage objects are individually heap-owned.
+  // One slot per step with a prepare hook; pointers handed to steps stay
+  // stable because the storage objects are individually heap-owned.
   std::vector<std::unique_ptr<PreparedStorage>> prepared_;
 };
 

@@ -1,103 +1,9 @@
 #include "src/interpreter/interpreter.h"
 
-#include <chrono>
-#include <cstring>
-
-#include "src/interpreter/invoke_observer.h"
-
 namespace mlexray {
 
-namespace {
-using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
-}
-}  // namespace
-
-Interpreter::Interpreter(const Model* model, const OpResolver* resolver,
+Interpreter::Interpreter(const Graph* graph, const OpResolver* resolver,
                          int num_threads)
-    : model_(model), resolver_(resolver) {
-  auto prepare_start = Clock::now();
-  MLX_CHECK(model != nullptr);
-  MLX_CHECK(resolver != nullptr);
-  model_->validate();
-  pool_ = num_threads > 1 ? &ThreadPool::shared() : nullptr;
-  input_ids_ = model_->input_ids();
-  MLX_CHECK(!input_ids_.empty()) << "model has no inputs";
-
-  // Allocate one activation tensor per node (retained for per-layer logs).
-  // The vector is sized once and never grows: the plan wires raw pointers
-  // into it.
-  activations_.reserve(model_->nodes.size());
-  for (const Node& n : model_->nodes) {
-    Tensor t(n.output_dtype, n.output_shape);
-    t.quant() = n.output_quant;
-    activations_.push_back(std::move(t));
-  }
-  plan_ = std::make_unique<ExecutionPlan>(*model_, *resolver_, activations_,
-                                          pool_, &arena_);
-  stats_.per_node_ms.assign(model_->nodes.size(), 0.0);
-  stats_.per_node_total_ms.assign(model_->nodes.size(), 0.0);
-  stats_.prepared_bytes = plan_->prepared_bytes();
-  stats_.prepare_ms = ms_since(prepare_start);
-}
-
-void Interpreter::set_input(int input_index, const Tensor& value) {
-  MLX_CHECK_LT(static_cast<std::size_t>(input_index), input_ids_.size());
-  Tensor& slot = activations_[static_cast<std::size_t>(
-      input_ids_[static_cast<std::size_t>(input_index)])];
-  MLX_CHECK(value.shape() == slot.shape())
-      << "input shape " << value.shape().to_string() << " expected "
-      << slot.shape().to_string();
-  MLX_CHECK(value.dtype() == slot.dtype())
-      << "input dtype " << dtype_name(value.dtype()) << " expected "
-      << dtype_name(slot.dtype());
-  std::memcpy(slot.raw_data(), value.raw_data(), value.byte_size());
-}
-
-void Interpreter::invoke() {
-  auto start_total = Clock::now();
-  // Reset the per-invoke view; totals keep accumulating.
-  std::fill(stats_.per_node_ms.begin(), stats_.per_node_ms.end(), 0.0);
-  if (observer_ != nullptr) observer_->on_invoke_begin(plan_->step_count());
-  for (const PlanStep& step : plan_->steps()) {
-    arena_.reset();
-    auto start = Clock::now();
-    step.kernel->invoke(step.ctx);
-    const double node_ms = ms_since(start);
-    const auto id = static_cast<std::size_t>(step.node->id);
-    stats_.per_node_ms[id] = node_ms;
-    stats_.per_node_total_ms[id] += node_ms;
-    if (observer_ != nullptr) {
-      observer_->on_step(*step.node, activations_[id], node_ms);
-    }
-  }
-  stats_.total_ms = ms_since(start_total);
-  stats_.cumulative_ms += stats_.total_ms;
-  stats_.arena_high_water_bytes = arena_.high_water_bytes();
-  ++stats_.invoke_count;
-  if (observer_ != nullptr) observer_->on_invoke_end(stats_);
-}
-
-const Tensor& Interpreter::output(int output_index) const {
-  MLX_CHECK_LT(static_cast<std::size_t>(output_index),
-               model_->outputs.size());
-  return activations_[static_cast<std::size_t>(
-      model_->outputs[static_cast<std::size_t>(output_index)])];
-}
-
-const Tensor& Interpreter::node_output(int node_id) const {
-  MLX_CHECK(node_id >= 0 &&
-            node_id < static_cast<int>(activations_.size()));
-  return activations_[static_cast<std::size_t>(node_id)];
-}
-
-std::size_t Interpreter::activation_bytes() const {
-  std::size_t total = 0;
-  for (const Tensor& t : activations_) total += t.byte_size();
-  return total;
-}
+    : model_(graph, resolver, num_threads), session_(&model_) {}
 
 }  // namespace mlexray

@@ -1,4 +1,4 @@
-// Graph interpreter: executes a Model with a chosen OpResolver.
+// Interpreter: compatibility shim over the Model/Session split.
 //
 // Mirrors the TFLite interpreter surface the paper instruments:
 //   interpreter.set_input(...); interpreter.invoke();
@@ -6,95 +6,78 @@
 // after invoke) and per-node wall-clock latencies are recorded on every
 // invoke for the latency-validation path.
 //
-// Execution is split into Prepare and Invoke phases. Construction runs
-// Prepare: activation tensors are allocated, an ExecutionPlan resolves every
-// kernel and wires its context once, and a scratch arena is attached for
-// kernel temporaries. invoke() then just walks the prepared steps — after the
-// first call (which grows the arena to the model's high-water mark) it
-// performs no heap allocation at all, which the alloc_stats-based regression
-// tests enforce.
+// Historically this class owned the whole Prepare/Invoke split. That state
+// now lives in two sharable pieces — an immutable Model (graph +
+// ExecutionPlan + PreparedStorage, built once) and a per-caller Session
+// (activations, scratch arena, stats, observer); see
+// src/interpreter/model.h and src/interpreter/session.h. An Interpreter is
+// simply a private Model + Session pair for the classic one-caller case:
+// construction runs Prepare, invoke() walks the prepared steps with zero
+// steady-state heap allocation (enforced by tests/test_kernel_grid.cc).
+// Call sites that want to share one prepared model across callers should
+// use Model/Session (or the pooled Engine) directly.
 #pragma once
 
-#include <memory>
-#include <vector>
-
-#include "src/common/thread_pool.h"
-#include "src/interpreter/execution_plan.h"
-#include "src/tensor/scratch_arena.h"
+#include "src/interpreter/session.h"
 
 namespace mlexray {
 
-class InvokeObserver;
-
-struct InterpreterStats {
-  // One-time Prepare cost (plan construction, activation allocation).
-  double prepare_ms = 0.0;
-  // Wall clock of the most recent invoke.
-  double total_ms = 0.0;
-  // Sum of total_ms across all invokes, and how many there were.
-  double cumulative_ms = 0.0;
-  std::int64_t invoke_count = 0;
-  // Per-node wall clock, indexed by node id; reset at the start of every
-  // invoke (kInput nodes stay 0).
-  std::vector<double> per_node_ms;
-  // Per-node wall clock accumulated across all invokes.
-  std::vector<double> per_node_total_ms;
-  // Memory visibility: plan-owned prepared storage (packed weight panels,
-  // requantization tables; fixed at Prepare) and the scratch arena's
-  // high-water mark (refreshed after every invoke). Latency wins from
-  // plan-time packing must not hide their memory cost.
-  std::size_t prepared_bytes = 0;
-  std::size_t arena_high_water_bytes = 0;
-};
-
-// Historical name, kept for call sites that predate the Prepare/Invoke split.
-using InvokeStats = InterpreterStats;
-
 class Interpreter {
  public:
-  // model and resolver must outlive the interpreter. num_threads > 1 enables
+  // graph and resolver must outlive the interpreter. num_threads > 1 enables
   // the shared thread pool for kernels that support it.
-  Interpreter(const Model* model, const OpResolver* resolver,
+  Interpreter(const Graph* graph, const OpResolver* resolver,
               int num_threads = 1);
 
   // Copies `value` into the i-th model input (shape and dtype checked).
-  void set_input(int input_index, const Tensor& value);
+  void set_input(int input_index, const Tensor& value) {
+    session_.set_input(input_index, value);
+  }
 
   // Runs all nodes in topological order over the prepared plan.
-  void invoke();
+  void invoke() { session_.invoke(); }
 
-  // Attaches a push-based observability sink (src/interpreter/
-  // invoke_observer.h): invoke() fires on_invoke_begin / on_step /
-  // on_invoke_end as it walks the plan. Non-owning; the observer must
-  // outlive the attachment (pass nullptr to detach before destroying it).
-  void set_observer(InvokeObserver* observer) { observer_ = observer; }
-  InvokeObserver* observer() const { return observer_; }
+  // Attaches a push-based observability sink to the underlying session (see
+  // Session::set_observer for the lifetime contract).
+  void set_observer(InvokeObserver* observer) {
+    session_.set_observer(observer);
+  }
+  InvokeObserver* observer() const { return session_.observer(); }
 
   // The i-th model output of the last invoke.
-  const Tensor& output(int output_index = 0) const;
+  const Tensor& output(int output_index = 0) const {
+    return session_.output(output_index);
+  }
 
   // Any node's retained output (per-layer inspection).
-  const Tensor& node_output(int node_id) const;
+  const Tensor& node_output(int node_id) const {
+    return session_.node_output(node_id);
+  }
 
-  const Model& model() const { return *model_; }
-  const OpResolver& resolver() const { return *resolver_; }
-  const InterpreterStats& last_stats() const { return stats_; }
-  const ExecutionPlan& plan() const { return *plan_; }
-  const ScratchArena& scratch_arena() const { return arena_; }
+  // Historical accessor name: the graph this interpreter executes.
+  const Graph& model() const { return model_.graph(); }
+  const Graph& graph() const { return model_.graph(); }
+  const OpResolver& resolver() const { return model_.resolver(); }
+  const SessionStats& last_stats() const { return session_.last_stats(); }
+  const ExecutionPlan& plan() const { return model_.plan(); }
+  const ScratchArena& scratch_arena() const {
+    return session_.scratch_arena();
+  }
+
+  // The underlying pair, for code migrating to the serving API (observers
+  // bind to the session; the model can be shared read-only).
+  const Model& prepared_model() const { return model_; }
+  Session& session() { return session_; }
+  const Session& session() const { return session_; }
 
   // Bytes held by this interpreter's activation tensors.
-  std::size_t activation_bytes() const;
+  std::size_t activation_bytes() const {
+    return session_.activation_bytes();
+  }
 
  private:
-  const Model* model_;
-  const OpResolver* resolver_;
-  ThreadPool* pool_;  // nullptr => single-threaded
-  ScratchArena arena_;
-  std::vector<Tensor> activations_;  // one per node id
-  std::unique_ptr<ExecutionPlan> plan_;
-  std::vector<int> input_ids_;
-  InterpreterStats stats_;
-  InvokeObserver* observer_ = nullptr;
+  Model model_;      // non-owning view of the caller's Graph
+  Session session_;  // must be declared after model_ (init order)
 };
 
 }  // namespace mlexray

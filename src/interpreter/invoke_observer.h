@@ -1,20 +1,21 @@
-// Push-based observability hooks for the interpreter's Invoke phase.
+// Push-based observability hooks for the Invoke phase of a Session.
 //
 // ML-EXray's per-layer instrumentation used to *pull* data after invoke: walk
 // the model, deep-copy every retained activation, O(model size) heap churn
 // per frame. An InvokeObserver instead rides along the prepared-step walk:
-// the interpreter fires on_step as each node finishes, handing the observer a
+// the session fires on_step as each node finishes, handing the observer a
 // view of the retained output tensor and the step's wall clock. The observer
 // decides what (if anything) to copy — TraceBuffer (src/core/trace_buffer.h)
 // captures into pre-sized storage so a steady-state instrumented invoke stays
 // heap-free, preserving the paper's <0.4% overhead budget (Table 2).
 //
 // Contract: hooks run on the invoke thread, between kernel executions. They
-// must not call back into the interpreter's mutating API, must not retain the
+// must not call back into the session's mutating API, must not retain the
 // tensor reference past the callback (the buffer is overwritten by later
 // invokes), and should not allocate in steady state. The observer must stay
-// alive while attached; detach with Interpreter::set_observer(nullptr) before
-// destroying it.
+// alive while attached; detach with Session::set_observer(nullptr) before
+// destroying it. Observers are per-session: two sessions sharing one Model
+// attach two independent observers.
 #pragma once
 
 #include <cstddef>
@@ -23,7 +24,7 @@ namespace mlexray {
 
 struct Node;
 class Tensor;
-struct InterpreterStats;
+struct SessionStats;
 
 class InvokeObserver {
  public:
@@ -44,7 +45,7 @@ class InvokeObserver {
 
   // End of invoke(), after the last step; stats carry total_ms and the
   // refreshed arena high-water mark.
-  virtual void on_invoke_end(const InterpreterStats& stats) { (void)stats; }
+  virtual void on_invoke_end(const SessionStats& stats) { (void)stats; }
 };
 
 }  // namespace mlexray

@@ -1,0 +1,33 @@
+#include "src/interpreter/model.h"
+
+#include <chrono>
+
+namespace mlexray {
+
+Model::Model(Graph graph, const OpResolver* resolver, int num_threads)
+    : owned_graph_(std::make_unique<const Graph>(std::move(graph))),
+      graph_(owned_graph_.get()),
+      resolver_(resolver) {
+  build(num_threads);
+}
+
+Model::Model(const Graph* graph, const OpResolver* resolver, int num_threads)
+    : graph_(graph), resolver_(resolver) {
+  build(num_threads);
+}
+
+void Model::build(int num_threads) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  MLX_CHECK(graph_ != nullptr);
+  MLX_CHECK(resolver_ != nullptr);
+  graph_->validate();
+  pool_ = num_threads > 1 ? &ThreadPool::shared() : nullptr;
+  input_ids_ = graph_->input_ids();
+  MLX_CHECK(!input_ids_.empty()) << "graph has no inputs";
+  plan_ = std::make_unique<ExecutionPlan>(*graph_, *resolver_, pool_);
+  prepare_ms_ =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace mlexray

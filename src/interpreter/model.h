@@ -1,0 +1,77 @@
+// Model: an immutable, shareable prepared model — the "load once" half of
+// the serving API.
+//
+// A Model bundles everything about a deployment artifact that is identical
+// for every caller: the Graph (weights, shapes, quant params), the
+// ExecutionPlan (kernels resolved once, prepare hooks run once), and the
+// plan-owned PreparedStorage (packed GEMM B panels, requantization tables).
+// Building a Model pays the full Prepare cost exactly once; afterwards the
+// object is strictly read-only, so any number of Sessions — including
+// Sessions invoking concurrently from different threads — can execute it
+// without synchronization. N concurrent clients share one copy of
+// prepared_bytes instead of paying N× prepare time and N× memory.
+//
+//   Model model(std::move(graph), &resolver);   // prepare once
+//   Session a(&model), b(&model);               // serve many
+//
+// The Engine (src/interpreter/engine.h) adds a named registry and a session
+// pool on top; Interpreter (src/interpreter/interpreter.h) is a thin
+// compatibility shim that owns a private Model + Session pair.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/interpreter/execution_plan.h"
+
+namespace mlexray {
+
+class Model {
+ public:
+  // Owning: moves the graph in, so the Model is self-contained (the Engine's
+  // load path). resolver must outlive the Model. num_threads > 1 attaches
+  // the shared thread pool for kernels that support it — note that the pool
+  // serializes jobs, so many-session serving typically wants num_threads=1
+  // (one caller thread per session) while single-stream latency wants the
+  // pool.
+  Model(Graph graph, const OpResolver* resolver, int num_threads = 1);
+
+  // Non-owning: graph must outlive the Model (the Interpreter shim path,
+  // where call sites traditionally keep the Graph alive themselves).
+  Model(const Graph* graph, const OpResolver* resolver, int num_threads = 1);
+
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+
+  const Graph& graph() const { return *graph_; }
+  const OpResolver& resolver() const { return *resolver_; }
+  const ExecutionPlan& plan() const { return *plan_; }
+  ThreadPool* pool() const { return pool_; }
+  const std::string& name() const { return graph_->name; }
+
+  // Ids of the graph's kInput nodes, in insertion order (cached so sessions
+  // don't rebuild the vector).
+  const std::vector<int>& input_ids() const { return input_ids_; }
+
+  // Bytes of plan-owned prepared storage — paid once, shared by every
+  // session.
+  std::size_t prepared_bytes() const { return plan_->prepared_bytes(); }
+
+  // One-time Prepare wall clock (plan construction, weight packing).
+  double prepare_ms() const { return prepare_ms_; }
+
+ private:
+  void build(int num_threads);
+
+  std::unique_ptr<const Graph> owned_graph_;  // null in the non-owning case
+  const Graph* graph_;
+  const OpResolver* resolver_;
+  ThreadPool* pool_ = nullptr;  // nullptr => single-threaded kernels
+  std::unique_ptr<ExecutionPlan> plan_;
+  std::vector<int> input_ids_;
+  double prepare_ms_ = 0.0;
+};
+
+}  // namespace mlexray

@@ -1,0 +1,118 @@
+#include "src/interpreter/session.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "src/interpreter/invoke_observer.h"
+
+namespace mlexray {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+}  // namespace
+
+Session::Session(const Model* model) : model_(model) {
+  const auto start = Clock::now();
+  MLX_CHECK(model != nullptr);
+  const Graph& graph = model_->graph();
+
+  // Allocate one activation tensor per node (retained for per-layer logs).
+  // The vector is sized once and never grows: the contexts wire raw pointers
+  // into it.
+  activations_.reserve(graph.nodes.size());
+  for (const Node& n : graph.nodes) {
+    Tensor t(n.output_dtype, n.output_shape);
+    t.quant() = n.output_quant;
+    activations_.push_back(std::move(t));
+  }
+
+  // Wire one context per shared plan step against this session's activations
+  // and arena. The plan itself stays untouched — this is the only per-session
+  // cost of sharing it.
+  const auto& steps = model_->plan().steps();
+  contexts_.reserve(steps.size());
+  for (const PlanStep& step : steps) {
+    KernelContext ctx;
+    const Node& n = *step.node;
+    ctx.node = &n;
+    ctx.output = &activations_[static_cast<std::size_t>(n.id)];
+    ctx.pool = model_->pool();
+    ctx.arena = &arena_;
+    ctx.prepared = step.prepared;
+    ctx.inputs.reserve(n.inputs.size());
+    for (int in : n.inputs) {
+      ctx.inputs.push_back(&activations_[static_cast<std::size_t>(in)]);
+    }
+    contexts_.push_back(std::move(ctx));
+  }
+
+  stats_.per_node_ms.assign(graph.nodes.size(), 0.0);
+  stats_.per_node_total_ms.assign(graph.nodes.size(), 0.0);
+  stats_.prepared_bytes = model_->prepared_bytes();
+  stats_.prepare_ms = model_->prepare_ms() + ms_since(start);
+}
+
+void Session::set_input(int input_index, const Tensor& value) {
+  const std::vector<int>& input_ids = model_->input_ids();
+  MLX_CHECK_LT(static_cast<std::size_t>(input_index), input_ids.size());
+  Tensor& slot = activations_[static_cast<std::size_t>(
+      input_ids[static_cast<std::size_t>(input_index)])];
+  MLX_CHECK(value.shape() == slot.shape())
+      << "input shape " << value.shape().to_string() << " expected "
+      << slot.shape().to_string();
+  MLX_CHECK(value.dtype() == slot.dtype())
+      << "input dtype " << dtype_name(value.dtype()) << " expected "
+      << dtype_name(slot.dtype());
+  std::memcpy(slot.raw_data(), value.raw_data(), value.byte_size());
+}
+
+void Session::invoke() {
+  const auto start_total = Clock::now();
+  // Reset the per-invoke view; totals keep accumulating.
+  std::fill(stats_.per_node_ms.begin(), stats_.per_node_ms.end(), 0.0);
+  const auto& steps = model_->plan().steps();
+  if (observer_ != nullptr) observer_->on_invoke_begin(steps.size());
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const PlanStep& step = steps[i];
+    arena_.reset();
+    const auto start = Clock::now();
+    step.kernel->invoke(contexts_[i]);
+    const double node_ms = ms_since(start);
+    const auto id = static_cast<std::size_t>(step.node->id);
+    stats_.per_node_ms[id] = node_ms;
+    stats_.per_node_total_ms[id] += node_ms;
+    if (observer_ != nullptr) {
+      observer_->on_step(*step.node, activations_[id], node_ms);
+    }
+  }
+  stats_.total_ms = ms_since(start_total);
+  stats_.cumulative_ms += stats_.total_ms;
+  stats_.arena_high_water_bytes = arena_.high_water_bytes();
+  ++stats_.invoke_count;
+  if (observer_ != nullptr) observer_->on_invoke_end(stats_);
+}
+
+const Tensor& Session::output(int output_index) const {
+  const Graph& graph = model_->graph();
+  MLX_CHECK_LT(static_cast<std::size_t>(output_index), graph.outputs.size());
+  return activations_[static_cast<std::size_t>(
+      graph.outputs[static_cast<std::size_t>(output_index)])];
+}
+
+const Tensor& Session::node_output(int node_id) const {
+  MLX_CHECK(node_id >= 0 && node_id < static_cast<int>(activations_.size()));
+  return activations_[static_cast<std::size_t>(node_id)];
+}
+
+std::size_t Session::activation_bytes() const {
+  std::size_t total = 0;
+  for (const Tensor& t : activations_) total += t.byte_size();
+  return total;
+}
+
+}  // namespace mlexray

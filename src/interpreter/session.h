@@ -1,0 +1,103 @@
+// Session: the lightweight per-caller half of the serving API.
+//
+// A Session executes a shared, immutable Model. Everything mutable per
+// caller lives here: the activation tensors (retained for per-layer logs),
+// the scratch arena for kernel temporaries, the invoke statistics, and the
+// optional InvokeObserver (TraceBuffer) — so observers attach per-session
+// while weights and prepared packing stay shared. Construction is cheap
+// relative to Model building (no kernel resolution, no weight packing);
+// steady-state invoke() performs zero heap allocations, which the
+// alloc_stats-based regression tests enforce per session even when many
+// sessions run the same Model concurrently.
+//
+// Thread safety: a Session is single-threaded (one invoke at a time), but
+// different Sessions over the same Model may invoke concurrently from
+// different threads — the Model is read-only after construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/interpreter/model.h"
+#include "src/tensor/scratch_arena.h"
+
+namespace mlexray {
+
+class InvokeObserver;
+
+struct SessionStats {
+  // One-time Prepare cost: the shared Model build (plan construction,
+  // weight packing) plus this session's activation allocation and wiring.
+  double prepare_ms = 0.0;
+  // Wall clock of the most recent invoke.
+  double total_ms = 0.0;
+  // Sum of total_ms across all invokes, and how many there were.
+  double cumulative_ms = 0.0;
+  std::int64_t invoke_count = 0;
+  // Per-node wall clock, indexed by node id; reset at the start of every
+  // invoke (kInput nodes stay 0).
+  std::vector<double> per_node_ms;
+  // Per-node wall clock accumulated across all invokes.
+  std::vector<double> per_node_total_ms;
+  // Memory visibility: plan-owned prepared storage (packed weight panels,
+  // requantization tables; fixed at Model build, *shared* across sessions)
+  // and this session's scratch-arena high-water mark (refreshed after every
+  // invoke). Latency wins from plan-time packing must not hide their memory
+  // cost.
+  std::size_t prepared_bytes = 0;
+  std::size_t arena_high_water_bytes = 0;
+};
+
+// Historical names, kept for call sites that predate the Model/Session split
+// and the Prepare/Invoke split respectively.
+using InterpreterStats = SessionStats;
+using InvokeStats = SessionStats;
+
+class Session {
+ public:
+  // model must outlive the session.
+  explicit Session(const Model* model);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Copies `value` into the i-th model input (shape and dtype checked).
+  void set_input(int input_index, const Tensor& value);
+
+  // Runs all nodes in topological order over the shared prepared plan.
+  void invoke();
+
+  // Attaches a push-based observability sink (src/interpreter/
+  // invoke_observer.h): invoke() fires on_invoke_begin / on_step /
+  // on_invoke_end as it walks the plan. Non-owning; the observer must
+  // outlive the attachment (pass nullptr to detach before destroying it).
+  void set_observer(InvokeObserver* observer) { observer_ = observer; }
+  InvokeObserver* observer() const { return observer_; }
+
+  // The i-th model output of the last invoke.
+  const Tensor& output(int output_index = 0) const;
+
+  // Any node's retained output (per-layer inspection).
+  const Tensor& node_output(int node_id) const;
+
+  const Model& model() const { return *model_; }
+  const Graph& graph() const { return model_->graph(); }
+  const ExecutionPlan& plan() const { return model_->plan(); }
+  const SessionStats& last_stats() const { return stats_; }
+  const ScratchArena& scratch_arena() const { return arena_; }
+
+  // Bytes held by this session's activation tensors.
+  std::size_t activation_bytes() const;
+
+ private:
+  const Model* model_;
+  ScratchArena arena_;
+  std::vector<Tensor> activations_;  // one per node id
+  // One wired context per plan step (inputs/output point into activations_,
+  // arena/pool/prepared attached); built once, reused verbatim every invoke.
+  std::vector<KernelContext> contexts_;
+  SessionStats stats_;
+  InvokeObserver* observer_ = nullptr;
+};
+
+}  // namespace mlexray

@@ -271,7 +271,7 @@ std::vector<DetPrediction> ssd_predict(const SsdModel& ssd,
   return non_max_suppression(std::move(raw));
 }
 
-double evaluate_ssd_map(const SsdModel& ssd, const Model& deployed,
+double evaluate_ssd_map(const SsdModel& ssd, const Graph& deployed,
                         const OpResolver& resolver,
                         const std::vector<DetExample>& examples,
                         const ImagePipelineConfig& pipeline) {

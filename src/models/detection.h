@@ -14,7 +14,7 @@
 namespace mlexray {
 
 struct SsdModel {
-  Model model;  // training graph; outputs = {cls8, box8, cls4, box4}
+  Graph model;  // training graph; outputs = {cls8, box8, cls4, box4}
   std::vector<int> grid_sizes{8, 4};
   std::vector<float> anchor_sizes{0.25f, 0.5f};
   int num_classes = 4;  // background excluded; head predicts classes+1
@@ -54,7 +54,7 @@ std::vector<DetPrediction> ssd_predict(const SsdModel& ssd,
 
 // End-to-end mAP of a deployed model over sensor examples using a possibly
 // buggy preprocessing pipeline.
-double evaluate_ssd_map(const SsdModel& ssd, const Model& deployed,
+double evaluate_ssd_map(const SsdModel& ssd, const Graph& deployed,
                         const OpResolver& resolver,
                         const std::vector<DetExample>& examples,
                         const ImagePipelineConfig& pipeline);

@@ -283,7 +283,7 @@ const std::vector<ZooEntry>& image_zoo() {
   return kZoo;
 }
 
-int node_id_by_name(const Model& model, const std::string& name) {
+int node_id_by_name(const Graph& model, const std::string& name) {
   for (const Node& n : model.nodes) {
     if (n.name == name) return n.id;
   }

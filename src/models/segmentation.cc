@@ -111,7 +111,7 @@ Tensor predict_mask(Interpreter& interpreter, const Tensor& input) {
   return mask;
 }
 
-double evaluate_deeplab_miou(const Model& deployed, const OpResolver& resolver,
+double evaluate_deeplab_miou(const Graph& deployed, const OpResolver& resolver,
                              const std::vector<SegExample>& examples,
                              const ImagePipelineConfig& pipeline) {
   Interpreter interp(&deployed, &resolver);

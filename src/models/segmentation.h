@@ -21,7 +21,7 @@ void train_deeplab(ZooModel* zm, const std::vector<SegExample>& train_set,
 Tensor predict_mask(Interpreter& interpreter, const Tensor& input);
 
 // End-to-end mIoU of a deployed model with a (possibly buggy) pipeline.
-double evaluate_deeplab_miou(const Model& deployed, const OpResolver& resolver,
+double evaluate_deeplab_miou(const Graph& deployed, const OpResolver& resolver,
                              const std::vector<SegExample>& examples,
                              const ImagePipelineConfig& pipeline);
 

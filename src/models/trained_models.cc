@@ -48,8 +48,8 @@ std::vector<LabeledExample> imdb_examples(
 
 namespace {
 
-Model train_or_load(const std::string& cache_key,
-                    const std::function<Model()>& train_fn) {
+Graph train_or_load(const std::string& cache_key,
+                    const std::function<Graph()>& train_fn) {
   const std::filesystem::path path = cache_dir() / (cache_key + ".ckpt");
   if (std::filesystem::exists(path)) {
     return load_model(path);
@@ -57,7 +57,7 @@ Model train_or_load(const std::string& cache_key,
   std::printf("[mlexray] training %s (cached afterwards at %s)\n",
               cache_key.c_str(), path.string().c_str());
   std::fflush(stdout);
-  Model model = train_fn();
+  Graph model = train_fn();
   save_model(model, path);
   return model;
 }
@@ -94,7 +94,7 @@ void augment_brightness_contrast(std::vector<LabeledExample>* examples,
 // Builds a batch-N training twin of a zoo architecture, trains it, and
 // copies the fitted weights (incl. BN statistics) into the batch-1
 // deployment graph.
-Model train_twin_and_transfer(
+Graph train_twin_and_transfer(
     const std::function<ZooModel(int batch)>& build,
     const std::vector<LabeledExample>& train_set, FitConfig cfg) {
   ZooModel train_twin = build(cfg.batch_size);
@@ -106,7 +106,7 @@ Model train_twin_and_transfer(
 
 }  // namespace
 
-Model trained_image_checkpoint(const std::string& zoo_name) {
+Graph trained_image_checkpoint(const std::string& zoo_name) {
   return train_or_load("v1_" + zoo_name, [&] {
     auto sensors = SynthImageNet::make(StandardData::kImageTrainPerClass,
                                        StandardData::kImageTrainSeed);
@@ -141,7 +141,7 @@ Model trained_image_checkpoint(const std::string& zoo_name) {
   });
 }
 
-Model trained_kws_checkpoint(const std::string& name) {
+Graph trained_kws_checkpoint(const std::string& name) {
   return train_or_load("v1_" + name, [&] {
     std::function<ZooModel(int)> build = [&](int b) {
       return name == "kws_tiny_conv" ? build_kws_tiny_conv(11, b)
@@ -159,7 +159,7 @@ Model trained_kws_checkpoint(const std::string& name) {
   });
 }
 
-Model trained_nnlm_checkpoint() {
+Graph trained_nnlm_checkpoint() {
   return train_or_load("v1_nnlm_mini", [&] {
     std::function<ZooModel(int)> build = [](int b) {
       return build_nnlm_mini(13, static_cast<int>(imdb_vocabulary().size()),
@@ -203,7 +203,7 @@ ZooModel trained_deeplab() {
   return deploy;
 }
 
-Model trained_mobilebert_checkpoint() {
+Graph trained_mobilebert_checkpoint() {
   return train_or_load("v1_mobilebert_mini", [&] {
     std::function<ZooModel(int)> build = [](int b) {
       return build_mobilebert_mini(17,

@@ -40,13 +40,13 @@ std::vector<LabeledExample> imdb_examples(
 // --- trained checkpoints (cached) ---
 
 // zoo_name must be one of image_zoo() entries.
-Model trained_image_checkpoint(const std::string& zoo_name);
+Graph trained_image_checkpoint(const std::string& zoo_name);
 
 // name: "kws_tiny_conv" or "kws_low_latency_conv".
-Model trained_kws_checkpoint(const std::string& name);
+Graph trained_kws_checkpoint(const std::string& name);
 
-Model trained_nnlm_checkpoint();
-Model trained_mobilebert_checkpoint();
+Graph trained_nnlm_checkpoint();
+Graph trained_mobilebert_checkpoint();
 
 // Detection / segmentation (cached like the classifiers).
 SsdModel trained_ssd(const std::string& backbone);  // "mobilenet" | "resnet"

@@ -1,4 +1,4 @@
-// Model zoo: miniature versions of the architectures the paper evaluates.
+// Graph zoo: miniature versions of the architectures the paper evaluates.
 //
 // All builders return *training* graphs (BatchNorm nodes, standalone
 // activations) with the logits FC node named "logits" and a final softmax
@@ -16,7 +16,7 @@
 namespace mlexray {
 
 struct ZooModel {
-  Model model;
+  Graph model;
   int logits_id = -1;  // pre-softmax node (training target)
 };
 
@@ -54,6 +54,6 @@ struct ZooEntry {
 const std::vector<ZooEntry>& image_zoo();
 
 // Finds a node id by name (e.g. "logits"); throws if absent.
-int node_id_by_name(const Model& model, const std::string& name);
+int node_id_by_name(const Graph& model, const std::string& name);
 
 }  // namespace mlexray

@@ -7,7 +7,7 @@
 
 namespace mlexray {
 
-Calibrator::Calibrator(const Model* model, CalibrationOptions options)
+Calibrator::Calibrator(const Graph* model, CalibrationOptions options)
     : model_(model), options_(options), interp_(model, &resolver_) {
   const std::size_t n = model_->nodes.size();
   sample_mins_.resize(n);

@@ -23,7 +23,7 @@ struct CalibrationOptions {
 class Calibrator {
  public:
   // model must be a converted float inference model and outlive this object.
-  Calibrator(const Model* model, CalibrationOptions options = {});
+  Calibrator(const Graph* model, CalibrationOptions options = {});
 
   // Runs one representative sample through the float model and records
   // every node's output extremes.
@@ -40,7 +40,7 @@ class Calibrator {
   int samples_seen() const { return samples_; }
 
  private:
-  const Model* model_;
+  const Graph* model_;
   CalibrationOptions options_;
   RefOpResolver resolver_;  // calibration uses reference float kernels
   Interpreter interp_;

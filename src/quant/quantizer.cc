@@ -110,9 +110,9 @@ bool fixed_unit_range(OpType type) {
 
 }  // namespace
 
-Model quantize_model(const Model& float_model, const Calibrator& calibrator,
+Graph quantize_model(const Graph& float_model, const Calibrator& calibrator,
                      QuantizeOptions options) {
-  Model out;
+  Graph out;
   out.name = float_model.name + "-int8";
   out.input_spec = float_model.input_spec;
 

@@ -30,7 +30,7 @@ Tensor quantize_weights(const Tensor& weights, int channel_axis,
 
 // Full-model quantization. `float_model` must be a converted inference
 // model (no BatchNorm); `calibrator` must have observed samples on it.
-Model quantize_model(const Model& float_model, const Calibrator& calibrator,
+Graph quantize_model(const Graph& float_model, const Calibrator& calibrator,
                      QuantizeOptions options = {});
 
 }  // namespace mlexray

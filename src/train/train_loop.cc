@@ -28,7 +28,7 @@ Tensor stack_batch(const std::vector<const Tensor*>& samples) {
 
 }  // namespace
 
-double fit_classifier(Model* model, int logits_node,
+double fit_classifier(Graph* model, int logits_node,
                       const std::vector<LabeledExample>& train_set,
                       const FitConfig& config) {
   MLX_CHECK(!train_set.empty());
@@ -101,7 +101,7 @@ int argmax(const Tensor& tensor) {
   return best;
 }
 
-double evaluate_classifier(const Model& model, const OpResolver& resolver,
+double evaluate_classifier(const Graph& model, const OpResolver& resolver,
                            const std::vector<LabeledExample>& examples,
                            int num_threads) {
   MLX_CHECK(!examples.empty());

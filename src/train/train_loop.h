@@ -22,13 +22,13 @@ struct FitConfig {
 
 // Trains `model` in place with softmax-xent on `logits_node`.
 // Returns the final-epoch average training loss.
-double fit_classifier(Model* model, int logits_node,
+double fit_classifier(Graph* model, int logits_node,
                       const std::vector<LabeledExample>& train_set,
                       const FitConfig& config);
 
 // Top-1 accuracy of a model on examples (argmax of output 0, which may be
 // float logits/probabilities or a quantized tensor — dequantized first).
-double evaluate_classifier(const Model& model, const OpResolver& resolver,
+double evaluate_classifier(const Graph& model, const OpResolver& resolver,
                            const std::vector<LabeledExample>& examples,
                            int num_threads = 1);
 

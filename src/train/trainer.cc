@@ -7,7 +7,7 @@
 
 namespace mlexray {
 
-Trainer::Trainer(Model* model, TrainConfig config)
+Trainer::Trainer(Graph* model, TrainConfig config)
     : model_(model), cfg_(config) {
   MLX_CHECK(model != nullptr);
   model_->validate();
@@ -665,7 +665,7 @@ const Tensor& Trainer::weight_grad(int node_id,
   return wgrads_.at(static_cast<std::size_t>(node_id)).at(weight_index);
 }
 
-void copy_weights(const Model& src, Model* dst) {
+void copy_weights(const Graph& src, Graph* dst) {
   MLX_CHECK_EQ(src.nodes.size(), dst->nodes.size());
   for (std::size_t i = 0; i < src.nodes.size(); ++i) {
     const Node& s = src.nodes[i];

@@ -31,7 +31,7 @@ struct TrainConfig {
 class Trainer {
  public:
   // model must outlive the trainer; weights are updated in place.
-  Trainer(Model* model, TrainConfig config);
+  Trainer(Graph* model, TrainConfig config);
 
   // Clears accumulated gradients (call at the start of each mini-batch).
   void zero_grad();
@@ -56,14 +56,14 @@ class Trainer {
   // Accumulated gradient of a node's weight (diagnostics / gradient checks).
   const Tensor& weight_grad(int node_id, std::size_t weight_index) const;
 
-  Model& model() { return *model_; }
+  Graph& model() { return *model_; }
   long steps_taken() const { return step_count_; }
 
  private:
   void forward_batch_norm(const Node& node);
   void backward_node(const Node& node);
 
-  Model* model_;
+  Graph* model_;
   TrainConfig cfg_;
   BuiltinOpResolver resolver_;
   ThreadPool* pool_;
@@ -87,6 +87,6 @@ class Trainer {
 
 // Copies weights (and BN stats) from one model to a structurally identical
 // one (used to move trained weights between graph variants).
-void copy_weights(const Model& src, Model* dst);
+void copy_weights(const Graph& src, Graph* dst);
 
 }  // namespace mlexray

@@ -19,7 +19,7 @@ Tensor random_input(Shape shape, Pcg32& rng, float lo = -1, float hi = 1) {
 }
 
 // Post-activation net: conv -> bn -> relu -> dwconv -> bn -> relu6 -> fc.
-Model post_act_model(std::uint64_t seed) {
+Graph post_act_model(std::uint64_t seed) {
   Pcg32 rng(seed);
   GraphBuilder b("post_act", &rng);
   int x = b.input(Shape{1, 8, 8, 3});
@@ -32,7 +32,7 @@ Model post_act_model(std::uint64_t seed) {
   int g = b.mean(c, "gap");
   int logits = b.fully_connected(g, 4, Activation::kNone, "logits");
   int prob = b.softmax(logits, "prob");
-  Model m = b.finish({prob});
+  Graph m = b.finish({prob});
   // Give BN non-trivial statistics so folding actually does arithmetic.
   for (Node& n : m.nodes) {
     if (n.type != OpType::kBatchNorm) continue;
@@ -48,7 +48,7 @@ Model post_act_model(std::uint64_t seed) {
 }
 
 // Pre-activation net: bn -> relu -> conv with residual (ResNetV2-style).
-Model pre_act_model(std::uint64_t seed) {
+Graph pre_act_model(std::uint64_t seed) {
   Pcg32 rng(seed);
   GraphBuilder b("pre_act", &rng);
   int x = b.input(Shape{1, 8, 8, 4});
@@ -58,7 +58,7 @@ Model pre_act_model(std::uint64_t seed) {
   int sum = b.add(x, c, Activation::kNone, "residual");
   int g = b.mean(sum, "gap");
   int logits = b.fully_connected(g, 3, Activation::kNone, "logits");
-  Model m = b.finish({logits});
+  Graph m = b.finish({logits});
   Node& n = m.node(bn);
   Pcg32 wrng(55);
   for (std::int64_t i = 0; i < n.weights[0].num_elements(); ++i) {
@@ -71,8 +71,8 @@ Model pre_act_model(std::uint64_t seed) {
 }
 
 TEST(Converter, FoldedModelMatchesCheckpoint) {
-  Model ckpt = post_act_model(1);
-  Model converted = convert_for_inference(ckpt);
+  Graph ckpt = post_act_model(1);
+  Graph converted = convert_for_inference(ckpt);
   // BN gone, activations fused.
   for (const Node& n : converted.nodes) {
     EXPECT_NE(n.type, OpType::kBatchNorm);
@@ -96,8 +96,8 @@ TEST(Converter, FoldedModelMatchesCheckpoint) {
 }
 
 TEST(Converter, PreActBatchNormBecomesDepthwise) {
-  Model ckpt = pre_act_model(3);
-  Model converted = convert_for_inference(ckpt);
+  Graph ckpt = pre_act_model(3);
+  Graph converted = convert_for_inference(ckpt);
   int bn_count = 0;
   for (const Node& n : converted.nodes) {
     if (n.type == OpType::kBatchNorm) ++bn_count;
@@ -117,11 +117,11 @@ TEST(Converter, PreActBatchNormBecomesDepthwise) {
 }
 
 TEST(Converter, OptionsDisableFolding) {
-  Model ckpt = post_act_model(5);
+  Graph ckpt = post_act_model(5);
   ConvertOptions opts;
   opts.fold_batch_norm = false;
   opts.fuse_activations = false;
-  Model converted = convert_for_inference(ckpt, opts);
+  Graph converted = convert_for_inference(ckpt, opts);
   EXPECT_EQ(converted.nodes.size(), ckpt.nodes.size());
 }
 
@@ -134,8 +134,8 @@ TEST(Converter, SharedProducerNotFused) {
   int c = b.conv2d(x, 2, 3, 3, 1, Padding::kSame, Activation::kNone, "conv");
   int r = b.relu(c, "relu");
   int sum = b.add(c, r, Activation::kNone, "add");
-  Model m = b.finish({sum});
-  Model converted = convert_for_inference(m);
+  Graph m = b.finish({sum});
+  Graph converted = convert_for_inference(m);
   bool has_standalone_relu = false;
   for (const Node& n : converted.nodes) {
     if (n.type == OpType::kRelu) has_standalone_relu = true;
@@ -200,7 +200,7 @@ TEST(Calibrator, MinMaxTracksExtremes) {
   Pcg32 rng(9);
   GraphBuilder b("cal", &rng);
   int x = b.input(Shape{1, 4});
-  Model m = b.finish({x});
+  Graph m = b.finish({x});
   Calibrator calib(&m);
   calib.observe({Tensor::f32(Shape{1, 4}, {-2, 0, 1, 5})});
   calib.observe({Tensor::f32(Shape{1, 4}, {-1, 0, 1, 2})});
@@ -213,7 +213,7 @@ TEST(Calibrator, PercentileClipsOutliers) {
   Pcg32 rng(10);
   GraphBuilder b("cal", &rng);
   int x = b.input(Shape{1, 2});
-  Model m = b.finish({x});
+  Graph m = b.finish({x});
   CalibrationOptions opts;
   opts.method = CalibrationOptions::Method::kPercentile;
   opts.percentile = 80.0;
@@ -235,14 +235,14 @@ TEST(Calibrator, PercentileClipsOutliers) {
 }
 
 TEST(QuantizeModel, StructureHasQuantizeAndDequantize) {
-  Model ckpt = post_act_model(11);
-  Model converted = convert_for_inference(ckpt);
+  Graph ckpt = post_act_model(11);
+  Graph converted = convert_for_inference(ckpt);
   Calibrator calib(&converted);
   Pcg32 rng(12);
   for (int i = 0; i < 4; ++i) {
     calib.observe({random_input(Shape{1, 8, 8, 3}, rng)});
   }
-  Model qm = quantize_model(converted, calib);
+  Graph qm = quantize_model(converted, calib);
   EXPECT_EQ(qm.node(1).type, OpType::kQuantize);
   EXPECT_EQ(qm.node(qm.outputs[0]).type, OpType::kDequantize);
   // Pools inherit producer quantization (paper §2, per-tensor rules).
@@ -259,7 +259,7 @@ TEST(QuantizeModel, StructureHasQuantizeAndDequantize) {
 }
 
 TEST(QuantizeModel, RequiresConvertedModel) {
-  Model ckpt = post_act_model(13);
+  Graph ckpt = post_act_model(13);
   Calibrator calib(&ckpt);
   Pcg32 rng(14);
   calib.observe({random_input(Shape{1, 8, 8, 3}, rng)});
@@ -267,14 +267,14 @@ TEST(QuantizeModel, RequiresConvertedModel) {
 }
 
 TEST(QuantizeModel, EndToEndAccuracyClose) {
-  Model ckpt = post_act_model(15);
-  Model converted = convert_for_inference(ckpt);
+  Graph ckpt = post_act_model(15);
+  Graph converted = convert_for_inference(ckpt);
   Calibrator calib(&converted);
   Pcg32 rng(16);
   for (int i = 0; i < 16; ++i) {
     calib.observe({random_input(Shape{1, 8, 8, 3}, rng)});
   }
-  Model qm = quantize_model(converted, calib);
+  Graph qm = quantize_model(converted, calib);
   RefOpResolver ref;
   Interpreter fi(&converted, &ref);
   Interpreter qi(&qm, &ref);
@@ -291,8 +291,8 @@ TEST(QuantizeModel, EndToEndAccuracyClose) {
 }
 
 TEST(QuantizeModel, PerTensorWeightsOptionRespected) {
-  Model ckpt = post_act_model(17);
-  Model converted = convert_for_inference(ckpt);
+  Graph ckpt = post_act_model(17);
+  Graph converted = convert_for_inference(ckpt);
   Calibrator calib(&converted);
   Pcg32 rng(18);
   for (int i = 0; i < 4; ++i) {
@@ -300,7 +300,7 @@ TEST(QuantizeModel, PerTensorWeightsOptionRespected) {
   }
   QuantizeOptions opts;
   opts.per_channel_weights = false;
-  Model qm = quantize_model(converted, calib, opts);
+  Graph qm = quantize_model(converted, calib, opts);
   for (const Node& n : qm.nodes) {
     if (n.type == OpType::kConv2D) {
       EXPECT_FALSE(n.weights[0].quant().per_channel());

@@ -133,12 +133,12 @@ TEST(Validator, AccuracyComparison) {
 
 TEST(Validator, PerLayerDriftLocalisesQuantBug) {
   ZooModel zm = tiny_image_model();
-  Model mobile = convert_for_inference(zm.model);
+  Graph mobile = convert_for_inference(zm.model);
   auto data = sensors(1);
   ImagePipelineConfig correct{zm.model.input_spec, PreprocBug::kNone};
   Calibrator calib(&mobile);
   for (const auto& s : data) calib.observe({run_image_pipeline(s.image_u8, correct)});
-  Model quant = quantize_model(mobile, calib);
+  Graph quant = quantize_model(mobile, calib);
 
   MonitorOptions opts;
   opts.per_layer_outputs = true;

@@ -1,0 +1,435 @@
+// Concurrent serving: the Model/Session split and the Engine session pool.
+//
+// Locks in the prepare-once/serve-many contracts the serving API claims:
+//  - sessions over one shared Model are bit-exact with a standalone
+//    Interpreter, in f32 and int8;
+//  - prepared storage is built once per Model: gemm_b_pack_events() does
+//    not grow with session count, and every session reports the same
+//    shared prepared_bytes;
+//  - T threads invoking one Model through pooled Engine sessions produce
+//    bit-identical outputs to a single session run sequentially;
+//  - steady-state acquire/invoke/release performs zero heap allocations,
+//    enforced with the same operator-new counter + AllocStats events
+//    test_kernel_grid.cc uses for bare invoke;
+//  - releasing a lease returns the session to the free list and a later
+//    acquire reuses it (same pointer, observer cleared).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "src/core/monitor.h"
+#include "src/graph/builder.h"
+#include "src/interpreter/engine.h"
+#include "src/interpreter/interpreter.h"
+#include "src/interpreter/invoke_observer.h"
+#include "src/kernels/gemm.h"
+#include "src/quant/quantizer.h"
+#include "src/tensor/alloc_stats.h"
+
+// --- global operator new/delete instrumentation -----------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace mlexray {
+namespace {
+
+Tensor random_input(Shape shape, Pcg32& rng) {
+  Tensor t = Tensor::f32(shape);
+  float* p = t.data<float>();
+  for (std::int64_t i = 0; i < t.num_elements(); ++i) {
+    p[i] = rng.uniform(-2.0f, 2.0f);
+  }
+  return t;
+}
+
+Graph conv_stack_graph(Pcg32* rng) {
+  GraphBuilder b("stack", rng);
+  int x = b.input(Shape{1, 16, 16, 8});
+  int c1 = b.conv2d(x, 16, 3, 3, 1, Padding::kSame, Activation::kRelu, "c1");
+  int d = b.depthwise_conv2d(c1, 3, 3, 2, Padding::kSame, Activation::kRelu6,
+                             "dw");
+  int c2 = b.conv2d(d, 16, 1, 1, 1, Padding::kSame, Activation::kNone, "c2");
+  int fc = b.fully_connected(c2, 10, Activation::kNone, "fc");
+  return b.finish({fc});
+}
+
+Graph quantized_conv_stack_graph(Pcg32* rng) {
+  Graph m = conv_stack_graph(rng);
+  Calibrator calib(&m);
+  Pcg32 crng(172);
+  for (int i = 0; i < 4; ++i) {
+    calib.observe({random_input(Shape{1, 16, 16, 8}, crng)});
+  }
+  return quantize_model(m, calib);
+}
+
+void expect_bit_identical(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.dtype(), b.dtype());
+  ASSERT_EQ(a.byte_size(), b.byte_size());
+  EXPECT_EQ(std::memcmp(a.raw_data(), b.raw_data(), a.byte_size()), 0);
+}
+
+// --- Model/Session sharing ---------------------------------------------------
+
+TEST(ModelSessionSplit, TwoSessionsShareOnePreparedModel) {
+  Pcg32 rng(71);
+  Graph graph = conv_stack_graph(&rng);
+  BuiltinOpResolver opt;
+
+  // Standalone interpreter: the pre-split execution path.
+  Interpreter interp(&graph, &opt);
+
+  const std::uint64_t packs_before_model = gemm_b_pack_events();
+  Model model(&graph, &opt);
+  const std::uint64_t packs_for_model =
+      gemm_b_pack_events() - packs_before_model;
+  EXPECT_GT(model.prepared_bytes(), 0u);
+
+  // Creating sessions must not re-pack anything: prepare ran once at Model
+  // build.
+  Session a(&model);
+  Session b(&model);
+  EXPECT_EQ(gemm_b_pack_events(), packs_before_model + packs_for_model)
+      << "session construction re-packed GEMM B panels";
+
+  // Both sessions report the same shared prepared storage.
+  EXPECT_EQ(a.last_stats().prepared_bytes, model.prepared_bytes());
+  EXPECT_EQ(b.last_stats().prepared_bytes, model.prepared_bytes());
+
+  Pcg32 drng(72);
+  Tensor x0 = random_input(Shape{1, 16, 16, 8}, drng);
+  Tensor x1 = random_input(Shape{1, 16, 16, 8}, drng);
+
+  // Interleave invokes across the two sessions with different inputs: each
+  // session's activations are private, so results must match a standalone
+  // interpreter bit-for-bit.
+  a.set_input(0, x0);
+  b.set_input(0, x1);
+  a.invoke();
+  b.invoke();
+  interp.set_input(0, x0);
+  interp.invoke();
+  expect_bit_identical(a.output(0), interp.output(0));
+  interp.set_input(0, x1);
+  interp.invoke();
+  expect_bit_identical(b.output(0), interp.output(0));
+
+  EXPECT_EQ(gemm_b_pack_events(), packs_before_model + packs_for_model)
+      << "invoking sessions re-packed GEMM B panels";
+}
+
+TEST(ModelSessionSplit, QuantizedSessionsMatchInterpreterBitExact) {
+  Pcg32 rng(81);
+  Graph qgraph = quantized_conv_stack_graph(&rng);
+  BuiltinOpResolver opt;
+  Interpreter interp(&qgraph, &opt);
+  Model model(&qgraph, &opt);
+  Session s(&model);
+  EXPECT_GT(model.prepared_bytes(), 0u);
+
+  Pcg32 drng(82);
+  for (int i = 0; i < 3; ++i) {
+    Tensor x = random_input(Shape{1, 16, 16, 8}, drng);
+    s.set_input(0, x);
+    s.invoke();
+    interp.set_input(0, x);
+    interp.invoke();
+    expect_bit_identical(s.output(0), interp.output(0));
+  }
+}
+
+TEST(ModelSessionSplit, ModelCanOwnItsGraph) {
+  Pcg32 rng(91);
+  BuiltinOpResolver opt;
+  Pcg32 drng(92);
+  Tensor x = random_input(Shape{1, 16, 16, 8}, drng);
+
+  Graph graph = conv_stack_graph(&rng);
+  Tensor want;
+  {
+    Interpreter interp(&graph, &opt);
+    interp.set_input(0, x);
+    interp.invoke();
+    want = interp.output(0);  // deep copy: `graph` is about to be moved out
+  }
+
+  // Owning Model: the graph is moved in; the hollowed-out original must not
+  // be referenced again (the non-owning Interpreter above is gone).
+  Model model(std::move(graph), &opt);
+  Session s(&model);
+  s.set_input(0, x);
+  s.invoke();
+  expect_bit_identical(s.output(0), want);
+}
+
+// --- Engine pool -------------------------------------------------------------
+
+TEST(EnginePool, LeaseReuseAndPoolAccounting) {
+  Pcg32 rng(101);
+  BuiltinOpResolver opt;
+  Engine engine(&opt);
+  engine.load("stack", conv_stack_graph(&rng));
+  EXPECT_EQ(engine.model_count(), 1u);
+  ASSERT_NE(engine.find("stack"), nullptr);
+  EXPECT_EQ(engine.find("missing"), nullptr);
+
+  Session* first = nullptr;
+  {
+    SessionLease lease = engine.acquire("stack");
+    ASSERT_TRUE(lease);
+    first = lease.get();
+  }
+  // Released back to the free list: the next acquire reuses the session.
+  {
+    SessionLease lease = engine.acquire("stack");
+    EXPECT_EQ(lease.get(), first) << "free-listed session was not reused";
+    // Two concurrent leases need a second session.
+    SessionLease second = engine.acquire("stack");
+    EXPECT_NE(second.get(), first);
+    const EnginePoolStats stats = engine.pool_stats("stack");
+    EXPECT_EQ(stats.sessions_created, 2u);
+    EXPECT_EQ(stats.sessions_free, 0u);
+    EXPECT_EQ(stats.leases_issued, 3u);
+    EXPECT_GT(stats.prepared_bytes, 0u);
+  }
+  const EnginePoolStats stats = engine.pool_stats("stack");
+  EXPECT_EQ(stats.sessions_created, 2u);
+  EXPECT_EQ(stats.sessions_free, 2u);
+}
+
+TEST(EnginePool, ReleaseClearsObserver) {
+  // A TraceBuffer left attached by a previous leaseholder must never fire
+  // into freed memory for the next one.
+  class CountingObserver : public InvokeObserver {
+   public:
+    void on_invoke_end(const SessionStats&) override { ++count; }
+    int count = 0;
+  };
+  Pcg32 rng(111);
+  BuiltinOpResolver opt;
+  Engine engine(&opt);
+  engine.load("stack", conv_stack_graph(&rng));
+  CountingObserver observer;
+  Pcg32 drng(112);
+  Tensor x = random_input(Shape{1, 16, 16, 8}, drng);
+  {
+    SessionLease lease = engine.acquire("stack");
+    lease->set_observer(&observer);
+    lease->set_input(0, x);
+    lease->invoke();
+    EXPECT_EQ(observer.count, 1);
+  }
+  {
+    SessionLease lease = engine.acquire("stack");
+    EXPECT_EQ(lease->observer(), nullptr)
+        << "released session kept its previous observer attached";
+    lease->set_input(0, x);
+    lease->invoke();
+    EXPECT_EQ(observer.count, 1);
+  }
+}
+
+TEST(EnginePool, MonitorReattachesToReacquiredSession) {
+  // Engine::release clears the session's observer; a monitor re-observing
+  // the same pooled session after a release/acquire round trip must
+  // re-attach its buffer, not early-return on the pointer match.
+  Pcg32 rng(115);
+  BuiltinOpResolver opt;
+  Engine engine(&opt);
+  engine.load("stack", conv_stack_graph(&rng));
+  EdgeMLMonitor monitor;
+  Pcg32 drng(116);
+  Tensor x = random_input(Shape{1, 16, 16, 8}, drng);
+  Session* observed = nullptr;
+  {
+    SessionLease lease = engine.acquire("stack");
+    observed = lease.get();
+    monitor.observe(*lease);
+    EXPECT_EQ(lease->observer(), &monitor.buffer());
+    // No unobserve: releasing the lease clears the session's observer while
+    // the monitor still points at it (single-threaded, so this is safe).
+  }
+  EXPECT_EQ(observed->observer(), nullptr);
+  {
+    SessionLease lease = engine.acquire("stack");
+    ASSERT_EQ(lease.get(), observed);  // same pooled session came back
+    monitor.observe(*lease);
+    EXPECT_EQ(lease->observer(), &monitor.buffer())
+        << "monitor did not re-attach to the re-acquired session";
+    lease->set_input(0, x);
+    monitor.on_inf_start();
+    lease->invoke();
+    monitor.on_inf_stop(*lease);
+    EXPECT_TRUE(monitor.buffer().captured_invoke())
+        << "push capture missed the invoke after re-observe";
+    monitor.unobserve(*lease);
+  }
+}
+
+TEST(EnginePool, SteadyStateAcquireInvokeReleaseIsHeapFree) {
+  Pcg32 rng(121);
+  BuiltinOpResolver opt;
+  Engine engine(&opt);
+  const std::string name = "stack";
+  engine.load(name, conv_stack_graph(&rng));
+  Pcg32 drng(122);
+  Tensor x = random_input(Shape{1, 16, 16, 8}, drng);
+
+  // Warm the pool (session built, arena grown) and the lease cycle.
+  for (int i = 0; i < 2; ++i) {
+    SessionLease lease = engine.acquire(name);
+    lease->set_input(0, x);
+    lease->invoke();
+  }
+
+  const std::uint64_t events_before = AllocStats::instance().alloc_events();
+  const std::size_t bytes_before = AllocStats::instance().current_bytes();
+  const std::uint64_t heap_before = g_heap_allocs.load();
+  for (int i = 0; i < 5; ++i) {
+    SessionLease lease = engine.acquire(name);
+    lease->set_input(0, x);
+    lease->invoke();
+    lease.release();
+  }
+  EXPECT_EQ(AllocStats::instance().alloc_events(), events_before)
+      << "steady-state serving registered new tensor/arena allocations";
+  EXPECT_EQ(AllocStats::instance().current_bytes(), bytes_before);
+  EXPECT_EQ(g_heap_allocs.load(), heap_before)
+      << "steady-state acquire/invoke/release touched the heap";
+}
+
+// --- concurrency -------------------------------------------------------------
+
+TEST(EnginePool, ConcurrentThreadsOneModelBitExact) {
+  constexpr int kThreads = 4;
+  constexpr int kInvokesPerThread = 8;
+  Pcg32 rng(131);
+  BuiltinOpResolver opt;
+  Engine engine(&opt);
+  const std::string name = "stack";
+  engine.load(name, conv_stack_graph(&rng));
+
+  // Per-thread inputs and their expected outputs, computed sequentially on
+  // one session up front.
+  std::vector<Tensor> inputs;
+  std::vector<Tensor> expected;
+  {
+    Pcg32 drng(132);
+    SessionLease ref = engine.acquire(name);
+    for (int t = 0; t < kThreads; ++t) {
+      inputs.push_back(random_input(Shape{1, 16, 16, 8}, drng));
+      ref->set_input(0, inputs.back());
+      ref->invoke();
+      expected.push_back(ref->output(0));  // deep copy
+    }
+  }
+
+  const std::uint64_t packs_before = gemm_b_pack_events();
+  std::vector<std::thread> workers;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kInvokesPerThread; ++i) {
+        SessionLease lease = engine.acquire(name);
+        lease->set_input(0, inputs[static_cast<std::size_t>(t)]);
+        lease->invoke();
+        const Tensor& got = lease->output(0);
+        const Tensor& want = expected[static_cast<std::size_t>(t)];
+        if (got.byte_size() != want.byte_size() ||
+            std::memcmp(got.raw_data(), want.raw_data(), got.byte_size()) !=
+                0) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0)
+      << "concurrent sessions over one Model diverged from the sequential "
+         "reference";
+  EXPECT_EQ(gemm_b_pack_events(), packs_before)
+      << "concurrent serving re-packed GEMM B panels";
+  const EnginePoolStats stats = engine.pool_stats(name);
+  EXPECT_LE(stats.sessions_created, static_cast<std::size_t>(kThreads) + 1);
+  EXPECT_EQ(stats.leases_issued,
+            static_cast<std::uint64_t>(kThreads) * kInvokesPerThread + 1);
+}
+
+TEST(EnginePool, ConcurrentQuantizedThreadsBitExact) {
+  constexpr int kThreads = 3;
+  Pcg32 rng(141);
+  BuiltinOpResolver opt;
+  Engine engine(&opt);
+  const std::string name = "stack_i8";
+  engine.load(name, quantized_conv_stack_graph(&rng));
+
+  Pcg32 drng(142);
+  Tensor x = random_input(Shape{1, 16, 16, 8}, drng);
+  Tensor want;
+  {
+    SessionLease ref = engine.acquire(name);
+    ref->set_input(0, x);
+    ref->invoke();
+    want = ref->output(0);
+  }
+
+  std::vector<std::thread> workers;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 6; ++i) {
+        SessionLease lease = engine.acquire(name);
+        lease->set_input(0, x);
+        lease->invoke();
+        const Tensor& got = lease->output(0);
+        if (got.byte_size() != want.byte_size() ||
+            std::memcmp(got.raw_data(), want.raw_data(), got.byte_size()) !=
+                0) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace mlexray

@@ -8,7 +8,7 @@
 namespace mlexray {
 namespace {
 
-Model tiny_model(std::uint64_t seed = 3) {
+Graph tiny_model(std::uint64_t seed = 3) {
   Pcg32 rng(seed);
   GraphBuilder b("tiny", &rng);
   int x = b.input(Shape{1, 8, 8, 3});
@@ -22,7 +22,7 @@ Model tiny_model(std::uint64_t seed = 3) {
 }
 
 // local helper (models lib provides one too, but keep graph tests standalone)
-int find_node(const Model& m, const std::string& name) {
+int find_node(const Graph& m, const std::string& name) {
   for (const Node& n : m.nodes) {
     if (n.name == name) return n.id;
   }
@@ -30,21 +30,21 @@ int find_node(const Model& m, const std::string& name) {
 }
 
 TEST(Graph, ShapeInferenceConvSame) {
-  Model m = tiny_model();
+  Graph m = tiny_model();
   // conv stride 2 SAME on 8x8 -> 4x4x4
   int conv = find_node(m, "c1");
   EXPECT_EQ(m.node(conv).output_shape, (Shape{1, 4, 4, 4}));
 }
 
 TEST(Graph, LayerAndParamCounts) {
-  Model m = tiny_model();
+  Graph m = tiny_model();
   EXPECT_EQ(m.layer_count(), static_cast<int>(m.nodes.size()) - 1);
   // conv: 4*3*3*3 + 4; bn: 4*4; fc: 5*4 + 5
   EXPECT_EQ(m.num_params(), 4 * 3 * 3 * 3 + 4 + 16 + 5 * 4 + 5);
 }
 
 TEST(Graph, NonTopologicalInputRejected) {
-  Model m;
+  Graph m;
   Node n;
   n.type = OpType::kRelu;
   n.inputs = {5};
@@ -94,10 +94,10 @@ TEST(Graph, AddShapeMismatchThrows) {
 }
 
 TEST(Serialization, ModelRoundTrip) {
-  Model m = tiny_model(9);
+  Graph m = tiny_model(9);
   auto bytes = serialize_model(m);
   BinaryReader r(bytes);
-  Model back = deserialize_model(r);
+  Graph back = deserialize_model(r);
   ASSERT_EQ(back.nodes.size(), m.nodes.size());
   EXPECT_EQ(back.name, m.name);
   EXPECT_EQ(back.input_spec, m.input_spec);
@@ -116,10 +116,10 @@ TEST(Serialization, ModelRoundTrip) {
 }
 
 TEST(Serialization, FileRoundTrip) {
-  Model m = tiny_model(4);
+  Graph m = tiny_model(4);
   auto path = std::filesystem::temp_directory_path() / "mlx_model.ckpt";
   save_model(m, path);
-  Model back = load_model(path);
+  Graph back = load_model(path);
   EXPECT_EQ(back.nodes.size(), m.nodes.size());
   std::filesystem::remove(path);
 }

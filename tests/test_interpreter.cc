@@ -19,7 +19,7 @@ TEST(Interpreter, InvokeProducesFiniteOutputs) {
   int g = b.mean(c, "gap");
   int logits = b.fully_connected(g, 3, Activation::kNone, "logits");
   int prob = b.softmax(logits, "prob");
-  Model m = b.finish({prob});
+  Graph m = b.finish({prob});
   RefOpResolver ref;
   Interpreter interp(&m, &ref);
   Tensor input = Tensor::f32(Shape{1, 8, 8, 3});
@@ -39,7 +39,7 @@ TEST(Interpreter, ShapeMismatchThrows) {
   Pcg32 rng(2);
   GraphBuilder b("m", &rng);
   int x = b.input(Shape{1, 4, 4, 1});
-  Model m = b.finish({x});
+  Graph m = b.finish({x});
   RefOpResolver ref;
   Interpreter interp(&m, &ref);
   EXPECT_THROW(interp.set_input(0, Tensor::f32(Shape{1, 5, 5, 1})), MlxError);
@@ -50,7 +50,7 @@ TEST(Interpreter, PerNodeLatenciesRecorded) {
   GraphBuilder b("m", &rng);
   int x = b.input(Shape{1, 16, 16, 8});
   int c = b.conv2d(x, 8, 3, 3, 1, Padding::kSame, Activation::kNone, "c1");
-  Model m = b.finish({c});
+  Graph m = b.finish({c});
   RefOpResolver ref;
   Interpreter interp(&m, &ref);
   Tensor input = Tensor::f32(Shape{1, 16, 16, 8});
@@ -67,7 +67,7 @@ TEST(Interpreter, PrepareAndInvokeStatsSeparated) {
   GraphBuilder b("m", &rng);
   int x = b.input(Shape{1, 16, 16, 8});
   int c = b.conv2d(x, 8, 3, 3, 1, Padding::kSame, Activation::kRelu, "c1");
-  Model m = b.finish({c});
+  Graph m = b.finish({c});
   BuiltinOpResolver opt;
   Interpreter interp(&m, &opt);
   // Prepare happened at construction, before any invoke.
@@ -96,7 +96,7 @@ TEST(Interpreter, PerNodeStatsResetEachInvoke) {
   GraphBuilder b("m", &rng);
   int x = b.input(Shape{1, 8, 8, 4});
   int r = b.relu(x, "r");
-  Model m = b.finish({r});
+  Graph m = b.finish({r});
   RefOpResolver ref;
   Interpreter interp(&m, &ref);
   Tensor input = Tensor::f32(Shape{1, 8, 8, 4});
@@ -115,7 +115,7 @@ TEST(Interpreter, UnsupportedOpFailsAtPrepareTime) {
   GraphBuilder b("emb", &rng);
   int ids = b.input(Shape{1, 4}, DType::kI32, "tokens");
   int e = b.embedding(ids, 10, 4, "emb");
-  Model m = b.finish({e});
+  Graph m = b.finish({e});
   m.node(e).output_dtype = DType::kI8;  // no int8 embedding kernel exists
   RefOpResolver ref;
   // The plan resolves kernels at construction: failure surfaces in Prepare,
@@ -129,7 +129,7 @@ TEST(Interpreter, NodeOutputsRetained) {
   int x = b.input(Shape{1, 4, 4, 2});
   int r = b.relu(x, "r");
   int s = b.softmax(r, "s");
-  Model m = b.finish({s});
+  Graph m = b.finish({s});
   RefOpResolver ref;
   Interpreter interp(&m, &ref);
   Tensor input = Tensor::f32(Shape{1, 4, 4, 2});
@@ -191,7 +191,7 @@ TEST(DeviceProfile, ConvCostFormula) {
   GraphBuilder b("c", &rng);
   int x = b.input(Shape{1, 8, 8, 2});
   int c = b.conv2d(x, 4, 3, 3, 1, Padding::kSame, Activation::kNone, "c1");
-  Model m = b.finish({c});
+  Graph m = b.finish({c});
   NodeCost cost = estimate_node_cost(m, m.node(c));
   // flops = 2 * out_elems * kh*kw*in_ch = 2 * (8*8*4) * 18
   EXPECT_DOUBLE_EQ(cost.flops, 2.0 * 8 * 8 * 4 * 3 * 3 * 2);

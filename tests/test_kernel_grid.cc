@@ -103,7 +103,7 @@ std::int64_t max_ulp_diff(const Tensor& a, const Tensor& b) {
 
 // One quantization step of a quantized model's (dequantized f32) output: the
 // scale of the tensor feeding the trailing Dequantize node.
-float output_quantum(const Model& qm) {
+float output_quantum(const Graph& qm) {
   const Node& out = qm.node(qm.outputs[0]);
   if (out.type == OpType::kDequantize) {
     return qm.node(out.inputs[0]).output_quant.scale();
@@ -171,7 +171,7 @@ TEST_P(KernelGrid, OptMatchesRef) {
     default:
       MLX_FAIL() << "unexpected grid op";
   }
-  Model m = b.finish({1});
+  Graph m = b.finish({1});
 
   Pcg32 drng(77);
   Tensor input = random_input(Shape{1, 9, 9, 6}, drng);
@@ -195,7 +195,7 @@ TEST_P(KernelGrid, OptMatchesRef) {
       calib.observe({random_input(Shape{1, 9, 9, 6}, crng)});
     }
     calib.observe({input});
-    Model qm = quantize_model(m, calib);
+    Graph qm = quantize_model(m, calib);
     Interpreter ri(&qm, &ref);
     Interpreter oi(&qm, &opt, /*num_threads=*/2);
     ri.set_input(0, input);
@@ -340,7 +340,7 @@ TEST(PrepackedGemm, MatvecM1EdgeCase) {
 
 // --- steady-state allocation behaviour --------------------------------------
 
-Model conv_stack_model(Pcg32* rng, int batch = 1) {
+Graph conv_stack_model(Pcg32* rng, int batch = 1) {
   GraphBuilder b("stack", rng);
   int x = b.input(Shape{batch, 16, 16, 8});
   int p = b.pad(x, 1, 1, 1, 1, "pad");
@@ -354,7 +354,7 @@ Model conv_stack_model(Pcg32* rng, int batch = 1) {
 
 TEST(SteadyStateAlloc, InvokeIsHeapFreeAfterWarmup) {
   Pcg32 rng(31);
-  Model m = conv_stack_model(&rng);
+  Graph m = conv_stack_model(&rng);
   BuiltinOpResolver opt;
   Interpreter interp(&m, &opt, /*num_threads=*/2);
   // Prepare packed the conv/fc weights into plan-owned storage, so even the
@@ -392,13 +392,13 @@ TEST(SteadyStateAlloc, InvokeIsHeapFreeAfterWarmup) {
 
 TEST(SteadyStateAlloc, QuantizedInvokeIsHeapFreeAfterWarmup) {
   Pcg32 rng(41);
-  Model m = conv_stack_model(&rng);
+  Graph m = conv_stack_model(&rng);
   Calibrator calib(&m);
   Pcg32 crng(42);
   for (int i = 0; i < 4; ++i) {
     calib.observe({random_input(Shape{1, 16, 16, 8}, crng)});
   }
-  Model qm = quantize_model(m, calib);
+  Graph qm = quantize_model(m, calib);
   BuiltinOpResolver opt;
   Interpreter interp(&qm, &opt, /*num_threads=*/2);
   // int8 prepare packs weight panels + column sums + requant tables.
@@ -434,7 +434,7 @@ TEST(BatchedInference, OptMatchesRefAtBatch4) {
                 ? b.conv2d(x, 8, 3, 3, 1, Padding::kSame, Activation::kRelu,
                            "op")
                 : b.fully_connected(x, 10, Activation::kNone, "op");
-    Model m = b.finish({y});
+    Graph m = b.finish({y});
     RefOpResolver ref;
     BuiltinOpResolver opt;
     Interpreter ri(&m, &ref);
@@ -455,8 +455,8 @@ TEST(BatchedInference, OptMatchesRefAtBatch4) {
 // row partitioning does.
 TEST(BatchedInference, BatchMatchesSingleItemInvokes) {
   Pcg32 rng4(81), rng1(81);  // same seed -> identical weights
-  Model m4 = conv_stack_model(&rng4, /*batch=*/4);
-  Model m1 = conv_stack_model(&rng1, /*batch=*/1);
+  Graph m4 = conv_stack_model(&rng4, /*batch=*/4);
+  Graph m1 = conv_stack_model(&rng1, /*batch=*/1);
   BuiltinOpResolver opt;
   Interpreter batched(&m4, &opt, /*num_threads=*/2);
   Interpreter single(&m1, &opt, /*num_threads=*/2);
@@ -485,13 +485,13 @@ TEST(BatchedInference, BatchMatchesSingleItemInvokes) {
 
 TEST(BatchedInference, QuantizedOptMatchesRefAtBatch4) {
   Pcg32 rng(71);
-  Model m = conv_stack_model(&rng, /*batch=*/4);
+  Graph m = conv_stack_model(&rng, /*batch=*/4);
   Calibrator calib(&m);
   Pcg32 crng(72);
   for (int i = 0; i < 4; ++i) {
     calib.observe({random_input(Shape{4, 16, 16, 8}, crng)});
   }
-  Model qm = quantize_model(m, calib);
+  Graph qm = quantize_model(m, calib);
   RefOpResolver ref;
   BuiltinOpResolver opt;
   Interpreter ri(&qm, &ref);
@@ -524,7 +524,7 @@ TEST(ScratchArenaTest, AllocationsAreAbsoluteAligned) {
 
 TEST(SteadyStateAlloc, ArenaIsReusedNotRegrown) {
   Pcg32 rng(51);
-  Model m = conv_stack_model(&rng);
+  Graph m = conv_stack_model(&rng);
   BuiltinOpResolver opt;
   Interpreter interp(&m, &opt);
   Pcg32 drng(52);

@@ -69,7 +69,7 @@ TEST_P(ConvParity, RefMatchesOptimized) {
   int x = b.input(Shape{1, c.in_size, c.in_size, c.in_ch});
   b.conv2d(x, c.out_ch, c.kernel, c.kernel, c.stride, c.padding,
            Activation::kRelu6, "conv");
-  Model m = b.finish({1});
+  Graph m = b.finish({1});
 
   RefOpResolver ref;
   BuiltinOpResolver opt;
@@ -107,7 +107,7 @@ TEST_P(DwConvParity, RefMatchesOptimized) {
   int x = b.input(Shape{1, c.in_size, c.in_size, c.ch});
   b.depthwise_conv2d(x, c.kernel, c.kernel, c.stride, c.padding,
                      Activation::kRelu, "dw");
-  Model m = b.finish({1});
+  Graph m = b.finish({1});
   RefOpResolver ref;
   BuiltinOpResolver opt;
   Interpreter ri(&m, &ref);
@@ -133,7 +133,7 @@ TEST(KernelParity, PadRefMatchesOptimized) {
   GraphBuilder b("pad", &rng);
   int x = b.input(Shape{1, 5, 6, 3});
   b.pad(x, 1, 2, 0, 1, "p");
-  Model m = b.finish({1});
+  Graph m = b.finish({1});
   RefOpResolver ref;
   BuiltinOpResolver opt;
   Interpreter ri(&m, &ref);
@@ -151,7 +151,7 @@ TEST(KernelParity, FullyConnectedRefMatchesOptimized) {
   GraphBuilder b("fc", &rng);
   int x = b.input(Shape{1, 4, 4, 3});
   b.fully_connected(x, 10, Activation::kNone, "fc");
-  Model m = b.finish({1});
+  Graph m = b.finish({1});
   RefOpResolver ref;
   BuiltinOpResolver opt;
   Interpreter ri(&m, &ref);
@@ -171,7 +171,7 @@ TEST(Kernels, SoftmaxRowsSumToOne) {
   GraphBuilder b("sm", &rng);
   int x = b.input(Shape{1, 6});
   b.softmax(x, "sm");
-  Model m = b.finish({1});
+  Graph m = b.finish({1});
   RefOpResolver ref;
   Interpreter interp(&m, &ref);
   interp.set_input(0, Tensor::f32(Shape{1, 6}, {1, 2, 3, -1, 0, 5}));
@@ -188,7 +188,7 @@ TEST(Kernels, MeanComputesSpatialAverage) {
   GraphBuilder b("mean", &rng);
   int x = b.input(Shape{1, 2, 2, 1});
   b.mean(x, "m");
-  Model m = b.finish({1});
+  Graph m = b.finish({1});
   RefOpResolver ref;
   Interpreter interp(&m, &ref);
   interp.set_input(0, Tensor::f32(Shape{1, 2, 2, 1}, {1, 2, 3, 6}));
@@ -202,7 +202,7 @@ TEST(Kernels, MulBroadcastsSqueezeExciteGate) {
   int x = b.input(Shape{1, 2, 2, 2});
   int g = b.mean(x, "gate");  // [1,1,1,2]
   b.mul(x, g, "scaled");
-  Model m = b.finish({2});
+  Graph m = b.finish({2});
   RefOpResolver ref;
   Interpreter interp(&m, &ref);
   interp.set_input(0, Tensor::f32(Shape{1, 2, 2, 2},
@@ -219,7 +219,7 @@ TEST(Kernels, HardSwishMatchesFormula) {
   GraphBuilder b("hs", &rng);
   int x = b.input(Shape{1, 5});
   b.hardswish(x, "h");
-  Model m = b.finish({1});
+  Graph m = b.finish({1});
   RefOpResolver ref;
   Interpreter interp(&m, &ref);
   interp.set_input(0, Tensor::f32(Shape{1, 5}, {-4, -1, 0, 1, 4}));
@@ -236,7 +236,7 @@ TEST(Kernels, BatchNormInferenceUsesMovingStats) {
   GraphBuilder b("bn", &rng);
   int x = b.input(Shape{1, 1, 1, 2});
   int bn = b.batch_norm(x, "bn");
-  Model m = b.finish({bn});
+  Graph m = b.finish({bn});
   // gamma=2, beta=1, mean=3, var=4 for channel 0.
   Node& node = m.node(bn);
   node.weights[0].data<float>()[0] = 2.0f;
@@ -260,14 +260,14 @@ TEST(QuantKernels, QuantizedConvTracksFloat) {
   int x = b.input(Shape{1, 8, 8, 3});
   int c = b.conv2d(x, 6, 3, 3, 1, Padding::kSame, Activation::kRelu, "c1");
   c = b.conv2d(c, 4, 3, 3, 2, Padding::kSame, Activation::kNone, "c2");
-  Model m = b.finish({c});
+  Graph m = b.finish({c});
 
   Calibrator calib(&m);
   Pcg32 drng(22);
   for (int i = 0; i < 8; ++i) {
     calib.observe({random_input(Shape{1, 8, 8, 3}, drng)});
   }
-  Model qm = quantize_model(m, calib);
+  Graph qm = quantize_model(m, calib);
 
   RefOpResolver ref;
   Interpreter fi(&m, &ref);
@@ -297,7 +297,7 @@ TEST(QuantKernels, DwConvBugEmulationWrecksOutput) {
   int x = b.input(Shape{1, 8, 8, 8});
   int d = b.depthwise_conv2d(x, 3, 3, 1, Padding::kSame, Activation::kNone,
                              "dw");
-  Model m = b.finish({d});
+  Graph m = b.finish({d});
   // Large-ish activations to force accumulator magnitudes past int16.
   Calibrator calib(&m);
   Pcg32 drng(32);
@@ -307,7 +307,7 @@ TEST(QuantKernels, DwConvBugEmulationWrecksOutput) {
     for (std::int64_t j = 0; j < t.num_elements(); ++j) p[j] = drng.uniform(-8, 8);
     calib.observe({t});
   }
-  Model qm = quantize_model(m, calib);
+  Graph qm = quantize_model(m, calib);
 
   BuiltinOpResolver good(KernelBugConfig::none());
   BuiltinOpResolver bad(KernelBugConfig::as_shipped());
@@ -331,13 +331,13 @@ TEST(QuantKernels, AvgPoolBugEmulationCollapsesOutput) {
   GraphBuilder b("qap", &rng);
   int x = b.input(Shape{1, 8, 8, 4});
   int p = b.avg_pool(x, 8, 1, Padding::kValid, "se_pool");
-  Model m = b.finish({p});
+  Graph m = b.finish({p});
   Calibrator calib(&m);
   Pcg32 drng(42);
   for (int i = 0; i < 4; ++i) {
     calib.observe({random_input(Shape{1, 8, 8, 4}, drng)});
   }
-  Model qm = quantize_model(m, calib);
+  Graph qm = quantize_model(m, calib);
 
   RefOpResolver good(KernelBugConfig::none());
   RefOpResolver bad(KernelBugConfig::as_shipped());
@@ -360,7 +360,7 @@ TEST(QuantKernels, QuantizeDequantizeRoundTrip) {
   Pcg32 rng(51);
   GraphBuilder b("qdq", &rng);
   int x = b.input(Shape{1, 4, 4, 2});
-  Model m = b.finish({x});
+  Graph m = b.finish({x});
   // Build a quantized identity: input -> quantize -> dequantize. The eval
   // sample is part of calibration so no clipping occurs (clipping behaviour
   // is exercised separately by the calibration ablation).
@@ -370,7 +370,7 @@ TEST(QuantKernels, QuantizeDequantizeRoundTrip) {
   Pcg32 drng(52);
   for (int i = 0; i < 4; ++i) calib.observe({random_input(Shape{1, 4, 4, 2}, drng)});
   calib.observe({input});
-  Model qm = quantize_model(m, calib);
+  Graph qm = quantize_model(m, calib);
   RefOpResolver ref;
   Interpreter interp(&qm, &ref);
   interp.set_input(0, input);
@@ -476,7 +476,7 @@ TEST(Resolver, MissingKernelThrows) {
   GraphBuilder b("emb", &rng);
   int ids = b.input(Shape{1, 4}, DType::kI32, "tokens");
   int e = b.embedding(ids, 10, 4, "emb");
-  Model m = b.finish({e});
+  Graph m = b.finish({e});
   Node fake = m.node(e);
   fake.output_dtype = DType::kI8;  // no int8 embedding kernel exists
   RefOpResolver ref;

@@ -27,7 +27,7 @@ TEST_P(ZooStructure, BuildConvertQuantizeRun) {
   EXPECT_GT(zm.model.num_params(), 1000);
   EXPECT_EQ(node_id_by_name(zm.model, "logits"), zm.logits_id);
 
-  Model mobile = convert_for_inference(zm.model);
+  Graph mobile = convert_for_inference(zm.model);
   for (const Node& n : mobile.nodes) {
     EXPECT_NE(n.type, OpType::kBatchNorm) << n.name;
   }
@@ -49,7 +49,7 @@ TEST_P(ZooStructure, BuildConvertQuantizeRun) {
   // Full-integer quantization runs end to end on correct kernels.
   Calibrator calib(&mobile);
   calib.observe({input});
-  Model quant = quantize_model(mobile, calib);
+  Graph quant = quantize_model(mobile, calib);
   Interpreter qi(&quant, &ref);
   qi.set_input(0, input);
   qi.invoke();

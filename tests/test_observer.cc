@@ -73,7 +73,7 @@ Tensor random_input(Shape shape, Pcg32& rng) {
   return t;
 }
 
-Model conv_stack_model(Pcg32* rng) {
+Graph conv_stack_model(Pcg32* rng) {
   GraphBuilder b("stack", rng);
   int x = b.input(Shape{1, 16, 16, 8});
   int c1 = b.conv2d(x, 16, 3, 3, 1, Padding::kSame, Activation::kRelu, "c1");
@@ -84,8 +84,8 @@ Model conv_stack_model(Pcg32* rng) {
   return b.finish({fc});
 }
 
-Model quantized_conv_stack(Pcg32* rng, std::uint64_t calib_seed) {
-  Model m = conv_stack_model(rng);
+Graph quantized_conv_stack(Pcg32* rng, std::uint64_t calib_seed) {
+  Graph m = conv_stack_model(rng);
   Calibrator calib(&m);
   Pcg32 crng(calib_seed);
   for (int i = 0; i < 4; ++i) {
@@ -106,7 +106,7 @@ void run_frame(EdgeMLMonitor& monitor, Interpreter& interp,
 
 TEST(ObserverCapture, PushMatchesNodeOutputsBitExact) {
   Pcg32 rng(11);
-  Model m = conv_stack_model(&rng);
+  Graph m = conv_stack_model(&rng);
   BuiltinOpResolver opt;
   Interpreter interp(&m, &opt, /*num_threads=*/2);
   MonitorOptions opts;
@@ -142,7 +142,7 @@ TEST(ObserverCapture, PushMatchesNodeOutputsBitExact) {
 
 TEST(ObserverCapture, QuantizedLayersStayInt8InTrace) {
   Pcg32 rng(21);
-  Model qm = quantized_conv_stack(&rng, 22);
+  Graph qm = quantized_conv_stack(&rng, 22);
   BuiltinOpResolver opt;
   Interpreter interp(&qm, &opt, /*num_threads=*/2);
   MonitorOptions opts;
@@ -184,7 +184,7 @@ TEST(ObserverCapture, QuantizedLayersStayInt8InTrace) {
 // too, so the whole monitored frame loop is heap-free.
 TEST(ObserverSteadyState, InstrumentedFrameLoopIsHeapFree) {
   Pcg32 rng(31);
-  Model m = conv_stack_model(&rng);
+  Graph m = conv_stack_model(&rng);
   BuiltinOpResolver opt;
   Interpreter interp(&m, &opt, /*num_threads=*/2);
   MonitorOptions opts;  // per_layer_latency on, outputs off
@@ -211,7 +211,7 @@ TEST(ObserverSteadyState, InstrumentedFrameLoopIsHeapFree) {
 // pre-sized buffers.
 TEST(ObserverSteadyState, PerLayerOutputCaptureIsHeapFree) {
   Pcg32 rng(41);
-  Model qm = quantized_conv_stack(&rng, 42);
+  Graph qm = quantized_conv_stack(&rng, 42);
   BuiltinOpResolver opt;
   Interpreter interp(&qm, &opt, /*num_threads=*/2);
   MonitorOptions opts;
@@ -234,7 +234,7 @@ TEST(ObserverSteadyState, PerLayerOutputCaptureIsHeapFree) {
 // but the invoke window itself must stay heap-free.
 TEST(ObserverSteadyState, RetainModeInvokeWindowIsHeapFree) {
   Pcg32 rng(51);
-  Model m = conv_stack_model(&rng);
+  Graph m = conv_stack_model(&rng);
   BuiltinOpResolver opt;
   Interpreter interp(&m, &opt, /*num_threads=*/2);
   MonitorOptions opts;
@@ -260,7 +260,7 @@ TEST(ObserverSteadyState, RetainModeInvokeWindowIsHeapFree) {
 
 TEST(ObserverDoubleBuffer, BuffersAlternateAndAreReused) {
   Pcg32 rng(61);
-  Model m = conv_stack_model(&rng);
+  Graph m = conv_stack_model(&rng);
   BuiltinOpResolver opt;
   Interpreter interp(&m, &opt);
   MonitorOptions opts;
@@ -295,8 +295,8 @@ TEST(ObserverSpool, SpooledTraceMatchesRetainedTrace) {
   const auto path =
       std::filesystem::temp_directory_path() / "mlx_observer_spool.mlxtrace";
   Pcg32 rng_a(71), rng_b(71);  // identical weights
-  Model ma = conv_stack_model(&rng_a);
-  Model mb = conv_stack_model(&rng_b);
+  Graph ma = conv_stack_model(&rng_a);
+  Graph mb = conv_stack_model(&rng_b);
   BuiltinOpResolver opt;
   MonitorOptions opts;
   opts.per_layer_outputs = true;
@@ -358,8 +358,8 @@ TEST(ObserverSpool, SpooledTraceMatchesRetainedTrace) {
 // node outputs through the same capture storage.
 TEST(ObserverCompat, PullFallbackMatchesPushCapture) {
   Pcg32 rng_a(81), rng_b(81);
-  Model ma = conv_stack_model(&rng_a);
-  Model mb = conv_stack_model(&rng_b);
+  Graph ma = conv_stack_model(&rng_a);
+  Graph mb = conv_stack_model(&rng_b);
   BuiltinOpResolver opt;
   MonitorOptions opts;
   opts.per_layer_outputs = true;
@@ -389,7 +389,7 @@ TEST(ObserverCompat, PullFallbackMatchesPushCapture) {
 
 TEST(ObserverLifetime, MonitorDetachesOnDestruction) {
   Pcg32 rng(91);
-  Model m = conv_stack_model(&rng);
+  Graph m = conv_stack_model(&rng);
   BuiltinOpResolver opt;
   Interpreter interp(&m, &opt);
   {
@@ -405,7 +405,7 @@ TEST(ObserverLifetime, MonitorDetachesOnDestruction) {
 
 TEST(ObserverLifetime, DyingMonitorDoesNotDetachItsSuccessor) {
   Pcg32 rng(95);
-  Model m = conv_stack_model(&rng);
+  Graph m = conv_stack_model(&rng);
   BuiltinOpResolver opt;
   Interpreter interp(&m, &opt);
   EdgeMLMonitor second;
@@ -421,11 +421,11 @@ TEST(ObserverLifetime, DyingMonitorDoesNotDetachItsSuccessor) {
 
 TEST(ObserverCompat, PullOnAnotherInterpreterDetachesBeforeRebinding) {
   Pcg32 rng_a(96), rng_b(97);
-  Model ma = conv_stack_model(&rng_a);
+  Graph ma = conv_stack_model(&rng_a);
   GraphBuilder b("other", &rng_b);
   int x = b.input(Shape{1, 8, 8, 4});
   int fc = b.fully_connected(x, 6, Activation::kNone, "fc");
-  Model mb = b.finish({fc});  // different step count than ma
+  Graph mb = b.finish({fc});  // different step count than ma
   BuiltinOpResolver opt;
   Interpreter interp_a(&ma, &opt);
   Interpreter interp_b(&mb, &opt);
@@ -442,6 +442,186 @@ TEST(ObserverCompat, PullOnAnotherInterpreterDetachesBeforeRebinding) {
   EXPECT_EQ(interp_a.observer(), nullptr);
   interp_a.set_input(0, random_input(Shape{1, 16, 16, 8}, drng));
   EXPECT_NO_THROW(interp_a.invoke());
+}
+
+
+TEST(ObserverMultiOutput, ModelIoCapturesEveryOutputHead) {
+  // A two-headed graph (the SSD box + class head shape of the problem):
+  // model-io capture must log one tensor per output, not just output(0).
+  Pcg32 rng(201);
+  GraphBuilder b("two_head", &rng);
+  int x = b.input(Shape{1, 8, 8, 4});
+  int c = b.conv2d(x, 8, 3, 3, 1, Padding::kSame, Activation::kRelu, "c");
+  int head_a = b.fully_connected(c, 10, Activation::kNone, "head_a");
+  int head_b = b.fully_connected(c, 4, Activation::kNone, "head_b");
+  Graph m = b.finish({head_a, head_b});
+  BuiltinOpResolver opt;
+  Interpreter interp(&m, &opt);
+  EdgeMLMonitor monitor;
+  monitor.observe(interp);
+  Pcg32 drng(202);
+  run_frame(monitor, interp, random_input(Shape{1, 8, 8, 4}, drng));
+
+  const Trace& trace = monitor.trace();
+  ASSERT_EQ(trace.frames.size(), 1u);
+  const FrameTrace& f = trace.frames[0];
+  ASSERT_TRUE(f.has_tensor(trace_keys::kModelOutput));
+  ASSERT_TRUE(f.has_tensor(trace_keys::model_output_key(1)))
+      << "second output head was not captured";
+  EXPECT_FALSE(f.has_tensor(trace_keys::model_output_key(2)));
+  for (int i = 0; i < 2; ++i) {
+    const Tensor& captured = f.tensor(trace_keys::model_output_key(i));
+    const Tensor& retained = interp.output(i);
+    ASSERT_EQ(captured.byte_size(), retained.byte_size());
+    EXPECT_EQ(std::memcmp(captured.raw_data(), retained.raw_data(),
+                          retained.byte_size()),
+              0)
+        << "output " << i;
+  }
+  monitor.unobserve(interp);
+}
+
+TEST(ObserverMultiOutput, MultiOutputCaptureIsHeapFreeInSteadyState) {
+  Pcg32 rng(211);
+  GraphBuilder b("two_head", &rng);
+  int x = b.input(Shape{1, 8, 8, 4});
+  int c = b.conv2d(x, 8, 3, 3, 1, Padding::kSame, Activation::kRelu, "c");
+  int head_a = b.fully_connected(c, 10, Activation::kNone, "head_a");
+  int head_b = b.fully_connected(c, 4, Activation::kNone, "head_b");
+  Graph m = b.finish({head_a, head_b});
+  BuiltinOpResolver opt;
+  Interpreter interp(&m, &opt);
+  MonitorOptions opts;
+  opts.retain_frames = false;
+  EdgeMLMonitor monitor(opts);
+  monitor.observe(interp);
+  Pcg32 drng(212);
+  Tensor input = random_input(Shape{1, 8, 8, 4}, drng);
+  // Warm both ring buffers.
+  for (int i = 0; i < 3; ++i) run_frame(monitor, interp, input);
+  const std::uint64_t heap_before = g_heap_allocs.load();
+  for (int i = 0; i < 4; ++i) run_frame(monitor, interp, input);
+  EXPECT_EQ(g_heap_allocs.load(), heap_before)
+      << "steady-state multi-output capture allocated";
+  monitor.unobserve(interp);
+}
+
+TEST(ObserverSpool, BatchedSpoolRoundTripsManyFrames) {
+  // The bounded frame queue: a ring deeper than two buffers feeds the spool
+  // worker, which drains every queued frame per wakeup into a single write.
+  // Whatever batching the scheduler produced, the file must round-trip all
+  // frames in order with the header count patched at close.
+  const auto path = std::filesystem::temp_directory_path() /
+                    "mlx_observer_spool_batched.mlxtrace";
+  constexpr int kFrames = 12;
+  Pcg32 rng_a(221), rng_b(221);  // identical weights
+  Graph ma = conv_stack_model(&rng_a);
+  Graph mb = conv_stack_model(&rng_b);
+  BuiltinOpResolver opt;
+  MonitorOptions opts;
+  opts.per_layer_outputs = true;
+  opts.spool_queue_frames = 4;
+  Pcg32 drng(222);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < kFrames; ++i) {
+    inputs.push_back(random_input(Shape{1, 16, 16, 8}, drng));
+  }
+
+  std::size_t max_batch = 0;
+  {
+    Interpreter interp(&ma, &opt);
+    EdgeMLMonitor monitor(opts);
+    monitor.set_pipeline_name("batched");
+    monitor.spool_to(path);
+    EXPECT_EQ(monitor.buffer().buffer_count(), 4);
+    monitor.observe(interp);
+    for (const Tensor& in : inputs) run_frame(monitor, interp, in);
+    EXPECT_EQ(monitor.finish_spool(), static_cast<std::size_t>(kFrames));
+    max_batch = monitor.buffer().max_spool_batch();
+    monitor.unobserve(interp);
+  }
+  EXPECT_GE(max_batch, 1u);
+  EXPECT_LE(max_batch, 4u) << "batch exceeded the ring size";
+
+  // Retained reference run over the same weights/inputs.
+  Interpreter interp(&mb, &opt);
+  EdgeMLMonitor monitor(opts);
+  monitor.observe(interp);
+  for (const Tensor& in : inputs) run_frame(monitor, interp, in);
+  Trace retained = monitor.take_trace();
+  monitor.unobserve(interp);
+
+  Trace spooled = load_trace(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(spooled.frames.size(), static_cast<std::size_t>(kFrames));
+  for (std::size_t f = 0; f < spooled.frames.size(); ++f) {
+    const FrameTrace& s = spooled.frames[f];
+    const FrameTrace& r = retained.frames[f];
+    EXPECT_EQ(s.frame_id, r.frame_id);
+    ASSERT_EQ(s.layer_outputs.size(), r.layer_outputs.size());
+    for (std::size_t i = 0; i < s.layer_outputs.size(); ++i) {
+      ASSERT_EQ(s.layer_outputs[i].byte_size(), r.layer_outputs[i].byte_size());
+      EXPECT_EQ(std::memcmp(s.layer_outputs[i].raw_data(),
+                            r.layer_outputs[i].raw_data(),
+                            r.layer_outputs[i].byte_size()),
+                0)
+          << "frame " << f << " layer " << i;
+    }
+    EXPECT_EQ(s.tensor(trace_keys::kModelOutput).byte_size(),
+              r.tensor(trace_keys::kModelOutput).byte_size());
+  }
+}
+
+TEST(ObserverSessions, TwoSessionsOneModelIndependentObservers) {
+  // Observers are per-session state: two sessions over one shared Model
+  // capture independently, while prepared bytes stay shared.
+  Pcg32 rng(231);
+  Graph graph = conv_stack_model(&rng);
+  BuiltinOpResolver opt;
+  Model model(&graph, &opt);
+  Session sa(&model);
+  Session sb(&model);
+  EXPECT_EQ(sa.last_stats().prepared_bytes, sb.last_stats().prepared_bytes);
+
+  MonitorOptions opts;
+  opts.per_layer_outputs = true;
+  EdgeMLMonitor mon_a(opts);
+  EdgeMLMonitor mon_b(opts);
+  mon_a.observe(sa);
+  mon_b.observe(sb);
+
+  Pcg32 drng(232);
+  Tensor xa = random_input(Shape{1, 16, 16, 8}, drng);
+  Tensor xb = random_input(Shape{1, 16, 16, 8}, drng);
+  sa.set_input(0, xa);
+  sb.set_input(0, xb);
+  mon_a.on_inf_start();
+  sa.invoke();
+  mon_a.on_inf_stop(sa);
+  mon_a.next_frame();
+  mon_b.on_inf_start();
+  sb.invoke();
+  mon_b.on_inf_stop(sb);
+  mon_b.next_frame();
+
+  const FrameTrace& fa = mon_a.trace().frames.at(0);
+  const FrameTrace& fb = mon_b.trace().frames.at(0);
+  const Tensor& out_a = fa.tensor(trace_keys::kModelOutput);
+  const Tensor& out_b = fb.tensor(trace_keys::kModelOutput);
+  ASSERT_EQ(out_a.byte_size(), sa.output(0).byte_size());
+  EXPECT_EQ(std::memcmp(out_a.raw_data(), sa.output(0).raw_data(),
+                        out_a.byte_size()),
+            0);
+  EXPECT_EQ(std::memcmp(out_b.raw_data(), sb.output(0).raw_data(),
+                        out_b.byte_size()),
+            0);
+  // Different inputs -> the two captures must differ (observers did not
+  // cross wires).
+  EXPECT_NE(std::memcmp(out_a.raw_data(), out_b.raw_data(),
+                        out_a.byte_size()),
+            0);
+  mon_a.unobserve(sa);
+  mon_b.unobserve(sb);
 }
 
 TEST(TraceBufferKeys, InterningIsStable) {

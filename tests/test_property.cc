@@ -51,7 +51,7 @@ TEST_P(PoolParity, ResolversAgree) {
   } else {
     b.avg_pool(x, c.window, c.stride, c.padding, "p");
   }
-  Model m = b.finish({1});
+  Graph m = b.finish({1});
   RefOpResolver ref;
   BuiltinOpResolver opt;
   Interpreter ri(&m, &ref);
@@ -125,7 +125,7 @@ TEST_P(ZooSerialization, OutputsIdenticalAfterRoundTrip) {
   ZooModel zm = entry.build(5, 1);
   auto bytes = serialize_model(zm.model);
   BinaryReader reader(bytes);
-  Model back = deserialize_model(reader);
+  Graph back = deserialize_model(reader);
   RefOpResolver ref;
   Interpreter a(&zm.model, &ref);
   Interpreter b(&back, &ref);
@@ -158,7 +158,7 @@ TEST_P(ZooConverter, ConvertedMatchesCheckpoint) {
       n.weights[3].data<float>()[i] = wrng.uniform(0.3f, 2.0f);
     }
   }
-  Model converted = convert_for_inference(zm.model);
+  Graph converted = convert_for_inference(zm.model);
   RefOpResolver ref;
   Interpreter a(&zm.model, &ref);
   Interpreter b(&converted, &ref);
@@ -182,13 +182,13 @@ class ZooQuantization : public ::testing::TestWithParam<int> {};
 TEST_P(ZooQuantization, QuantizedTracksFloatOnCorrectKernels) {
   const ZooEntry& entry = image_zoo()[static_cast<std::size_t>(GetParam())];
   ZooModel zm = entry.build(9, 1);
-  Model mobile = convert_for_inference(zm.model);
+  Graph mobile = convert_for_inference(zm.model);
   Calibrator calib(&mobile);
   Pcg32 rng(8);
   std::vector<Tensor> samples;
   for (int i = 0; i < 4; ++i) samples.push_back(random_f32(Shape{1, 32, 32, 3}, rng));
   for (const Tensor& s : samples) calib.observe({s});
-  Model quant = quantize_model(mobile, calib);
+  Graph quant = quantize_model(mobile, calib);
   RefOpResolver ref;
   Interpreter fi(&mobile, &ref);
   Interpreter qi(&quant, &ref);

@@ -24,7 +24,7 @@ double loss_at(Trainer& trainer, const std::vector<Tensor>& inputs,
 
 // Finite-difference gradient check: analytic gradients from one backward
 // pass vs central differences, sampled across every trainable weight tensor.
-void grad_check(Model* model, int logits, const std::vector<Tensor>& inputs,
+void grad_check(Graph* model, int logits, const std::vector<Tensor>& inputs,
                 int label, double rel_tol = 0.08, double abs_tol = 2e-3) {
   TrainConfig cfg;
   Trainer trainer(model, cfg);
@@ -72,7 +72,7 @@ TEST(TrainerGrad, FullyConnectedExactGradient) {
   GraphBuilder b("fc", &rng);
   int x = b.input(Shape{1, 2});
   int logits = b.fully_connected(x, 2, Activation::kNone, "logits");
-  Model m = b.finish({logits});
+  Graph m = b.finish({logits});
   // Set known weights.
   Node& fc = m.node(logits);
   float* w = fc.weights[0].data<float>();
@@ -123,7 +123,7 @@ TEST(TrainerGrad, DescentOnConvBnReluSeNetwork) {
   c = b.mul(c, ex, "se_scale");
   int g = b.mean(c, "gap");
   int logits = b.fully_connected(g, 3, Activation::kNone, "logits");
-  Model m = b.finish({logits});
+  Graph m = b.finish({logits});
 
   Pcg32 drng(3);
   Tensor input = random_input(Shape{1, 6, 6, 3}, drng);
@@ -143,7 +143,7 @@ TEST(TrainerGrad, DescentOnConcatPoolUpsampleNetwork) {
   int up = b.upsample_nearest_2x(mp, "up");
   int g = b.mean(up, "gap");
   int logits = b.fully_connected(g, 2, Activation::kNone, "logits");
-  Model m = b.finish({logits});
+  Graph m = b.finish({logits});
   Pcg32 drng(5);
   Tensor input = random_input(Shape{1, 4, 4, 2}, drng);
   grad_check(&m, logits, {input}, 0);
@@ -156,7 +156,7 @@ TEST(TrainerGrad, EmbeddingGradient) {
   int e = b.embedding(ids, 8, 4, "embedding");
   int g = b.mean(e, "pool");
   int logits = b.fully_connected(g, 2, Activation::kNone, "logits");
-  Model m = b.finish({logits});
+  Graph m = b.finish({logits});
   Tensor tokens = Tensor::i32(Shape{1, 4});
   tokens.data<std::int32_t>()[0] = 1;
   tokens.data<std::int32_t>()[1] = 3;
@@ -170,7 +170,7 @@ TEST(Trainer, RejectsFusedActivations) {
   GraphBuilder b("fused", &rng);
   int x = b.input(Shape{1, 4, 4, 2});
   b.conv2d(x, 2, 3, 3, 1, Padding::kSame, Activation::kRelu, "c");
-  Model m = b.finish({1});
+  Graph m = b.finish({1});
   TrainConfig cfg;
   EXPECT_THROW(Trainer(&m, cfg), MlxError);
 }
@@ -189,7 +189,7 @@ TEST(Training, LearnsStripeOrientation) {
   int g = b.mean(c, "gap");
   int logits = b.fully_connected(g, 2, Activation::kNone, "logits");
   int prob = b.softmax(logits, "prob");
-  Model m = b.finish({prob});
+  Graph m = b.finish({prob});
 
   Pcg32 drng(9);
   std::vector<LabeledExample> train_set;
@@ -222,7 +222,7 @@ TEST(Trainer, StepWithoutGradThrows) {
   GraphBuilder b("s", &rng);
   int x = b.input(Shape{1, 2});
   int logits = b.fully_connected(x, 2, Activation::kNone, "logits");
-  Model m = b.finish({logits});
+  Graph m = b.finish({logits});
   TrainConfig cfg;
   Trainer t(&m, cfg);
   EXPECT_THROW(t.step(), MlxError);
@@ -233,12 +233,12 @@ TEST(Trainer, CopyWeightsTransfersValues) {
   GraphBuilder b1("m1", &rng);
   int x1 = b1.input(Shape{1, 2});
   b1.fully_connected(x1, 2, Activation::kNone, "fc");
-  Model a = b1.finish({1});
+  Graph a = b1.finish({1});
   Pcg32 rng2(99);
   GraphBuilder b2("m2", &rng2);
   int x2 = b2.input(Shape{1, 2});
   b2.fully_connected(x2, 2, Activation::kNone, "fc");
-  Model c = b2.finish({1});
+  Graph c = b2.finish({1});
   copy_weights(a, &c);
   EXPECT_EQ(0, std::memcmp(a.node(1).weights[0].raw_data(),
                            c.node(1).weights[0].raw_data(),
