@@ -13,6 +13,7 @@
 
 #include "src/graph/builder.h"
 #include "src/interpreter/interpreter.h"
+#include "src/kernels/dwconv.h"
 #include "src/kernels/fixed_point.h"
 #include "src/kernels/gemm.h"
 #include "src/quant/quantizer.h"
@@ -20,16 +21,18 @@
 namespace mlexray {
 namespace {
 
-Graph conv_model(int size, int ch, int out_ch, OpType type) {
+Graph conv_model(int size, int ch, int out_ch, OpType type, int stride = 1) {
   Pcg32 rng(1);
   GraphBuilder b("m", &rng);
   int x = b.input(Shape{1, size, size, ch});
   switch (type) {
     case OpType::kConv2D:
-      b.conv2d(x, out_ch, 3, 3, 1, Padding::kSame, Activation::kRelu, "op");
+      b.conv2d(x, out_ch, 3, 3, stride, Padding::kSame, Activation::kRelu,
+               "op");
       break;
     case OpType::kDepthwiseConv2D:
-      b.depthwise_conv2d(x, 3, 3, 1, Padding::kSame, Activation::kRelu, "op");
+      b.depthwise_conv2d(x, 3, 3, stride, Padding::kSame, Activation::kRelu,
+                         "op");
       break;
     case OpType::kFullyConnected:
       b.fully_connected(x, out_ch, Activation::kNone, "op");
@@ -54,10 +57,10 @@ Tensor random_input(int size, int ch, std::uint64_t seed) {
 }
 
 void run_variant(benchmark::State& state, OpType type, bool reference,
-                 bool quantized = false) {
+                 bool quantized = false, int stride = 1) {
   const int size = static_cast<int>(state.range(0));
   const int ch = static_cast<int>(state.range(1));
-  Graph m = conv_model(size, ch, ch, type);
+  Graph m = conv_model(size, ch, ch, type, stride);
   Graph qm;
   if (quantized) {
     Calibrator calib(&m);
@@ -89,6 +92,7 @@ void BM_Conv2D_OptimizedInt8(benchmark::State& s) { run_variant(s, OpType::kConv
 void BM_Conv2D_ReferenceInt8(benchmark::State& s) { run_variant(s, OpType::kConv2D, true, true); }
 void BM_DwConv_OptimizedInt8(benchmark::State& s) { run_variant(s, OpType::kDepthwiseConv2D, false, true); }
 void BM_DwConv_ReferenceInt8(benchmark::State& s) { run_variant(s, OpType::kDepthwiseConv2D, true, true); }
+void BM_DwConv_OptimizedInt8_S2(benchmark::State& s) { run_variant(s, OpType::kDepthwiseConv2D, false, true, /*stride=*/2); }
 void BM_Fc_OptimizedInt8(benchmark::State& s) { run_variant(s, OpType::kFullyConnected, false, true); }
 void BM_Fc_ReferenceInt8(benchmark::State& s) { run_variant(s, OpType::kFullyConnected, true, true); }
 
@@ -102,8 +106,11 @@ BENCHMARK(BM_Pad_Optimized)->Args({32, 16});
 BENCHMARK(BM_Pad_Reference)->Args({32, 16});
 BENCHMARK(BM_Conv2D_OptimizedInt8)->Args({16, 32})->Args({32, 16});
 BENCHMARK(BM_Conv2D_ReferenceInt8)->Args({16, 32})->Args({32, 16});
-BENCHMARK(BM_DwConv_OptimizedInt8)->Args({16, 32});
-BENCHMARK(BM_DwConv_ReferenceInt8)->Args({16, 32});
+// Table-4 dwconv shapes: the MobileNet-mini stem/mid/late layer geometries
+// (image x channels), stride 1 and the stride-2 downsampling blocks.
+BENCHMARK(BM_DwConv_OptimizedInt8)->Args({16, 32})->Args({32, 16})->Args({8, 128});
+BENCHMARK(BM_DwConv_ReferenceInt8)->Args({16, 32})->Args({32, 16})->Args({8, 128});
+BENCHMARK(BM_DwConv_OptimizedInt8_S2)->Args({16, 32});
 BENCHMARK(BM_Fc_OptimizedInt8)->Args({16, 16});
 BENCHMARK(BM_Fc_ReferenceInt8)->Args({16, 16});
 
@@ -182,7 +189,7 @@ void BM_GemmI8_PackedVec(benchmark::State& state) {
       static_cast<std::size_t>(packed_b_i8_bytes(p.n, p.k)));
   std::vector<std::int32_t> col_sums(static_cast<std::size_t>(p.n));
   pack_b_i8(p.n, p.k, p.b_i8.data(), p.k, panels.data(), col_sums.data());
-  PackedBI8 packed{panels.data(), col_sums.data(), p.n / kGemmNrI8};
+  PackedBI8 packed{panels.data(), col_sums.data()};
   for (auto _ : state) {
     gemm_i8_nt(p.m, p.n, p.k, p.a_i8.data(), p.k, p.b_i8.data(), p.k, p.quant,
                p.c_i8.data(), p.n, nullptr, &packed);
@@ -202,8 +209,30 @@ void BM_GemmI8_Scalar(benchmark::State& state) {
 
 BENCHMARK(BM_GemmF32_Prepacked)->Args({256, 32, 288})->Args({1024, 16, 144})->Args({1, 16, 4096});
 BENCHMARK(BM_GemmF32_RepackEachCall)->Args({256, 32, 288})->Args({1024, 16, 144})->Args({1, 16, 4096});
-BENCHMARK(BM_GemmI8_PackedVec)->Args({256, 32, 288})->Args({1024, 16, 144})->Args({1, 16, 4096});
-BENCHMARK(BM_GemmI8_Scalar)->Args({256, 32, 288})->Args({1024, 16, 144})->Args({1, 16, 4096});
+// (256, 32, 32) is the MobileNet 1x1 pointwise shape where the pair
+// microkernel's reduction-free epilogue matters most.
+BENCHMARK(BM_GemmI8_PackedVec)->Args({256, 32, 288})->Args({1024, 16, 144})->Args({1, 16, 4096})->Args({256, 32, 32});
+BENCHMARK(BM_GemmI8_Scalar)->Args({256, 32, 288})->Args({1024, 16, 144})->Args({1, 16, 4096})->Args({256, 32, 32});
+
+// --- dwconv compute tiers at a Table-4 shape -------------------------------
+// Same int8 dwconv graph under each forced tier (src/kernels/dwconv.h):
+// quantifies the channel-vectorization win in isolation, and keeps a
+// regression guard on the tier dispatch itself.
+
+void run_dwconv_tier(benchmark::State& state, DwConvTier tier) {
+  set_dwconv_tier_for_testing(tier);
+  run_variant(state, OpType::kDepthwiseConv2D, /*reference=*/false,
+              /*quantized=*/true);
+  set_dwconv_tier_for_testing(DwConvTier::kAuto);
+}
+
+void BM_DwConvI8_TierAuto(benchmark::State& s) { run_dwconv_tier(s, DwConvTier::kAuto); }
+void BM_DwConvI8_TierGeneric(benchmark::State& s) { run_dwconv_tier(s, DwConvTier::kGenericVector); }
+void BM_DwConvI8_TierScalar(benchmark::State& s) { run_dwconv_tier(s, DwConvTier::kScalar); }
+
+BENCHMARK(BM_DwConvI8_TierAuto)->Args({16, 64});
+BENCHMARK(BM_DwConvI8_TierGeneric)->Args({16, 64});
+BENCHMARK(BM_DwConvI8_TierScalar)->Args({16, 64});
 
 }  // namespace
 }  // namespace mlexray

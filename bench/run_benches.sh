@@ -10,11 +10,14 @@
 # Benchmark numbers are only meaningful from a Release build. Configure with:
 #   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
 # (Release is the default build type and carries "-O3 -DNDEBUG".) This script
-# refuses to record numbers from any other build type. Note: the
-# "library_build_type" field google-benchmark writes into the JSON context
-# describes the *distro's libbenchmark* build (Debian ships it without
-# NDEBUG, so it reports "debug"); the authoritative flag for our code is the
-# "mlexray_build_type" field this script injects after checking CMakeCache.
+# refuses to record numbers from any other build type — for the project code
+# (CMakeCache check below) AND for the benchmark library itself: the
+# "library_build_type" context field now comes from the in-tree minibench
+# build (third_party/minibench, compiled with the project's Release flags)
+# and must read "release"; the Debian-prebuilt libbenchmark it replaced was
+# a debug build and stamped library_build_type=debug into every recorded
+# JSON. The "mlexray_build_type" field is injected by this script after
+# checking CMakeCache.
 #
 # Usage: bench/run_benches.sh [build_dir] [output_dir]
 #   build_dir   defaults to ./build
@@ -58,13 +61,21 @@ for bin in bench_kernels_micro bench_models_e2e bench_monitor_overhead \
 done
 
 # Stamps the verified build type into the benchmark JSON context and prints
-# a human-readable digest.
+# a human-readable digest. Refuses a debug-built benchmark library: timing
+# through a debug timing layer is as meaningless as timing debug kernels.
 digest() {
   python3 - "$1" "${build_type}" <<'EOF'
 import json, sys
 path, build_type = sys.argv[1], sys.argv[2]
 with open(path) as f:
     data = json.load(f)
+lib_build = data.get("context", {}).get("library_build_type")
+if lib_build is not None and lib_build != "release":
+    sys.exit(
+        f"error: {path}: benchmark library_build_type is '{lib_build}', not "
+        "'release' — rebuild (the in-tree minibench library inherits the "
+        "project's Release flags; a debug timing library must not stamp "
+        "recorded numbers)")
 data.setdefault("context", {})["mlexray_build_type"] = build_type
 with open(path, "w") as f:
     json.dump(data, f, indent=1)

@@ -58,16 +58,18 @@ int GraphBuilder::conv2d(int in, int out_channels, int kh, int kw, int stride,
 
 int GraphBuilder::depthwise_conv2d(int in, int kh, int kw, int stride,
                                    Padding padding, Activation activation,
-                                   const std::string& name) {
+                                   const std::string& name,
+                                   int depth_multiplier) {
+  MLX_CHECK_GE(depth_multiplier, 1);
   const Shape& is = model_.node(in).output_shape;
-  std::int64_t ch = is.dim(3);
+  std::int64_t out_ch = is.dim(3) * depth_multiplier;
   Node n;
   n.type = OpType::kDepthwiseConv2D;
   n.name = auto_name(name, "dwconv");
   n.inputs = {in};
-  n.weights.push_back(he_normal(Shape{1, kh, kw, ch},
+  n.weights.push_back(he_normal(Shape{1, kh, kw, out_ch},
                                 static_cast<std::int64_t>(kh) * kw));
-  n.weights.push_back(zeros(Shape{ch}));
+  n.weights.push_back(zeros(Shape{out_ch}));
   n.attrs.stride_h = stride;
   n.attrs.stride_w = stride;
   n.attrs.padding = padding;

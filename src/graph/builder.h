@@ -25,8 +25,11 @@ class GraphBuilder {
   int conv2d(int in, int out_channels, int kh, int kw, int stride,
              Padding padding, Activation activation,
              const std::string& name = "");
+  // depth_multiplier fans each input channel out to that many consecutive
+  // output channels (filter [1, kh, kw, ch * depth_multiplier]).
   int depthwise_conv2d(int in, int kh, int kw, int stride, Padding padding,
-                       Activation activation, const std::string& name = "");
+                       Activation activation, const std::string& name = "",
+                       int depth_multiplier = 1);
   int fully_connected(int in, int out_features, Activation activation,
                       const std::string& name = "");
   int avg_pool(int in, int window, int stride, Padding padding,

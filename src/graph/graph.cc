@@ -65,17 +65,21 @@ void infer_node_output(const Graph& model, Node& node) {
       expect_weights(node, 2);
       const Node& in = input_node(model, node, 0);
       const Shape& is = in.output_shape;
-      const Shape& fs = node.weights[0].shape();  // [1, kh, kw, ch]
+      // [1, kh, kw, ch * depth_multiplier]: the trailing filter axis is the
+      // output channel count; each input channel fans out to
+      // depth_multiplier consecutive outputs (TFLite semantics).
+      const Shape& fs = node.weights[0].shape();
       MLX_CHECK_EQ(is.rank(), 4);
-      MLX_CHECK_EQ(fs.dim(3), is.dim(3))
-          << "depthwise '" << node.name << "' channel mismatch";
+      MLX_CHECK(fs.dim(3) % is.dim(3) == 0)
+          << "depthwise '" << node.name << "' filter channels (" << fs.dim(3)
+          << ") must be a multiple of input channels (" << is.dim(3) << ")";
       node.output_shape =
           Shape{is.dim(0),
                 conv_out_dim(is.dim(1), static_cast<int>(fs.dim(1)),
                              node.attrs.stride_h, node.attrs.padding),
                 conv_out_dim(is.dim(2), static_cast<int>(fs.dim(2)),
                              node.attrs.stride_w, node.attrs.padding),
-                is.dim(3)};
+                fs.dim(3)};
       node.output_dtype = in.output_dtype;
       break;
     }

@@ -37,4 +37,79 @@ inline std::int8_t clamp_to_i8(std::int32_t v) {
   return static_cast<std::int8_t>(v);
 }
 
+#if defined(__GNUC__) || defined(__clang__)
+
+// Eight-lane vector form of multiply_by_quantized_multiplier, bit-identical
+// per lane to the scalar function (the kernel parity tests compare the
+// vector and scalar requant paths byte for byte). GNU vector extensions so
+// every ISA tier shares one definition; on AVX2+ the whole thing stays in
+// ymm registers, elsewhere the compiler scalarizes it correctly.
+//
+// `shift_exp` lanes hold the *negated* shift (>= 0), i.e. the
+// rounding_divide_by_pot exponent.
+using v8s32_fx = std::int32_t __attribute__((vector_size(32), aligned(4)));
+
+inline v8s32_fx multiply_by_quantized_multiplier_v8(v8s32_fx x,
+                                                    v8s32_fx multiplier,
+                                                    v8s32_fx shift_exp) {
+  using v4s32 = std::int32_t __attribute__((vector_size(16)));
+  using v4s64 = std::int64_t __attribute__((vector_size(32)));
+  // Saturating rounding doubling high multiply. The scalar form's INT_MIN *
+  // INT_MIN saturation cannot trigger here: quantize_multiplier produces
+  // multipliers in [2^30, 2^31), always positive.
+  auto srdhm_half = [](v4s32 a, v4s32 b) -> v4s32 {
+    const v4s64 ab = __builtin_convertvector(a, v4s64) *
+                     __builtin_convertvector(b, v4s64);
+    const v4s64 nudge =
+        ab >= 0 ? (v4s64){} + (1LL << 30) : (v4s64){} + (1 - (1LL << 30));
+    v4s64 t = ab + nudge;
+    // Truncating (toward zero) division by 2^31, as the scalar `/` does:
+    // bias negative values up by 2^31 - 1 before the arithmetic shift.
+    t += (t < 0) & ((v4s64){} + ((1LL << 31) - 1));
+    return __builtin_convertvector(t >> 31, v4s32);
+  };
+  const v4s32 xlo = __builtin_shufflevector(x, x, 0, 1, 2, 3);
+  const v4s32 xhi = __builtin_shufflevector(x, x, 4, 5, 6, 7);
+  const v4s32 mlo =
+      __builtin_shufflevector(multiplier, multiplier, 0, 1, 2, 3);
+  const v4s32 mhi =
+      __builtin_shufflevector(multiplier, multiplier, 4, 5, 6, 7);
+  const v4s32 hlo = srdhm_half(xlo, mlo);
+  const v4s32 hhi = srdhm_half(xhi, mhi);
+  const v8s32_fx high = __builtin_shufflevector(hlo, hhi, 0, 1, 2, 3, 4, 5,
+                                                6, 7);
+  // rounding_divide_by_pot with a per-lane exponent (exponent 0 lanes fall
+  // through all three terms as identities, matching the scalar early out).
+  const v8s32_fx mask = (((v8s32_fx){} + 1) << shift_exp) - 1;
+  const v8s32_fx remainder = high & mask;
+  v8s32_fx result = high >> shift_exp;
+  const v8s32_fx threshold = (mask >> 1) + ((high < 0) & 1);
+  result += (remainder > threshold) & 1;
+  return result;
+}
+
+// The shared int8 kernel epilogue for 8 consecutive output channels:
+// requantize, add the output zero point, clamp to the fused activation
+// range, narrow to int8, store. Both the packed GEMM and the dwconv
+// epilogues call this, so the bit-exactness contract their conformance
+// grids assert lives in exactly one place.
+inline void requant_clamp_store_i8_v8(v8s32_fx acc, v8s32_fx multiplier,
+                                      v8s32_fx shift_exp, std::int32_t out_zp,
+                                      std::int32_t act_min,
+                                      std::int32_t act_max,
+                                      std::int8_t* dst) {
+  using v8s8_fx = std::int8_t __attribute__((vector_size(8), aligned(1)));
+  v8s32_fx v = multiply_by_quantized_multiplier_v8(acc, multiplier,
+                                                   shift_exp) +
+               ((v8s32_fx){} + out_zp);
+  const v8s32_fx vmax = (v8s32_fx){} + act_max;
+  const v8s32_fx vmin = (v8s32_fx){} + act_min;
+  v = v > vmax ? vmax : v;
+  v = v < vmin ? vmin : v;
+  const v8s8_fx out8 = __builtin_convertvector(v, v8s8_fx);
+  __builtin_memcpy(dst, &out8, sizeof(out8));
+}
+
+#endif  // __GNUC__ || __clang__
+
 }  // namespace mlexray

@@ -8,6 +8,8 @@
 #include <immintrin.h>
 #endif
 
+#include <cstdint>
+
 #include "src/kernels/activation.h"
 #include "src/kernels/fixed_point.h"
 
@@ -18,12 +20,16 @@ namespace {
 // 8-interleaved the inner j loop vectorizes to one 8-wide FMA per row on
 // AVX2 (or two 4-wide mul/adds on plain SSE), and the MR * 8 accumulators
 // stay in vector registers. MR is a template parameter so short matrices
-// (fully-connected with batch 1) still get fully unrolled code. The int8
-// tile keeps NR = 4: its accumulators are 32-bit so 4 columns fill an xmm
-// lane after widening.
+// (fully-connected with batch 1) still get fully unrolled code. The packed
+// int8 tile is MR x 16: one int32 accumulator lane per output column across
+// the pair-interleaved panel; the unpacked fallback keeps the scalar 4x4
+// register blocking.
 constexpr std::int64_t kMr = 4;
 constexpr std::int64_t kNrF = kGemmNrF32;
-constexpr std::int64_t kNrI = kGemmNrI8;
+// Unpacked int8 register tile width (raw B rows, no-plan fallback); the
+// *packed* int8 panel width is kGemmNrI8 (16).
+constexpr std::int64_t kNrI = 4;
+constexpr std::int64_t kNrIP = kGemmNrI8;
 
 std::atomic<std::uint64_t> g_b_pack_events{0};
 
@@ -240,230 +246,185 @@ inline void tile_i8_edge(std::int64_t mr, std::int64_t nr, std::int64_t k,
   }
 }
 
-// Widening dot-product microkernels over a prepacked int8 panel: MR rows of
-// A against the panel's kNrI contiguous column runs. Integer accumulation is
-// exact and order-free, so unlike the float tiles SIMD runs *along k*: each
-// vector lane holds a partial sum that is folded at the end. Products stay
-// raw (no zero-point subtraction) — the caller corrects with the prepacked
-// column sums in the epilogue.
+// Pair-broadcast microkernels over a prepacked int8 panel: MR rows of A
+// against one pair-interleaved panel of kNrIP (16) output columns. The
+// panel's k2-major layout puts 16 columns x 2 consecutive k values (int16)
+// in each 64-byte group — exactly one vpmaddwd B operand — and the matching
+// A operand is a broadcast 32-bit (a[2k], a[2k+1]) pair, so a single
+// instruction retires 32 multiply-accumulates with *one int32 accumulator
+// lane per output column*: no horizontal reduction anywhere, which is what
+// makes small-k GEMMs (MobileNet's 1x1 pointwise convs, k = channels) fast
+// rather than reduce-bound. Column padding is zero-filled at pack time, so
+// the last panel needs no scalar edge and an odd k pairs the final element
+// with an explicit zero on the A side (never reading a[k]).
 //
-// Tiered by ISA: the x86 variants widen int8 to int16 and use the fused
-// multiply-pairs-and-add (vpmaddwd) — one instruction retires 32 (zmm) or 16
-// (ymm) multiply-accumulates, which the compiler will not synthesize from
-// scalar source (it auto-vectorizes the int32 form through the slower
-// vpmulld). The generic GNU-vector variant covers other ISAs; plain scalar
-// covers other compilers. Overflow: an int8*int8 product is at most 2^14 and
-// a vpmaddwd pair at most 2^15, so int32 lane partials are safe until
-// k > 2^16 pairs — far beyond any shape this runtime sees.
-#if defined(__AVX512BW__) && defined(__AVX512F__) && defined(__AVX512VL__)
+// Tiered by ISA: AVX-512BW (one 64-byte madd per k pair), AVX2 (two
+// 32-byte madds), generic GNU vectors (exact int16 products widened and
+// summed per pair), plain scalar. Integer accumulation is exact and
+// order-free, so all tiers are bit-identical. Overflow: an int8*int8
+// product is at most 2^14 and a pair at most 2^15, so int32 lanes are safe
+// until k > 2^16 — far beyond any shape this runtime sees.
 
-template <int MR>
-inline void tile_i8_packed(std::int64_t k, const std::int8_t* a,
-                           std::int64_t lda, const std::int8_t* bp,
-                           std::int32_t acc[][kNrI]) {
-  __m512i vacc[MR][kNrI];
-  for (int i = 0; i < MR; ++i) {
-    for (int j = 0; j < kNrI; ++j) vacc[i][j] = _mm512_setzero_si512();
-  }
-  std::int64_t kk = 0;
-  for (; kk + 32 <= k; kk += 32) {
-    __m512i bv[kNrI];
-    for (int j = 0; j < kNrI; ++j) {
-      bv[j] = _mm512_cvtepi8_epi16(_mm256_loadu_si256(
-          reinterpret_cast<const __m256i*>(bp + j * k + kk)));
-    }
-    for (int i = 0; i < MR; ++i) {
-      const __m512i av = _mm512_cvtepi8_epi16(_mm256_loadu_si256(
-          reinterpret_cast<const __m256i*>(a + i * lda + kk)));
-      for (int j = 0; j < kNrI; ++j) {
-        vacc[i][j] =
-            _mm512_add_epi32(vacc[i][j], _mm512_madd_epi16(av, bv[j]));
-      }
-    }
-  }
-  if (kk < k) {
-    // Masked final block: lanes past k load as 0 and contribute 0 to the
-    // dot product, so no scalar tail remains (k % 32 would otherwise cost
-    // more than the vector body on shapes like k = 144).
-    const __mmask32 mask =
-        static_cast<__mmask32>((1ULL << (k - kk)) - 1ULL);
-    __m512i bv[kNrI];
-    for (int j = 0; j < kNrI; ++j) {
-      bv[j] = _mm512_cvtepi8_epi16(
-          _mm256_maskz_loadu_epi8(mask, bp + j * k + kk));
-    }
-    for (int i = 0; i < MR; ++i) {
-      const __m512i av =
-          _mm512_cvtepi8_epi16(_mm256_maskz_loadu_epi8(mask, a + i * lda + kk));
-      for (int j = 0; j < kNrI; ++j) {
-        vacc[i][j] =
-            _mm512_add_epi32(vacc[i][j], _mm512_madd_epi16(av, bv[j]));
-      }
-    }
-  }
-  for (int i = 0; i < MR; ++i) {
-    for (int j = 0; j < kNrI; ++j) {
-      acc[i][j] += _mm512_reduce_add_epi32(vacc[i][j]);
-    }
-  }
+// The broadcast A operand: two consecutive activations as packed int16s.
+// `full == false` zeroes the high half for the odd-k tail.
+inline std::int32_t a_pair_i8(const std::int8_t* a, std::int64_t kk,
+                              bool full) {
+  const auto lo = static_cast<std::int32_t>(a[kk]);
+  const std::int32_t hi = full ? static_cast<std::int32_t>(a[kk + 1]) : 0;
+  return (lo & 0xFFFF) | (hi << 16);
 }
 
-// MR up to kMr in one call: 16 zmm accumulators + 5 live sources fit the 32
-// AVX-512 registers.
-inline void panel_i8_packed(std::int64_t mr, std::int64_t k,
-                            const std::int8_t* a, std::int64_t lda,
-                            const std::int8_t* bp,
-                            std::int32_t acc[kMr][kNrI]) {
-  switch (mr) {
-    case 4: tile_i8_packed<4>(k, a, lda, bp, acc); break;
-    case 3: tile_i8_packed<3>(k, a, lda, bp, acc); break;
-    case 2: tile_i8_packed<2>(k, a, lda, bp, acc); break;
-    default: tile_i8_packed<1>(k, a, lda, bp, acc); break;
+#if defined(__AVX512BW__) && defined(__AVX512F__)
+
+template <int MR>
+inline void tile_i8_pairs(std::int64_t k, const std::int8_t* a,
+                          std::int64_t lda, const std::int16_t* bp,
+                          std::int32_t acc_out[][kNrIP]) {
+  __m512i acc[MR];
+  for (int i = 0; i < MR; ++i) acc[i] = _mm512_setzero_si512();
+  const std::int64_t k2 = k / 2;
+  for (std::int64_t p = 0; p < k2; ++p) {
+    const __m512i bv = _mm512_loadu_si512(bp + p * 2 * kNrIP);
+    for (int i = 0; i < MR; ++i) {
+      const __m512i av =
+          _mm512_set1_epi32(a_pair_i8(a + i * lda, 2 * p, true));
+      acc[i] = _mm512_add_epi32(acc[i], _mm512_madd_epi16(av, bv));
+    }
+  }
+  if (k & 1) {
+    const __m512i bv = _mm512_loadu_si512(bp + k2 * 2 * kNrIP);
+    for (int i = 0; i < MR; ++i) {
+      const __m512i av =
+          _mm512_set1_epi32(a_pair_i8(a + i * lda, k - 1, false));
+      acc[i] = _mm512_add_epi32(acc[i], _mm512_madd_epi16(av, bv));
+    }
+  }
+  for (int i = 0; i < MR; ++i) {
+    _mm512_storeu_si512(acc_out[i], acc[i]);
   }
 }
 
 #elif defined(__AVX2__)
 
-template <int MR>  // 1 or 2: 8 ymm accumulators + 6 sources fit 16 registers
-inline void tile_i8_packed(std::int64_t k, const std::int8_t* a,
-                           std::int64_t lda, const std::int8_t* bp,
-                           std::int32_t acc[][kNrI]) {
-  __m256i vacc[MR][kNrI];
+template <int MR>
+inline void tile_i8_pairs(std::int64_t k, const std::int8_t* a,
+                          std::int64_t lda, const std::int16_t* bp,
+                          std::int32_t acc_out[][kNrIP]) {
+  __m256i acc[MR][2];
   for (int i = 0; i < MR; ++i) {
-    for (int j = 0; j < kNrI; ++j) vacc[i][j] = _mm256_setzero_si256();
+    acc[i][0] = _mm256_setzero_si256();
+    acc[i][1] = _mm256_setzero_si256();
   }
-  std::int64_t kk = 0;
-  for (; kk + 16 <= k; kk += 16) {
-    __m256i bv[kNrI];
-    for (int j = 0; j < kNrI; ++j) {
-      bv[j] = _mm256_cvtepi8_epi16(_mm_loadu_si128(
-          reinterpret_cast<const __m128i*>(bp + j * k + kk)));
-    }
+  const std::int64_t k2 = k / 2;
+  auto step = [&](std::int64_t p, bool full, std::int64_t kk) {
+    const __m256i bv0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bp + p * 2 * kNrIP));
+    const __m256i bv1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bp + p * 2 * kNrIP + kNrIP));
     for (int i = 0; i < MR; ++i) {
-      const __m256i av = _mm256_cvtepi8_epi16(_mm_loadu_si128(
-          reinterpret_cast<const __m128i*>(a + i * lda + kk)));
-      for (int j = 0; j < kNrI; ++j) {
-        vacc[i][j] =
-            _mm256_add_epi32(vacc[i][j], _mm256_madd_epi16(av, bv[j]));
-      }
+      const __m256i av = _mm256_set1_epi32(a_pair_i8(a + i * lda, kk, full));
+      acc[i][0] = _mm256_add_epi32(acc[i][0], _mm256_madd_epi16(av, bv0));
+      acc[i][1] = _mm256_add_epi32(acc[i][1], _mm256_madd_epi16(av, bv1));
     }
-  }
+  };
+  for (std::int64_t p = 0; p < k2; ++p) step(p, true, 2 * p);
+  if (k & 1) step(k2, false, k - 1);
   for (int i = 0; i < MR; ++i) {
-    for (int j = 0; j < kNrI; ++j) {
-      const __m128i lo = _mm256_castsi256_si128(vacc[i][j]);
-      const __m128i hi = _mm256_extracti128_si256(vacc[i][j], 1);
-      __m128i sum = _mm_add_epi32(lo, hi);
-      sum = _mm_hadd_epi32(sum, sum);
-      sum = _mm_hadd_epi32(sum, sum);
-      acc[i][j] += _mm_cvtsi128_si32(sum);
-    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc_out[i]), acc[i][0]);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc_out[i] + 8),
+                        acc[i][1]);
   }
-  for (; kk < k; ++kk) {
-    for (int i = 0; i < MR; ++i) {
-      const std::int32_t av = a[i * lda + kk];
-      for (int j = 0; j < kNrI; ++j) {
-        acc[i][j] += av * static_cast<std::int32_t>(bp[j * k + kk]);
-      }
-    }
-  }
-}
-
-inline void panel_i8_packed(std::int64_t mr, std::int64_t k,
-                            const std::int8_t* a, std::int64_t lda,
-                            const std::int8_t* bp,
-                            std::int32_t acc[kMr][kNrI]) {
-  std::int64_t i = 0;
-  for (; i + 2 <= mr; i += 2) {
-    tile_i8_packed<2>(k, a + i * lda, lda, bp, &acc[i]);
-  }
-  if (i < mr) tile_i8_packed<1>(k, a + i * lda, lda, bp, &acc[i]);
 }
 
 #elif defined(__GNUC__) || defined(__clang__)
 
-// Generic SIMD via GCC vector extensions (NEON etc.): int16 multiplies over
-// 16-lane blocks, widened into 8-lane int32 accumulators.
-using v16s8 = std::int8_t __attribute__((vector_size(16), aligned(1)));
-using v16s16 = std::int16_t __attribute__((vector_size(32)));
-using v8s16 = std::int16_t __attribute__((vector_size(16)));
-using v8s32 = std::int32_t __attribute__((vector_size(32)));
+// Generic SIMD via GCC vector extensions (NEON etc.): exact int16 products
+// per pair (|int8 * int8| <= 2^14), widened per column and summed into the
+// 8-lane int32 accumulator each 16-int16 block owns.
+using v16s16_p = std::int16_t __attribute__((vector_size(32), aligned(2)));
+using v8s16_p = std::int16_t __attribute__((vector_size(16)));
+using v8s32_p = std::int32_t __attribute__((vector_size(32)));
 
-inline v16s16 widen_i8x16(const std::int8_t* p) {
-  v16s8 v;
-  __builtin_memcpy(&v, p, sizeof(v));
-  return __builtin_convertvector(v, v16s16);
-}
-
-inline v8s32 madd_i16(v16s16 x, v16s16 y) {
-  const v16s16 prod = x * y;  // exact: |int8*int8| <= 2^14
-  const v8s16 lo = __builtin_shufflevector(prod, prod, 0, 1, 2, 3, 4, 5, 6, 7);
-  const v8s16 hi =
-      __builtin_shufflevector(prod, prod, 8, 9, 10, 11, 12, 13, 14, 15);
-  return __builtin_convertvector(lo, v8s32) + __builtin_convertvector(hi, v8s32);
-}
-
-inline std::int32_t fold_v8s32(v8s32 v) {
-  std::int32_t lanes[8];
-  __builtin_memcpy(lanes, &v, sizeof(v));
-  return lanes[0] + lanes[1] + lanes[2] + lanes[3] + lanes[4] + lanes[5] +
-         lanes[6] + lanes[7];
-}
-
-template <int MR>  // 1 or 2
-inline void tile_i8_packed(std::int64_t k, const std::int8_t* a,
-                           std::int64_t lda, const std::int8_t* bp,
-                           std::int32_t acc[][kNrI]) {
-  v8s32 vacc[2][kNrI] = {};
-  std::int64_t kk = 0;
-  for (; kk + 16 <= k; kk += 16) {
-    v16s16 bv[kNrI];
-    for (int j = 0; j < kNrI; ++j) bv[j] = widen_i8x16(bp + j * k + kk);
+template <int MR>
+inline void tile_i8_pairs(std::int64_t k, const std::int8_t* a,
+                          std::int64_t lda, const std::int16_t* bp,
+                          std::int32_t acc_out[][kNrIP]) {
+  v8s32_p acc[MR][2] = {};
+  const std::int64_t k2 = k / 2;
+  auto step = [&](std::int64_t p, bool full, std::int64_t kk) {
+    v16s16_p bv[2];
+    __builtin_memcpy(&bv[0], bp + p * 2 * kNrIP, sizeof(bv[0]));
+    __builtin_memcpy(&bv[1], bp + p * 2 * kNrIP + kNrIP, sizeof(bv[1]));
     for (int i = 0; i < MR; ++i) {
-      const v16s16 av = widen_i8x16(a + i * lda + kk);
-      for (int j = 0; j < kNrI; ++j) vacc[i][j] += madd_i16(av, bv[j]);
+      const auto lo = static_cast<std::int16_t>(a[i * lda + kk]);
+      const std::int16_t hi =
+          full ? static_cast<std::int16_t>(a[i * lda + kk + 1])
+               : std::int16_t{0};
+      const v16s16_p vlo = (v16s16_p){} + lo;
+      const v16s16_p vhi = (v16s16_p){} + hi;
+      const v16s16_p av = __builtin_shufflevector(
+          vlo, vhi, 0, 16, 1, 17, 2, 18, 3, 19, 4, 20, 5, 21, 6, 22, 7, 23);
+      for (int h = 0; h < 2; ++h) {
+        const v16s16_p prod = av * bv[h];  // exact in int16
+        const v8s16_p even = __builtin_shufflevector(prod, prod, 0, 2, 4, 6,
+                                                     8, 10, 12, 14);
+        const v8s16_p odd = __builtin_shufflevector(prod, prod, 1, 3, 5, 7,
+                                                    9, 11, 13, 15);
+        acc[i][h] += __builtin_convertvector(even, v8s32_p) +
+                     __builtin_convertvector(odd, v8s32_p);
+      }
     }
-  }
+  };
+  for (std::int64_t p = 0; p < k2; ++p) step(p, true, 2 * p);
+  if (k & 1) step(k2, false, k - 1);
   for (int i = 0; i < MR; ++i) {
-    for (int j = 0; j < kNrI; ++j) acc[i][j] += fold_v8s32(vacc[i][j]);
+    __builtin_memcpy(acc_out[i], &acc[i][0], sizeof(acc[i][0]));
+    __builtin_memcpy(acc_out[i] + 8, &acc[i][1], sizeof(acc[i][1]));
   }
-  for (; kk < k; ++kk) {
-    for (int i = 0; i < MR; ++i) {
-      const std::int32_t av = a[i * lda + kk];
-      for (int j = 0; j < kNrI; ++j) {
-        acc[i][j] += av * static_cast<std::int32_t>(bp[j * k + kk]);
+}
+
+#else
+
+template <int MR>
+inline void tile_i8_pairs(std::int64_t k, const std::int8_t* a,
+                          std::int64_t lda, const std::int16_t* bp,
+                          std::int32_t acc_out[][kNrIP]) {
+  for (int i = 0; i < MR; ++i) {
+    for (std::int64_t j = 0; j < kNrIP; ++j) acc_out[i][j] = 0;
+  }
+  const std::int64_t k2 = k / 2;
+  for (int i = 0; i < MR; ++i) {
+    for (std::int64_t p = 0; p < k2; ++p) {
+      const std::int32_t a0 = a[i * lda + 2 * p];
+      const std::int32_t a1 = a[i * lda + 2 * p + 1];
+      const std::int16_t* bq = bp + p * 2 * kNrIP;
+      for (std::int64_t j = 0; j < kNrIP; ++j) {
+        acc_out[i][j] += a0 * bq[2 * j] + a1 * bq[2 * j + 1];
+      }
+    }
+    if (k & 1) {
+      const std::int32_t a0 = a[i * lda + k - 1];
+      const std::int16_t* bq = bp + k2 * 2 * kNrIP;
+      for (std::int64_t j = 0; j < kNrIP; ++j) {
+        acc_out[i][j] += a0 * bq[2 * j];
       }
     }
   }
 }
 
-inline void panel_i8_packed(std::int64_t mr, std::int64_t k,
-                            const std::int8_t* a, std::int64_t lda,
-                            const std::int8_t* bp,
-                            std::int32_t acc[kMr][kNrI]) {
-  std::int64_t i = 0;
-  for (; i + 2 <= mr; i += 2) {
-    tile_i8_packed<2>(k, a + i * lda, lda, bp, &acc[i]);
-  }
-  if (i < mr) tile_i8_packed<1>(k, a + i * lda, lda, bp, &acc[i]);
-}
-
-#else
-
-// Scalar fallback: the register-blocked tile over the packed column runs
-// (zero a_zp — correction happens in the epilogue).
-inline void panel_i8_packed(std::int64_t mr, std::int64_t k,
-                            const std::int8_t* a, std::int64_t lda,
-                            const std::int8_t* bp,
-                            std::int32_t acc[kMr][kNrI]) {
-  switch (mr) {
-    case 4: tile_i8<4>(k, a, lda, bp, k, 0, acc); break;
-    case 3: tile_i8<3>(k, a, lda, bp, k, 0, acc); break;
-    case 2: tile_i8<2>(k, a, lda, bp, k, 0, acc); break;
-    default: tile_i8<1>(k, a, lda, bp, k, 0, acc); break;
-  }
-}
-
 #endif
+
+inline void panel_i8_pairs(std::int64_t mr, std::int64_t k,
+                           const std::int8_t* a, std::int64_t lda,
+                           const std::int16_t* bp,
+                           std::int32_t acc[kMr][kNrIP]) {
+  switch (mr) {
+    case 4: tile_i8_pairs<4>(k, a, lda, bp, acc); break;
+    case 3: tile_i8_pairs<3>(k, a, lda, bp, acc); break;
+    case 2: tile_i8_pairs<2>(k, a, lda, bp, acc); break;
+    default: tile_i8_pairs<1>(k, a, lda, bp, acc); break;
+  }
+}
 
 }  // namespace
 
@@ -485,16 +446,39 @@ void pack_b_f32(std::int64_t n, std::int64_t k, const float* b,
   }
 }
 
+namespace {
+std::int64_t packed_b_i8_panel_count(std::int64_t n) {
+  return (n + kNrIP - 1) / kNrIP;
+}
+}  // namespace
+
 std::int64_t packed_b_i8_bytes(std::int64_t n, std::int64_t k) {
-  return (n / kNrI) * kNrI * k;
+  const std::int64_t k2 = (k + 1) / 2;
+  return packed_b_i8_panel_count(n) * k2 * 2 * kNrIP *
+         static_cast<std::int64_t>(sizeof(std::int16_t));
 }
 
 void pack_b_i8(std::int64_t n, std::int64_t k, const std::int8_t* b,
                std::int64_t ldb, std::int8_t* panels,
                std::int32_t* col_sums) {
-  const std::int64_t packed_cols = (n / kNrI) * kNrI;
-  for (std::int64_t j = 0; j < packed_cols; ++j) {
-    std::memcpy(panels + j * k, b + j * ldb, static_cast<std::size_t>(k));
+  // Pair-interleaved, pre-widened int16 panels (see gemm.h): panel p holds,
+  // for each k pair, columns [16p, 16p + 16) x 2 consecutive k entries.
+  // Columns past n and the odd-k tail are zeros, so the microkernel never
+  // needs an edge path and padding contributes exactly nothing.
+  auto* p16 = reinterpret_cast<std::int16_t*>(panels);
+  const std::int64_t k2 = (k + 1) / 2;
+  for (std::int64_t panel = 0; panel < packed_b_i8_panel_count(n); ++panel) {
+    std::int16_t* dst = p16 + panel * k2 * 2 * kNrIP;
+    for (std::int64_t p = 0; p < k2; ++p) {
+      for (std::int64_t j = 0; j < kNrIP; ++j) {
+        const std::int64_t col = panel * kNrIP + j;
+        for (std::int64_t e = 0; e < 2; ++e) {
+          const std::int64_t kk = 2 * p + e;
+          dst[(p * kNrIP + j) * 2 + e] =
+              (col < n && kk < k) ? b[col * ldb + kk] : std::int16_t{0};
+        }
+      }
+    }
   }
   for (std::int64_t j = 0; j < n; ++j) {
     std::int32_t sum = 0;
@@ -578,9 +562,69 @@ void gemm_i8_nt(std::int64_t m, std::int64_t n, std::int64_t k,
                 std::int64_t ldb, const GemmQuant& q, std::int8_t* c,
                 std::int64_t ldc, ThreadPool* pool, const PackedBI8* packed) {
   if (m <= 0 || n <= 0) return;
-  const bool use_packed = packed != nullptr && packed->col_sums != nullptr;
+  const bool use_packed = packed != nullptr && packed->panels != nullptr &&
+                          packed->col_sums != nullptr;
   const std::int64_t m_tiles = (m + kMr - 1) / kMr;
+  const std::int64_t k2 = (k + 1) / 2;
+  // Packed path: pair-broadcast microkernel over the pair-interleaved
+  // panels. Accumulation is *raw* (no per-element zero-point subtraction);
+  // the epilogue corrects with the prepacked column sums. Integer math is
+  // exact, so this produces accumulators identical to the unpacked path's.
+  auto row_block_packed = [&](std::size_t tile_lo, std::size_t tile_hi) {
+    const auto* p16 = reinterpret_cast<const std::int16_t*>(packed->panels);
+    for (std::size_t t = tile_lo; t < tile_hi; ++t) {
+      const std::int64_t i0 = static_cast<std::int64_t>(t) * kMr;
+      const std::int64_t mr = std::min(kMr, m - i0);
+      const std::int8_t* at = a + i0 * lda;
+      std::int8_t* ct = c + i0 * ldc;
+      for (std::int64_t j0 = 0; j0 < n; j0 += kNrIP) {
+        const std::int64_t nr = std::min(kNrIP, n - j0);
+        std::int32_t acc[kMr][kNrIP];
+        panel_i8_pairs(mr, k, at, lda, p16 + (j0 / kNrIP) * k2 * 2 * kNrIP,
+                       acc);
+        for (std::int64_t i = 0; i < mr; ++i) {
+          std::int64_t j = 0;
+#if defined(__GNUC__) || defined(__clang__)
+          // Vectorized requant epilogue (requant_clamp_store_i8_v8 is the
+          // shared fixed_point.h helper, bit-identical to the scalar loop
+          // below — the prepacked-vs-scalar parity tests compare the two
+          // paths byte for byte). On small-k GEMMs the epilogue costs as
+          // much as the dot products, so this matters.
+          const v8s32_fx zp_a = (v8s32_fx){} + q.a_zero_point;
+          for (; j + 8 <= nr; j += 8) {
+            const std::size_t col = static_cast<std::size_t>(j0 + j);
+            v8s32_fx accv, cs, bs, mu, sh;
+            __builtin_memcpy(&accv, &acc[i][j], sizeof(accv));
+            __builtin_memcpy(&cs, packed->col_sums + col, sizeof(cs));
+            __builtin_memcpy(&bs, q.bias + col, sizeof(bs));
+            __builtin_memcpy(&mu, q.multipliers + col, sizeof(mu));
+            __builtin_memcpy(&sh, q.shifts + col, sizeof(sh));
+            requant_clamp_store_i8_v8(accv - zp_a * cs + bs, mu, -sh,
+                                      q.out_zero_point, q.act_min, q.act_max,
+                                      ct + i * ldc + j0 + j);
+          }
+#endif
+          for (; j < nr; ++j) {
+            const std::size_t col = static_cast<std::size_t>(j0 + j);
+            const std::int32_t sum =
+                acc[i][j] - q.a_zero_point * packed->col_sums[col];
+            std::int32_t scaled = multiply_by_quantized_multiplier(
+                sum + q.bias[col], q.multipliers[col], q.shifts[col]);
+            std::int32_t v = scaled + q.out_zero_point;
+            v = std::clamp(v, q.act_min, q.act_max);
+            ct[i * ldc + j0 + j] = static_cast<std::int8_t>(v);
+          }
+        }
+      }
+    }
+  };
+  // Unpacked fallback (no plan): scalar register-blocked tiles over raw B
+  // rows with per-element zero-point subtraction.
   auto row_block = [&](std::size_t tile_lo, std::size_t tile_hi) {
+    if (use_packed) {
+      row_block_packed(tile_lo, tile_hi);
+      return;
+    }
     for (std::size_t t = tile_lo; t < tile_hi; ++t) {
       const std::int64_t i0 = static_cast<std::int64_t>(t) * kMr;
       const std::int64_t mr = std::min(kMr, m - i0);
@@ -589,21 +633,7 @@ void gemm_i8_nt(std::int64_t m, std::int64_t n, std::int64_t k,
       for (std::int64_t j0 = 0; j0 < n; j0 += kNrI) {
         const std::int64_t nr = std::min(kNrI, n - j0);
         std::int32_t acc[kMr][kNrI] = {};
-        // The packed path accumulates *raw* products (SIMD along k, zero
-        // point folded in below via the prepacked column sums); the unpacked
-        // path subtracts the zero point per element as before. Integer math
-        // is exact, so both orders produce identical accumulators.
-        bool raw = false;
-        if (use_packed && nr == kNrI && j0 / kNrI < packed->panel_count) {
-          panel_i8_packed(mr, k, at, lda, packed->panels + j0 * k, acc);
-          raw = true;
-        } else if (use_packed) {
-          // Edge columns: unpacked rows, but still raw accumulation so the
-          // epilogue below is uniform across the row.
-          tile_i8_edge(mr, nr, k, at, lda, b + j0 * ldb, ldb, /*a_zp=*/0,
-                       acc);
-          raw = true;
-        } else if (nr == kNrI) {
+        if (nr == kNrI) {
           const std::int8_t* bt = b + j0 * ldb;
           switch (mr) {
             case 4: tile_i8<4>(k, at, lda, bt, ldb, q.a_zero_point, acc); break;
@@ -618,10 +648,8 @@ void gemm_i8_nt(std::int64_t m, std::int64_t n, std::int64_t k,
         for (std::int64_t i = 0; i < mr; ++i) {
           for (std::int64_t j = 0; j < nr; ++j) {
             const std::size_t col = static_cast<std::size_t>(j0 + j);
-            std::int32_t sum = acc[i][j];
-            if (raw) sum -= q.a_zero_point * packed->col_sums[col];
             std::int32_t scaled = multiply_by_quantized_multiplier(
-                sum + q.bias[col], q.multipliers[col], q.shifts[col]);
+                acc[i][j] + q.bias[col], q.multipliers[col], q.shifts[col]);
             std::int32_t v = scaled + q.out_zero_point;
             v = std::clamp(v, q.act_min, q.act_max);
             ct[i * ldc + j0 + j] = static_cast<std::int8_t>(v);

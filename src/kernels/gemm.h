@@ -41,7 +41,7 @@ namespace mlexray {
 // Panel widths (NR) of the register tiles. Exposed so prepare hooks can size
 // packed buffers; must match the kernels' internal tiling.
 inline constexpr std::int64_t kGemmNrF32 = 8;
-inline constexpr std::int64_t kGemmNrI8 = 4;
+inline constexpr std::int64_t kGemmNrI8 = 16;
 
 // f32: full panels of kGemmNrF32 columns, k-interleaved — panel p holds k
 // groups of the 8 column values for columns [8p, 8p+8). The n % 8 edge
@@ -51,24 +51,31 @@ struct PackedBF32 {
   std::int64_t panel_count = 0;  // n / kGemmNrF32
 };
 
-// int8: full panels of kGemmNrI8 columns as contiguous k-runs (column j of
-// panel p starts at panels + (p * kGemmNrI8 + j) * k), plus per-column sums
-// over k for all n columns. The sums fold the activation zero point into the
-// epilogue — sum_k (a - zp) * b == sum_k a * b - zp * col_sum — so the inner
-// loop is a raw widening dot product with no per-element correction.
+// int8: pair-interleaved, pre-widened panels of kGemmNrI8 (16) columns.
+// Panel p covers columns [16p, 16p + 16); its memory is k2-major: for each
+// pair of k steps it holds 16 columns x 2 consecutive k values as int16
+// (64 bytes — exactly the operand shape the widening multiply-pairs-and-add
+// instruction (vpmaddwd) consumes, with the matching A operand being one
+// broadcast 32-bit (a[2k], a[2k+1]) pair). Columns beyond n and the odd-k
+// tail entry are zero-filled, so the last panel needs no edge path and an
+// odd k contributes an exact zero. Per-column sums over the real k for all
+// n columns fold the activation zero point into the epilogue —
+// sum_k (a - zp) * b == sum_k a * b - zp * col_sum — so the inner loop is a
+// raw dot product with no per-element correction and, crucially, no
+// horizontal reduction: each output column owns one int32 accumulator lane.
 struct PackedBI8 {
-  const std::int8_t* panels = nullptr;
-  const std::int32_t* col_sums = nullptr;  // [n], edge columns included
-  std::int64_t panel_count = 0;            // n / kGemmNrI8
+  const std::int8_t* panels = nullptr;     // int16 data; 64-byte aligned
+  const std::int32_t* col_sums = nullptr;  // [n]
 };
 
-// Element counts the pack destinations need (edge columns excluded for the
-// panel buffers; col_sums needs n int32s).
+// Sizing for the pack destinations: f32 element count, int8 byte count
+// (pair-interleaved int16 panels, padded columns included — the kernel
+// derives panel indexing from n alone).
 std::int64_t packed_b_f32_floats(std::int64_t n, std::int64_t k);
 std::int64_t packed_b_i8_bytes(std::int64_t n, std::int64_t k);
 
 // Pack B[n x k] (row stride ldb) into the layouts above. col_sums gets all n
-// column sums, including the unpacked edge columns.
+// column sums.
 void pack_b_f32(std::int64_t n, std::int64_t k, const float* b,
                 std::int64_t ldb, float* panels);
 void pack_b_i8(std::int64_t n, std::int64_t k, const std::int8_t* b,
@@ -107,11 +114,12 @@ struct GemmQuant {
 
 // C[m x n] int8 = requant(sum_k (A[i,k] - a_zp) * B[j,k] + bias[j]).
 //
-// With `packed` non-null the inner loop is the widening SIMD dot-product
-// microkernel over prepacked column runs (zero-point correction folded into
-// the epilogue via col_sums); otherwise the scalar register-blocked path
-// walks raw B rows. Integer accumulation is exact, so both paths produce
-// bit-identical output.
+// With `packed` non-null the inner loop is the pair-broadcast vpmaddwd
+// microkernel over the pair-interleaved panels above — SIMD across the 16
+// output columns, one accumulator lane per column, no horizontal reduction
+// (zero-point correction folded into the epilogue via col_sums); otherwise
+// the scalar register-blocked path walks raw B rows. Integer accumulation
+// is exact, so both paths produce bit-identical output.
 void gemm_i8_nt(std::int64_t m, std::int64_t n, std::int64_t k,
                 const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
                 std::int64_t ldb, const GemmQuant& q, std::int8_t* c,

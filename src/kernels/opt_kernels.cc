@@ -7,6 +7,7 @@
 
 #include "src/kernels/activation.h"
 #include "src/kernels/conv_utils.h"
+#include "src/kernels/dwconv.h"
 #include "src/kernels/gemm.h"
 
 namespace mlexray {
@@ -127,12 +128,10 @@ PackedBF32 pack_weights_f32(PreparedStorage& storage, std::int64_t n,
 PackedBI8 pack_weights_i8(PreparedStorage& storage, std::int64_t n,
                           std::int64_t k, const std::int8_t* w) {
   PackedBI8 packed;
-  packed.panel_count = n / kGemmNrI8;
-  std::int8_t* panels =
-      packed.panel_count > 0
-          ? storage.allocate_array<std::int8_t>(
-                static_cast<std::size_t>(packed_b_i8_bytes(n, k)))
-          : nullptr;
+  // The pair-interleaved layout pads the last panel's columns, so every n
+  // gets packed panels (no edge path).
+  std::int8_t* panels = storage.allocate_array<std::int8_t>(
+      static_cast<std::size_t>(packed_b_i8_bytes(n, k)));
   auto* col_sums =
       storage.allocate_array<std::int32_t>(static_cast<std::size_t>(n));
   pack_b_i8(n, k, w, k, panels, col_sums);
@@ -207,14 +206,102 @@ void fc_i8_prepare(const KernelContext& ctx) {
   ctx.prepared->set_root(root);
 }
 
-// Depthwise conv has no GEMM, but its requant tables are constant too.
-void dwconv2d_i8_prepare(const KernelContext& ctx) {
+// Requant-tables-only prepare for the bug-emulation depthwise kernel below
+// (the correct path uses the packed dwconv prepare hooks instead).
+void dwconv2d_i8_requant_prepare(const KernelContext& ctx) {
   const Node& node = *ctx.node;
   const Tensor& filter = node.weights[0];
   auto* root = ctx.prepared->allocate_array<PreparedRequant>(1);
   *root = prepare_requant_tables(*ctx.prepared, node, ctx.input(0).quant(),
                                  filter.quant(), ctx.output->quant(),
                                  filter.shape().dim(3));
+  ctx.prepared->set_root(root);
+}
+
+// ---------------------------------------------------------------------------
+// Depthwise conv: plan-time channel-panel packing (src/kernels/dwconv.h).
+// ---------------------------------------------------------------------------
+
+struct PreparedDwI8 {
+  PackedDwI8 packed;
+};
+
+DwConvShape dw_shape(const Node& node, const Shape& is, const Shape& fs,
+                     const Shape& os) {
+  DwConvShape s;
+  s.batch = os.dim(0);
+  s.in_h = is.dim(1);
+  s.in_w = is.dim(2);
+  s.in_ch = is.dim(3);
+  s.out_h = os.dim(1);
+  s.out_w = os.dim(2);
+  s.out_ch = os.dim(3);
+  s.kh = static_cast<int>(fs.dim(1));
+  s.kw = static_cast<int>(fs.dim(2));
+  s.stride_h = node.attrs.stride_h;
+  s.stride_w = node.attrs.stride_w;
+  s.pad_h = node.attrs.padding == Padding::kSame
+                ? same_pad_before(is.dim(1), s.kh, s.stride_h, os.dim(1))
+                : 0;
+  s.pad_w = node.attrs.padding == Padding::kSame
+                ? same_pad_before(is.dim(2), s.kw, s.stride_w, os.dim(2))
+                : 0;
+  s.depth_mult = s.out_ch / s.in_ch;
+  return s;
+}
+
+// Builds everything the int8 inner loop consumes: pre-widened int16 weight
+// panels, the fused per-channel accumulator bias (bias - in_zp * w_sum), the
+// Q31 requant tables, and the activation clamp range.
+PackedDwI8 build_packed_dw_i8(const Node& node, const QuantParams& in_q,
+                              const QuantParams& out_q, std::int16_t* w16,
+                              std::int32_t* acc_init,
+                              std::int32_t* multipliers, int* shifts) {
+  const Tensor& filter = node.weights[0];
+  const Shape& fs = filter.shape();
+  const std::int64_t taps = fs.dim(1) * fs.dim(2);
+  const std::int64_t out_ch = fs.dim(3);
+  // acc_init doubles as the w_sums destination, then folds bias and zp.
+  pack_dw_weights_i8(taps, out_ch, filter.data<std::int8_t>(), w16, acc_init);
+  const std::int32_t in_zp = in_q.zero_point();
+  const std::int32_t* bias = node.weights[1].data<std::int32_t>();
+  for (std::int64_t c = 0; c < out_ch; ++c) {
+    acc_init[c] = bias[c] - in_zp * acc_init[c];
+  }
+  fill_requant_tables(in_q, filter.quant(), out_q, out_ch, multipliers,
+                      shifts);
+  QuantActivationRange range = quant_activation_range(
+      node.attrs.activation, out_q.scale(), out_q.zero_point());
+  PackedDwI8 packed;
+  packed.weights = w16;
+  packed.acc_init = acc_init;
+  packed.multipliers = multipliers;
+  packed.shifts = shifts;
+  packed.in_zp = in_zp;
+  packed.out_zp = out_q.zero_point();
+  packed.act_min = range.min;
+  packed.act_max = range.max;
+  return packed;
+}
+
+void dwconv2d_i8_pack_prepare(const KernelContext& ctx) {
+  const Node& node = *ctx.node;
+  const Shape& fs = node.weights[0].shape();
+  const std::int64_t taps = fs.dim(1) * fs.dim(2);
+  const std::int64_t out_ch = fs.dim(3);
+  PreparedStorage& storage = *ctx.prepared;
+  auto* root = storage.allocate_array<PreparedDwI8>(1);
+  auto* w16 = storage.allocate_array<std::int16_t>(
+      static_cast<std::size_t>(taps * out_ch));
+  auto* acc_init =
+      storage.allocate_array<std::int32_t>(static_cast<std::size_t>(out_ch));
+  auto* multipliers =
+      storage.allocate_array<std::int32_t>(static_cast<std::size_t>(out_ch));
+  auto* shifts =
+      storage.allocate_array<int>(static_cast<std::size_t>(out_ch));
+  root->packed =
+      build_packed_dw_i8(node, ctx.input(0).quant(), ctx.output->quant(), w16,
+                         acc_init, multipliers, shifts);
   ctx.prepared->set_root(root);
 }
 
@@ -248,53 +335,24 @@ void conv2d_f32_opt(const KernelContext& ctx) {
               prep != nullptr ? &prep->packed : nullptr);
 }
 
-// Depthwise conv: the output row doubles as the accumulator (bias written
-// first, taps added in reference order, activation applied last), so no
-// scratch is needed and float results match the reference kernel bitwise.
+// Depthwise conv: channel-vectorized kernel family (src/kernels/dwconv.h).
+// The f32 filter is panel-shaped as stored, so there is no prepare hook and
+// no copy — the kernel streams the node's weights directly. Accumulation
+// per channel stays in the reference kernel's order (bias first, taps in
+// (fy, fx) order, skipped when out of bounds), so float results match the
+// reference kernel bitwise.
 void dwconv2d_f32_opt(const KernelContext& ctx) {
   const Tensor& in = ctx.input(0);
   const Node& node = *ctx.node;
   const Tensor& filter = node.weights[0];
-  const float* bias = node.weights[1].data<float>();
-  const Shape& is = in.shape();
-  const Shape& os = ctx.output->shape();
-  const ConvShape s = conv_shape(node, is, filter.shape(), os);
-  const std::int64_t ch = s.in_ch;
-  const float* x = in.data<float>();
-  const float* w = filter.data<float>();
-  float* y = ctx.output->data<float>();
-  const Activation act = node.attrs.activation;
-  const std::int64_t out_rows = os.dim(0) * os.dim(1);
-  auto body = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t row = lo; row < hi; ++row) {
-      const std::int64_t n = static_cast<std::int64_t>(row) / os.dim(1);
-      const std::int64_t oy = static_cast<std::int64_t>(row) % os.dim(1);
-      for (std::int64_t ox = 0; ox < os.dim(2); ++ox) {
-        float* yp = y + ((n * os.dim(1) + oy) * os.dim(2) + ox) * ch;
-        for (std::int64_t c = 0; c < ch; ++c) yp[c] = bias[c];
-        for (int fy = 0; fy < s.kh; ++fy) {
-          const std::int64_t iy = oy * node.attrs.stride_h - s.pad_h + fy;
-          if (iy < 0 || iy >= is.dim(1)) continue;
-          for (int fx = 0; fx < s.kw; ++fx) {
-            const std::int64_t ix = ox * node.attrs.stride_w - s.pad_w + fx;
-            if (ix < 0 || ix >= is.dim(2)) continue;
-            const float* xp = x + ((n * is.dim(1) + iy) * is.dim(2) + ix) * ch;
-            const float* wp = w + (static_cast<std::int64_t>(fy) * s.kw + fx) * ch;
-            for (std::int64_t c = 0; c < ch; ++c) yp[c] += xp[c] * wp[c];
-          }
-        }
-        for (std::int64_t c = 0; c < ch; ++c) {
-          yp[c] = apply_activation_f32(yp[c], act);
-        }
-      }
-    }
-  };
-  if (ctx.pool != nullptr && out_rows >= 8) {
-    ctx.pool->parallel_for(0, static_cast<std::size_t>(out_rows), body,
-                           /*min_chunk=*/2);
-  } else {
-    body(0, static_cast<std::size_t>(out_rows));
-  }
+  const DwConvShape s =
+      dw_shape(node, in.shape(), filter.shape(), ctx.output->shape());
+  // The filter is used in place (already panel-shaped), so the plan and
+  // no-plan paths are identical.
+  const PackedDwF32 packed{filter.data<float>(),
+                           node.weights[1].data<float>()};
+  dwconv2d_f32(s, in.data<float>(), packed, node.attrs.activation,
+               ctx.output->data<float>(), ctx.pool);
 }
 
 void fc_f32_opt(const KernelContext& ctx) {
@@ -392,15 +450,44 @@ void conv2d_i8_opt(const KernelContext& ctx) {
              s.out_ch, ctx.pool, prep != nullptr ? &prep->packed : nullptr);
 }
 
-// emulate_bug == true re-creates the production defect the paper's Fig 6
-// localises, in the specialized 3x3 fast path only (as in the production
-// kernels the paper debugged): the accumulator is held in int16 and the
-// requantization shift is applied with the wrong sign, pinning outputs to
-// the clamp rails from the first 3x3 DepthwiseConv2D layer onward. 1x1
-// depthwise ops (e.g. folded scale/shift layers) take the generic path and
-// are unaffected.
-template <bool kEmulateBug>
+// Correct int8 path: raw widening dot product over the plan-packed int16
+// panels, per-channel Q31 requant — bit-identical across the AVX2 /
+// generic-vector / scalar tiers (integer math is exact and order-free).
 void dwconv2d_i8_opt(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const Node& node = *ctx.node;
+  const Tensor& filter = node.weights[0];
+  const Shape& fs = filter.shape();
+  Tensor& out = *ctx.output;
+  const DwConvShape s = dw_shape(node, in.shape(), fs, out.shape());
+  PackedDwI8 packed;
+  const PreparedDwI8* prep =
+      ctx.prepared != nullptr ? ctx.prepared->root<PreparedDwI8>() : nullptr;
+  if (prep != nullptr) {
+    packed = prep->packed;
+  } else {
+    // No plan: build the panels and tables in per-call scratch.
+    const std::int64_t taps = fs.dim(1) * fs.dim(2);
+    auto* w16 = ctx.scratch<std::int16_t>(taps * s.out_ch);
+    auto* acc_init = ctx.scratch<std::int32_t>(s.out_ch);
+    auto* multipliers = ctx.scratch<std::int32_t>(s.out_ch);
+    auto* shifts = ctx.scratch<int>(s.out_ch);
+    packed = build_packed_dw_i8(node, in.quant(), out.quant(), w16, acc_init,
+                                multipliers, shifts);
+  }
+  dwconv2d_i8(s, in.data<std::int8_t>(), packed, out.data<std::int8_t>(),
+              ctx.pool);
+}
+
+// Re-creates the production defect the paper's Fig 6 localises, in the
+// specialized 3x3 fast path only (as in the production kernels the paper
+// debugged): the accumulator is held in int16 and the requantization shift
+// is applied with the wrong sign, pinning outputs to the clamp rails from
+// the first 3x3 DepthwiseConv2D layer onward. 1x1 depthwise ops (e.g.
+// folded scale/shift layers) take the generic path and are unaffected.
+// Stays on the PR-2 scalar loops so the emulation is byte-for-byte what it
+// was when the Fig 5/6 harnesses were calibrated against it.
+void dwconv2d_i8_buggy(const KernelContext& ctx) {
   const Tensor& in = ctx.input(0);
   const Node& node = *ctx.node;
   const Tensor& filter = node.weights[0];
@@ -409,7 +496,8 @@ void dwconv2d_i8_opt(const KernelContext& ctx) {
   const Shape& is = in.shape();
   const Shape& os = out.shape();
   const ConvShape s = conv_shape(node, is, filter.shape(), os);
-  const std::int64_t ch = s.in_ch;
+  const std::int64_t ch = s.out_ch;
+  const std::int64_t dm = s.out_ch / s.in_ch;
   const std::int32_t in_zp = in.quant().zero_point();
   const std::int32_t out_zp = out.quant().zero_point();
   PreparedRequant rq;
@@ -431,7 +519,7 @@ void dwconv2d_i8_opt(const KernelContext& ctx) {
   const std::int32_t* b = bias.data<std::int32_t>();
   std::int8_t* y = out.data<std::int8_t>();
   // The defect lives in the specialized 3x3 fast path only.
-  const bool fast_path_bug = kEmulateBug && s.kh == 3 && s.kw == 3;
+  const bool fast_path_bug = s.kh == 3 && s.kw == 3;
   const std::int64_t rows = os.dim(0) * os.dim(1);
   auto body = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t row = lo; row < hi; ++row) {
@@ -448,7 +536,9 @@ void dwconv2d_i8_opt(const KernelContext& ctx) {
             for (int fx = 0; fx < s.kw; ++fx) {
               const std::int64_t ix = ox * node.attrs.stride_w - s.pad_w + fx;
               if (ix < 0 || ix >= is.dim(2)) continue;
-              const std::int32_t x_q = x[((n * is.dim(1) + iy) * is.dim(2) + ix) * ch + c];
+              const std::int32_t x_q =
+                  x[((n * is.dim(1) + iy) * is.dim(2) + ix) * s.in_ch +
+                    c / dm];
               const std::int32_t w_q = w[(fy * s.kw + fx) * ch + c];
               if (fast_path_bug) {
                 // BUG part 1: int16 accumulator wraps on real activations.
@@ -684,10 +774,13 @@ void register_opt_float_kernels(KernelMap& map) {
 
 void register_opt_quant_kernels(KernelMap& map, bool emulate_dwconv_bug) {
   map[{OpType::kConv2D, true}] = {conv2d_i8_opt, conv2d_i8_prepare};
-  map[{OpType::kDepthwiseConv2D, true}] = {
-      emulate_dwconv_bug ? KernelFn(dwconv2d_i8_opt<true>)
-                         : KernelFn(dwconv2d_i8_opt<false>),
-      dwconv2d_i8_prepare};
+  if (emulate_dwconv_bug) {
+    map[{OpType::kDepthwiseConv2D, true}] = {dwconv2d_i8_buggy,
+                                             dwconv2d_i8_requant_prepare};
+  } else {
+    map[{OpType::kDepthwiseConv2D, true}] = {dwconv2d_i8_opt,
+                                             dwconv2d_i8_pack_prepare};
+  }
   map[{OpType::kFullyConnected, true}] = {fc_i8_opt, fc_i8_prepare};
   map[{OpType::kAvgPool2D, true}] = avgpool_i8_opt;
   map[{OpType::kPad, true}] = pad_fast<std::int8_t>;

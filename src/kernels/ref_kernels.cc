@@ -60,14 +60,16 @@ void conv2d_f32(const KernelContext& ctx) {
 void dwconv2d_f32(const KernelContext& ctx) {
   const Tensor& in = ctx.input(0);
   const Node& node = *ctx.node;
-  const Tensor& filter = node.weights[0];  // [1, kh, kw, ch]
+  const Tensor& filter = node.weights[0];  // [1, kh, kw, ch * depth_mult]
   const float* bias = node.weights[1].data<float>();
   const Shape& is = in.shape();
   const Shape& fs = filter.shape();
   const Shape& os = ctx.output->shape();
   const int kh = static_cast<int>(fs.dim(1));
   const int kw = static_cast<int>(fs.dim(2));
-  const std::int64_t ch = is.dim(3);
+  const std::int64_t in_ch = is.dim(3);
+  const std::int64_t ch = fs.dim(3);         // output channels
+  const std::int64_t dm = ch / in_ch;        // depth multiplier
   const std::int64_t pad_h = node.attrs.padding == Padding::kSame
                                  ? same_pad_before(is.dim(1), kh, node.attrs.stride_h, os.dim(1))
                                  : 0;
@@ -88,7 +90,8 @@ void dwconv2d_f32(const KernelContext& ctx) {
             for (int fx = 0; fx < kw; ++fx) {
               const std::int64_t ix = ox * node.attrs.stride_w - pad_w + fx;
               if (ix < 0 || ix >= is.dim(2)) continue;
-              acc += x[((n * is.dim(1) + iy) * is.dim(2) + ix) * ch + c] *
+              acc += x[((n * is.dim(1) + iy) * is.dim(2) + ix) * in_ch +
+                       c / dm] *
                      w[(fy * kw + fx) * ch + c];
             }
           }
@@ -331,7 +334,9 @@ void dwconv2d_i8_ref(const KernelContext& ctx) {
   const Shape& os = out.shape();
   const int kh = static_cast<int>(fs.dim(1));
   const int kw = static_cast<int>(fs.dim(2));
-  const std::int64_t ch = is.dim(3);
+  const std::int64_t in_ch = is.dim(3);
+  const std::int64_t ch = fs.dim(3);   // output channels
+  const std::int64_t dm = ch / in_ch;  // depth multiplier
   const std::int64_t pad_h = node.attrs.padding == Padding::kSame
                                  ? same_pad_before(is.dim(1), kh, node.attrs.stride_h, os.dim(1))
                                  : 0;
@@ -359,7 +364,8 @@ void dwconv2d_i8_ref(const KernelContext& ctx) {
               const std::int64_t ix = ox * node.attrs.stride_w - pad_w + fx;
               if (ix < 0 || ix >= is.dim(2)) continue;
               acc += (static_cast<std::int32_t>(
-                          x[((n * is.dim(1) + iy) * is.dim(2) + ix) * ch + c]) -
+                          x[((n * is.dim(1) + iy) * is.dim(2) + ix) * in_ch +
+                            c / dm]) -
                       in_zp) *
                      static_cast<std::int32_t>(w[(fy * kw + fx) * ch + c]);
             }

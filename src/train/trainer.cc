@@ -205,6 +205,9 @@ void Trainer::backward_node(const Node& node) {
       const Shape& fs = w.shape();
       ConvGeom g = conv_geom(node, is, os, fs);
       const std::int64_t ch = is.dim(3);
+      MLX_CHECK_EQ(fs.dim(3), ch)
+          << "trainer DepthwiseConv2D supports depth_multiplier == 1 only ('"
+          << node.name << "')";
       const float* px = x.data<float>();
       const float* pw = w.data<float>();
       const float* pgy = gy.data<float>();

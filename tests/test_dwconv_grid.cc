@@ -1,0 +1,329 @@
+// Exhaustive DepthwiseConv2D kernel-conformance grid.
+//
+// The vectorized dwconv family (src/kernels/dwconv.h) ships with three
+// compute tiers (AVX2 / generic GNU-vector / scalar) selected at invoke
+// time, plus plan-time weight packing. This grid pins the whole family down
+// so future tiers cannot silently diverge:
+//
+//  - geometry: stride {1, 2} x padding {Same, Valid} x depth_multiplier
+//    {1, 2} x channels {1..4, 7, 8, 15, 16, 17, 64} (covering sub-vector,
+//    exact-vector, and vector-tail channel counts for both the 16-lane int8
+//    and 8-lane f32 blocks) x batch {1, 4}, in f32 and int8 with
+//    per-channel weight scales and asymmetric activation zero points;
+//  - f32 cells assert *bit-exact* opt-vs-ref output (the vector tiers keep
+//    the reference kernel's per-channel accumulation order);
+//  - int8 cells assert opt-vs-ref within one output quantum — the reference
+//    path requantizes through a double multiply while the optimized path
+//    uses Q31 fixed point, the same intentional one-step discrepancy the
+//    main kernel grid documents (paper §4.4) — and *bit-exact* agreement
+//    between every compiled-in tier (integer accumulation is exact, so the
+//    AVX2, generic-vector, and scalar tiers must agree to the bit; the
+//    scalar tier plays the role of the conformance reference);
+//  - every cell asserts steady-state invoke performs zero heap allocations
+//    (global operator-new counter + AllocStats events) and zero dwconv
+//    weight packs after plan construction (dwconv_pack_events()).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "src/graph/builder.h"
+#include "src/interpreter/interpreter.h"
+#include "src/kernels/dwconv.h"
+#include "src/quant/quantizer.h"
+#include "src/tensor/alloc_stats.h"
+#include "src/tensor/tensor_stats.h"
+
+// --- global operator new/delete instrumentation -----------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace mlexray {
+namespace {
+
+Tensor random_input(Shape shape, Pcg32& rng, float lo = -2.0f,
+                    float hi = 2.0f) {
+  Tensor t = Tensor::f32(shape);
+  float* p = t.data<float>();
+  for (std::int64_t i = 0; i < t.num_elements(); ++i) {
+    p[i] = rng.uniform(lo, hi);
+  }
+  return t;
+}
+
+// One quantization step of a quantized model's (dequantized f32) output.
+float output_quantum(const Graph& qm) {
+  const Node& out = qm.node(qm.outputs[0]);
+  if (out.type == OpType::kDequantize) {
+    return qm.node(out.inputs[0]).output_quant.scale();
+  }
+  return out.output_quant.scale();
+}
+
+bool outputs_bit_equal(const Tensor& a, const Tensor& b) {
+  if (a.num_elements() != b.num_elements()) return false;
+  return std::memcmp(a.raw_data(), b.raw_data(),
+                     static_cast<std::size_t>(a.num_elements()) *
+                         sizeof(float)) == 0;
+}
+
+std::vector<float> snapshot(const Tensor& t) {
+  const float* p = t.data<float>();
+  return std::vector<float>(p, p + t.num_elements());
+}
+
+struct DwGridCase {
+  int stride;
+  Padding padding;
+  int depth_mult;
+  std::int64_t channels;
+  std::int64_t batch;
+  bool quantized;
+  Activation act;
+
+  friend std::ostream& operator<<(std::ostream& os, const DwGridCase& c) {
+    return os << "s" << c.stride
+              << (c.padding == Padding::kSame ? "/Same" : "/Valid") << "/dm"
+              << c.depth_mult << "/ch" << c.channels << "/b" << c.batch
+              << "/act" << static_cast<int>(c.act)
+              << (c.quantized ? "/i8" : "/f32");
+  }
+};
+
+std::vector<DwGridCase> make_grid() {
+  // Channel counts straddle the vector widths: below, at, and one past both
+  // the 8-lane f32 block and the 16-lane int8 block, plus a multi-block
+  // count (64) exercising the steady vector loop.
+  const std::int64_t channels[] = {1, 2, 3, 4, 7, 8, 15, 16, 17, 64};
+  const Activation acts[] = {Activation::kNone, Activation::kRelu,
+                             Activation::kRelu6};
+  std::vector<DwGridCase> grid;
+  int i = 0;
+  for (int stride : {1, 2}) {
+    for (Padding padding : {Padding::kSame, Padding::kValid}) {
+      for (int dm : {1, 2}) {
+        for (std::int64_t ch : channels) {
+          for (std::int64_t batch : {1, 4}) {
+            for (bool quantized : {false, true}) {
+              // Cycle the fused activation so clamp ranges are covered
+              // without tripling an already 320-cell grid.
+              grid.push_back({stride, padding, dm, ch, batch, quantized,
+                              acts[i++ % 3]});
+            }
+          }
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+class DwConvGrid : public ::testing::TestWithParam<DwGridCase> {
+ protected:
+  void TearDown() override {
+    set_dwconv_tier_for_testing(DwConvTier::kAuto);
+  }
+};
+
+// Invokes `interp` under every forced tier and asserts each result is
+// byte-identical to `want` (the kAuto result).
+void expect_all_tiers_bit_equal(Interpreter& interp,
+                                const std::vector<float>& want,
+                                const DwGridCase& c) {
+  for (DwConvTier tier :
+       {DwConvTier::kGenericVector, DwConvTier::kScalar}) {
+    set_dwconv_tier_for_testing(tier);
+    interp.invoke();
+    const Tensor& out = interp.output(0);
+    ASSERT_EQ(static_cast<std::size_t>(out.num_elements()), want.size()) << c;
+    EXPECT_EQ(std::memcmp(out.raw_data(), want.data(),
+                          want.size() * sizeof(float)),
+              0)
+        << c << " diverges under tier " << static_cast<int>(tier);
+  }
+  set_dwconv_tier_for_testing(DwConvTier::kAuto);
+}
+
+// Steady-state contract: invoke never touches the heap, never registers
+// tensor/arena allocations, and never re-packs dwconv weights once the plan
+// exists. `packs_since_prepare` is the dwconv_pack_events() reading taken
+// right after interpreter construction.
+void expect_steady_state_clean(Interpreter& interp,
+                               std::uint64_t packs_at_prepare,
+                               const DwGridCase& c) {
+  interp.invoke();  // warmup may grow the scratch arena
+  EXPECT_EQ(dwconv_pack_events(), packs_at_prepare)
+      << c << ": first invoke re-packed dwconv weights despite the plan";
+  const std::uint64_t events_before = AllocStats::instance().alloc_events();
+  const std::uint64_t heap_before = g_heap_allocs.load();
+  const std::size_t high_water_before =
+      interp.scratch_arena().high_water_bytes();
+  for (int i = 0; i < 3; ++i) interp.invoke();
+  EXPECT_EQ(AllocStats::instance().alloc_events(), events_before)
+      << c << ": steady-state invoke registered allocations";
+  EXPECT_EQ(g_heap_allocs.load(), heap_before)
+      << c << ": steady-state invoke touched the heap";
+  EXPECT_EQ(dwconv_pack_events(), packs_at_prepare)
+      << c << ": steady-state invoke re-packed dwconv weights";
+  EXPECT_EQ(interp.scratch_arena().high_water_bytes(), high_water_before)
+      << c << ": steady-state invoke grew the scratch arena";
+}
+
+TEST_P(DwConvGrid, OptMatchesRefAcrossTiers) {
+  const DwGridCase& c = GetParam();
+  Pcg32 rng(4242);
+  GraphBuilder b("dwgrid", &rng);
+  const Shape in_shape{c.batch, 9, 9, c.channels};
+  int x = b.input(in_shape);
+  b.depthwise_conv2d(x, 3, 3, c.stride, c.padding, c.act, "op",
+                     c.depth_mult);
+  Graph m = b.finish({1});
+
+  Pcg32 drng(99);
+  Tensor input = random_input(in_shape, drng);
+
+  RefOpResolver ref;
+  BuiltinOpResolver opt;
+  if (!c.quantized) {
+    Interpreter ri(&m, &ref);
+    const std::uint64_t packs_at_prepare_probe = dwconv_pack_events();
+    Interpreter oi(&m, &opt, /*num_threads=*/2);
+    // f32 filters are panel-shaped as stored: nothing packs, ever.
+    EXPECT_EQ(dwconv_pack_events(), packs_at_prepare_probe) << c;
+    const std::uint64_t packs_at_prepare = dwconv_pack_events();
+    ri.set_input(0, input);
+    oi.set_input(0, input);
+    ri.invoke();
+    oi.invoke();
+    // Vector lanes run the reference accumulation order per channel, so
+    // float output must match to the bit — any geometry, ordering, or
+    // contraction divergence fails loudly.
+    EXPECT_TRUE(outputs_bit_equal(ri.output(0), oi.output(0))) << c;
+    expect_all_tiers_bit_equal(oi, snapshot(oi.output(0)), c);
+    expect_steady_state_clean(oi, packs_at_prepare, c);
+  } else {
+    Calibrator calib(&m);
+    Pcg32 crng(7);
+    for (int i = 0; i < 5; ++i) {
+      calib.observe({random_input(in_shape, crng)});
+    }
+    calib.observe({input});
+    // Default quantizer options: per-channel weight scales (axis 3 for
+    // depthwise), asymmetric activation zero points.
+    Graph qm = quantize_model(m, calib);
+    Interpreter ri(&qm, &ref);
+    const std::uint64_t packs_at_prepare_probe = dwconv_pack_events();
+    Interpreter oi(&qm, &opt, /*num_threads=*/2);
+    EXPECT_EQ(dwconv_pack_events(), packs_at_prepare_probe + 1) << c;
+    const std::uint64_t packs_at_prepare = dwconv_pack_events();
+    ri.set_input(0, input);
+    oi.set_input(0, input);
+    ri.invoke();
+    oi.invoke();
+    // Double-rescale (ref) vs Q31 fixed point (opt): at most one quantum.
+    EXPECT_LE(linf_error(ri.output(0), oi.output(0)),
+              1.001f * output_quantum(qm))
+        << c;
+    // The conformance core: every compiled-in tier, including the scalar
+    // reference tier, produces bit-identical integer output.
+    expect_all_tiers_bit_equal(oi, snapshot(oi.output(0)), c);
+    expect_steady_state_clean(oi, packs_at_prepare, c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StridePadDepthChannelsBatchDtype, DwConvGrid,
+                         ::testing::ValuesIn(make_grid()));
+
+// --- no-plan fallback --------------------------------------------------------
+
+// Without a plan (ctx.prepared == nullptr, e.g. the trainer's forward pass)
+// the int8 kernel builds its panels and tables in per-call scratch: results
+// must be identical, and dwconv_pack_events() must tick once per invoke —
+// proof the counter actually observes the fallback the plan is eliminating.
+// (f32 has no fallback cost: its filter is used in place on both paths.)
+TEST(DwConvFallback, PacksPerCallWithoutPlanAndMatchesPlanned) {
+  Pcg32 rng(11);
+  GraphBuilder b("dwfall", &rng);
+  const Shape in_shape{1, 8, 8, 16};
+  int x = b.input(in_shape);
+  b.depthwise_conv2d(x, 3, 3, 1, Padding::kSame, Activation::kRelu, "op");
+  Graph m = b.finish({1});
+  Calibrator calib(&m);
+  Pcg32 crng(13);
+  for (int i = 0; i < 4; ++i) calib.observe({random_input(in_shape, crng)});
+  Graph qm = quantize_model(m, calib);
+  BuiltinOpResolver opt;
+  Interpreter planned(&qm, &opt);
+  Pcg32 drng(12);
+  Tensor input = random_input(in_shape, drng);
+  planned.set_input(0, input);
+  planned.invoke();
+
+  // Drive the same int8 kernel through a bare KernelContext (no prepared
+  // storage), as a plan-less caller would, feeding it the planned run's
+  // quantized activation.
+  const Node* dw = nullptr;
+  for (const Node& n : qm.nodes) {
+    if (n.type == OpType::kDepthwiseConv2D) dw = &n;
+  }
+  ASSERT_NE(dw, nullptr);
+  const Tensor& quantized_in = planned.node_output(dw->inputs[0]);
+  Tensor out(DType::kI8, dw->output_shape);
+  out.quant() = dw->output_quant;
+  ScratchArena arena;
+  KernelContext ctx;
+  ctx.node = dw;
+  ctx.inputs.push_back(&quantized_in);
+  ctx.output = &out;
+  ctx.arena = &arena;
+  const KernelEntry& entry = opt.find(*dw);
+  const std::uint64_t packs_before = dwconv_pack_events();
+  entry.invoke(ctx);
+  arena.reset();
+  entry.invoke(ctx);
+  EXPECT_EQ(dwconv_pack_events(), packs_before + 2)
+      << "per-call fallback must pack on every invoke";
+  const Tensor& want = planned.node_output(dw->id);
+  ASSERT_EQ(want.num_elements(), out.num_elements());
+  EXPECT_EQ(std::memcmp(want.raw_data(), out.raw_data(),
+                        static_cast<std::size_t>(out.num_elements())),
+            0);
+}
+
+}  // namespace
+}  // namespace mlexray

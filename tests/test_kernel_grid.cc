@@ -215,8 +215,9 @@ INSTANTIATE_TEST_SUITE_P(PaddingStrideActDtype, KernelGrid,
 // --- prepacked GEMM vs per-call paths ----------------------------------------
 
 // Shapes exercise full panels plus a column edge: n = 20 is two f32 panels
-// (8) + 4 edge columns, five int8 panels + 0; k = 37 exercises the SIMD
-// k-tail of the int8 microkernel.
+// (8) + 4 edge columns, and for int8 one full 16-column panel plus 4
+// padded columns in the second; odd k = 37 exercises the int8 pair
+// microkernel's zero-padded tail.
 struct GemmData {
   std::int64_t m, n, k;
   std::vector<float> a, b, bias;
@@ -282,7 +283,7 @@ struct GemmData {
           static_cast<std::size_t>(packed_b_i8_bytes(n, k)));
       std::vector<std::int32_t> col_sums(static_cast<std::size_t>(n));
       pack_b_i8(n, k, b8.data(), k, panels.data(), col_sums.data());
-      PackedBI8 packed{panels.data(), col_sums.data(), n / kGemmNrI8};
+      PackedBI8 packed{panels.data(), col_sums.data()};
       gemm_i8_nt(m, n, k, a8.data(), k, b8.data(), k, quant, c.data(), n,
                  nullptr, &packed);
     } else {

@@ -1,4 +1,5 @@
 // Property-style parameterized sweeps across the stack:
+//  - randomized DepthwiseConv2D shape/scale/zero-point parity (all tiers)
 //  - pool/activation parity between resolvers over geometry grids
 //  - quantize->dequantize error bounds over random ranges
 //  - fixed-point requantization vs double arithmetic over multiplier grids
@@ -15,6 +16,7 @@
 #include "src/graph/serialization.h"
 #include "src/interpreter/interpreter.h"
 #include "src/kernels/activation.h"
+#include "src/kernels/dwconv.h"
 #include "src/kernels/fixed_point.h"
 #include "src/models/zoo.h"
 #include "src/preprocess/image.h"
@@ -30,6 +32,107 @@ Tensor random_f32(Shape shape, Pcg32& rng, float lo = -1, float hi = 1) {
   for (std::int64_t i = 0; i < t.num_elements(); ++i) p[i] = rng.uniform(lo, hi);
   return t;
 }
+
+// --- randomized depthwise-conv parity (shape/scale/zero-point fuzz) ---
+//
+// The conformance grid (test_dwconv_grid.cc) enumerates the interesting
+// channel counts; this sweep draws the rest of the axes from a seeded RNG —
+// kernel size, stride, padding, depth multiplier, image size, batch, fused
+// activation, and (via the input value range) quantization scales and
+// asymmetric zero points — so the dwconv tier selection (AVX2 vs generic
+// vector vs scalar) cannot drift apart on geometries nobody hand-picked.
+
+class DwConvRandom : public ::testing::TestWithParam<int> {
+ protected:
+  void TearDown() override {
+    set_dwconv_tier_for_testing(DwConvTier::kAuto);
+  }
+};
+
+TEST_P(DwConvRandom, AllTiersMatchReference) {
+  Pcg32 rng(static_cast<std::uint64_t>(3000 + GetParam()));
+  const int kh = 1 + static_cast<int>(rng.next_below(3));
+  const int kw = 1 + static_cast<int>(rng.next_below(3));
+  const int stride = 1 + static_cast<int>(rng.next_below(2));
+  const int dm = 1 + static_cast<int>(rng.next_below(2));
+  const auto ch = static_cast<std::int64_t>(1 + rng.next_below(40));
+  const auto batch = static_cast<std::int64_t>(1 + rng.next_below(2));
+  const std::int64_t h = kh + static_cast<std::int64_t>(rng.next_below(8));
+  const std::int64_t w = kw + static_cast<std::int64_t>(rng.next_below(8));
+  const Padding padding =
+      rng.next_below(2) == 0 ? Padding::kSame : Padding::kValid;
+  const Activation acts[] = {Activation::kNone, Activation::kRelu,
+                             Activation::kRelu6};
+  const Activation act = acts[rng.next_below(3)];
+  // Random, asymmetric value range -> random activation scales and nonzero
+  // zero points after calibration.
+  const float lo = -rng.uniform(0.2f, 4.0f);
+  const float hi = rng.uniform(0.2f, 4.0f);
+
+  GraphBuilder b("dwrand", &rng);
+  const Shape in_shape{batch, h, w, ch};
+  int x = b.input(in_shape);
+  b.depthwise_conv2d(x, kh, kw, stride, padding, act, "op", dm);
+  Graph m = b.finish({1});
+
+  Tensor input = random_f32(in_shape, rng, lo, hi);
+  RefOpResolver ref;
+  BuiltinOpResolver opt;
+
+  auto run_all_tiers = [&](Interpreter& oi) {
+    oi.invoke();
+    const float* p = oi.output(0).data<float>();
+    std::vector<float> want(p, p + oi.output(0).num_elements());
+    for (DwConvTier tier :
+         {DwConvTier::kGenericVector, DwConvTier::kScalar}) {
+      set_dwconv_tier_for_testing(tier);
+      oi.invoke();
+      EXPECT_EQ(std::memcmp(oi.output(0).raw_data(), want.data(),
+                            want.size() * sizeof(float)),
+                0)
+          << "tier " << static_cast<int>(tier) << " diverged (seed "
+          << GetParam() << ")";
+    }
+    set_dwconv_tier_for_testing(DwConvTier::kAuto);
+  };
+
+  {  // float: bit-exact against the reference kernel, all tiers.
+    Interpreter ri(&m, &ref);
+    Interpreter oi(&m, &opt, /*num_threads=*/2);
+    ri.set_input(0, input);
+    oi.set_input(0, input);
+    ri.invoke();
+    run_all_tiers(oi);
+    EXPECT_EQ(std::memcmp(ri.output(0).raw_data(), oi.output(0).raw_data(),
+                          static_cast<std::size_t>(
+                              ri.output(0).num_elements()) *
+                              sizeof(float)),
+              0)
+        << "f32 opt != ref (seed " << GetParam() << ")";
+  }
+  {  // int8: one quantum vs the double-requant reference, all tiers equal.
+    Calibrator calib(&m);
+    for (int i = 0; i < 4; ++i) {
+      calib.observe({random_f32(in_shape, rng, lo, hi)});
+    }
+    calib.observe({input});
+    Graph qm = quantize_model(m, calib);
+    const float quantum = [&] {
+      const Node& out = qm.node(qm.outputs[0]);
+      return qm.node(out.inputs[0]).output_quant.scale();
+    }();
+    Interpreter ri(&qm, &ref);
+    Interpreter oi(&qm, &opt, /*num_threads=*/2);
+    ri.set_input(0, input);
+    oi.set_input(0, input);
+    ri.invoke();
+    run_all_tiers(oi);
+    EXPECT_LE(linf_error(ri.output(0), oi.output(0)), 1.001f * quantum)
+        << "int8 opt drifted past one quantum (seed " << GetParam() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DwConvRandom, ::testing::Range(1, 17));
 
 // --- pooling parity sweep ---
 

@@ -1,0 +1,176 @@
+// minibench: a small, in-tree implementation of the google-benchmark API
+// subset this repo's benches use, built by our own CMake so the benchmark
+// *library* is compiled with the same Release flags (and NDEBUG) as the
+// kernels it measures.
+//
+// Why it exists: the distro's prebuilt libbenchmark is a debug build — it
+// stamps `"library_build_type": "debug"` into every JSON context, and
+// bench/run_benches.sh now refuses to record numbers measured through a
+// debug-built timing library (the same policy it already applied to our own
+// build type). The distro ships no sources to rebuild, so the timing layer
+// lives here instead: ~an afternoon of code, no third-party payload, and
+// the JSON it emits keeps the google-benchmark shape (context + benchmarks[]
+// with name/iterations/real_time/cpu_time/time_unit + counters) so the
+// digest tooling and committed BENCH_*.json history stay comparable.
+//
+// Implemented surface (everything bench_*.cc touches):
+//   benchmark::State           range(i), counters["k"] = v,
+//                              SetItemsProcessed, iterations(),
+//                              `for (auto _ : state)` timing loop
+//   BENCHMARK(fn)->Args({...})->Unit(...)   registration chain
+//   benchmark::RegisterBenchmark(name, callable)
+//   benchmark::Initialize / ReportUnrecognizedArguments /
+//   RunSpecifiedBenchmarks / Shutdown / DoNotOptimize / BENCHMARK_MAIN()
+//   flags: --benchmark_format=json|console, --benchmark_min_time=<s>,
+//          --benchmark_filter=<regex>
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+enum TimeUnit { kNanosecond, kMicrosecond, kMillisecond, kSecond };
+
+class State {
+ public:
+  State(std::int64_t iterations, std::vector<std::int64_t> args)
+      : max_iterations_(iterations), args_(std::move(args)) {}
+
+  std::int64_t range(std::size_t i = 0) const { return args_.at(i); }
+  std::int64_t iterations() const { return completed_; }
+  void SetItemsProcessed(std::int64_t items) { items_processed_ = items; }
+
+  // Plain-double counters (google-benchmark's non-rate Counter behaviour).
+  std::map<std::string, double> counters;
+
+  // `for (auto _ : state)`: the range runs max_iterations_ times with the
+  // timer running from first dereference to loop exit.
+  class Iterator {
+   public:
+    explicit Iterator(State* s)
+        : state_(s), left_(s != nullptr ? s->max_iterations_ : 0) {}
+    bool operator!=(const Iterator&) {
+      if (left_ > 0) return true;
+      state_->finish_timing();
+      return false;
+    }
+    Iterator& operator++() {
+      --left_;
+      ++state_->completed_;
+      return *this;
+    }
+    int operator*() const { return 0; }
+
+   private:
+    State* state_;
+    std::int64_t left_;
+  };
+
+  Iterator begin() {
+    start_timing();
+    return Iterator(this);
+  }
+  Iterator end() { return Iterator(nullptr); }
+
+  // Read back by the runner after the function returns.
+  double real_seconds() const { return real_seconds_; }
+  double cpu_seconds() const { return cpu_seconds_; }
+  std::int64_t items_processed() const { return items_processed_; }
+  std::int64_t max_iterations() const { return max_iterations_; }
+
+ private:
+  void start_timing();
+  void finish_timing();
+
+  std::int64_t max_iterations_ = 1;
+  std::int64_t completed_ = 0;
+  std::int64_t items_processed_ = 0;
+  std::vector<std::int64_t> args_;
+  double real_seconds_ = 0.0;
+  double cpu_seconds_ = 0.0;
+  double real_start_ = 0.0;
+  double cpu_start_ = 0.0;
+};
+
+namespace internal {
+
+// One registered family; Args() adds an instance per call (none -> one
+// argless instance at run time).
+class Benchmark {
+ public:
+  Benchmark(std::string name, std::function<void(State&)> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  Benchmark* Args(const std::vector<std::int64_t>& args) {
+    instances_.push_back(args);
+    return this;
+  }
+  Benchmark* Arg(std::int64_t arg) { return Args({arg}); }
+  Benchmark* Unit(TimeUnit unit) {
+    unit_ = unit;
+    return this;
+  }
+
+  const std::string& name() const { return name_; }
+  const std::function<void(State&)>& fn() const { return fn_; }
+  const std::vector<std::vector<std::int64_t>>& instances() const {
+    return instances_;
+  }
+  TimeUnit unit() const { return unit_; }
+
+ private:
+  std::string name_;
+  std::function<void(State&)> fn_;
+  std::vector<std::vector<std::int64_t>> instances_;
+  TimeUnit unit_ = kNanosecond;
+};
+
+Benchmark* RegisterBenchmarkInternal(Benchmark* family);
+
+}  // namespace internal
+
+template <typename Callable>
+internal::Benchmark* RegisterBenchmark(const char* name, Callable&& fn) {
+  return internal::RegisterBenchmarkInternal(new internal::Benchmark(
+      name, std::function<void(State&)>(std::forward<Callable>(fn))));
+}
+
+void Initialize(int* argc, char** argv);
+bool ReportUnrecognizedArguments(int argc, char** argv);
+std::size_t RunSpecifiedBenchmarks();
+void Shutdown();
+
+template <class Tp>
+inline __attribute__((always_inline)) void DoNotOptimize(Tp const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+template <class Tp>
+inline __attribute__((always_inline)) void DoNotOptimize(Tp& value) {
+  asm volatile("" : "+r,m"(value) : : "memory");
+}
+
+}  // namespace benchmark
+
+#define MINIBENCH_CONCAT2(a, b) a##b
+#define MINIBENCH_CONCAT(a, b) MINIBENCH_CONCAT2(a, b)
+
+#define BENCHMARK(fn)                                             \
+  static ::benchmark::internal::Benchmark* MINIBENCH_CONCAT(      \
+      minibench_reg_, __LINE__) [[maybe_unused]] =                \
+      ::benchmark::RegisterBenchmark(#fn, fn)
+
+#define BENCHMARK_MAIN()                                            \
+  int main(int argc, char** argv) {                                 \
+    ::benchmark::Initialize(&argc, argv);                           \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {     \
+      return 1;                                                     \
+    }                                                               \
+    ::benchmark::RunSpecifiedBenchmarks();                          \
+    ::benchmark::Shutdown();                                        \
+    return 0;                                                       \
+  }                                                                 \
+  int main(int, char**)

@@ -1,0 +1,305 @@
+#include "benchmark/benchmark.h"
+
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <regex>
+#include <sstream>
+#include <thread>
+
+namespace benchmark {
+namespace {
+
+// The whole point of building this library in-tree: the timing layer's own
+// build type is knowable and stamped into the JSON context, where
+// bench/run_benches.sh asserts it. NDEBUG rides on the Release flags.
+#ifdef NDEBUG
+constexpr const char* kLibraryBuildType = "release";
+#else
+constexpr const char* kLibraryBuildType = "debug";
+#endif
+
+double now_realtime_seconds() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+double now_cpu_seconds() {
+  timespec ts;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+struct Options {
+  std::string format = "console";  // "console" | "json"
+  double min_time = 0.5;
+  std::string filter;  // empty => run everything
+  std::string executable;
+};
+
+Options& options() {
+  static Options opts;
+  return opts;
+}
+
+std::vector<std::unique_ptr<internal::Benchmark>>& registry() {
+  static std::vector<std::unique_ptr<internal::Benchmark>> families;
+  return families;
+}
+
+const char* unit_suffix(TimeUnit unit) {
+  switch (unit) {
+    case kNanosecond: return "ns";
+    case kMicrosecond: return "us";
+    case kMillisecond: return "ms";
+    case kSecond: return "s";
+  }
+  return "ns";
+}
+
+double unit_scale(TimeUnit unit) {  // seconds -> unit
+  switch (unit) {
+    case kNanosecond: return 1e9;
+    case kMicrosecond: return 1e6;
+    case kMillisecond: return 1e3;
+    case kSecond: return 1.0;
+  }
+  return 1e9;
+}
+
+struct RunResult {
+  std::string name;
+  std::size_t family_index = 0;
+  std::size_t instance_index = 0;
+  std::int64_t iterations = 0;
+  double real_time = 0.0;  // per iteration, in `unit`
+  double cpu_time = 0.0;
+  TimeUnit unit = kNanosecond;
+  double items_per_second = 0.0;
+  bool has_items = false;
+  std::map<std::string, double> counters;
+};
+
+std::string instance_name(const internal::Benchmark& family,
+                          const std::vector<std::int64_t>& args) {
+  std::string name = family.name();
+  for (std::int64_t a : args) name += "/" + std::to_string(a);
+  return name;
+}
+
+// Adaptive iteration ramp, google-benchmark style: rerun with more
+// iterations until the timed region covers min_time.
+RunResult run_instance(const internal::Benchmark& family,
+                       const std::vector<std::int64_t>& args) {
+  constexpr std::int64_t kMaxIterations = 1000000000;
+  std::int64_t iters = 1;
+  State state(iters, args);
+  for (;;) {
+    state = State(iters, args);
+    family.fn()(state);
+    const double elapsed = state.real_seconds();
+    if (elapsed >= options().min_time || iters >= kMaxIterations) break;
+    double mult = 10.0;
+    if (elapsed > 0.0) {
+      mult = std::clamp(options().min_time * 1.4 / elapsed, 2.0, 10.0);
+    }
+    iters = static_cast<std::int64_t>(static_cast<double>(iters) * mult) + 1;
+  }
+  RunResult r;
+  r.name = instance_name(family, args);
+  r.iterations = state.max_iterations();
+  r.unit = family.unit();
+  const double scale = unit_scale(r.unit);
+  r.real_time =
+      state.real_seconds() * scale / static_cast<double>(r.iterations);
+  r.cpu_time = state.cpu_seconds() * scale / static_cast<double>(r.iterations);
+  if (state.items_processed() > 0 && state.real_seconds() > 0.0) {
+    r.has_items = true;
+    r.items_per_second =
+        static_cast<double>(state.items_processed()) / state.real_seconds();
+  }
+  r.counters = state.counters;
+  return r;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// %FT%T%z with the ':' glibc omits, matching google-benchmark's date format.
+std::string iso8601_now() {
+  char buf[64];
+  time_t t = time(nullptr);
+  struct tm tm_buf;
+  localtime_r(&t, &tm_buf);
+  strftime(buf, sizeof(buf), "%FT%T%z", &tm_buf);
+  std::string s(buf);
+  if (s.size() >= 5) s.insert(s.size() - 2, ":");
+  return s;
+}
+
+int read_mhz_per_cpu() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("cpu MHz", 0) == 0) {
+      const std::size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        return static_cast<int>(std::lround(std::stod(line.substr(colon + 1))));
+      }
+    }
+  }
+  return 0;
+}
+
+void print_json(const std::vector<RunResult>& results) {
+  char host[256] = {0};
+  gethostname(host, sizeof(host) - 1);
+  double load[3] = {0, 0, 0};
+  getloadavg(load, 3);
+  std::printf("{\n");
+  std::printf("  \"context\": {\n");
+  std::printf("    \"date\": \"%s\",\n", iso8601_now().c_str());
+  std::printf("    \"host_name\": \"%s\",\n", json_escape(host).c_str());
+  std::printf("    \"executable\": \"%s\",\n",
+              json_escape(options().executable).c_str());
+  std::printf("    \"num_cpus\": %u,\n", std::thread::hardware_concurrency());
+  std::printf("    \"mhz_per_cpu\": %d,\n", read_mhz_per_cpu());
+  std::printf("    \"cpu_scaling_enabled\": false,\n");
+  std::printf("    \"caches\": [\n    ],\n");
+  std::printf("    \"load_avg\": [%g,%g,%g],\n", load[0], load[1], load[2]);
+  std::printf("    \"library_build_type\": \"%s\"\n", kLibraryBuildType);
+  std::printf("  },\n");
+  std::printf("  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::printf("    {\n");
+    std::printf("      \"name\": \"%s\",\n", json_escape(r.name).c_str());
+    std::printf("      \"family_index\": %zu,\n", r.family_index);
+    std::printf("      \"per_family_instance_index\": %zu,\n",
+                r.instance_index);
+    std::printf("      \"run_name\": \"%s\",\n", json_escape(r.name).c_str());
+    std::printf("      \"run_type\": \"iteration\",\n");
+    std::printf("      \"repetitions\": 1,\n");
+    std::printf("      \"repetition_index\": 0,\n");
+    std::printf("      \"threads\": 1,\n");
+    std::printf("      \"iterations\": %lld,\n",
+                static_cast<long long>(r.iterations));
+    std::printf("      \"real_time\": %.9g,\n", r.real_time);
+    std::printf("      \"cpu_time\": %.9g,\n", r.cpu_time);
+    std::printf("      \"time_unit\": \"%s\"", unit_suffix(r.unit));
+    if (r.has_items) {
+      std::printf(",\n      \"items_per_second\": %.9g", r.items_per_second);
+    }
+    for (const auto& [key, value] : r.counters) {
+      std::printf(",\n      \"%s\": %.9g", json_escape(key).c_str(), value);
+    }
+    std::printf("\n    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  ]\n");
+  std::printf("}\n");
+}
+
+void print_console(const std::vector<RunResult>& results) {
+  std::printf("%-52s %16s %16s %12s\n", "Benchmark", "Time", "CPU",
+              "Iterations");
+  std::printf("%s\n", std::string(100, '-').c_str());
+  for (const RunResult& r : results) {
+    const char* unit = unit_suffix(r.unit);
+    std::printf("%-52s %13.0f %s %13.0f %s %12lld\n", r.name.c_str(),
+                r.real_time, unit, r.cpu_time, unit,
+                static_cast<long long>(r.iterations));
+  }
+}
+
+}  // namespace
+
+void State::start_timing() {
+  cpu_start_ = now_cpu_seconds();
+  real_start_ = now_realtime_seconds();
+}
+
+void State::finish_timing() {
+  real_seconds_ = now_realtime_seconds() - real_start_;
+  cpu_seconds_ = now_cpu_seconds() - cpu_start_;
+}
+
+namespace internal {
+
+Benchmark* RegisterBenchmarkInternal(Benchmark* family) {
+  registry().emplace_back(family);
+  return family;
+}
+
+}  // namespace internal
+
+void Initialize(int* argc, char** argv) {
+  options().executable = (*argc > 0) ? argv[0] : "";
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      const std::size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value_of("--benchmark_format=")) {
+      options().format = v;
+    } else if (const char* v = value_of("--benchmark_min_time=")) {
+      options().min_time = std::strtod(v, nullptr);  // tolerates "0.2s"
+    } else if (const char* v = value_of("--benchmark_filter=")) {
+      options().filter = v;
+    } else {
+      argv[out++] = argv[i];  // leave unrecognized args for the caller
+    }
+  }
+  *argc = out;
+}
+
+bool ReportUnrecognizedArguments(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::fprintf(stderr, "error: unrecognized command-line flag: %s\n",
+                 argv[i]);
+  }
+  return argc > 1;
+}
+
+std::size_t RunSpecifiedBenchmarks() {
+  std::vector<RunResult> results;
+  const std::regex filter(options().filter.empty() ? ".*" : options().filter);
+  for (std::size_t f = 0; f < registry().size(); ++f) {
+    const internal::Benchmark& family = *registry()[f];
+    std::vector<std::vector<std::int64_t>> instances = family.instances();
+    if (instances.empty()) instances.push_back({});
+    std::size_t instance_index = 0;
+    for (const auto& args : instances) {
+      if (!std::regex_search(instance_name(family, args), filter)) continue;
+      RunResult r = run_instance(family, args);
+      r.family_index = f;
+      r.instance_index = instance_index++;
+      results.push_back(std::move(r));
+    }
+  }
+  if (options().format == "json") {
+    print_json(results);
+  } else {
+    print_console(results);
+  }
+  return results.size();
+}
+
+void Shutdown() {}
+
+}  // namespace benchmark
