@@ -10,6 +10,11 @@
 // threads is the signal that sessions really share the plan without
 // synchronizing.
 //
+// A final hot-swap scenario loads a second version of a model while T
+// closed-loop threads keep serving (acquire / try_invoke / release per
+// request): the row locks in zero failed requests across the swap and
+// reports the swap window's p99 latency against the pre-swap steady state.
+//
 // Emits google-benchmark-shaped JSON on stdout (context + benchmarks[])
 // so bench/run_benches.sh can digest and stamp BENCH_serving.json with the
 // same tooling as the gbench harnesses. Pass --quick for a CI smoke run.
@@ -109,6 +114,134 @@ Row serve(Engine& engine, const std::string& model_name, int threads,
   return row;
 }
 
+// --- hot-swap under load -----------------------------------------------------
+
+struct HotSwapRow {
+  std::string name;
+  int threads = 0;
+  std::int64_t requests = 0;
+  std::int64_t failed_requests = 0;
+  std::int64_t empty_leases = 0;
+  double mean_us = 0.0;
+  double steady_p99_us = 0.0;       // before the swap started
+  double swap_window_p99_us = 0.0;  // completed while the swap was in flight
+  double swap_load_ms = 0.0;        // wall clock of the load() call itself
+  std::uint64_t versions_retired = 0;
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+// Closed-loop serving with a mid-run hot swap: T workers acquire / try_invoke
+// / release per request (the full pool round trip, so the swap's drain logic
+// is on the request path) while the main thread loads a new version of the
+// same name. Every request must succeed; the row reports tail latency inside
+// the swap window against the pre-swap steady state.
+HotSwapRow hotswap_scenario(const std::string& model_name, Graph graph_v1,
+                            Graph graph_v2, const Tensor& input, int threads,
+                            bool quick) {
+  struct Sample {
+    double end_us = 0.0;  // completion time, relative to run start
+    double latency_us = 0.0;
+  };
+  const double warm_ms = quick ? 40.0 : 250.0;
+  const double tail_ms = quick ? 40.0 : 250.0;
+
+  BuiltinOpResolver resolver;
+  Engine engine(&resolver);
+  engine.load(model_name, std::move(graph_v1));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> failed{0};
+  std::atomic<std::int64_t> empty{0};
+  std::vector<std::vector<Sample>> samples(
+      static_cast<std::size_t>(threads));
+  const auto run_start = Clock::now();
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    std::vector<Sample>* out = &samples[static_cast<std::size_t>(t)];
+    out->reserve(1 << 16);
+    workers.emplace_back([&, out] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto req_start = Clock::now();
+        SessionLease lease = engine.try_acquire(model_name);
+        if (!lease) {
+          empty.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        lease->set_input(0, input);
+        const InvokeStatus status = lease->try_invoke();
+        const auto req_end = Clock::now();
+        if (!status.ok()) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        Sample s;
+        s.end_us =
+            std::chrono::duration<double, std::micro>(req_end - run_start)
+                .count();
+        s.latency_us =
+            std::chrono::duration<double, std::micro>(req_end - req_start)
+                .count();
+        out->push_back(s);
+      }
+    });
+  }
+
+  // Steady state, then the swap, then a post-swap tail.
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(warm_ms));
+  const auto swap_begin = Clock::now();
+  engine.load(model_name, std::move(graph_v2));
+  const auto swap_end = Clock::now();
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(tail_ms));
+  stop.store(true);
+  for (std::thread& w : workers) w.join();
+
+  const double swap_begin_us =
+      std::chrono::duration<double, std::micro>(swap_begin - run_start)
+          .count();
+  const double swap_end_us =
+      std::chrono::duration<double, std::micro>(swap_end - run_start).count();
+
+  HotSwapRow row;
+  row.threads = threads;
+  row.failed_requests = failed.load();
+  row.empty_leases = empty.load();
+  row.swap_load_ms = (swap_end_us - swap_begin_us) / 1000.0;
+  row.versions_retired = engine.pool_stats(model_name).versions_retired;
+
+  std::vector<double> steady, swap_window;
+  double latency_sum = 0.0;
+  for (const std::vector<Sample>& per_thread : samples) {
+    row.requests += static_cast<std::int64_t>(per_thread.size());
+    for (const Sample& s : per_thread) {
+      latency_sum += s.latency_us;
+      if (s.end_us < swap_begin_us) {
+        steady.push_back(s.latency_us);
+      } else if (s.end_us <= swap_end_us) {
+        swap_window.push_back(s.latency_us);
+      }
+    }
+  }
+  row.mean_us =
+      row.requests > 0 ? latency_sum / static_cast<double>(row.requests) : 0.0;
+  row.steady_p99_us = percentile(steady, 0.99);
+  row.swap_window_p99_us = percentile(swap_window, 0.99);
+  // An empty swap window (the load outpaced every in-flight request) is
+  // healthy; report the steady tail so the column is never misleadingly 0.
+  if (swap_window.empty()) row.swap_window_p99_us = row.steady_p99_us;
+  return row;
+}
+
 int run(bool quick) {
   // Serving sweep: a classification model in both dtypes. Sessions run
   // single-threaded kernels (num_threads=1) so thread scaling comes from
@@ -179,6 +312,34 @@ int run(bool quick) {
     }
   }
 
+  // Hot-swap under load: version 2 of the same zoo model (different weight
+  // seed) is loaded while T closed-loop threads keep serving. The row locks
+  // in zero failed requests and reports the swap window's p99 against the
+  // steady state.
+  const int swap_threads = static_cast<int>(std::min(4u, hw));
+  HotSwapRow swap_row;
+  {
+    const ZooEntry* entry = nullptr;
+    for (const ZooEntry& e : image_zoo()) {
+      if (e.name == "mobilenet_v1_mini") entry = &e;
+    }
+    MLX_CHECK(entry != nullptr);
+    Graph v1 = convert_for_inference(entry->build(kSeed, 1).model);
+    Graph v2 = convert_for_inference(entry->build(kSeed + 1, 1).model);
+    Tensor input = random_model_input(v1, kSeed + 7);
+    swap_row = hotswap_scenario("mobilenet_v1_mini/f32", std::move(v1),
+                                std::move(v2), input, swap_threads, quick);
+    swap_row.name = "hotswap/mobilenet_v1_mini/f32/t" +
+                    std::to_string(swap_threads);
+    std::fprintf(stderr,
+                 "%-44s steady p99 %.1f us, swap-window p99 %.1f us, "
+                 "%lld requests, %lld failed\n",
+                 swap_row.name.c_str(), swap_row.steady_p99_us,
+                 swap_row.swap_window_p99_us,
+                 static_cast<long long>(swap_row.requests),
+                 static_cast<long long>(swap_row.failed_requests));
+  }
+
   // google-benchmark-shaped JSON so run_benches.sh digests it unchanged.
   std::printf("{\n");
   std::printf("  \"context\": {\n");
@@ -206,7 +367,29 @@ int run(bool quick) {
                 r.activation_kb);
     std::printf("      \"gemm_b_pack_events_during_serve\": %llu\n",
                 static_cast<unsigned long long>(r.pack_events_during_serve));
-    std::printf("    }%s\n", i + 1 == rows.size() ? "" : ",");
+    std::printf("    },\n");
+  }
+  {
+    const HotSwapRow& r = swap_row;
+    std::printf("    {\n");
+    std::printf("      \"name\": \"%s\",\n", r.name.c_str());
+    std::printf("      \"run_type\": \"iteration\",\n");
+    std::printf("      \"iterations\": %lld,\n",
+                static_cast<long long>(r.requests));
+    std::printf("      \"real_time\": %.4f,\n", r.mean_us);
+    std::printf("      \"cpu_time\": %.4f,\n", r.mean_us);
+    std::printf("      \"time_unit\": \"us\",\n");
+    std::printf("      \"threads\": %d,\n", r.threads);
+    std::printf("      \"failed_requests\": %lld,\n",
+                static_cast<long long>(r.failed_requests));
+    std::printf("      \"empty_leases\": %lld,\n",
+                static_cast<long long>(r.empty_leases));
+    std::printf("      \"steady_p99_us\": %.2f,\n", r.steady_p99_us);
+    std::printf("      \"swap_window_p99_us\": %.2f,\n", r.swap_window_p99_us);
+    std::printf("      \"swap_load_ms\": %.3f,\n", r.swap_load_ms);
+    std::printf("      \"versions_retired\": %llu\n",
+                static_cast<unsigned long long>(r.versions_retired));
+    std::printf("    }\n");
   }
   std::printf("  ]\n}\n");
   return 0;

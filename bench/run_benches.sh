@@ -158,8 +158,12 @@ path = sys.argv[1]
 with open(path) as f:
     data = json.load(f)
 rows = {}
+hotswap = []
 for b in data.get("benchmarks", []):
-    _, model, dtype, t = b["name"].split("/")
+    kind, model, dtype, t = b["name"].split("/")
+    if kind == "hotswap":
+        hotswap.append(b)
+        continue
     rows.setdefault(f"{model}/{dtype}", {})[int(t.lstrip("t"))] = b
 scaling = {}
 print(f"{'model/dtype':32s} {'t1 inv/s':>10s}  scaling(t2,t4,...)  prepared_kb")
@@ -175,7 +179,22 @@ for key, by_t in sorted(rows.items()):
     scaling[key] = rel
     cells = ", ".join(f"t{t}:{r:.2f}x" for t, r in rel.items() if t != min(by_t))
     print(f"{key:32s} {base['invokes_per_second']:10.0f}  {cells:18s}  {base['prepared_kb']:.1f}")
+swap = {}
+for b in hotswap:
+    assert b["failed_requests"] == 0, \
+        f"{b['name']}: requests failed during the hot swap"
+    swap[b["name"]] = {
+        "steady_p99_us": b["steady_p99_us"],
+        "swap_window_p99_us": b["swap_window_p99_us"],
+        "swap_load_ms": b["swap_load_ms"],
+        "requests": b["iterations"],
+        "failed_requests": b["failed_requests"],
+    }
+    print(f"{b['name']:32s} swap-window p99 {b['swap_window_p99_us']:.0f}us "
+          f"(steady {b['steady_p99_us']:.0f}us), "
+          f"load {b['swap_load_ms']:.1f}ms, 0 failed")
 data.setdefault("context", {})["mlexray_serving_scaling"] = scaling
+data["context"]["mlexray_hotswap"] = swap
 with open(path, "w") as f:
     json.dump(data, f, indent=1)
     f.write("\n")

@@ -140,9 +140,18 @@ TensorDigest digest_tensor(const Tensor& raw) {
 // per-layer stats (raw dtype captures dequantized through the offline
 // to_f32 path), and the overhead scalars aggregated across frames.
 int cmd_trace_info(const std::string& path) {
-  Trace trace = load_trace(path);
+  // Tolerant load: a device killed mid-recording leaves a crash-safe prefix
+  // plus at most one torn tail frame — digest what is readable instead of
+  // refusing the whole file.
+  std::size_t truncated = 0;
+  Trace trace = load_trace_tolerant(path, &truncated);
   std::printf("pipeline: %s\nframes:   %zu\n", trace.pipeline_name.c_str(),
               trace.frames.size());
+  if (truncated != 0) {
+    std::printf("warning:  truncated trace — %zu frame(s) promised by the "
+                "header were torn or missing (killed writer?)\n",
+                truncated);
+  }
   if (trace.frames.empty()) return 0;
 
   // Aggregate over the union of scalar keys: a key may first appear after
@@ -226,10 +235,23 @@ int cmd_trace_info(const std::string& path) {
 // per frame — the prepare-once/serve-many path a deployment daemon uses.
 int cmd_serve(const std::string& model_name, int threads, int frames) {
   using Clock = std::chrono::steady_clock;
-  MLX_CHECK(threads > 0 && frames > 0)
-      << "serve needs positive <threads> and <frames-per-thread>, got "
-      << threads << " and " << frames;
-  Graph graph = trained_image_checkpoint(model_name);
+  if (threads <= 0 || frames <= 0) {
+    std::fprintf(stderr,
+                 "serve: <threads> and <frames-per-thread> must be positive, "
+                 "got %d and %d\n",
+                 threads, frames);
+    return 1;
+  }
+  // A daemon must report a bad model name, not crash: resolve the
+  // checkpoint up front and translate the failure into a usage message.
+  Graph graph;
+  try {
+    graph = trained_image_checkpoint(model_name);
+  } catch (const MlxError& e) {
+    std::fprintf(stderr, "serve: cannot load model '%s': %s\n",
+                 model_name.c_str(), e.what());
+    return 1;
+  }
   // Production path: the optimized resolver's prepare hooks pack weights at
   // load, so prepared bytes below show what the sessions share.
   BuiltinOpResolver resolver;
@@ -247,16 +269,28 @@ int cmd_serve(const std::string& model_name, int threads, int frames) {
   Tensor input = run_image_pipeline(sensors[0].image_u8, correct);
 
   std::atomic<std::int64_t> total_invokes{0};
+  std::atomic<std::int64_t> failed_invokes{0};
   const auto serve_start = Clock::now();
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&] {
+      // Guarded serving loop: try_acquire + try_invoke never unwind, so a
+      // bad name or a contained kernel failure is a counted outcome, not a
+      // crashed daemon.
       for (int f = 0; f < frames; ++f) {
-        SessionLease lease = engine.acquire(model_name);
+        SessionLease lease = engine.try_acquire(model_name);
+        if (!lease) {
+          failed_invokes.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
         lease->set_input(0, input);
-        lease->invoke();
-        total_invokes.fetch_add(1, std::memory_order_relaxed);
+        const InvokeStatus status = lease->try_invoke();
+        if (status.ok()) {
+          total_invokes.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed_invokes.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     });
   }
@@ -275,6 +309,13 @@ int cmd_serve(const std::string& model_name, int threads, int frames) {
   std::printf("throughput:       %.1f invokes/s (%lld invokes in %.2f s)\n",
               static_cast<double>(total_invokes.load()) / serve_s,
               static_cast<long long>(total_invokes.load()), serve_s);
+  if (failed_invokes.load() != 0) {
+    std::printf("failed requests:  %lld (contained; %llu invoke errors, %zu "
+                "sessions destroyed)\n",
+                static_cast<long long>(failed_invokes.load()),
+                static_cast<unsigned long long>(stats.invoke_errors),
+                stats.sessions_destroyed);
+  }
   return 0;
 }
 

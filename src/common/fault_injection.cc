@@ -1,0 +1,123 @@
+#include "src/common/fault_injection.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/error.h"
+
+namespace mlexray {
+namespace fault {
+
+namespace {
+
+struct Site {
+  std::string name;
+  Spec spec;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+// Number of armed sites; the fast-path gate. Written only under g_mu.
+std::atomic<int> g_armed{0};
+
+std::mutex& mu() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+std::vector<Site>& sites() {
+  static std::vector<Site>* s = new std::vector<Site>;
+  return *s;
+}
+
+Site* find_locked(const std::string& name) {
+  for (Site& s : sites()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool enabled() { return g_armed.load(std::memory_order_relaxed) != 0; }
+
+bool check(const char* site) {
+  if (!enabled()) return false;
+  Kind kind;
+  int delay_ms = 0;
+  std::string message;
+  {
+    std::lock_guard<std::mutex> lock(mu());
+    Site* s = find_locked(site);
+    if (s == nullptr) return false;
+    const std::uint64_t hit = s->hits++;
+    if (hit < s->spec.skip) return false;
+    if (s->spec.max_fires >= 0 &&
+        s->fires >= static_cast<std::uint64_t>(s->spec.max_fires)) {
+      return false;
+    }
+    ++s->fires;
+    kind = s->spec.kind;
+    delay_ms = s->spec.delay_ms;
+    if (kind == Kind::kThrow) message = s->spec.message + " at " + site;
+  }
+  // Act outside the lock: a throw must not leave it held via stack unwind
+  // ordering surprises, and a sleep must not serialize other sites.
+  switch (kind) {
+    case Kind::kThrow:
+      throw MlxError(message);
+    case Kind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return false;
+    case Kind::kNanPoke:
+      return true;
+  }
+  return false;
+}
+
+void arm(const std::string& site, Spec spec) {
+  std::lock_guard<std::mutex> lock(mu());
+  if (Site* s = find_locked(site)) {
+    s->spec = std::move(spec);
+    s->hits = 0;
+    s->fires = 0;
+    return;
+  }
+  sites().push_back(Site{site, std::move(spec), 0, 0});
+  g_armed.store(static_cast<int>(sites().size()), std::memory_order_relaxed);
+}
+
+void disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu());
+  auto& v = sites();
+  for (auto it = v.begin(); it != v.end(); ++it) {
+    if (it->name == site) {
+      v.erase(it);
+      break;
+    }
+  }
+  g_armed.store(static_cast<int>(v.size()), std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  std::lock_guard<std::mutex> lock(mu());
+  sites().clear();
+  g_armed.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t hit_count(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu());
+  const Site* s = find_locked(site);
+  return s != nullptr ? s->hits : 0;
+}
+
+std::uint64_t fire_count(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu());
+  const Site* s = find_locked(site);
+  return s != nullptr ? s->fires : 0;
+}
+
+}  // namespace fault
+}  // namespace mlexray

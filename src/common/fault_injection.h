@@ -1,0 +1,85 @@
+// Fault injection: named fault points for exercising failure paths that
+// production traffic cannot reach on demand.
+//
+// A fault *site* is a string name compiled into the runtime at the places
+// failures originate (kernel entry, the session's plan walk, plan prepare,
+// the trace spooler's write loop). Tests *arm* a site with a FaultSpec —
+// throw an MlxError, stall the step for a fixed delay, or poke a NaN into
+// the step's output — then drive ordinary serving traffic through it and
+// assert the containment story: statuses surface on the right lease,
+// poisoned sessions never re-pool, the engine keeps serving.
+//
+// Hot-path cost when nothing is armed is a single relaxed atomic load
+// (fault::enabled()); sites are expected to guard with it:
+//
+//   if (fault::enabled() && fault::check(fault_sites::kInvokeOutput)) {
+//     /* a kNanPoke fired: corrupt the payload the site owns */
+//   }
+//
+// check() handles kThrow (throws MlxError from the fault point) and kDelay
+// (sleeps) internally; kNanPoke is returned to the caller because only the
+// site knows which buffer to corrupt. Arm/disarm and trigger bookkeeping are
+// mutex-protected so concurrent serving threads and a chaos-driver thread
+// can race freely (the chaos test runs this under TSan).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace mlexray {
+namespace fault {
+
+enum class Kind {
+  kThrow,    // throw MlxError from the fault point
+  kDelay,    // sleep delay_ms at the fault point (deadline testing)
+  kNanPoke,  // report "fired" so the site corrupts its payload with NaN
+};
+
+struct Spec {
+  Kind kind = Kind::kThrow;
+  int delay_ms = 0;             // kDelay only
+  std::uint64_t skip = 0;       // let this many hits pass before firing
+  std::int64_t max_fires = -1;  // stop firing after this many (-1 = forever)
+  std::string message = "injected fault";  // kThrow's MlxError text
+};
+
+// True iff any site is armed. Relaxed load; sites use it to keep the
+// disarmed steady state allocation- and lock-free.
+bool enabled();
+
+// The fault point. Counts a hit for `site`; if an armed spec elects to fire:
+// kThrow throws MlxError(spec.message + site), kDelay sleeps, kNanPoke
+// returns true. Returns false otherwise.
+bool check(const char* site);
+
+// Arms `site` with `spec`, replacing any previous arming (hit/fire counters
+// reset). Thread-safe.
+void arm(const std::string& site, Spec spec);
+void disarm(const std::string& site);
+void disarm_all();
+
+// Observability for tests: hits = times the (armed) site was reached,
+// fires = times it actually fired. Both reset at arm(); zero for unknown
+// sites.
+std::uint64_t hit_count(const std::string& site);
+std::uint64_t fire_count(const std::string& site);
+
+}  // namespace fault
+
+// Canonical site names. Keep in one place so tests and wired code never
+// drift on spelling.
+namespace fault_sites {
+// Before each prepared step of Session::try_invoke/invoke (throw/delay).
+inline constexpr const char* kInvokeStep = "invoke.step";
+// After each prepared step, owning the step's output tensor (NaN poke).
+inline constexpr const char* kInvokeOutput = "invoke.output";
+// Entry of the f32 GEMM kernel — a real kernel-level failure origin.
+inline constexpr const char* kKernelGemm = "kernel.gemm";
+// ExecutionPlan construction, before prepare hooks run (load-failure tests).
+inline constexpr const char* kPlanPrepare = "plan.prepare";
+// TraceBuffer spool worker, before each batch write.
+inline constexpr const char* kSpoolWrite = "spool.write";
+}  // namespace fault_sites
+
+}  // namespace mlexray

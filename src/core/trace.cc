@@ -117,4 +117,29 @@ Trace load_trace(const std::filesystem::path& path) {
   return deserialize_trace(read_file(path));
 }
 
+Trace load_trace_tolerant(const std::filesystem::path& path,
+                          std::size_t* truncated_frames) {
+  BinaryReader r(read_file(path));
+  MLX_CHECK_EQ(r.read_u32(), kTraceMagic) << "not an mlxtrace file";
+  Trace trace;
+  trace.pipeline_name = r.read_string();
+  const std::uint32_t promised = r.read_u32();
+  trace.frames.reserve(promised);
+  std::size_t truncated = 0;
+  for (std::uint32_t i = 0; i < promised; ++i) {
+    // A torn tail frame (killed writer) fails its bounds-checked reads;
+    // everything parsed before it is a valid prefix. Deserialization
+    // happens into a scratch frame so a partial parse never reaches the
+    // returned trace.
+    try {
+      trace.frames.push_back(deserialize_frame(r));
+    } catch (const MlxError&) {
+      truncated = promised - i;
+      break;
+    }
+  }
+  if (truncated_frames != nullptr) *truncated_frames = truncated;
+  return trace;
+}
+
 }  // namespace mlexray

@@ -62,6 +62,18 @@ Trace deserialize_trace(const std::vector<std::uint8_t>& bytes);
 void save_trace(const Trace& trace, const std::filesystem::path& path);
 Trace load_trace(const std::filesystem::path& path);
 
+// Tolerant load for traces from a crashed or killed writer: the spooler
+// re-patches the header count per batch, so a dead process leaves a valid
+// prefix plus at most one torn tail frame. Reads frames until the header
+// count is satisfied or a frame fails to parse, drops the torn tail, and
+// reports how many frames the header promised but the file could not
+// deliver via *truncated_frames (0 for an intact file). Still throws
+// MlxError when the file is not an mlxtrace at all (bad magic / unreadable
+// header). trace-info uses this so a truncated device log is inspectable
+// instead of an error.
+Trace load_trace_tolerant(const std::filesystem::path& path,
+                          std::size_t* truncated_frames = nullptr);
+
 // Frame-level framing, shared by the whole-trace (de)serializers above and
 // the TraceBuffer spooler, which streams frames into a .mlxtrace file as
 // they are captured (same on-disk format, frame count patched at close).

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/common/fault_injection.h"
 #include "src/common/file_io.h"
 #include "src/graph/serialization.h"
 #include "src/interpreter/interpreter.h"
@@ -272,6 +273,11 @@ std::size_t TraceBuffer::max_spool_batch() const {
   return max_spool_batch_;
 }
 
+std::size_t TraceBuffer::spooled_frames() const {
+  std::lock_guard<std::mutex> lock(spool_mu_);
+  return spool_frames_;
+}
+
 Trace TraceBuffer::take_trace() {
   Trace out = std::move(trace_);
   trace_ = Trace{};
@@ -301,7 +307,7 @@ void TraceBuffer::open_spool(const std::filesystem::path& path) {
   spool_queue_.reserve(frames_.size());
   spool_batch_.reserve(frames_.size());
   // Same header save_trace writes; the frame count starts at 0 and is
-  // patched at close_spool().
+  // re-patched after every batch write (crash safety) and at close_spool().
   BinaryWriter header;
   {
     Trace empty;
@@ -358,6 +364,7 @@ void TraceBuffer::spool_worker() {
       }
     }
     try {
+      if (fault::enabled()) fault::check(fault_sites::kSpoolWrite);
       BinaryWriter w;
       for (const CaptureFrame* frame : spool_batch_) {
         serialize_frame(w, to_frame_trace(*frame));
@@ -365,6 +372,22 @@ void TraceBuffer::spool_worker() {
       spool_out_.write(reinterpret_cast<const char*>(w.bytes().data()),
                        static_cast<std::streamsize>(w.size()));
       MLX_CHECK(spool_out_.good()) << "spool write failed";
+      // Crash safety: re-patch the header's frame count after every batch
+      // (one small extra write per wakeup) and flush, so a killed process
+      // leaves a readable .mlxtrace holding every fully-written frame —
+      // only a torn tail frame is possible, and load_trace_tolerant drops
+      // it. Without this the count would say 0 until close_spool().
+      const std::streamoff end = spool_out_.tellp();
+      BinaryWriter count;
+      count.write_u32(
+          static_cast<std::uint32_t>(spool_frames_ + spool_batch_.size()));
+      spool_out_.seekp(static_cast<std::streamoff>(spool_count_offset_));
+      spool_out_.write(reinterpret_cast<const char*>(count.bytes().data()),
+                       static_cast<std::streamsize>(count.size()));
+      spool_out_.seekp(end);
+      spool_out_.flush();
+      MLX_CHECK(spool_out_.good()) << "spool header patch failed";
+      std::lock_guard<std::mutex> lock(spool_mu_);
       spool_frames_ += spool_batch_.size();
     } catch (const std::exception& e) {
       // Any escape (MlxError, bad_alloc, ...) would std::terminate the

@@ -132,6 +132,10 @@ class TraceBuffer : public InvokeObserver {
   // header, and rethrows any spooler IO error. Returns frames written.
   std::size_t close_spool();
   bool spooling() const { return spool_thread_.joinable(); }
+  // Frames the worker has durably written (header re-patched + flushed):
+  // the crash-safe prefix of the spool file. Everything up to this count is
+  // readable even if the process dies before close_spool().
+  std::size_t spooled_frames() const;
 
   // --- retained trace -------------------------------------------------------
   const Trace& trace() const { return trace_; }

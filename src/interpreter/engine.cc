@@ -1,5 +1,7 @@
 #include "src/interpreter/engine.h"
 
+#include <algorithm>
+
 namespace mlexray {
 
 namespace {
@@ -10,9 +12,10 @@ SessionLease& SessionLease::operator=(SessionLease&& other) noexcept {
   if (this != &other) {
     release();
     engine_ = other.engine_;
-    entry_index_ = other.entry_index_;
+    version_ = other.version_;
     session_ = other.session_;
     other.engine_ = nullptr;
+    other.version_ = nullptr;
     other.session_ = nullptr;
   }
   return *this;
@@ -20,10 +23,15 @@ SessionLease& SessionLease::operator=(SessionLease&& other) noexcept {
 
 void SessionLease::release() {
   if (engine_ != nullptr && session_ != nullptr) {
-    engine_->release(entry_index_, session_);
+    engine_->release(version_, session_);
   }
   engine_ = nullptr;
+  version_ = nullptr;
   session_ = nullptr;
+}
+
+std::uint64_t SessionLease::version() const {
+  return version_ != nullptr ? version_->version_id : 0;
 }
 
 Engine::Engine(const OpResolver* resolver, int num_threads)
@@ -31,82 +39,248 @@ Engine::Engine(const OpResolver* resolver, int num_threads)
   MLX_CHECK(resolver != nullptr);
 }
 
-std::size_t Engine::find_locked(const std::string& name) const {
+Engine::~Engine() = default;
+
+std::size_t Engine::find_entry_locked(const std::string& name) const {
   for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (entries_[i]->name == name) return i;
+    if (!entries_[i]->unloaded && entries_[i]->name == name) return i;
   }
   return kNpos;
+}
+
+Engine::Version* Engine::serving_version_locked(
+    const std::string& name) const {
+  const std::size_t i = find_entry_locked(name);
+  if (i == kNpos) return nullptr;
+  // A visible (non-unloaded) entry always has a serving back version: drain
+  // only happens on hot-swap (which pushes the replacement first) or on
+  // unload (which hides the entry).
+  return entries_[i]->versions.back().get();
+}
+
+std::size_t Engine::prepared_bytes_total_locked() const {
+  std::size_t total = 0;
+  for (const auto& entry : entries_) {
+    for (const auto& version : entry->versions) {
+      total += version->model->prepared_bytes();
+    }
+  }
+  return total;
 }
 
 const Model& Engine::load(const std::string& name, Graph graph) {
   // Build the model outside the lock: Prepare (weight packing) is the
   // expensive step and must not serialize against concurrent acquires of
-  // already-loaded models.
+  // already-loaded models. A build failure (bad graph, injected
+  // plan.prepare fault) propagates here, before the registry is touched —
+  // the previous version keeps serving.
   auto model = std::make_unique<Model>(std::move(graph), resolver_,
                                        num_threads_);
+
   std::lock_guard<std::mutex> lock(mu_);
-  MLX_CHECK(find_locked(name) == kNpos)
-      << "model '" << name << "' already loaded";
-  auto entry = std::make_unique<Entry>();
-  entry->name = name;
-  entry->model = std::move(model);
-  entries_.push_back(std::move(entry));
-  return *entries_.back()->model;
+  const std::size_t entry_index = find_entry_locked(name);
+  Entry* entry = entry_index == kNpos ? nullptr : entries_[entry_index].get();
+  Version* replaced =
+      entry != nullptr ? entry->versions.back().get() : nullptr;
+
+  if (prepared_budget_ != 0) {
+    // Steady-state residency check: what the registry would hold once the
+    // swap retires everything it can retire immediately.
+    const std::size_t reclaimed =
+        (replaced != nullptr && replaced->leases_outstanding == 0)
+            ? replaced->model->prepared_bytes()
+            : 0;
+    const std::size_t projected = prepared_bytes_total_locked() - reclaimed +
+                                  model->prepared_bytes();
+    MLX_CHECK_LE(projected, prepared_budget_)
+        << "loading '" << name << "' (" << model->prepared_bytes()
+        << " prepared bytes) would exceed the engine budget; unload or drain "
+           "a model first";
+  }
+
+  if (entry == nullptr) {
+    entries_.push_back(std::make_unique<Entry>());
+    entry = entries_.back().get();
+    entry->name = name;
+  }
+  auto version = std::make_unique<Version>();
+  version->entry = entry;
+  version->version_id = entry->next_version_id++;
+  version->model = std::move(model);
+  entry->versions.push_back(std::move(version));
+
+  if (replaced != nullptr) {
+    // Hot-swap: the replaced version stops taking leases and is freed as
+    // soon as the last outstanding lease releases (now, if none are out).
+    replaced->draining = true;
+    if (replaced->leases_outstanding == 0) retire_version_locked(replaced);
+  }
+  return *entry->versions.back()->model;
+}
+
+bool Engine::unload(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t i = find_entry_locked(name);
+  if (i == kNpos) return false;
+  Entry* entry = entries_[i].get();
+  entry->unloaded = true;
+  // Drain every version; retire the ones with no lease out. Iterate over a
+  // pointer snapshot because retiring erases from entry->versions (and
+  // erasing the last one frees the entry itself).
+  std::vector<Version*> versions;
+  versions.reserve(entry->versions.size());
+  for (const auto& v : entry->versions) versions.push_back(v.get());
+  for (Version* v : versions) {
+    v->draining = true;
+    if (v->leases_outstanding == 0) retire_version_locked(v);
+  }
+  return true;
 }
 
 const Model* Engine::find(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
-  const std::size_t i = find_locked(name);
-  return i == kNpos ? nullptr : entries_[i]->model.get();
+  const Version* v = serving_version_locked(name);
+  return v != nullptr ? v->model.get() : nullptr;
 }
 
-SessionLease Engine::acquire(const std::string& name) {
-  std::unique_lock<std::mutex> lock(mu_);
-  const std::size_t i = find_locked(name);
-  MLX_CHECK(i != kNpos) << "model '" << name << "' not loaded";
-  Entry& entry = *entries_[i];
+SessionLease Engine::lease_locked(Version* version) {
+  Entry& entry = *version->entry;
   ++entry.leases_issued;
-  if (!entry.free_list.empty()) {
-    Session* session = entry.free_list.back();
-    entry.free_list.pop_back();
-    return SessionLease(this, i, session);
+  ++version->leases_outstanding;
+  if (!version->free_list.empty()) {
+    Session* session = version->free_list.back();
+    version->free_list.pop_back();
+    return SessionLease(this, version, session);
   }
   // Pool miss: build a new session. Session construction only reads the
   // immutable Model, but stays under the lock so the sessions/free_list
   // bookkeeping is simple; misses only happen while the pool warms up.
-  entry.sessions.push_back(std::make_unique<Session>(entry.model.get()));
+  version->sessions.push_back(
+      std::make_unique<Session>(version->model.get()));
+  ++entry.sessions_created;
   // Reserve free-list capacity for every session ever created, so release()
   // can push_back without allocating — part of the zero-alloc steady-state
   // acquire/invoke/release contract.
-  entry.free_list.reserve(entry.sessions.size());
-  return SessionLease(this, i, entry.sessions.back().get());
+  version->free_list.reserve(version->sessions.size());
+  return SessionLease(this, version, version->sessions.back().get());
 }
 
-void Engine::release(std::size_t entry_index, Session* session) {
+SessionLease Engine::acquire(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Version* version = serving_version_locked(name);
+  MLX_CHECK(version != nullptr) << "model '" << name << "' not loaded";
+  return lease_locked(version);
+}
+
+SessionLease Engine::try_acquire(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Version* version = serving_version_locked(name);
+  if (version == nullptr) return SessionLease();
+  return lease_locked(version);
+}
+
+void Engine::retire_version_locked(Version* version) {
+  Entry& entry = *version->entry;
+  // Every remaining session sits in the free list (no leases outstanding);
+  // destroying them and the Model frees the version's activation tensors
+  // and prepared storage — the memory reclamation the drain protocol
+  // promises.
+  entry.sessions_destroyed += version->sessions.size();
+  ++entry.versions_retired;
+  for (auto it = entry.versions.begin(); it != entry.versions.end(); ++it) {
+    if (it->get() == version) {
+      entry.versions.erase(it);
+      break;
+    }
+  }
+  if (entry.unloaded && entry.versions.empty()) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->get() == &entry) {
+        entries_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+void Engine::release(Version* version, Session* session) {
   // A stale observer must not fire into a TraceBuffer the previous
   // leaseholder may have destroyed.
   session->set_observer(nullptr);
+  const bool poisoned = session->poisoned();
   std::lock_guard<std::mutex> lock(mu_);
-  MLX_CHECK_LT(entry_index, entries_.size());
-  entries_[entry_index]->free_list.push_back(session);
+  Entry& entry = *version->entry;
+  MLX_CHECK_GT(version->leases_outstanding, 0u);
+  --version->leases_outstanding;
+  if (poisoned || version->draining) {
+    // Pool-integrity rule: a poisoned session (partial activations from a
+    // contained kernel failure) is never re-leased; a draining version
+    // gives sessions back to the allocator, not the free list.
+    if (poisoned) {
+      entry.invoke_errors += session->last_stats().invoke_errors;
+    }
+    for (auto it = version->sessions.begin(); it != version->sessions.end();
+         ++it) {
+      if (it->get() == session) {
+        version->sessions.erase(it);
+        break;
+      }
+    }
+    ++entry.sessions_destroyed;
+  } else {
+    version->free_list.push_back(session);
+  }
+  if (version->draining && version->leases_outstanding == 0) {
+    retire_version_locked(version);
+  }
 }
 
 EnginePoolStats Engine::pool_stats(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
-  const std::size_t i = find_locked(name);
+  const std::size_t i = find_entry_locked(name);
   MLX_CHECK(i != kNpos) << "model '" << name << "' not loaded";
   const Entry& entry = *entries_[i];
   EnginePoolStats stats;
-  stats.sessions_created = entry.sessions.size();
-  stats.sessions_free = entry.free_list.size();
+  stats.sessions_created = entry.sessions_created;
   stats.leases_issued = entry.leases_issued;
-  stats.prepared_bytes = entry.model->prepared_bytes();
+  stats.versions_retired = entry.versions_retired;
+  stats.invoke_errors = entry.invoke_errors;
+  stats.sessions_destroyed = entry.sessions_destroyed;
+  stats.live_versions = entry.versions.size();
+  for (const auto& v : entry.versions) {
+    stats.leases_outstanding += v->leases_outstanding;
+    stats.prepared_bytes_total += v->model->prepared_bytes();
+    if (v->draining) ++stats.draining_versions;
+  }
+  const Version& serving = *entry.versions.back();
+  stats.sessions_free = serving.free_list.size();
+  stats.prepared_bytes = serving.model->prepared_bytes();
+  stats.serving_version = serving.version_id;
   return stats;
 }
 
 std::size_t Engine::model_count() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
+  std::size_t count = 0;
+  for (const auto& entry : entries_) {
+    if (!entry->unloaded) ++count;
+  }
+  return count;
+}
+
+std::size_t Engine::prepared_bytes_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return prepared_bytes_total_locked();
+}
+
+void Engine::set_prepared_budget(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  prepared_budget_ = bytes;
+}
+
+std::size_t Engine::prepared_budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return prepared_budget_;
 }
 
 }  // namespace mlexray

@@ -1,31 +1,51 @@
-// Engine: a named-model registry with a pooled session free-list — the
-// serving façade over Model/Session.
+// Engine: a named, versioned model registry with pooled sessions — the
+// serving façade over Model/Session, including the model-lifecycle story
+// (load, hot-swap, drain, unload) and the pool-integrity story for failed
+// invokes.
 //
 //   Engine engine(&resolver);
-//   engine.load("mobilenet", std::move(graph));    // prepare once
+//   engine.load("mobilenet", std::move(graph_v1));   // version 1 serves
 //   {
 //     SessionLease lease = engine.acquire("mobilenet");
 //     lease->set_input(0, input);
-//     lease->invoke();
-//     use(lease->output(0));
-//   }                                              // session returns to pool
+//     InvokeStatus s = lease->try_invoke(/*deadline_ms=*/50);
+//     if (s.ok()) use(lease->output(0));
+//   }                                                // session returns to pool
+//   engine.load("mobilenet", std::move(graph_v2));   // hot-swap: v2 serves,
+//                                                    // v1 drains
 //
-// load() builds the Model (the expensive Prepare: kernel resolution, weight
-// packing) exactly once per name. acquire() hands out a Session from a
-// per-model free list, creating one only when the list is empty — so a
-// steady-state acquire/invoke/release cycle touches no heap at all: acquire
-// pops a pointer, invoke runs the zero-alloc prepared walk, release pushes
-// the pointer back. T concurrent threads each holding a lease execute the
-// same shared plan against private arenas.
+// Versioned lifecycle. load() under an existing name registers a NEW
+// version: new acquires immediately get the latest version while every
+// outstanding lease keeps pinning the version it was issued from
+// (refcounted via leases_outstanding). The replaced version transitions
+// loading -> serving -> draining -> retired: a draining version accepts no
+// new leases, returning sessions are destroyed instead of re-pooled, and
+// when the last lease releases, the version's sessions and Model (prepared
+// storage) are freed. unload() drains every version of a name; the name
+// disappears from acquire/find immediately and memory is reclaimed as
+// leases come home. A failed load (Model build throw) leaves the previous
+// version serving untouched.
+//
+// Failure containment. Session::try_invoke poisons a session whose kernel
+// threw; release() destroys poisoned sessions instead of re-pooling them
+// (counted in EnginePoolStats::invoke_errors / sessions_destroyed), so a
+// contained fault on one lease can never leak partial activations to the
+// next leaseholder. The shared Model is read-only during invoke and always
+// survives.
+//
+// Memory accounting. Every version's Model reports prepared_bytes;
+// prepared_bytes_total() sums the live versions. An optional engine-wide
+// budget (set_prepared_budget) makes load() refuse — after retiring
+// whatever a hot-swap can retire immediately — rather than grow past the
+// budget.
 //
 // Leases are RAII: destroying (or move-assigning over) a SessionLease
 // returns the session. The engine clears the session's observer on release
-// so a stale TraceBuffer attachment never fires for the next leaseholder;
-// a monitor observing a leased session should unobserve() before the lease
-// is released (the released session may be re-leased by another thread).
+// so a stale TraceBuffer attachment never fires for the next leaseholder.
 // The Engine must outlive every lease it issued.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -35,10 +55,135 @@
 
 namespace mlexray {
 
-class Engine;
+class SessionLease;
+
+// Pool + lifecycle visibility for one model name (tests and the serving
+// benchmark assert prepare-once/serve-many, drain, and containment through
+// these). Unless noted, counters are name-wide and survive version
+// retirement.
+struct EnginePoolStats {
+  std::size_t sessions_created = 0;   // ever built, across versions
+  std::size_t sessions_free = 0;      // serving version's free list
+  std::uint64_t leases_issued = 0;    // acquire()/try_acquire() grants
+  std::size_t prepared_bytes = 0;     // serving version's Model
+  std::uint64_t serving_version = 0;  // 0 when no version serves (unloaded)
+  std::size_t live_versions = 0;      // serving + draining
+  std::size_t draining_versions = 0;
+  std::size_t leases_outstanding = 0;    // across live versions
+  std::uint64_t versions_retired = 0;    // fully drained and freed
+  std::uint64_t invoke_errors = 0;       // contained kernel failures
+  std::size_t sessions_destroyed = 0;    // poisoned + drained sessions
+  std::size_t prepared_bytes_total = 0;  // across live versions
+};
+
+class Engine {
+ public:
+  // resolver must outlive the engine. num_threads is forwarded to every
+  // Model built by load() (see Model's note: serving across threads usually
+  // wants the default 1).
+  explicit Engine(const OpResolver* resolver, int num_threads = 1);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Builds and registers a Model under `name`. A new name starts at
+  // version 1; an existing name hot-swaps: the new version serves all
+  // future acquires, the old one drains (freed when its last lease
+  // releases, immediately if none are outstanding). Throws MlxError if the
+  // prepared-bytes budget would be exceeded or the Model build fails — in
+  // both cases the previous version keeps serving. Returns the shared
+  // Model. Thread-safe.
+  const Model& load(const std::string& name, Graph graph);
+
+  // Drains every version of `name`: it immediately disappears from
+  // acquire/find/try_acquire, outstanding leases keep their pinned
+  // versions, and each version's sessions + prepared storage are freed when
+  // its last lease releases. Returns false for unknown names. The name may
+  // be load()ed again right away (starting a fresh version lineage).
+  // Thread-safe.
+  bool unload(const std::string& name);
+
+  // The serving version's model, or nullptr. Thread-safe.
+  const Model* find(const std::string& name) const;
+
+  // A session over the named model's serving version, from the free list
+  // when possible. acquire() throws MlxError for unknown (or unloaded)
+  // names; try_acquire() returns an empty lease instead, so serving front
+  // ends report "no such model" without unwinding. Thread-safe; the
+  // returned lease is for this thread.
+  SessionLease acquire(const std::string& name);
+  SessionLease try_acquire(const std::string& name);
+
+  EnginePoolStats pool_stats(const std::string& name) const;
+  std::size_t model_count() const;
+
+  // Prepared bytes across every live version of every name.
+  std::size_t prepared_bytes_total() const;
+
+  // Engine-wide ceiling on prepared_bytes_total(); 0 (default) disables the
+  // check. When a load() would exceed it — after retiring what the swap can
+  // retire immediately — the load throws and the registry is unchanged.
+  // The budget covers steady-state residency: the candidate Model is built
+  // before the check, so the transient peak can overshoot.
+  void set_prepared_budget(std::size_t bytes);
+  std::size_t prepared_budget() const;
+
+ private:
+  friend class SessionLease;
+
+  struct Entry;
+
+  // One loaded Model version and its session pool. Heap-allocated so the
+  // address is stable: leases pin their version by pointer.
+  struct Version {
+    Entry* entry = nullptr;
+    std::uint64_t version_id = 0;
+    std::unique_ptr<Model> model;
+    // Owns every session built for this version; stable pointers (the
+    // vector holds unique_ptrs). Poisoned or drained sessions are erased.
+    std::vector<std::unique_ptr<Session>> sessions;
+    std::vector<Session*> free_list;
+    std::size_t leases_outstanding = 0;
+    bool draining = false;
+  };
+
+  // One model name: its live versions (back = serving unless unloaded) and
+  // the name-wide counters that outlive version retirement.
+  struct Entry {
+    std::string name;
+    bool unloaded = false;  // hidden from find/acquire; dies with last version
+    std::vector<std::unique_ptr<Version>> versions;
+    std::uint64_t next_version_id = 1;
+    std::uint64_t leases_issued = 0;
+    std::size_t sessions_created = 0;
+    std::uint64_t versions_retired = 0;
+    std::uint64_t invoke_errors = 0;
+    std::size_t sessions_destroyed = 0;
+  };
+
+  // All helpers require mu_ held.
+  std::size_t find_entry_locked(const std::string& name) const;
+  Version* serving_version_locked(const std::string& name) const;
+  SessionLease lease_locked(Version* version);
+  void retire_version_locked(Version* version);
+  std::size_t prepared_bytes_total_locked() const;
+
+  void release(Version* version, Session* session);
+
+  const OpResolver* resolver_;
+  int num_threads_;
+  mutable std::mutex mu_;
+  // unique_ptr so Entry addresses survive vector growth and erasure of
+  // sibling entries (Versions hold Entry backpointers).
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::size_t prepared_budget_ = 0;
+};
 
 // RAII handle to a pooled Session. Move-only; the destructor returns the
-// session to the engine's free list.
+// session to the engine, which re-pools it (healthy), destroys it
+// (poisoned or version draining), and retires the pinned version when its
+// last lease comes home.
 class SessionLease {
  public:
   SessionLease() = default;
@@ -54,77 +199,21 @@ class SessionLease {
   Session* get() const { return session_; }
   explicit operator bool() const { return session_ != nullptr; }
 
+  // The model version this lease pins (1-based, per name); 0 for an empty
+  // lease. Stable for the lease's lifetime even across hot-swaps.
+  std::uint64_t version() const;
+
   // Returns the session to the pool early; the lease becomes empty.
   void release();
 
  private:
   friend class Engine;
-  SessionLease(Engine* engine, std::size_t entry_index, Session* session)
-      : engine_(engine), entry_index_(entry_index), session_(session) {}
+  SessionLease(Engine* engine, Engine::Version* version, Session* session)
+      : engine_(engine), version_(version), session_(session) {}
 
   Engine* engine_ = nullptr;
-  std::size_t entry_index_ = 0;
+  Engine::Version* version_ = nullptr;
   Session* session_ = nullptr;
-};
-
-// Pool visibility for one loaded model (tests and the serving benchmark
-// assert prepare-once/serve-many through these).
-struct EnginePoolStats {
-  std::size_t sessions_created = 0;  // total sessions ever built
-  std::size_t sessions_free = 0;     // currently in the free list
-  std::uint64_t leases_issued = 0;   // acquire() calls
-  std::size_t prepared_bytes = 0;    // shared Model prepared storage
-};
-
-class Engine {
- public:
-  // resolver must outlive the engine. num_threads is forwarded to every
-  // Model built by load() (see Model's note: serving across threads usually
-  // wants the default 1).
-  explicit Engine(const OpResolver* resolver, int num_threads = 1);
-
-  Engine(const Engine&) = delete;
-  Engine& operator=(const Engine&) = delete;
-
-  // Builds and registers a Model under `name` (which must be new), moving
-  // the graph in so the engine owns the artifact end to end. Returns the
-  // shared Model. Thread-safe.
-  const Model& load(const std::string& name, Graph graph);
-
-  // The loaded model, or nullptr. Thread-safe.
-  const Model* find(const std::string& name) const;
-
-  // A session over the named model, from the free list when possible.
-  // Throws MlxError for unknown names. Thread-safe; the returned lease is
-  // for this thread.
-  SessionLease acquire(const std::string& name);
-
-  EnginePoolStats pool_stats(const std::string& name) const;
-  std::size_t model_count() const;
-
- private:
-  friend class SessionLease;
-
-  struct Entry {
-    std::string name;
-    std::unique_ptr<Model> model;
-    // Owns every session ever created for this model; sessions are never
-    // destroyed while the engine lives, so lease pointers stay stable.
-    std::vector<std::unique_ptr<Session>> sessions;
-    std::vector<Session*> free_list;
-    std::uint64_t leases_issued = 0;
-  };
-
-  // Index into entries_ or npos; caller must hold mu_.
-  std::size_t find_locked(const std::string& name) const;
-  void release(std::size_t entry_index, Session* session);
-
-  const OpResolver* resolver_;
-  int num_threads_;
-  mutable std::mutex mu_;
-  // unique_ptr so Entry addresses survive vector growth (leases index by
-  // position, but stats readers take Entry pointers under the lock).
-  std::vector<std::unique_ptr<Entry>> entries_;
 };
 
 }  // namespace mlexray

@@ -1,9 +1,15 @@
 #include "src/interpreter/execution_plan.h"
 
+#include "src/common/fault_injection.h"
+
 namespace mlexray {
 
 ExecutionPlan::ExecutionPlan(const Graph& graph, const OpResolver& resolver,
                              ThreadPool* pool) {
+  // Load-failure fault point: a throw here aborts Model construction before
+  // any prepare hook runs, so Engine::load fails cleanly — hot-swap tests
+  // use it to assert a failed v2 load leaves v1 serving.
+  if (fault::enabled()) fault::check(fault_sites::kPlanPrepare);
   std::size_t executable = 0;
   for (const Node& n : graph.nodes) {
     if (n.type != OpType::kInput) ++executable;

@@ -25,6 +25,7 @@ namespace mlexray {
 struct Node;
 class Tensor;
 struct SessionStats;
+struct InvokeStatus;
 
 class InvokeObserver {
  public:
@@ -46,6 +47,14 @@ class InvokeObserver {
   // End of invoke(), after the last step; stats carry total_ms and the
   // refreshed arena high-water mark.
   virtual void on_invoke_end(const SessionStats& stats) { (void)stats; }
+
+  // A guarded invoke ended early: a contained kernel failure (kError — the
+  // session is now poisoned) or a cooperative deadline expiry
+  // (kDeadlineExceeded). Fired instead of on_invoke_end; the frame holds
+  // the steps captured before the failure. Observers use this to account
+  // failed frames without ever seeing partial activations as a completed
+  // invoke.
+  virtual void on_invoke_error(const InvokeStatus& status) { (void)status; }
 };
 
 }  // namespace mlexray

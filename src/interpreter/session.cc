@@ -1,8 +1,11 @@
 #include "src/interpreter/session.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
+#include "src/common/fault_injection.h"
 #include "src/interpreter/invoke_observer.h"
 
 namespace mlexray {
@@ -14,7 +17,30 @@ double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
 }
+
+// Fault-injection payload corruption (fault_sites::kInvokeOutput): the NaN
+// lands in the retained activation, so observers and validation see exactly
+// what a numerically-broken kernel would have produced.
+void poke_nan(Tensor& t) {
+  if (t.dtype() == DType::kF32 && t.num_elements() > 0) {
+    t.data<float>()[0] = std::numeric_limits<float>::quiet_NaN();
+  }
+}
 }  // namespace
+
+const char* invoke_code_name(InvokeCode code) {
+  switch (code) {
+    case InvokeCode::kOk:
+      return "ok";
+    case InvokeCode::kError:
+      return "error";
+    case InvokeCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case InvokeCode::kPoisoned:
+      return "poisoned";
+  }
+  return "unknown";
+}
 
 Session::Session(const Model* model) : model_(model) {
   const auto start = Clock::now();
@@ -72,18 +98,63 @@ void Session::set_input(int input_index, const Tensor& value) {
 }
 
 void Session::invoke() {
+  const InvokeStatus status = try_invoke();
+  if (!status.ok()) throw MlxError(status.message);
+}
+
+InvokeStatus Session::try_invoke(double deadline_ms) {
+  InvokeStatus status;
+  if (poisoned_) {
+    status.code = InvokeCode::kPoisoned;
+    status.message = "session poisoned by an earlier kernel failure";
+    return status;
+  }
   const auto start_total = Clock::now();
+  const bool has_deadline = deadline_ms > 0.0;
+  const auto deadline =
+      start_total + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(deadline_ms));
   // Reset the per-invoke view; totals keep accumulating.
   std::fill(stats_.per_node_ms.begin(), stats_.per_node_ms.end(), 0.0);
   const auto& steps = model_->plan().steps();
   if (observer_ != nullptr) observer_->on_invoke_begin(steps.size());
   for (std::size_t i = 0; i < steps.size(); ++i) {
     const PlanStep& step = steps[i];
+    // Cooperative deadline: checked between kernels only, so a running
+    // kernel is never interrupted and the partial state is step-aligned.
+    if (has_deadline && Clock::now() >= deadline) {
+      status.code = InvokeCode::kDeadlineExceeded;
+      status.failed_step = static_cast<int>(i);
+      status.failed_node_id = step.node->id;
+      ++stats_.deadline_exceeded;
+      if (observer_ != nullptr) observer_->on_invoke_error(status);
+      return status;
+    }
     arena_.reset();
     const auto start = Clock::now();
-    step.kernel->invoke(contexts_[i]);
+    try {
+      if (fault::enabled()) fault::check(fault_sites::kInvokeStep);
+      step.kernel->invoke(contexts_[i]);
+    } catch (const MlxError& e) {
+      // Containment boundary: the kernel left this session's activations
+      // (and possibly its arena wiring) partially written, so the session
+      // is poisoned — it refuses further invokes and the Engine destroys
+      // it instead of re-pooling on release. The shared Model is read-only
+      // during invoke and stays healthy.
+      poisoned_ = true;
+      ++stats_.invoke_errors;
+      status.code = InvokeCode::kError;
+      status.failed_step = static_cast<int>(i);
+      status.failed_node_id = step.node->id;
+      status.message = e.what();
+      if (observer_ != nullptr) observer_->on_invoke_error(status);
+      return status;
+    }
     const double node_ms = ms_since(start);
     const auto id = static_cast<std::size_t>(step.node->id);
+    if (fault::enabled() && fault::check(fault_sites::kInvokeOutput)) {
+      poke_nan(activations_[id]);
+    }
     stats_.per_node_ms[id] = node_ms;
     stats_.per_node_total_ms[id] += node_ms;
     if (observer_ != nullptr) {
@@ -95,6 +166,7 @@ void Session::invoke() {
   stats_.arena_high_water_bytes = arena_.high_water_bytes();
   ++stats_.invoke_count;
   if (observer_ != nullptr) observer_->on_invoke_end(stats_);
+  return status;
 }
 
 const Tensor& Session::output(int output_index) const {

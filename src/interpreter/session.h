@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/interpreter/model.h"
@@ -24,6 +25,36 @@
 namespace mlexray {
 
 class InvokeObserver;
+
+// Outcome of a guarded invoke (Session::try_invoke).
+enum class InvokeCode {
+  kOk = 0,
+  // A kernel threw MlxError mid-walk. The session is poisoned: its
+  // activations are partially written and it refuses further invokes; a
+  // pooled session is destroyed instead of re-pooled on lease release.
+  kError,
+  // The cooperative per-invoke deadline expired at a step boundary. The
+  // activations are partial but the session is *not* poisoned — the next
+  // invoke overwrites them from the top.
+  kDeadlineExceeded,
+  // try_invoke was called on an already-poisoned session; nothing ran.
+  kPoisoned,
+};
+
+const char* invoke_code_name(InvokeCode code);
+
+struct InvokeStatus {
+  InvokeCode code = InvokeCode::kOk;
+  // Plan-step index / node id where the failure or deadline hit (-1 when ok
+  // or when nothing ran).
+  int failed_step = -1;
+  int failed_node_id = -1;
+  // The MlxError text for kError; empty otherwise (so the success path never
+  // allocates).
+  std::string message;
+
+  bool ok() const { return code == InvokeCode::kOk; }
+};
 
 struct SessionStats {
   // One-time Prepare cost: the shared Model build (plan construction,
@@ -39,6 +70,11 @@ struct SessionStats {
   std::vector<double> per_node_ms;
   // Per-node wall clock accumulated across all invokes.
   std::vector<double> per_node_total_ms;
+  // Guarded-invoke outcomes: kernel errors contained by try_invoke (each one
+  // poisons the session, so this is 0 or 1 in practice) and cooperative
+  // deadline expiries (recoverable; the session keeps serving).
+  std::uint64_t invoke_errors = 0;
+  std::uint64_t deadline_exceeded = 0;
   // Memory visibility: plan-owned prepared storage (packed weight panels,
   // requantization tables; fixed at Model build, *shared* across sessions)
   // and this session's scratch-arena high-water mark (refreshed after every
@@ -65,7 +101,28 @@ class Session {
   void set_input(int input_index, const Tensor& value);
 
   // Runs all nodes in topological order over the shared prepared plan.
+  // Throws MlxError on kernel failure (and poisons the session — see
+  // try_invoke); serving paths that must not unwind use try_invoke instead.
   void invoke();
+
+  // Guarded invoke: runs the same prepared walk but catches MlxError at the
+  // session boundary and reports it (with the failing step) as a status
+  // instead of unwinding into the caller. A kernel throw poisons the
+  // session: partial activations are never served, and the Engine destroys
+  // a poisoned session instead of re-pooling it on lease release.
+  //
+  // deadline_ms > 0 arms a cooperative per-invoke deadline, checked at step
+  // boundaries before each kernel runs: when it expires the walk stops with
+  // kDeadlineExceeded (no poisoning — the session is reusable). A kernel
+  // that is already running is never interrupted, so the overshoot is
+  // bounded by one step's latency.
+  //
+  // The success path performs zero heap allocations, same as invoke().
+  InvokeStatus try_invoke(double deadline_ms = 0.0);
+
+  // True once a kernel failure was contained (or escaped) mid-walk; the
+  // session refuses further invokes.
+  bool poisoned() const { return poisoned_; }
 
   // Attaches a push-based observability sink (src/interpreter/
   // invoke_observer.h): invoke() fires on_invoke_begin / on_step /
@@ -98,6 +155,7 @@ class Session {
   std::vector<KernelContext> contexts_;
   SessionStats stats_;
   InvokeObserver* observer_ = nullptr;
+  bool poisoned_ = false;
 };
 
 }  // namespace mlexray

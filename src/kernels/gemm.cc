@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "src/common/fault_injection.h"
 #include "src/kernels/activation.h"
 #include "src/kernels/fixed_point.h"
 
@@ -498,6 +499,10 @@ void gemm_f32_nt(std::int64_t m, std::int64_t n, std::int64_t k,
                  std::int64_t ldc, ThreadPool* pool, ScratchArena* arena,
                  const PackedBF32* packed) {
   if (m <= 0 || n <= 0) return;
+  // Kernel-level fault point: lets tests originate an MLX_CHECK-style
+  // failure inside a real kernel (not just the plan walk) and assert it is
+  // contained at the session boundary.
+  if (fault::enabled()) fault::check(fault_sites::kKernelGemm);
   // Prepacked panels (plan-time weight packing) skip the per-call repack
   // entirely. Otherwise repack B once per call when enough rows reuse it
   // (the n * k copy is wasted on matrix-vector shapes like batch-1

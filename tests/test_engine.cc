@@ -27,6 +27,7 @@
 #include "src/interpreter/engine.h"
 #include "src/interpreter/interpreter.h"
 #include "src/interpreter/invoke_observer.h"
+#include "src/kernels/dwconv.h"
 #include "src/kernels/gemm.h"
 #include "src/quant/quantizer.h"
 #include "src/tensor/alloc_stats.h"
@@ -321,18 +322,309 @@ TEST(EnginePool, SteadyStateAcquireInvokeReleaseIsHeapFree) {
 
   const std::uint64_t events_before = AllocStats::instance().alloc_events();
   const std::size_t bytes_before = AllocStats::instance().current_bytes();
+  const std::uint64_t gemm_packs_before = gemm_b_pack_events();
+  const std::uint64_t dw_packs_before = dwconv_pack_events();
   const std::uint64_t heap_before = g_heap_allocs.load();
   for (int i = 0; i < 5; ++i) {
     SessionLease lease = engine.acquire(name);
     lease->set_input(0, x);
-    lease->invoke();
+    // The guarded path shares the plain invoke()'s zero-alloc walk; checking
+    // it here keeps the serving entry point honest too.
+    EXPECT_TRUE(lease->try_invoke().ok());
     lease.release();
   }
   EXPECT_EQ(AllocStats::instance().alloc_events(), events_before)
       << "steady-state serving registered new tensor/arena allocations";
   EXPECT_EQ(AllocStats::instance().current_bytes(), bytes_before);
   EXPECT_EQ(g_heap_allocs.load(), heap_before)
-      << "steady-state acquire/invoke/release touched the heap";
+      << "steady-state acquire/try_invoke/release touched the heap";
+  EXPECT_EQ(gemm_b_pack_events(), gemm_packs_before)
+      << "steady-state serving re-packed GEMM B panels";
+  EXPECT_EQ(dwconv_pack_events(), dw_packs_before)
+      << "steady-state serving re-packed depthwise weights";
+}
+
+// --- versioned lifecycle -----------------------------------------------------
+
+TEST(EngineLifecycle, HotSwapPinsOutstandingLeasesAndDrainsTheOldVersion) {
+  Pcg32 rng_a(151);
+  Pcg32 rng_b(152);
+  BuiltinOpResolver opt;
+  Engine engine(&opt);
+  const std::string name = "stack";
+  Pcg32 drng(153);
+  Tensor x = random_input(Shape{1, 16, 16, 8}, drng);
+
+  engine.load(name, conv_stack_graph(&rng_a));
+  Tensor want_v1;
+  {
+    SessionLease lease = engine.acquire(name);
+    EXPECT_EQ(lease.version(), 1u);
+    lease->set_input(0, x);
+    lease->invoke();
+    want_v1 = lease->output(0);  // deep copy
+  }
+
+  // Hold a v1 lease across the swap: it must keep serving v1 bit-exactly.
+  SessionLease pinned = engine.acquire(name);
+  pinned->set_input(0, x);
+  pinned->invoke();
+  expect_bit_identical(pinned->output(0), want_v1);
+
+  const std::size_t bytes_before_swap = AllocStats::instance().current_bytes();
+  engine.load(name, conv_stack_graph(&rng_b));  // hot-swap to v2
+
+  EnginePoolStats stats = engine.pool_stats(name);
+  EXPECT_EQ(stats.serving_version, 2u);
+  EXPECT_EQ(stats.live_versions, 2u);
+  EXPECT_EQ(stats.draining_versions, 1u);
+  EXPECT_EQ(stats.leases_outstanding, 1u);
+  EXPECT_GT(stats.prepared_bytes_total, stats.prepared_bytes)
+      << "draining v1's prepared storage should still be accounted";
+
+  // New acquires land on v2, whose weights differ from v1.
+  Tensor want_v2;
+  {
+    SessionLease lease = engine.acquire(name);
+    EXPECT_EQ(lease.version(), 2u);
+    lease->set_input(0, x);
+    lease->invoke();
+    want_v2 = lease->output(0);
+    EXPECT_NE(
+        std::memcmp(want_v2.raw_data(), want_v1.raw_data(), want_v2.byte_size()),
+        0)
+        << "v2 should produce different outputs (different random weights)";
+  }
+
+  // The pinned lease still runs v1 after the swap.
+  pinned->set_input(0, x);
+  pinned->invoke();
+  expect_bit_identical(pinned->output(0), want_v1);
+
+  // Releasing the last v1 lease retires the version: sessions + prepared
+  // storage freed, tracked allocations drop below the pre-release level.
+  const std::size_t bytes_before_release =
+      AllocStats::instance().current_bytes();
+  pinned.release();
+  stats = engine.pool_stats(name);
+  EXPECT_EQ(stats.live_versions, 1u);
+  EXPECT_EQ(stats.draining_versions, 0u);
+  EXPECT_EQ(stats.versions_retired, 1u);
+  EXPECT_EQ(stats.leases_outstanding, 0u);
+  EXPECT_LT(AllocStats::instance().current_bytes(), bytes_before_release)
+      << "retiring v1 did not free its sessions/prepared storage";
+  // want_v2 was deep-copied after the snapshot; everything else must be back.
+  EXPECT_LE(AllocStats::instance().current_bytes(),
+            bytes_before_swap + want_v2.byte_size())
+      << "after the drain, residency should not exceed the pre-swap level";
+
+  // v2 keeps serving, still bit-exact.
+  SessionLease lease = engine.acquire(name);
+  EXPECT_EQ(lease.version(), 2u);
+  lease->set_input(0, x);
+  lease->invoke();
+  expect_bit_identical(lease->output(0), want_v2);
+}
+
+TEST(EngineLifecycle, HotSwapWithNoOutstandingLeasesRetiresImmediately) {
+  Pcg32 rng_a(155);
+  Pcg32 rng_b(156);
+  BuiltinOpResolver opt;
+  Engine engine(&opt);
+  engine.load("stack", conv_stack_graph(&rng_a));
+  {
+    SessionLease lease = engine.acquire("stack");  // build + pool a session
+  }
+  engine.load("stack", conv_stack_graph(&rng_b));
+  const EnginePoolStats stats = engine.pool_stats("stack");
+  EXPECT_EQ(stats.serving_version, 2u);
+  EXPECT_EQ(stats.live_versions, 1u);
+  EXPECT_EQ(stats.versions_retired, 1u);
+  EXPECT_EQ(stats.sessions_destroyed, 1u) << "v1's pooled session";
+  EXPECT_EQ(stats.prepared_bytes_total, stats.prepared_bytes);
+}
+
+TEST(EngineLifecycle, UnloadHidesTheNameWhileHeldLeasesKeepWorking) {
+  Pcg32 rng(161);
+  BuiltinOpResolver opt;
+  Engine engine(&opt);
+  const std::string name = "stack";
+  Pcg32 drng(162);
+  Tensor x = random_input(Shape{1, 16, 16, 8}, drng);
+
+  const std::size_t bytes_baseline = AllocStats::instance().current_bytes();
+  engine.load(name, conv_stack_graph(&rng));
+
+  SessionLease held = engine.acquire(name);
+  held->set_input(0, x);
+  held->invoke();
+  Tensor want = held->output(0);  // deep copy
+
+  EXPECT_TRUE(engine.unload(name));
+  EXPECT_FALSE(engine.unload(name)) << "second unload of the same name";
+  EXPECT_FALSE(engine.unload("missing"));
+
+  // Gone from every lookup surface immediately...
+  EXPECT_EQ(engine.find(name), nullptr);
+  EXPECT_EQ(engine.model_count(), 0u);
+  EXPECT_FALSE(engine.try_acquire(name));
+  EXPECT_THROW(engine.acquire(name), MlxError);
+
+  // ...but the held lease still serves its pinned version bit-exactly.
+  held->set_input(0, x);
+  held->invoke();
+  expect_bit_identical(held->output(0), want);
+
+  // The last release frees everything the load allocated; drop the local
+  // reference copy too so the baseline comparison is exact.
+  held.release();
+  want = Tensor();
+  EXPECT_EQ(engine.prepared_bytes_total(), 0u);
+  EXPECT_EQ(AllocStats::instance().current_bytes(), bytes_baseline)
+      << "unload leaked tracked memory after the last lease released";
+}
+
+TEST(EngineLifecycle, ReloadAfterUnloadStartsAFreshVersionLineage) {
+  Pcg32 rng_a(165);
+  Pcg32 rng_b(166);
+  BuiltinOpResolver opt;
+  Engine engine(&opt);
+  engine.load("stack", conv_stack_graph(&rng_a));
+  EXPECT_TRUE(engine.unload("stack"));
+  engine.load("stack", conv_stack_graph(&rng_b));
+  const EnginePoolStats stats = engine.pool_stats("stack");
+  // A fresh lineage: version ids restart at 1 and no drained baggage remains.
+  EXPECT_EQ(stats.serving_version, 1u);
+  EXPECT_EQ(stats.live_versions, 1u);
+  EXPECT_EQ(stats.versions_retired, 0u);
+  SessionLease lease = engine.acquire("stack");
+  EXPECT_EQ(lease.version(), 1u);
+}
+
+TEST(EngineLifecycle, TryAcquireReturnsEmptyForUnknownNames) {
+  BuiltinOpResolver opt;
+  Engine engine(&opt);
+  SessionLease lease = engine.try_acquire("nope");
+  EXPECT_FALSE(lease);
+  EXPECT_EQ(lease.get(), nullptr);
+  EXPECT_EQ(lease.version(), 0u);
+  lease.release();  // releasing an empty lease is a no-op
+  EXPECT_THROW(engine.acquire("nope"), MlxError);
+}
+
+TEST(EngineLifecycle, PreparedBudgetRefusesLoadsThatWouldExceedIt) {
+  Pcg32 rng(171);
+  BuiltinOpResolver opt;
+  Engine engine(&opt);
+  engine.load("first", conv_stack_graph(&rng));
+  const std::size_t resident = engine.prepared_bytes_total();
+  ASSERT_GT(resident, 0u);
+
+  // Budget with room for one model only: a second name must be refused and
+  // the registry left unchanged.
+  engine.set_prepared_budget(resident + resident / 2);
+  EXPECT_EQ(engine.prepared_budget(), resident + resident / 2);
+  EXPECT_THROW(engine.load("second", conv_stack_graph(&rng)), MlxError);
+  EXPECT_EQ(engine.model_count(), 1u);
+  EXPECT_EQ(engine.find("second"), nullptr);
+  EXPECT_EQ(engine.prepared_bytes_total(), resident);
+
+  // A hot-swap of the existing name fits: the replaced version retires
+  // immediately (no leases outstanding), so residency stays ~constant.
+  engine.load("first", conv_stack_graph(&rng));
+  EXPECT_EQ(engine.pool_stats("first").serving_version, 2u);
+  EXPECT_LE(engine.prepared_bytes_total(), engine.prepared_budget());
+
+  // With an outstanding lease pinning the serving version, the swap would
+  // have to hold both versions resident — over budget, so it is refused and
+  // the serving version is unchanged.
+  SessionLease pinned = engine.acquire("first");
+  EXPECT_THROW(engine.load("first", conv_stack_graph(&rng)), MlxError);
+  EXPECT_EQ(engine.pool_stats("first").serving_version, 2u);
+
+  // Lifting the budget lets the same swap through.
+  engine.set_prepared_budget(0);
+  engine.load("first", conv_stack_graph(&rng));
+  EXPECT_EQ(engine.pool_stats("first").serving_version, 3u);
+}
+
+TEST(EngineLifecycle, HotSwapUnderConcurrentLoadServesEveryRequestBitExact) {
+  constexpr int kThreads = 4;
+  constexpr int kInvokesPerThread = 24;
+  Pcg32 rng_a(181);
+  Pcg32 rng_b(182);
+  BuiltinOpResolver opt;
+  const std::string name = "stack";
+  Pcg32 drng(183);
+  Tensor x = random_input(Shape{1, 16, 16, 8}, drng);
+
+  Graph graph_a = conv_stack_graph(&rng_a);
+  Graph graph_b = conv_stack_graph(&rng_b);
+
+  // Expected outputs per version, computed on private models up front.
+  Tensor want_v1, want_v2;
+  {
+    Model ma(&graph_a, &opt);
+    Session sa(&ma);
+    sa.set_input(0, x);
+    sa.invoke();
+    want_v1 = sa.output(0);
+    Model mb(&graph_b, &opt);
+    Session sb(&mb);
+    sb.set_input(0, x);
+    sb.invoke();
+    want_v2 = sb.output(0);
+  }
+
+  Engine engine(&opt);
+  engine.load(name, std::move(graph_a));
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kInvokesPerThread; ++i) {
+        SessionLease lease = engine.acquire(name);
+        const std::uint64_t version = lease.version();
+        lease->set_input(0, x);
+        if (!lease->try_invoke().ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        // Every request must be bit-exact with whichever version served it.
+        const Tensor& want = version == 1 ? want_v1 : want_v2;
+        const Tensor& got = lease->output(0);
+        if (got.byte_size() != want.byte_size() ||
+            std::memcmp(got.raw_data(), want.raw_data(), got.byte_size()) !=
+                0) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Swap mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  engine.load(name, std::move(graph_b));
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(mismatches.load(), 0)
+      << "a request was not bit-exact with the version that served it";
+  EXPECT_EQ(failures.load(), 0) << "hot-swap failed requests";
+
+  // All leases are home: v1 must be fully drained and freed.
+  const EnginePoolStats stats = engine.pool_stats(name);
+  EXPECT_EQ(stats.serving_version, 2u);
+  EXPECT_EQ(stats.live_versions, 1u);
+  EXPECT_EQ(stats.draining_versions, 0u);
+  EXPECT_EQ(stats.versions_retired, 1u);
+  EXPECT_EQ(stats.leases_outstanding, 0u);
+  EXPECT_EQ(stats.prepared_bytes_total, stats.prepared_bytes);
+
+  // Residency after the drain: one version's worth of prepared storage, not
+  // two.
+  EXPECT_EQ(engine.prepared_bytes_total(), stats.prepared_bytes);
 }
 
 // --- concurrency -------------------------------------------------------------
