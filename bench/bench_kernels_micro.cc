@@ -210,9 +210,11 @@ void BM_GemmI8_Scalar(benchmark::State& state) {
 BENCHMARK(BM_GemmF32_Prepacked)->Args({256, 32, 288})->Args({1024, 16, 144})->Args({1, 16, 4096});
 BENCHMARK(BM_GemmF32_RepackEachCall)->Args({256, 32, 288})->Args({1024, 16, 144})->Args({1, 16, 4096});
 // (256, 32, 32) is the MobileNet 1x1 pointwise shape where the pair
-// microkernel's reduction-free epilogue matters most.
-BENCHMARK(BM_GemmI8_PackedVec)->Args({256, 32, 288})->Args({1024, 16, 144})->Args({1, 16, 4096})->Args({256, 32, 32});
-BENCHMARK(BM_GemmI8_Scalar)->Args({256, 32, 288})->Args({1024, 16, 144})->Args({1, 16, 4096})->Args({256, 32, 32});
+// microkernel's reduction-free epilogue matters most; (1, 16, 4096) and
+// (1, 1001, 1024) are the batch-1 FC matvec shapes served by the k-major
+// m==1 dispatch (raw B rows, one widened A chunk reused across columns).
+BENCHMARK(BM_GemmI8_PackedVec)->Args({256, 32, 288})->Args({1024, 16, 144})->Args({1, 16, 4096})->Args({256, 32, 32})->Args({1, 1001, 1024});
+BENCHMARK(BM_GemmI8_Scalar)->Args({256, 32, 288})->Args({1024, 16, 144})->Args({1, 16, 4096})->Args({256, 32, 32})->Args({1, 1001, 1024});
 
 // --- dwconv compute tiers at a Table-4 shape -------------------------------
 // Same int8 dwconv graph under each forced tier (src/kernels/dwconv.h):

@@ -150,7 +150,20 @@ digest_overhead "${out_dir}/BENCH_monitor_overhead.json"
 # one-thread row and stamps the ratios into the JSON context. Prepared bytes
 # must be constant in session count and no GEMM B panel may be re-packed
 # while serving (the prepare-once/serve-many contract); fail loudly if the
-# bench recorded otherwise.
+# bench recorded otherwise. Multi-thread scaling itself is only *asserted*
+# when the recorded hardware_concurrency offers real parallelism — on a
+# single-core runner the sweep still runs (the concurrency correctness
+# checks above stand) but the scaling factor is reported, not enforced.
+#
+# The openloop/* rows are the FrontDoor overload curve; the digest enforces
+# the overload-safety contract: no request may *fail* at any offered load,
+# the below-capacity point must have zero deadline violations (a transient
+# OS stall on a busy host may still force a handful of proactive
+# sheds/rejections — that is the front door refusing to serve late rather
+# than missing deadlines, so those are bounded at 1%, not zero), every
+# submitted request must be accounted for, and past the knee the excess
+# must surface as typed sheds/rejections while the p99 of what was
+# admitted stays within 2x the below-capacity p99.
 digest_serving() {
   python3 - "$1" <<'EOF'
 import json, sys
@@ -159,12 +172,17 @@ with open(path) as f:
     data = json.load(f)
 rows = {}
 hotswap = []
+openloop = []
 for b in data.get("benchmarks", []):
     kind, model, dtype, t = b["name"].split("/")
     if kind == "hotswap":
         hotswap.append(b)
         continue
+    if kind == "openloop":
+        openloop.append(b)
+        continue
     rows.setdefault(f"{model}/{dtype}", {})[int(t.lstrip("t"))] = b
+hw = data.get("context", {}).get("hardware_concurrency", 1)
 scaling = {}
 print(f"{'model/dtype':32s} {'t1 inv/s':>10s}  scaling(t2,t4,...)  prepared_kb")
 for key, by_t in sorted(rows.items()):
@@ -177,8 +195,53 @@ for key, by_t in sorted(rows.items()):
     rel = {t: by_t[t]["invokes_per_second"] / base["invokes_per_second"]
            for t in sorted(by_t)}
     scaling[key] = rel
+    if hw >= 2 and 2 in rel:
+        assert rel[2] >= 1.2, \
+            f"{key}: t2 scaling {rel[2]:.2f}x < 1.2x on a {hw}-core host " \
+            "(sessions are serializing on shared state?)"
     cells = ", ".join(f"t{t}:{r:.2f}x" for t, r in rel.items() if t != min(by_t))
     print(f"{key:32s} {base['invokes_per_second']:10.0f}  {cells:18s}  {base['prepared_kb']:.1f}")
+if hw < 2:
+    print(f"(hardware_concurrency={hw}: scaling factors reported, not asserted)")
+curve = {}
+base_p99 = None
+for b in openloop:
+    rejected = (b["rejected_queue_full"] + b["rejected_infeasible"]
+                + b["rejected_breaker_open"])
+    assert b["failed_requests"] == 0, \
+        f"{b['name']}: requests failed under open-loop load"
+    assert b["ok"] + b["shed"] + b["deadline_exceeded"] + b["unknown_model"] \
+        + b["failed_requests"] + rejected == b["iterations"], \
+        f"{b['name']}: request accounting does not close"
+    if b["load_factor"] <= 0.5:
+        assert b["deadline_exceeded"] == 0, \
+            f"{b['name']}: deadline violations below capacity"
+        assert b["shed"] + rejected <= max(2, 0.01 * b["iterations"]), \
+            f"{b['name']}: {b['shed'] + rejected} drops below capacity " \
+            "(more than a transient stall explains)"
+        base_p99 = b["p99_us"]
+    elif b["load_factor"] >= 2.0:
+        assert base_p99 is not None and b["p99_us"] <= 2.0 * base_p99, \
+            f"{b['name']}: admitted p99 {b['p99_us']:.0f}us exceeds 2x " \
+            f"below-capacity p99 {base_p99:.0f}us"
+        assert b["shed"] + rejected > 0, \
+            f"{b['name']}: overload produced no sheds/rejections " \
+            "(admission control not engaging)"
+    curve[b["name"]] = {
+        "offered_qps": b["offered_qps"],
+        "achieved_qps": b["achieved_qps"],
+        "p50_us": b["p50_us"],
+        "p99_us": b["p99_us"],
+        "deadline_ms": b["deadline_ms"],
+        "ok": b["ok"],
+        "shed": b["shed"],
+        "rejected": rejected,
+        "deadline_exceeded": b["deadline_exceeded"],
+        "mean_batch_size": b["mean_batch_size"],
+    }
+    print(f"{b['name']:44s} offered {b['offered_qps']:7.0f} q/s "
+          f"served {b['achieved_qps']:7.0f} q/s  p99 {b['p99_us']:7.0f}us  "
+          f"shed+rej {b['shed'] + rejected}")
 swap = {}
 for b in hotswap:
     assert b["failed_requests"] == 0, \
@@ -194,6 +257,7 @@ for b in hotswap:
           f"(steady {b['steady_p99_us']:.0f}us), "
           f"load {b['swap_load_ms']:.1f}ms, 0 failed")
 data.setdefault("context", {})["mlexray_serving_scaling"] = scaling
+data["context"]["mlexray_openloop"] = curve
 data["context"]["mlexray_hotswap"] = swap
 with open(path, "w") as f:
     json.dump(data, f, indent=1)

@@ -14,8 +14,10 @@
 // record streams frames straight to the output file via the monitor's
 // background spooler (the on-device path); trace-info is the workstation
 // side, reading raw-dtype captures back through Tensor::to_f32; serve
-// demonstrates the Model/Session split — one shared prepared Model driven
-// by pooled Engine sessions from several threads.
+// demonstrates the full serving stack — requests from several client
+// threads enter through the FrontDoor (bounded admission, dynamic batching,
+// circuit breaker) and are dispatched onto pooled Engine sessions sharing
+// one prepared Model.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -28,6 +30,7 @@
 #include "src/core/assertions.h"
 #include "src/core/pipelines.h"
 #include "src/interpreter/engine.h"
+#include "src/interpreter/front_door.h"
 #include "src/models/trained_models.h"
 
 namespace mlexray {
@@ -231,8 +234,11 @@ int cmd_trace_info(const std::string& path) {
 }
 
 // Concurrent serving demo: load the graph into an Engine once, then drive
-// the shared Model from `threads` workers, each acquiring a pooled session
-// per frame — the prepare-once/serve-many path a deployment daemon uses.
+// requests from `threads` client threads through the FrontDoor — the
+// overload-safe request path a deployment daemon uses. Every request is a
+// typed outcome (ok / shed / rejected / error), never a crash; the summary
+// prints the admission-queue and circuit-breaker counters alongside the
+// prepare-once/serve-many numbers.
 int cmd_serve(const std::string& model_name, int threads, int frames) {
   using Clock = std::chrono::steady_clock;
   if (threads <= 0 || frames <= 0) {
@@ -268,51 +274,74 @@ int cmd_serve(const std::string& model_name, int threads, int frames) {
   ImagePipelineConfig correct{model.graph().input_spec, PreprocBug::kNone};
   Tensor input = run_image_pipeline(sensors[0].image_u8, correct);
 
-  std::atomic<std::int64_t> total_invokes{0};
-  std::atomic<std::int64_t> failed_invokes{0};
+  // The front door owns admission: `threads` scheduler workers so the demo
+  // keeps the same session-level parallelism the old raw-Engine loop had.
+  // Trained checkpoints are batch-1 graphs, so the single registered
+  // variant serves every request individually; the queue, shedding, and
+  // breaker machinery in front of it is the point of the demo.
+  FrontDoorOptions door_opts;
+  door_opts.workers = threads;
+  FrontDoor door(&engine, door_opts);
+  door.register_model(model_name, {});
+
+  std::atomic<std::int64_t> ok_requests{0};
+  std::atomic<std::int64_t> dropped_requests{0};
   const auto serve_start = Clock::now();
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(threads));
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([&] {
-      // Guarded serving loop: try_acquire + try_invoke never unwind, so a
-      // bad name or a contained kernel failure is a counted outcome, not a
-      // crashed daemon.
+    clients.emplace_back([&] {
+      // Closed-loop client: submit -> wait -> release per frame. Every
+      // outcome is a typed code (queue-full, shed, breaker-open, contained
+      // error) counted here, never an unwinding daemon.
       for (int f = 0; f < frames; ++f) {
-        SessionLease lease = engine.try_acquire(model_name);
-        if (!lease) {
-          failed_invokes.fetch_add(1, std::memory_order_relaxed);
-          continue;
-        }
-        lease->set_input(0, input);
-        const InvokeStatus status = lease->try_invoke();
-        if (status.ok()) {
-          total_invokes.fetch_add(1, std::memory_order_relaxed);
+        Ticket ticket = door.submit(model_name, input);
+        const RequestResult& result = ticket.wait();
+        if (result.code == RequestCode::kOk) {
+          ok_requests.fetch_add(1, std::memory_order_relaxed);
         } else {
-          failed_invokes.fetch_add(1, std::memory_order_relaxed);
+          dropped_requests.fetch_add(1, std::memory_order_relaxed);
         }
       }
     });
   }
-  for (std::thread& w : workers) w.join();
+  for (std::thread& w : clients) w.join();
   const double serve_s =
       std::chrono::duration<double>(Clock::now() - serve_start).count();
 
   const EnginePoolStats stats = engine.pool_stats(model_name);
+  const FrontDoorStats door_stats = door.stats(model_name);
   std::printf("model:            %s (prepared once in %.1f ms)\n",
               model_name.c_str(), load_ms);
   std::printf("prepared bytes:   %.1f KB (shared across all sessions)\n",
               static_cast<double>(stats.prepared_bytes) / 1e3);
-  std::printf("sessions created: %zu for %llu leases (%d threads)\n",
+  std::printf("sessions created: %zu for %llu leases (%d client threads)\n",
               stats.sessions_created,
               static_cast<unsigned long long>(stats.leases_issued), threads);
-  std::printf("throughput:       %.1f invokes/s (%lld invokes in %.2f s)\n",
-              static_cast<double>(total_invokes.load()) / serve_s,
-              static_cast<long long>(total_invokes.load()), serve_s);
-  if (failed_invokes.load() != 0) {
-    std::printf("failed requests:  %lld (contained; %llu invoke errors, %zu "
+  std::printf("throughput:       %.1f requests/s (%lld ok in %.2f s)\n",
+              static_cast<double>(ok_requests.load()) / serve_s,
+              static_cast<long long>(ok_requests.load()), serve_s);
+  std::printf("front door:       %llu submitted, %llu admitted, %llu batches "
+              "(max queue depth %zu)\n",
+              static_cast<unsigned long long>(door_stats.submitted),
+              static_cast<unsigned long long>(door_stats.admitted),
+              static_cast<unsigned long long>(door_stats.batches),
+              door_stats.max_queue_depth);
+  std::printf("breaker:          %s (%llu trips, service estimate %.0f us)\n",
+              breaker_state_name(door_stats.breaker_state),
+              static_cast<unsigned long long>(door_stats.breaker_trips),
+              door_stats.service_estimate_us);
+  if (dropped_requests.load() != 0) {
+    std::printf("dropped:          %lld (%llu errors, %llu shed, %llu "
+                "queue-full, %llu breaker-open; %llu invoke errors, %zu "
                 "sessions destroyed)\n",
-                static_cast<long long>(failed_invokes.load()),
+                static_cast<long long>(dropped_requests.load()),
+                static_cast<unsigned long long>(door_stats.failed),
+                static_cast<unsigned long long>(door_stats.shed),
+                static_cast<unsigned long long>(
+                    door_stats.rejected_queue_full),
+                static_cast<unsigned long long>(
+                    door_stats.rejected_breaker_open),
                 static_cast<unsigned long long>(stats.invoke_errors),
                 stats.sessions_destroyed);
   }

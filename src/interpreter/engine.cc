@@ -259,6 +259,12 @@ EnginePoolStats Engine::pool_stats(const std::string& name) const {
   return stats;
 }
 
+std::uint64_t Engine::serving_version(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Version* version = serving_version_locked(name);
+  return version != nullptr ? version->version_id : 0;
+}
+
 std::size_t Engine::model_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t count = 0;

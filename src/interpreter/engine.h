@@ -118,6 +118,11 @@ class Engine {
   EnginePoolStats pool_stats(const std::string& name) const;
   std::size_t model_count() const;
 
+  // The version id currently serving `name`, or 0 for unknown/unloaded
+  // names. Cheap (one registry lookup) — the FrontDoor circuit breaker polls
+  // it so a hot-swap can heal an open breaker without a probe. Thread-safe.
+  std::uint64_t serving_version(const std::string& name) const;
+
   // Prepared bytes across every live version of every name.
   std::size_t prepared_bytes_total() const;
 

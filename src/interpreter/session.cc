@@ -97,12 +97,32 @@ void Session::set_input(int input_index, const Tensor& value) {
   std::memcpy(slot.raw_data(), value.raw_data(), value.byte_size());
 }
 
+Tensor& Session::mutable_input(int input_index) {
+  const std::vector<int>& input_ids = model_->input_ids();
+  MLX_CHECK_LT(static_cast<std::size_t>(input_index), input_ids.size());
+  return activations_[static_cast<std::size_t>(
+      input_ids[static_cast<std::size_t>(input_index)])];
+}
+
 void Session::invoke() {
   const InvokeStatus status = try_invoke();
   if (!status.ok()) throw MlxError(status.message);
 }
 
 InvokeStatus Session::try_invoke(double deadline_ms) {
+  const bool has_deadline = deadline_ms > 0.0;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(deadline_ms));
+  return guarded_invoke(has_deadline, deadline);
+}
+
+InvokeStatus Session::try_invoke_until(Clock::time_point deadline) {
+  return guarded_invoke(true, deadline);
+}
+
+InvokeStatus Session::guarded_invoke(bool has_deadline,
+                                     Clock::time_point deadline) {
   InvokeStatus status;
   if (poisoned_) {
     status.code = InvokeCode::kPoisoned;
@@ -110,10 +130,6 @@ InvokeStatus Session::try_invoke(double deadline_ms) {
     return status;
   }
   const auto start_total = Clock::now();
-  const bool has_deadline = deadline_ms > 0.0;
-  const auto deadline =
-      start_total + std::chrono::duration_cast<Clock::duration>(
-                        std::chrono::duration<double, std::milli>(deadline_ms));
   // Reset the per-invoke view; totals keep accumulating.
   std::fill(stats_.per_node_ms.begin(), stats_.per_node_ms.end(), 0.0);
   const auto& steps = model_->plan().steps();

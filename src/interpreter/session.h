@@ -15,6 +15,7 @@
 // different threads — the Model is read-only after construction.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -100,6 +101,12 @@ class Session {
   // Copies `value` into the i-th model input (shape and dtype checked).
   void set_input(int input_index, const Tensor& value);
 
+  // Direct mutable access to the i-th model input slot, for callers that
+  // assemble the input in place (e.g. the FrontDoor batcher memcpys one
+  // request row at a time instead of staging a full batch tensor). The
+  // caller owns shape discipline: the tensor's shape/dtype must not change.
+  Tensor& mutable_input(int input_index);
+
   // Runs all nodes in topological order over the shared prepared plan.
   // Throws MlxError on kernel failure (and poisons the session — see
   // try_invoke); serving paths that must not unwind use try_invoke instead.
@@ -119,6 +126,13 @@ class Session {
   //
   // The success path performs zero heap allocations, same as invoke().
   InvokeStatus try_invoke(double deadline_ms = 0.0);
+
+  // Same guarded walk against an absolute steady-clock deadline — the
+  // precise form for schedulers that already hold a request's admission
+  // timestamp (avoids re-quantizing through a relative double). A deadline
+  // already in the past stops at the first step boundary with
+  // kDeadlineExceeded (nothing runs, no poisoning).
+  InvokeStatus try_invoke_until(std::chrono::steady_clock::time_point deadline);
 
   // True once a kernel failure was contained (or escaped) mid-walk; the
   // session refuses further invokes.
@@ -147,6 +161,9 @@ class Session {
   std::size_t activation_bytes() const;
 
  private:
+  InvokeStatus guarded_invoke(bool has_deadline,
+                              std::chrono::steady_clock::time_point deadline);
+
   const Model* model_;
   ScratchArena arena_;
   std::vector<Tensor> activations_;  // one per node id

@@ -427,6 +427,192 @@ inline void panel_i8_pairs(std::int64_t mr, std::int64_t k,
   }
 }
 
+// k-major int8 matvec: raw dot products of one A row against nc B rows (B
+// rows in NT layout *are* k-contiguous, i.e. already the k-major panel the
+// shape wants). The pair-interleaved panels above are column-major per k
+// pair, which is perfect when 4 A rows amortize each 64-byte panel load but
+// leaves m==1 issuing one madd per 16 columns per k pair — memory-bound on
+// the panel. Here the A chunk is widened once and reused across 4 columns,
+// each column owning a full-width accumulator that is horizontally reduced
+// once at the end (k is large for matvec shapes — FC layers — so one hsum
+// per column is noise; it's the small-k pointwise convs that must avoid
+// reduction, and those keep the panel path via m > 1).
+//
+// Accumulation is raw (no zero-point subtraction), matching the packed
+// path's accumulators exactly — the caller applies the identical col_sums
+// epilogue, so packed-vs-matvec results are bit-identical by construction.
+
+#if defined(__AVX512BW__) && defined(__AVX512F__)
+
+inline void matvec_i8_kmajor(std::int64_t nc, std::int64_t k,
+                             const std::int8_t* a, const std::int8_t* b,
+                             std::int64_t ldb, std::int32_t* acc_out) {
+  std::int64_t j = 0;
+  for (; j + 4 <= nc; j += 4) {
+    const std::int8_t* b0 = b + j * ldb;
+    const std::int8_t* b1 = b0 + ldb;
+    const std::int8_t* b2 = b1 + ldb;
+    const std::int8_t* b3 = b2 + ldb;
+    __m512i acc0 = _mm512_setzero_si512();
+    __m512i acc1 = _mm512_setzero_si512();
+    __m512i acc2 = _mm512_setzero_si512();
+    __m512i acc3 = _mm512_setzero_si512();
+    std::int64_t kk = 0;
+    for (; kk + 32 <= k; kk += 32) {
+      // One 32-wide A widen feeds four 512-bit madds; per-lane pair sums
+      // are <= 2^15, so int32 lanes are safe to k > 2^18.
+      const __m512i av = _mm512_cvtepi8_epi16(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + kk)));
+      acc0 = _mm512_add_epi32(
+          acc0, _mm512_madd_epi16(av, _mm512_cvtepi8_epi16(_mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(b0 + kk)))));
+      acc1 = _mm512_add_epi32(
+          acc1, _mm512_madd_epi16(av, _mm512_cvtepi8_epi16(_mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(b1 + kk)))));
+      acc2 = _mm512_add_epi32(
+          acc2, _mm512_madd_epi16(av, _mm512_cvtepi8_epi16(_mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(b2 + kk)))));
+      acc3 = _mm512_add_epi32(
+          acc3, _mm512_madd_epi16(av, _mm512_cvtepi8_epi16(_mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(b3 + kk)))));
+    }
+    std::int32_t r0 = _mm512_reduce_add_epi32(acc0);
+    std::int32_t r1 = _mm512_reduce_add_epi32(acc1);
+    std::int32_t r2 = _mm512_reduce_add_epi32(acc2);
+    std::int32_t r3 = _mm512_reduce_add_epi32(acc3);
+    for (; kk < k; ++kk) {
+      const std::int32_t av = a[kk];
+      r0 += av * b0[kk];
+      r1 += av * b1[kk];
+      r2 += av * b2[kk];
+      r3 += av * b3[kk];
+    }
+    acc_out[j] = r0;
+    acc_out[j + 1] = r1;
+    acc_out[j + 2] = r2;
+    acc_out[j + 3] = r3;
+  }
+  for (; j < nc; ++j) {
+    const std::int8_t* bj = b + j * ldb;
+    std::int32_t r = 0;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      r += static_cast<std::int32_t>(a[kk]) *
+           static_cast<std::int32_t>(bj[kk]);
+    }
+    acc_out[j] = r;
+  }
+}
+
+#elif defined(__AVX2__)
+
+inline std::int32_t hsum_epi32(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i s = _mm_add_epi32(lo, hi);
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+inline void matvec_i8_kmajor(std::int64_t nc, std::int64_t k,
+                             const std::int8_t* a, const std::int8_t* b,
+                             std::int64_t ldb, std::int32_t* acc_out) {
+  std::int64_t j = 0;
+  for (; j + 4 <= nc; j += 4) {
+    const std::int8_t* b0 = b + j * ldb;
+    const std::int8_t* b1 = b0 + ldb;
+    const std::int8_t* b2 = b1 + ldb;
+    const std::int8_t* b3 = b2 + ldb;
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    __m256i acc2 = _mm256_setzero_si256();
+    __m256i acc3 = _mm256_setzero_si256();
+    std::int64_t kk = 0;
+    for (; kk + 16 <= k; kk += 16) {
+      // One A widen (int8 -> int16) feeds four madds; per-lane pair sums
+      // are <= 2^15, so int32 lanes are safe to k > 2^18.
+      const __m256i av = _mm256_cvtepi8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + kk)));
+      acc0 = _mm256_add_epi32(
+          acc0, _mm256_madd_epi16(av, _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                    reinterpret_cast<const __m128i*>(b0 + kk)))));
+      acc1 = _mm256_add_epi32(
+          acc1, _mm256_madd_epi16(av, _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                    reinterpret_cast<const __m128i*>(b1 + kk)))));
+      acc2 = _mm256_add_epi32(
+          acc2, _mm256_madd_epi16(av, _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                    reinterpret_cast<const __m128i*>(b2 + kk)))));
+      acc3 = _mm256_add_epi32(
+          acc3, _mm256_madd_epi16(av, _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                    reinterpret_cast<const __m128i*>(b3 + kk)))));
+    }
+    std::int32_t r0 = hsum_epi32(acc0);
+    std::int32_t r1 = hsum_epi32(acc1);
+    std::int32_t r2 = hsum_epi32(acc2);
+    std::int32_t r3 = hsum_epi32(acc3);
+    for (; kk < k; ++kk) {
+      const std::int32_t av = a[kk];
+      r0 += av * b0[kk];
+      r1 += av * b1[kk];
+      r2 += av * b2[kk];
+      r3 += av * b3[kk];
+    }
+    acc_out[j] = r0;
+    acc_out[j + 1] = r1;
+    acc_out[j + 2] = r2;
+    acc_out[j + 3] = r3;
+  }
+  for (; j < nc; ++j) {
+    const std::int8_t* bj = b + j * ldb;
+    std::int32_t r = 0;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      r += static_cast<std::int32_t>(a[kk]) *
+           static_cast<std::int32_t>(bj[kk]);
+    }
+    acc_out[j] = r;
+  }
+}
+
+#else
+
+// Portable tier: 4 independent column chains so the compiler can keep four
+// scalar (or auto-vectorized) accumulators live. Integer math is exact, so
+// this is bit-identical to the SIMD tier.
+inline void matvec_i8_kmajor(std::int64_t nc, std::int64_t k,
+                             const std::int8_t* a, const std::int8_t* b,
+                             std::int64_t ldb, std::int32_t* acc_out) {
+  std::int64_t j = 0;
+  for (; j + 4 <= nc; j += 4) {
+    const std::int8_t* b0 = b + j * ldb;
+    const std::int8_t* b1 = b0 + ldb;
+    const std::int8_t* b2 = b1 + ldb;
+    const std::int8_t* b3 = b2 + ldb;
+    std::int32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const std::int32_t av = a[kk];
+      r0 += av * b0[kk];
+      r1 += av * b1[kk];
+      r2 += av * b2[kk];
+      r3 += av * b3[kk];
+    }
+    acc_out[j] = r0;
+    acc_out[j + 1] = r1;
+    acc_out[j + 2] = r2;
+    acc_out[j + 3] = r3;
+  }
+  for (; j < nc; ++j) {
+    const std::int8_t* bj = b + j * ldb;
+    std::int32_t r = 0;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      r += static_cast<std::int32_t>(a[kk]) *
+           static_cast<std::int32_t>(bj[kk]);
+    }
+    acc_out[j] = r;
+  }
+}
+
+#endif
+
 }  // namespace
 
 std::int64_t packed_b_f32_floats(std::int64_t n, std::int64_t k) {
@@ -569,6 +755,47 @@ void gemm_i8_nt(std::int64_t m, std::int64_t n, std::int64_t k,
   if (m <= 0 || n <= 0) return;
   const bool use_packed = packed != nullptr && packed->panels != nullptr &&
                           packed->col_sums != nullptr;
+  // Shape dispatch: m == 1 (batch-1 FC / 1x1-output convs) walks raw
+  // k-major B rows instead of the pair-interleaved panels — with a single A
+  // row the panel walk has no load reuse and regressed matvec latency ~2.7x
+  // (see ROADMAP note). Same raw accumulators + identical col_sums
+  // epilogue, so the result is bit-exact vs the panel path (the
+  // matvec-vs-packed parity test pins this).
+  if (use_packed && m == 1 && b != nullptr) {
+    constexpr std::int64_t kMvCols = 64;
+    std::int32_t acc[kMvCols];
+    for (std::int64_t j0 = 0; j0 < n; j0 += kMvCols) {
+      const std::int64_t nc = std::min(kMvCols, n - j0);
+      matvec_i8_kmajor(nc, k, a, b + j0 * ldb, ldb, acc);
+      std::int64_t j = 0;
+#if defined(__GNUC__) || defined(__clang__)
+      const v8s32_fx zp_a = (v8s32_fx){} + q.a_zero_point;
+      for (; j + 8 <= nc; j += 8) {
+        const std::size_t col = static_cast<std::size_t>(j0 + j);
+        v8s32_fx accv, cs, bs, mu, sh;
+        __builtin_memcpy(&accv, acc + j, sizeof(accv));
+        __builtin_memcpy(&cs, packed->col_sums + col, sizeof(cs));
+        __builtin_memcpy(&bs, q.bias + col, sizeof(bs));
+        __builtin_memcpy(&mu, q.multipliers + col, sizeof(mu));
+        __builtin_memcpy(&sh, q.shifts + col, sizeof(sh));
+        requant_clamp_store_i8_v8(accv - zp_a * cs + bs, mu, -sh,
+                                  q.out_zero_point, q.act_min, q.act_max,
+                                  c + j0 + j);
+      }
+#endif
+      for (; j < nc; ++j) {
+        const std::size_t col = static_cast<std::size_t>(j0 + j);
+        const std::int32_t sum =
+            acc[j] - q.a_zero_point * packed->col_sums[col];
+        std::int32_t scaled = multiply_by_quantized_multiplier(
+            sum + q.bias[col], q.multipliers[col], q.shifts[col]);
+        std::int32_t v = scaled + q.out_zero_point;
+        v = std::clamp(v, q.act_min, q.act_max);
+        c[j0 + j] = static_cast<std::int8_t>(v);
+      }
+    }
+    return;
+  }
   const std::int64_t m_tiles = (m + kMr - 1) / kMr;
   const std::int64_t k2 = (k + 1) / 2;
   // Packed path: pair-broadcast microkernel over the pair-interleaved

@@ -339,6 +339,25 @@ TEST(PrepackedGemm, MatvecM1EdgeCase) {
   EXPECT_EQ(d.run_i8(false), d.run_i8(true));
 }
 
+// m == 1 int8: the prepacked call dispatches to the k-major matvec kernel
+// (raw B rows, SIMD widened-multiply accumulation) instead of the
+// pair-interleaved panel microkernel. Integer accumulation is exact in any
+// order and the col_sums zero-point epilogue is shared, so the matvec must
+// match the scalar unpacked path bit-for-bit across column-chunk remainders
+// (n % 4, n % 64) and k remainders (SIMD chunk tails, odd k).
+TEST(PrepackedGemm, MatvecM1Int8KMajorMatchesScalarExact) {
+  for (auto [n, k] : {std::array<std::int64_t, 2>{1, 1},
+                      std::array<std::int64_t, 2>{3, 33},
+                      std::array<std::int64_t, 2>{7, 64},
+                      std::array<std::int64_t, 2>{17, 100},
+                      std::array<std::int64_t, 2>{64, 96},
+                      std::array<std::int64_t, 2>{65, 128},
+                      std::array<std::int64_t, 2>{1001, 1024}}) {
+    GemmData d(1, n, k, 950 + static_cast<std::uint64_t>(n));
+    EXPECT_EQ(d.run_i8(false), d.run_i8(true)) << "1x" << n << "x" << k;
+  }
+}
+
 // --- steady-state allocation behaviour --------------------------------------
 
 Graph conv_stack_model(Pcg32* rng, int batch = 1) {

@@ -177,6 +177,12 @@ void print_json(const std::vector<RunResult>& results) {
   std::printf("    \"executable\": \"%s\",\n",
               json_escape(options().executable).c_str());
   std::printf("    \"num_cpus\": %u,\n", std::thread::hardware_concurrency());
+  // Duplicated under the name the serving digests key scaling assertions on,
+  // so every recorded JSON says up front how much real parallelism the host
+  // offered (google-benchmark's num_cpus is the same value, kept for shape
+  // compatibility).
+  std::printf("    \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
   std::printf("    \"mhz_per_cpu\": %d,\n", read_mhz_per_cpu());
   std::printf("    \"cpu_scaling_enabled\": false,\n");
   std::printf("    \"caches\": [\n    ],\n");
