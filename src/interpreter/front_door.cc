@@ -84,6 +84,7 @@ struct FrontDoorSlot {
   Clock::time_point not_before{};  // retry backoff hold
   bool has_deadline = false;
   bool retried = false;
+  bool deadline_requeued = false;  // one requeue after a collateral batch expiry
   bool done = false;
   FrontDoorCallback callback = nullptr;
   void* callback_ctx = nullptr;
@@ -115,6 +116,7 @@ struct FrontDoorModelEntry {
   std::uint64_t s_rej_infeasible = 0;
   std::uint64_t s_rej_breaker = 0;
   std::uint64_t s_retries = 0;
+  std::uint64_t s_deadline_requeues = 0;
   std::uint64_t s_batches = 0;
   std::vector<std::uint64_t> batch_hist;
   std::size_t max_queue_depth = 0;
@@ -432,6 +434,7 @@ RequestCode FrontDoor::admit_locked(ModelEntry& m, const Tensor& input,
       slot->has_deadline ? now + ms_duration(dl_ms) : Clock::time_point::max();
   slot->not_before = now;
   slot->retried = false;
+  slot->deadline_requeued = false;
   slot->done = false;
   slot->callback = done;
   slot->callback_ctx = done_ctx;
@@ -702,14 +705,18 @@ void FrontDoor::execute_batch(ModelEntry& m,
     } else if (m.breaker == BreakerState::kClosed &&
                m.consecutive_failures >= m.opts.breaker_failure_threshold) {
       breaker_transition_locked(m, BreakerState::kOpen, now);
-      // Fail fast: flush the queue instead of feeding a failing model.
+    }
+    if (m.breaker == BreakerState::kOpen) {
+      // Fail fast on *every* transition to open — the first trip and a
+      // failed half-open probe alike. Requests admitted while the probe was
+      // in flight would otherwise strand: nothing serves an open model, and
+      // with no new submits nothing would ever half-open it again.
       for (FrontDoorSlot* slot : m.pending) {
         complete_locked(m, slot, RequestCode::kBreakerOpen, now,
                         callback_batch);
       }
       m.pending.clear();
     }
-    bool queued_retry = false;
     for (FrontDoorSlot* slot : batch) {
       bool can_retry = m.opts.retry_transient_faults && !slot->retried &&
                        m.breaker != BreakerState::kOpen &&
@@ -733,14 +740,34 @@ void FrontDoor::execute_batch(ModelEntry& m,
         slot->not_before = now + ms_duration(backoff_ms);
         m.pending.push_back(slot);
         ++m.s_retries;
-        queued_retry = true;
       } else {
         complete_locked(m, slot, RequestCode::kError, now, callback_batch);
       }
     }
-    (void)queued_retry;
+  } else if (code == RequestCode::kDeadlineExceeded) {
+    // The batched invoke expired against the *earliest* member deadline.
+    // That verdict is only final for members whose own deadline has passed
+    // (or provably cannot be met); members with later or no deadlines were
+    // collateral of the coalescing choice — requeue each of them once
+    // instead of failing a request that still has budget.
+    for (FrontDoorSlot* slot : batch) {
+      const bool own_deadline_blown =
+          slot->has_deadline &&
+          (now >= slot->deadline ||
+           (m.est_us > 0.0 && us_between(now, slot->deadline) < m.est_us));
+      if (!own_deadline_blown && !slot->deadline_requeued &&
+          m.breaker != BreakerState::kOpen &&
+          m.pending.size() < m.opts.queue_capacity) {
+        slot->deadline_requeued = true;
+        m.pending.push_back(slot);
+        ++m.s_deadline_requeues;
+      } else {
+        complete_locked(m, slot, RequestCode::kDeadlineExceeded, now,
+                        callback_batch);
+      }
+    }
   } else {
-    // kDeadlineExceeded or kUnknownModel applies to every member.
+    // kUnknownModel applies to every member.
     for (FrontDoorSlot* slot : batch) {
       complete_locked(m, slot, code, now, callback_batch);
     }
@@ -799,11 +826,18 @@ void FrontDoor::worker_loop() {
       shed_unservable_locked(m, now, callbacks);
       if (m.pending.empty()) continue;
       if (m.breaker == BreakerState::kOpen) {
-        // Queued requests during open happen only transiently (the flush
-        // runs at trip time); let the cooldown wake us.
-        next_event = std::min(
-            next_event, m.breaker_opened_at + ms_duration(m.opts.breaker_open_ms));
-        continue;
+        // Every transition to open flushes the queue, so pending behind an
+        // open breaker is a narrow race (e.g. a concurrent batch requeued a
+        // member after the flush). Don't strand them: once the cooldown
+        // elapses, half-open here — the submit path only transitions on new
+        // traffic — and let the queued requests form the probe.
+        const Clock::time_point reopen =
+            m.breaker_opened_at + ms_duration(m.opts.breaker_open_ms);
+        if (now < reopen) {
+          next_event = std::min(next_event, reopen);
+          continue;
+        }
+        breaker_transition_locked(m, BreakerState::kHalfOpen, now);
       }
       if (m.breaker == BreakerState::kHalfOpen && m.probe_inflight) {
         continue;  // one probe at a time; its completion re-notifies
@@ -872,6 +906,7 @@ FrontDoorStats FrontDoor::stats(const std::string& model) const {
   s.rejected_infeasible = m->s_rej_infeasible;
   s.rejected_breaker_open = m->s_rej_breaker;
   s.retries = m->s_retries;
+  s.deadline_requeues = m->s_deadline_requeues;
   s.batches = m->s_batches;
   s.batch_size_hist = m->batch_hist;
   s.queue_depth = m->pending.size();

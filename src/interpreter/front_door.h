@@ -25,10 +25,12 @@
 //                       admitted now (queue depth ahead of it included);
 //   kBreakerOpen        the model's circuit breaker is open (failing fast).
 // Admitted requests reach exactly one terminal code: kOk, kError (invoke
-// failed, after at most one retry), kDeadlineExceeded (the batched invoke's
-// cooperative deadline expired mid-walk), kShed (dropped from the queue by
-// the shedding policy or at shutdown), or kUnknownModel (the engine no
-// longer serves any variant — e.g. unload raced the dispatch).
+// failed, after at most one retry), kDeadlineExceeded (the request's own
+// deadline expired while its batch ran — a member coalesced with an
+// earlier-deadline peer whose own deadline still has room is requeued once
+// instead), kShed (dropped from the queue by the shedding policy or at
+// shutdown), or kUnknownModel (the engine no longer serves any variant —
+// e.g. unload raced the dispatch).
 //
 // Batching. Scheduler workers coalesce up to max_batch queued requests for
 // the same model into one batched invoke: rows are memcpy'd into the input
@@ -48,7 +50,9 @@
 //
 // Circuit breaker. Per model, keyed to the engine version that served the
 // last batch. consecutive failed invokes >= breaker_failure_threshold trips
-// the breaker open: queued requests flush as kBreakerOpen and new submits
+// the breaker open: queued requests flush as kBreakerOpen (on every
+// transition to open — the initial trip and a failed half-open probe alike,
+// so requests admitted behind a probe are never stranded) and new submits
 // fail fast without touching the engine. After breaker_open_ms the breaker
 // half-opens and admits a single probe batch: success closes it, failure
 // re-opens. A hot-swap (engine serving version changes) resets the breaker
@@ -175,6 +179,8 @@ struct FrontDoorStats {
   std::uint64_t rejected_infeasible = 0;
   std::uint64_t rejected_breaker_open = 0;
   std::uint64_t retries = 0;
+  // Batch expired against another member's earlier deadline: requeued once.
+  std::uint64_t deadline_requeues = 0;
   std::uint64_t batches = 0;  // dispatched batched invokes
   // batch_size_hist[n] = batches that coalesced exactly n requests
   // (index 0 unused); size max_batch + 1.

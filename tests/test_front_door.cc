@@ -436,6 +436,58 @@ TEST_F(FrontDoorTest, BatchDeadlineExpiresCooperativelyWithoutPoisoning) {
   EXPECT_EQ(ok.wait().code, RequestCode::kOk);
 }
 
+TEST_F(FrontDoorTest, CoalescedPeerWithRoomIsRequeuedNotFailedOnBatchExpiry) {
+  BuiltinOpResolver opt;
+  Engine engine(&opt);
+  engine.load("stack", conv_stack_graph(65));
+  engine.load("stack@b4", conv_stack_graph(65, 4));
+
+  // Reference output for the no-deadline request (before any faults).
+  Pcg32 drng(66);
+  Tensor x = random_input(Shape{1, 16, 16, 8}, drng);
+  Tensor expected;
+  {
+    SessionLease ref = engine.acquire("stack");
+    ref->set_input(0, x);
+    ref->invoke();
+    expected = ref->output(0);
+  }
+
+  FrontDoor door(&engine);
+  FrontDoorModelOptions opts;
+  opts.variants = {{1, "stack"}, {4, "stack@b4"}};
+  opts.max_wait_ms = 50.0;  // both submits coalesce into one batch
+  opts.retry_transient_faults = false;
+  door.register_model("stack", opts);
+
+  // The coalesced batch stalls past the urgent member's 120 ms deadline
+  // (dispatch at ~50 ms + 30 ms per step), so the batched invoke expires
+  // cooperatively mid-walk.
+  fault::Spec stall;
+  stall.kind = fault::Kind::kDelay;
+  stall.delay_ms = 30;
+  stall.max_fires = 4;
+  fault::arm(fault_sites::kInvokeStep, stall);
+
+  Ticket urgent = door.submit("stack", x, /*deadline_ms=*/120.0);
+  Ticket lax = door.submit("stack", x, /*deadline_ms=*/0.0);
+
+  // Only the member whose own deadline blew fails; the no-deadline member
+  // was collateral of the coalescing choice and is requeued, then served.
+  EXPECT_EQ(urgent.wait().code, RequestCode::kDeadlineExceeded);
+  const RequestResult& rl = lax.wait();
+  EXPECT_EQ(rl.code, RequestCode::kOk)
+      << "no-deadline request failed for a coalesced peer's deadline";
+  ASSERT_EQ(rl.output_count, 1);
+  expect_bit_identical(rl.outputs[0], expected);
+
+  const FrontDoorStats s = door.stats("stack");
+  EXPECT_EQ(s.deadline_exceeded, 1u);
+  EXPECT_EQ(s.completed_ok, 1u);
+  EXPECT_EQ(s.deadline_requeues, 1u)
+      << "the two submits did not coalesce into one batch";
+}
+
 // --- circuit breaker ---------------------------------------------------------
 
 class BreakerRecorder : public FrontDoorObserver {
@@ -553,6 +605,84 @@ TEST_F(FrontDoorTest, FailedProbeReopensTheBreaker) {
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
   EXPECT_EQ(door.submit("stack", x).wait().code, RequestCode::kOk);
   EXPECT_EQ(door.stats("stack").breaker_state, BreakerState::kClosed);
+}
+
+TEST_F(FrontDoorTest, FailedProbeFlushesRequestsQueuedBehindIt) {
+  BuiltinOpResolver opt;
+  Engine engine(&opt);
+  engine.load("stack", conv_stack_graph(85));
+  FrontDoor door(&engine);
+  FrontDoorModelOptions opts;
+  opts.breaker_failure_threshold = 1;
+  opts.breaker_open_ms = 30.0;
+  opts.retry_transient_faults = false;
+  door.register_model("stack", opts);
+
+  Pcg32 drng(86);
+  Tensor x = random_input(Shape{1, 16, 16, 8}, drng);
+
+  // Trip the breaker, then wait out the cooldown.
+  fault::Spec boom;
+  boom.kind = fault::Kind::kThrow;
+  boom.max_fires = 1;
+  fault::arm(fault_sites::kInvokeStep, boom);
+  EXPECT_EQ(door.submit("stack", x).wait().code, RequestCode::kError);
+  EXPECT_EQ(door.stats("stack").breaker_state, BreakerState::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // The half-open probe stalls 60 ms in its first GEMM (time to queue
+  // requests behind it), then fails with a contained throw.
+  fault::Spec stall;
+  stall.kind = fault::Kind::kDelay;
+  stall.delay_ms = 60;
+  stall.max_fires = 1;
+  fault::arm(fault_sites::kKernelGemm, stall);
+  fault::Spec boom2;
+  boom2.kind = fault::Kind::kThrow;
+  boom2.skip = 2;
+  boom2.max_fires = 1;
+  fault::arm(fault_sites::kInvokeStep, boom2);
+
+  Ticket probe = door.submit("stack", x);
+  ASSERT_TRUE(wait_for_inflight(door, "stack"));
+
+  // Admitted during the half-open probe: if the probe fails, nothing will
+  // ever serve these — the re-opened breaker must flush them, not strand
+  // them. submit_async so a regression fails the EXPECTs at door teardown
+  // (kShed) instead of deadlocking a Ticket wait.
+  struct FlushCtx {
+    std::atomic<int> fired{0};
+    std::atomic<int> breaker_open{0};
+  } ctx;
+  const FrontDoorCallback on_done = [](void* c, const RequestResult& r) {
+    auto* fc = static_cast<FlushCtx*>(c);
+    if (r.code == RequestCode::kBreakerOpen) {
+      fc->breaker_open.fetch_add(1, std::memory_order_relaxed);
+    }
+    fc->fired.fetch_add(1, std::memory_order_relaxed);
+  };
+  ASSERT_EQ(door.submit_async("stack", x, 0.0, 0, on_done, &ctx),
+            RequestCode::kOk);
+  ASSERT_EQ(door.submit_async("stack", x, 0.0, 0, on_done, &ctx),
+            RequestCode::kOk);
+
+  EXPECT_EQ(probe.wait().code, RequestCode::kError);
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (ctx.fired.load(std::memory_order_relaxed) < 2 &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(ctx.fired.load(), 2)
+      << "requests queued behind the failed probe were stranded";
+  EXPECT_EQ(ctx.breaker_open.load(), 2);
+  {
+    const FrontDoorStats s = door.stats("stack");
+    EXPECT_EQ(s.breaker_state, BreakerState::kOpen);
+    EXPECT_EQ(s.breaker_trips, 2u);
+    EXPECT_EQ(s.flushed_breaker_open, 2u);
+    EXPECT_EQ(s.queue_depth, 0u);
+  }
 }
 
 TEST_F(FrontDoorTest, HotSwapHealsAnOpenBreakerImmediately) {
