@@ -14,6 +14,7 @@
 #include "src/graph/builder.h"
 #include "src/interpreter/interpreter.h"
 #include "src/kernels/dwconv.h"
+#include "src/kernels/elementwise.h"
 #include "src/kernels/fixed_point.h"
 #include "src/kernels/gemm.h"
 #include "src/quant/quantizer.h"
@@ -235,6 +236,121 @@ void BM_DwConvI8_TierScalar(benchmark::State& s) { run_dwconv_tier(s, DwConvTier
 BENCHMARK(BM_DwConvI8_TierAuto)->Args({16, 64});
 BENCHMARK(BM_DwConvI8_TierGeneric)->Args({16, 64});
 BENCHMARK(BM_DwConvI8_TierScalar)->Args({16, 64});
+
+// --- int8 elementwise family at MobileNetV3-mini SE shapes -----------------
+// The squeeze-excite ops the elementwise family (src/kernels/elementwise.h)
+// moved off the double-math reference path: residual Add, the [N,1,1,C]
+// broadcast Mul gate, global Mean, and the standalone Logistic / HardSwish
+// LUT activations. Optimized-vs-reference pairs quantify the per-op win the
+// Table-4 split aggregates; forced-tier variants isolate the 8-lane
+// vectorization from the plan-time Q31/LUT prep.
+
+enum class EwBenchOp { kAdd, kMulGate, kMean, kLogistic, kHardSwish };
+
+Graph ew_model(int size, int ch, EwBenchOp op) {
+  Pcg32 rng(1);
+  GraphBuilder b("m", &rng);
+  int x = b.input(Shape{1, size, size, ch});
+  switch (op) {
+    case EwBenchOp::kAdd:
+      b.add(x, b.input(Shape{1, size, size, ch}, DType::kF32, "g"),
+            Activation::kNone, "op");
+      break;
+    case EwBenchOp::kMulGate:
+      b.mul(x, b.input(Shape{1, 1, 1, ch}, DType::kF32, "g"), "op");
+      break;
+    case EwBenchOp::kMean: b.mean(x, "op"); break;
+    case EwBenchOp::kLogistic: b.sigmoid(x, "op"); break;
+    case EwBenchOp::kHardSwish: b.hardswish(x, "op"); break;
+  }
+  return b.finish({op == EwBenchOp::kAdd || op == EwBenchOp::kMulGate ? 2 : 1});
+}
+
+Tensor random_shaped(Shape shape, std::uint64_t seed) {
+  Tensor t = Tensor::f32(shape);
+  Pcg32 rng(seed);
+  float* p = t.data<float>();
+  for (std::int64_t i = 0; i < t.num_elements(); ++i) p[i] = rng.uniform(-1, 1);
+  return t;
+}
+
+void run_ew_variant(benchmark::State& state, EwBenchOp op, bool reference) {
+  const int size = static_cast<int>(state.range(0));
+  const int ch = static_cast<int>(state.range(1));
+  Graph m = ew_model(size, ch, op);
+  const bool binary = op == EwBenchOp::kAdd || op == EwBenchOp::kMulGate;
+  const Shape gate_shape = op == EwBenchOp::kMulGate
+                               ? Shape{1, 1, 1, ch}
+                               : Shape{1, size, size, ch};
+  Calibrator calib(&m);
+  for (int i = 0; i < 4; ++i) {
+    if (binary) {
+      calib.observe({random_shaped(Shape{1, size, size, ch}, 10 + static_cast<std::uint64_t>(i)),
+                     random_shaped(gate_shape, 20 + static_cast<std::uint64_t>(i))});
+    } else {
+      calib.observe({random_shaped(Shape{1, size, size, ch}, 10 + static_cast<std::uint64_t>(i))});
+    }
+  }
+  Graph qm = quantize_model(m, calib);
+  RefOpResolver ref;
+  BuiltinOpResolver opt;
+  const OpResolver& resolver = reference ? static_cast<const OpResolver&>(ref)
+                                         : static_cast<const OpResolver&>(opt);
+  Interpreter interp(&qm, &resolver);
+  interp.set_input(0, random_shaped(Shape{1, size, size, ch}, 2));
+  if (binary) interp.set_input(1, random_shaped(gate_shape, 3));
+  for (auto _ : state) {
+    interp.invoke();
+    benchmark::DoNotOptimize(interp.output(0).raw_data());
+  }
+}
+
+void BM_ElemwiseAddI8_Optimized(benchmark::State& s) { run_ew_variant(s, EwBenchOp::kAdd, false); }
+void BM_ElemwiseAddI8_Reference(benchmark::State& s) { run_ew_variant(s, EwBenchOp::kAdd, true); }
+void BM_ElemwiseMulGateI8_Optimized(benchmark::State& s) { run_ew_variant(s, EwBenchOp::kMulGate, false); }
+void BM_ElemwiseMulGateI8_Reference(benchmark::State& s) { run_ew_variant(s, EwBenchOp::kMulGate, true); }
+void BM_ElemwiseMeanI8_Optimized(benchmark::State& s) { run_ew_variant(s, EwBenchOp::kMean, false); }
+void BM_ElemwiseMeanI8_Reference(benchmark::State& s) { run_ew_variant(s, EwBenchOp::kMean, true); }
+void BM_ElemwiseLogisticI8_Optimized(benchmark::State& s) { run_ew_variant(s, EwBenchOp::kLogistic, false); }
+void BM_ElemwiseLogisticI8_Reference(benchmark::State& s) { run_ew_variant(s, EwBenchOp::kLogistic, true); }
+void BM_ElemwiseHardSwishI8_Optimized(benchmark::State& s) { run_ew_variant(s, EwBenchOp::kHardSwish, false); }
+void BM_ElemwiseHardSwishI8_Reference(benchmark::State& s) { run_ew_variant(s, EwBenchOp::kHardSwish, true); }
+
+// V3-mini geometries: residual Add / HardSwish at the 16x16x24 mid blocks,
+// the SE gate Mul and global Mean at the 8x8x96 late blocks, Logistic on
+// the 1x1x96 SE bottleneck (tiny — dominated by dispatch, kept honest).
+BENCHMARK(BM_ElemwiseAddI8_Optimized)->Args({16, 24})->Args({8, 96});
+BENCHMARK(BM_ElemwiseAddI8_Reference)->Args({16, 24})->Args({8, 96});
+BENCHMARK(BM_ElemwiseMulGateI8_Optimized)->Args({16, 24})->Args({8, 96});
+BENCHMARK(BM_ElemwiseMulGateI8_Reference)->Args({16, 24})->Args({8, 96});
+BENCHMARK(BM_ElemwiseMeanI8_Optimized)->Args({8, 96});
+BENCHMARK(BM_ElemwiseMeanI8_Reference)->Args({8, 96});
+BENCHMARK(BM_ElemwiseLogisticI8_Optimized)->Args({16, 64})->Args({1, 96});
+BENCHMARK(BM_ElemwiseLogisticI8_Reference)->Args({16, 64})->Args({1, 96});
+BENCHMARK(BM_ElemwiseHardSwishI8_Optimized)->Args({16, 24});
+BENCHMARK(BM_ElemwiseHardSwishI8_Reference)->Args({16, 24});
+
+// Forced compute tiers on the widest SE pattern (broadcast Mul + Add):
+// regression guard on the tier dispatch and the vector-vs-scalar gap.
+void run_ew_tier(benchmark::State& state, EwBenchOp op, ElementwiseTier tier) {
+  set_elementwise_tier_for_testing(tier);
+  run_ew_variant(state, op, /*reference=*/false);
+  set_elementwise_tier_for_testing(ElementwiseTier::kAuto);
+}
+
+void BM_ElemwiseAddI8_TierAuto(benchmark::State& s) { run_ew_tier(s, EwBenchOp::kAdd, ElementwiseTier::kAuto); }
+void BM_ElemwiseAddI8_TierGeneric(benchmark::State& s) { run_ew_tier(s, EwBenchOp::kAdd, ElementwiseTier::kGenericVector); }
+void BM_ElemwiseAddI8_TierScalar(benchmark::State& s) { run_ew_tier(s, EwBenchOp::kAdd, ElementwiseTier::kScalar); }
+void BM_ElemwiseMulGateI8_TierAuto(benchmark::State& s) { run_ew_tier(s, EwBenchOp::kMulGate, ElementwiseTier::kAuto); }
+void BM_ElemwiseMulGateI8_TierGeneric(benchmark::State& s) { run_ew_tier(s, EwBenchOp::kMulGate, ElementwiseTier::kGenericVector); }
+void BM_ElemwiseMulGateI8_TierScalar(benchmark::State& s) { run_ew_tier(s, EwBenchOp::kMulGate, ElementwiseTier::kScalar); }
+
+BENCHMARK(BM_ElemwiseAddI8_TierAuto)->Args({16, 64});
+BENCHMARK(BM_ElemwiseAddI8_TierGeneric)->Args({16, 64});
+BENCHMARK(BM_ElemwiseAddI8_TierScalar)->Args({16, 64});
+BENCHMARK(BM_ElemwiseMulGateI8_TierAuto)->Args({16, 64});
+BENCHMARK(BM_ElemwiseMulGateI8_TierGeneric)->Args({16, 64});
+BENCHMARK(BM_ElemwiseMulGateI8_TierScalar)->Args({16, 64});
 
 }  // namespace
 }  // namespace mlexray

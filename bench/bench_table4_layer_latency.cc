@@ -1,5 +1,5 @@
-// Table 4: per-layer-type latency of MobileNetV2-mini across execution
-// variants:
+// Table 4: per-layer-type latency of MobileNetV2-mini and MobileNetV3-mini
+// across execution variants:
 //   Mobile           — converted float, optimized kernels (measured, host)
 //   Mobile Quant     — int8, optimized kernels (measured, host)
 //   Mobile Quant Ref — int8, reference kernels (measured, host)
@@ -7,9 +7,16 @@
 //
 // Paper shape: reference kernels are orders of magnitude slower on conv /
 // depthwise / pad; the emulator is pathological on float convolutions.
+//
+// The V3 table splits out the squeeze-excite elementwise groups (Add, Mul,
+// Mean, Logistic, HSwish) that src/kernels/elementwise.h moved onto the
+// integer-only Q31/LUT path, and verifies — via elementwise_pack_events() —
+// that every int8 elementwise node in the plan was prepared by that family,
+// i.e. no double-math reference elementwise remains on the int8 path.
 #include "bench/bench_util.h"
 #include "src/convert/converter.h"
 #include "src/interpreter/device_profile.h"
+#include "src/kernels/elementwise.h"
 #include "src/models/trained_models.h"
 #include "src/quant/quantizer.h"
 
@@ -50,10 +57,24 @@ std::map<std::string, double> modeled_by_group(const Graph& model,
   return totals;
 }
 
-int run() {
-  bench::print_header("Table 4 — latency by layer type (MobileNetV2-mini)",
-                      "ML-EXray Table 4");
-  Graph ckpt = trained_image_checkpoint("mobilenet_v2_mini");
+bool is_elementwise_type(OpType type) {
+  switch (type) {
+    case OpType::kAdd:
+    case OpType::kSub:
+    case OpType::kMul:
+    case OpType::kMean:
+    case OpType::kSigmoid:
+    case OpType::kHardSwish:
+    case OpType::kTanh:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int run_model(const char* checkpoint, const char* title) {
+  bench::print_header(title, "ML-EXray Table 4");
+  Graph ckpt = trained_image_checkpoint(checkpoint);
   Graph mobile = convert_for_inference(ckpt);
   ImagePipelineConfig correct{ckpt.input_spec, PreprocBug::kNone};
   auto sensors = SynthImageNet::make(1, 9200);
@@ -67,6 +88,20 @@ int run() {
 
   BuiltinOpResolver opt;
   RefOpResolver ref;
+
+  // Integer-only verification: every int8 elementwise node must be
+  // plan-prepared by the Q31/LUT family (the reference kernels have no
+  // prepare hook, so a node falling back to double math would not tick
+  // elementwise_pack_events() at plan construction).
+  int elementwise_nodes = 0;
+  for (const Node& n : quant.nodes) {
+    if (is_elementwise_type(n.type)) ++elementwise_nodes;
+  }
+  const std::uint64_t probe = elementwise_pack_events();
+  { Interpreter check(&quant, &opt); }
+  const int prepared =
+      static_cast<int>(elementwise_pack_events() - probe);
+
   auto float_opt = measure_by_group(mobile, opt, input, 2);
   auto quant_opt = measure_by_group(quant, opt, input, 2);
   auto quant_ref = measure_by_group(quant, ref, input, 1);
@@ -78,8 +113,10 @@ int run() {
     if (n.type != OpType::kInput) ++counts[op_latency_group(n.type)];
   }
 
-  const char* order[] = {"D-Conv", "Conv", "FC",  "Mean",
-                         "Pad",    "Add",  "Softmax", "Quantize", "Other"};
+  const char* order[] = {"D-Conv", "Conv",     "FC",      "Pool",
+                         "Mean",   "Pad",      "Add",     "Mul",
+                         "Logistic", "HSwish", "Tanh",    "Softmax",
+                         "Quantize", "Other"};
   std::vector<std::vector<std::string>> rows;
   double t_fo = 0, t_qo = 0, t_qr = 0, t_em = 0;
   for (const char* group : order) {
@@ -104,10 +141,31 @@ int run() {
                       "Mobile Quant Ref (ms)", "Emulator x86 (ms, modeled)"},
                      rows);
   std::printf(
+      "\nint8 elementwise nodes: %d, plan-prepared by the Q31/LUT family: %d\n",
+      elementwise_nodes, prepared);
+  if (prepared != elementwise_nodes) {
+    std::printf(
+        "ERROR: %d int8 elementwise node(s) fell back to double-math "
+        "reference kernels on the int8 path\n",
+        elementwise_nodes - prepared);
+    return 1;
+  }
+  return 0;
+}
+
+int run() {
+  int rc = run_model("mobilenet_v2_mini",
+                     "Table 4 — latency by layer type (MobileNetV2-mini)");
+  rc |= run_model(
+      "mobilenet_v3_mini",
+      "Table 4b — latency by layer type (MobileNetV3-mini, SE elementwise)");
+  std::printf(
       "\nexpected shape: reference kernels are orders of magnitude slower on\n"
       "Conv/D-Conv/Pad; the x86 emulator is pathological on float convs\n"
-      "(paper Table 4; Mobile/Quant columns measured on host).\n");
-  return 0;
+      "(paper Table 4; Mobile/Quant columns measured on host). The V3 split\n"
+      "shows the SE elementwise groups (Add/Mul/Mean/Logistic/HSwish) served\n"
+      "by the integer-only Q31/LUT family, not reference double math.\n");
+  return rc;
 }
 
 }  // namespace

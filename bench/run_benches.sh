@@ -94,14 +94,75 @@ echo "== kernel microbenchmarks (Table 4 shapes) =="
 echo "wrote ${out_dir}/BENCH_kernels_micro.json"
 digest "${out_dir}/BENCH_kernels_micro.json"
 
+# Gates the end-to-end numbers before they replace the committed baseline:
+#  - the integer-only elementwise path must keep mobilenet_v3_mini int8 at
+#    least as fast as f32 at batch 1 (the PR-8 win: f32/int8 ratio >= 1.0);
+#  - no int8 zoo row may regress more than 25% against the committed
+#    BENCH_models_e2e.json (noise tolerance; real regressions are 2-10x).
+# On violation the fresh JSON is discarded and the committed baseline stays
+# in place — the script refuses to stamp a regression into the trajectory.
+digest_models() {
+  python3 - "$1" "$2" <<'EOF'
+import json, os, sys
+new_path, baseline_path = sys.argv[1], sys.argv[2]
+with open(new_path) as f:
+    new = json.load(f)
+times = {b["name"]: b["real_time"] for b in new.get("benchmarks", [])}
+
+ratios = {}
+print(f"{'model':28s} {'f32 b1 us':>10s} {'int8 b1 us':>11s} {'f32/int8':>9s}")
+for name, t in sorted(times.items()):
+    parts = name.split("/")
+    if len(parts) != 4 or parts[2] != "f32" or parts[3] != "b1":
+        continue
+    model = parts[1]
+    int8_name = f"E2E/{model}/int8/b1"
+    if int8_name not in times:
+        continue
+    ratios[model] = t / times[int8_name]
+    print(f"{model:28s} {t:10.0f} {times[int8_name]:11.0f} {ratios[model]:8.2f}x")
+
+v3 = ratios.get("mobilenet_v3_mini")
+if v3 is None:
+    sys.exit("error: mobilenet_v3_mini b1 rows missing from the e2e bench")
+if v3 < 1.0:
+    sys.exit(
+        f"error: mobilenet_v3_mini int8 is slower than f32 at batch 1 "
+        f"(f32/int8 = {v3:.2f}x < 1.0) — the integer-only elementwise path "
+        "must keep quantized inference ahead; refusing to stamp")
+
+if os.path.exists(baseline_path):
+    with open(baseline_path) as f:
+        base = {b["name"]: b["real_time"]
+                for b in json.load(f).get("benchmarks", [])}
+    regressions = [
+        f"  {name}: {base[name]:.0f} -> {t:.0f} us ({t / base[name]:.2f}x)"
+        for name, t in sorted(times.items())
+        if "/int8/" in name and name in base and t > 1.25 * base[name]]
+    if regressions:
+        sys.exit("error: int8 rows regressed >25% vs the committed baseline "
+                 "(refusing to stamp):\n" + "\n".join(regressions))
+
+new.setdefault("context", {})["mlexray_int8_vs_f32_b1"] = ratios
+with open(new_path, "w") as f:
+    json.dump(new, f, indent=1)
+    f.write("\n")
+EOF
+}
+
 echo
 echo "== end-to-end model benchmarks (batch 1/4/16, f32 + int8) =="
+e2e_json="${out_dir}/BENCH_models_e2e.json"
+e2e_fresh="$(mktemp "${out_dir}/.BENCH_models_e2e.XXXXXX.json")"
+trap 'rm -f "${e2e_fresh}"' EXIT
 "${build_dir}/bench_models_e2e" \
   --benchmark_format=json \
   --benchmark_min_time=0.1 \
-  > "${out_dir}/BENCH_models_e2e.json"
-echo "wrote ${out_dir}/BENCH_models_e2e.json"
-digest "${out_dir}/BENCH_models_e2e.json"
+  > "${e2e_fresh}"
+digest_models "${e2e_fresh}" "${e2e_json}"
+mv "${e2e_fresh}" "${e2e_json}"
+echo "wrote ${e2e_json}"
+digest "${e2e_json}"
 
 # Pairs each instrumented mode with its bare baseline per model/dtype and
 # stamps the overhead ratios into the JSON context (the paper's Table-2

@@ -152,6 +152,16 @@ int GraphBuilder::add(int a, int b, Activation activation,
   return model_.add_node(std::move(n));
 }
 
+int GraphBuilder::sub(int a, int b, Activation activation,
+                      const std::string& name) {
+  Node n;
+  n.type = OpType::kSub;
+  n.name = auto_name(name, "sub");
+  n.inputs = {a, b};
+  n.attrs.activation = activation;
+  return model_.add_node(std::move(n));
+}
+
 int GraphBuilder::mul(int a, int b, const std::string& name) {
   Node n;
   n.type = OpType::kMul;
@@ -192,6 +202,9 @@ int GraphBuilder::hardswish(int in, const std::string& name) {
 int GraphBuilder::sigmoid(int in, const std::string& name) {
   return model_.add_node(
       unary(OpType::kSigmoid, in, auto_name(name, "sigmoid")));
+}
+int GraphBuilder::tanh(int in, const std::string& name) {
+  return model_.add_node(unary(OpType::kTanh, in, auto_name(name, "tanh")));
 }
 int GraphBuilder::softmax(int in, const std::string& name) {
   return model_.add_node(

@@ -41,12 +41,15 @@ class GraphBuilder {
           const std::string& name = "");
   int add(int a, int b, Activation activation = Activation::kNone,
           const std::string& name = "");
+  int sub(int a, int b, Activation activation = Activation::kNone,
+          const std::string& name = "");
   int mul(int a, int b, const std::string& name = "");
   int concat(const std::vector<int>& inputs, const std::string& name = "");
   int relu(int in, const std::string& name = "");
   int relu6(int in, const std::string& name = "");
   int hardswish(int in, const std::string& name = "");
   int sigmoid(int in, const std::string& name = "");
+  int tanh(int in, const std::string& name = "");
   int softmax(int in, const std::string& name = "");
   int reshape(int in, Shape target, const std::string& name = "");
   int batch_norm(int in, const std::string& name = "");

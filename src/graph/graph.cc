@@ -137,13 +137,24 @@ void infer_node_output(const Graph& model, Node& node) {
       node.output_dtype = in.output_dtype;
       break;
     }
-    case OpType::kAdd: {
+    case OpType::kAdd:
+    case OpType::kSub: {
       expect_inputs(node, 2);
       const Node& a = input_node(model, node, 0);
       const Node& b = input_node(model, node, 1);
-      MLX_CHECK(a.output_shape == b.output_shape)
-          << "add '" << node.name << "' shape mismatch "
-          << a.output_shape.to_string() << " vs " << b.output_shape.to_string();
+      // Same shapes, or b = [N,1,1,C] broadcasting over a = [N,H,W,C]
+      // (mirrors kMul's squeeze-excite broadcast).
+      const bool same = a.output_shape == b.output_shape;
+      const bool bcast = a.output_shape.rank() == 4 &&
+                         b.output_shape.rank() == 4 &&
+                         b.output_shape.dim(0) == a.output_shape.dim(0) &&
+                         b.output_shape.dim(1) == 1 &&
+                         b.output_shape.dim(2) == 1 &&
+                         b.output_shape.dim(3) == a.output_shape.dim(3);
+      MLX_CHECK(same || bcast)
+          << op_type_name(node.type) << " '" << node.name
+          << "' shape mismatch " << a.output_shape.to_string() << " vs "
+          << b.output_shape.to_string();
       node.output_shape = a.output_shape;
       node.output_dtype = a.output_dtype;
       break;
@@ -183,6 +194,7 @@ void infer_node_output(const Graph& model, Node& node) {
     case OpType::kRelu6:
     case OpType::kHardSwish:
     case OpType::kSigmoid:
+    case OpType::kTanh:
     case OpType::kSoftmax: {
       expect_inputs(node, 1);
       const Node& in = input_node(model, node, 0);

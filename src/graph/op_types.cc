@@ -26,6 +26,8 @@ std::string op_type_name(OpType type) {
     case OpType::kDequantize: return "Dequantize";
     case OpType::kEmbedding: return "Embedding";
     case OpType::kUpsampleNearest2x: return "UpsampleNearest2x";
+    case OpType::kSub: return "Sub";
+    case OpType::kTanh: return "Tanh";
   }
   MLX_FAIL() << "unknown op type";
 }
@@ -48,6 +50,11 @@ std::string op_latency_group(OpType type) {
     case OpType::kMean: return "Mean";
     case OpType::kPad: return "Pad";
     case OpType::kAdd: return "Add";
+    case OpType::kSub: return "Add";
+    case OpType::kMul: return "Mul";
+    case OpType::kHardSwish: return "HSwish";
+    case OpType::kSigmoid: return "Logistic";
+    case OpType::kTanh: return "Tanh";
     case OpType::kSoftmax: return "Softmax";
     case OpType::kQuantize: return "Quantize";
     case OpType::kDequantize: return "Quantize";

@@ -37,6 +37,10 @@ enum class OpType : std::uint8_t {
   kDequantize,  // i8 -> f32 at quantized-graph exit
   kEmbedding,   // token ids -> embedding vectors
   kUpsampleNearest2x,
+  // Appended post-serialization-freeze (OpType round-trips as a raw u8, so
+  // appending keeps old model files loadable).
+  kSub,         // elementwise subtract (same broadcast rules as add)
+  kTanh,
 };
 
 // Activation functions fusable into conv/depthwise/fc/add.

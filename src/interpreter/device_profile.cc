@@ -48,9 +48,11 @@ NodeCost estimate_node_cost(const Graph& model, const Node& node) {
     case OpType::kSoftmax:
     case OpType::kHardSwish:
     case OpType::kSigmoid:
+    case OpType::kTanh:
       cost.flops = 4.0 * static_cast<double>(out_elems);
       break;
     case OpType::kAdd:
+    case OpType::kSub:
     case OpType::kMul:
     case OpType::kRelu:
     case OpType::kRelu6:

@@ -31,6 +31,8 @@ inline float hardswish_f32(float x) {
 
 inline float sigmoid_f32(float x) { return 1.0f / (1.0f + std::exp(-x)); }
 
+inline float tanh_f32(float x) { return std::tanh(x); }
+
 // Integer clamp bounds implementing a fused activation on a quantized
 // output: relu clamps at the zero point, relu6 at round(6/scale)+zp.
 struct QuantActivationRange {

@@ -1,0 +1,558 @@
+// Int8 elementwise/reduction kernel family — see elementwise.h for the
+// design contract, and tests/test_elementwise_grid.cc for the forced-tier
+// conformance grid that locks it in.
+#include "src/kernels/elementwise.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "src/kernels/activation.h"
+#include "src/kernels/fixed_point.h"
+#include "src/kernels/kernel.h"
+
+namespace mlexray {
+namespace {
+
+std::atomic<std::uint64_t> g_ew_pack_events{0};
+std::atomic<int> g_tier_override{0};  // ElementwiseTier
+
+enum class Tier { kAvx2, kGeneric, kScalar };
+
+Tier best_tier() {
+#if defined(__AVX2__)
+  return Tier::kAvx2;
+#elif defined(__GNUC__) || defined(__clang__)
+  return Tier::kGeneric;
+#else
+  return Tier::kScalar;
+#endif
+}
+
+Tier resolve_tier() {
+  switch (g_tier_override.load(std::memory_order_relaxed)) {
+    case static_cast<int>(ElementwiseTier::kScalar):
+      return Tier::kScalar;
+    case static_cast<int>(ElementwiseTier::kGenericVector):
+#if defined(__GNUC__) || defined(__clang__)
+      return Tier::kGeneric;
+#else
+      return Tier::kScalar;
+#endif
+    default:
+      return best_tier();
+  }
+}
+
+void note_pack_event() {
+  g_ew_pack_events.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Packed Q31 parameter blocks (PODs living in PreparedStorage, or copied to
+// the stack on the no-plan fallback path — never heap-allocated at invoke).
+// ---------------------------------------------------------------------------
+
+// Add/Sub rescale both operands onto a common grid 2^kAddLeftShift finer
+// than the larger input scale (the standard TFLite decomposition): each
+// operand gets its own Q31 multiplier <= 0.5, the signed sum a third
+// multiplier folding the 2^-20 back out. All shifts for the operand
+// multipliers are <= 0 by construction; the output shift can go positive
+// only under degenerate scale choices and then takes the scalar path.
+inline constexpr int kAddLeftShift = 20;
+
+struct PackedEwAddI8 {
+  std::int32_t a_mult = 0, b_mult = 0, out_mult = 0;
+  std::int32_t a_shift = 0, b_shift = 0, out_shift = 0;  // raw, from prep
+  std::int32_t za = 0, zb = 0, zo = 0;
+  std::int32_t act_min = -128, act_max = 127;
+  std::int32_t broadcast_b = 0;  // 1 => b is [N,1,1,C] over a = [N,H,W,C]
+  std::int32_t is_sub = 0;
+};
+
+struct PackedEwMulI8 {
+  std::int32_t mult = 0;
+  std::int32_t shift = 0;  // may be > 0 when sa*sb/so >= 1 (adversarial)
+  std::int32_t za = 0, zb = 0, zo = 0;
+  std::int32_t broadcast_b = 0;
+};
+
+struct PackedEwMeanI8 {
+  std::int32_t mult = 0;
+  std::int32_t shift = 0;  // folds 1/(H*W); < 0 whenever in/out scales match
+  std::int32_t in_zp = 0, out_zp = 0;
+};
+
+struct PackedEwLutI8 {
+  const std::int8_t* table = nullptr;  // 256 entries, int8 -> int8
+};
+
+// ---------------------------------------------------------------------------
+// Plan-time builders (also the per-call fallback when ctx.prepared == null).
+// Every build bumps elementwise_pack_events().
+// ---------------------------------------------------------------------------
+
+PackedEwAddI8 build_packed_add_i8(const KernelContext& ctx) {
+  const QuantParams& aq = ctx.input(0).quant();
+  const QuantParams& bq = ctx.input(1).quant();
+  const QuantParams& oq = ctx.output->quant();
+  PackedEwAddI8 p;
+  const double sa = aq.scale();
+  const double sb = bq.scale();
+  const double so = oq.scale();
+  const double twice_max = 2.0 * std::max(sa, sb);
+  int shift = 0;
+  quantize_multiplier(sa / twice_max, &p.a_mult, &shift);
+  p.a_shift = shift;
+  quantize_multiplier(sb / twice_max, &p.b_mult, &shift);
+  p.b_shift = shift;
+  quantize_multiplier_any(
+      twice_max / (static_cast<double>(1 << kAddLeftShift) * so), &p.out_mult,
+      &shift);
+  p.out_shift = shift;
+  p.za = aq.zero_point();
+  p.zb = bq.zero_point();
+  p.zo = oq.zero_point();
+  const QuantActivationRange range = quant_activation_range(
+      ctx.node->attrs.activation, oq.scale(), oq.zero_point());
+  p.act_min = range.min;
+  p.act_max = range.max;
+  p.broadcast_b = ctx.input(0).shape() == ctx.input(1).shape() ? 0 : 1;
+  p.is_sub = ctx.node->type == OpType::kSub ? 1 : 0;
+  note_pack_event();
+  return p;
+}
+
+PackedEwMulI8 build_packed_mul_i8(const KernelContext& ctx) {
+  const QuantParams& aq = ctx.input(0).quant();
+  const QuantParams& bq = ctx.input(1).quant();
+  const QuantParams& oq = ctx.output->quant();
+  PackedEwMulI8 p;
+  int shift = 0;
+  quantize_multiplier_any(
+      static_cast<double>(aq.scale()) * bq.scale() / oq.scale(), &p.mult,
+      &shift);
+  p.shift = shift;
+  p.za = aq.zero_point();
+  p.zb = bq.zero_point();
+  p.zo = oq.zero_point();
+  p.broadcast_b = ctx.input(0).shape() == ctx.input(1).shape() ? 0 : 1;
+  note_pack_event();
+  return p;
+}
+
+PackedEwMeanI8 build_packed_mean_i8(const KernelContext& ctx) {
+  const QuantParams& iq = ctx.input(0).quant();
+  const QuantParams& oq = ctx.output->quant();
+  const Shape& is = ctx.input(0).shape();
+  const std::int64_t hw = is.dim(1) * is.dim(2);
+  // The integer sum of hw (x - zp) terms must stay in int32.
+  MLX_CHECK_LT(hw, std::int64_t{1} << 23);
+  PackedEwMeanI8 p;
+  int shift = 0;
+  quantize_multiplier_any(static_cast<double>(iq.scale()) / oq.scale() /
+                              static_cast<double>(hw),
+                          &p.mult, &shift);
+  p.shift = shift;
+  p.in_zp = iq.zero_point();
+  p.out_zp = oq.zero_point();
+  note_pack_event();
+  return p;
+}
+
+template <typename Packed, Packed (*kBuild)(const KernelContext&)>
+void ew_prepare(const KernelContext& ctx) {
+  auto* root = ctx.prepared->allocate_array<Packed>(1);
+  *root = kBuild(ctx);
+  ctx.prepared->set_root(root);
+}
+
+template <typename Packed, Packed (*kBuild)(const KernelContext&)>
+Packed packed_of(const KernelContext& ctx) {
+  if (ctx.prepared != nullptr) return *ctx.prepared->root<Packed>();
+  return kBuild(ctx);  // no plan (e.g. bare-context invoke): build per call
+}
+
+// ---------------------------------------------------------------------------
+// Tier-specific int8 -> int32 widening loads. The arithmetic after the load
+// is shared (GNU vectors), so tiers can only differ in how lanes get into
+// registers — which is exactly what keeps them trivially bit-identical.
+// ---------------------------------------------------------------------------
+
+#if defined(__GNUC__) || defined(__clang__)
+
+using v8s8_ew = std::int8_t __attribute__((vector_size(8), aligned(1)));
+
+inline v8s32_fx load_widen_generic(const std::int8_t* p) {
+  v8s8_ew b;
+  __builtin_memcpy(&b, p, sizeof(b));
+  return __builtin_convertvector(b, v8s32_fx);
+}
+
+#if defined(__AVX2__)
+inline v8s32_fx load_widen_avx2(const std::int8_t* p) {
+  const __m256i w = _mm256_cvtepi8_epi32(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p)));
+  v8s32_fx out;
+  __builtin_memcpy(&out, &w, sizeof(out));
+  return out;
+}
+#endif  // __AVX2__
+
+#endif  // __GNUC__ || __clang__
+
+// ---------------------------------------------------------------------------
+// Add / Sub.
+// ---------------------------------------------------------------------------
+
+inline std::int8_t add_emit_scalar(const PackedEwAddI8& p, std::int8_t a,
+                                   std::int8_t b) {
+  const std::int32_t av =
+      (static_cast<std::int32_t>(a) - p.za) * (1 << kAddLeftShift);
+  const std::int32_t bv =
+      (static_cast<std::int32_t>(b) - p.zb) * (1 << kAddLeftShift);
+  const std::int32_t as =
+      multiply_by_quantized_multiplier(av, p.a_mult, p.a_shift);
+  const std::int32_t bs =
+      multiply_by_quantized_multiplier(bv, p.b_mult, p.b_shift);
+  const std::int32_t acc = p.is_sub != 0 ? as - bs : as + bs;
+  const std::int32_t q =
+      multiply_by_quantized_multiplier_any(acc, p.out_mult, p.out_shift) +
+      p.zo;
+  return static_cast<std::int8_t>(std::clamp(q, p.act_min, p.act_max));
+}
+
+// A span is `len` contiguous elements of a and y with a (possibly shorter-
+// strided) contiguous b: the same-shape path runs one whole-tensor span, the
+// broadcast path one span per pixel against the shared [N,1,1,C] row.
+using AddSpanFn = void (*)(const PackedEwAddI8&, const std::int8_t*,
+                           const std::int8_t*, std::int8_t*, std::int64_t);
+
+void add_span_scalar(const PackedEwAddI8& p, const std::int8_t* a,
+                     const std::int8_t* b, std::int8_t* y, std::int64_t len) {
+  for (std::int64_t i = 0; i < len; ++i) y[i] = add_emit_scalar(p, a[i], b[i]);
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+// Requires p.out_shift <= 0 (the select below routes positive shifts to the
+// scalar span on every tier).
+template <v8s32_fx (*kLoad)(const std::int8_t*)>
+void add_span_vec(const PackedEwAddI8& p, const std::int8_t* a,
+                  const std::int8_t* b, std::int8_t* y, std::int64_t len) {
+  const v8s32_fx za_v = (v8s32_fx){} + p.za;
+  const v8s32_fx zb_v = (v8s32_fx){} + p.zb;
+  const v8s32_fx am_v = (v8s32_fx){} + p.a_mult;
+  const v8s32_fx ae_v = (v8s32_fx){} + (-p.a_shift);
+  const v8s32_fx bm_v = (v8s32_fx){} + p.b_mult;
+  const v8s32_fx be_v = (v8s32_fx){} + (-p.b_shift);
+  const v8s32_fx om_v = (v8s32_fx){} + p.out_mult;
+  const v8s32_fx oe_v = (v8s32_fx){} + (-p.out_shift);
+  std::int64_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    const v8s32_fx av = (kLoad(a + i) - za_v) << kAddLeftShift;
+    const v8s32_fx bv = (kLoad(b + i) - zb_v) << kAddLeftShift;
+    const v8s32_fx as = multiply_by_quantized_multiplier_v8(av, am_v, ae_v);
+    const v8s32_fx bs = multiply_by_quantized_multiplier_v8(bv, bm_v, be_v);
+    const v8s32_fx acc = p.is_sub != 0 ? as - bs : as + bs;
+    requant_clamp_store_i8_v8(acc, om_v, oe_v, p.zo, p.act_min, p.act_max,
+                              y + i);
+  }
+  for (; i < len; ++i) y[i] = add_emit_scalar(p, a[i], b[i]);
+}
+#endif
+
+AddSpanFn select_add_span(Tier tier) {
+  switch (tier) {
+#if defined(__AVX2__)
+    case Tier::kAvx2:
+      return add_span_vec<load_widen_avx2>;
+#endif
+#if defined(__GNUC__) || defined(__clang__)
+    case Tier::kGeneric:
+      return add_span_vec<load_widen_generic>;
+#endif
+    default:
+      return add_span_scalar;
+  }
+}
+
+void addsub_i8_opt(const KernelContext& ctx) {
+  const PackedEwAddI8 p =
+      packed_of<PackedEwAddI8, build_packed_add_i8>(ctx);
+  const Tensor& a = ctx.input(0);
+  const Tensor& b = ctx.input(1);
+  const std::int8_t* pa = a.data<std::int8_t>();
+  const std::int8_t* pb = b.data<std::int8_t>();
+  std::int8_t* y = ctx.output->data<std::int8_t>();
+  const AddSpanFn span =
+      select_add_span(p.out_shift > 0 ? Tier::kScalar : resolve_tier());
+  if (p.broadcast_b == 0) {
+    span(p, pa, pb, y, ctx.output->num_elements());
+    return;
+  }
+  const Shape& as = a.shape();
+  const std::int64_t hw = as.dim(1) * as.dim(2);
+  const std::int64_t ch = as.dim(3);
+  for (std::int64_t n = 0; n < as.dim(0); ++n) {
+    const std::int8_t* brow = pb + n * ch;
+    for (std::int64_t px = 0; px < hw; ++px) {
+      const std::int64_t off = (n * hw + px) * ch;
+      span(p, pa + off, brow, y + off, ch);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mul (zero-point-free product, single Q31 requant; matches the reference
+// kernel's plain int8 clamp — kMul carries no fused activation).
+// ---------------------------------------------------------------------------
+
+inline std::int8_t mul_emit_scalar(const PackedEwMulI8& p, std::int8_t a,
+                                   std::int8_t b) {
+  const std::int32_t acc = (static_cast<std::int32_t>(a) - p.za) *
+                           (static_cast<std::int32_t>(b) - p.zb);
+  const std::int32_t q =
+      multiply_by_quantized_multiplier_any(acc, p.mult, p.shift) + p.zo;
+  return clamp_to_i8(q);
+}
+
+using MulSpanFn = void (*)(const PackedEwMulI8&, const std::int8_t*,
+                           const std::int8_t*, std::int8_t*, std::int64_t);
+
+void mul_span_scalar(const PackedEwMulI8& p, const std::int8_t* a,
+                     const std::int8_t* b, std::int8_t* y, std::int64_t len) {
+  for (std::int64_t i = 0; i < len; ++i) y[i] = mul_emit_scalar(p, a[i], b[i]);
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+// Requires p.shift <= 0.
+template <v8s32_fx (*kLoad)(const std::int8_t*)>
+void mul_span_vec(const PackedEwMulI8& p, const std::int8_t* a,
+                  const std::int8_t* b, std::int8_t* y, std::int64_t len) {
+  const v8s32_fx za_v = (v8s32_fx){} + p.za;
+  const v8s32_fx zb_v = (v8s32_fx){} + p.zb;
+  const v8s32_fx m_v = (v8s32_fx){} + p.mult;
+  const v8s32_fx e_v = (v8s32_fx){} + (-p.shift);
+  std::int64_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    const v8s32_fx acc = (kLoad(a + i) - za_v) * (kLoad(b + i) - zb_v);
+    requant_clamp_store_i8_v8(acc, m_v, e_v, p.zo, -128, 127, y + i);
+  }
+  for (; i < len; ++i) y[i] = mul_emit_scalar(p, a[i], b[i]);
+}
+#endif
+
+MulSpanFn select_mul_span(Tier tier) {
+  switch (tier) {
+#if defined(__AVX2__)
+    case Tier::kAvx2:
+      return mul_span_vec<load_widen_avx2>;
+#endif
+#if defined(__GNUC__) || defined(__clang__)
+    case Tier::kGeneric:
+      return mul_span_vec<load_widen_generic>;
+#endif
+    default:
+      return mul_span_scalar;
+  }
+}
+
+void mul_i8_opt(const KernelContext& ctx) {
+  const PackedEwMulI8 p = packed_of<PackedEwMulI8, build_packed_mul_i8>(ctx);
+  const Tensor& a = ctx.input(0);
+  const Tensor& b = ctx.input(1);
+  const std::int8_t* pa = a.data<std::int8_t>();
+  const std::int8_t* pb = b.data<std::int8_t>();
+  std::int8_t* y = ctx.output->data<std::int8_t>();
+  const MulSpanFn span =
+      select_mul_span(p.shift > 0 ? Tier::kScalar : resolve_tier());
+  if (p.broadcast_b == 0) {
+    span(p, pa, pb, y, ctx.output->num_elements());
+    return;
+  }
+  const Shape& as = a.shape();
+  const std::int64_t hw = as.dim(1) * as.dim(2);
+  const std::int64_t ch = as.dim(3);
+  for (std::int64_t n = 0; n < as.dim(0); ++n) {
+    const std::int8_t* brow = pb + n * ch;
+    for (std::int64_t px = 0; px < hw; ++px) {
+      const std::int64_t off = (n * hw + px) * ch;
+      span(p, pa + off, brow, y + off, ch);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mean: exact integer sum over H*W per (batch, channel), one fixed-point
+// rounding through a multiplier that folds in/(out*hw). The reference kernel
+// instead rounds a double mean and rescales — the single rounding here is
+// what "exact fixed-point averaging" means.
+// ---------------------------------------------------------------------------
+
+using MeanFn = void (*)(const PackedEwMeanI8&, const std::int8_t*,
+                        std::int64_t, std::int64_t, std::int8_t*);
+
+void mean_scalar(const PackedEwMeanI8& p, const std::int8_t* x,
+                 std::int64_t hw, std::int64_t ch, std::int8_t* y) {
+  for (std::int64_t c = 0; c < ch; ++c) {
+    std::int32_t acc = 0;
+    for (std::int64_t px = 0; px < hw; ++px) {
+      acc += static_cast<std::int32_t>(x[px * ch + c]);
+    }
+    acc -= static_cast<std::int32_t>(hw) * p.in_zp;
+    const std::int32_t q =
+        multiply_by_quantized_multiplier_any(acc, p.mult, p.shift) + p.out_zp;
+    y[c] = clamp_to_i8(q);
+  }
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+// Requires p.shift <= 0 (always true when the output inherits the input
+// quantization, since the multiplier then is exactly 1/hw).
+template <v8s32_fx (*kLoad)(const std::int8_t*)>
+void mean_vec(const PackedEwMeanI8& p, const std::int8_t* x, std::int64_t hw,
+              std::int64_t ch, std::int8_t* y) {
+  const v8s32_fx m_v = (v8s32_fx){} + p.mult;
+  const v8s32_fx e_v = (v8s32_fx){} + (-p.shift);
+  const v8s32_fx init_v =
+      (v8s32_fx){} - static_cast<std::int32_t>(hw) * p.in_zp;
+  std::int64_t c = 0;
+  for (; c + 8 <= ch; c += 8) {
+    v8s32_fx acc = init_v;
+    for (std::int64_t px = 0; px < hw; ++px) {
+      acc += kLoad(x + px * ch + c);
+    }
+    requant_clamp_store_i8_v8(acc, m_v, e_v, p.out_zp, -128, 127, y + c);
+  }
+  if (c < ch) {
+    // Channel tail: scalar, same integer math (exact, order-free).
+    for (; c < ch; ++c) {
+      std::int32_t acc = 0;
+      for (std::int64_t px = 0; px < hw; ++px) {
+        acc += static_cast<std::int32_t>(x[px * ch + c]);
+      }
+      acc -= static_cast<std::int32_t>(hw) * p.in_zp;
+      const std::int32_t q =
+          multiply_by_quantized_multiplier_any(acc, p.mult, p.shift) +
+          p.out_zp;
+      y[c] = clamp_to_i8(q);
+    }
+  }
+}
+#endif
+
+MeanFn select_mean(Tier tier) {
+  switch (tier) {
+#if defined(__AVX2__)
+    case Tier::kAvx2:
+      return mean_vec<load_widen_avx2>;
+#endif
+#if defined(__GNUC__) || defined(__clang__)
+    case Tier::kGeneric:
+      return mean_vec<load_widen_generic>;
+#endif
+    default:
+      return mean_scalar;
+  }
+}
+
+void mean_i8_opt(const KernelContext& ctx) {
+  const PackedEwMeanI8 p =
+      packed_of<PackedEwMeanI8, build_packed_mean_i8>(ctx);
+  const Tensor& in = ctx.input(0);
+  const Shape& is = in.shape();
+  const std::int64_t hw = is.dim(1) * is.dim(2);
+  const std::int64_t ch = is.dim(3);
+  const std::int8_t* x = in.data<std::int8_t>();
+  std::int8_t* y = ctx.output->data<std::int8_t>();
+  const MeanFn mean = select_mean(p.shift > 0 ? Tier::kScalar : resolve_tier());
+  for (std::int64_t n = 0; n < is.dim(0); ++n) {
+    mean(p, x + n * hw * ch, hw, ch, y + n * ch);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LUT activations (Logistic / HardSwish / Tanh). The table is built with the
+// same build_i8_lut the reference kernels use — so the optimized path is
+// bit-exact with reference (0 quanta) — but at plan time, into
+// PreparedStorage, instead of 256 expf/lround calls per invoke. The lookup
+// loop is byte arithmetic with no tier-divergent math, so it is identical on
+// every tier by construction.
+// ---------------------------------------------------------------------------
+
+template <float (*Fn)(float)>
+const std::int8_t* build_lut_into(const KernelContext& ctx,
+                                  std::int8_t* dst) {
+  const auto table =
+      build_i8_lut(ctx.input(0).quant(), ctx.output->quant(), Fn);
+  std::memcpy(dst, table.data(), table.size());
+  note_pack_event();
+  return dst;
+}
+
+template <float (*Fn)(float)>
+void ew_lut_prepare(const KernelContext& ctx) {
+  auto* root = ctx.prepared->allocate_array<PackedEwLutI8>(1);
+  auto* table = ctx.prepared->allocate_array<std::int8_t>(256);
+  root->table = build_lut_into<Fn>(ctx, table);
+  ctx.prepared->set_root(root);
+}
+
+template <float (*Fn)(float)>
+void ew_lut_i8_opt(const KernelContext& ctx) {
+  const Tensor& in = ctx.input(0);
+  const std::int8_t* table;
+  if (ctx.prepared != nullptr) {
+    table = ctx.prepared->root<PackedEwLutI8>()->table;
+  } else {
+    table = build_lut_into<Fn>(ctx, ctx.scratch<std::int8_t>(256));
+  }
+  const std::int8_t* src = in.data<std::int8_t>();
+  std::int8_t* dst = ctx.output->data<std::int8_t>();
+  const std::int64_t n = in.num_elements();
+  for (std::int64_t i = 0; i < n; ++i) {
+    dst[i] = table[static_cast<std::size_t>(static_cast<int>(src[i]) + 128)];
+  }
+}
+
+}  // namespace
+
+void set_elementwise_tier_for_testing(ElementwiseTier tier) {
+  g_tier_override.store(static_cast<int>(tier), std::memory_order_relaxed);
+}
+
+const char* elementwise_best_tier_name() {
+  switch (best_tier()) {
+    case Tier::kAvx2: return "avx2";
+    case Tier::kGeneric: return "generic-vector";
+    case Tier::kScalar: return "scalar";
+  }
+  return "scalar";
+}
+
+std::uint64_t elementwise_pack_events() {
+  return g_ew_pack_events.load(std::memory_order_relaxed);
+}
+
+void register_elementwise_i8_kernels(KernelMap& map) {
+  map[{OpType::kAdd, true}] = {
+      addsub_i8_opt, ew_prepare<PackedEwAddI8, build_packed_add_i8>};
+  map[{OpType::kSub, true}] = {
+      addsub_i8_opt, ew_prepare<PackedEwAddI8, build_packed_add_i8>};
+  map[{OpType::kMul, true}] = {
+      mul_i8_opt, ew_prepare<PackedEwMulI8, build_packed_mul_i8>};
+  map[{OpType::kMean, true}] = {
+      mean_i8_opt, ew_prepare<PackedEwMeanI8, build_packed_mean_i8>};
+  map[{OpType::kSigmoid, true}] = {ew_lut_i8_opt<sigmoid_f32>,
+                                   ew_lut_prepare<sigmoid_f32>};
+  map[{OpType::kHardSwish, true}] = {ew_lut_i8_opt<hardswish_f32>,
+                                     ew_lut_prepare<hardswish_f32>};
+  map[{OpType::kTanh, true}] = {ew_lut_i8_opt<tanh_f32>,
+                                ew_lut_prepare<tanh_f32>};
+}
+
+}  // namespace mlexray

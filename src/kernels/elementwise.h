@@ -1,0 +1,59 @@
+// Vectorized int8 elementwise / reduction kernel family with plan-time
+// Q31 requant prep.
+//
+// mobilenet_v3's squeeze-excite block (Add residuals, the [N,1,1,C]-broadcast
+// Mul gate, global Mean, standalone Logistic/HardSwish) used to fall through
+// to the double-math reference kernels, which is why v3 int8 trailed f32 end
+// to end even after the conv/dwconv/FC tier-up. This family finishes the
+// integer-only story on the dwconv pattern:
+//
+//  - Plan-time prepare hooks fold the per-tensor scales/zero-points into Q31
+//    multipliers + shifts (and, for the LUT activations, the full 256-entry
+//    int8 table) stored in PreparedStorage. Steady-state invoke does integer
+//    math only: no doubles, no lround, no per-call table builds.
+//  - Add/Sub use the standard left-shift-20 decomposition (each operand is
+//    rescaled to a common 2^20-scaled grid with its own Q31 multiplier, the
+//    sum requantized with a third); Mul requantizes the raw zero-point-free
+//    product; Mean requantizes the exact integer sum with a multiplier that
+//    folds the 1/(H*W) average — one fixed-point rounding, never a
+//    round-the-mean-then-rescale double trip.
+//  - Every tier funnels through the shared 8-lane
+//    multiply_by_quantized_multiplier_v8 epilogue (fixed_point.h), so int8
+//    results are bit-identical across AVX2 / generic-vector / scalar — the
+//    forced-tier conformance grid (tests/test_elementwise_grid.cc) asserts
+//    that instead of assuming it. Output multipliers >= 1 (possible for Mul
+//    under adversarial scale choices) take a scalar positive-shift path on
+//    every tier, keeping the cross-tier contract.
+//
+// `elementwise_pack_events()` counts every Q31 table / LUT build (prepare-time
+// and per-call fallback alike), mirroring `dwconv_pack_events()`: the grid
+// snapshots it after plan construction and asserts steady-state invoke never
+// builds again.
+#pragma once
+
+#include <cstdint>
+
+#include "src/kernels/shared_kernels.h"
+
+namespace mlexray {
+
+// Test hook: force the compute tier for subsequent invocations so the
+// conformance grid can assert cross-tier bit-exactness. kAuto restores the
+// best compiled-in tier; tiers below the best available degrade gracefully.
+enum class ElementwiseTier { kAuto = 0, kGenericVector = 1, kScalar = 2 };
+void set_elementwise_tier_for_testing(ElementwiseTier tier);
+
+// Name of the tier kAuto resolves to on this build ("avx2",
+// "generic-vector", or "scalar"); surfaced by benches.
+const char* elementwise_best_tier_name();
+
+// Monotonic count of elementwise Q31-table / activation-LUT builds
+// (prepare-time and per-call fallback). Plan-prepared kernels make this
+// stand still across invokes; the conformance grid asserts it.
+std::uint64_t elementwise_pack_events();
+
+// Registers the optimized int8 kernels (Add/Sub/Mul/Mean + the LUT
+// activations Logistic/HardSwish/Tanh) with their prepare hooks.
+void register_elementwise_i8_kernels(KernelMap& map);
+
+}  // namespace mlexray

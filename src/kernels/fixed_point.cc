@@ -26,6 +26,22 @@ void quantize_multiplier(double real_multiplier, std::int32_t* multiplier,
   *shift = exponent;
 }
 
+void quantize_multiplier_any(double real_multiplier, std::int32_t* multiplier,
+                             int* shift) {
+  MLX_CHECK_GT(real_multiplier, 0.0);
+  int exponent = 0;
+  double significand = std::frexp(real_multiplier, &exponent);
+  auto q = static_cast<std::int64_t>(std::round(significand * (1LL << 31)));
+  MLX_CHECK_LE(q, 1LL << 31);
+  if (q == (1LL << 31)) {
+    q /= 2;
+    ++exponent;
+  }
+  MLX_CHECK_LE(exponent, 30) << "requant multiplier out of range";
+  *multiplier = static_cast<std::int32_t>(q);
+  *shift = exponent;
+}
+
 std::int32_t saturating_rounding_doubling_high_mul(std::int32_t a,
                                                    std::int32_t b) {
   bool overflow = (a == b) && (a == std::numeric_limits<std::int32_t>::min());
@@ -52,6 +68,27 @@ std::int32_t multiply_by_quantized_multiplier(std::int32_t x,
   // shift <= 0 for multipliers < 1 (our only use case).
   std::int32_t high = saturating_rounding_doubling_high_mul(x, multiplier);
   return rounding_divide_by_pot(high, -shift);
+}
+
+std::int32_t saturating_left_shift(std::int32_t x, int left) {
+  if (left <= 0) return x;
+  MLX_CHECK_LE(left, 31);
+  const std::int64_t wide = static_cast<std::int64_t>(x) << left;
+  if (wide > std::numeric_limits<std::int32_t>::max()) {
+    return std::numeric_limits<std::int32_t>::max();
+  }
+  if (wide < std::numeric_limits<std::int32_t>::min()) {
+    return std::numeric_limits<std::int32_t>::min();
+  }
+  return static_cast<std::int32_t>(wide);
+}
+
+std::int32_t multiply_by_quantized_multiplier_any(std::int32_t x,
+                                                  std::int32_t multiplier,
+                                                  int shift) {
+  const std::int32_t high = saturating_rounding_doubling_high_mul(
+      saturating_left_shift(x, shift), multiplier);
+  return rounding_divide_by_pot(high, shift > 0 ? 0 : -shift);
 }
 
 }  // namespace mlexray

@@ -17,6 +17,13 @@ namespace mlexray {
 void quantize_multiplier(double real_multiplier, std::int32_t* multiplier,
                          int* shift);
 
+// General form: real_multiplier may be >= 1 (shift then comes out positive).
+// Conv/FC/dwconv requant ratios are always < 1, but the elementwise family's
+// output rescale (e.g. mul's sa*sb/so under adversarial scale choices) is
+// not, so the Q31 prep there uses this variant.
+void quantize_multiplier_any(double real_multiplier, std::int32_t* multiplier,
+                             int* shift);
+
 // Saturating rounding doubling high multiply of two Q31 values.
 std::int32_t saturating_rounding_doubling_high_mul(std::int32_t a,
                                                    std::int32_t b);
@@ -29,6 +36,19 @@ std::int32_t rounding_divide_by_pot(std::int32_t x, int exponent);
 std::int32_t multiply_by_quantized_multiplier(std::int32_t x,
                                               std::int32_t multiplier,
                                               int shift);
+
+// Saturating left shift to int32 (identity for left <= 0). The positive-shift
+// requant path pre-shifts its argument with this before the high multiply, so
+// overflowing inputs pin to the int32 rails instead of wrapping (they clamp to
+// the int8 activation range afterwards either way).
+std::int32_t saturating_left_shift(std::int32_t x, int left);
+
+// multiply_by_quantized_multiplier for decompositions from
+// quantize_multiplier_any: positive shifts pre-scale x (TFLite ordering),
+// non-positive shifts behave exactly like the plain form.
+std::int32_t multiply_by_quantized_multiplier_any(std::int32_t x,
+                                                  std::int32_t multiplier,
+                                                  int shift);
 
 // Clamps an int32 to the int8 representable range.
 inline std::int8_t clamp_to_i8(std::int32_t v) {

@@ -8,6 +8,7 @@
 #include "src/kernels/activation.h"
 #include "src/kernels/conv_utils.h"
 #include "src/kernels/dwconv.h"
+#include "src/kernels/elementwise.h"
 #include "src/kernels/gemm.h"
 
 namespace mlexray {
@@ -786,6 +787,9 @@ void register_opt_quant_kernels(KernelMap& map, bool emulate_dwconv_bug) {
   map[{OpType::kPad, true}] = pad_fast<std::int8_t>;
   map[{OpType::kQuantize, true}] = quantize_i8_opt;
   map[{OpType::kDequantize, true}] = dequantize_i8_opt;
+  // Int8 elementwise/reduction family (Add/Sub/Mul/Mean + LUT activations):
+  // plan-time Q31 prep, tiered vector epilogue (src/kernels/elementwise.h).
+  register_elementwise_i8_kernels(map);
 }
 
 }  // namespace mlexray

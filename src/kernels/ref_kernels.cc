@@ -225,15 +225,39 @@ void pad_naive(const KernelContext& ctx) {
   }
 }
 
-void add_f32(const KernelContext& ctx) {
-  const float* a = ctx.input(0).data<float>();
-  const float* b = ctx.input(1).data<float>();
+// Shared add/sub body: same-shape, or b = [N,1,1,C] broadcasting over
+// a = [N,H,W,C] (same broadcast rule as mul).
+template <bool kIsSub>
+void addsub_f32(const KernelContext& ctx) {
+  const Tensor& a = ctx.input(0);
+  const Tensor& b = ctx.input(1);
+  const Shape& as = a.shape();
+  const float* pa = a.data<float>();
+  const float* pb = b.data<float>();
   float* y = ctx.output->data<float>();
   const Activation act = ctx.node->attrs.activation;
-  for (std::int64_t i = 0; i < ctx.output->num_elements(); ++i) {
-    y[i] = apply_activation_f32(a[i] + b[i], act);
+  auto emit = [&](std::int64_t out_idx, std::int64_t b_idx) {
+    const float v =
+        kIsSub ? pa[out_idx] - pb[b_idx] : pa[out_idx] + pb[b_idx];
+    y[out_idx] = apply_activation_f32(v, act);
+  };
+  if (as == b.shape()) {
+    for (std::int64_t i = 0; i < a.num_elements(); ++i) emit(i, i);
+    return;
+  }
+  const std::int64_t hw = as.dim(1) * as.dim(2);
+  const std::int64_t ch = as.dim(3);
+  for (std::int64_t n = 0; n < as.dim(0); ++n) {
+    for (std::int64_t p = 0; p < hw; ++p) {
+      for (std::int64_t c = 0; c < ch; ++c) {
+        emit((n * hw + p) * ch + c, n * ch + c);
+      }
+    }
   }
 }
+
+void add_f32(const KernelContext& ctx) { addsub_f32<false>(ctx); }
+void sub_f32(const KernelContext& ctx) { addsub_f32<true>(ctx); }
 
 void mul_f32(const KernelContext& ctx) {
   const Tensor& a = ctx.input(0);
@@ -570,10 +594,12 @@ void mean_i8(const KernelContext& ctx) {
   }
 }
 
-void add_i8(const KernelContext& ctx) {
+template <bool kIsSub>
+void addsub_i8(const KernelContext& ctx) {
   const Tensor& a = ctx.input(0);
   const Tensor& b = ctx.input(1);
   Tensor& out = *ctx.output;
+  const Shape& as = a.shape();
   const float sa = a.quant().scale();
   const float sb = b.quant().scale();
   const float so = out.quant().scale();
@@ -585,13 +611,30 @@ void add_i8(const KernelContext& ctx) {
   const std::int8_t* pa = a.data<std::int8_t>();
   const std::int8_t* pb = b.data<std::int8_t>();
   std::int8_t* y = out.data<std::int8_t>();
-  for (std::int64_t i = 0; i < out.num_elements(); ++i) {
-    double real = static_cast<double>(sa) * (pa[i] - za) +
-                  static_cast<double>(sb) * (pb[i] - zb);
+  auto emit = [&](std::int64_t out_idx, std::int64_t b_idx) {
+    const double bterm = static_cast<double>(sb) * (pb[b_idx] - zb);
+    const double real =
+        static_cast<double>(sa) * (pa[out_idx] - za) + (kIsSub ? -bterm : bterm);
     auto q = static_cast<std::int32_t>(std::lround(real / so)) + zo;
-    y[i] = static_cast<std::int8_t>(std::clamp(q, range.min, range.max));
+    y[out_idx] = static_cast<std::int8_t>(std::clamp(q, range.min, range.max));
+  };
+  if (as == b.shape()) {
+    for (std::int64_t i = 0; i < out.num_elements(); ++i) emit(i, i);
+    return;
+  }
+  const std::int64_t hw = as.dim(1) * as.dim(2);
+  const std::int64_t ch = as.dim(3);
+  for (std::int64_t n = 0; n < as.dim(0); ++n) {
+    for (std::int64_t p = 0; p < hw; ++p) {
+      for (std::int64_t c = 0; c < ch; ++c) {
+        emit((n * hw + p) * ch + c, n * ch + c);
+      }
+    }
   }
 }
+
+void add_i8(const KernelContext& ctx) { addsub_i8<false>(ctx); }
+void sub_i8(const KernelContext& ctx) { addsub_i8<true>(ctx); }
 
 void mul_i8(const KernelContext& ctx) {
   const Tensor& a = ctx.input(0);
@@ -644,6 +687,7 @@ void register_ref_float_kernels(KernelMap& map) {
   map[{OpType::kMean, false}] = mean_f32;
   map[{OpType::kPad, false}] = pad_naive<float>;
   map[{OpType::kAdd, false}] = add_f32;
+  map[{OpType::kSub, false}] = sub_f32;
   map[{OpType::kMul, false}] = mul_f32;
 }
 
@@ -657,6 +701,7 @@ void register_ref_quant_kernels(KernelMap& map, bool emulate_avgpool_bug) {
   map[{OpType::kMean, true}] = mean_i8;
   map[{OpType::kPad, true}] = pad_naive<std::int8_t>;
   map[{OpType::kAdd, true}] = add_i8;
+  map[{OpType::kSub, true}] = sub_i8;
   map[{OpType::kMul, true}] = mul_i8;
 }
 

@@ -212,6 +212,14 @@ void sigmoid_f32_kernel(const KernelContext& ctx) {
   }
 }
 
+void tanh_f32_kernel(const KernelContext& ctx) {
+  const float* src = ctx.input(0).data<float>();
+  float* dst = ctx.output->data<float>();
+  for (std::int64_t i = 0; i < ctx.input(0).num_elements(); ++i) {
+    dst[i] = tanh_f32(src[i]);
+  }
+}
+
 // int8 relu/relu6: clamp against the (shared) scale's activation range.
 template <Activation kAct>
 void relu_i8(const KernelContext& ctx) {
@@ -259,10 +267,12 @@ void register_shared_kernels(KernelMap& map) {
   map[{OpType::kRelu6, false}] = activation_f32<Activation::kRelu6>;
   map[{OpType::kHardSwish, false}] = activation_f32<Activation::kHardSwish>;
   map[{OpType::kSigmoid, false}] = sigmoid_f32_kernel;
+  map[{OpType::kTanh, false}] = tanh_f32_kernel;
   map[{OpType::kRelu, true}] = relu_i8<Activation::kRelu>;
   map[{OpType::kRelu6, true}] = relu_i8<Activation::kRelu6>;
   map[{OpType::kHardSwish, true}] = lut_i8<hardswish_f32>;
   map[{OpType::kSigmoid, true}] = lut_i8<sigmoid_f32>;
+  map[{OpType::kTanh, true}] = lut_i8<tanh_f32>;
 }
 
 }  // namespace mlexray

@@ -179,7 +179,10 @@ Graph quantize_model(const Graph& float_model, const Calibrator& calibrator,
     }
 
     // Output quantization parameters.
-    if (fixed_unit_range(n.type)) {
+    if (n.type == OpType::kTanh) {
+      // tanh's range is [-1, 1]: symmetric fixed params, zero point 0.
+      copy.output_quant = QuantParams::per_tensor(1.0f / 128.0f, 0);
+    } else if (fixed_unit_range(n.type)) {
       copy.output_quant = QuantParams::per_tensor(1.0f / 256.0f, -128);
     } else if (inherits_input_quant(n.type)) {
       copy.output_quant = out.node(copy.inputs[0]).output_quant;

@@ -412,6 +412,16 @@ void Trainer::backward_node(const Node& node) {
       }
       break;
     }
+    case OpType::kSub: {
+      const float* pgy = gy.data<float>();
+      float* pga = grads_[static_cast<std::size_t>(node.inputs[0])].data<float>();
+      float* pgb = grads_[static_cast<std::size_t>(node.inputs[1])].data<float>();
+      for (std::int64_t i = 0; i < gy.num_elements(); ++i) {
+        pga[i] += pgy[i];
+        pgb[i] -= pgy[i];
+      }
+      break;
+    }
     case OpType::kMul: {
       const auto a_id = static_cast<std::size_t>(node.inputs[0]);
       const auto b_id = static_cast<std::size_t>(node.inputs[1]);
@@ -494,6 +504,16 @@ void Trainer::backward_node(const Node& node) {
       const float* pgy = gy.data<float>();
       for (std::int64_t i = 0; i < gy.num_elements(); ++i) {
         pgx[i] += pgy[i] * py[i] * (1.0f - py[i]);
+      }
+      break;
+    }
+    case OpType::kTanh: {
+      const auto in_id = static_cast<std::size_t>(node.inputs[0]);
+      const float* py = acts_[id].data<float>();
+      float* pgx = grads_[in_id].data<float>();
+      const float* pgy = gy.data<float>();
+      for (std::int64_t i = 0; i < gy.num_elements(); ++i) {
+        pgx[i] += pgy[i] * (1.0f - py[i] * py[i]);
       }
       break;
     }

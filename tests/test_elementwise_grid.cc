@@ -1,0 +1,492 @@
+// Forced-tier conformance grid for the int8 elementwise/reduction family.
+//
+// The vectorized elementwise family (src/kernels/elementwise.h) ships three
+// compute tiers (AVX2 / generic GNU-vector / scalar) selected at invoke time,
+// plus plan-time Q31 requant prep and LUT builds. This grid pins the family
+// down the same way tests/test_dwconv_grid.cc pins dwconv:
+//
+//  - ops: Add / Sub (same-shape and [N,1,1,C]-broadcast, with fused
+//    activation cycling), Mul (same-shape and broadcast, the squeeze-excite
+//    gate pattern), global Mean, and the LUT activations Logistic /
+//    HardSwish / Tanh;
+//  - geometry: channels {1, 3, 5, 8, 9, 16, 24, 64} straddling the 8-lane
+//    int32 block (sub-vector, exact, one-past, multi-block) x batch {1, 2},
+//    with per-case randomized asymmetric calibration ranges so scales and
+//    zero points differ across operands and cells;
+//  - int8 cells assert opt-vs-ref within one output quantum (double rescale
+//    vs Q31 fixed point, the documented one-step discrepancy) — and
+//    *bit-exact* agreement between every compiled-in tier, LUT activations
+//    additionally bit-exact vs the reference (same table builder);
+//  - every cell asserts steady-state invoke performs zero heap allocations
+//    (global operator-new counter + AllocStats events) and zero Q31/LUT
+//    builds after plan construction (elementwise_pack_events()).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "src/graph/builder.h"
+#include "src/interpreter/interpreter.h"
+#include "src/kernels/elementwise.h"
+#include "src/quant/quantizer.h"
+#include "src/tensor/alloc_stats.h"
+#include "src/tensor/tensor_stats.h"
+
+// --- global operator new/delete instrumentation -----------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace mlexray {
+namespace {
+
+Tensor random_input(Shape shape, Pcg32& rng, float lo = -2.0f,
+                    float hi = 2.0f) {
+  Tensor t = Tensor::f32(shape);
+  float* p = t.data<float>();
+  for (std::int64_t i = 0; i < t.num_elements(); ++i) {
+    p[i] = rng.uniform(lo, hi);
+  }
+  return t;
+}
+
+// One quantization step of a quantized model's (dequantized f32) output.
+float output_quantum(const Graph& qm) {
+  const Node& out = qm.node(qm.outputs[0]);
+  if (out.type == OpType::kDequantize) {
+    return qm.node(out.inputs[0]).output_quant.scale();
+  }
+  return out.output_quant.scale();
+}
+
+bool outputs_bit_equal(const Tensor& a, const Tensor& b) {
+  if (a.num_elements() != b.num_elements()) return false;
+  return std::memcmp(a.raw_data(), b.raw_data(),
+                     static_cast<std::size_t>(a.num_elements()) *
+                         sizeof(float)) == 0;
+}
+
+std::vector<float> snapshot(const Tensor& t) {
+  const float* p = t.data<float>();
+  return std::vector<float>(p, p + t.num_elements());
+}
+
+enum class EwOp {
+  kAdd,
+  kAddBcast,
+  kSub,
+  kSubBcast,
+  kMul,
+  kMulBcast,
+  kMean,
+  kLogistic,
+  kHardSwish,
+  kTanh,
+};
+
+const char* ew_op_name(EwOp op) {
+  switch (op) {
+    case EwOp::kAdd: return "Add";
+    case EwOp::kAddBcast: return "AddBcast";
+    case EwOp::kSub: return "Sub";
+    case EwOp::kSubBcast: return "SubBcast";
+    case EwOp::kMul: return "Mul";
+    case EwOp::kMulBcast: return "MulBcast";
+    case EwOp::kMean: return "Mean";
+    case EwOp::kLogistic: return "Logistic";
+    case EwOp::kHardSwish: return "HardSwish";
+    case EwOp::kTanh: return "Tanh";
+  }
+  return "?";
+}
+
+bool is_binary(EwOp op) {
+  switch (op) {
+    case EwOp::kAdd:
+    case EwOp::kAddBcast:
+    case EwOp::kSub:
+    case EwOp::kSubBcast:
+    case EwOp::kMul:
+    case EwOp::kMulBcast:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_broadcast(EwOp op) {
+  return op == EwOp::kAddBcast || op == EwOp::kSubBcast ||
+         op == EwOp::kMulBcast;
+}
+
+// LUT cells must be bit-exact vs the reference: both paths call the
+// identical build_i8_lut on the identical quant params.
+bool is_lut(EwOp op) {
+  return op == EwOp::kLogistic || op == EwOp::kHardSwish || op == EwOp::kTanh;
+}
+
+struct EwGridCase {
+  EwOp op;
+  std::int64_t channels;
+  std::int64_t batch;
+  Activation act;      // fused clamp, Add/Sub only
+  std::uint32_t seed;  // drives per-case asymmetric calibration ranges
+
+  friend std::ostream& operator<<(std::ostream& os, const EwGridCase& c) {
+    return os << ew_op_name(c.op) << "/ch" << c.channels << "/b" << c.batch
+              << "/act" << static_cast<int>(c.act) << "/seed" << c.seed;
+  }
+};
+
+std::vector<EwGridCase> make_grid() {
+  // Channel counts straddle the 8-lane int32 vector block: below, at, one
+  // past, and multi-block, so both the steady vector loop and the scalar
+  // tail are exercised on every tier.
+  const std::int64_t channels[] = {1, 3, 5, 8, 9, 16, 24, 64};
+  const EwOp ops[] = {EwOp::kAdd,      EwOp::kAddBcast, EwOp::kSub,
+                      EwOp::kSubBcast, EwOp::kMul,      EwOp::kMulBcast,
+                      EwOp::kMean,     EwOp::kLogistic, EwOp::kHardSwish,
+                      EwOp::kTanh};
+  const Activation acts[] = {Activation::kNone, Activation::kRelu,
+                             Activation::kRelu6};
+  std::vector<EwGridCase> grid;
+  std::uint32_t i = 0;
+  for (EwOp op : ops) {
+    for (std::int64_t ch : channels) {
+      for (std::int64_t batch : {1, 2}) {
+        // Cycle the fused activation on Add/Sub (the only builders that
+        // take one) so clamp ranges are covered without tripling the grid.
+        const bool fusable = op == EwOp::kAdd || op == EwOp::kAddBcast ||
+                             op == EwOp::kSub || op == EwOp::kSubBcast;
+        const Activation act = fusable ? acts[i % 3] : Activation::kNone;
+        grid.push_back({op, ch, batch, act, 1000 + i});
+        ++i;
+      }
+    }
+  }
+  return grid;
+}
+
+class ElementwiseGrid : public ::testing::TestWithParam<EwGridCase> {
+ protected:
+  void TearDown() override {
+    set_elementwise_tier_for_testing(ElementwiseTier::kAuto);
+  }
+};
+
+// Invokes `interp` under every forced tier and asserts each result is
+// byte-identical to `want` (the kAuto result).
+void expect_all_tiers_bit_equal(Interpreter& interp,
+                                const std::vector<float>& want,
+                                const EwGridCase& c) {
+  for (ElementwiseTier tier :
+       {ElementwiseTier::kGenericVector, ElementwiseTier::kScalar}) {
+    set_elementwise_tier_for_testing(tier);
+    interp.invoke();
+    const Tensor& out = interp.output(0);
+    ASSERT_EQ(static_cast<std::size_t>(out.num_elements()), want.size()) << c;
+    EXPECT_EQ(std::memcmp(out.raw_data(), want.data(),
+                          want.size() * sizeof(float)),
+              0)
+        << c << " diverges under tier " << static_cast<int>(tier);
+  }
+  set_elementwise_tier_for_testing(ElementwiseTier::kAuto);
+}
+
+// Steady-state contract: invoke never touches the heap, never registers
+// tensor/arena allocations, and never rebuilds Q31 tables / LUTs once the
+// plan exists. `packs_at_prepare` is the elementwise_pack_events() reading
+// taken right after interpreter construction.
+void expect_steady_state_clean(Interpreter& interp,
+                               std::uint64_t packs_at_prepare,
+                               const EwGridCase& c) {
+  interp.invoke();  // warmup may grow the scratch arena
+  EXPECT_EQ(elementwise_pack_events(), packs_at_prepare)
+      << c << ": first invoke rebuilt Q31/LUT state despite the plan";
+  const std::uint64_t events_before = AllocStats::instance().alloc_events();
+  const std::uint64_t heap_before = g_heap_allocs.load();
+  const std::size_t high_water_before =
+      interp.scratch_arena().high_water_bytes();
+  for (int i = 0; i < 3; ++i) interp.invoke();
+  EXPECT_EQ(AllocStats::instance().alloc_events(), events_before)
+      << c << ": steady-state invoke registered allocations";
+  EXPECT_EQ(g_heap_allocs.load(), heap_before)
+      << c << ": steady-state invoke touched the heap";
+  EXPECT_EQ(elementwise_pack_events(), packs_at_prepare)
+      << c << ": steady-state invoke rebuilt Q31/LUT state";
+  EXPECT_EQ(interp.scratch_arena().high_water_bytes(), high_water_before)
+      << c << ": steady-state invoke grew the scratch arena";
+}
+
+// Builds the per-case single-elementwise-op model. Binary ops take a second
+// graph input (broadcast variants shape it [N,1,1,C], the squeeze-excite
+// gate layout).
+Graph build_case_model(const EwGridCase& c, Shape in_shape, Shape b_shape) {
+  Pcg32 rng(4242);
+  GraphBuilder b("ewgrid", &rng);
+  int x = b.input(in_shape);
+  int out = -1;
+  switch (c.op) {
+    case EwOp::kAdd:
+    case EwOp::kAddBcast:
+      out = b.add(x, b.input(b_shape, DType::kF32, "gate"), c.act, "op");
+      break;
+    case EwOp::kSub:
+    case EwOp::kSubBcast:
+      out = b.sub(x, b.input(b_shape, DType::kF32, "gate"), c.act, "op");
+      break;
+    case EwOp::kMul:
+    case EwOp::kMulBcast:
+      out = b.mul(x, b.input(b_shape, DType::kF32, "gate"), "op");
+      break;
+    case EwOp::kMean: out = b.mean(x, "op"); break;
+    case EwOp::kLogistic: out = b.sigmoid(x, "op"); break;
+    case EwOp::kHardSwish: out = b.hardswish(x, "op"); break;
+    case EwOp::kTanh: out = b.tanh(x, "op"); break;
+  }
+  return b.finish({out});
+}
+
+TEST_P(ElementwiseGrid, OptMatchesRefAcrossTiers) {
+  const EwGridCase& c = GetParam();
+  const Shape in_shape{c.batch, 5, 7, c.channels};
+  const Shape b_shape = is_broadcast(c.op)
+                            ? Shape{c.batch, 1, 1, c.channels}
+                            : in_shape;
+  Graph m = build_case_model(c, in_shape, b_shape);
+
+  // Per-case asymmetric data ranges: operand scales and zero points differ
+  // across cells and across the two operands of a binary op.
+  Pcg32 range_rng(c.seed);
+  const float a_lo = range_rng.uniform(-4.0f, -0.5f);
+  const float a_hi = range_rng.uniform(0.5f, 4.0f);
+  const float b_lo = range_rng.uniform(-4.0f, -0.5f);
+  const float b_hi = range_rng.uniform(0.5f, 4.0f);
+
+  Pcg32 drng(99 + c.seed);
+  Tensor input = random_input(in_shape, drng, a_lo, a_hi);
+  Tensor gate = random_input(b_shape, drng, b_lo, b_hi);
+
+  auto observe_inputs = [&](Calibrator& calib, Pcg32& crng) {
+    if (is_binary(c.op)) {
+      calib.observe({random_input(in_shape, crng, a_lo, a_hi),
+                     random_input(b_shape, crng, b_lo, b_hi)});
+    } else {
+      calib.observe({random_input(in_shape, crng, a_lo, a_hi)});
+    }
+  };
+
+  Calibrator calib(&m);
+  Pcg32 crng(7 + c.seed);
+  for (int i = 0; i < 5; ++i) observe_inputs(calib, crng);
+  if (is_binary(c.op)) {
+    calib.observe({input, gate});
+  } else {
+    calib.observe({input});
+  }
+  Graph qm = quantize_model(m, calib);
+
+  RefOpResolver ref;
+  BuiltinOpResolver opt;
+  Interpreter ri(&qm, &ref);
+  const std::uint64_t packs_at_prepare_probe = elementwise_pack_events();
+  Interpreter oi(&qm, &opt, /*num_threads=*/2);
+  // Exactly one Q31 table / LUT build at plan time for the single
+  // elementwise node; Quantize/Dequantize nodes must not tick the counter.
+  EXPECT_EQ(elementwise_pack_events(), packs_at_prepare_probe + 1) << c;
+  const std::uint64_t packs_at_prepare = elementwise_pack_events();
+  ri.set_input(0, input);
+  oi.set_input(0, input);
+  if (is_binary(c.op)) {
+    ri.set_input(1, gate);
+    oi.set_input(1, gate);
+  }
+  ri.invoke();
+  oi.invoke();
+  if (is_lut(c.op)) {
+    // Same build_i8_lut, same quant params: the optimized LUT path must be
+    // bit-stable vs the reference, not merely within a quantum.
+    EXPECT_TRUE(outputs_bit_equal(ri.output(0), oi.output(0))) << c;
+  } else {
+    // Double-rescale (ref) vs Q31 fixed point (opt): at most one quantum.
+    EXPECT_LE(linf_error(ri.output(0), oi.output(0)),
+              1.001f * output_quantum(qm))
+        << c;
+  }
+  // The conformance core: every compiled-in tier, including the scalar
+  // reference tier, produces bit-identical integer output.
+  expect_all_tiers_bit_equal(oi, snapshot(oi.output(0)), c);
+  expect_steady_state_clean(oi, packs_at_prepare, c);
+}
+
+INSTANTIATE_TEST_SUITE_P(OpChannelsBatchActRanges, ElementwiseGrid,
+                         ::testing::ValuesIn(make_grid()));
+
+// --- adversarial requant scales ---------------------------------------------
+
+// A real output multiplier >= 1 (possible when the consumer's scale is much
+// finer than the product of the producer scales) forces the positive-shift
+// path, which the vector epilogue cannot express; the family routes such
+// spans to the scalar tier on *every* tier. Hand-shrink the output scale
+// after quantization and assert the cross-tier and vs-ref contracts hold.
+class ElementwiseAdversarial : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    set_elementwise_tier_for_testing(ElementwiseTier::kAuto);
+  }
+};
+
+TEST_F(ElementwiseAdversarial, PositiveOutShiftStaysConformant) {
+  for (OpType type : {OpType::kMul, OpType::kAdd}) {
+    Pcg32 rng(21);
+    GraphBuilder b("ewadv", &rng);
+    const Shape in_shape{1, 4, 4, 12};
+    int x = b.input(in_shape);
+    int g = b.input(in_shape, DType::kF32, "gate");
+    int out = type == OpType::kMul ? b.mul(x, g, "op")
+                                   : b.add(x, g, Activation::kNone, "op");
+    Graph m = b.finish({out});
+    Calibrator calib(&m);
+    Pcg32 crng(22);
+    for (int i = 0; i < 4; ++i) {
+      calib.observe({random_input(in_shape, crng, -3.0f, 1.0f),
+                     random_input(in_shape, crng, -1.0f, 3.0f)});
+    }
+    Graph qm = quantize_model(m, calib);
+    // Shrink the elementwise output scale until the real requant multiplier
+    // exceeds 1 (Add folds a 2^20 left shift into its multiplier, so it
+    // needs a far finer scale than Mul). Outputs saturate heavily; that is
+    // the point.
+    const float adversarial_scale =
+        type == OpType::kMul ? 1.0f / 8192.0f : 1.0f / (1 << 26);
+    for (Node& n : qm.nodes) {
+      if (n.type == type) {
+        n.output_quant = QuantParams::per_tensor(adversarial_scale, 3);
+      }
+    }
+    RefOpResolver ref;
+    BuiltinOpResolver opt;
+    Interpreter ri(&qm, &ref);
+    Interpreter oi(&qm, &opt);
+    Pcg32 drng(23);
+    Tensor input = random_input(in_shape, drng, -3.0f, 1.0f);
+    Tensor gate = random_input(in_shape, drng, -1.0f, 3.0f);
+    ri.set_input(0, input);
+    oi.set_input(0, input);
+    ri.set_input(1, gate);
+    oi.set_input(1, gate);
+    ri.invoke();
+    oi.invoke();
+    EXPECT_LE(linf_error(ri.output(0), oi.output(0)),
+              1.001f * output_quantum(qm))
+        << op_type_name(type);
+    expect_all_tiers_bit_equal(
+        oi, snapshot(oi.output(0)),
+        EwGridCase{type == OpType::kMul ? EwOp::kMul : EwOp::kAdd, 12, 1,
+                   Activation::kNone, 0});
+  }
+}
+
+// --- no-plan fallback --------------------------------------------------------
+
+// Without a plan (ctx.prepared == nullptr, e.g. the trainer's forward pass)
+// the int8 kernels build their Q31 tables / LUTs in per-call scratch:
+// results must be identical, and elementwise_pack_events() must tick once
+// per invoke — proof the counter actually observes the fallback the plan is
+// eliminating.
+TEST(ElementwiseFallback, PacksPerCallWithoutPlanAndMatchesPlanned) {
+  Pcg32 rng(31);
+  GraphBuilder b("ewfall", &rng);
+  const Shape in_shape{1, 6, 6, 16};
+  int x = b.input(in_shape);
+  int g = b.input(in_shape, DType::kF32, "gate");
+  int a = b.add(x, g, Activation::kRelu, "op");
+  int s = b.sigmoid(a, "gateact");
+  Graph m = b.finish({s});
+  Calibrator calib(&m);
+  Pcg32 crng(32);
+  for (int i = 0; i < 4; ++i) {
+    calib.observe({random_input(in_shape, crng), random_input(in_shape, crng)});
+  }
+  Graph qm = quantize_model(m, calib);
+  BuiltinOpResolver opt;
+  Interpreter planned(&qm, &opt);
+  Pcg32 drng(33);
+  Tensor input = random_input(in_shape, drng);
+  Tensor gate = random_input(in_shape, drng);
+  planned.set_input(0, input);
+  planned.set_input(1, gate);
+  planned.invoke();
+
+  // Drive the same int8 kernels through bare KernelContexts (no prepared
+  // storage), as a plan-less caller would, feeding them the planned run's
+  // quantized activations.
+  for (OpType type : {OpType::kAdd, OpType::kSigmoid}) {
+    const Node* node = nullptr;
+    for (const Node& n : qm.nodes) {
+      if (n.type == type) node = &n;
+    }
+    ASSERT_NE(node, nullptr) << op_type_name(type);
+    Tensor out(DType::kI8, node->output_shape);
+    out.quant() = node->output_quant;
+    ScratchArena arena;
+    KernelContext ctx;
+    ctx.node = node;
+    for (int in : node->inputs) {
+      ctx.inputs.push_back(&planned.node_output(in));
+    }
+    ctx.output = &out;
+    ctx.arena = &arena;
+    const KernelEntry& entry = opt.find(*node);
+    const std::uint64_t packs_before = elementwise_pack_events();
+    entry.invoke(ctx);
+    arena.reset();
+    entry.invoke(ctx);
+    EXPECT_EQ(elementwise_pack_events(), packs_before + 2)
+        << op_type_name(type)
+        << ": per-call fallback must rebuild on every invoke";
+    const Tensor& want = planned.node_output(node->id);
+    ASSERT_EQ(want.num_elements(), out.num_elements());
+    EXPECT_EQ(std::memcmp(want.raw_data(), out.raw_data(),
+                          static_cast<std::size_t>(out.num_elements())),
+              0)
+        << op_type_name(type);
+  }
+}
+
+}  // namespace
+}  // namespace mlexray

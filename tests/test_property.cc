@@ -17,6 +17,7 @@
 #include "src/interpreter/interpreter.h"
 #include "src/kernels/activation.h"
 #include "src/kernels/dwconv.h"
+#include "src/kernels/elementwise.h"
 #include "src/kernels/fixed_point.h"
 #include "src/models/zoo.h"
 #include "src/preprocess/image.h"
@@ -133,6 +134,113 @@ TEST_P(DwConvRandom, AllTiersMatchReference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DwConvRandom, ::testing::Range(1, 17));
+
+// --- randomized int8 elementwise parity (shape/broadcast/scale fuzz) ---
+//
+// Same contract for the elementwise family (src/kernels/elementwise.h): the
+// conformance grid (test_elementwise_grid.cc) enumerates the interesting
+// channel counts; this sweep draws op, geometry, broadcast pattern, fused
+// activation, and (via per-operand value ranges) quantization scales and
+// asymmetric zero points from a seeded RNG, then asserts every compute tier
+// agrees bit-for-bit and the Q31 path stays within one quantum of the
+// double-math reference.
+
+class ElementwiseRandom : public ::testing::TestWithParam<int> {
+ protected:
+  void TearDown() override {
+    set_elementwise_tier_for_testing(ElementwiseTier::kAuto);
+  }
+};
+
+TEST_P(ElementwiseRandom, AllTiersMatchReference) {
+  Pcg32 rng(static_cast<std::uint64_t>(4000 + GetParam()));
+  enum { kOpAdd, kOpSub, kOpMul, kOpMean, kOpLogistic, kOpHSwish, kOpTanh };
+  const int op = static_cast<int>(rng.next_below(7));
+  const bool binary = op == kOpAdd || op == kOpSub || op == kOpMul;
+  const bool broadcast = binary && rng.next_below(2) == 0;
+  const auto ch = static_cast<std::int64_t>(1 + rng.next_below(40));
+  const auto batch = static_cast<std::int64_t>(1 + rng.next_below(2));
+  const std::int64_t h = 1 + static_cast<std::int64_t>(rng.next_below(8));
+  const std::int64_t w = 1 + static_cast<std::int64_t>(rng.next_below(8));
+  const Activation acts[] = {Activation::kNone, Activation::kRelu,
+                             Activation::kRelu6};
+  const Activation act =
+      (op == kOpAdd || op == kOpSub) ? acts[rng.next_below(3)] : Activation::kNone;
+  // Random per-operand asymmetric value ranges -> distinct activation
+  // scales and nonzero zero points after calibration.
+  const float a_lo = -rng.uniform(0.2f, 4.0f);
+  const float a_hi = rng.uniform(0.2f, 4.0f);
+  const float b_lo = -rng.uniform(0.2f, 4.0f);
+  const float b_hi = rng.uniform(0.2f, 4.0f);
+
+  GraphBuilder b("ewrand", &rng);
+  const Shape in_shape{batch, h, w, ch};
+  const Shape gate_shape =
+      broadcast ? Shape{batch, 1, 1, ch} : in_shape;
+  int x = b.input(in_shape);
+  switch (op) {
+    case kOpAdd: b.add(x, b.input(gate_shape, DType::kF32, "g"), act, "op"); break;
+    case kOpSub: b.sub(x, b.input(gate_shape, DType::kF32, "g"), act, "op"); break;
+    case kOpMul: b.mul(x, b.input(gate_shape, DType::kF32, "g"), "op"); break;
+    case kOpMean: b.mean(x, "op"); break;
+    case kOpLogistic: b.sigmoid(x, "op"); break;
+    case kOpHSwish: b.hardswish(x, "op"); break;
+    case kOpTanh: b.tanh(x, "op"); break;
+  }
+  Graph m = b.finish({binary ? 2 : 1});
+
+  Tensor input = random_f32(in_shape, rng, a_lo, a_hi);
+  Tensor gate = random_f32(gate_shape, rng, b_lo, b_hi);
+  Calibrator calib(&m);
+  for (int i = 0; i < 4; ++i) {
+    if (binary) {
+      calib.observe({random_f32(in_shape, rng, a_lo, a_hi),
+                     random_f32(gate_shape, rng, b_lo, b_hi)});
+    } else {
+      calib.observe({random_f32(in_shape, rng, a_lo, a_hi)});
+    }
+  }
+  if (binary) {
+    calib.observe({input, gate});
+  } else {
+    calib.observe({input});
+  }
+  Graph qm = quantize_model(m, calib);
+  const float quantum = [&] {
+    const Node& out = qm.node(qm.outputs[0]);
+    return qm.node(out.inputs[0]).output_quant.scale();
+  }();
+  RefOpResolver ref;
+  BuiltinOpResolver opt;
+  Interpreter ri(&qm, &ref);
+  Interpreter oi(&qm, &opt, /*num_threads=*/2);
+  ri.set_input(0, input);
+  oi.set_input(0, input);
+  if (binary) {
+    ri.set_input(1, gate);
+    oi.set_input(1, gate);
+  }
+  ri.invoke();
+  oi.invoke();
+  const float* p = oi.output(0).data<float>();
+  std::vector<float> want(p, p + oi.output(0).num_elements());
+  for (ElementwiseTier tier :
+       {ElementwiseTier::kGenericVector, ElementwiseTier::kScalar}) {
+    set_elementwise_tier_for_testing(tier);
+    oi.invoke();
+    EXPECT_EQ(std::memcmp(oi.output(0).raw_data(), want.data(),
+                          want.size() * sizeof(float)),
+              0)
+        << "tier " << static_cast<int>(tier) << " diverged (seed "
+        << GetParam() << ", op " << op << ")";
+  }
+  set_elementwise_tier_for_testing(ElementwiseTier::kAuto);
+  EXPECT_LE(linf_error(ri.output(0), oi.output(0)), 1.001f * quantum)
+      << "int8 opt drifted past one quantum (seed " << GetParam() << ", op "
+      << op << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElementwiseRandom, ::testing::Range(1, 17));
 
 // --- pooling parity sweep ---
 
