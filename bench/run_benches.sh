@@ -52,7 +52,7 @@ if [[ "${build_type}" != "Release" ]]; then
 fi
 
 for bin in bench_kernels_micro bench_models_e2e bench_monitor_overhead \
-           bench_serving; do
+           bench_serving bench_drift; do
   if [[ ! -x "${build_dir}/${bin}" ]]; then
     echo "${bin} not found in ${build_dir}; build first:" >&2
     echo "  cmake -B build -S . && cmake --build build -j" >&2
@@ -332,3 +332,56 @@ echo "== concurrent serving (one Model, T threads x pooled sessions) =="
 echo "wrote ${out_dir}/BENCH_serving.json"
 digest "${out_dir}/BENCH_serving.json"
 digest_serving "${out_dir}/BENCH_serving.json"
+
+# Enforces the always-on capture budget: per-layer digest capture
+# (moments + quantile sketch / int8 histogram in the observer path) must
+# cost at most 15% over a bare invoke for every model/dtype row, or the
+# fresh JSON is discarded and the committed baseline stays in place. The
+# raw-trace overhead and aggregation throughput rows ride along for the
+# trajectory but are informational.
+digest_drift_gate() {
+  python3 - "$1" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    data = json.load(f)
+overhead = {}
+violations = []
+print(f"{'model/dtype':36s} {'bare us':>9s} {'digest us':>10s} {'overhead':>9s}")
+for b in data.get("benchmarks", []):
+    parts = b["name"].split("/")
+    if parts[:2] == ["drift", "digest_overhead"]:
+        key = "/".join(parts[2:])
+        pct = b["digest_overhead_pct"]
+        overhead[key] = pct
+        print(f"{key:36s} {b['bare_us_per_invoke']:9.1f} "
+              f"{b['digest_us_per_invoke']:10.1f} {pct:+8.2f}%")
+        if pct > 15.0:
+            violations.append(f"  {b['name']}: +{pct:.2f}% > 15%")
+    elif parts[:2] == ["drift", "aggregate"]:
+        print(f"{b['name']:36s} {b['devices']} devices x "
+              f"{b['frames_per_device']} frames: "
+              f"{b['frames_per_sec']:.0f} frames/s, "
+              f"report {b['report_ms']:.1f} ms")
+if not overhead:
+    sys.exit("error: no drift/digest_overhead rows in the drift bench")
+if violations:
+    sys.exit("error: digest capture exceeds the 15% always-on budget "
+             "(refusing to stamp):\n" + "\n".join(violations))
+data.setdefault("context", {})["mlexray_digest_overhead_pct"] = overhead
+with open(path, "w") as f:
+    json.dump(data, f, indent=1)
+    f.write("\n")
+EOF
+}
+
+echo
+echo "== drift digest capture overhead + fleet aggregation =="
+drift_json="${out_dir}/BENCH_drift.json"
+drift_fresh="$(mktemp "${out_dir}/.BENCH_drift.XXXXXX.json")"
+trap 'rm -f "${e2e_fresh}" "${drift_fresh}"' EXIT
+"${build_dir}/bench_drift" > "${drift_fresh}"
+digest_drift_gate "${drift_fresh}"
+mv "${drift_fresh}" "${drift_json}"
+echo "wrote ${drift_json}"
+digest "${drift_json}"

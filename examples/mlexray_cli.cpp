@@ -2,13 +2,17 @@
 // edge traces against reference traces offline (the paper's workstation-side
 // workflow: logs ship from the device, validation runs in the cloud).
 //
-//   mlexray_cli record <model> <bug> <frames> <out.mlxtrace>
+//   mlexray_cli record <model> <bug> <frames> <out.mlxtrace> [--digest-only]
 //       model: one of the image zoo (e.g. mobilenet_v2_mini)
 //       bug:   none|resize|channel|normalization|rotation
+//       --digest-only: capture per-layer streaming digests instead of raw
+//                      tensors (the always-on fleet monitoring mode)
 //   mlexray_cli reference <model> <frames> <out.mlxtrace>
 //   mlexray_cli validate <edge.mlxtrace> <reference.mlxtrace> <model>
 //   mlexray_cli inspect <trace.mlxtrace>
-//   mlexray_cli trace-info <trace.mlxtrace>
+//   mlexray_cli trace-info <trace.mlxtrace> [--digest-only]
+//   mlexray_cli fleet-report <ref.mlxtrace> <device.mlxtrace...>
+//                            [--threshold <drift>]
 //   mlexray_cli serve <model> <threads> <frames-per-thread>
 //
 // record streams frames straight to the output file via the monitor's
@@ -29,6 +33,7 @@
 
 #include "src/core/assertions.h"
 #include "src/core/pipelines.h"
+#include "src/drift/aggregator.h"
 #include "src/interpreter/engine.h"
 #include "src/interpreter/front_door.h"
 #include "src/models/trained_models.h"
@@ -55,11 +60,15 @@ std::vector<SensorExample> frames_for(int count) {
 }
 
 int cmd_record(const std::string& model_name, const std::string& bug,
-               int frames, const std::string& out, bool reference) {
+               int frames, const std::string& out, bool reference,
+               bool digest_only = false) {
   Graph model = trained_image_checkpoint(model_name);
   RefOpResolver resolver;
   MonitorOptions opts;
-  opts.per_layer_outputs = true;
+  // Digest-only is the always-on fleet mode: fixed-size per-layer sketches
+  // in place of raw activations, a fraction of the trace size.
+  opts.per_layer_outputs = !digest_only;
+  opts.per_layer_digests = digest_only;
   auto sensors = frames_for(frames);
   if (reference) {
     Trace trace = run_reference_classification(model, sensors, opts);
@@ -142,7 +151,7 @@ TensorDigest digest_tensor(const Tensor& raw) {
 // Workstation-side trace digest: frame count, keys, per-model-output and
 // per-layer stats (raw dtype captures dequantized through the offline
 // to_f32 path), and the overhead scalars aggregated across frames.
-int cmd_trace_info(const std::string& path) {
+int cmd_trace_info(const std::string& path, bool digest_only = false) {
   // Tolerant load: a device killed mid-recording leaves a crash-safe prefix
   // plus at most one torn tail frame — digest what is readable instead of
   // refusing the whole file.
@@ -181,28 +190,69 @@ int cmd_trace_info(const std::string& path) {
   }
 
   const FrameTrace& f0 = trace.frames[0];
-  std::printf("\ntensor keys (frame 0):\n");
-  for (const auto& [key, tensor] : f0.tensors) {
-    std::printf("  %-20s %s %s\n", key.c_str(),
-                dtype_name(tensor.dtype()).c_str(),
-                tensor.shape().to_string().c_str());
+  if (!digest_only) {
+    std::printf("\ntensor keys (frame 0):\n");
+    for (const auto& [key, tensor] : f0.tensors) {
+      std::printf("  %-20s %s %s\n", key.c_str(),
+                  dtype_name(tensor.dtype()).c_str(),
+                  tensor.shape().to_string().c_str());
+    }
+
+    // Multi-output capture: one digest per model output head (SSD traces
+    // carry box + class heads under model.output / model.output:1 / ...).
+    std::printf("\nmodel outputs (frame 0, digests):\n");
+    for (int i = 0;; ++i) {
+      const std::string key = trace_keys::model_output_key(i);
+      auto it = f0.tensors.find(key);
+      if (it == f0.tensors.end()) break;
+      const Tensor& raw = it->second;
+      TensorDigest d = digest_tensor(raw);
+      std::printf("  %-20s %-6s %-14s mean %10.4f  |max| %10.4f\n",
+                  key.c_str(), dtype_name(raw.dtype()).c_str(),
+                  raw.shape().to_string().c_str(), d.mean, d.absmax);
+    }
   }
 
-  // Multi-output capture: one digest per model output head (SSD traces
-  // carry box + class heads under model.output / model.output:1 / ...).
-  std::printf("\nmodel outputs (frame 0, digests):\n");
-  for (int i = 0;; ++i) {
-    const std::string key = trace_keys::model_output_key(i);
-    auto it = f0.tensors.find(key);
-    if (it == f0.tensors.end()) break;
-    const Tensor& raw = it->second;
-    TensorDigest d = digest_tensor(raw);
-    std::printf("  %-20s %-6s %-14s mean %10.4f  |max| %10.4f\n", key.c_str(),
-                dtype_name(raw.dtype()).c_str(),
-                raw.shape().to_string().c_str(), d.mean, d.absmax);
+  // Streaming digest frames (trace format v2, fleet monitoring mode): the
+  // per-layer summaries merged across every frame of the trace — what the
+  // DriftAggregator would see from this device.
+  if (!f0.layer_digests.empty()) {
+    std::map<std::string, LayerDigest> merged;
+    std::vector<std::string> order = f0.layer_names;
+    std::size_t digest_frames = 0;
+    for (const FrameTrace& f : trace.frames) {
+      if (f.layer_digests.empty()) continue;
+      ++digest_frames;
+      for (std::size_t i = 0;
+           i < f.layer_digests.size() && i < f.layer_names.size(); ++i) {
+        auto [it, inserted] = merged.try_emplace(f.layer_names[i]);
+        if (inserted) {
+          it->second = f.layer_digests[i];
+        } else {
+          it->second.merge(f.layer_digests[i]);
+        }
+      }
+    }
+    std::printf("\nper-layer digests (%zu layers, merged over %zu frames):\n",
+                order.size(), digest_frames);
+    std::printf("  %-24s %-6s %10s %10s %10s %10s %10s %10s\n", "layer",
+                "dtype", "count", "mean", "stddev", "min", "p50", "max");
+    for (const std::string& name : order) {
+      auto it = merged.find(name);
+      if (it == merged.end()) continue;
+      const LayerDigest& d = it->second;
+      std::printf(
+          "  %-24s %-6s %10llu %10.4f %10.4f %10.4f %10.4f %10.4f\n",
+          name.c_str(), dtype_name(d.dtype).c_str(),
+          static_cast<unsigned long long>(d.count), d.mean(), d.stddev(),
+          d.real_min(), d.quantile(0.5), d.real_max());
+    }
+  } else if (digest_only) {
+    std::printf("\nno digest frames in this trace (record with "
+                "--digest-only to capture them)\n");
   }
 
-  if (!f0.layer_names.empty()) {
+  if (!digest_only && !f0.layer_names.empty()) {
     std::printf("\nper-layer (%zu layers, frame 0):\n", f0.layer_names.size());
     std::printf("  %-24s %-6s %-14s %10s %10s %10s\n", "layer", "dtype",
                 "shape", "mean", "|max|", "lat ms");
@@ -230,6 +280,42 @@ int cmd_trace_info(const std::string& path) {
                   mean.c_str(), absmax.c_str(), lat.c_str());
     }
   }
+  return 0;
+}
+
+// Fleet aggregation: merge digest streams from many device traces against a
+// reference trace (digest or raw per-layer capture) and print the fleet
+// drift report — per-layer drift distributions, outlier-device ranking, and
+// the modal first-suspect localization.
+int cmd_fleet_report(const std::vector<std::string>& args) {
+  double threshold = 0.1;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--threshold") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "fleet-report: --threshold needs a value\n");
+        return 1;
+      }
+      threshold = std::atof(args[++i].c_str());
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  if (paths.size() < 2) {
+    std::fprintf(stderr,
+                 "fleet-report: need a reference trace and at least one "
+                 "device trace\n");
+    return 1;
+  }
+  DriftAggregator agg(threshold);
+  agg.set_reference(load_trace_tolerant(paths[0]));
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    // Device id = the file's stem; tolerant load so a fleet report still
+    // covers devices that died mid-recording.
+    agg.add_trace(std::filesystem::path(paths[i]).stem().string(),
+                  load_trace_tolerant(paths[i]));
+  }
+  std::printf("%s", render_fleet_report(agg.report()).c_str());
   return 0;
 }
 
@@ -351,11 +437,14 @@ int cmd_serve(const std::string& model_name, int threads, int frames) {
 int usage() {
   std::printf(
       "usage:\n"
-      "  mlexray_cli record <model> <bug> <frames> <out.mlxtrace>\n"
+      "  mlexray_cli record <model> <bug> <frames> <out.mlxtrace> "
+      "[--digest-only]\n"
       "  mlexray_cli reference <model> <frames> <out.mlxtrace>\n"
       "  mlexray_cli validate <edge.mlxtrace> <ref.mlxtrace> <model>\n"
       "  mlexray_cli inspect <trace.mlxtrace>\n"
-      "  mlexray_cli trace-info <trace.mlxtrace>\n"
+      "  mlexray_cli trace-info <trace.mlxtrace> [--digest-only]\n"
+      "  mlexray_cli fleet-report <ref.mlxtrace> <device.mlxtrace...> "
+      "[--threshold <drift>]\n"
       "  mlexray_cli serve <model> <threads> <frames-per-thread>\n");
   return 1;
 }
@@ -363,8 +452,11 @@ int usage() {
 int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  if (cmd == "record" && argc == 6) {
-    return cmd_record(argv[2], argv[3], std::atoi(argv[4]), argv[5], false);
+  const bool digest_only =
+      argc >= 3 && std::string(argv[argc - 1]) == "--digest-only";
+  if (cmd == "record" && (argc == 6 || (argc == 7 && digest_only))) {
+    return cmd_record(argv[2], argv[3], std::atoi(argv[4]), argv[5], false,
+                      digest_only);
   }
   if (cmd == "reference" && argc == 5) {
     return cmd_record(argv[2], "none", std::atoi(argv[3]), argv[4], true);
@@ -375,8 +467,11 @@ int dispatch(int argc, char** argv) {
   if (cmd == "inspect" && argc == 3) {
     return cmd_inspect(argv[2]);
   }
-  if (cmd == "trace-info" && argc == 3) {
-    return cmd_trace_info(argv[2]);
+  if (cmd == "trace-info" && (argc == 3 || (argc == 4 && digest_only))) {
+    return cmd_trace_info(argv[2], digest_only);
+  }
+  if (cmd == "fleet-report" && argc >= 4) {
+    return cmd_fleet_report(std::vector<std::string>(argv + 2, argv + argc));
   }
   if (cmd == "serve" && argc == 5) {
     return cmd_serve(argv[2], std::atoi(argv[3]), std::atoi(argv[4]));

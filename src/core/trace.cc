@@ -25,10 +25,26 @@ double FrameTrace::scalar(const std::string& key) const {
 }
 
 namespace {
-constexpr std::uint32_t kTraceMagic = 0x4d4c5854;  // "TXLM"
+// One magic per wire version: v2 frames append a digest section, so a
+// reader must know the layout before parsing any frame. The magic is the
+// version announcement (a version field after a shared magic would have cost
+// the same four bytes without staying v1-readable).
+constexpr std::uint32_t kTraceMagicV1 = 0x4d4c5854;  // "TXLM"
+constexpr std::uint32_t kTraceMagicV2 = 0x4d4c5855;
+
+std::uint32_t magic_for_version(int version) {
+  return version >= kTraceVersion2 ? kTraceMagicV2 : kTraceMagicV1;
 }
 
-void serialize_frame(BinaryWriter& w, const FrameTrace& f) {
+int version_for_magic(std::uint32_t magic) {
+  if (magic == kTraceMagicV1) return kTraceVersion1;
+  if (magic == kTraceMagicV2) return kTraceVersion2;
+  MLX_CHECK(false) << "not an mlxtrace file";
+  return 0;
+}
+}  // namespace
+
+void serialize_frame(BinaryWriter& w, const FrameTrace& f, int version) {
   w.write_i32(f.frame_id);
   w.write_u32(static_cast<std::uint32_t>(f.tensors.size()));
   for (const auto& [key, tensor] : f.tensors) {
@@ -46,9 +62,16 @@ void serialize_frame(BinaryWriter& w, const FrameTrace& f) {
   for (const Tensor& t : f.layer_outputs) serialize_tensor(w, t);
   w.write_u32(static_cast<std::uint32_t>(f.layer_latency_ms.size()));
   for (double v : f.layer_latency_ms) w.write_f64(v);
+  if (version >= kTraceVersion2) {
+    w.write_u32(static_cast<std::uint32_t>(f.layer_digests.size()));
+    for (const LayerDigest& d : f.layer_digests) serialize_digest(w, d);
+  } else {
+    MLX_CHECK(f.layer_digests.empty())
+        << "trace format v1 cannot carry layer digests";
+  }
 }
 
-FrameTrace deserialize_frame(BinaryReader& r) {
+FrameTrace deserialize_frame(BinaryReader& r, int version) {
   FrameTrace f;
   f.frame_id = r.read_i32();
   std::uint32_t tensors = r.read_u32();
@@ -73,34 +96,42 @@ FrameTrace deserialize_frame(BinaryReader& r) {
   for (std::uint32_t k = 0; k < latencies; ++k) {
     f.layer_latency_ms.push_back(r.read_f64());
   }
+  if (version >= kTraceVersion2) {
+    std::uint32_t digests = r.read_u32();
+    for (std::uint32_t k = 0; k < digests; ++k) {
+      f.layer_digests.push_back(deserialize_digest(r));
+    }
+  }
   return f;
 }
 
 std::size_t trace_frame_count_offset(const std::string& pipeline_name) {
   BinaryWriter w;
-  w.write_u32(kTraceMagic);
+  w.write_u32(kTraceMagicV2);
   w.write_string(pipeline_name);
   return w.size();
 }
 
 std::vector<std::uint8_t> serialize_trace(const Trace& trace) {
   BinaryWriter w;
-  w.write_u32(kTraceMagic);
+  w.write_u32(magic_for_version(kTraceVersionCurrent));
   w.write_string(trace.pipeline_name);
   w.write_u32(static_cast<std::uint32_t>(trace.frames.size()));
-  for (const FrameTrace& f : trace.frames) serialize_frame(w, f);
+  for (const FrameTrace& f : trace.frames) {
+    serialize_frame(w, f, kTraceVersionCurrent);
+  }
   return w.bytes();
 }
 
 Trace deserialize_trace(const std::vector<std::uint8_t>& bytes) {
   BinaryReader r(bytes);
-  MLX_CHECK_EQ(r.read_u32(), kTraceMagic) << "not an mlxtrace file";
+  const int version = version_for_magic(r.read_u32());
   Trace trace;
   trace.pipeline_name = r.read_string();
   std::uint32_t frames = r.read_u32();
   trace.frames.reserve(frames);
   for (std::uint32_t i = 0; i < frames; ++i) {
-    trace.frames.push_back(deserialize_frame(r));
+    trace.frames.push_back(deserialize_frame(r, version));
   }
   return trace;
 }
@@ -120,7 +151,7 @@ Trace load_trace(const std::filesystem::path& path) {
 Trace load_trace_tolerant(const std::filesystem::path& path,
                           std::size_t* truncated_frames) {
   BinaryReader r(read_file(path));
-  MLX_CHECK_EQ(r.read_u32(), kTraceMagic) << "not an mlxtrace file";
+  const int version = version_for_magic(r.read_u32());
   Trace trace;
   trace.pipeline_name = r.read_string();
   const std::uint32_t promised = r.read_u32();
@@ -132,7 +163,7 @@ Trace load_trace_tolerant(const std::filesystem::path& path,
     // happens into a scratch frame so a partial parse never reaches the
     // returned trace.
     try {
-      trace.frames.push_back(deserialize_frame(r));
+      trace.frames.push_back(deserialize_frame(r, version));
     } catch (const MlxError&) {
       truncated = promised - i;
       break;

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/drift/digest.h"
 #include "src/tensor/tensor.h"
 
 namespace mlexray {
@@ -42,6 +43,10 @@ struct FrameTrace {
   std::vector<std::string> layer_names;
   std::vector<Tensor> layer_outputs;
   std::vector<double> layer_latency_ms;
+  // Per-layer streaming digests (execution order, parallel to layer_names),
+  // present when digest capture is on. Format v2 carries these on the wire;
+  // v1 traces load with the vector empty.
+  std::vector<LayerDigest> layer_digests;
 
   bool has_tensor(const std::string& key) const {
     return tensors.count(key) > 0;
@@ -74,13 +79,25 @@ Trace load_trace(const std::filesystem::path& path);
 Trace load_trace_tolerant(const std::filesystem::path& path,
                           std::size_t* truncated_frames = nullptr);
 
+// Wire-format versions. v1 is the original layout; v2 appends a per-frame
+// digest section after the layer latencies (and announces itself with a
+// distinct magic). Writers always emit the current version; readers accept
+// both, so v1 device logs stay loadable.
+inline constexpr int kTraceVersion1 = 1;
+inline constexpr int kTraceVersion2 = 2;
+inline constexpr int kTraceVersionCurrent = kTraceVersion2;
+
 // Frame-level framing, shared by the whole-trace (de)serializers above and
 // the TraceBuffer spooler, which streams frames into a .mlxtrace file as
 // they are captured (same on-disk format, frame count patched at close).
+// The version parameter selects the frame layout; pass kTraceVersion1 only
+// to read (or test-write) legacy traces.
 class BinaryWriter;
 class BinaryReader;
-void serialize_frame(BinaryWriter& w, const FrameTrace& frame);
-FrameTrace deserialize_frame(BinaryReader& r);
+void serialize_frame(BinaryWriter& w, const FrameTrace& frame,
+                     int version = kTraceVersionCurrent);
+FrameTrace deserialize_frame(BinaryReader& r,
+                             int version = kTraceVersionCurrent);
 
 // Byte offset of the u32 frame-count field inside a serialized trace with
 // this pipeline name (magic + length-prefixed name precede it).

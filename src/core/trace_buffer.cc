@@ -45,6 +45,13 @@ void TraceBuffer::size_frame(CaptureFrame& f) const {
       f.layer_bytes[i].resize(layers_[i].byte_size);
     }
   }
+  if (options_.per_layer_digests) {
+    // LayerDigest is all-inline storage, so sizing once here is the last
+    // allocation the digest path ever performs; per-frame reset() is a
+    // member-wise clear (memset-class, not an allocation).
+    f.layer_digests.resize(layers_.size());
+    for (LayerDigest& d : f.layer_digests) d.reset();
+  }
   f.has_invoke = false;
 }
 
@@ -164,6 +171,11 @@ void TraceBuffer::on_step(const Node& node, const Tensor& output,
     MLX_CHECK_EQ(dst.size(), output.byte_size());
     std::memcpy(dst.data(), output.raw_data(), output.byte_size());
   }
+  if (options_.per_layer_digests) {
+    LayerDigest& d = f.layer_digests[step_cursor_];
+    d.reset();
+    d.accumulate(output);
+  }
   ++step_cursor_;
 }
 
@@ -220,7 +232,8 @@ FrameTrace TraceBuffer::to_frame_trace(const CaptureFrame& frame) const {
     out.tensors.emplace(key_name(s.key), std::move(t));
   }
   if (frame.has_invoke &&
-      (options_.per_layer_latency || options_.per_layer_outputs)) {
+      (options_.per_layer_latency || options_.per_layer_outputs ||
+       options_.per_layer_digests)) {
     out.layer_names.reserve(layers_.size());
     for (std::size_t i = 0; i < layers_.size(); ++i) {
       out.layer_names.push_back(layers_[i].name);
@@ -234,6 +247,9 @@ FrameTrace TraceBuffer::to_frame_trace(const CaptureFrame& frame) const {
       }
       if (options_.per_layer_latency) {
         out.layer_latency_ms.push_back(frame.layer_latency_ms[i]);
+      }
+      if (options_.per_layer_digests) {
+        out.layer_digests.push_back(frame.layer_digests[i]);
       }
     }
   }
@@ -262,6 +278,9 @@ std::size_t TraceBuffer::frame_capture_bytes() const {
   if (options_.per_layer_outputs) {
     for (const LayerInfo& l : layers_) total += l.byte_size;
   }
+  if (options_.per_layer_digests) {
+    total += layers_.size() * sizeof(LayerDigest);
+  }
   // Warm slot capacity — what a full frame captures — so the number is
   // meaningful right after next_frame() reset the active frame.
   for (const TensorSlot& s : frames_[active_].tensors) total += s.bytes.size();
@@ -276,6 +295,11 @@ std::size_t TraceBuffer::max_spool_batch() const {
 std::size_t TraceBuffer::spooled_frames() const {
   std::lock_guard<std::mutex> lock(spool_mu_);
   return spool_frames_;
+}
+
+std::size_t TraceBuffer::spooled_digest_frames() const {
+  std::lock_guard<std::mutex> lock(spool_mu_);
+  return spool_digest_frames_;
 }
 
 Trace TraceBuffer::take_trace() {
@@ -319,6 +343,7 @@ void TraceBuffer::open_spool(const std::filesystem::path& path) {
   spool_out_.write(reinterpret_cast<const char*>(header.bytes().data()),
                    static_cast<std::streamsize>(header.size()));
   spool_frames_ = 0;
+  spool_digest_frames_ = 0;
   spool_enqueued_ = 0;
   spool_stop_ = false;
   max_spool_batch_ = 0;
@@ -387,8 +412,15 @@ void TraceBuffer::spool_worker() {
       spool_out_.seekp(end);
       spool_out_.flush();
       MLX_CHECK(spool_out_.good()) << "spool header patch failed";
+      std::size_t digest_frames = 0;
+      if (options_.per_layer_digests) {
+        for (const CaptureFrame* frame : spool_batch_) {
+          if (frame->has_invoke) ++digest_frames;
+        }
+      }
       std::lock_guard<std::mutex> lock(spool_mu_);
       spool_frames_ += spool_batch_.size();
+      spool_digest_frames_ += digest_frames;
     } catch (const std::exception& e) {
       // Any escape (MlxError, bad_alloc, ...) would std::terminate the
       // process from a thread entry; record it for close_spool() instead.

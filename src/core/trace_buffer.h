@@ -52,6 +52,12 @@ class Session;
 // the buffer is self-contained; EdgeMLMonitor re-exports it.
 struct MonitorOptions {
   bool per_layer_outputs = false;  // offline validation mode (Tables 3/5)
+  // Always-on fleet-monitoring mode: per-layer streaming digests (moments +
+  // quantile sketch / int8 histogram, src/drift/digest.h) instead of raw
+  // tensors. Fixed-size storage per layer, zero steady-state allocations,
+  // and a fraction of the raw-output capture cost — cheap enough to leave
+  // enabled in serving (bench_drift gates the overhead vs bare invoke).
+  bool per_layer_digests = false;
   bool per_layer_latency = true;
   bool log_model_io = true;
   // When false, next_frame() discards frames after counting them (they still
@@ -136,6 +142,10 @@ class TraceBuffer : public InvokeObserver {
   // the crash-safe prefix of the spool file. Everything up to this count is
   // readable even if the process dies before close_spool().
   std::size_t spooled_frames() const;
+  // Of those, frames that carried per-layer digests — digest frames ride the
+  // same one-write-per-wakeup batch path as raw frames; tests assert fleet
+  // digests reach disk durably through this counter.
+  std::size_t spooled_digest_frames() const;
 
   // --- retained trace -------------------------------------------------------
   const Trace& trace() const { return trace_; }
@@ -172,6 +182,7 @@ class TraceBuffer : public InvokeObserver {
     std::vector<TensorSlot> tensors;
     std::vector<double> layer_latency_ms;                // step-indexed
     std::vector<std::vector<std::uint8_t>> layer_bytes;  // step-indexed
+    std::vector<LayerDigest> layer_digests;              // step-indexed
   };
   // Per-layer metadata shared by every frame (set at bind).
   struct LayerInfo {
@@ -228,9 +239,10 @@ class TraceBuffer : public InvokeObserver {
   std::string spool_error_;
   std::ofstream spool_out_;
   std::size_t spool_count_offset_ = 0;
-  std::size_t spool_frames_ = 0;     // written by the worker
-  std::size_t spool_enqueued_ = 0;   // hot-thread count; guards bind()
-  std::size_t max_spool_batch_ = 0;  // written by the worker
+  std::size_t spool_frames_ = 0;         // written by the worker
+  std::size_t spool_digest_frames_ = 0;  // written by the worker
+  std::size_t spool_enqueued_ = 0;       // hot-thread count; guards bind()
+  std::size_t max_spool_batch_ = 0;      // written by the worker
 };
 
 }  // namespace mlexray

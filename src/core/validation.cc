@@ -6,6 +6,7 @@
 
 #include "src/common/string_util.h"
 #include "src/core/pipelines.h"
+#include "src/drift/aggregator.h"
 #include "src/tensor/tensor_stats.h"
 
 namespace mlexray {
@@ -67,6 +68,53 @@ PerLayerReport DeploymentValidator::per_layer_drift(const Trace& edge,
     LayerDrift drift;
     drift.layer = name;
     drift.error = sum / static_cast<double>(edge.frames.size());
+    drift.suspect = drift.error > threshold;
+    if (drift.suspect && !report.first_suspect.has_value()) {
+      report.first_suspect = name;
+    }
+    report.drifts.push_back(std::move(drift));
+  }
+  return report;
+}
+
+PerLayerReport DeploymentValidator::per_layer_digest_drift(
+    const Trace& edge, const Trace& reference, double threshold) const {
+  PerLayerReport report;
+  report.threshold = threshold;
+
+  // Merge each side's per-layer digests across frames (digest frames as-is,
+  // raw per-layer frames digested on the fly), keyed by layer name.
+  const auto merge_trace = [](const Trace& trace,
+                              std::vector<std::string>* order) {
+    std::map<std::string, LayerDigest> merged;
+    for (const FrameTrace& frame : trace.frames) {
+      const std::vector<LayerDigest> digests = frame_layer_digests(frame);
+      if (order->empty() && !digests.empty()) *order = frame.layer_names;
+      for (std::size_t i = 0; i < digests.size(); ++i) {
+        auto [it, inserted] = merged.try_emplace(frame.layer_names[i]);
+        if (inserted) {
+          it->second = digests[i];
+        } else {
+          it->second.merge(digests[i]);
+        }
+      }
+    }
+    return merged;
+  };
+  std::vector<std::string> edge_order;
+  std::vector<std::string> ref_order;
+  const std::map<std::string, LayerDigest> edge_merged =
+      merge_trace(edge, &edge_order);
+  const std::map<std::string, LayerDigest> ref_merged =
+      merge_trace(reference, &ref_order);
+
+  for (const std::string& name : edge_order) {
+    const auto eit = edge_merged.find(name);
+    const auto rit = ref_merged.find(name);
+    if (eit == edge_merged.end() || rit == ref_merged.end()) continue;
+    LayerDrift drift;
+    drift.layer = name;
+    drift.error = digest_drift(eit->second, rit->second);
     drift.suspect = drift.error > threshold;
     if (drift.suspect && !report.first_suspect.has_value()) {
       report.first_suspect = name;

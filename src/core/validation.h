@@ -68,6 +68,17 @@ class DeploymentValidator {
                                  ErrorMetric metric = ErrorMetric::kNormalizedRmse,
                                  double threshold = 0.1) const;
 
+  // Step 2 over streaming digests: the same report shape, but the error is
+  // digest_drift (normalized quantile-curve distance, src/drift/digest.h)
+  // between each layer's digests merged across frames. Works when either
+  // trace was recorded digest-only (no raw tensors to diff pairwise) — the
+  // fleet-monitoring capture mode; raw per-layer traces are digested on the
+  // fly. Distribution-blind bugs (e.g. channel order) need the raw-tensor
+  // path above or the Engine canary.
+  PerLayerReport per_layer_digest_drift(const Trace& edge,
+                                        const Trace& reference,
+                                        double threshold = 0.1) const;
+
   // Latency analysis on one trace: per-layer means + straggler flags.
   LatencyReport per_layer_latency(const Trace& trace,
                                   double straggler_factor = 8.0) const;

@@ -1,0 +1,77 @@
+// Engine canary mode: online Fig-6 drift localization in the serving path.
+//
+// The paper's per-layer validation is offline and pairwise — record full
+// traces on two pipelines, diff later. Canary mode streams the same signal
+// live: the Engine shadows a sampled fraction of production invokes through
+// a Session built from a *reference* graph + resolver (e.g. the float model,
+// or the production graph under the reference kernel set), replays the
+// production inputs, and accumulates per-layer normalized RMSE between the
+// production activations and the reference's. The running report localizes
+// the first divergent layer in execution order — the same verdict
+// DeploymentValidator::per_layer_drift reaches offline, but without raw
+// tensor capture and while the model keeps serving.
+//
+// Sampling contract: shadowing happens on the releasing thread when a lease
+// comes home, 1 out of every CanaryOptions::shadow_every releases whose
+// invoke completed cleanly (partial frames from deadline expiry or contained
+// faults are never diffed). One reference session is shared per model name;
+// if another release is mid-shadow the sample is dropped and counted
+// (skipped_busy) instead of blocking the pool. The canary survives hot-swaps
+// — layers are re-mapped to the new serving version by node name, and layers
+// the reference cannot map are skipped (skipped_layout counts whole frames
+// whose input layout no longer matches).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mlexray {
+
+struct CanaryOptions {
+  // Shadow 1 out of every N cleanly-completed releases (1 = every invoke).
+  std::uint32_t shadow_every = 8;
+  // A layer whose running mean normalized RMSE exceeds this is a suspect;
+  // the first suspect in execution order is the Fig-6 localization. Matches
+  // per_layer_drift's default so online and offline verdicts compare.
+  double drift_threshold = 0.1;
+};
+
+// One layer's running drift, in reference execution order.
+struct CanaryLayerDrift {
+  std::string layer;
+  double mean_error = 0.0;     // running mean normalized RMSE vs reference
+  std::uint64_t samples = 0;   // shadowed frames that compared this layer
+  bool suspect = false;        // mean_error > threshold
+};
+
+struct CanaryReport {
+  bool enabled = false;
+  std::uint64_t shadowed = 0;          // frames diffed against the reference
+  std::uint64_t skipped_busy = 0;      // reference session held by another shadow
+  std::uint64_t skipped_layout = 0;    // input layout mismatch after a hot-swap
+  std::uint64_t reference_errors = 0;  // reference invoke failures
+  double threshold = 0.0;
+  std::vector<CanaryLayerDrift> layers;
+  // First layer in execution order whose running mean exceeds the threshold
+  // — the online counterpart of PerLayerReport::first_suspect.
+  std::optional<std::string> first_suspect;
+};
+
+// Fired on the releasing thread after each shadowed frame (sampled slow
+// path — allocation is fine, but the hook must not call back into the
+// Engine's lease API for the same model).
+struct CanaryShadowEvent {
+  std::uint64_t shadow_index = 0;  // 1-based count of shadowed frames
+  double max_layer_error = 0.0;    // worst single-layer error this frame
+  // First layer whose error exceeded the threshold in *this* frame; empty
+  // when the frame tracked the reference everywhere.
+  std::string first_divergent_layer;
+  int first_divergent_step = -1;
+};
+
+using CanaryObserver = std::function<void(const CanaryShadowEvent&)>;
+
+}  // namespace mlexray

@@ -1,12 +1,151 @@
 #include "src/interpreter/engine.h"
 
 #include <algorithm>
+#include <cstring>
+
+#include "src/tensor/tensor_stats.h"
 
 namespace mlexray {
 
 namespace {
 constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 }  // namespace
+
+// One model name's canary: the reference Model + its single shadow Session,
+// the sampling counter, and the running per-layer accumulators (indexed by
+// reference plan step, so they survive production hot-swaps — only the
+// name-based step mapping is rebuilt when the serving version changes).
+struct Engine::CanaryState {
+  CanaryOptions options;
+  std::unique_ptr<Model> model;      // reference
+  std::unique_ptr<Session> session;  // rebuilt if a reference invoke poisons it
+
+  // Counters are atomics so pool_stats/canary_report read them without
+  // contending on the shadow lock.
+  std::atomic<std::uint64_t> release_counter{0};
+  std::atomic<std::uint64_t> shadowed{0};
+  std::atomic<std::uint64_t> skipped_busy{0};
+  std::atomic<std::uint64_t> skipped_layout{0};
+  std::atomic<std::uint64_t> reference_errors{0};
+
+  // Everything below is guarded by shadow_mu: one shadow at a time, and a
+  // contended sample is dropped (skipped_busy), never queued.
+  std::mutex shadow_mu;
+  std::vector<double> err_sum;  // per reference plan step
+  std::vector<std::uint64_t> err_count;
+  std::uint64_t mapped_version = 0;  // serving version the mapping is for
+  bool mapping_ok = false;
+  std::vector<int> prod_node_for_step;  // prod node id per ref step; -1 unmapped
+  std::vector<int> prod_input_ids;
+  CanaryObserver observer;
+
+  void build_mapping(std::uint64_t version_id, const Graph& prod_graph) {
+    mapped_version = version_id;
+    mapping_ok = false;
+    const Graph& ref_graph = model->graph();
+    const std::vector<int> ref_inputs = ref_graph.input_ids();
+    const std::vector<int> prod_inputs = prod_graph.input_ids();
+    // The reference replays production inputs byte-for-byte, so the input
+    // layout must match exactly; a hot-swap to an incompatible model keeps
+    // the canary alive but skips frames until the layout matches again.
+    if (ref_inputs.size() != prod_inputs.size()) return;
+    for (std::size_t i = 0; i < ref_inputs.size(); ++i) {
+      const Node& ref_in = ref_graph.node(ref_inputs[i]);
+      const Node& prod_in = prod_graph.node(prod_inputs[i]);
+      if (!(ref_in.output_shape == prod_in.output_shape) ||
+          ref_in.output_dtype != prod_in.output_dtype) {
+        return;
+      }
+    }
+    prod_input_ids = prod_inputs;
+    // Steps align by node name (per_layer_drift's rule): layers the
+    // production graph renamed or dropped simply stop sampling.
+    const auto& steps = model->plan().steps();
+    prod_node_for_step.assign(steps.size(), -1);
+    for (std::size_t s = 0; s < steps.size(); ++s) {
+      for (const Node& n : prod_graph.nodes) {
+        if (n.name == steps[s].node->name) {
+          prod_node_for_step[s] = n.id;
+          break;
+        }
+      }
+    }
+    mapping_ok = true;
+  }
+
+  // Requires shadow_mu held; prod's activations are owned by the releasing
+  // thread until release() takes the pool lock.
+  void shadow_locked(std::uint64_t version_id, const Graph& prod_graph,
+                     const Session& prod) {
+    if (mapped_version != version_id) build_mapping(version_id, prod_graph);
+    if (!mapping_ok) {
+      skipped_layout.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    for (std::size_t i = 0; i < prod_input_ids.size(); ++i) {
+      const Tensor& src = prod.node_output(prod_input_ids[i]);
+      Tensor& dst = session->mutable_input(static_cast<int>(i));
+      MLX_CHECK_EQ(dst.byte_size(), src.byte_size());
+      std::memcpy(dst.raw_data(), src.raw_data(), src.byte_size());
+    }
+    const InvokeStatus status = session->try_invoke();
+    if (!status.ok()) {
+      reference_errors.fetch_add(1, std::memory_order_relaxed);
+      if (session->poisoned()) {
+        session = std::make_unique<Session>(model.get());
+      }
+      return;
+    }
+    CanaryShadowEvent event;
+    event.shadow_index = shadowed.fetch_add(1, std::memory_order_relaxed) + 1;
+    const auto& steps = model->plan().steps();
+    for (std::size_t s = 0; s < steps.size(); ++s) {
+      const int prod_id = prod_node_for_step[s];
+      if (prod_id < 0) continue;
+      // Paper metric, same direction as per_layer_drift: the edge
+      // (production) activations against the reference's, normalized by the
+      // reference value range.
+      const double err = normalized_rmse(
+          prod.node_output(prod_id), session->node_output(steps[s].node->id));
+      err_sum[s] += err;
+      ++err_count[s];
+      if (err > event.max_layer_error) event.max_layer_error = err;
+      if (event.first_divergent_step < 0 && err > options.drift_threshold) {
+        event.first_divergent_step = static_cast<int>(s);
+        event.first_divergent_layer = steps[s].node->name;
+      }
+    }
+    if (observer) observer(event);
+  }
+
+  // Requires shadow_mu held.
+  CanaryReport report_locked() const {
+    CanaryReport report;
+    report.enabled = true;
+    report.shadowed = shadowed.load(std::memory_order_relaxed);
+    report.skipped_busy = skipped_busy.load(std::memory_order_relaxed);
+    report.skipped_layout = skipped_layout.load(std::memory_order_relaxed);
+    report.reference_errors = reference_errors.load(std::memory_order_relaxed);
+    report.threshold = options.drift_threshold;
+    const auto& steps = model->plan().steps();
+    report.layers.reserve(steps.size());
+    for (std::size_t s = 0; s < steps.size(); ++s) {
+      CanaryLayerDrift layer;
+      layer.layer = steps[s].node->name;
+      layer.samples = err_count[s];
+      layer.mean_error =
+          err_count[s] > 0 ? err_sum[s] / static_cast<double>(err_count[s])
+                           : 0.0;
+      layer.suspect =
+          err_count[s] > 0 && layer.mean_error > options.drift_threshold;
+      if (layer.suspect && !report.first_suspect.has_value()) {
+        report.first_suspect = layer.layer;
+      }
+      report.layers.push_back(std::move(layer));
+    }
+    return report;
+  }
+};
 
 SessionLease& SessionLease::operator=(SessionLease&& other) noexcept {
   if (this != &other) {
@@ -207,6 +346,13 @@ void Engine::release(Version* version, Session* session) {
   // A stale observer must not fire into a TraceBuffer the previous
   // leaseholder may have destroyed.
   session->set_observer(nullptr);
+  // Canary shadowing runs here, before the pool lock: the releasing thread
+  // still owns the session (its activations are the production frame being
+  // diffed) and the lease still pins version + entry. The sampled slow path
+  // pays a reference invoke; the common path pays one relaxed load.
+  if (canary_active_.load(std::memory_order_acquire)) {
+    maybe_shadow(version, session);
+  }
   const bool poisoned = session->poisoned();
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = *version->entry;
@@ -236,26 +382,47 @@ void Engine::release(Version* version, Session* session) {
 }
 
 EnginePoolStats Engine::pool_stats(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const std::size_t i = find_entry_locked(name);
-  MLX_CHECK(i != kNpos) << "model '" << name << "' not loaded";
-  const Entry& entry = *entries_[i];
   EnginePoolStats stats;
-  stats.sessions_created = entry.sessions_created;
-  stats.leases_issued = entry.leases_issued;
-  stats.versions_retired = entry.versions_retired;
-  stats.invoke_errors = entry.invoke_errors;
-  stats.sessions_destroyed = entry.sessions_destroyed;
-  stats.live_versions = entry.versions.size();
-  for (const auto& v : entry.versions) {
-    stats.leases_outstanding += v->leases_outstanding;
-    stats.prepared_bytes_total += v->model->prepared_bytes();
-    if (v->draining) ++stats.draining_versions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t i = find_entry_locked(name);
+    MLX_CHECK(i != kNpos) << "model '" << name << "' not loaded";
+    const Entry& entry = *entries_[i];
+    stats.sessions_created = entry.sessions_created;
+    stats.leases_issued = entry.leases_issued;
+    stats.versions_retired = entry.versions_retired;
+    stats.invoke_errors = entry.invoke_errors;
+    stats.sessions_destroyed = entry.sessions_destroyed;
+    stats.live_versions = entry.versions.size();
+    for (const auto& v : entry.versions) {
+      stats.leases_outstanding += v->leases_outstanding;
+      stats.prepared_bytes_total += v->model->prepared_bytes();
+      if (v->draining) ++stats.draining_versions;
+    }
+    const Version& serving = *entry.versions.back();
+    stats.sessions_free = serving.free_list.size();
+    stats.prepared_bytes = serving.model->prepared_bytes();
+    stats.serving_version = serving.version_id;
   }
-  const Version& serving = *entry.versions.back();
-  stats.sessions_free = serving.free_list.size();
-  stats.prepared_bytes = serving.model->prepared_bytes();
-  stats.serving_version = serving.version_id;
+  // Canary counters are folded in after mu_ is dropped (the suspect count
+  // takes the canary's own shadow lock; the two locks never nest).
+  if (std::shared_ptr<CanaryState> canary = canary_for(name)) {
+    stats.canary_enabled = true;
+    stats.canary_shadowed = canary->shadowed.load(std::memory_order_relaxed);
+    stats.canary_skipped =
+        canary->skipped_busy.load(std::memory_order_relaxed) +
+        canary->skipped_layout.load(std::memory_order_relaxed);
+    stats.canary_reference_errors =
+        canary->reference_errors.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> shadow_lock(canary->shadow_mu);
+    for (std::size_t s = 0; s < canary->err_count.size(); ++s) {
+      if (canary->err_count[s] > 0 &&
+          canary->err_sum[s] / static_cast<double>(canary->err_count[s]) >
+              canary->options.drift_threshold) {
+        ++stats.canary_suspect_layers;
+      }
+    }
+  }
   return stats;
 }
 
@@ -287,6 +454,94 @@ void Engine::set_prepared_budget(std::size_t bytes) {
 std::size_t Engine::prepared_budget() const {
   std::lock_guard<std::mutex> lock(mu_);
   return prepared_budget_;
+}
+
+// --- canary mode -------------------------------------------------------------
+
+std::shared_ptr<Engine::CanaryState> Engine::canary_for(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(canary_mu_);
+  for (const auto& [n, state] : canaries_) {
+    if (n == name) return state;
+  }
+  return nullptr;
+}
+
+void Engine::enable_canary(const std::string& name, Graph reference,
+                           const OpResolver* resolver, CanaryOptions options) {
+  MLX_CHECK_GT(options.shadow_every, 0u) << "shadow_every must be >= 1";
+  auto state = std::make_shared<CanaryState>();
+  state->options = options;
+  // The reference Model builds outside every lock (Prepare is the expensive
+  // step, same rationale as load()).
+  state->model = std::make_unique<Model>(
+      std::move(reference), resolver != nullptr ? resolver : resolver_,
+      num_threads_);
+  state->session = std::make_unique<Session>(state->model.get());
+  const std::size_t steps = state->model->plan().steps().size();
+  state->err_sum.assign(steps, 0.0);
+  state->err_count.assign(steps, 0);
+  std::lock_guard<std::mutex> lock(canary_mu_);
+  for (auto& [n, existing] : canaries_) {
+    if (n == name) {
+      // Re-enabling swaps the reference and restarts the running report; an
+      // in-flight shadow finishes against the old state it snapshotted.
+      existing = std::move(state);
+      return;
+    }
+  }
+  canaries_.emplace_back(name, std::move(state));
+  canary_active_.store(true, std::memory_order_release);
+}
+
+bool Engine::disable_canary(const std::string& name) {
+  std::lock_guard<std::mutex> lock(canary_mu_);
+  for (auto it = canaries_.begin(); it != canaries_.end(); ++it) {
+    if (it->first == name) {
+      canaries_.erase(it);
+      if (canaries_.empty()) {
+        canary_active_.store(false, std::memory_order_release);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+CanaryReport Engine::canary_report(const std::string& name) const {
+  std::shared_ptr<CanaryState> canary = canary_for(name);
+  if (canary == nullptr) return CanaryReport{};
+  std::lock_guard<std::mutex> lock(canary->shadow_mu);
+  return canary->report_locked();
+}
+
+void Engine::set_canary_observer(const std::string& name,
+                                 CanaryObserver observer) {
+  std::shared_ptr<CanaryState> canary = canary_for(name);
+  MLX_CHECK(canary != nullptr)
+      << "no canary enabled for model '" << name << "'";
+  std::lock_guard<std::mutex> lock(canary->shadow_mu);
+  canary->observer = std::move(observer);
+}
+
+void Engine::maybe_shadow(Version* version, Session* session) {
+  // Only coherent frames are diffed: a poisoned session or a
+  // deadline-expired invoke left partial activations.
+  if (session->poisoned() || !session->last_invoke_ok()) return;
+  std::shared_ptr<CanaryState> canary = canary_for(version->entry->name);
+  if (canary == nullptr) return;
+  const std::uint64_t n =
+      canary->release_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n % canary->options.shadow_every != 0) return;
+  std::unique_lock<std::mutex> lock(canary->shadow_mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // Another release is mid-shadow; drop the sample rather than stall the
+    // pool behind a reference invoke.
+    canary->skipped_busy.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  canary->shadow_locked(version->version_id, version->model->graph(),
+                        *session);
 }
 
 }  // namespace mlexray

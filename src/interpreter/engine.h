@@ -45,12 +45,14 @@
 // The Engine must outlive every lease it issued.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/drift/canary.h"
 #include "src/interpreter/session.h"
 
 namespace mlexray {
@@ -74,6 +76,12 @@ struct EnginePoolStats {
   std::uint64_t invoke_errors = 0;       // contained kernel failures
   std::size_t sessions_destroyed = 0;    // poisoned + drained sessions
   std::size_t prepared_bytes_total = 0;  // across live versions
+  // Canary mode (src/drift/canary.h); all zero when no canary is enabled.
+  bool canary_enabled = false;
+  std::uint64_t canary_shadowed = 0;
+  std::uint64_t canary_skipped = 0;  // busy + layout skips
+  std::uint64_t canary_reference_errors = 0;
+  std::size_t canary_suspect_layers = 0;
 };
 
 class Engine {
@@ -134,6 +142,24 @@ class Engine {
   void set_prepared_budget(std::size_t bytes);
   std::size_t prepared_budget() const;
 
+  // --- canary mode (online Fig-6 drift, src/drift/canary.h) -----------------
+  // Builds a reference Model from `reference` + `resolver` (pass nullptr to
+  // reuse the engine's own resolver) and starts shadowing a sampled fraction
+  // of `name`'s releases through it. Enabling again replaces the reference
+  // and resets the running report; the canary is keyed by name, so it
+  // survives hot-swaps and unload/load cycles of the production model.
+  // Throws MlxError if the reference Model fails to build. Thread-safe.
+  void enable_canary(const std::string& name, Graph reference,
+                     const OpResolver* resolver = nullptr,
+                     CanaryOptions options = {});
+  // Stops shadowing `name`; returns false when no canary was enabled. An
+  // in-flight shadow on another thread finishes against the old reference.
+  bool disable_canary(const std::string& name);
+  // Snapshot of the running drift report (enabled=false when no canary).
+  CanaryReport canary_report(const std::string& name) const;
+  // Hook fired after every shadowed frame; pass nullptr to clear.
+  void set_canary_observer(const std::string& name, CanaryObserver observer);
+
  private:
   friend class SessionLease;
 
@@ -167,6 +193,10 @@ class Engine {
     std::size_t sessions_destroyed = 0;
   };
 
+  // Per-name canary state; defined in engine.cc (holds the reference Model +
+  // Session and the running per-layer accumulators).
+  struct CanaryState;
+
   // All helpers require mu_ held.
   std::size_t find_entry_locked(const std::string& name) const;
   Version* serving_version_locked(const std::string& name) const;
@@ -175,6 +205,10 @@ class Engine {
   std::size_t prepared_bytes_total_locked() const;
 
   void release(Version* version, Session* session);
+  // Canary shadow attempt for a returning session; runs on the releasing
+  // thread BEFORE mu_ is taken (the lease still pins version/entry).
+  void maybe_shadow(Version* version, Session* session);
+  std::shared_ptr<CanaryState> canary_for(const std::string& name) const;
 
   const OpResolver* resolver_;
   int num_threads_;
@@ -183,6 +217,15 @@ class Engine {
   // sibling entries (Versions hold Entry backpointers).
   std::vector<std::unique_ptr<Entry>> entries_;
   std::size_t prepared_budget_ = 0;
+
+  // Canary registry, keyed by model name and guarded by canary_mu_ (pointer
+  // snapshots only — per-shadow state is guarded by CanaryState's own
+  // mutex). mu_ may be held when canary_mu_ is taken, never the reverse.
+  mutable std::mutex canary_mu_;
+  std::vector<std::pair<std::string, std::shared_ptr<CanaryState>>> canaries_;
+  // Fast-path gate: release() checks this before touching canary_mu_, so
+  // serving without canaries pays one relaxed load.
+  std::atomic<bool> canary_active_{false};
 };
 
 // RAII handle to a pooled Session. Move-only; the destructor returns the

@@ -12,10 +12,13 @@
 // Contract: hooks run on the invoke thread, between kernel executions. They
 // must not call back into the session's mutating API, must not retain the
 // tensor reference past the callback (the buffer is overwritten by later
-// invokes), and should not allocate in steady state. The observer must stay
-// alive while attached; detach with Session::set_observer(nullptr) before
-// destroying it. Observers are per-session: two sessions sharing one Model
-// attach two independent observers.
+// invokes), and should not allocate in steady state — that includes digest
+// capture (src/drift/digest.h): per-layer sketches accumulated in on_step
+// are fixed-size inline storage, reset and refilled in place per frame. The
+// observer must stay alive while attached; detach with
+// Session::set_observer(nullptr) before destroying it. Observers are
+// per-session: two sessions sharing one Model attach two independent
+// observers.
 #pragma once
 
 #include <cstddef>

@@ -130,6 +130,7 @@ InvokeStatus Session::guarded_invoke(bool has_deadline,
     return status;
   }
   const auto start_total = Clock::now();
+  last_invoke_ok_ = false;  // until every step completes below
   // Reset the per-invoke view; totals keep accumulating.
   std::fill(stats_.per_node_ms.begin(), stats_.per_node_ms.end(), 0.0);
   const auto& steps = model_->plan().steps();
@@ -181,6 +182,7 @@ InvokeStatus Session::guarded_invoke(bool has_deadline,
   stats_.cumulative_ms += stats_.total_ms;
   stats_.arena_high_water_bytes = arena_.high_water_bytes();
   ++stats_.invoke_count;
+  last_invoke_ok_ = true;
   if (observer_ != nullptr) observer_->on_invoke_end(stats_);
   return status;
 }

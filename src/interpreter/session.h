@@ -138,6 +138,13 @@ class Session {
   // session refuses further invokes.
   bool poisoned() const { return poisoned_; }
 
+  // True when the most recent invoke ran every step to completion, i.e. the
+  // retained activations form one coherent frame. False before any invoke
+  // and after a contained error or deadline expiry (partial activations).
+  // The Engine's canary mode consults this so it never diffs a half-written
+  // frame against the reference.
+  bool last_invoke_ok() const { return last_invoke_ok_; }
+
   // Attaches a push-based observability sink (src/interpreter/
   // invoke_observer.h): invoke() fires on_invoke_begin / on_step /
   // on_invoke_end as it walks the plan. Non-owning; the observer must
@@ -173,6 +180,7 @@ class Session {
   SessionStats stats_;
   InvokeObserver* observer_ = nullptr;
   bool poisoned_ = false;
+  bool last_invoke_ok_ = false;
 };
 
 }  // namespace mlexray

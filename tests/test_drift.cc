@@ -1,0 +1,833 @@
+// Fleet drift detection: streaming digests, Engine canary shadowing, and the
+// .mlxtrace aggregation subsystem (src/drift/).
+//
+// Locks in the contracts the drift subsystem claims:
+//  - the KLL-style quantile sketch tracks exact quantiles within a
+//    conservative rank-error bound, and merging shard sketches is
+//    equivalent (within that bound) to sketching the concatenated stream;
+//  - int8/uint8 digests are exact: histogram-256 merges losslessly and
+//    quantiles/moments equal the offline computation bit-for-bit;
+//  - digests round-trip the v2 wire format, and v1 trace files (no digest
+//    section) still load;
+//  - TraceBuffer digest capture equals digesting the raw captured tensors;
+//  - Engine canary mode reproduces the offline Fig-6 verdict online: with a
+//    bug-emulation variant as the canary reference, the streaming
+//    first-suspect layer matches DeploymentValidator::per_layer_drift on
+//    full traces of the same runs;
+//  - the DriftAggregator ranks the outlier device and localizes the fleet
+//    first suspect from digest-only traces.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "src/common/file_io.h"
+#include "src/core/monitor.h"
+#include "src/core/validation.h"
+#include "src/drift/aggregator.h"
+#include "src/drift/digest.h"
+#include "src/graph/builder.h"
+#include "src/interpreter/engine.h"
+#include "src/interpreter/interpreter.h"
+#include "src/quant/quantizer.h"
+
+namespace mlexray {
+namespace {
+
+Tensor random_input(Shape shape, Pcg32& rng) {
+  Tensor t = Tensor::f32(shape);
+  float* p = t.data<float>();
+  for (std::int64_t i = 0; i < t.num_elements(); ++i) {
+    p[i] = rng.uniform(-2.0f, 2.0f);
+  }
+  return t;
+}
+
+Graph conv_stack_model(Pcg32* rng) {
+  GraphBuilder b("stack", rng);
+  int x = b.input(Shape{1, 16, 16, 8});
+  int c1 = b.conv2d(x, 16, 3, 3, 1, Padding::kSame, Activation::kRelu, "c1");
+  int d = b.depthwise_conv2d(c1, 3, 3, 2, Padding::kSame, Activation::kRelu6,
+                             "dw");
+  int c2 = b.conv2d(d, 16, 1, 1, 1, Padding::kSame, Activation::kNone, "c2");
+  int fc = b.fully_connected(c2, 10, Activation::kNone, "fc");
+  return b.finish({fc});
+}
+
+// Bug-emulation variant: same architecture and node names, but one layer's
+// filter is scaled — the "wrong weights shipped" class of deployment bug.
+// Layers before it stay bit-identical; the perturbed layer and everything
+// downstream drift.
+Graph perturbed_conv_stack(std::uint64_t seed, const std::string& layer,
+                           float factor) {
+  Pcg32 rng(seed);
+  Graph g = conv_stack_model(&rng);
+  bool found = false;
+  for (Node& node : g.nodes) {
+    if (node.name != layer) continue;
+    Tensor& w = node.weights.at(0);
+    float* p = w.data<float>();
+    for (std::int64_t i = 0; i < w.num_elements(); ++i) p[i] *= factor;
+    found = true;
+  }
+  MLX_CHECK(found) << "no layer named " << layer;
+  return g;
+}
+
+// Fraction of `sorted` strictly below v: the empirical rank of a sketch
+// answer, for rank-error assertions against the exact stream.
+double rank_of(const std::vector<float>& sorted, float v) {
+  const auto it = std::lower_bound(sorted.begin(), sorted.end(), v);
+  return static_cast<double>(it - sorted.begin()) /
+         static_cast<double>(sorted.size());
+}
+
+constexpr double kQueryGrid[] = {0.01, 0.05, 0.1, 0.25, 0.5,
+                                 0.75, 0.9,  0.95, 0.99};
+
+// Conservative end-to-end rank bound for this sketch geometry (kLevelCap=32).
+// The expected KLL error is far smaller; the tests assert the loose bound so
+// they stay deterministic-seed-robust rather than tuned to one stream.
+constexpr double kRankBound = 0.08;
+
+TEST(QuantileSketch, TracksExactQuantilesWithinRankBound) {
+  constexpr int kN = 20000;
+  Pcg32 rng(301);
+  QuantileSketch sketch;
+  std::vector<float> values;
+  values.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    // A skewed mixture, not just uniform: two modes of different widths.
+    const float v = (i % 3 == 0) ? rng.uniform(-4.0f, -2.0f)
+                                 : rng.uniform(0.0f, 1.0f);
+    values.push_back(v);
+    sketch.add(v);
+  }
+  EXPECT_EQ(sketch.weight(), static_cast<std::uint64_t>(kN))
+      << "compaction must preserve total weight";
+  std::sort(values.begin(), values.end());
+  for (double q : kQueryGrid) {
+    const double rank = rank_of(values, sketch.quantile(q));
+    EXPECT_NEAR(rank, q, kRankBound) << "quantile " << q;
+  }
+  // Resetting forgets the stream.
+  sketch.reset();
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_EQ(sketch.weight(), 0u);
+}
+
+// The mergeable-sketch contract the fleet aggregator rests on: a digest
+// merged over N shards answers like a digest of the concatenated stream.
+// Moments are exact either way; quantiles obey the same rank bound.
+TEST(LayerDigest, MergedShardsMatchConcatenatedStream) {
+  constexpr int kShards = 6;
+  // Each shard's sketch stride-samples under kSketchSampleBudget; merged and
+  // whole digests see the identical sampled subset, and the rank bound below
+  // absorbs the sampling noise (~750 samples across shards).
+  constexpr std::int64_t kShardElems = 2000;
+  Pcg32 rng(311);
+
+  std::vector<float> all;
+  LayerDigest merged;
+  merged.reset();
+  LayerDigest whole;
+  whole.reset();
+  std::vector<Tensor> shards;
+  for (int s = 0; s < kShards; ++s) {
+    Tensor t = Tensor::f32(Shape{kShardElems});
+    float* p = t.data<float>();
+    for (std::int64_t i = 0; i < kShardElems; ++i) {
+      p[i] = rng.uniform(-1.0f, 1.0f) + 0.5f * static_cast<float>(s);
+    }
+    all.insert(all.end(), p, p + kShardElems);
+    LayerDigest shard;
+    shard.reset();
+    shard.accumulate(t);
+    merged.merge(shard);
+    shards.push_back(std::move(t));
+  }
+  for (const Tensor& t : shards) whole.accumulate(t);
+
+  const std::int64_t n = static_cast<std::int64_t>(all.size());
+  double exact_sum = 0.0;
+  for (float v : all) exact_sum += v;
+  std::vector<float> sorted = all;
+  std::sort(sorted.begin(), sorted.end());
+
+  for (const LayerDigest* d : {&merged, &whole}) {
+    EXPECT_EQ(d->count, static_cast<std::uint64_t>(n));
+    // Moments are exact over every element regardless of sharding.
+    EXPECT_NEAR(d->mean(), exact_sum / static_cast<double>(n), 1e-6);
+    EXPECT_EQ(d->real_min(), static_cast<double>(sorted.front()));
+    EXPECT_EQ(d->real_max(), static_cast<double>(sorted.back()));
+    for (double q : kQueryGrid) {
+      const double rank =
+          rank_of(sorted, static_cast<float>(d->quantile(q)));
+      EXPECT_NEAR(rank, q, kRankBound)
+          << (d == &merged ? "merged" : "whole") << " quantile " << q;
+    }
+  }
+  // The two digests also agree with each other distributionally.
+  EXPECT_LT(digest_drift(merged, whole), 0.05);
+}
+
+TEST(LayerDigest, Int8HistogramMergesExactly) {
+  Pcg32 rng(321);
+  const QuantParams qp = QuantParams::per_tensor(0.05f, -3);
+  auto make = [&](std::int64_t n) {
+    Tensor t = Tensor::i8(Shape{n});
+    t.quant() = qp;
+    std::int8_t* p = t.data<std::int8_t>();
+    for (std::int64_t i = 0; i < n; ++i) {
+      p[i] = static_cast<std::int8_t>(rng.uniform(-100.0f, 100.0f));
+    }
+    return t;
+  };
+  // Both under kIntHistSampleBudget, so every element lands in the histogram
+  // and all derived statistics are exact.
+  Tensor a = make(150);
+  Tensor b = make(250);
+
+  LayerDigest da;
+  da.reset();
+  da.accumulate(a);
+  LayerDigest db;
+  db.reset();
+  db.accumulate(b);
+  LayerDigest merged = da;
+  merged.merge(db);
+
+  LayerDigest whole;
+  whole.reset();
+  whole.accumulate(a);
+  whole.accumulate(b);
+
+  // Histograms over the 256-value domain merge losslessly: every derived
+  // statistic is bit-identical with the single-pass digest.
+  EXPECT_EQ(merged.count, whole.count);
+  EXPECT_EQ(0, std::memcmp(merged.hist, whole.hist, sizeof(merged.hist)));
+  EXPECT_EQ(merged.isum, whole.isum);
+  EXPECT_EQ(merged.isum_sq, whole.isum_sq);
+  EXPECT_DOUBLE_EQ(merged.mean(), whole.mean());
+  EXPECT_DOUBLE_EQ(merged.stddev(), whole.stddev());
+  for (double q : kQueryGrid) {
+    EXPECT_DOUBLE_EQ(merged.quantile(q), whole.quantile(q));
+  }
+  EXPECT_EQ(digest_tv_distance(merged, whole), 0.0);
+  EXPECT_EQ(digest_drift(merged, whole), 0.0);
+
+  // And the exact quantiles dequantize: compare against offline sort. The
+  // digest dequantizes with the tensor's f32 scale, so the oracle must too.
+  const double scale = static_cast<double>(qp.scales[0]);
+  std::vector<double> real;
+  for (const Tensor* t : {&a, &b}) {
+    const std::int8_t* p = t->data<std::int8_t>();
+    for (std::int64_t i = 0; i < t->num_elements(); ++i) {
+      real.push_back(scale * (p[i] - (-3)));
+    }
+  }
+  std::sort(real.begin(), real.end());
+  const double p50 = merged.quantile(0.5);
+  // Nearest-rank on an exact histogram: within one quant step of the sorted
+  // stream's nearest-rank answer.
+  EXPECT_NEAR(p50, real[real.size() / 2], scale + 1e-12);
+  EXPECT_DOUBLE_EQ(merged.real_min(), real.front());
+  EXPECT_DOUBLE_EQ(merged.real_max(), real.back());
+}
+
+// The capture-cost contract: one accumulate() call inserts a bounded number
+// of samples no matter how large the layer is, while float moments stay
+// exact over every element.
+TEST(LayerDigest, LargeLayersRespectSamplingBudgets) {
+  Pcg32 rng(341);
+  constexpr std::int64_t kBig = 100000;
+  Tensor f = random_input(Shape{kBig}, rng);
+
+  LayerDigest df;
+  df.reset();
+  df.accumulate(f);
+  // Moments cover all elements; the sketch holds at most the budget.
+  EXPECT_EQ(df.count, static_cast<std::uint64_t>(kBig));
+  double exact_sum = 0.0;
+  float mx = -std::numeric_limits<float>::infinity();
+  const float* p = f.data<float>();
+  for (std::int64_t i = 0; i < kBig; ++i) {
+    exact_sum += p[i];
+    mx = std::max(mx, p[i]);
+  }
+  EXPECT_NEAR(df.mean(), exact_sum / kBig, 1e-6);
+  EXPECT_EQ(df.real_max(), static_cast<double>(mx));
+  EXPECT_LE(df.sketch.weight(),
+            static_cast<std::uint64_t>(LayerDigest::kSketchSampleBudget));
+  EXPECT_GE(df.sketch.weight(),
+            static_cast<std::uint64_t>(LayerDigest::kSketchSampleBudget / 2));
+
+  Tensor q = Tensor::i8(Shape{kBig});
+  q.quant() = QuantParams::per_tensor(0.02f, 0);
+  for (std::int64_t i = 0; i < kBig; ++i) {
+    q.data<std::int8_t>()[i] =
+        static_cast<std::int8_t>(rng.uniform(-90.0f, 90.0f));
+  }
+  LayerDigest dq;
+  dq.reset();
+  dq.accumulate(q);
+  // The histogram digests the stride-sampled subset and count matches it.
+  EXPECT_LE(dq.count,
+            static_cast<std::uint64_t>(LayerDigest::kIntHistSampleBudget));
+  EXPECT_GE(dq.count,
+            static_cast<std::uint64_t>(LayerDigest::kIntHistSampleBudget / 2));
+  std::uint64_t hist_total = 0;
+  for (int b = 0; b < 256; ++b) hist_total += dq.hist[b];
+  EXPECT_EQ(hist_total, dq.count);
+  // A uniform stride over i.i.d. data is still an unbiased sample: the
+  // histogram median lands near the true median (0 ± a few quant steps).
+  EXPECT_NEAR(dq.quantile(0.5), 0.0, 5 * 0.02);
+}
+
+TEST(DigestWire, RoundTripsFloatAndIntDigests) {
+  Pcg32 rng(331);
+  Tensor f = random_input(Shape{1, 8, 8, 8}, rng);
+  LayerDigest df;
+  df.reset();
+  df.accumulate(f);
+
+  Tensor q = Tensor::i8(Shape{512});
+  q.quant() = QuantParams::per_tensor(0.1f, 7);
+  for (std::int64_t i = 0; i < q.num_elements(); ++i) {
+    q.data<std::int8_t>()[i] = static_cast<std::int8_t>(rng.uniform(-50, 50));
+  }
+  LayerDigest dq;
+  dq.reset();
+  dq.accumulate(q);
+
+  for (const LayerDigest* d : {&df, &dq}) {
+    BinaryWriter w;
+    serialize_digest(w, *d);
+    BinaryReader r(w.bytes());
+    const LayerDigest back = deserialize_digest(r);
+    EXPECT_TRUE(r.at_end()) << "digest wire frame has trailing bytes";
+    EXPECT_EQ(back.dtype, d->dtype);
+    EXPECT_EQ(back.count, d->count);
+    EXPECT_DOUBLE_EQ(back.mean(), d->mean());
+    EXPECT_DOUBLE_EQ(back.stddev(), d->stddev());
+    EXPECT_DOUBLE_EQ(back.real_min(), d->real_min());
+    EXPECT_DOUBLE_EQ(back.real_max(), d->real_max());
+    for (double qq : kQueryGrid) {
+      EXPECT_DOUBLE_EQ(back.quantile(qq), d->quantile(qq));
+    }
+    EXPECT_EQ(digest_drift(back, *d), 0.0);
+  }
+  // The sparse bin encoding reconstructs the full histogram bit-for-bit.
+  BinaryWriter w;
+  serialize_digest(w, dq);
+  BinaryReader r(w.bytes());
+  const LayerDigest back = deserialize_digest(r);
+  EXPECT_EQ(0, std::memcmp(back.hist, dq.hist, sizeof(dq.hist)));
+  EXPECT_EQ(back.scale, dq.scale);
+  EXPECT_EQ(back.zero_point, dq.zero_point);
+}
+
+TEST(TraceFormat, V1FilesWithoutDigestSectionStillLoad) {
+  // A hand-written v1 stream: v1 magic, no digest section after latencies —
+  // exactly what every pre-digest .mlxtrace on disk looks like.
+  FrameTrace f;
+  f.frame_id = 0;
+  f.layer_names = {"a", "b"};
+  Pcg32 rng(341);
+  f.layer_outputs.push_back(random_input(Shape{4}, rng));
+  f.layer_outputs.push_back(random_input(Shape{6}, rng));
+  f.layer_latency_ms = {0.25, 0.5};
+  f.scalars["latency.inference_ms"] = 1.0;
+
+  BinaryWriter w;
+  w.write_u32(0x4d4c5854u);  // "TXLM": trace format v1
+  w.write_string("legacy");
+  w.write_u32(1);
+  serialize_frame(w, f, kTraceVersion1);
+  const auto path =
+      std::filesystem::temp_directory_path() / "mlx_drift_v1.mlxtrace";
+  write_file(path, w.bytes());
+
+  Trace back = load_trace(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(back.pipeline_name, "legacy");
+  ASSERT_EQ(back.frames.size(), 1u);
+  const FrameTrace& g = back.frames[0];
+  EXPECT_EQ(g.layer_names, f.layer_names);
+  ASSERT_EQ(g.layer_outputs.size(), 2u);
+  EXPECT_EQ(0, std::memcmp(g.layer_outputs[0].raw_data(),
+                           f.layer_outputs[0].raw_data(),
+                           f.layer_outputs[0].byte_size()));
+  EXPECT_DOUBLE_EQ(g.scalar("latency.inference_ms"), 1.0);
+  EXPECT_TRUE(g.layer_digests.empty());
+}
+
+TEST(TraceFormat, V2RoundTripsDigestsAndV1RefusesThem) {
+  FrameTrace f;
+  f.frame_id = 3;
+  f.layer_names = {"a"};
+  Pcg32 rng(351);
+  Tensor t = random_input(Shape{64}, rng);
+  LayerDigest d;
+  d.reset();
+  d.accumulate(t);
+  f.layer_digests.push_back(d);
+
+  Trace trace;
+  trace.pipeline_name = "digests";
+  trace.frames.push_back(f);
+  const auto path =
+      std::filesystem::temp_directory_path() / "mlx_drift_v2.mlxtrace";
+  save_trace(trace, path);  // current format: v2
+  Trace back = load_trace(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(back.frames.size(), 1u);
+  ASSERT_EQ(back.frames[0].layer_digests.size(), 1u);
+  const LayerDigest& bd = back.frames[0].layer_digests[0];
+  EXPECT_EQ(bd.count, d.count);
+  EXPECT_DOUBLE_EQ(bd.mean(), d.mean());
+  EXPECT_EQ(digest_drift(bd, d), 0.0);
+
+  // The v1 writer must refuse frames that carry digests rather than drop
+  // them silently.
+  BinaryWriter w;
+  EXPECT_THROW(serialize_frame(w, f, kTraceVersion1), MlxError);
+}
+
+TEST(DigestCapture, ObserverDigestsMatchDirectAccumulate) {
+  Pcg32 rng_a(361), rng_b(361);  // identical weights
+  Graph ga = conv_stack_model(&rng_a);
+  Graph gb = conv_stack_model(&rng_b);
+  BuiltinOpResolver opt;
+  Pcg32 drng(362);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 3; ++i) {
+    inputs.push_back(random_input(Shape{1, 16, 16, 8}, drng));
+  }
+
+  // Digest-mode capture (the fleet monitoring mode)...
+  Interpreter ia(&ga, &opt);
+  MonitorOptions digest_opts;
+  digest_opts.per_layer_outputs = false;
+  digest_opts.per_layer_digests = true;
+  EdgeMLMonitor ma(digest_opts);
+  ma.observe(ia);
+  // ...and raw-output capture of the same run, as the digest ground truth.
+  Interpreter ib(&gb, &opt);
+  MonitorOptions raw_opts;
+  raw_opts.per_layer_outputs = true;
+  EdgeMLMonitor mb(raw_opts);
+  mb.observe(ib);
+
+  auto run_frame = [](EdgeMLMonitor& monitor, Interpreter& interp,
+                      const Tensor& in) {
+    interp.set_input(0, in);
+    monitor.on_inf_start();
+    interp.invoke();
+    monitor.on_inf_stop(interp);
+    monitor.next_frame();
+  };
+  for (const Tensor& in : inputs) {
+    run_frame(ma, ia, in);
+    run_frame(mb, ib, in);
+  }
+  ma.unobserve(ia);
+  mb.unobserve(ib);
+
+  const Trace& digest_trace = ma.trace();
+  const Trace& raw_trace = mb.trace();
+  ASSERT_EQ(digest_trace.frames.size(), inputs.size());
+  for (std::size_t fi = 0; fi < inputs.size(); ++fi) {
+    const FrameTrace& fd = digest_trace.frames[fi];
+    const FrameTrace& fr = raw_trace.frames[fi];
+    ASSERT_EQ(fd.layer_names, fr.layer_names);
+    ASSERT_EQ(fd.layer_digests.size(), fd.layer_names.size());
+    EXPECT_TRUE(fd.layer_outputs.empty())
+        << "digest mode must not capture raw tensors";
+    // frame_layer_digests() digests the raw capture on the fly; the
+    // streaming capture must agree exactly (same accumulate order).
+    const std::vector<LayerDigest> want = frame_layer_digests(fr);
+    ASSERT_EQ(want.size(), fd.layer_digests.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      const LayerDigest& got = fd.layer_digests[i];
+      EXPECT_EQ(got.count, want[i].count) << fd.layer_names[i];
+      EXPECT_EQ(got.dtype, want[i].dtype);
+      EXPECT_DOUBLE_EQ(got.mean(), want[i].mean());
+      EXPECT_DOUBLE_EQ(got.real_min(), want[i].real_min());
+      EXPECT_DOUBLE_EQ(got.real_max(), want[i].real_max());
+      for (double q : {0.1, 0.5, 0.9}) {
+        EXPECT_DOUBLE_EQ(got.quantile(q), want[i].quantile(q))
+            << fd.layer_names[i] << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(DigestCapture, QuantizedLayersTakeTheExactHistogramPath) {
+  Pcg32 rng(371);
+  Graph m = conv_stack_model(&rng);
+  Calibrator calib(&m);
+  Pcg32 crng(372);
+  for (int i = 0; i < 4; ++i) {
+    calib.observe({random_input(Shape{1, 16, 16, 8}, crng)});
+  }
+  Graph qm = quantize_model(m, calib);
+  BuiltinOpResolver opt;
+  Interpreter interp(&qm, &opt);
+  MonitorOptions opts;
+  opts.per_layer_digests = true;
+  EdgeMLMonitor monitor(opts);
+  monitor.observe(interp);
+  Pcg32 drng(373);
+  interp.set_input(0, random_input(Shape{1, 16, 16, 8}, drng));
+  monitor.on_inf_start();
+  interp.invoke();
+  monitor.on_inf_stop(interp);
+  monitor.next_frame();
+  monitor.unobserve(interp);
+
+  const FrameTrace& f = monitor.trace().frames.at(0);
+  int int8_digests = 0;
+  for (std::size_t i = 0; i < f.layer_digests.size(); ++i) {
+    const LayerDigest& d = f.layer_digests[i];
+    const Tensor& retained =
+        interp.node_output(interp.plan().steps()[i].node->id);
+    EXPECT_EQ(d.dtype, retained.dtype());
+    if (d.integer_path()) {
+      ++int8_digests;
+      EXPECT_GT(d.scale, 0.0f) << "int digest lost its quant params";
+      std::uint64_t total = 0;
+      for (int b = 0; b < 256; ++b) total += d.hist[b];
+      EXPECT_EQ(total, d.count) << "histogram does not cover every element";
+    }
+  }
+  EXPECT_GT(int8_digests, 0) << "quantized model produced no int8 digests";
+}
+
+// --- canary mode -------------------------------------------------------------
+
+// The acceptance criterion: the canary's streaming first-suspect verdict
+// matches the offline per_layer_drift verdict for the same bug, with the
+// bug-emulation variant registered as the canary reference.
+TEST(Canary, FirstSuspectMatchesOfflinePerLayerDrift) {
+  constexpr std::uint64_t kSeed = 401;
+  // Multiplicative weight bugs cap out low under range normalization (the
+  // reference range grows with the same factor), so the threshold sits below
+  // per_layer_drift's 0.1 default: c2 lands at ~0.063, clean layers at 0.
+  constexpr double kThreshold = 0.05;
+  const std::string bug_layer = "c2";
+  BuiltinOpResolver opt;
+  Pcg32 rng_prod(kSeed);
+  Graph prod = conv_stack_model(&rng_prod);
+  Graph reference = perturbed_conv_stack(kSeed, bug_layer, 1.75f);
+
+  Pcg32 drng(402);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 6; ++i) {
+    inputs.push_back(random_input(Shape{1, 16, 16, 8}, drng));
+  }
+
+  // Online: serve `prod`, shadow every release through the bug variant.
+  Engine engine(&opt);
+  engine.load("m", prod);
+  CanaryOptions copts;
+  copts.shadow_every = 1;
+  copts.drift_threshold = kThreshold;
+  engine.enable_canary("m", reference, nullptr, copts);
+  std::vector<CanaryShadowEvent> events;
+  engine.set_canary_observer(
+      "m", [&](const CanaryShadowEvent& e) { events.push_back(e); });
+  for (const Tensor& in : inputs) {
+    SessionLease lease = engine.acquire("m");
+    lease->set_input(0, in);
+    lease->invoke();
+  }
+  const CanaryReport online = engine.canary_report("m");
+
+  // Offline: full traces of the same two pipelines over the same inputs,
+  // through the paper's per-layer validation.
+  MonitorOptions mopts;
+  mopts.per_layer_outputs = true;
+  Trace edge_trace, ref_trace;
+  {
+    Pcg32 rng_again(kSeed);
+    Graph prod_again = conv_stack_model(&rng_again);
+    Interpreter interp(&prod_again, &opt);
+    EdgeMLMonitor monitor(mopts);
+    monitor.observe(interp);
+    for (const Tensor& in : inputs) {
+      interp.set_input(0, in);
+      monitor.on_inf_start();
+      interp.invoke();
+      monitor.on_inf_stop(interp);
+      monitor.next_frame();
+    }
+    edge_trace = monitor.take_trace();
+    monitor.unobserve(interp);
+  }
+  {
+    Graph ref_again = perturbed_conv_stack(kSeed, bug_layer, 1.75f);
+    Interpreter interp(&ref_again, &opt);
+    EdgeMLMonitor monitor(mopts);
+    monitor.observe(interp);
+    for (const Tensor& in : inputs) {
+      interp.set_input(0, in);
+      monitor.on_inf_start();
+      interp.invoke();
+      monitor.on_inf_stop(interp);
+      monitor.next_frame();
+    }
+    ref_trace = monitor.take_trace();
+    monitor.unobserve(interp);
+  }
+  DeploymentValidator validator;
+  const PerLayerReport offline = validator.per_layer_drift(
+      edge_trace, ref_trace, ErrorMetric::kNormalizedRmse, kThreshold);
+
+  ASSERT_TRUE(offline.first_suspect.has_value());
+  EXPECT_EQ(*offline.first_suspect, bug_layer);
+  ASSERT_TRUE(online.enabled);
+  EXPECT_EQ(online.shadowed, inputs.size());
+  EXPECT_EQ(online.skipped_busy, 0u);
+  EXPECT_EQ(online.skipped_layout, 0u);
+  EXPECT_EQ(online.reference_errors, 0u);
+  ASSERT_TRUE(online.first_suspect.has_value());
+  EXPECT_EQ(*online.first_suspect, *offline.first_suspect)
+      << "streaming canary and offline per_layer_drift disagree";
+
+  // Layer-by-layer: the canary's running means match the offline averages
+  // (same metric, same frames), and layers before the bug are clean.
+  ASSERT_EQ(online.layers.size(), offline.drifts.size());
+  for (std::size_t i = 0; i < online.layers.size(); ++i) {
+    EXPECT_EQ(online.layers[i].layer, offline.drifts[i].layer);
+    EXPECT_NEAR(online.layers[i].mean_error, offline.drifts[i].error, 1e-9);
+    EXPECT_EQ(online.layers[i].suspect, offline.drifts[i].suspect);
+    EXPECT_EQ(online.layers[i].samples, inputs.size());
+    if (online.layers[i].layer == bug_layer) break;
+    EXPECT_LT(online.layers[i].mean_error, 1e-9)
+        << "layer before the bug drifted: " << online.layers[i].layer;
+  }
+
+  // The shadow-event stream localized the divergence per frame too.
+  ASSERT_EQ(events.size(), inputs.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].shadow_index, i + 1);
+    EXPECT_EQ(events[i].first_divergent_layer, bug_layer);
+    EXPECT_GE(events[i].first_divergent_step, 0);
+    EXPECT_GT(events[i].max_layer_error, kThreshold);
+  }
+}
+
+TEST(Canary, SamplesConfiguredFractionAndSurfacesPoolStats) {
+  BuiltinOpResolver opt;
+  Pcg32 rng_a(411), rng_b(411);
+  Engine engine(&opt);
+  engine.load("m", conv_stack_model(&rng_a));
+  CanaryOptions copts;
+  copts.shadow_every = 4;
+  engine.enable_canary("m", conv_stack_model(&rng_b), nullptr, copts);
+
+  Pcg32 drng(412);
+  Tensor input = random_input(Shape{1, 16, 16, 8}, drng);
+  constexpr int kInvokes = 12;
+  for (int i = 0; i < kInvokes; ++i) {
+    SessionLease lease = engine.acquire("m");
+    lease->set_input(0, input);
+    lease->invoke();
+  }
+
+  const EnginePoolStats stats = engine.pool_stats("m");
+  EXPECT_TRUE(stats.canary_enabled);
+  EXPECT_EQ(stats.canary_shadowed, static_cast<std::uint64_t>(kInvokes) / 4);
+  EXPECT_EQ(stats.canary_skipped, 0u);
+  EXPECT_EQ(stats.canary_reference_errors, 0u);
+  // Identical weights: nothing drifts, no suspects.
+  EXPECT_EQ(stats.canary_suspect_layers, 0u);
+  const CanaryReport report = engine.canary_report("m");
+  EXPECT_EQ(report.shadowed, static_cast<std::uint64_t>(kInvokes) / 4);
+  EXPECT_FALSE(report.first_suspect.has_value());
+  for (const CanaryLayerDrift& layer : report.layers) {
+    EXPECT_LT(layer.mean_error, 1e-9) << layer.layer;
+  }
+
+  EXPECT_TRUE(engine.disable_canary("m"));
+  EXPECT_FALSE(engine.disable_canary("m"));
+  EXPECT_FALSE(engine.canary_report("m").enabled);
+  EXPECT_FALSE(engine.pool_stats("m").canary_enabled);
+}
+
+TEST(Canary, SurvivesHotSwapByRemappingLayerNames) {
+  BuiltinOpResolver opt;
+  Pcg32 rng_a(421), rng_ref(421);
+  Engine engine(&opt);
+  engine.load("m", conv_stack_model(&rng_a));
+  CanaryOptions copts;
+  copts.shadow_every = 1;
+  engine.enable_canary("m", conv_stack_model(&rng_ref), nullptr, copts);
+
+  Pcg32 drng(422);
+  Tensor input = random_input(Shape{1, 16, 16, 8}, drng);
+  auto serve_once = [&] {
+    SessionLease lease = engine.acquire("m");
+    lease->set_input(0, input);
+    lease->invoke();
+  };
+  serve_once();
+  EXPECT_EQ(engine.canary_report("m").shadowed, 1u);
+
+  // Hot-swap to different weights (same names/layout): the canary remaps by
+  // node name and keeps accumulating — now against a model that drifts.
+  Pcg32 rng_b(423);
+  engine.load("m", conv_stack_model(&rng_b));
+  serve_once();
+  serve_once();
+  const CanaryReport report = engine.canary_report("m");
+  EXPECT_EQ(report.shadowed, 3u);
+  EXPECT_EQ(report.skipped_layout, 0u);
+  // v2 has different weights than the reference, so drift is now nonzero.
+  double worst = 0.0;
+  for (const CanaryLayerDrift& layer : report.layers) {
+    worst = std::max(worst, layer.mean_error);
+  }
+  EXPECT_GT(worst, 0.0);
+
+  // A swap to an incompatible input layout stops shadowing (counted, not
+  // crashed) instead of replaying mismatched inputs through the reference.
+  Pcg32 rng_c(424);
+  GraphBuilder b("stack", &rng_c);
+  int x = b.input(Shape{1, 8, 8, 4});
+  int fc = b.fully_connected(x, 10, Activation::kNone, "fc");
+  engine.load("m", b.finish({fc}));
+  {
+    SessionLease lease = engine.acquire("m");
+    Tensor small = random_input(Shape{1, 8, 8, 4}, drng);
+    lease->set_input(0, small);
+    lease->invoke();
+  }
+  const CanaryReport after = engine.canary_report("m");
+  EXPECT_EQ(after.shadowed, 3u) << "mismatched layout must not be shadowed";
+  EXPECT_EQ(after.skipped_layout, 1u);
+}
+
+// --- fleet aggregation -------------------------------------------------------
+
+// Records a digest-only trace of `frames` invokes of `graph`.
+Trace record_digest_trace(Graph& graph, const BuiltinOpResolver& opt,
+                          std::uint64_t input_seed, int frames) {
+  Interpreter interp(&graph, &opt);
+  MonitorOptions opts;
+  opts.per_layer_digests = true;
+  EdgeMLMonitor monitor(opts);
+  monitor.observe(interp);
+  Pcg32 drng(input_seed);
+  for (int i = 0; i < frames; ++i) {
+    interp.set_input(0, random_input(Shape{1, 16, 16, 8}, drng));
+    monitor.on_inf_start();
+    interp.invoke();
+    monitor.on_inf_stop(interp);
+    monitor.next_frame();
+  }
+  Trace t = monitor.take_trace();
+  monitor.unobserve(interp);
+  return t;
+}
+
+TEST(FleetAggregator, RanksOutlierDeviceAndLocalizesSuspectLayer) {
+  constexpr std::uint64_t kSeed = 431;
+  // Sits between the healthy devices' input+sketch sampling noise (<= ~0.087
+  // at fc over 16 merged frames) and the bug device's drift at the perturbed
+  // layer (~0.185 at c2); all runs are seeded, so the margin is
+  // deterministic.
+  constexpr double kThreshold = 0.12;
+  const std::string bug_layer = "c2";
+  BuiltinOpResolver opt;
+
+  // Reference: a raw per-layer-output trace (workstation run) — the
+  // aggregator digests it on the fly.
+  Trace ref_trace;
+  {
+    Pcg32 rng(kSeed);
+    Graph g = conv_stack_model(&rng);
+    Interpreter interp(&g, &opt);
+    MonitorOptions opts;
+    opts.per_layer_outputs = true;
+    EdgeMLMonitor monitor(opts);
+    monitor.observe(interp);
+    Pcg32 drng(4310);
+    for (int i = 0; i < 16; ++i) {
+      interp.set_input(0, random_input(Shape{1, 16, 16, 8}, drng));
+      monitor.on_inf_start();
+      interp.invoke();
+      monitor.on_inf_stop(interp);
+      monitor.next_frame();
+    }
+    ref_trace = monitor.take_trace();
+    monitor.unobserve(interp);
+  }
+
+  // Two healthy devices (same model, device-local inputs) and one device
+  // running the bug-emulation variant.
+  Pcg32 rng_g1(kSeed), rng_g2(kSeed);
+  Graph good1 = conv_stack_model(&rng_g1);
+  Graph good2 = conv_stack_model(&rng_g2);
+  Graph bad = perturbed_conv_stack(kSeed, bug_layer, 1.75f);
+  Trace t_good1 = record_digest_trace(good1, opt, 4321, 16);
+  Trace t_good2 = record_digest_trace(good2, opt, 4322, 16);
+  Trace t_bad = record_digest_trace(bad, opt, 4323, 16);
+
+  DriftAggregator agg(kThreshold);
+  agg.set_reference(ref_trace);
+  agg.add_trace("device-good-1", t_good1);
+  agg.add_trace("device-good-2", t_good2);
+  agg.add_trace("device-bad", t_bad);
+  EXPECT_EQ(agg.device_count(), 3u);
+  EXPECT_EQ(agg.frame_count(), 48u);
+
+  const FleetReport report = agg.report();
+  EXPECT_EQ(report.devices, 3u);
+  ASSERT_EQ(report.outliers.size(), 3u);
+  EXPECT_EQ(report.outliers[0].device_id, "device-bad")
+      << "outlier ranking did not surface the bug-emulation device first";
+  EXPECT_GT(report.outliers[0].max_drift, kThreshold);
+  ASSERT_TRUE(report.outliers[0].first_suspect.has_value());
+  EXPECT_EQ(*report.outliers[0].first_suspect, bug_layer);
+  // Healthy devices stay under threshold at every layer.
+  for (std::size_t i = 1; i < report.outliers.size(); ++i) {
+    EXPECT_FALSE(report.outliers[i].first_suspect.has_value())
+        << report.outliers[i].device_id;
+    EXPECT_LT(report.outliers[i].max_drift, kThreshold);
+  }
+  // The fleet verdict is the modal per-device first suspect.
+  ASSERT_TRUE(report.first_suspect.has_value());
+  EXPECT_EQ(*report.first_suspect, bug_layer);
+  // One bad device out of three: no layer's p50 crosses the threshold, so
+  // nothing is flagged fleet-wide (the outlier ranking carries the signal).
+  for (const FleetLayerDrift& layer : report.layers) {
+    EXPECT_FALSE(layer.suspect) << layer.layer;
+    EXPECT_EQ(layer.devices, 3u);
+    EXPECT_LE(layer.min_drift, layer.p50_drift);
+    EXPECT_LE(layer.p50_drift, layer.p90_drift);
+    EXPECT_LE(layer.p90_drift, layer.max_drift);
+  }
+
+  const std::string rendered = render_fleet_report(report);
+  EXPECT_NE(rendered.find("device-bad"), std::string::npos);
+  EXPECT_NE(rendered.find("fleet first suspect: " + bug_layer),
+            std::string::npos);
+
+  // The offline digest validator reaches the same per-device verdict from
+  // the digest-only trace (no raw tensors to diff pairwise).
+  DeploymentValidator validator;
+  const PerLayerReport bad_report =
+      validator.per_layer_digest_drift(t_bad, ref_trace, kThreshold);
+  ASSERT_TRUE(bad_report.first_suspect.has_value());
+  EXPECT_EQ(*bad_report.first_suspect, bug_layer);
+  const PerLayerReport good_report =
+      validator.per_layer_digest_drift(t_good1, ref_trace, kThreshold);
+  EXPECT_FALSE(good_report.first_suspect.has_value());
+}
+
+}  // namespace
+}  // namespace mlexray

@@ -470,6 +470,16 @@ TEST_F(FaultTest, ChaosConcurrentServingUnderFaultsAndHotSwaps) {
   {
     Engine engine(&opt);
     engine.load(name, conv_stack_graph(201));  // v1 = A
+    // Canary shadowing races the hot-swaps and the faults below: shadows of
+    // the A-weights reference must keep remapping across every swap without
+    // tripping TSan, shadowing a poisoned session, or blocking the pool.
+    CanaryOptions canary_opts;
+    canary_opts.shadow_every = 5;
+    engine.enable_canary(name, conv_stack_graph(201), nullptr, canary_opts);
+    std::atomic<std::int64_t> shadow_events{0};
+    engine.set_canary_observer(name, [&](const CanaryShadowEvent&) {
+      shadow_events.fetch_add(1, std::memory_order_relaxed);
+    });
 
     std::vector<std::thread> workers;
     for (int w = 0; w < kWorkers; ++w) {
@@ -538,6 +548,16 @@ TEST_F(FaultTest, ChaosConcurrentServingUnderFaultsAndHotSwaps) {
 
     for (std::thread& t : workers) t.join();
     driver.join();
+
+    // The canary kept shadowing through swaps, faults, and the unload; the
+    // observer fired exactly once per shadowed frame. Reference invokes may
+    // themselves have absorbed injected faults — that is the contained
+    // reference_errors path, not a test failure.
+    const CanaryReport canary = engine.canary_report(name);
+    EXPECT_TRUE(canary.enabled);
+    EXPECT_GT(canary.shadowed, 0u);
+    EXPECT_EQ(shadow_events.load(),
+              static_cast<std::int64_t>(canary.shadowed));
 
     EXPECT_EQ(mismatches.load(), 0)
         << "a request saw output that was not bit-exact with the version "

@@ -230,6 +230,59 @@ TEST(ObserverSteadyState, PerLayerOutputCaptureIsHeapFree) {
   monitor.unobserve(interp);
 }
 
+// Digest mode (the fleet-monitoring capture): per-layer sketches are
+// fixed-size inline storage, reset and refilled in place, so the whole
+// monitored frame loop stays heap-free — the contract that makes digests
+// cheap enough to leave enabled in serving.
+TEST(ObserverSteadyState, DigestCaptureIsHeapFree) {
+  Pcg32 rng(45);
+  Graph m = conv_stack_model(&rng);
+  BuiltinOpResolver opt;
+  Interpreter interp(&m, &opt, /*num_threads=*/2);
+  MonitorOptions opts;
+  opts.per_layer_digests = true;
+  opts.retain_frames = false;
+  EdgeMLMonitor monitor(opts);
+  monitor.observe(interp);
+  Pcg32 drng(46);
+  Tensor input = random_input(Shape{1, 16, 16, 8}, drng);
+  for (int i = 0; i < 3; ++i) run_frame(monitor, interp, input);
+
+  const std::uint64_t events_before = AllocStats::instance().alloc_events();
+  const std::uint64_t heap_before = g_heap_allocs.load();
+  for (int i = 0; i < 5; ++i) run_frame(monitor, interp, input);
+  EXPECT_EQ(AllocStats::instance().alloc_events(), events_before)
+      << "digest frame loop registered tensor/arena allocations";
+  EXPECT_EQ(g_heap_allocs.load(), heap_before)
+      << "digest capture touched the heap (operator new)";
+  EXPECT_EQ(monitor.buffer().frames_captured(), 8);
+  // Digest frames still account their (fixed) capture cost.
+  EXPECT_GT(monitor.buffer().frame_capture_bytes(), 0u);
+  monitor.unobserve(interp);
+}
+
+// The int8 histogram path is heap-free too (quantized fleet deployments).
+TEST(ObserverSteadyState, QuantizedDigestCaptureIsHeapFree) {
+  Pcg32 rng(47);
+  Graph qm = quantized_conv_stack(&rng, 48);
+  BuiltinOpResolver opt;
+  Interpreter interp(&qm, &opt, /*num_threads=*/2);
+  MonitorOptions opts;
+  opts.per_layer_digests = true;
+  opts.retain_frames = false;
+  EdgeMLMonitor monitor(opts);
+  monitor.observe(interp);
+  Pcg32 drng(49);
+  Tensor input = random_input(Shape{1, 16, 16, 8}, drng);
+  for (int i = 0; i < 3; ++i) run_frame(monitor, interp, input);
+
+  const std::uint64_t heap_before = g_heap_allocs.load();
+  for (int i = 0; i < 5; ++i) run_frame(monitor, interp, input);
+  EXPECT_EQ(g_heap_allocs.load(), heap_before)
+      << "quantized digest capture touched the heap";
+  monitor.unobserve(interp);
+}
+
 // In retain mode the frame conversion allocates (it builds FrameTrace maps),
 // but the invoke window itself must stay heap-free.
 TEST(ObserverSteadyState, RetainModeInvokeWindowIsHeapFree) {
@@ -569,6 +622,67 @@ TEST(ObserverSpool, BatchedSpoolRoundTripsManyFrames) {
     }
     EXPECT_EQ(s.tensor(trace_keys::kModelOutput).byte_size(),
               r.tensor(trace_keys::kModelOutput).byte_size());
+  }
+}
+
+TEST(ObserverSpool, DigestFramesSpoolDurablyThroughTheBatchPath) {
+  // Digest frames ride the same one-write-per-wakeup batching as raw frames;
+  // spooled_digest_frames() counts the durably-written ones, and the file
+  // round-trips every digest (trace format v2).
+  const auto path = std::filesystem::temp_directory_path() /
+                    "mlx_observer_spool_digest.mlxtrace";
+  constexpr int kFrames = 10;
+  Pcg32 rng_a(241), rng_b(241);  // identical weights
+  Graph ma = conv_stack_model(&rng_a);
+  Graph mb = conv_stack_model(&rng_b);
+  BuiltinOpResolver opt;
+  MonitorOptions opts;
+  opts.per_layer_digests = true;
+  Pcg32 drng(242);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < kFrames; ++i) {
+    inputs.push_back(random_input(Shape{1, 16, 16, 8}, drng));
+  }
+
+  {
+    Interpreter interp(&ma, &opt);
+    EdgeMLMonitor monitor(opts);
+    monitor.set_pipeline_name("digest-spool");
+    monitor.spool_to(path);
+    monitor.observe(interp);
+    EXPECT_EQ(monitor.buffer().spooled_digest_frames(), 0u);
+    for (const Tensor& in : inputs) run_frame(monitor, interp, in);
+    EXPECT_EQ(monitor.finish_spool(), static_cast<std::size_t>(kFrames));
+    EXPECT_EQ(monitor.buffer().spooled_digest_frames(),
+              static_cast<std::size_t>(kFrames));
+    monitor.unobserve(interp);
+  }
+
+  // Retained reference run over the same weights/inputs.
+  Interpreter interp(&mb, &opt);
+  EdgeMLMonitor monitor(opts);
+  monitor.observe(interp);
+  for (const Tensor& in : inputs) run_frame(monitor, interp, in);
+  Trace retained = monitor.take_trace();
+  monitor.unobserve(interp);
+
+  Trace spooled = load_trace(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(spooled.pipeline_name, "digest-spool");
+  ASSERT_EQ(spooled.frames.size(), static_cast<std::size_t>(kFrames));
+  for (std::size_t f = 0; f < spooled.frames.size(); ++f) {
+    const FrameTrace& s = spooled.frames[f];
+    const FrameTrace& r = retained.frames[f];
+    EXPECT_EQ(s.layer_names, r.layer_names);
+    EXPECT_TRUE(s.layer_outputs.empty());
+    ASSERT_EQ(s.layer_digests.size(), r.layer_digests.size());
+    for (std::size_t i = 0; i < s.layer_digests.size(); ++i) {
+      EXPECT_EQ(s.layer_digests[i].count, r.layer_digests[i].count);
+      EXPECT_DOUBLE_EQ(s.layer_digests[i].mean(), r.layer_digests[i].mean());
+      EXPECT_DOUBLE_EQ(s.layer_digests[i].quantile(0.5),
+                       r.layer_digests[i].quantile(0.5))
+          << "frame " << f << " layer " << s.layer_names[i];
+    }
   }
 }
 
