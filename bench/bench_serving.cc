@@ -10,6 +10,12 @@
 // threads is the signal that sessions really share the plan without
 // synchronizing.
 //
+// An mt-model sweep then serves a model whose kernels are themselves
+// multi-threaded from two concurrent sessions, sweeping the engine's
+// kernel-thread cap: throughput rising with the cap shows concurrent
+// parallel_for jobs sharing the engine's worker set instead of serializing
+// on a process-global queue.
+//
 // An open-loop sweep then drives the FrontDoor at fixed offered load
 // (Poisson arrivals at 0.4x / 1x / 2x / 4x of single-session capacity,
 // independent of completions — the arrival process does not slow down when
@@ -125,6 +131,67 @@ Row serve(Engine& engine, const std::string& model_name, int threads,
         static_cast<double>(lease->activation_bytes()) / 1024.0;
   }
   return row;
+}
+
+// --- multi-threaded model x multi-session ------------------------------------
+
+// mt-model scenario: a fixed pair of concurrent sessions over ONE model
+// whose kernels are themselves multi-threaded, sweeping the engine's
+// kernel-thread cap. Every session's parallel_for jobs land on the engine's
+// shared worker set, so invoke throughput rising with the cap (on hosts
+// with cores to back it) is the signal that concurrent jobs really run
+// side by side instead of serializing on a process-global queue — the
+// composable-threading contract. Rows keep the serving sweep's invariants:
+// prepared bytes constant in the cap, zero GEMM B re-packs while serving.
+std::vector<Row> mt_model_sweep(bool quick, unsigned hw) {
+  const ZooEntry* entry = nullptr;
+  for (const ZooEntry& e : image_zoo()) {
+    if (e.name == "mobilenet_v1_mini") entry = &e;
+  }
+  MLX_CHECK(entry != nullptr);
+
+  const int sessions = 2;
+  std::vector<int> caps = {1, 2};
+  if (hw >= 4) caps.push_back(4);
+
+  std::int64_t invokes_per_thread = 0;
+  std::vector<Row> rows;
+  for (int cap : caps) {
+    Graph graph = convert_for_inference(entry->build(kSeed, 1).model);
+    Tensor input = random_model_input(graph, kSeed + 7);
+    BuiltinOpResolver resolver;
+    Engine engine(&resolver, cap);
+    engine.load("mobilenet_v1_mini/f32", std::move(graph));
+
+    // Calibrate once at cap 1 so every cap serves the same invoke count.
+    if (invokes_per_thread == 0) {
+      const auto probe_start = Clock::now();
+      {
+        SessionLease probe = engine.acquire("mobilenet_v1_mini/f32");
+        probe->set_input(0, input);
+        for (int i = 0; i < 5; ++i) probe->invoke();
+      }
+      const double probe_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() -
+                                                    probe_start)
+              .count() /
+          5.0;
+      const double target_ms = quick ? 30.0 : 300.0;
+      invokes_per_thread = static_cast<std::int64_t>(
+          std::max(2.0, target_ms / std::max(probe_ms, 1e-3)));
+    }
+
+    Row row = serve(engine, "mobilenet_v1_mini/f32", sessions,
+                    invokes_per_thread, input);
+    // The swept axis for this scenario is the kernel-thread cap, not the
+    // session count (which stays fixed at `sessions`).
+    row.threads = cap;
+    row.name = "mtmodel/mobilenet_v1_mini/f32/t" + std::to_string(cap);
+    std::fprintf(stderr, "%-44s %10.1f us/invoke %12.1f inv/s\n",
+                 row.name.c_str(), row.us_per_invoke, row.invokes_per_sec);
+    rows.push_back(row);
+  }
+  return rows;
 }
 
 // --- hot-swap under load -----------------------------------------------------
@@ -538,6 +605,13 @@ int run(bool quick) {
       std::fprintf(stderr, "%-44s %10.1f us/invoke %12.1f inv/s\n",
                    row.name.c_str(), row.us_per_invoke, row.invokes_per_sec);
     }
+  }
+
+  // Multi-threaded model x multi-session: kernel-thread-cap scaling on the
+  // engine's shared worker set, with the serving invariants intact.
+  {
+    std::vector<Row> mt_rows = mt_model_sweep(quick, hw);
+    rows.insert(rows.end(), mt_rows.begin(), mt_rows.end());
   }
 
   // Open-loop offered-load sweep through the FrontDoor: the overload curve

@@ -207,8 +207,10 @@ echo "wrote ${out_dir}/BENCH_monitor_overhead.json"
 digest "${out_dir}/BENCH_monitor_overhead.json"
 digest_overhead "${out_dir}/BENCH_monitor_overhead.json"
 
-# Summarizes invoke-throughput scaling per model/dtype relative to its
-# one-thread row and stamps the ratios into the JSON context. Prepared bytes
+# Summarizes invoke-throughput scaling per scenario/model/dtype relative to
+# its one-thread row and stamps the ratios into the JSON context: serving/*
+# rows scale in session count, mtmodel/* rows in the engine's kernel-thread
+# cap (both asserted >= 1.2x at t2 on multi-core hosts). Prepared bytes
 # must be constant in session count and no GEMM B panel may be re-packed
 # while serving (the prepare-once/serve-many contract); fail loudly if the
 # bench recorded otherwise. Multi-thread scaling itself is only *asserted*
@@ -242,7 +244,10 @@ for b in data.get("benchmarks", []):
     if kind == "openloop":
         openloop.append(b)
         continue
-    rows.setdefault(f"{model}/{dtype}", {})[int(t.lstrip("t"))] = b
+    # serving/* rows sweep session count; mtmodel/* rows sweep the engine's
+    # kernel-thread cap (sessions fixed) — keep the kind in the key so the
+    # two sweeps of the same model/dtype never merge.
+    rows.setdefault(f"{kind}/{model}/{dtype}", {})[int(t.lstrip("t"))] = b
 hw = data.get("context", {}).get("hardware_concurrency", 1)
 scaling = {}
 print(f"{'model/dtype':32s} {'t1 inv/s':>10s}  scaling(t2,t4,...)  prepared_kb")
@@ -257,9 +262,15 @@ for key, by_t in sorted(rows.items()):
            for t in sorted(by_t)}
     scaling[key] = rel
     if hw >= 2 and 2 in rel:
-        assert rel[2] >= 1.2, \
-            f"{key}: t2 scaling {rel[2]:.2f}x < 1.2x on a {hw}-core host " \
-            "(sessions are serializing on shared state?)"
+        if key.startswith("mtmodel/"):
+            assert rel[2] >= 1.2, \
+                f"{key}: t2 kernel-thread scaling {rel[2]:.2f}x < 1.2x on " \
+                f"a {hw}-core host (concurrent parallel_for jobs " \
+                "serializing on the engine pool?)"
+        else:
+            assert rel[2] >= 1.2, \
+                f"{key}: t2 scaling {rel[2]:.2f}x < 1.2x on a {hw}-core " \
+                "host (sessions are serializing on shared state?)"
     cells = ", ".join(f"t{t}:{r:.2f}x" for t, r in rel.items() if t != min(by_t))
     print(f"{key:32s} {base['invokes_per_second']:10.0f}  {cells:18s}  {base['prepared_kb']:.1f}")
 if hw < 2:

@@ -1,19 +1,38 @@
-// A small fixed-size thread pool with an allocation-free parallel_for.
+// A small fixed-size thread pool with an allocation-free parallel_for and
+// multi-job submission.
 //
 // Used by the optimized kernel resolver to mirror the multi-threaded TFLite
-// interpreter configuration the paper benchmarks (4 threads on a Pixel 4).
+// interpreter configuration the paper benchmarks (4 threads on a Pixel 4),
+// and by the serving Engine, where many sessions fan work onto one bounded
+// worker set concurrently.
 //
 // parallel_for is designed for the interpreter's steady-state invoke path:
 // the loop body is passed as a non-owning FunctionRef (no std::function
 // heap allocation) and chunks are handed out through an atomic counter (no
 // per-chunk task objects). The calling thread participates as worker 0, so a
-// pool of N threads gives N+1-way parallelism.
+// pool of N threads gives up to N+1-way parallelism.
+//
+// Composability: the pool runs up to kMaxConcurrentJobs jobs at once. Each
+// submission owns a fixed job slot; idle workers join whichever live job
+// still has unclaimed chunks and a free participant slot, so two sessions
+// (or two models sharing one engine pool) fanning out at the same time
+// proceed in parallel instead of serializing behind a process-wide submit
+// lock. Every job carries its own participant cap (max_participants,
+// including the submitting thread), which is how `num_threads = k` is
+// enforced as a hard limit rather than a hint. If every slot is busy the
+// submitter simply runs its range inline — correctness never depends on a
+// slot being free.
+//
+// Worker identity is per pool: a worker of pool A submitting to pool B
+// participates in B's job as a normal submitter (B's workers help, A's
+// worker drives); only a worker submitting to its *own* pool runs the range
+// inline, which is what prevents self-deadlock without collapsing unrelated
+// pools onto one thread.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <cstdint>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -24,74 +43,149 @@ namespace mlexray {
 
 class ThreadPool {
  public:
+  // Concurrent jobs the pool can run before submitters fall back to inline
+  // execution. Sized for "many sessions x one engine pool"; a fixed array
+  // keeps submission allocation-free.
+  static constexpr std::size_t kMaxConcurrentJobs = 16;
+
   // Spawns exactly num_threads worker threads. The calling thread of a
   // parallel_for always participates as well, so num_threads == 0 is valid:
   // every parallel_for then runs inline with zero scheduling overhead.
   explicit ThreadPool(std::size_t num_threads);
+
+  // Worker count for a pool owned on behalf of a `num_threads` request:
+  // at most num_threads - 1 (the submitter is always participant 0), and
+  // never more than the host's spare cores (hardware_concurrency - 1).
+  // num_threads is a *cap*, not a promise of width — workers beyond the
+  // core count cannot add throughput, only context-switch overhead, so a
+  // 1-core host gets 0 workers and fully inline execution. Model, Trainer,
+  // and Engine size their owned pools through this; tests that need a
+  // specific width pass it to the constructor directly.
+  static std::size_t workers_for(int num_threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const { return workers_.size(); }
-  // Number of threads a parallel_for can use (workers + the caller).
+  // Most threads a single job can use (workers + the caller). A job's
+  // max_participants caps below this; concurrent jobs share the same
+  // workers, so a loaded pool hands each job fewer.
   std::size_t parallelism() const { return workers_.size() + 1; }
 
   // Runs fn over [begin, end) split into chunks of at least min_chunk
   // elements; blocks until all chunks finish. fn receives a half-open index
   // range [chunk_begin, chunk_end). Chunks are claimed dynamically, so uneven
   // per-element cost balances across threads. Allocation-free. Nested calls
-  // from inside a worker run the whole range inline on that worker.
+  // from inside one of *this pool's own* workers run the whole range inline
+  // on that worker; submitting from another pool's worker participates
+  // normally. max_participants (including the calling thread) caps how many
+  // threads may touch this job; 0 means "no cap" (up to parallelism()).
   void parallel_for(std::size_t begin, std::size_t end,
                     FunctionRef<void(std::size_t, std::size_t)> fn,
-                    std::size_t min_chunk = 1);
+                    std::size_t min_chunk = 1, std::size_t max_participants = 0);
 
-  // As parallel_for, but fn also receives the executing worker's index in
-  // [0, parallelism()); index 0 is the calling thread. Kernels use the index
-  // to address pre-planned per-worker scratch slices.
+  // As parallel_for, but fn also receives the executing participant's index,
+  // dense in [0, p) where p = min(max_participants or parallelism(),
+  // chunk count); index 0 is the calling thread. Kernels use the index to
+  // address per-worker scratch slices, which they must therefore size from
+  // the same cap (see PoolRef::parallelism / KernelContext::worker_count).
   void parallel_for_workers(
       std::size_t begin, std::size_t end,
       FunctionRef<void(std::size_t, std::size_t, std::size_t)> fn,
-      std::size_t min_chunk = 1);
-
-  // Process-wide pool sized for this host (hardware_concurrency - 1 workers,
-  // since the submitting thread works too); lazily constructed. On a
-  // single-core host it has no workers and parallel_for degrades gracefully
-  // to inline execution instead of ping-ponging one CPU between threads.
-  static ThreadPool& shared();
+      std::size_t min_chunk = 1, std::size_t max_participants = 0);
 
  private:
   using WorkerFn = FunctionRef<void(std::size_t, std::size_t, std::size_t)>;
 
-  void worker_loop(std::size_t worker_index);
-  // Claims chunks via next_ and runs fn on each until the range is
-  // exhausted. fn/end/chunk are the caller's consistent snapshot of the job
-  // (workers capture theirs under mutex_; the submitter uses its own
+  // One in-flight parallel_for. All fields except `next` are guarded by
+  // mutex_; `next` is the lock-free chunk cursor participants hammer while
+  // the job runs, kept on its own cache line so concurrent jobs don't
+  // false-share claim traffic.
+  struct Job {
+    const WorkerFn* fn = nullptr;
+    std::size_t end = 0;
+    std::size_t chunk = 1;
+    std::size_t max_participants = 0;  // includes the submitter
+    std::size_t joined = 0;            // participant slots handed out
+    int in_flight = 0;                 // workers currently running chunks
+    bool live = false;                 // still accepting joiners
+    bool in_use = false;               // slot claimed by a submitter
+    alignas(64) std::atomic<std::size_t> next{0};
+  };
+
+  void worker_loop();
+  // A live job this thread could still usefully join, or nullptr. Requires
+  // mutex_ held.
+  Job* find_joinable_locked();
+  // Claims chunks via `next` and runs fn on each until the range is
+  // exhausted. fn/end/chunk are the participant's consistent snapshot of the
+  // job (workers capture theirs under mutex_; the submitter uses its own
   // arguments).
-  void run_chunks(const WorkerFn& fn, std::size_t end, std::size_t chunk,
-                  std::size_t worker_index);
+  static void run_chunks(std::atomic<std::size_t>& next, const WorkerFn& fn,
+                         std::size_t end, std::size_t chunk,
+                         std::size_t worker_index);
 
   std::vector<std::thread> workers_;
-
-  // Serializes concurrent parallel_for calls from different caller threads
-  // (the pool runs one job at a time).
-  std::mutex submit_mutex_;
-
-  // Job description; written and read only under mutex_ (the submitter also
-  // reads its own writes lock-free). next_ is the only cross-thread shared
-  // state touched outside the lock while a job runs.
-  const WorkerFn* job_fn_ = nullptr;
-  std::size_t job_end_ = 0;
-  std::size_t job_chunk_ = 1;
-  bool job_live_ = false;
-  std::uint64_t generation_ = 0;
-  std::atomic<std::size_t> next_{0};
-  std::atomic<int> in_flight_{0};
+  std::vector<Job> jobs_;  // fixed kMaxConcurrentJobs slots, never resized
 
   std::mutex mutex_;
-  std::condition_variable cv_;       // wakes workers for a new job/shutdown
-  std::condition_variable done_cv_;  // signals the submitter on completion
+  std::condition_variable cv_;       // wakes workers for new jobs/shutdown
+  std::condition_variable done_cv_;  // signals submitters on job completion
   bool shutting_down_ = false;
+};
+
+// A non-owning, capped view of a ThreadPool — the type kernels and plan
+// contexts carry. It pairs the pool with the participant budget its owner
+// (Model, Trainer, Engine) granted, so `num_threads = k` flows to every
+// parallel_for as a hard max_participants cap instead of being forgotten at
+// the call site. A null PoolRef runs everything inline; parallelism() is
+// what per-worker scratch must be sized from (it reflects the cap, and
+// worker indices handed to parallel_for_workers bodies are always below it).
+class PoolRef {
+ public:
+  PoolRef() = default;
+  // cap == 0 means "no cap" (the pool's full parallelism). Implicit from a
+  // bare pool pointer so tests and single-owner call sites stay terse.
+  PoolRef(ThreadPool* pool, std::size_t cap = 0)  // NOLINT: implicit
+      : pool_(pool), cap_(cap) {}
+
+  explicit operator bool() const { return pool_ != nullptr; }
+  ThreadPool* get() const { return pool_; }
+  std::size_t cap() const { return cap_; }
+
+  // Threads a job submitted through this ref may use, cap applied; 1 when
+  // null. The upper bound (inclusive) of worker indices + 1.
+  std::size_t parallelism() const {
+    if (pool_ == nullptr) return 1;
+    const std::size_t p = pool_->parallelism();
+    return cap_ != 0 && cap_ < p ? cap_ : p;
+  }
+
+  void parallel_for(std::size_t begin, std::size_t end,
+                    FunctionRef<void(std::size_t, std::size_t)> fn,
+                    std::size_t min_chunk = 1) const {
+    if (pool_ != nullptr) {
+      pool_->parallel_for(begin, end, fn, min_chunk, cap_);
+    } else if (begin < end) {
+      fn(begin, end);
+    }
+  }
+
+  void parallel_for_workers(
+      std::size_t begin, std::size_t end,
+      FunctionRef<void(std::size_t, std::size_t, std::size_t)> fn,
+      std::size_t min_chunk = 1) const {
+    if (pool_ != nullptr) {
+      pool_->parallel_for_workers(begin, end, fn, min_chunk, cap_);
+    } else if (begin < end) {
+      fn(begin, end, 0);
+    }
+  }
+
+ private:
+  ThreadPool* pool_ = nullptr;
+  std::size_t cap_ = 0;
 };
 
 }  // namespace mlexray

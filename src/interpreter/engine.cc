@@ -176,6 +176,13 @@ std::uint64_t SessionLease::version() const {
 Engine::Engine(const OpResolver* resolver, int num_threads)
     : resolver_(resolver), num_threads_(num_threads) {
   MLX_CHECK(resolver != nullptr);
+  // One bounded worker set for the whole engine: models share workers
+  // (multi-job submission keeps concurrent leases from serializing) instead
+  // of spawning threads per loaded model. Sized by ThreadPool::workers_for,
+  // so it never outgrows the host's cores.
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(ThreadPool::workers_for(num_threads_));
+  }
 }
 
 Engine::~Engine() = default;
@@ -214,7 +221,7 @@ const Model& Engine::load(const std::string& name, Graph graph) {
   // plan.prepare fault) propagates here, before the registry is touched —
   // the previous version keeps serving.
   auto model = std::make_unique<Model>(std::move(graph), resolver_,
-                                       num_threads_);
+                                       pool_.get(), num_threads_);
 
   std::lock_guard<std::mutex> lock(mu_);
   const std::size_t entry_index = find_entry_locked(name);
@@ -476,7 +483,7 @@ void Engine::enable_canary(const std::string& name, Graph reference,
   // step, same rationale as load()).
   state->model = std::make_unique<Model>(
       std::move(reference), resolver != nullptr ? resolver : resolver_,
-      num_threads_);
+      pool_.get(), num_threads_);
   state->session = std::make_unique<Session>(state->model.get());
   const std::size_t steps = state->model->plan().steps().size();
   state->err_sum.assign(steps, 0.0);

@@ -86,9 +86,16 @@ struct EnginePoolStats {
 
 class Engine {
  public:
-  // resolver must outlive the engine. num_threads is forwarded to every
-  // Model built by load() (see Model's note: serving across threads usually
-  // wants the default 1).
+  // resolver must outlive the engine. num_threads > 1 gives the engine ONE
+  // shared worker set — at most num_threads - 1 threads, clamped to the
+  // host's spare cores (ThreadPool::workers_for) — that every Model built
+  // by load() fans onto, with num_threads as each job's hard participant
+  // cap.
+  // The pool runs concurrent jobs side by side, so a multi-threaded invoke
+  // on one lease does not serialize other leases' invokes (any model, any
+  // version) — they share workers instead of queueing behind one another.
+  // Many-session serving on a saturated host still usually wants the
+  // default 1 (one caller thread per session).
   explicit Engine(const OpResolver* resolver, int num_threads = 1);
   ~Engine();
 
@@ -212,6 +219,10 @@ class Engine {
 
   const OpResolver* resolver_;
   int num_threads_;
+  // The engine-wide bounded worker set all models share (null when
+  // num_threads_ <= 1). Declared before entries_ so it outlives every Model
+  // during destruction.
+  std::unique_ptr<ThreadPool> pool_;
   mutable std::mutex mu_;
   // unique_ptr so Entry addresses survive vector growth and erasure of
   // sibling entries (Versions hold Entry backpointers).

@@ -5,7 +5,7 @@
 namespace mlexray {
 
 ExecutionPlan::ExecutionPlan(const Graph& graph, const OpResolver& resolver,
-                             ThreadPool* pool) {
+                             PoolRef pool) {
   // Load-failure fault point: a throw here aborts Model construction before
   // any prepare hook runs, so Engine::load fails cleanly — hot-swap tests
   // use it to assert a failed v2 load leaves v1 serving.

@@ -38,8 +38,7 @@ class ExecutionPlan {
   // `pool` is only used to parallelize prepare work itself. Prepared results
   // live in plan-owned PreparedStorage for the plan's lifetime. graph and
   // resolver must outlive the plan.
-  ExecutionPlan(const Graph& graph, const OpResolver& resolver,
-                ThreadPool* pool);
+  ExecutionPlan(const Graph& graph, const OpResolver& resolver, PoolRef pool);
 
   const std::vector<PlanStep>& steps() const { return steps_; }
 

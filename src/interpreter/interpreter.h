@@ -24,8 +24,9 @@ namespace mlexray {
 
 class Interpreter {
  public:
-  // graph and resolver must outlive the interpreter. num_threads > 1 enables
-  // the shared thread pool for kernels that support it.
+  // graph and resolver must outlive the interpreter. num_threads > 1 gives
+  // the private Model its own bounded worker set, with num_threads as a
+  // hard participant cap for every kernel parallel_for.
   Interpreter(const Graph* graph, const OpResolver* resolver,
               int num_threads = 1);
 

@@ -354,7 +354,7 @@ const char* dwconv_best_tier_name() {
 }
 
 void dwconv2d_i8(const DwConvShape& s, const std::int8_t* x,
-                 const PackedDwI8& p, std::int8_t* y, ThreadPool* pool) {
+                 const PackedDwI8& p, std::int8_t* y, PoolRef pool) {
   const Tier tier = resolve_tier();
   const std::int64_t taps = static_cast<std::int64_t>(s.kh) * s.kw;
   const std::int64_t rows = s.batch * s.out_h;
@@ -389,8 +389,8 @@ void dwconv2d_i8(const DwConvShape& s, const std::int8_t* x,
       }
     }
   };
-  if (pool != nullptr && rows >= 8) {
-    pool->parallel_for(0, static_cast<std::size_t>(rows), body,
+  if (pool && rows >= 8) {
+    pool.parallel_for(0, static_cast<std::size_t>(rows), body,
                        /*min_chunk=*/2);
   } else {
     body(0, static_cast<std::size_t>(rows));
@@ -398,7 +398,7 @@ void dwconv2d_i8(const DwConvShape& s, const std::int8_t* x,
 }
 
 void dwconv2d_f32(const DwConvShape& s, const float* x, const PackedDwF32& p,
-                  Activation act, float* y, ThreadPool* pool) {
+                  Activation act, float* y, PoolRef pool) {
   const Tier tier = resolve_tier();
   const std::int64_t taps = static_cast<std::int64_t>(s.kh) * s.kw;
   const std::int64_t rows = s.batch * s.out_h;
@@ -426,8 +426,8 @@ void dwconv2d_f32(const DwConvShape& s, const float* x, const PackedDwF32& p,
       }
     }
   };
-  if (pool != nullptr && rows >= 8) {
-    pool->parallel_for(0, static_cast<std::size_t>(rows), body,
+  if (pool && rows >= 8) {
+    pool.parallel_for(0, static_cast<std::size_t>(rows), body,
                        /*min_chunk=*/2);
   } else {
     body(0, static_cast<std::size_t>(rows));

@@ -107,12 +107,12 @@ const char* dwconv_best_tier_name();
 // accumulation per channel in reference order. Rows are partitioned across
 // the pool when it pays.
 void dwconv2d_f32(const DwConvShape& s, const float* x, const PackedDwF32& p,
-                  Activation act, float* y, ThreadPool* pool);
+                  Activation act, float* y, PoolRef pool);
 
 // Integer path: raw widening dot product over all taps (out-of-bounds taps
 // read x = in_zp), then requant(acc + acc_init[c]) per channel. Bit-exact
 // across tiers.
 void dwconv2d_i8(const DwConvShape& s, const std::int8_t* x,
-                 const PackedDwI8& p, std::int8_t* y, ThreadPool* pool);
+                 const PackedDwI8& p, std::int8_t* y, PoolRef pool);
 
 }  // namespace mlexray

@@ -682,7 +682,7 @@ std::uint64_t gemm_b_pack_events() {
 void gemm_f32_nt(std::int64_t m, std::int64_t n, std::int64_t k,
                  const float* a, std::int64_t lda, const float* b,
                  std::int64_t ldb, const float* bias, Activation act, float* c,
-                 std::int64_t ldc, ThreadPool* pool, ScratchArena* arena,
+                 std::int64_t ldc, PoolRef pool, ScratchArena* arena,
                  const PackedBF32* packed) {
   if (m <= 0 || n <= 0) return;
   // Kernel-level fault point: lets tests originate an MLX_CHECK-style
@@ -741,8 +741,8 @@ void gemm_f32_nt(std::int64_t m, std::int64_t n, std::int64_t k,
       }
     }
   };
-  if (pool != nullptr && m_tiles > 1 && m * n * k >= kMinFlopsForPool) {
-    pool->parallel_for(0, static_cast<std::size_t>(m_tiles), row_block);
+  if (pool && m_tiles > 1 && m * n * k >= kMinFlopsForPool) {
+    pool.parallel_for(0, static_cast<std::size_t>(m_tiles), row_block);
   } else {
     row_block(0, static_cast<std::size_t>(m_tiles));
   }
@@ -751,7 +751,7 @@ void gemm_f32_nt(std::int64_t m, std::int64_t n, std::int64_t k,
 void gemm_i8_nt(std::int64_t m, std::int64_t n, std::int64_t k,
                 const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
                 std::int64_t ldb, const GemmQuant& q, std::int8_t* c,
-                std::int64_t ldc, ThreadPool* pool, const PackedBI8* packed) {
+                std::int64_t ldc, PoolRef pool, const PackedBI8* packed) {
   if (m <= 0 || n <= 0) return;
   const bool use_packed = packed != nullptr && packed->panels != nullptr &&
                           packed->col_sums != nullptr;
@@ -890,8 +890,8 @@ void gemm_i8_nt(std::int64_t m, std::int64_t n, std::int64_t k,
       }
     }
   };
-  if (pool != nullptr && m_tiles > 1 && m * n * k >= kMinFlopsForPool) {
-    pool->parallel_for(0, static_cast<std::size_t>(m_tiles), row_block);
+  if (pool && m_tiles > 1 && m * n * k >= kMinFlopsForPool) {
+    pool.parallel_for(0, static_cast<std::size_t>(m_tiles), row_block);
   } else {
     row_block(0, static_cast<std::size_t>(m_tiles));
   }

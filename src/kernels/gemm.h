@@ -97,7 +97,7 @@ std::uint64_t gemm_b_pack_events();
 void gemm_f32_nt(std::int64_t m, std::int64_t n, std::int64_t k,
                  const float* a, std::int64_t lda, const float* b,
                  std::int64_t ldb, const float* bias, Activation act, float* c,
-                 std::int64_t ldc, ThreadPool* pool, ScratchArena* arena,
+                 std::int64_t ldc, PoolRef pool, ScratchArena* arena,
                  const PackedBF32* packed = nullptr);
 
 // Fused requantization parameters for the int8 path (per-output-channel
@@ -123,7 +123,7 @@ struct GemmQuant {
 void gemm_i8_nt(std::int64_t m, std::int64_t n, std::int64_t k,
                 const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
                 std::int64_t ldb, const GemmQuant& q, std::int8_t* c,
-                std::int64_t ldc, ThreadPool* pool,
+                std::int64_t ldc, PoolRef pool,
                 const PackedBI8* packed = nullptr);
 
 }  // namespace mlexray

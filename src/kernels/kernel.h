@@ -26,7 +26,7 @@ struct KernelContext {
   const Node* node = nullptr;
   std::vector<const Tensor*> inputs;  // activation inputs, in op order
   Tensor* output = nullptr;           // allocated by the interpreter
-  ThreadPool* pool = nullptr;         // null => single-threaded execution
+  PoolRef pool;                       // null => single-threaded execution
   ScratchArena* arena = nullptr;      // per-interpreter scratch storage
   // Plan-owned storage filled once by the kernel's prepare hook; null when
   // the kernel runs outside a plan (e.g. the trainer's forward pass), in
@@ -46,10 +46,12 @@ struct KernelContext {
     return arena->allocate_array<T>(static_cast<std::size_t>(count));
   }
 
-  // Worker slots a parallel_for_workers body may observe (>= 1).
-  std::size_t worker_count() const {
-    return pool != nullptr ? pool->parallelism() : 1;
-  }
+  // Worker slots a parallel_for_workers body may observe (>= 1). Reflects
+  // the *executing* context's pool and participant cap — size per-worker
+  // scratch from this at invoke time, never from a pool seen at prepare
+  // time (the trainer and a serving session can execute the same kernel
+  // with different pools and caps).
+  std::size_t worker_count() const { return pool.parallelism(); }
 };
 
 using KernelFn = std::function<void(const KernelContext&)>;

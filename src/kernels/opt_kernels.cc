@@ -76,8 +76,8 @@ void im2col(const KernelContext& ctx, const ConvShape& s, const Shape& is,
     }
   };
   const auto rows = static_cast<std::size_t>(os.dim(1) * os.dim(2));
-  if (ctx.pool != nullptr && rows >= 64) {
-    ctx.pool->parallel_for(0, rows, pack_rows, /*min_chunk=*/8);
+  if (ctx.pool && rows >= 64) {
+    ctx.pool.parallel_for(0, rows, pack_rows, /*min_chunk=*/8);
   } else {
     pack_rows(0, rows);
   }
@@ -575,8 +575,8 @@ void dwconv2d_i8_buggy(const KernelContext& ctx) {
       }
     }
   };
-  if (ctx.pool != nullptr && rows >= 8) {
-    ctx.pool->parallel_for(0, static_cast<std::size_t>(rows), body,
+  if (ctx.pool && rows >= 8) {
+    ctx.pool.parallel_for(0, static_cast<std::size_t>(rows), body,
                            /*min_chunk=*/2);
   } else {
     body(0, static_cast<std::size_t>(rows));

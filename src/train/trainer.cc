@@ -11,7 +11,15 @@ Trainer::Trainer(Graph* model, TrainConfig config)
     : model_(model), cfg_(config) {
   MLX_CHECK(model != nullptr);
   model_->validate();
-  pool_ = cfg_.num_threads > 1 ? &ThreadPool::shared() : nullptr;
+  if (cfg_.num_threads > 1) {
+    // num_threads is a cap that holds exactly: the training thread plus at
+    // most num_threads - 1 owned workers (clamped to the host's spare
+    // cores), never the whole machine.
+    owned_pool_ = std::make_unique<ThreadPool>(
+        ThreadPool::workers_for(cfg_.num_threads));
+    pool_ = PoolRef(owned_pool_.get(),
+                    static_cast<std::size_t>(cfg_.num_threads));
+  }
   acts_.reserve(model_->nodes.size());
   for (const Node& n : model_->nodes) {
     MLX_CHECK(n.output_dtype == DType::kF32 || n.type == OpType::kInput)

@@ -10,6 +10,7 @@
 // flow (checkpoint -> converted -> quantized).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "src/graph/graph.h"
@@ -66,7 +67,10 @@ class Trainer {
   Graph* model_;
   TrainConfig cfg_;
   BuiltinOpResolver resolver_;
-  ThreadPool* pool_;
+  // Trainer-owned worker set honoring cfg_.num_threads as a hard cap (null
+  // view when num_threads <= 1); independent of any serving pool.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  PoolRef pool_;
   ScratchArena arena_;  // scratch for the optimized forward kernels
 
   std::vector<Tensor> acts_;                 // forward activations per node

@@ -1,7 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <filesystem>
+#include <mutex>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "src/common/error.h"
 #include "src/common/file_io.h"
@@ -9,6 +15,7 @@
 #include "src/common/rng.h"
 #include "src/common/string_util.h"
 #include "src/common/thread_pool.h"
+#include "src/kernels/kernel.h"
 
 namespace mlexray {
 namespace {
@@ -139,6 +146,243 @@ TEST(ThreadPool, BackToBackJobsReuseWorkers) {
                       });
     ASSERT_EQ(count.load(), 40);
   }
+}
+
+// The headline num_threads bugfix: a participant cap of k must mean AT MOST
+// k distinct threads touch the job, no matter how wide the pool is. Counted
+// over many rounds so workers get every chance to (wrongly) join.
+TEST(ThreadPool, ParticipantCapIsAHardLimit) {
+  ThreadPool pool(7);  // parallelism() == 8, far above the cap under test
+  constexpr std::size_t kCap = 2;
+  std::atomic<std::size_t> max_index{0};
+  std::mutex mu;
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for_workers(
+        0, 64,
+        [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+          std::size_t seen = max_index.load();
+          while (worker > seen &&
+                 !max_index.compare_exchange_weak(seen, worker)) {
+          }
+          // Touch the range so the chunk is real work, not a no-op the
+          // optimizer could collapse.
+          volatile std::size_t sink = 0;
+          for (std::size_t i = lo; i < hi; ++i) sink = sink + i;
+        },
+        /*min_chunk=*/1, /*max_participants=*/kCap);
+  }
+  EXPECT_LT(max_index.load(), kCap)
+      << "worker index escaped the participant cap";
+  // Distinct threads inside one job must also respect the cap (indices
+  // could lie; thread identity cannot).
+  std::set<std::thread::id> single_round;
+  pool.parallel_for_workers(
+      0, 256,
+      [&](std::size_t, std::size_t, std::size_t) {
+        std::lock_guard<std::mutex> lock(mu);
+        single_round.insert(std::this_thread::get_id());
+      },
+      /*min_chunk=*/1, /*max_participants=*/kCap);
+  EXPECT_LE(single_round.size(), kCap);
+}
+
+TEST(ThreadPool, PoolRefAppliesCapAndReportsCappedParallelism) {
+  ThreadPool pool(5);
+  EXPECT_EQ(PoolRef(&pool).parallelism(), 6u);
+  EXPECT_EQ(PoolRef(&pool, 3).parallelism(), 3u);
+  EXPECT_EQ(PoolRef(&pool, 100).parallelism(), 6u);  // cap above pool width
+  EXPECT_EQ(PoolRef().parallelism(), 1u);
+
+  // A null ref runs inline; a capped ref never hands out an index >= cap.
+  int inline_calls = 0;
+  PoolRef().parallel_for_workers(0, 10, [&](std::size_t lo, std::size_t hi,
+                                            std::size_t worker) {
+    ++inline_calls;
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 10u);
+  });
+  EXPECT_EQ(inline_calls, 1);
+
+  PoolRef capped(&pool, 3);
+  std::atomic<bool> over_cap{false};
+  std::vector<std::atomic<int>> hits(128);
+  for (int round = 0; round < 50; ++round) {
+    capped.parallel_for_workers(
+        0, 128,
+        [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+          if (worker >= capped.parallelism()) over_cap = true;
+          for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+        },
+        /*min_chunk=*/1);
+  }
+  EXPECT_FALSE(over_cap.load());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 50);
+}
+
+namespace {
+// Rendezvous for the overlap tests: both sides must be inside a pool job at
+// the same instant. Generous timeout so a single-CPU host can timeslice its
+// way there; with a job-serializing pool the second side can never start
+// while the first waits, so the wait times out and the test fails.
+struct Rendezvous {
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+
+  bool arrive_and_wait(int expected) {
+    std::unique_lock<std::mutex> lock(mu);
+    ++arrived;
+    cv.notify_all();
+    return cv.wait_for(lock, std::chrono::seconds(20),
+                       [&] { return arrived >= expected; });
+  }
+};
+}  // namespace
+
+// Two submitters on ONE pool must have their jobs in flight simultaneously
+// (multi-job submission) — the tentpole's no-process-wide-serialization
+// property. Under the old single-job-slot pool the second submit blocked
+// until the first job fully finished, so this rendezvous would time out.
+TEST(ThreadPool, ConcurrentJobsOnOnePoolOverlap) {
+  ThreadPool pool(2);
+  Rendezvous rv;
+  std::atomic<int> overlap_failures{0};
+  auto submit = [&] {
+    std::atomic<int> covered{0};
+    pool.parallel_for(
+        0, 8,
+        [&](std::size_t lo, std::size_t hi) {
+          if (lo == 0 && !rv.arrive_and_wait(2)) overlap_failures.fetch_add(1);
+          covered.fetch_add(static_cast<int>(hi - lo));
+        },
+        /*min_chunk=*/1);
+    EXPECT_EQ(covered.load(), 8);
+  };
+  std::thread a(submit);
+  std::thread b(submit);
+  a.join();
+  b.join();
+  EXPECT_EQ(overlap_failures.load(), 0)
+      << "two parallel_for jobs on one pool serialized instead of running "
+         "side by side";
+}
+
+// Per-pool worker identity: a worker of pool A submitting to pool B must
+// submit normally (B's workers can help; multiple chunks), not inline the
+// whole range the way the old process-wide t_is_pool_worker flag forced.
+TEST(ThreadPool, CrossPoolSubmissionDoesNotInline) {
+  ThreadPool pool_a(1);
+  ThreadPool pool_b(2);
+  Rendezvous rv;
+  // Both of A's participants (the caller and A's one worker) run an outer
+  // chunk; the rendezvous guarantees the pool-A *worker* path is exercised.
+  std::atomic<bool> rendezvous_ok{true};
+  std::atomic<int> whole_range_calls{0};
+  std::atomic<int> chunk_calls[2] = {{0}, {0}};
+  pool_a.parallel_for_workers(
+      0, 2,
+      [&](std::size_t lo, std::size_t, std::size_t outer_worker) {
+        if (!rv.arrive_and_wait(2)) rendezvous_ok = false;
+        std::vector<std::atomic<int>> hits(64);
+        pool_b.parallel_for(
+            0, 64,
+            [&](std::size_t ilo, std::size_t ihi) {
+              if (ilo == 0 && ihi == 64) whole_range_calls.fetch_add(1);
+              chunk_calls[lo].fetch_add(1);
+              for (std::size_t i = ilo; i < ihi; ++i) hits[i].fetch_add(1);
+            },
+            /*min_chunk=*/4);
+        for (const auto& h : hits) {
+          if (h.load() != 1) rendezvous_ok = false;  // lost/duplicated chunks
+        }
+        (void)outer_worker;
+      },
+      /*min_chunk=*/1);
+  ASSERT_TRUE(rendezvous_ok.load());
+  EXPECT_EQ(whole_range_calls.load(), 0)
+      << "a cross-pool submission inlined its whole range (global worker "
+         "flag instead of per-pool identity)";
+  // Chunked submission: every outer participant saw its inner range split.
+  EXPECT_GT(chunk_calls[0].load(), 1);
+  EXPECT_GT(chunk_calls[1].load(), 1);
+}
+
+// ...while a worker submitting to its OWN pool still runs inline (the
+// pool-mates may all be busy on the very job that called it).
+TEST(ThreadPool, NestedSubmissionToOwnPoolRunsInline) {
+  ThreadPool pool(1);
+  Rendezvous rv;
+  std::atomic<bool> rendezvous_ok{true};
+  std::atomic<int> worker_inline_violations{0};
+  pool.parallel_for_workers(
+      0, 2,
+      [&](std::size_t, std::size_t, std::size_t outer_worker) {
+        if (!rv.arrive_and_wait(2)) rendezvous_ok = false;
+        // Atomics: the caller's nested call is a real submission, so its
+        // inner body may run on several threads.
+        std::atomic<int> calls{0};
+        std::atomic<bool> full_range{false};
+        pool.parallel_for(
+            0, 64,
+            [&](std::size_t ilo, std::size_t ihi) {
+              calls.fetch_add(1);
+              if (ilo == 0 && ihi == 64) full_range = true;
+            },
+            /*min_chunk=*/4);
+        // outer_worker 1 is the pool-owned thread: its nested call must be
+        // one inline pass over the whole range. The caller (worker 0) is
+        // not a pool thread, so its nested call submits normally.
+        if (outer_worker != 0 && !(calls.load() == 1 && full_range.load())) {
+          worker_inline_violations.fetch_add(1);
+        }
+      },
+      /*min_chunk=*/1);
+  ASSERT_TRUE(rendezvous_ok.load());
+  EXPECT_EQ(worker_inline_violations.load(), 0);
+}
+
+// Forced prepare/invoke pool mismatch (satellite bugfix): per-worker scratch
+// must be sized from the EXECUTING context's worker_count(), and the worker
+// indices that context's pool hands out must stay below it — even when a
+// different, wider pool was attached at prepare time (trainer vs serving
+// path). Before caps existed, sizing from the prepare-time pool and
+// executing on a wider one indexed past the end of the scratch slices.
+TEST(KernelContextScratch, WorkerIndicesStayWithinExecutingWorkerCount) {
+  ThreadPool prepare_pool(2);  // what the plan build saw: worker_count 3
+  ThreadPool serving_pool(7);  // what actually executes, capped to 2
+
+  KernelContext prepare_ctx;
+  prepare_ctx.pool = PoolRef(&prepare_pool);
+  EXPECT_EQ(prepare_ctx.worker_count(), 3u);
+
+  KernelContext exec_ctx;
+  exec_ctx.pool = PoolRef(&serving_pool, /*cap=*/2);
+  ASSERT_EQ(exec_ctx.worker_count(), 2u);
+
+  // Size per-worker slices from the executing context (the contract) and
+  // prove no index the executing pool hands out can escape them, over many
+  // rounds so every pool thread gets a chance to misbehave.
+  std::vector<std::atomic<int>> slices(exec_ctx.worker_count());
+  std::atomic<bool> out_of_bounds{false};
+  for (int round = 0; round < 100; ++round) {
+    exec_ctx.pool.parallel_for_workers(
+        0, 96,
+        [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+          if (worker >= slices.size()) {
+            out_of_bounds = true;
+            return;
+          }
+          slices[worker].fetch_add(static_cast<int>(hi - lo));
+        },
+        /*min_chunk=*/1);
+  }
+  EXPECT_FALSE(out_of_bounds.load())
+      << "executing pool handed out a worker index past the scratch sized "
+         "from the executing context";
+  int covered = 0;
+  for (auto& s : slices) covered += s.load();
+  EXPECT_EQ(covered, 96 * 100);
 }
 
 TEST(BinaryIo, RoundTripAllTypes) {

@@ -15,10 +15,15 @@
 //    acquire reuses it (same pointer, observer cleared).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <new>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -721,6 +726,188 @@ TEST(EnginePool, ConcurrentQuantizedThreadsBitExact) {
   }
   for (std::thread& w : workers) w.join();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+// --- composable threading ----------------------------------------------------
+//
+// A multi-threaded Engine gives every Model one shared bounded worker set
+// with num_threads as a per-job participant cap. The tests below are the
+// oversubscription story: T caller threads x a multi-threaded model must
+// stay bit-exact, allocation-free in steady state, and must not serialize
+// across models. They run under TSan in CI.
+
+TEST(EngineThreading, ModelsShareTheEnginePoolWithHonoredCaps) {
+  Pcg32 rng(151);
+  BuiltinOpResolver opt;
+  Engine engine(&opt, /*num_threads=*/3);
+  engine.load("a", conv_stack_graph(&rng));
+  engine.load("b", conv_stack_graph(&rng));
+  const Model* a = engine.find("a");
+  const Model* b = engine.find("b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  // One engine-wide worker set, not one per model. Owned pools are sized by
+  // ThreadPool::workers_for (at most num_threads - 1, clamped to the host's
+  // spare cores), so expectations are derived from the same rule.
+  const std::size_t engine_workers = ThreadPool::workers_for(3);
+  EXPECT_NE(a->pool().get(), nullptr);
+  EXPECT_EQ(a->pool().get(), b->pool().get());
+  EXPECT_EQ(a->pool().get()->size(), engine_workers);
+  // ...with num_threads as each model's hard participant cap.
+  EXPECT_EQ(a->thread_cap(), 3);
+  EXPECT_EQ(a->pool().parallelism(),
+            std::min<std::size_t>(3, engine_workers + 1));
+
+  // A standalone Model owns its bounded worker set and honors the cap too.
+  const std::size_t solo_workers = ThreadPool::workers_for(2);
+  Graph g = conv_stack_graph(&rng);
+  Model solo(&g, &opt, /*num_threads=*/2);
+  ASSERT_NE(solo.pool().get(), nullptr);
+  EXPECT_NE(solo.pool().get(), a->pool().get());
+  EXPECT_EQ(solo.pool().get()->size(), solo_workers);
+  EXPECT_EQ(solo.pool().parallelism(),
+            std::min<std::size_t>(2, solo_workers + 1));
+  EXPECT_EQ(solo.thread_cap(), 2);
+
+  // num_threads == 1 means inline kernels: no pool at all.
+  Model single(&g, &opt, /*num_threads=*/1);
+  EXPECT_EQ(single.pool().get(), nullptr);
+  EXPECT_EQ(single.pool().parallelism(), 1u);
+}
+
+// Two models invoking "concurrently" must overlap their parallel_for jobs on
+// the shared engine pool — measured with barrier-instrumented bodies
+// submitted through each model's own capped pool view. With the old
+// one-job-at-a-time pool the second body could never start while the first
+// waited, and the rendezvous timed out.
+TEST(EngineThreading, CrossModelJobsOverlapOnTheSharedPool) {
+  Pcg32 rng(153);
+  BuiltinOpResolver opt;
+  Engine engine(&opt, /*num_threads=*/2);
+  engine.load("a", conv_stack_graph(&rng));
+  engine.load("b", conv_stack_graph(&rng));
+  const PoolRef pool_a = engine.find("a")->pool();
+  const PoolRef pool_b = engine.find("b")->pool();
+  ASSERT_EQ(pool_a.get(), pool_b.get());
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  std::atomic<int> overlap_failures{0};
+  auto submit = [&](PoolRef pool) {
+    std::atomic<int> covered{0};
+    pool.parallel_for(
+        0, 8,
+        [&](std::size_t lo, std::size_t hi) {
+          if (lo == 0) {
+            std::unique_lock<std::mutex> lock(mu);
+            ++arrived;
+            cv.notify_all();
+            if (!cv.wait_for(lock, std::chrono::seconds(20),
+                             [&] { return arrived >= 2; })) {
+              overlap_failures.fetch_add(1);
+            }
+          }
+          covered.fetch_add(static_cast<int>(hi - lo));
+        },
+        /*min_chunk=*/1);
+    EXPECT_EQ(covered.load(), 8);
+  };
+  std::thread ta([&] { submit(pool_a); });
+  std::thread tb([&] { submit(pool_b); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(overlap_failures.load(), 0)
+      << "jobs from two models serialized on the shared engine pool";
+}
+
+// T caller threads oversubscribing a multi-threaded model: outputs stay
+// bit-exact vs the single-threaded reference (row-partitioned GEMM keeps
+// each output's accumulation order), f32 and int8, across models running
+// simultaneously.
+TEST(EngineThreading, OversubscribedMultiThreadedSessionsStayBitExact) {
+  constexpr int kThreads = 4;
+  constexpr int kInvokes = 6;
+  Pcg32 rng(157);
+  BuiltinOpResolver opt;
+  Graph f32_graph = conv_stack_graph(&rng);
+  Graph i8_graph = quantized_conv_stack_graph(&rng);
+
+  // Single-threaded reference outputs.
+  Pcg32 drng(158);
+  Tensor x = random_input(Shape{1, 16, 16, 8}, drng);
+  Tensor want_f32, want_i8;
+  {
+    Interpreter ref_f32(&f32_graph, &opt, /*num_threads=*/1);
+    ref_f32.set_input(0, x);
+    ref_f32.invoke();
+    want_f32 = ref_f32.output(0);
+    Interpreter ref_i8(&i8_graph, &opt, /*num_threads=*/1);
+    ref_i8.set_input(0, x);
+    ref_i8.invoke();
+    want_i8 = ref_i8.output(0);
+  }
+
+  Engine engine(&opt, /*num_threads=*/3);
+  engine.load("f32", std::move(f32_graph));
+  engine.load("i8", std::move(i8_graph));
+
+  std::vector<std::thread> workers;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::string name = (t % 2 == 0) ? "f32" : "i8";
+      const Tensor& want = (t % 2 == 0) ? want_f32 : want_i8;
+      for (int i = 0; i < kInvokes; ++i) {
+        SessionLease lease = engine.acquire(name);
+        lease->set_input(0, x);
+        lease->invoke();
+        const Tensor& got = lease->output(0);
+        if (got.byte_size() != want.byte_size() ||
+            std::memcmp(got.raw_data(), want.raw_data(), got.byte_size()) !=
+                0) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0)
+      << "oversubscribed multi-threaded sessions diverged from the "
+         "single-threaded reference";
+}
+
+// Steady-state acquire/invoke/release through a MULTI-threaded model is as
+// heap-free as the single-threaded path: pool submission uses fixed job
+// slots and FunctionRef bodies, never task objects.
+TEST(EngineThreading, MultiThreadedSteadyStateInvokeIsHeapFree) {
+  Pcg32 rng(163);
+  BuiltinOpResolver opt;
+  Engine engine(&opt, /*num_threads=*/3);
+  engine.load("stack", conv_stack_graph(&rng));
+  Pcg32 drng(164);
+  Tensor x = random_input(Shape{1, 16, 16, 8}, drng);
+
+  // Warm up: session built, arena high-water reached, pool workers latched
+  // at least one job each.
+  for (int i = 0; i < 4; ++i) {
+    SessionLease lease = engine.acquire("stack");
+    lease->set_input(0, x);
+    lease->invoke();
+  }
+
+  const std::uint64_t heap_before = g_heap_allocs.load();
+  const std::uint64_t events_before = AllocStats::instance().alloc_events();
+  const std::uint64_t packs_before = gemm_b_pack_events();
+  for (int i = 0; i < 16; ++i) {
+    SessionLease lease = engine.acquire("stack");
+    lease->set_input(0, x);
+    lease->invoke();
+  }
+  EXPECT_EQ(g_heap_allocs.load(), heap_before)
+      << "multi-threaded steady-state invoke hit operator new";
+  EXPECT_EQ(AllocStats::instance().alloc_events(), events_before);
+  EXPECT_EQ(gemm_b_pack_events(), packs_before);
 }
 
 }  // namespace
